@@ -1,0 +1,150 @@
+//! §4.2.2–§4.2.3 — YouTube content breakdown and comment languages.
+
+use crawler::store::CrawlStore;
+use std::collections::HashMap;
+use textkit::langid::Lang;
+
+/// §4.2.2 YouTube summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct YoutubeBreakdown {
+    /// Total YouTube URLs crawled.
+    pub total: usize,
+    /// Count per kind ("video" / "user" / "channel" / "unknown").
+    pub by_kind: Vec<(String, usize)>,
+    /// Active items.
+    pub active: usize,
+    /// Unavailable items.
+    pub unavailable: usize,
+    /// Unavailability reasons.
+    pub reasons: Vec<(String, usize)>,
+    /// Active items with comments disabled on YouTube.
+    pub comments_disabled: usize,
+    /// Top content owners among active items `(owner, count, share%)`.
+    pub top_owners: Vec<(String, usize, f64)>,
+}
+
+/// Compute the YouTube breakdown.
+pub fn youtube_breakdown(store: &CrawlStore) -> YoutubeBreakdown {
+    let mut b = YoutubeBreakdown { total: store.youtube.len(), ..YoutubeBreakdown::default() };
+    let mut kinds: HashMap<String, usize> = HashMap::new();
+    let mut reasons: HashMap<String, usize> = HashMap::new();
+    let mut owners: HashMap<String, usize> = HashMap::new();
+    for y in &store.youtube {
+        *kinds.entry(y.kind.clone()).or_insert(0) += 1;
+        if y.available {
+            b.active += 1;
+            if y.comments_disabled {
+                b.comments_disabled += 1;
+            }
+            if let Some(o) = &y.owner {
+                *owners.entry(o.clone()).or_insert(0) += 1;
+            }
+        } else {
+            b.unavailable += 1;
+            *reasons.entry(y.reason.clone().unwrap_or_else(|| "unknown".into())).or_insert(0) += 1;
+        }
+    }
+    let sort = |m: HashMap<String, usize>| {
+        let mut v: Vec<(String, usize)> = m.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    };
+    b.by_kind = sort(kinds);
+    b.reasons = sort(reasons);
+    let active = b.active.max(1);
+    b.top_owners = sort(owners)
+        .into_iter()
+        .take(10)
+        .map(|(o, c)| (o, c, 100.0 * c as f64 / active as f64))
+        .collect();
+    b
+}
+
+/// §4.2.3 language table: `(language code, count, share%)`, descending.
+pub fn language_table(store: &CrawlStore) -> Vec<(Lang, usize, f64)> {
+    let mut counts: HashMap<Lang, usize> = HashMap::new();
+    let mut total = 0usize;
+    for c in store.comments.values() {
+        *counts.entry(textkit::detect(&c.text)).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut rows: Vec<(Lang, usize, f64)> = counts
+        .into_iter()
+        .map(|(l, n)| (l, n, 100.0 * n as f64 / total.max(1) as f64))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::store::{CrawledComment, CrawledYoutube, ShadowLabel};
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn yt(kind: &str, available: bool, reason: Option<&str>, owner: Option<&str>, disabled: bool) -> CrawledYoutube {
+        CrawledYoutube {
+            url: "https://youtube.com/watch?v=x".into(),
+            kind: kind.into(),
+            available,
+            reason: reason.map(str::to_owned),
+            owner: owner.map(str::to_owned),
+            comments_disabled: disabled,
+        }
+    }
+
+    #[test]
+    fn breakdown_counts() {
+        let store = CrawlStore {
+            youtube: vec![
+            yt("video", true, None, Some("Fox News"), false),
+            yt("video", true, None, Some("Fox News"), true),
+            yt("video", false, Some("This video is private"), None, false),
+            yt("channel", true, None, Some("CNN"), false),
+            ],
+            ..CrawlStore::default()
+        };
+        let b = youtube_breakdown(&store);
+        assert_eq!(b.total, 4);
+        assert_eq!(b.active, 3);
+        assert_eq!(b.unavailable, 1);
+        assert_eq!(b.comments_disabled, 1);
+        assert_eq!(b.by_kind[0], ("video".to_string(), 3));
+        assert_eq!(b.reasons[0].0, "This video is private");
+        let fox = b.top_owners.iter().find(|(o, _, _)| o == "Fox News").unwrap();
+        assert_eq!(fox.1, 2);
+        assert!((fox.2 - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn languages_detected() {
+        let mut store = CrawlStore::default();
+        let mut cg = ObjectIdGen::new(EntityKind::Comment, 0);
+        let texts = [
+            "the truth about the media and the world right now",
+            "people always believe what they read about this country",
+            "die wahrheit \u{fc}ber die medien und die regierung in deutschland",
+        ];
+        for t in texts {
+            let id = cg.next(1);
+            store.comments.insert(
+                id,
+                CrawledComment {
+                    id,
+                    url_id: cg.next(1),
+                    author_id: cg.next(1),
+                    parent: None,
+                    text: t.into(),
+                    created_at: 1,
+                    label: ShadowLabel::Standard,
+                },
+            );
+        }
+        let rows = language_table(&store);
+        assert_eq!(rows[0].0, Lang::En);
+        assert_eq!(rows[0].1, 2);
+        assert!(rows.iter().any(|r| r.0 == Lang::De));
+        let total: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+}

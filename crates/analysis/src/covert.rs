@@ -1,0 +1,292 @@
+//! Covert-channel candidate detection — §6's future-work direction made
+//! concrete.
+//!
+//! "Any URL is a potential anchor for a Dissenter comment thread … The
+//! URL need not exist, can use any arbitrary scheme, and could be shared
+//! among users wishing to engage in a hidden conversation." The paper
+//! could not separate dead links from deliberately fictitious anchors;
+//! this module implements the signals it suggests, plus two it enables:
+//!
+//! * **non-web anchors** — browser-internal and `file:` URLs can never be
+//!   reached by other visitors, so conversation there has no "content"
+//!   being discussed;
+//! * **closed participant sets** — a thread where a small fixed group
+//!   exchanges many messages (high comments-per-author, few authors,
+//!   heavy reply chaining) looks like messaging, not commentary;
+//! * **shadow-only threads** — every comment NSFW/offensive-labeled:
+//!   invisible to all default viewers.
+
+use crate::url::ParsedUrl;
+use crawler::store::{CrawlStore, ShadowLabel};
+use ids::ObjectId;
+use std::collections::{HashMap, HashSet};
+
+/// Why a thread was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CovertSignal {
+    /// Anchor is a browser-internal or local-filesystem URL.
+    NonWebAnchor,
+    /// ≥ `min_messages` comments from ≤ `max_authors` authors with heavy
+    /// back-and-forth replying.
+    ClosedConversation,
+    /// Every comment on the thread is shadow-labeled.
+    ShadowOnly,
+}
+
+/// A flagged thread.
+#[derive(Debug, Clone)]
+pub struct CovertCandidate {
+    /// Thread id.
+    pub url_id: ObjectId,
+    /// The anchor URL.
+    pub url: String,
+    /// Triggered signals.
+    pub signals: Vec<CovertSignal>,
+    /// Comment count.
+    pub comments: usize,
+    /// Distinct authors.
+    pub authors: usize,
+    /// Fraction of comments that are replies.
+    pub reply_fraction: f64,
+}
+
+/// Detection thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct CovertConfig {
+    /// Minimum messages for the closed-conversation signal.
+    pub min_messages: usize,
+    /// Maximum participants for the closed-conversation signal.
+    pub max_authors: usize,
+    /// Minimum reply fraction for the closed-conversation signal.
+    pub min_reply_fraction: f64,
+}
+
+impl Default for CovertConfig {
+    fn default() -> Self {
+        Self { min_messages: 6, max_authors: 3, min_reply_fraction: 0.5 }
+    }
+}
+
+/// Scan a crawl for covert-channel candidates, most suspicious (most
+/// signals, then most comments) first.
+pub fn detect_covert_channels(store: &CrawlStore, cfg: CovertConfig) -> Vec<CovertCandidate> {
+    #[derive(Default)]
+    struct ThreadStats {
+        comments: usize,
+        replies: usize,
+        authors: HashSet<ObjectId>,
+        all_shadow: bool,
+        any: bool,
+    }
+    let mut stats: HashMap<ObjectId, ThreadStats> = HashMap::new();
+    for c in store.comments.values() {
+        let s = stats.entry(c.url_id).or_default();
+        if !s.any {
+            s.all_shadow = true;
+            s.any = true;
+        }
+        s.comments += 1;
+        if c.parent.is_some() {
+            s.replies += 1;
+        }
+        s.authors.insert(c.author_id);
+        if c.label == ShadowLabel::Standard {
+            s.all_shadow = false;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (url_id, url) in &store.urls {
+        let Some(s) = stats.get(url_id) else { continue };
+        let mut signals = Vec::new();
+        let non_web = match ParsedUrl::parse(&url.url) {
+            Some(p) => !matches!(p.scheme.as_str(), "http" | "https"),
+            None => true,
+        };
+        if non_web {
+            signals.push(CovertSignal::NonWebAnchor);
+        }
+        let reply_fraction = s.replies as f64 / s.comments.max(1) as f64;
+        if s.comments >= cfg.min_messages
+            && s.authors.len() <= cfg.max_authors
+            && s.authors.len() >= 2
+            && reply_fraction >= cfg.min_reply_fraction
+        {
+            signals.push(CovertSignal::ClosedConversation);
+        }
+        if s.all_shadow && s.comments >= 2 {
+            signals.push(CovertSignal::ShadowOnly);
+        }
+        if !signals.is_empty() {
+            out.push(CovertCandidate {
+                url_id: *url_id,
+                url: url.url.clone(),
+                signals,
+                comments: s.comments,
+                authors: s.authors.len(),
+                reply_fraction,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.signals
+            .len()
+            .cmp(&a.signals.len())
+            .then(b.comments.cmp(&a.comments))
+            .then(a.url.cmp(&b.url))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::store::{CrawledComment, CrawledUrl};
+    use ids::{EntityKind, ObjectIdGen};
+
+    struct Builder {
+        store: CrawlStore,
+        ug: ObjectIdGen,
+        cg: ObjectIdGen,
+        ag: ObjectIdGen,
+    }
+
+    impl Builder {
+        fn new() -> Self {
+            Self {
+                store: CrawlStore::default(),
+                ug: ObjectIdGen::new(EntityKind::CommentUrl, 1),
+                cg: ObjectIdGen::new(EntityKind::Comment, 2),
+                ag: ObjectIdGen::new(EntityKind::Author, 3),
+            }
+        }
+
+        fn thread(&mut self, url: &str) -> ObjectId {
+            let id = self.ug.next(10);
+            self.store.urls.insert(
+                id,
+                CrawledUrl {
+                    id,
+                    url: url.into(),
+                    title: String::new(),
+                    description: String::new(),
+                    upvotes: 0,
+                    downvotes: 0,
+                    declared_comment_count: 0,
+                },
+            );
+            id
+        }
+
+        fn author(&mut self) -> ObjectId {
+            self.ag.next(5)
+        }
+
+        fn comment(
+            &mut self,
+            url: ObjectId,
+            author: ObjectId,
+            parent: Option<ObjectId>,
+            label: ShadowLabel,
+        ) -> ObjectId {
+            let id = self.cg.next(20);
+            self.store.comments.insert(
+                id,
+                CrawledComment {
+                    id,
+                    url_id: url,
+                    author_id: author,
+                    parent,
+                    text: "msg".into(),
+                    created_at: 20,
+                    label,
+                },
+            );
+            id
+        }
+    }
+
+    #[test]
+    fn flags_non_web_anchor() {
+        let mut b = Builder::new();
+        let t = b.thread("chrome://secret/");
+        let a = b.author();
+        b.comment(t, a, None, ShadowLabel::Standard);
+        let found = detect_covert_channels(&b.store, CovertConfig::default());
+        assert_eq!(found.len(), 1);
+        assert!(found[0].signals.contains(&CovertSignal::NonWebAnchor));
+    }
+
+    #[test]
+    fn flags_closed_conversation() {
+        let mut b = Builder::new();
+        let t = b.thread("https://dead.example/page");
+        let (a1, a2) = (b.author(), b.author());
+        let mut prev = b.comment(t, a1, None, ShadowLabel::Standard);
+        for i in 0..7 {
+            let who = if i % 2 == 0 { a2 } else { a1 };
+            prev = b.comment(t, who, Some(prev), ShadowLabel::Standard);
+        }
+        let found = detect_covert_channels(&b.store, CovertConfig::default());
+        assert_eq!(found.len(), 1);
+        assert!(found[0].signals.contains(&CovertSignal::ClosedConversation));
+        assert!(found[0].reply_fraction > 0.8);
+    }
+
+    #[test]
+    fn flags_shadow_only_thread() {
+        let mut b = Builder::new();
+        let t = b.thread("https://x.example/");
+        let a = b.author();
+        b.comment(t, a, None, ShadowLabel::Nsfw);
+        b.comment(t, a, None, ShadowLabel::Both);
+        let found = detect_covert_channels(&b.store, CovertConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].signals, vec![CovertSignal::ShadowOnly]);
+    }
+
+    #[test]
+    fn normal_threads_not_flagged() {
+        let mut b = Builder::new();
+        let t = b.thread("https://news.example/story");
+        for _ in 0..10 {
+            let a = b.author();
+            b.comment(t, a, None, ShadowLabel::Standard);
+        }
+        assert!(detect_covert_channels(&b.store, CovertConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn multi_signal_threads_rank_first() {
+        let mut b = Builder::new();
+        // Covert messaging on a chrome:// anchor, shadow-labeled.
+        let t1 = b.thread("chrome://meet/");
+        let (a1, a2) = (b.author(), b.author());
+        let mut prev = b.comment(t1, a1, None, ShadowLabel::Nsfw);
+        for i in 0..6 {
+            let who = if i % 2 == 0 { a2 } else { a1 };
+            prev = b.comment(t1, who, Some(prev), ShadowLabel::Nsfw);
+        }
+        // Plain dead-scheme thread.
+        let t2 = b.thread("file:///C:/doc.txt");
+        let a = b.author();
+        b.comment(t2, a, None, ShadowLabel::Standard);
+        let found = detect_covert_channels(&b.store, CovertConfig::default());
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].url, "chrome://meet/");
+        assert_eq!(found[0].signals.len(), 3);
+    }
+
+    #[test]
+    fn single_author_monologue_is_not_closed_conversation() {
+        let mut b = Builder::new();
+        let t = b.thread("https://blog.example/");
+        let a = b.author();
+        let mut prev = b.comment(t, a, None, ShadowLabel::Standard);
+        for _ in 0..8 {
+            prev = b.comment(t, a, Some(prev), ShadowLabel::Standard);
+        }
+        let found = detect_covert_channels(&b.store, CovertConfig::default());
+        assert!(found.is_empty(), "one voice is a thread, not a channel");
+    }
+}

@@ -1,0 +1,151 @@
+//! Table 2: TLD and domain composition, plus per-domain comment-volume
+//! medians (§4.2.1).
+
+use crate::url::ParsedUrl;
+use std::collections::HashMap;
+
+/// A share table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareRow {
+    /// Key (TLD or domain).
+    pub key: String,
+    /// Absolute count.
+    pub count: usize,
+    /// Percentage of the total.
+    pub percent: f64,
+}
+
+/// Count/share table over arbitrary keys.
+pub fn share_table(keys: impl Iterator<Item = String>, top: usize) -> Vec<ShareRow> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut rows: Vec<ShareRow> = counts
+        .into_iter()
+        .map(|(key, count)| ShareRow { key, count, percent: 100.0 * count as f64 / total.max(1) as f64 })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+    rows.truncate(top);
+    rows
+}
+
+/// Table 2 (left half): top TLDs by URL share. Non-network schemes are
+/// grouped under their scheme name (`file:`, `chrome:`).
+pub fn tld_table<'a>(urls: impl Iterator<Item = &'a str>, top: usize) -> Vec<ShareRow> {
+    share_table(
+        urls.filter_map(|u| {
+            let p = ParsedUrl::parse(u)?;
+            Some(if p.host.is_empty() || !matches!(p.scheme.as_str(), "http" | "https") {
+                format!("{}:", p.scheme)
+            } else {
+                format!(".{}", p.tld())
+            })
+        }),
+        top,
+    )
+}
+
+/// Table 2 (right half): top registrable domains by URL share.
+pub fn domain_table<'a>(urls: impl Iterator<Item = &'a str>, top: usize) -> Vec<ShareRow> {
+    share_table(
+        urls.filter_map(|u| {
+            let p = ParsedUrl::parse(u)?;
+            (!p.host.is_empty()).then(|| p.domain())
+        }),
+        top,
+    )
+}
+
+/// Per-domain comment volume: `(domain, urls, median_comments_per_url)`,
+/// ranked by median descending — the paper's observation that fringe
+/// domains top this ranking while YouTube's median is 1.
+pub fn domain_comment_medians<'a>(
+    url_comments: impl Iterator<Item = (&'a str, usize)>,
+    min_urls: usize,
+) -> Vec<(String, usize, f64)> {
+    let mut per_domain: HashMap<String, Vec<usize>> = HashMap::new();
+    for (url, n) in url_comments {
+        if let Some(p) = ParsedUrl::parse(url) {
+            if !p.host.is_empty() {
+                per_domain.entry(p.domain()).or_default().push(n);
+            }
+        }
+    }
+    let mut rows: Vec<(String, usize, f64)> = per_domain
+        .into_iter()
+        .filter(|(_, v)| v.len() >= min_urls)
+        .map(|(d, mut v)| {
+            v.sort_unstable();
+            let median = if v.len() % 2 == 1 {
+                v[v.len() / 2] as f64
+            } else {
+                (v[v.len() / 2 - 1] + v[v.len() / 2]) as f64 / 2.0
+            };
+            (d, v.len(), median)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite medians").then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_shares() {
+        let urls = [
+            "https://a.com/1",
+            "https://b.com/2",
+            "https://c.co.uk/3",
+            "file:///C:/x",
+        ];
+        let t = tld_table(urls.iter().copied(), 10);
+        assert_eq!(t[0].key, ".com");
+        assert_eq!(t[0].count, 2);
+        assert!((t[0].percent - 50.0).abs() < 1e-9);
+        assert!(t.iter().any(|r| r.key == ".uk"));
+        assert!(t.iter().any(|r| r.key == "file:"));
+    }
+
+    #[test]
+    fn domain_shares_merge_youtube_hosts() {
+        let urls = ["https://www.youtube.com/watch?v=1", "https://m.youtube.com/watch?v=2"];
+        let t = domain_table(urls.iter().copied(), 5);
+        assert_eq!(t[0].key, "youtube.com");
+        assert_eq!(t[0].count, 2);
+    }
+
+    #[test]
+    fn medians_rank_fringe_first() {
+        let data = [
+            ("https://youtube.com/watch?v=1", 1),
+            ("https://youtube.com/watch?v=2", 1),
+            ("https://youtube.com/watch?v=3", 3),
+            ("https://thewatcherfiles.com/x", 116),
+        ];
+        let rows = domain_comment_medians(data.iter().map(|&(u, n)| (u, n)), 1);
+        assert_eq!(rows[0].0, "thewatcherfiles.com");
+        assert_eq!(rows[0].2, 116.0);
+        let yt = rows.iter().find(|r| r.0 == "youtube.com").unwrap();
+        assert_eq!(yt.2, 1.0, "even-length median of [1,1,3]? no — odd: 1");
+    }
+
+    #[test]
+    fn median_even_length() {
+        let data = [("https://a.com/1", 2), ("https://a.com/2", 4)];
+        let rows = domain_comment_medians(data.iter().map(|&(u, n)| (u, n)), 1);
+        assert_eq!(rows[0].2, 3.0);
+    }
+
+    #[test]
+    fn min_urls_filter() {
+        let data = [("https://only-one.com/x", 50), ("https://big.com/1", 1), ("https://big.com/2", 1)];
+        let rows = domain_comment_medians(data.iter().map(|&(u, n)| (u, n)), 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "big.com");
+    }
+}

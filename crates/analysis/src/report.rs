@@ -1,0 +1,236 @@
+//! The assembled study report: every §4 table and figure from one crawl.
+
+use crate::content::{language_table, youtube_breakdown, YoutubeBreakdown};
+use crate::domains::{domain_comment_medians, domain_table, tld_table, ShareRow};
+use crate::social::{analyze_social, SocialAnalysis};
+use crate::toxicity::{
+    figure4, figure7_dataset, figure8, score_store, score_texts, CommentScores, Figure4,
+    Figure7Dataset, Figure8,
+};
+use crate::url::{census, UrlCensus};
+use crate::users::{
+    activity_concentration, gab_growth, ghost_users, joined_by, table1, ActivityConcentration,
+    FlagRow, GabGrowth,
+};
+use crate::votes::{figure5, Figure5};
+use crawler::store::CrawlStore;
+use graph::CoreCriteria;
+use ids::ObjectId;
+use platform::BaselineCorpus;
+use std::collections::HashMap;
+use textkit::langid::Lang;
+
+/// Headline counts (§1, §4.1.1).
+#[derive(Debug, Clone, Default)]
+pub struct Overview {
+    /// Gab accounts enumerated.
+    pub gab_accounts: usize,
+    /// Dissenter accounts found by the probe.
+    pub dissenter_users: usize,
+    /// Users discovered only through comments (deleted Gab accounts).
+    pub ghost_users: usize,
+    /// Users with ≥1 comment.
+    pub active_users: usize,
+    /// Total comments and replies.
+    pub comments: usize,
+    /// Distinct commented URLs.
+    pub urls: usize,
+    /// NSFW-labeled comments.
+    pub nsfw_comments: usize,
+    /// "Offensive"-labeled comments.
+    pub offensive_comments: usize,
+    /// Fraction of users joined by March 2019.
+    pub joined_by_march_2019: f64,
+    /// Shadow-label validation (sampled, confirmed).
+    pub shadow_validation: (usize, usize),
+}
+
+/// Figure 6: Dissenter-vs-Reddit comment ratios.
+#[derive(Debug, Clone, Default)]
+pub struct CommentRatio {
+    /// Ratio `d/(d+r)` per user with activity on either platform.
+    pub ratios: Vec<f64>,
+    /// Usernames matched on Reddit.
+    pub matched_usernames: usize,
+    /// Users active on at least one platform (the Fig. 6 population).
+    pub active_either: usize,
+    /// Fraction posting only on Dissenter (ratio = 1).
+    pub dissenter_only: f64,
+    /// Fraction posting only on Reddit (ratio = 0).
+    pub reddit_only: f64,
+}
+
+/// Table 3 row.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Dataset name.
+    pub name: String,
+    /// Declared comment count (full corpus size).
+    pub declared_comments: u64,
+    /// Comments actually scored (subsampled corpus).
+    pub scored_comments: usize,
+    /// Dissenter users represented (Reddit only).
+    pub dissenter_users: Option<usize>,
+}
+
+/// Everything §4 reports.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Headline counts.
+    pub overview: Overview,
+    /// Fig. 2.
+    pub gab_growth: GabGrowth,
+    /// Fig. 3.
+    pub activity: ActivityConcentration,
+    /// Table 1 (population size, rows).
+    pub table1: (usize, Vec<FlagRow>),
+    /// Table 2 left half.
+    pub tlds: Vec<ShareRow>,
+    /// Table 2 right half.
+    pub domains: Vec<ShareRow>,
+    /// Per-domain comment-volume medians (top rows).
+    pub domain_medians: Vec<(String, usize, f64)>,
+    /// §4.2.1 URL anomaly census.
+    pub url_census: UrlCensus,
+    /// §4.2.2.
+    pub youtube: YoutubeBreakdown,
+    /// §4.2.3 language table.
+    pub languages: Vec<(Lang, usize, f64)>,
+    /// Fig. 4.
+    pub figure4: Figure4,
+    /// Fig. 5.
+    pub figure5: Figure5,
+    /// Fig. 6.
+    pub comment_ratio: CommentRatio,
+    /// Table 3.
+    pub table3: Vec<BaselineRow>,
+    /// Fig. 7 datasets (Dissenter, Reddit, NY Times, Daily Mail).
+    pub figure7: Vec<Figure7Dataset>,
+    /// Fig. 8.
+    pub figure8: Figure8,
+    /// §4.5.
+    pub social: SocialAnalysis,
+    /// Per-comment scores (kept for downstream consumers, e.g. the SVM
+    /// application pass and ablation benches).
+    pub scores: HashMap<ObjectId, CommentScores>,
+}
+
+/// Build the full report from a crawl plus the Table-3 baseline corpora.
+///
+/// `declared_reddit_total` lets the caller report Table 3's full Reddit
+/// corpus size (the crawl materializes capped per-user histories).
+pub fn build_report(
+    store: &CrawlStore,
+    baselines: &[BaselineCorpus],
+    workers: usize,
+) -> StudyReport {
+    let scores = score_store(store, workers);
+
+    let ghosts = ghost_users(store);
+    let overview = Overview {
+        gab_accounts: store.gab_accounts.len(),
+        dissenter_users: store.dissenter_usernames.len() + ghosts.len(),
+        ghost_users: ghosts.len(),
+        active_users: store.comments_by_author().len(),
+        comments: store.comments.len(),
+        urls: store.urls.len(),
+        nsfw_comments: store.nsfw_comments().count(),
+        offensive_comments: store.offensive_comments().count(),
+        joined_by_march_2019: joined_by(store, 2019, 3),
+        shadow_validation: store.shadow_validation,
+    };
+
+    let url_strings: Vec<&str> = store.urls.values().map(|u| u.url.as_str()).collect();
+    let url_comment_counts: Vec<(&str, usize)> = store
+        .urls
+        .values()
+        .map(|u| (u.url.as_str(), u.declared_comment_count))
+        .collect();
+
+    // Fig. 6 / Table 3 Reddit side.
+    let dissenter_counts = crate::users::comment_counts(store);
+    let mut ratios = Vec::new();
+    let mut active_either = 0usize;
+    for (name, m) in &store.reddit {
+        let d = dissenter_counts.get(name).copied().unwrap_or(0) as f64;
+        let r = m.total_comments as f64;
+        if d + r > 0.0 {
+            active_either += 1;
+            ratios.push(d / (d + r));
+        }
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let comment_ratio = CommentRatio {
+        matched_usernames: store.reddit.len(),
+        active_either,
+        dissenter_only: ratios.iter().filter(|&&r| r >= 1.0).count() as f64
+            / ratios.len().max(1) as f64,
+        reddit_only: ratios.iter().filter(|&&r| r <= 0.0).count() as f64
+            / ratios.len().max(1) as f64,
+        ratios,
+    };
+
+    // Fig. 7: Dissenter + Reddit (crawled texts) + the two baselines.
+    let dissenter_scores: Vec<classify::PerspectiveScores> =
+        scores.values().map(|s| s.perspective).collect();
+    let mut figure7 = vec![figure7_dataset("Dissenter", &dissenter_scores)];
+    let reddit_texts: Vec<&str> = store
+        .reddit
+        .values()
+        .flat_map(|m| m.comments.iter().map(String::as_str))
+        .collect();
+    let reddit_scored: Vec<classify::PerspectiveScores> =
+        score_texts(&reddit_texts, workers).iter().map(|s| s.perspective).collect();
+    figure7.push(figure7_dataset("Reddit", &reddit_scored));
+    let mut table3 = vec![BaselineRow {
+        name: "Reddit".into(),
+        declared_comments: store.reddit.values().map(|m| m.total_comments).sum(),
+        scored_comments: reddit_texts.len(),
+        dissenter_users: Some(
+            store.reddit.values().filter(|m| m.total_comments > 0).count(),
+        ),
+    }];
+    for corpus in baselines {
+        let texts: Vec<&str> = corpus.comments.iter().map(String::as_str).collect();
+        let scored: Vec<classify::PerspectiveScores> =
+            score_texts(&texts, workers).iter().map(|s| s.perspective).collect();
+        figure7.push(figure7_dataset(&corpus.name, &scored));
+        table3.push(BaselineRow {
+            name: corpus.name.clone(),
+            declared_comments: corpus.comments.len() as u64,
+            scored_comments: corpus.comments.len(),
+            dissenter_users: None,
+        });
+    }
+
+    StudyReport {
+        overview,
+        gab_growth: gab_growth(store),
+        activity: activity_concentration(store),
+        table1: table1(store),
+        tlds: tld_table(url_strings.iter().copied(), 12),
+        domains: domain_table(url_strings.iter().copied(), 12),
+        domain_medians: domain_comment_medians(url_comment_counts.iter().copied(), 1)
+            .into_iter()
+            .take(12)
+            .collect(),
+        url_census: census(url_strings.iter().copied()),
+        youtube: youtube_breakdown(store),
+        languages: language_table(store),
+        figure4: figure4(store, &scores),
+        figure5: figure5(store, &scores),
+        comment_ratio,
+        table3,
+        figure7,
+        figure8: figure8(store, &scores),
+        social: analyze_social(store, &scores, CoreCriteria::default()),
+        scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // `build_report` is exercised end-to-end by the workspace integration
+    // tests (tests/full_study.rs) against a crawled world; unit coverage
+    // for each section lives in the sibling modules.
+}

@@ -1,0 +1,254 @@
+//! §§4.3–4.4 — toxicity scoring and distribution comparisons.
+//!
+//! All comments (Dissenter + baselines) are scored with the full §3.5
+//! stack: the hate dictionary, the four Perspective-style models, and —
+//! via [`crate::report`] — the SVM class probabilities. This module owns
+//! the scoring pass and the Figure 4 / 7 / 8 aggregations.
+
+use crate::allsides::{bias_of_domain, Bias};
+use crate::url::ParsedUrl;
+use classify::{HateDictionary, PerspectiveModel, PerspectiveScores};
+use crawler::store::{CrawlStore, ShadowLabel};
+use ids::ObjectId;
+use stats::{ks_two_sample, Ecdf, KsResult};
+use std::collections::HashMap;
+
+/// Scores for one comment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommentScores {
+    /// Perspective-style model outputs.
+    pub perspective: PerspectiveScores,
+    /// Dictionary hate ratio.
+    pub dictionary: f64,
+}
+
+/// Score a batch of texts in parallel (chunked threads).
+pub fn score_texts(texts: &[&str], workers: usize) -> Vec<CommentScores> {
+    let workers = workers.max(1);
+    let chunk = texts.len().div_ceil(workers).max(1);
+    let mut out: Vec<Vec<CommentScores>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = texts
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let model = PerspectiveModel::standard();
+                    let dict = HateDictionary::standard();
+                    chunk
+                        .iter()
+                        .map(|t| CommentScores {
+                            perspective: model.score(t),
+                            dictionary: dict.score(t),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("scoring thread"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// All Dissenter comments scored, keyed by comment-id.
+pub fn score_store(store: &CrawlStore, workers: usize) -> HashMap<ObjectId, CommentScores> {
+    let items: Vec<(&ObjectId, &str)> =
+        store.comments.iter().map(|(id, c)| (id, c.text.as_str())).collect();
+    let texts: Vec<&str> = items.iter().map(|(_, t)| *t).collect();
+    let scores = score_texts(&texts, workers);
+    items.iter().map(|(id, _)| **id).zip(scores).collect()
+}
+
+/// One Figure-4 style dataset: ECDFs of the three §4.3.1 models for a
+/// comment subset.
+#[derive(Debug, Clone)]
+pub struct ShadowCdfs {
+    /// LIKELY_TO_REJECT ECDF.
+    pub likely_to_reject: Ecdf,
+    /// OBSCENE ECDF.
+    pub obscene: Ecdf,
+    /// SEVERE_TOXICITY ECDF.
+    pub severe_toxicity: Ecdf,
+    /// Sample size.
+    pub n: usize,
+}
+
+fn cdfs_for(scores: &[PerspectiveScores]) -> ShadowCdfs {
+    ShadowCdfs {
+        likely_to_reject: Ecdf::new(&scores.iter().map(|s| s.likely_to_reject).collect::<Vec<_>>()),
+        obscene: Ecdf::new(&scores.iter().map(|s| s.obscene).collect::<Vec<_>>()),
+        severe_toxicity: Ecdf::new(&scores.iter().map(|s| s.severe_toxicity).collect::<Vec<_>>()),
+        n: scores.len(),
+    }
+}
+
+/// Figure 4: All vs NSFW-only vs Offensive-only.
+#[derive(Debug, Clone)]
+pub struct Figure4 {
+    /// All comments.
+    pub all: ShadowCdfs,
+    /// NSFW-labeled comments.
+    pub nsfw: ShadowCdfs,
+    /// Offensive-labeled comments.
+    pub offensive: ShadowCdfs,
+}
+
+/// Compute Figure 4 from pre-computed scores.
+pub fn figure4(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) -> Figure4 {
+    let mut all = Vec::new();
+    let mut nsfw = Vec::new();
+    let mut off = Vec::new();
+    for c in store.comments.values() {
+        let Some(s) = scores.get(&c.id) else { continue };
+        all.push(s.perspective);
+        match c.label {
+            ShadowLabel::Nsfw => nsfw.push(s.perspective),
+            ShadowLabel::Offensive => off.push(s.perspective),
+            ShadowLabel::Both => {
+                nsfw.push(s.perspective);
+                off.push(s.perspective);
+            }
+            ShadowLabel::Standard => {}
+        }
+    }
+    Figure4 { all: cdfs_for(&all), nsfw: cdfs_for(&nsfw), offensive: cdfs_for(&off) }
+}
+
+/// Figure 7: the four-dataset comparison. Datasets are scored score
+/// vectors for each model.
+#[derive(Debug, Clone)]
+pub struct Figure7Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// LIKELY_TO_REJECT ECDF.
+    pub likely_to_reject: Ecdf,
+    /// SEVERE_TOXICITY ECDF.
+    pub severe_toxicity: Ecdf,
+    /// ATTACK_ON_AUTHOR ECDF.
+    pub attack_on_author: Ecdf,
+    /// Comments scored.
+    pub n: usize,
+}
+
+/// Build one Figure-7 dataset from raw scores.
+pub fn figure7_dataset(name: &str, scores: &[PerspectiveScores]) -> Figure7Dataset {
+    Figure7Dataset {
+        name: name.to_owned(),
+        likely_to_reject: Ecdf::new(&scores.iter().map(|s| s.likely_to_reject).collect::<Vec<_>>()),
+        severe_toxicity: Ecdf::new(&scores.iter().map(|s| s.severe_toxicity).collect::<Vec<_>>()),
+        attack_on_author: Ecdf::new(&scores.iter().map(|s| s.attack_on_author).collect::<Vec<_>>()),
+        n: scores.len(),
+    }
+}
+
+/// Figure 8: Dissenter scores conditioned on the URL's Allsides bias.
+#[derive(Debug, Clone)]
+pub struct Figure8 {
+    /// Per-bias SEVERE_TOXICITY summaries (Fig. 8a's boxes).
+    pub severe_by_bias: Vec<(Bias, stats::Describe)>,
+    /// Per-bias ATTACK_ON_AUTHOR ECDFs (Fig. 8b).
+    pub attack_by_bias: Vec<(Bias, Ecdf)>,
+    /// Pairwise KS tests on SEVERE_TOXICITY across ranked biases.
+    pub ks_severe: Vec<(Bias, Bias, KsResult)>,
+    /// Comments on unranked URLs.
+    pub unranked_comments: usize,
+    /// Comments on ranked URLs.
+    pub ranked_comments: usize,
+}
+
+/// Compute Figure 8 from pre-computed scores.
+pub fn figure8(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) -> Figure8 {
+    // URL id → bias.
+    let bias_of_url: HashMap<ObjectId, Bias> = store
+        .urls
+        .iter()
+        .map(|(&id, u)| {
+            let bias = ParsedUrl::parse(&u.url)
+                .filter(|p| !p.host.is_empty())
+                .map(|p| bias_of_domain(&p.domain()))
+                .unwrap_or(Bias::NotRanked);
+            (id, bias)
+        })
+        .collect();
+    let mut severe: HashMap<Bias, Vec<f64>> = HashMap::new();
+    let mut attack: HashMap<Bias, Vec<f64>> = HashMap::new();
+    let mut unranked = 0usize;
+    let mut ranked = 0usize;
+    for c in store.comments.values() {
+        let Some(s) = scores.get(&c.id) else { continue };
+        let bias = bias_of_url.get(&c.url_id).copied().unwrap_or(Bias::NotRanked);
+        if bias == Bias::NotRanked {
+            unranked += 1;
+        } else {
+            ranked += 1;
+        }
+        severe.entry(bias).or_default().push(s.perspective.severe_toxicity);
+        attack.entry(bias).or_default().push(s.perspective.attack_on_author);
+    }
+    let severe_by_bias: Vec<(Bias, stats::Describe)> = Bias::ALL
+        .iter()
+        .filter_map(|&b| severe.get(&b).map(|v| (b, stats::Describe::of(v))))
+        .collect();
+    let attack_by_bias: Vec<(Bias, Ecdf)> = Bias::ALL
+        .iter()
+        .filter_map(|&b| attack.get(&b).map(|v| (b, Ecdf::new(v))))
+        .collect();
+    let ranked_biases: Vec<Bias> = Bias::ALL.into_iter().filter(|&b| b != Bias::NotRanked).collect();
+    let mut ks_severe = Vec::new();
+    for (i, &a) in ranked_biases.iter().enumerate() {
+        for &b in &ranked_biases[i + 1..] {
+            if let (Some(va), Some(vb)) = (severe.get(&a), severe.get(&b)) {
+                if !va.is_empty() && !vb.is_empty() {
+                    ks_severe.push((a, b, ks_two_sample(va, vb)));
+                }
+            }
+        }
+    }
+    Figure8 {
+        severe_by_bias,
+        attack_by_bias,
+        ks_severe,
+        unranked_comments: unranked,
+        ranked_comments: ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_texts_parallel_matches_serial() {
+        let texts: Vec<String> = (0..100)
+            .map(|i| format!("comment number {i} about the news and the media today"))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let par = score_texts(&refs, 4);
+        let ser = score_texts(&refs, 1);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.perspective.severe_toxicity, b.perspective.severe_toxicity);
+            assert_eq!(a.dictionary, b.dictionary);
+        }
+    }
+
+    #[test]
+    fn figure7_dataset_shapes() {
+        let scores = vec![
+            PerspectiveScores { severe_toxicity: 0.1, likely_to_reject: 0.2, obscene: 0.0, attack_on_author: 0.0 },
+            PerspectiveScores { severe_toxicity: 0.9, likely_to_reject: 0.95, obscene: 0.1, attack_on_author: 0.2 },
+        ];
+        let d = figure7_dataset("Test", &scores);
+        assert_eq!(d.n, 2);
+        assert_eq!(d.severe_toxicity.eval(0.5), 0.5);
+        assert_eq!(d.likely_to_reject.eval(0.99), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(score_texts(&[], 4).is_empty());
+        let d = figure7_dataset("Empty", &[]);
+        assert_eq!(d.n, 0);
+    }
+}

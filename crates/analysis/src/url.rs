@@ -1,0 +1,219 @@
+//! URL parsing and the §4.2.1 over-counting census.
+//!
+//! Dissenter keys threads on *exact* URL strings, so `http://` vs
+//! `https://`, trailing slashes, and GET-parameter permutations all mint
+//! separate commenturl-ids. The paper quantifies each anomaly; this module
+//! reproduces that accounting.
+
+use std::collections::{HashMap, HashSet};
+
+/// A minimally-parsed URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedUrl {
+    /// Scheme (lowercased), e.g. `https`, `http`, `file`, `chrome`.
+    pub scheme: String,
+    /// Host, lowercased, `www.` stripped (empty for non-network schemes).
+    pub host: String,
+    /// Path (including leading slash; empty if none).
+    pub path: String,
+    /// Query string without the `?` (empty if none).
+    pub query: String,
+}
+
+impl ParsedUrl {
+    /// Parse; returns `None` for strings without a `scheme:` prefix.
+    pub fn parse(url: &str) -> Option<ParsedUrl> {
+        let (scheme, rest) = url.split_once(':')?;
+        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+') {
+            return None;
+        }
+        let scheme = scheme.to_ascii_lowercase();
+        let rest = rest.strip_prefix("//").unwrap_or(rest);
+        let (host_path, query) = match rest.split_once('?') {
+            Some((hp, q)) => (hp, q.to_owned()),
+            None => (rest, String::new()),
+        };
+        let (host, path) = match host_path.find('/') {
+            Some(i) => (&host_path[..i], host_path[i..].to_owned()),
+            None => (host_path, String::new()),
+        };
+        let host = host.to_ascii_lowercase();
+        let host = host.strip_prefix("www.").unwrap_or(&host).to_owned();
+        Some(ParsedUrl { scheme, host, path, query })
+    }
+
+    /// The registrable domain: last two labels, or last three when the
+    /// second-to-last is a common second-level registry label (`co.uk`,
+    /// `com.au`, …).
+    pub fn domain(&self) -> String {
+        let labels: Vec<&str> = self.host.split('.').filter(|l| !l.is_empty()).collect();
+        if labels.len() <= 2 {
+            return self.host.clone();
+        }
+        let second = labels[labels.len() - 2];
+        let take = if matches!(second, "co" | "com" | "org" | "net" | "ac" | "gov") { 3 } else { 2 };
+        labels[labels.len().saturating_sub(take)..].join(".")
+    }
+
+    /// The top-level domain (last label), empty for non-network schemes.
+    pub fn tld(&self) -> String {
+        self.host.rsplit('.').next().unwrap_or("").to_owned()
+    }
+}
+
+/// §4.2.1 anomaly counts over a URL population.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UrlCensus {
+    /// Total URLs examined.
+    pub total: usize,
+    /// Count by scheme.
+    pub by_scheme: Vec<(String, usize)>,
+    /// URL pairs differing only in the scheme (http/https).
+    pub protocol_dup_pairs: usize,
+    /// URL pairs differing only by a trailing slash.
+    pub trailing_slash_pairs: usize,
+    /// URLs carrying more than one GET parameter (the over-counting
+    /// mechanism: only the first key-value pair usually determines
+    /// content).
+    pub multi_param_urls: usize,
+    /// `file:` URLs (local-filesystem leaks).
+    pub file_urls: usize,
+    /// Browser-internal URLs (`chrome:`, `about:`, …).
+    pub browser_urls: usize,
+}
+
+/// Run the census.
+pub fn census<'a>(urls: impl Iterator<Item = &'a str>) -> UrlCensus {
+    let all: Vec<&str> = urls.collect();
+    let mut by_scheme: HashMap<String, usize> = HashMap::new();
+    let mut c = UrlCensus { total: all.len(), ..Default::default() };
+    let set: HashSet<&str> = all.iter().copied().collect();
+    let mut protocol_pairs = 0usize;
+    let mut slash_pairs = 0usize;
+    for &u in &all {
+        let Some(p) = ParsedUrl::parse(u) else { continue };
+        *by_scheme.entry(p.scheme.clone()).or_insert(0) += 1;
+        match p.scheme.as_str() {
+            "file" => c.file_urls += 1,
+            "chrome" | "about" | "edge" | "brave" => c.browser_urls += 1,
+            _ => {}
+        }
+        if p.query.contains('&') {
+            c.multi_param_urls += 1;
+        }
+        // Count each pair once from the http side.
+        if let Some(rest) = u.strip_prefix("http://") {
+            if set.contains(format!("https://{rest}").as_str()) {
+                protocol_pairs += 1;
+            }
+        }
+        // Count each slash pair once from the slashless side.
+        if !u.ends_with('/') && set.contains(format!("{u}/").as_str()) {
+            slash_pairs += 1;
+        }
+    }
+    c.protocol_dup_pairs = protocol_pairs;
+    c.trailing_slash_pairs = slash_pairs;
+    let mut schemes: Vec<(String, usize)> = by_scheme.into_iter().collect();
+    schemes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    c.by_scheme = schemes;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basics() {
+        let p = ParsedUrl::parse("https://www.Example.COM/a/b?x=1&y=2").unwrap();
+        assert_eq!(p.scheme, "https");
+        assert_eq!(p.host, "example.com");
+        assert_eq!(p.path, "/a/b");
+        assert_eq!(p.query, "x=1&y=2");
+        assert_eq!(p.domain(), "example.com");
+        assert_eq!(p.tld(), "com");
+    }
+
+    #[test]
+    fn parse_special_schemes() {
+        let f = ParsedUrl::parse("file:///C:/Users/x/doc.pdf").unwrap();
+        assert_eq!(f.scheme, "file");
+        assert_eq!(f.host, "");
+        let c = ParsedUrl::parse("chrome://startpage/").unwrap();
+        assert_eq!(c.scheme, "chrome");
+        assert_eq!(c.host, "startpage");
+    }
+
+    #[test]
+    fn parse_rejects_schemeless() {
+        assert!(ParsedUrl::parse("no-scheme-here").is_none());
+        assert!(ParsedUrl::parse("").is_none());
+    }
+
+    #[test]
+    fn co_uk_domains() {
+        let p = ParsedUrl::parse("https://www.dailymail.co.uk/news/article-1.html").unwrap();
+        assert_eq!(p.domain(), "dailymail.co.uk");
+        assert_eq!(p.tld(), "uk");
+        let b = ParsedUrl::parse("https://news.bbc.co.uk/x").unwrap();
+        assert_eq!(b.domain(), "bbc.co.uk");
+    }
+
+    #[test]
+    fn subdomains_collapse() {
+        let p = ParsedUrl::parse("https://m.youtube.com/watch?v=1").unwrap();
+        assert_eq!(p.domain(), "youtube.com");
+    }
+
+    #[test]
+    fn census_counts_anomalies() {
+        let urls = [
+            "https://a.example/x",
+            "http://a.example/x", // protocol pair
+            "https://b.example/y",
+            "https://b.example/y/", // slash pair
+            "https://c.example/z?a=1&b=2&c=3",
+            "file:///C:/doc.txt",
+            "chrome://startpage/",
+        ];
+        let c = census(urls.iter().copied());
+        assert_eq!(c.total, 7);
+        assert_eq!(c.protocol_dup_pairs, 1);
+        assert_eq!(c.trailing_slash_pairs, 1);
+        assert_eq!(c.multi_param_urls, 1);
+        assert_eq!(c.file_urls, 1);
+        assert_eq!(c.browser_urls, 1);
+        let https = c.by_scheme.iter().find(|(s, _)| s == "https").unwrap().1;
+        assert_eq!(https, 4);
+    }
+
+    #[test]
+    fn census_empty() {
+        let c = census(std::iter::empty());
+        assert_eq!(c.total, 0);
+        assert!(c.by_scheme.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod scheme_case_tests {
+    use super::*;
+
+    #[test]
+    fn uppercase_scheme_and_host_normalize() {
+        let p = ParsedUrl::parse("HTTPS://WWW.YouTube.COM/Watch?V=1").unwrap();
+        assert_eq!(p.scheme, "https");
+        assert_eq!(p.host, "youtube.com");
+        // Path case is preserved (URLs are case-sensitive past the host).
+        assert_eq!(p.path, "/Watch");
+    }
+
+    #[test]
+    fn census_counts_mixed_case_https() {
+        let urls = ["HTTPS://a.example/x", "https://b.example/y"];
+        let c = census(urls.iter().copied());
+        let https = c.by_scheme.iter().find(|(s, _)| s == "https").unwrap().1;
+        assert_eq!(https, 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Figure 5 — SEVERE_TOXICITY against per-URL net vote score (§4.3.2).
+
+use crate::toxicity::CommentScores;
+use crawler::store::CrawlStore;
+use ids::ObjectId;
+use std::collections::HashMap;
+
+/// One URL's point in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VotePoint {
+    /// Net vote score (up − down).
+    pub net_votes: i64,
+    /// Mean SEVERE_TOXICITY of its comments.
+    pub mean_severe: f64,
+    /// Median SEVERE_TOXICITY of its comments.
+    pub median_severe: f64,
+    /// Comment count.
+    pub comments: usize,
+}
+
+/// Figure-5 aggregates.
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// All URL points.
+    pub points: Vec<VotePoint>,
+    /// URLs with positive / zero / negative net scores.
+    pub positive: usize,
+    /// Zero-net URLs.
+    pub zero: usize,
+    /// Negative-net URLs.
+    pub negative: usize,
+    /// Fraction of URLs with |net| < 10.
+    pub within_ten: f64,
+    /// Mean toxicity of zero-vote URLs vs voted URLs.
+    pub mean_severe_zero: f64,
+    /// Mean severity over URLs with |net| ≥ 3.
+    pub mean_severe_voted: f64,
+    /// Mean severity over negative-net URLs.
+    pub mean_severe_negative: f64,
+    /// Mean severity over positive-net URLs.
+    pub mean_severe_positive: f64,
+}
+
+/// Compute Figure 5 from crawl output and comment scores.
+pub fn figure5(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) -> Figure5 {
+    // Group comment severities per URL.
+    let mut per_url: HashMap<ObjectId, Vec<f64>> = HashMap::new();
+    for c in store.comments.values() {
+        if let Some(s) = scores.get(&c.id) {
+            per_url.entry(c.url_id).or_default().push(s.perspective.severe_toxicity);
+        }
+    }
+    let mut points = Vec::with_capacity(store.urls.len());
+    for (id, u) in &store.urls {
+        let Some(sev) = per_url.get(id) else { continue };
+        let mean = stats::mean(sev).unwrap_or(0.0);
+        let median = stats::median(sev).unwrap_or(0.0);
+        points.push(VotePoint {
+            net_votes: u.upvotes as i64 - u.downvotes as i64,
+            mean_severe: mean,
+            median_severe: median,
+            comments: sev.len(),
+        });
+    }
+    points.sort_by_key(|p| p.net_votes);
+    let positive = points.iter().filter(|p| p.net_votes > 0).count();
+    let zero = points.iter().filter(|p| p.net_votes == 0).count();
+    let negative = points.iter().filter(|p| p.net_votes < 0).count();
+    let within_ten = points.iter().filter(|p| p.net_votes.abs() < 10).count() as f64
+        / points.len().max(1) as f64;
+    let mean_of = |filter: &dyn Fn(&VotePoint) -> bool| {
+        let xs: Vec<f64> = points.iter().filter(|p| filter(p)).map(|p| p.mean_severe).collect();
+        stats::mean(&xs).unwrap_or(0.0)
+    };
+    Figure5 {
+        positive,
+        zero,
+        negative,
+        within_ten,
+        mean_severe_zero: mean_of(&|p| p.net_votes == 0),
+        mean_severe_voted: mean_of(&|p| p.net_votes.abs() >= 3),
+        mean_severe_negative: mean_of(&|p| p.net_votes < 0),
+        mean_severe_positive: mean_of(&|p| p.net_votes > 0),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toxicity::CommentScores;
+    use classify::PerspectiveScores;
+    use crawler::store::{CrawledComment, CrawledUrl, ShadowLabel};
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn add_url(
+        store: &mut CrawlStore,
+        scores: &mut HashMap<ObjectId, CommentScores>,
+        gen_u: &mut ObjectIdGen,
+        gen_c: &mut ObjectIdGen,
+        up: u32,
+        down: u32,
+        severities: &[f64],
+    ) {
+        let id = gen_u.next(1);
+        store.urls.insert(
+            id,
+            CrawledUrl {
+                id,
+                url: format!("https://x.example/{id}"),
+                title: String::new(),
+                description: String::new(),
+                upvotes: up,
+                downvotes: down,
+                declared_comment_count: severities.len(),
+            },
+        );
+        for &s in severities {
+            let cid = gen_c.next(2);
+            store.comments.insert(
+                cid,
+                CrawledComment {
+                    id: cid,
+                    url_id: id,
+                    author_id: gen_c.next(3),
+                    parent: None,
+                    text: String::new(),
+                    created_at: 2,
+                    label: ShadowLabel::Standard,
+                },
+            );
+            scores.insert(
+                cid,
+                CommentScores {
+                    perspective: PerspectiveScores { severe_toxicity: s, ..Default::default() },
+                    dictionary: 0.0,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vote_urls_carry_high_toxicity() {
+        let mut store = CrawlStore::default();
+        let mut scores = HashMap::new();
+        let mut gu = ObjectIdGen::new(EntityKind::CommentUrl, 0);
+        let mut gc = ObjectIdGen::new(EntityKind::Comment, 1);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 0, 0, &[0.8, 0.6]);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 10, 0, &[0.1]);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 0, 8, &[0.3]);
+        let f = figure5(&store, &scores);
+        assert_eq!((f.positive, f.zero, f.negative), (1, 1, 1));
+        assert!(f.mean_severe_zero > f.mean_severe_voted);
+        assert!(f.mean_severe_negative > f.mean_severe_positive);
+        assert!((f.within_ten - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_sorted_by_net() {
+        let mut store = CrawlStore::default();
+        let mut scores = HashMap::new();
+        let mut gu = ObjectIdGen::new(EntityKind::CommentUrl, 2);
+        let mut gc = ObjectIdGen::new(EntityKind::Comment, 3);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 5, 0, &[0.2]);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 0, 5, &[0.2]);
+        add_url(&mut store, &mut scores, &mut gu, &mut gc, 0, 0, &[0.2]);
+        let f = figure5(&store, &scores);
+        let nets: Vec<i64> = f.points.iter().map(|p| p.net_votes).collect();
+        assert_eq!(nets, vec![-5, 0, 5]);
+    }
+
+    #[test]
+    fn urls_without_scores_are_skipped() {
+        let mut store = CrawlStore::default();
+        let mut gu = ObjectIdGen::new(EntityKind::CommentUrl, 4);
+        let id = gu.next(1);
+        store.urls.insert(
+            id,
+            CrawledUrl {
+                id,
+                url: "https://empty.example/".into(),
+                title: String::new(),
+                description: String::new(),
+                upvotes: 0,
+                downvotes: 0,
+                declared_comment_count: 0,
+            },
+        );
+        let f = figure5(&store, &HashMap::new());
+        assert!(f.points.is_empty());
+    }
+}

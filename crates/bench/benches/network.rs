@@ -1,0 +1,103 @@
+//! Benchmarks for the networking substrate and crawl phases over real
+//! loopback TCP: request/response round-trips, the §3.1 size probe, Gab
+//! API fetches (E1), and comment-page spidering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use httpnet::Client;
+use std::sync::{Arc, OnceLock};
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::SimServices;
+
+struct Fx {
+    services: SimServices,
+    dissenter_user: String,
+    url_id: String,
+    gab_id: u64,
+}
+
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let cfg = WorldConfig { scale: Scale::Custom(0.002), ..WorldConfig::small() };
+        let (world, _) = synth::generate(&cfg);
+        let world = Arc::new(world);
+        let dissenter_user = world
+            .users
+            .iter()
+            .find(|u| u.author_id.is_some() && !u.gab_deleted)
+            .expect("dissenter user")
+            .username
+            .clone();
+        let url_id = world.dissenter.urls()[0].id.to_hex();
+        let gab_id = 1;
+        let services =
+            SimServices::start(world, crawler::default_server_config()).expect("services");
+        Fx { services, dissenter_user, url_id, gab_id }
+    })
+}
+
+fn bench_http(c: &mut Criterion) {
+    let fx = fx();
+    let mut g = c.benchmark_group("http");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("roundtrip_fresh_connection", |b| {
+        let client = Client::new(fx.services.gab.addr());
+        b.iter(|| black_box(client.get("/api/v1/accounts/1").unwrap()));
+    });
+    g.bench_function("roundtrip_keep_alive", |b| {
+        let mut client = Client::new(fx.services.gab.addr());
+        client.keep_alive(true);
+        b.iter(|| black_box(client.get_keep_alive("/api/v1/accounts/1").unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_crawl_ops(c: &mut Criterion) {
+    let fx = fx();
+    let mut g = c.benchmark_group("crawl_ops");
+
+    // E1: one Gab enumeration probe (hit + parse).
+    g.bench_function("gab_account_fetch_parse", |b| {
+        let mut client = Client::new(fx.services.gab.addr());
+        client.keep_alive(true);
+        let target = format!("/api/v1/accounts/{}", fx.gab_id);
+        b.iter(|| {
+            let resp = client.get_keep_alive(&target).unwrap();
+            black_box(jsonlite::parse(&resp.text()).unwrap())
+        });
+    });
+
+    // §3.1: the size probe (body length inspection, hit + miss).
+    g.bench_function("dissenter_size_probe_hit", |b| {
+        let mut client = Client::new(fx.services.dissenter.addr());
+        client.keep_alive(true);
+        let target = format!("/user/{}", fx.dissenter_user);
+        b.iter(|| {
+            let resp = client.get_keep_alive(&target).unwrap();
+            black_box(resp.body.len() >= 10 * 1024)
+        });
+    });
+    g.bench_function("dissenter_size_probe_miss", |b| {
+        let mut client = Client::new(fx.services.dissenter.addr());
+        client.keep_alive(true);
+        b.iter(|| {
+            let resp = client.get_keep_alive("/user/nosuchuserzz").unwrap();
+            black_box(resp.body.len() >= 10 * 1024)
+        });
+    });
+
+    // §3.2: comment-page scraping. Fetch once (the endpoint carries the
+    // per-URL 10-req/min limit the real site advertises — hammering it in
+    // a bench loop would measure the 429 path), then benchmark the parse.
+    g.bench_function("comment_page_scrape", |b| {
+        let client = Client::new(fx.services.dissenter.addr());
+        let html = client.get(&format!("/url/{}", fx.url_id)).unwrap().text();
+        b.iter(|| black_box(crawler::spider::parse_comment_page(&html)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_http, bench_crawl_ops);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! The reproduction harness: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro [--scale small|medium|paper|<f64>] [--seed N] [--skip-svm]
+//!       [--export <dir>] [--save-crawl <dir>] [all|<experiment-id>…]
+//! repro --list
+//! ```
+//!
+//! Runs the full pipeline (generate → serve over loopback HTTP → crawl →
+//! classify → analyze) once, then prints the requested artifacts.
+
+use bench::parse_scale;
+use dissenter_core::experiments::{by_id, EXPERIMENTS};
+use dissenter_core::{render, run_study, Study, StudyConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--scale small|medium|paper|<f64>] [--seed N] [--skip-svm] [--export <dir>] [--save-crawl <dir>] [all|<id>...]");
+    eprintln!("       repro --list");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = synth::config::Scale::Custom(1.0 / 32.0);
+    let mut wanted: Vec<String> = Vec::new();
+    let mut export_dir: Option<std::path::PathBuf> = None;
+    let mut save_crawl: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{:<10} {}", e.id, e.artifact);
+                }
+                return;
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.scale = parse_scale(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--skip-svm" => cfg.skip_svm = true,
+            "--export" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                export_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--save-crawl" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                save_crawl = Some(std::path::PathBuf::from(v));
+            }
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    for w in &wanted {
+        if w != "all" && by_id(w).is_none() {
+            eprintln!("unknown experiment id {w:?}; try --list");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!(
+        "generating world (scale factor {:.4}, seed {}) and crawling…",
+        cfg.world.scale.factor(),
+        cfg.world.seed
+    );
+    let start = std::time::Instant::now();
+    let study = run_study(&cfg);
+    eprintln!(
+        "pipeline complete in {:.1}s ({} comments crawled)",
+        start.elapsed().as_secs_f64(),
+        study.report.overview.comments
+    );
+
+    for w in wanted {
+        if w == "all" {
+            println!("{}", render::full(&study));
+        } else {
+            println!("{}", render_one(&study, &w));
+        }
+    }
+
+    if let Some(dir) = export_dir {
+        match analysis::export::export_csv(&study.report, &dir) {
+            Ok(files) => eprintln!("exported {} CSV series to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = save_crawl {
+        match crawler::persist::save(&study.store, &dir) {
+            Ok(()) => eprintln!("crawl mirror saved to {}", dir.display()),
+            Err(e) => {
+                eprintln!("crawl save failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn render_one(study: &Study, id: &str) -> String {
+    match id {
+        "overview" => render::overview(study),
+        "fig2" => render::fig2(study),
+        "fig3" => render::fig3(study),
+        "table1" => render::table1(study),
+        "table2" => render::table2(study),
+        "urls" => render::urls(study),
+        "youtube" => render::youtube(study),
+        "languages" => render::languages(study),
+        "fig4" => render::fig4(study),
+        "fig5" => render::fig5(study),
+        "fig6" => render::fig6_table3(study),
+        "fig7" => render::fig7(study),
+        "fig8" => render::fig8(study),
+        "fig9" => render::fig9_core(study),
+        "svm" => render::svm(study),
+        "covert" => render::covert(study),
+        other => format!("(no renderer for {other})"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmark support: shared fixtures for the Criterion benches and the
+//! `repro` harness binary that regenerates every table and figure.
+
+use dissenter_core::{run_study, Study, StudyConfig};
+use std::sync::OnceLock;
+use synth::config::Scale;
+
+/// A small cached study shared by benches (world generation and the crawl
+/// dominate setup time; benches measure the analysis stages on top).
+pub fn bench_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.004);
+        cfg.svm_corpus = 1_000;
+        run_study(&cfg)
+    })
+}
+
+/// Parse a `--scale` argument value into a [`Scale`].
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "paper" => Ok(Scale::Paper),
+        other => other
+            .parse::<f64>()
+            .map(Scale::Custom)
+            .map_err(|_| format!("invalid scale {other:?} (use small|medium|paper|<float>)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale("paper").unwrap().factor(), 1.0);
+        assert!(matches!(parse_scale("0.01"), Ok(Scale::Custom(_))));
+        assert!(parse_scale("bogus").is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! ADASYN oversampling (He et al., 2008).
+//!
+//! The Davidson training corpus is heavily imbalanced (1,194 hate vs 16,025
+//! offensive vs 20,499 neither); the paper notes "Because of the imbalanced
+//! complexion of data, we use ADASYN to oversample" (§3.5.3). ADASYN
+//! generates synthetic minority samples by interpolating between a minority
+//! sample and one of its minority k-nearest neighbors, with more synthesis
+//! where the minority class is hardest to learn (neighborhoods dominated by
+//! other classes).
+
+use crate::svm::{lerp, sq_dist, SparseVec};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// ADASYN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdasynConfig {
+    /// Neighborhood size (paper default k = 5).
+    pub k: usize,
+    /// Balance level β ∈ (0, 1]: 1.0 fully balances each class up to the
+    /// majority count.
+    pub beta: f64,
+    /// RNG seed for gap sampling and neighbor choice.
+    pub seed: u64,
+}
+
+impl Default for AdasynConfig {
+    fn default() -> Self {
+        Self { k: 5, beta: 1.0, seed: 11 }
+    }
+}
+
+/// Oversample `samples` (feature, label) so every class approaches the
+/// majority class count. Returns the input plus synthetic samples.
+pub fn adasyn(samples: &[(SparseVec, usize)], classes: usize, cfg: AdasynConfig) -> Vec<(SparseVec, usize)> {
+    assert!(cfg.k >= 1, "k must be >= 1");
+    assert!(cfg.beta > 0.0 && cfg.beta <= 1.0, "beta must be in (0,1]");
+    let mut counts = vec![0usize; classes];
+    for (_, y) in samples {
+        counts[*y] += 1;
+    }
+    let majority = counts.iter().copied().max().unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out: Vec<(SparseVec, usize)> = samples.to_vec();
+
+    for (class, &class_count) in counts.iter().enumerate() {
+        let deficit = ((majority - class_count) as f64 * cfg.beta).round() as usize;
+        if deficit == 0 || class_count == 0 {
+            continue;
+        }
+        let minority_idx: Vec<usize> =
+            (0..samples.len()).filter(|&i| samples[i].1 == class).collect();
+
+        // For each minority sample: k nearest neighbors among ALL samples,
+        // hardness r_i = fraction of those neighbors from other classes.
+        let mut hardness = Vec::with_capacity(minority_idx.len());
+        let mut minority_neighbors: Vec<Vec<usize>> = Vec::with_capacity(minority_idx.len());
+        for &i in &minority_idx {
+            let mut dists: Vec<(f64, usize)> = (0..samples.len())
+                .filter(|&j| j != i)
+                .map(|j| (sq_dist(&samples[i].0, &samples[j].0), j))
+                .collect();
+            let k = cfg.k.min(dists.len());
+            let nth = k.saturating_sub(1).min(dists.len().saturating_sub(1));
+            dists.select_nth_unstable_by(nth, |a, b| {
+                a.0.partial_cmp(&b.0).expect("finite distances")
+            });
+            let neigh = &dists[..k];
+            let foreign = neigh.iter().filter(|(_, j)| samples[*j].1 != class).count();
+            hardness.push(foreign as f64 / k.max(1) as f64);
+            minority_neighbors.push(
+                neigh
+                    .iter()
+                    .filter(|(_, j)| samples[*j].1 == class)
+                    .map(|(_, j)| *j)
+                    .collect(),
+            );
+        }
+        let total_hardness: f64 = hardness.iter().sum();
+        for (m, &i) in minority_idx.iter().enumerate() {
+            // Allocation: proportional to hardness; uniform if all easy.
+            let share = if total_hardness > 0.0 {
+                hardness[m] / total_hardness
+            } else {
+                1.0 / minority_idx.len() as f64
+            };
+            let g = (share * deficit as f64).round() as usize;
+            for _ in 0..g {
+                let base = &samples[i].0;
+                let synth = if minority_neighbors[m].is_empty() {
+                    base.clone() // isolated sample: duplicate
+                } else {
+                    let pick = minority_neighbors[m][rng.gen_range(0..minority_neighbors[m].len())];
+                    lerp(base, &samples[pick].0, rng.gen::<f32>())
+                };
+                out.push((synth, class));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(pairs: &[(u32, f32)]) -> SparseVec {
+        pairs.to_vec()
+    }
+
+    fn toy_imbalanced() -> Vec<(SparseVec, usize)> {
+        let mut s = Vec::new();
+        // Majority class 1: cluster around feature 10.
+        for i in 0..40 {
+            s.push((fv(&[(10, 1.0 + (i % 7) as f32 * 0.01)]), 1usize));
+        }
+        // Minority class 0: cluster around feature 0.
+        for i in 0..5 {
+            s.push((fv(&[(0, 1.0 + i as f32 * 0.02)]), 0usize));
+        }
+        s
+    }
+
+    #[test]
+    fn balances_minority_class() {
+        let s = toy_imbalanced();
+        let out = adasyn(&s, 2, AdasynConfig::default());
+        let c0 = out.iter().filter(|(_, y)| *y == 0).count();
+        let c1 = out.iter().filter(|(_, y)| *y == 1).count();
+        assert!(c0 as f64 >= 0.8 * c1 as f64, "c0={c0} c1={c1}");
+        // Originals preserved.
+        assert!(out.len() > s.len());
+        assert_eq!(&out[..s.len()], &s[..]);
+    }
+
+    #[test]
+    fn synthetic_samples_stay_in_minority_region() {
+        let s = toy_imbalanced();
+        let out = adasyn(&s, 2, AdasynConfig::default());
+        for (x, y) in &out[s.len()..] {
+            assert_eq!(*y, 0, "only the minority class is synthesized");
+            // All synthetic vectors interpolate cluster members → only
+            // feature 0 present.
+            assert!(x.iter().all(|&(i, _)| i == 0), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_input_is_unchanged() {
+        let mut s = Vec::new();
+        for i in 0..10 {
+            s.push((fv(&[(0, 1.0 + i as f32)]), 0usize));
+            s.push((fv(&[(5, 1.0 + i as f32)]), 1usize));
+        }
+        let out = adasyn(&s, 2, AdasynConfig::default());
+        assert_eq!(out.len(), s.len());
+    }
+
+    #[test]
+    fn beta_scales_synthesis() {
+        let s = toy_imbalanced();
+        let full = adasyn(&s, 2, AdasynConfig { beta: 1.0, ..Default::default() });
+        let half = adasyn(&s, 2, AdasynConfig { beta: 0.5, ..Default::default() });
+        let synth_full = full.len() - s.len();
+        let synth_half = half.len() - s.len();
+        assert!(synth_half < synth_full);
+        assert!(synth_half > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let s = toy_imbalanced();
+        let a = adasyn(&s, 2, AdasynConfig::default());
+        let b = adasyn(&s, 2, AdasynConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_class_balances_both_minorities() {
+        let mut s = toy_imbalanced();
+        for i in 0..3 {
+            s.push((fv(&[(20, 1.0 + i as f32 * 0.1)]), 2usize));
+        }
+        let out = adasyn(&s, 3, AdasynConfig::default());
+        let c2 = out.iter().filter(|(_, y)| *y == 2).count();
+        assert!(c2 > 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_panics() {
+        adasyn(&[], 2, AdasynConfig { beta: 0.0, ..Default::default() });
+    }
+}

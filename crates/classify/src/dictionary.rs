@@ -1,0 +1,122 @@
+//! The §3.5.1 dictionary scorer.
+//!
+//! "We tokenize each Dissenter comment and reply, perform stemming, and
+//! then count the number of tokens that match a term in the dictionary.
+//! Our per-comment hate dictionary score is then the ratio of hate words
+//! over the number of tokens in the comment."
+
+use crate::lexicon::Lexicon;
+use textkit::tokenize_stemmed;
+
+/// Dictionary-based hate scorer.
+///
+/// ```
+/// let dict = classify::HateDictionary::standard();
+/// assert_eq!(dict.score("a perfectly pleasant remark"), 0.0);
+/// let term = dict.lexicon().term(0).to_owned();
+/// let score = dict.score(&format!("one {term} two three"));
+/// assert!((score - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HateDictionary {
+    lexicon: Lexicon,
+}
+
+impl HateDictionary {
+    /// Scorer over the standard 1,027-term lexicon.
+    pub fn standard() -> Self {
+        Self { lexicon: Lexicon::standard() }
+    }
+
+    /// Scorer over a custom lexicon.
+    pub fn new(lexicon: Lexicon) -> Self {
+        Self { lexicon }
+    }
+
+    /// The underlying lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Hate-token ratio in `[0, 1]`; `0` for token-less comments.
+    pub fn score(&self, text: &str) -> f64 {
+        let tokens = tokenize_stemmed(text);
+        if tokens.is_empty() {
+            return 0.0;
+        }
+        let hits = tokens.iter().filter(|t| self.lexicon.contains_stemmed(t)).count();
+        hits as f64 / tokens.len() as f64
+    }
+
+    /// Number of hate tokens and total tokens — the raw pair behind the
+    /// ratio, useful for corpus-level aggregation.
+    pub fn counts(&self, text: &str) -> (usize, usize) {
+        let tokens = tokenize_stemmed(text);
+        let hits = tokens.iter().filter(|t| self.lexicon.contains_stemmed(t)).count();
+        (hits, tokens.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::AMBIGUOUS_TERMS;
+
+    #[test]
+    fn clean_text_scores_zero() {
+        let d = HateDictionary::standard();
+        assert_eq!(d.score("what a lovely day for a walk"), 0.0);
+    }
+
+    #[test]
+    fn lexicon_term_raises_score() {
+        let d = HateDictionary::standard();
+        let term = d.lexicon().term(10).to_owned();
+        let text = format!("you are such a {term} honestly");
+        let s = d.score(&text);
+        assert!((s - 1.0 / 6.0).abs() < 1e-12, "score {s}");
+    }
+
+    #[test]
+    fn ratio_scales_with_density() {
+        let d = HateDictionary::standard();
+        let term = d.lexicon().term(42).to_owned();
+        let sparse = format!("{term} one two three four five six seven");
+        let dense = format!("{term} {term} {term} one");
+        assert!(d.score(&dense) > d.score(&sparse));
+    }
+
+    #[test]
+    fn ambiguous_words_false_positive() {
+        // The paper's "queen"/"pig" problem: benign uses still score.
+        let d = HateDictionary::standard();
+        let s = d.score(&format!("the {} of england owns a {}", AMBIGUOUS_TERMS[0], AMBIGUOUS_TERMS[1]));
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = HateDictionary::standard();
+        assert_eq!(d.score(""), 0.0);
+        assert_eq!(d.counts(""), (0, 0));
+    }
+
+    #[test]
+    fn counts_match_score() {
+        let d = HateDictionary::standard();
+        let term = d.lexicon().term(5).to_owned();
+        let text = format!("a b {term}");
+        let (h, n) = d.counts(&text);
+        assert_eq!((h, n), (1, 3));
+        assert!((d.score(&text) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stemming_connects_inflections() {
+        let d = HateDictionary::standard();
+        let term = d.lexicon().term(7).to_owned();
+        let plural = format!("{term}s");
+        let text = format!("those {plural} again");
+        assert!(d.score(&text) > 0.0, "plural form should match via stemming");
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared lexical feature extraction for the Perspective-like models and
+//! the SVM's dense auxiliary features.
+//!
+//! All features are ratios/densities in `[0, 1]`, computed from token-level
+//! matches against marker lists. The synthetic text generator embeds the
+//! same markers, so these features carry genuine signal.
+
+use crate::lexicon::Lexicon;
+use std::collections::HashSet;
+use textkit::{porter_stem, tokenize};
+
+/// Mild insult markers (real words — intentionally ordinary ones) feeding
+/// the `ATTACK_ON_AUTHOR` and `LIKELY_TO_REJECT` models.
+pub const INSULTS: &[&str] = &[
+    "idiot", "fool", "clown", "liar", "moron", "stupid", "dumb", "pathetic", "loser", "trash",
+    "garbage", "coward", "traitor", "shill", "hack", "disgusting", "vile", "corrupt", "fraud",
+    "sheep",
+];
+
+/// Markers indicating the comment addresses the *author* of the content.
+pub const AUTHOR_WORDS: &[&str] = &[
+    "author", "writer", "journalist", "reporter", "editor", "wrote", "writes", "columnist",
+    "publisher", "hackjob",
+];
+
+/// Second-person markers.
+pub const SECOND_PERSON: &[&str] = &["you", "your", "yours", "yourself", "u"];
+
+/// Number of synthetic obscenity markers.
+pub const OBSCENE_COUNT: usize = 64;
+
+/// Deterministic synthetic obscenity marker list (stand-ins for profanity;
+/// same generation scheme as the hate lexicon, different stream).
+pub fn obscene_markers() -> Vec<String> {
+    let mut state = 0x5851_f42d_4c95_7f2du64;
+    let mut out = Vec::with_capacity(OBSCENE_COUNT);
+    let mut seen = HashSet::new();
+    while out.len() < OBSCENE_COUNT {
+        let w = super::lexicon::pseudo_word_public(&mut state);
+        if seen.insert(w.clone()) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Token-level feature vector for one comment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TextFeatures {
+    /// Hate-lexicon token ratio.
+    pub hate_ratio: f64,
+    /// Obscenity-marker token ratio.
+    pub obscene_ratio: f64,
+    /// Insult token ratio.
+    pub insult_ratio: f64,
+    /// Author-word token ratio.
+    pub author_ratio: f64,
+    /// Second-person token ratio.
+    pub second_person_ratio: f64,
+    /// `!` characters per character (capped at 1).
+    pub exclaim_density: f64,
+    /// Uppercase letters per letter in the raw text.
+    pub caps_ratio: f64,
+    /// Token count.
+    pub tokens: usize,
+}
+
+/// Extracts [`TextFeatures`]; construction pre-stems all marker lists.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    hate: Lexicon,
+    obscene: HashSet<String>,
+    insults: HashSet<String>,
+    author: HashSet<String>,
+    second: HashSet<String>,
+}
+
+impl FeatureExtractor {
+    /// Extractor over the standard lexicon and marker lists.
+    pub fn standard() -> Self {
+        Self::new(Lexicon::standard())
+    }
+
+    /// Extractor with a custom hate lexicon.
+    pub fn new(hate: Lexicon) -> Self {
+        let stem_set = |ws: &[&str]| ws.iter().map(|w| porter_stem(w)).collect::<HashSet<_>>();
+        Self {
+            hate,
+            obscene: obscene_markers().iter().map(|w| porter_stem(w)).collect(),
+            insults: stem_set(INSULTS),
+            author: stem_set(AUTHOR_WORDS),
+            second: SECOND_PERSON.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The hate lexicon in use.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.hate
+    }
+
+    /// Compute features for raw comment text.
+    pub fn extract(&self, text: &str) -> TextFeatures {
+        let raw_tokens = tokenize(text);
+        let n = raw_tokens.len();
+        if n == 0 {
+            return TextFeatures::default();
+        }
+        let mut hate = 0usize;
+        let mut obscene = 0usize;
+        let mut insult = 0usize;
+        let mut author = 0usize;
+        let mut second = 0usize;
+        for t in &raw_tokens {
+            if self.second.contains(t.as_str()) {
+                second += 1;
+                continue;
+            }
+            let s = porter_stem(t);
+            if self.hate.contains_stemmed(&s) {
+                hate += 1;
+            }
+            if self.obscene.contains(&s) {
+                obscene += 1;
+            }
+            if self.insults.contains(&s) {
+                insult += 1;
+            }
+            if self.author.contains(&s) {
+                author += 1;
+            }
+        }
+        let chars = text.chars().count().max(1);
+        let letters = text.chars().filter(|c| c.is_alphabetic()).count();
+        let uppers = text.chars().filter(|c| c.is_uppercase()).count();
+        TextFeatures {
+            hate_ratio: hate as f64 / n as f64,
+            obscene_ratio: obscene as f64 / n as f64,
+            insult_ratio: insult as f64 / n as f64,
+            author_ratio: author as f64 / n as f64,
+            second_person_ratio: second as f64 / n as f64,
+            exclaim_density: (text.matches('!').count() as f64 / chars as f64).min(1.0),
+            caps_ratio: if letters > 0 { uppers as f64 / letters as f64 } else { 0.0 },
+            tokens: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_all_zero() {
+        let fx = FeatureExtractor::standard();
+        assert_eq!(fx.extract(""), TextFeatures::default());
+    }
+
+    #[test]
+    fn benign_text_near_zero() {
+        let fx = FeatureExtractor::standard();
+        let f = fx.extract("what a nice day to read the news");
+        assert_eq!(f.hate_ratio, 0.0);
+        assert_eq!(f.obscene_ratio, 0.0);
+        assert_eq!(f.insult_ratio, 0.0);
+        assert!(f.tokens > 0);
+    }
+
+    #[test]
+    fn marker_channels_are_independent() {
+        let fx = FeatureExtractor::standard();
+        let hate_term = fx.lexicon().term(3).to_owned();
+        let obs = obscene_markers()[0].clone();
+        let f = fx.extract(&format!("{hate_term} {obs} idiot author you stuff"));
+        assert!(f.hate_ratio > 0.0);
+        assert!(f.obscene_ratio > 0.0);
+        assert!(f.insult_ratio > 0.0);
+        assert!(f.author_ratio > 0.0);
+        assert!(f.second_person_ratio > 0.0);
+    }
+
+    #[test]
+    fn caps_and_exclaim() {
+        let fx = FeatureExtractor::standard();
+        let f = fx.extract("THIS IS WRONG!!!");
+        assert!(f.caps_ratio > 0.9);
+        assert!(f.exclaim_density > 0.1);
+        let g = fx.extract("this is fine.");
+        assert_eq!(g.caps_ratio, 0.0);
+        assert_eq!(g.exclaim_density, 0.0);
+    }
+
+    #[test]
+    fn obscene_markers_deterministic_and_disjoint_from_hate() {
+        let a = obscene_markers();
+        let b = obscene_markers();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), OBSCENE_COUNT);
+        let lex = Lexicon::standard();
+        for m in &a {
+            assert!(!lex.matches_token(m), "obscene marker {m} collides with hate lexicon");
+        }
+    }
+
+    #[test]
+    fn ratios_bounded() {
+        let fx = FeatureExtractor::standard();
+        let term = fx.lexicon().term(0).to_owned();
+        let txt = format!("{term} {term} {term}");
+        let f = fx.extract(&txt);
+        assert!(f.hate_ratio <= 1.0 && f.hate_ratio > 0.9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Local stand-in for the Google Perspective API (§3.5.2).
+//!
+//! The paper scores every comment with four Perspective models:
+//! `SEVERE_TOXICITY`, `LIKELY_TO_REJECT` (trained on NY Times moderator
+//! decisions), `OBSCENE`, and `ATTACK_ON_AUTHOR`. Perspective is a closed
+//! remote service, so we substitute documented logistic models over the
+//! lexical features of [`crate::features`]. Each model is a monotone
+//! function of interpretable marker densities; the model *weights are part
+//! of the public API* so the synthetic text generator can invert them —
+//! i.e. synthesize a comment whose score lands near a target, the way the
+//! paper's communities exhibit distinct score distributions.
+//!
+//! These are simulators of a scoring service, not state-of-the-art hate
+//! detection — exactly the posture the paper takes ("we are less
+//! interested in scoring any particular comment, and instead are
+//! interested in aggregate trends").
+
+use crate::features::{FeatureExtractor, TextFeatures};
+
+/// Logistic weights for `SEVERE_TOXICITY`: dominated by hate-lexicon
+/// density; "less sensitive to positive uses of profanity" (§4.4.3), hence
+/// the small obscenity weight.
+pub const SEVERE_W: ModelWeights = ModelWeights {
+    hate: 14.0,
+    obscene: 1.5,
+    insult: 2.0,
+    author: 0.0,
+    exclaim: 1.0,
+    caps: 0.5,
+    bias: -3.0,
+};
+
+/// Logistic weights for `OBSCENE`.
+pub const OBSCENE_W: ModelWeights = ModelWeights {
+    hate: 2.0,
+    obscene: 16.0,
+    insult: 1.0,
+    author: 0.0,
+    exclaim: 0.5,
+    caps: 0.25,
+    bias: -3.2,
+};
+
+/// Logistic weights for `ATTACK_ON_AUTHOR`.
+pub const ATTACK_W: ModelWeights = ModelWeights {
+    hate: 1.0,
+    obscene: 0.5,
+    insult: 5.0,
+    author: 11.0,
+    exclaim: 0.5,
+    caps: 0.25,
+    bias: -3.4,
+};
+
+/// Logistic weights for `LIKELY_TO_REJECT` — the broadest model: any
+/// marker channel can push a comment over a moderator's bar.
+pub const REJECT_W: ModelWeights = ModelWeights {
+    hate: 11.0,
+    obscene: 9.0,
+    insult: 7.0,
+    author: 2.0,
+    exclaim: 2.0,
+    caps: 1.0,
+    bias: -1.6,
+};
+
+/// Weights of one logistic scoring model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelWeights {
+    /// Weight on hate-lexicon ratio.
+    pub hate: f64,
+    /// Weight on obscenity ratio.
+    pub obscene: f64,
+    /// Weight on insult ratio.
+    pub insult: f64,
+    /// Weight on author-word ratio.
+    pub author: f64,
+    /// Weight on exclamation density.
+    pub exclaim: f64,
+    /// Weight on caps ratio.
+    pub caps: f64,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl ModelWeights {
+    /// Raw linear score for a feature vector.
+    pub fn linear(&self, f: &TextFeatures) -> f64 {
+        self.hate * f.hate_ratio
+            + self.obscene * f.obscene_ratio
+            + self.insult * f.insult_ratio
+            + self.author * f.author_ratio
+            + self.exclaim * f.exclaim_density
+            + self.caps * f.caps_ratio
+            + self.bias
+    }
+
+    /// Logistic score in `(0, 1)`.
+    pub fn score(&self, f: &TextFeatures) -> f64 {
+        sigmoid(self.linear(f))
+    }
+
+    /// Invert the model along one channel: the marker density needed on
+    /// channel `channel_weight` (other channels zero) to reach `target`.
+    /// Clamped to `[0, 1]`. Used by the generator for calibration.
+    pub fn density_for_target(&self, channel_weight: f64, target: f64) -> f64 {
+        assert!(channel_weight > 0.0, "channel weight must be positive");
+        let t = target.clamp(1e-6, 1.0 - 1e-6);
+        ((logit(t) - self.bias) / channel_weight).clamp(0.0, 1.0)
+    }
+}
+
+/// The four scores the paper reports, each in `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerspectiveScores {
+    /// "Very hateful, aggressive, or disrespectful."
+    pub severe_toxicity: f64,
+    /// Would a NY Times moderator reject it?
+    pub likely_to_reject: f64,
+    /// Obscenity.
+    pub obscene: f64,
+    /// Ad-hominem attack on the content's author.
+    pub attack_on_author: f64,
+}
+
+/// The scoring service: feature extraction plus the four models.
+#[derive(Debug, Clone)]
+pub struct PerspectiveModel {
+    extractor: FeatureExtractor,
+}
+
+impl PerspectiveModel {
+    /// Model over the standard lexicon.
+    pub fn standard() -> Self {
+        Self { extractor: FeatureExtractor::standard() }
+    }
+
+    /// Model over a custom extractor.
+    pub fn new(extractor: FeatureExtractor) -> Self {
+        Self { extractor }
+    }
+
+    /// The feature extractor (shared with the SVM featurizer).
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Score one comment.
+    pub fn score(&self, text: &str) -> PerspectiveScores {
+        let f = self.extractor.extract(text);
+        self.score_features(&f)
+    }
+
+    /// Score pre-extracted features.
+    pub fn score_features(&self, f: &TextFeatures) -> PerspectiveScores {
+        PerspectiveScores {
+            severe_toxicity: SEVERE_W.score(f),
+            likely_to_reject: REJECT_W.score(f),
+            obscene: OBSCENE_W.score(f),
+            attack_on_author: ATTACK_W.score(f),
+        }
+    }
+}
+
+/// Standard logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Inverse logistic. Input must be in (0, 1).
+pub fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_text_scores_low() {
+        let m = PerspectiveModel::standard();
+        let s = m.score("I went for a walk and saw a bird.");
+        assert!(s.severe_toxicity < 0.1, "{s:?}");
+        assert!(s.obscene < 0.1);
+        assert!(s.attack_on_author < 0.1);
+        assert!(s.likely_to_reject < 0.3);
+    }
+
+    #[test]
+    fn hate_terms_drive_severe_toxicity() {
+        let m = PerspectiveModel::standard();
+        let t = m.extractor().lexicon().term(12).to_owned();
+        let s = m.score(&format!("{t} {t} and more {t} all day"));
+        assert!(s.severe_toxicity > 0.8, "{s:?}");
+        assert!(s.severe_toxicity > s.obscene);
+    }
+
+    #[test]
+    fn obscene_markers_drive_obscene() {
+        let m = PerspectiveModel::standard();
+        let o = crate::features::obscene_markers()[3].clone();
+        let s = m.score(&format!("{o} {o} this {o} thing"));
+        assert!(s.obscene > 0.8, "{s:?}");
+        assert!(s.obscene > s.severe_toxicity);
+    }
+
+    #[test]
+    fn author_attack_detected() {
+        let m = PerspectiveModel::standard();
+        let s = m.score("author liar journalist fraud writer hack editor pathetic");
+        assert!(s.attack_on_author > 0.9, "{s:?}");
+        let mild = m.score("the author is a liar honestly");
+        assert!(mild.attack_on_author > 0.3 && mild.attack_on_author < s.attack_on_author, "{mild:?}");
+    }
+
+    #[test]
+    fn reject_is_broadest() {
+        let m = PerspectiveModel::standard();
+        let t = m.extractor().lexicon().term(9).to_owned();
+        for text in [
+            format!("{t} nonsense {t}"),
+            "you stupid pathetic fool idiot".to_string(),
+        ] {
+            let s = m.score(&text);
+            assert!(
+                s.likely_to_reject >= s.severe_toxicity.min(0.95),
+                "{text}: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_monotone_in_density() {
+        let m = PerspectiveModel::standard();
+        let t = m.extractor().lexicon().term(2).to_owned();
+        let filler = "word";
+        let mut last = 0.0;
+        for k in 0..=5 {
+            let mut words = vec![filler; 10 - k];
+            words.extend(std::iter::repeat_n(t.as_str(), k));
+            let s = m.score(&words.join(" "));
+            assert!(s.severe_toxicity >= last, "k={k}");
+            last = s.severe_toxicity;
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        // density_for_target followed by scoring ≈ target.
+        for &target in &[0.2, 0.5, 0.8, 0.95] {
+            let d = SEVERE_W.density_for_target(SEVERE_W.hate, target);
+            let f = TextFeatures { hate_ratio: d, tokens: 100, ..Default::default() };
+            let got = SEVERE_W.score(&f);
+            assert!((got - target).abs() < 0.02, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn inversion_clamps() {
+        // Unreachable targets clamp to density 1.
+        let d = OBSCENE_W.density_for_target(0.5, 0.999);
+        assert_eq!(d, 1.0);
+        let d0 = OBSCENE_W.density_for_target(16.0, 1e-9);
+        assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn sigmoid_logit_inverse() {
+        for &p in &[0.1, 0.5, 0.9] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Phase 1 — exhaustive Gab ID enumeration (§3.1).
+//!
+//! Gab IDs are a counter from 1; the API errors on unallocated IDs. The
+//! crawler sweeps blocks of IDs in parallel and stops once an entire
+//! gap-tolerance window past the highest hit comes back empty. Rate-limit
+//! denials (429 + `X-RateLimit-Reset`) are honored by sleeping until the
+//! advertised reset, exactly as §3.4 describes.
+
+use crate::store::{CrawlStore, GabAccount};
+use crate::Crawler;
+use httpnet::{Client, Response};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+const BLOCK: u64 = 4_096;
+
+/// Issue a GET honoring 429 rate-limit responses by sleeping until the
+/// advertised reset (capped — simulation windows are short).
+pub fn get_respecting_limits(
+    client: &mut Client,
+    target: &str,
+    crawler: &Crawler,
+    store: &CrawlStore,
+) -> Option<Response> {
+    for _ in 0..(crawler.config.retries + 8) {
+        store.stats.add_requests(1);
+        match client.get_keep_alive(target) {
+            Ok(resp) if resp.status.0 == 429 => {
+                let now = SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                let reset: u64 = resp
+                    .headers
+                    .get("x-ratelimit-reset")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(now + 1);
+                let wait = Duration::from_secs(reset.saturating_sub(now).clamp(1, 3));
+                store.stats.add_rate_limit_sleep();
+                std::thread::sleep(wait);
+            }
+            Ok(resp) if resp.status.0 >= 500 => {
+                store.stats.add_retry();
+                std::thread::sleep(crawler.config.backoff);
+            }
+            Ok(resp) => return Some(resp),
+            Err(_) => {
+                store.stats.add_retry();
+                std::thread::sleep(crawler.config.backoff);
+            }
+        }
+    }
+    store.stats.add_failure();
+    None
+}
+
+/// Run the enumeration phase into `store.gab_accounts`.
+pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
+    let mut accounts: Vec<GabAccount> = Vec::new();
+    let mut start: u64 = 1;
+    let mut last_hit: u64 = 0;
+    loop {
+        let ids: Vec<u64> = (start..start + BLOCK).collect();
+        let found = crate::parallel::parallel_fetch(
+            crawler.endpoints.gab,
+            &ids,
+            crawler.config.workers,
+            |_| {},
+            |client, &id| {
+                let resp =
+                    get_respecting_limits(client, &format!("/api/v1/accounts/{id}"), crawler, store)?;
+                if !resp.status.is_success() {
+                    return None;
+                }
+                let v = jsonlite::parse(&resp.text()).ok()?;
+                Some(GabAccount {
+                    gab_id: id,
+                    username: v.get("username")?.as_str()?.to_owned(),
+                    created_at: v.get("created_at")?.as_str()?.to_owned(),
+                    created_epoch: parse_iso_epoch(v.get("created_at")?.as_str()?).unwrap_or(0),
+                    followers_count: v.get("followers_count").and_then(|x| x.as_i64()).unwrap_or(0)
+                        as u64,
+                    following_count: v.get("following_count").and_then(|x| x.as_i64()).unwrap_or(0)
+                        as u64,
+                })
+            },
+        );
+        if let Some(max_hit) = found.iter().map(|a| a.gab_id).max() {
+            last_hit = last_hit.max(max_hit);
+        }
+        accounts.extend(found);
+        start += BLOCK;
+        if start > last_hit + crawler.config.enum_gap_tolerance {
+            break;
+        }
+    }
+    accounts.sort_by_key(|a| a.gab_id);
+    store.gab_accounts = accounts;
+}
+
+/// Parse `YYYY-MM-DDTHH:MM:SSZ` into epoch seconds.
+pub fn parse_iso_epoch(s: &str) -> Option<u64> {
+    let bytes = s.as_bytes();
+    if bytes.len() < 19 {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> Option<u64> {
+        s.get(range)?.parse().ok()
+    };
+    let (y, mo, d) = (num(0..4)? as i64, num(5..7)? as u32, num(8..10)? as u32);
+    let (h, mi, sec) = (num(11..13)?, num(14..16)?, num(17..19)?);
+    if mo == 0 || mo > 12 || d == 0 || d > 31 {
+        return None;
+    }
+    Some(ids::clock::from_ymd(y, mo, d) + h * 3600 + mi * 60 + sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_parse_round_trip() {
+        let ts = 1_551_139_200 + 3661;
+        let s = ids::clock::format_datetime(ts);
+        assert_eq!(parse_iso_epoch(&s), Some(ts));
+    }
+
+    #[test]
+    fn iso_parse_rejects_garbage() {
+        assert_eq!(parse_iso_epoch("not a date"), None);
+        assert_eq!(parse_iso_epoch("2019-13-01T00:00:00Z"), None);
+        assert_eq!(parse_iso_epoch(""), None);
+    }
+}

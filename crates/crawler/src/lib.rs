@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+//! The measurement apparatus — §3's methodology as code.
+//!
+//! Everything here talks to the services over real HTTP and reconstructs
+//! the dataset the way the paper did:
+//!
+//! 1. [`gab_enum`] — exhaustively enumerate Gab's sequential account IDs
+//!    through `https://gab.com/api/v1/accounts/<id>`, reading rate-limit
+//!    headers and sleeping until reset when exhausted (§3.1, §3.4);
+//! 2. [`probe`] — for every Gab username, request the Dissenter home page
+//!    and classify existence **by response size** (≥10 kB vs ~150 B);
+//! 3. [`spider`] — crawl home pages for author-ids and commented-URL
+//!    lists, then every comment page in four visibility contexts
+//!    (anonymous, NSFW, offensive, both), inferring shadow labels from the
+//!    diff against the anonymous baseline, scraping the hidden
+//!    `commentAuthor` metadata, and recovering ghost (deleted-Gab)
+//!    accounts to a fixpoint (§3.2);
+//! 4. [`shadow`] — validate a sample of inferred shadow labels against the
+//!    live service, with timeout-retry hygiene (§4.3.1);
+//! 5. [`youtube`] — fetch the rendered state of every YouTube URL (§3.3);
+//! 6. [`social`] — walk the paginated Gab follower/following API for every
+//!    Dissenter user (§3.4);
+//! 7. [`reddit`] — match usernames on Reddit and pull Pushshift comment
+//!    histories (§4.4.1).
+//!
+//! [`Crawler::full_crawl`] runs all phases and returns a [`store::CrawlStore`]
+//! — the reconstructed mirror every §4 analysis consumes. The crawler never
+//! reads the in-process `World`; its only input is HTTP.
+
+pub mod gab_enum;
+pub mod parallel;
+pub mod persist;
+pub mod probe;
+pub mod reddit;
+pub mod scrape;
+pub mod shadow;
+pub mod social;
+pub mod spider;
+pub mod store;
+pub mod youtube;
+
+use httpnet::ServerConfig;
+use std::net::SocketAddr;
+
+pub use store::CrawlStore;
+
+/// Crawl tuning.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Parallel worker connections per phase.
+    pub workers: usize,
+    /// Extra attempts for failed requests (the §4.3.1 re-request loop).
+    pub retries: usize,
+    /// Backoff between retries.
+    pub backoff: std::time::Duration,
+    /// Stop Gab enumeration after this many consecutive missing IDs.
+    pub enum_gap_tolerance: u64,
+    /// Validation sample size for shadow-label checks.
+    pub validation_sample: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            retries: 3,
+            backoff: std::time::Duration::from_millis(20),
+            enum_gap_tolerance: 2_000,
+            validation_sample: 100,
+        }
+    }
+}
+
+/// Addresses of the four services.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoints {
+    /// dissenter.com.
+    pub dissenter: SocketAddr,
+    /// gab.com.
+    pub gab: SocketAddr,
+    /// reddit.com / Pushshift.
+    pub reddit: SocketAddr,
+    /// Rendered YouTube.
+    pub youtube: SocketAddr,
+}
+
+/// The full §3 pipeline.
+#[derive(Debug)]
+pub struct Crawler {
+    /// Service addresses.
+    pub endpoints: Endpoints,
+    /// Tuning.
+    pub config: CrawlConfig,
+}
+
+impl Crawler {
+    /// A crawler with default tuning.
+    pub fn new(endpoints: Endpoints) -> Self {
+        Self { endpoints, config: CrawlConfig::default() }
+    }
+
+    /// Run every phase: enumerate, probe, spider, shadow-diff, YouTube,
+    /// social, Reddit. Returns the reconstructed dataset.
+    pub fn full_crawl(&self) -> CrawlStore {
+        let mut store = CrawlStore::default();
+        gab_enum::enumerate(self, &mut store);
+        probe::probe_dissenter_accounts(self, &mut store);
+        spider::spider(self, &mut store);
+        shadow::shadow_crawl(self, &mut store);
+        youtube::crawl_youtube(self, &mut store);
+        social::crawl_social(self, &mut store);
+        reddit::crawl_reddit(self, &mut store);
+        store
+    }
+}
+
+/// Default server config used by tests and the harness when starting
+/// services for a crawl.
+pub fn default_server_config() -> ServerConfig {
+    ServerConfig { workers: 8, queue: 256, ..Default::default() }
+}

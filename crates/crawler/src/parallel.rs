@@ -1,0 +1,103 @@
+//! A small scoped parallel-map used by all crawl phases: N workers, each
+//! with its own keep-alive HTTP client, draining a shared work index.
+
+use httpnet::Client;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `work(client, item)` over `items` with `workers` threads, each
+/// owning a keep-alive [`Client`] to `addr`. Results are collected
+/// unordered.
+pub fn parallel_fetch<T: Sync, R: Send>(
+    addr: SocketAddr,
+    items: &[T],
+    workers: usize,
+    setup: impl Fn(&mut Client) + Sync,
+    work: impl Fn(&mut Client, &T) -> Option<R> + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut client = Client::new(addr);
+                client.keep_alive(true);
+                setup(&mut client);
+                let mut local: Vec<R> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if let Some(r) = work(&mut client, &items[i]) {
+                        local.push(r);
+                    }
+                }
+                results.lock().expect("no poisoning").extend(local);
+            });
+        }
+    });
+    results.into_inner().expect("threads joined")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpnet::{Handler, Request, Response, Server, ServerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn fetches_all_items_in_parallel() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: &Request| Response::html(format!("got {}", req.path())));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let items: Vec<usize> = (0..200).collect();
+        let out = parallel_fetch(
+            server.addr(),
+            &items,
+            8,
+            |_| {},
+            |client, &i| {
+                let r = client.get_keep_alive(&format!("/i/{i}")).ok()?;
+                Some((i, r.text()))
+            },
+        );
+        assert_eq!(out.len(), 200);
+        for (i, text) in &out {
+            assert_eq!(text, &format!("got /i/{i}"));
+        }
+    }
+
+    #[test]
+    fn worker_failures_are_skipped_not_fatal() {
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::not_found());
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let items = vec![1, 2, 3];
+        let out: Vec<u32> = parallel_fetch(server.addr(), &items, 2, |_| {}, |client, &i| {
+            let r = client.get_keep_alive("/x").ok()?;
+            r.status.is_success().then_some(i)
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn setup_applies_cookies() {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            Response::html(req.cookie("session").unwrap_or("none").to_owned())
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let items = vec![()];
+        let out = parallel_fetch(
+            server.addr(),
+            &items,
+            1,
+            |c| {
+                c.set_cookie("session", "crawler:nsfw");
+            },
+            |client, _| client.get_keep_alive("/").ok().map(|r| r.text()),
+        );
+        assert_eq!(out, vec!["crawler:nsfw".to_owned()]);
+    }
+}

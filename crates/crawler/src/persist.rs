@@ -1,0 +1,480 @@
+//! Crawl-mirror persistence.
+//!
+//! The paper "effectively mirror[s] the Dissenter database"; a mirror you
+//! cannot save is not much of a mirror. This module serializes a
+//! [`CrawlStore`] to a directory of JSON-Lines files (one entity type per
+//! file, one JSON object per line — the archive format Pushshift itself
+//! uses) and loads it back, so expensive crawls can be archived and
+//! re-analyzed without re-crawling.
+
+use crate::store::{
+    CrawlStore, CrawledComment, CrawledUrl, CrawledUser, CrawledYoutube, GabAccount, HiddenMeta,
+    RedditMatch, ShadowLabel,
+};
+use ids::ObjectId;
+use jsonlite::Value;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// File names written by [`save`].
+pub const FILES: [&str; 7] = [
+    "gab_accounts.jsonl",
+    "users.jsonl",
+    "urls.jsonl",
+    "comments.jsonl",
+    "youtube.jsonl",
+    "follow_edges.jsonl",
+    "reddit.jsonl",
+];
+
+/// Save a crawl store into `dir` (created if missing).
+pub fn save(store: &CrawlStore, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let write_lines = |name: &str, lines: Vec<Value>| -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(dir.join(name))?);
+        for v in lines {
+            writeln!(w, "{}", jsonlite::to_string(&v))?;
+        }
+        w.flush()
+    };
+
+    let mut gab: Vec<&GabAccount> = store.gab_accounts.iter().collect();
+    gab.sort_by_key(|a| a.gab_id);
+    write_lines(
+        "gab_accounts.jsonl",
+        gab.iter()
+            .map(|a| {
+                Value::object()
+                    .with("gab_id", a.gab_id)
+                    .with("username", a.username.as_str())
+                    .with("created_at", a.created_at.as_str())
+                    .with("created_epoch", a.created_epoch)
+                    .with("followers_count", a.followers_count)
+                    .with("following_count", a.following_count)
+            })
+            .collect(),
+    )?;
+
+    let mut users: Vec<&CrawledUser> = store.users.values().collect();
+    users.sort_by(|a, b| a.username.cmp(&b.username));
+    write_lines(
+        "users.jsonl",
+        users
+            .iter()
+            .map(|u| {
+                let mut v = Value::object()
+                    .with("username", u.username.as_str())
+                    .with("author_id", u.author_id.to_hex())
+                    .with("display_name", u.display_name.as_str())
+                    .with("bio", u.bio.as_str())
+                    .with(
+                        "url_ids",
+                        Value::Array(u.url_ids.iter().map(|i| Value::Str(i.to_hex())).collect()),
+                    );
+                if let Some(m) = &u.meta {
+                    v = v.with("meta", meta_to_json(m));
+                }
+                v
+            })
+            .collect(),
+    )?;
+
+    let mut urls: Vec<&CrawledUrl> = store.urls.values().collect();
+    urls.sort_by_key(|u| u.id);
+    write_lines(
+        "urls.jsonl",
+        urls.iter()
+            .map(|u| {
+                Value::object()
+                    .with("id", u.id.to_hex())
+                    .with("url", u.url.as_str())
+                    .with("title", u.title.as_str())
+                    .with("description", u.description.as_str())
+                    .with("upvotes", u.upvotes)
+                    .with("downvotes", u.downvotes)
+                    .with("declared_comment_count", u.declared_comment_count)
+            })
+            .collect(),
+    )?;
+
+    let mut comments: Vec<&CrawledComment> = store.comments.values().collect();
+    comments.sort_by_key(|c| c.id);
+    write_lines(
+        "comments.jsonl",
+        comments
+            .iter()
+            .map(|c| {
+                Value::object()
+                    .with("id", c.id.to_hex())
+                    .with("url_id", c.url_id.to_hex())
+                    .with("author_id", c.author_id.to_hex())
+                    .with("parent", c.parent.map(|p| p.to_hex()))
+                    .with("text", c.text.as_str())
+                    .with("created_at", c.created_at)
+                    .with("label", label_str(c.label))
+            })
+            .collect(),
+    )?;
+
+    let mut yt: Vec<&CrawledYoutube> = store.youtube.iter().collect();
+    yt.sort_by(|a, b| a.url.cmp(&b.url));
+    write_lines(
+        "youtube.jsonl",
+        yt.iter()
+            .map(|y| {
+                Value::object()
+                    .with("url", y.url.as_str())
+                    .with("kind", y.kind.as_str())
+                    .with("available", y.available)
+                    .with("reason", y.reason.clone())
+                    .with("owner", y.owner.clone())
+                    .with("comments_disabled", y.comments_disabled)
+            })
+            .collect(),
+    )?;
+
+    let mut edges = store.follow_edges.clone();
+    edges.sort();
+    write_lines(
+        "follow_edges.jsonl",
+        edges
+            .iter()
+            .map(|(f, t)| Value::object().with("from", f.to_hex()).with("to", t.to_hex()))
+            .collect(),
+    )?;
+
+    let mut reddit: Vec<&RedditMatch> = store.reddit.values().collect();
+    reddit.sort_by(|a, b| a.username.cmp(&b.username));
+    write_lines(
+        "reddit.jsonl",
+        reddit
+            .iter()
+            .map(|m| {
+                Value::object()
+                    .with("username", m.username.as_str())
+                    .with("total_comments", m.total_comments)
+                    .with(
+                        "comments",
+                        Value::Array(m.comments.iter().map(|c| Value::Str(c.clone())).collect()),
+                    )
+            })
+            .collect(),
+    )?;
+
+    Ok(())
+}
+
+/// Load a crawl store previously written by [`save`]. Crawl statistics and
+/// validation counters are not persisted (they describe the crawl run, not
+/// the mirror) and come back zeroed.
+pub fn load(dir: &Path) -> io::Result<CrawlStore> {
+    let mut store = CrawlStore::default();
+    let read_lines = |name: &str| -> io::Result<Vec<Value>> {
+        let f = std::fs::File::open(dir.join(name))?;
+        let mut out = Vec::new();
+        for line in io::BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push(jsonlite::parse(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}"))
+            })?);
+        }
+        Ok(out)
+    };
+    let oid = |v: &Value, k: &str| -> io::Result<ObjectId> {
+        v.get(k)
+            .and_then(|x| x.as_str())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad id field {k}")))
+    };
+    let s = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_str()).unwrap_or("").to_owned();
+    let n = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_i64()).unwrap_or(0);
+
+    for v in read_lines("gab_accounts.jsonl")? {
+        store.gab_accounts.push(GabAccount {
+            gab_id: n(&v, "gab_id") as u64,
+            username: s(&v, "username"),
+            created_at: s(&v, "created_at"),
+            created_epoch: n(&v, "created_epoch") as u64,
+            followers_count: n(&v, "followers_count") as u64,
+            following_count: n(&v, "following_count") as u64,
+        });
+        store.dissenter_usernames.clear(); // rebuilt below
+    }
+    for v in read_lines("users.jsonl")? {
+        let user = CrawledUser {
+            username: s(&v, "username"),
+            author_id: oid(&v, "author_id")?,
+            display_name: s(&v, "display_name"),
+            bio: s(&v, "bio"),
+            url_ids: v
+                .get("url_ids")
+                .and_then(|a| a.as_array())
+                .map(|items| {
+                    items.iter().filter_map(|i| i.as_str()?.parse().ok()).collect()
+                })
+                .unwrap_or_default(),
+            meta: v.get("meta").map(meta_from_json),
+        };
+        store.dissenter_usernames.push(user.username.clone());
+        store.users.insert(user.username.clone(), user);
+    }
+    store.dissenter_usernames.sort();
+    for v in read_lines("urls.jsonl")? {
+        let u = CrawledUrl {
+            id: oid(&v, "id")?,
+            url: s(&v, "url"),
+            title: s(&v, "title"),
+            description: s(&v, "description"),
+            upvotes: n(&v, "upvotes") as u32,
+            downvotes: n(&v, "downvotes") as u32,
+            declared_comment_count: n(&v, "declared_comment_count") as usize,
+        };
+        store.urls.insert(u.id, u);
+    }
+    for v in read_lines("comments.jsonl")? {
+        let c = CrawledComment {
+            id: oid(&v, "id")?,
+            url_id: oid(&v, "url_id")?,
+            author_id: oid(&v, "author_id")?,
+            parent: v.get("parent").and_then(|p| p.as_str()).and_then(|p| p.parse().ok()),
+            text: s(&v, "text"),
+            created_at: n(&v, "created_at") as u64,
+            label: label_from_str(&s(&v, "label")),
+        };
+        store.comments.insert(c.id, c);
+    }
+    for v in read_lines("youtube.jsonl")? {
+        store.youtube.push(CrawledYoutube {
+            url: s(&v, "url"),
+            kind: s(&v, "kind"),
+            available: v.get("available").and_then(|b| b.as_bool()).unwrap_or(false),
+            reason: v.get("reason").and_then(|r| r.as_str()).map(str::to_owned),
+            owner: v.get("owner").and_then(|o| o.as_str()).map(str::to_owned),
+            comments_disabled: v
+                .get("comments_disabled")
+                .and_then(|b| b.as_bool())
+                .unwrap_or(false),
+        });
+    }
+    for v in read_lines("follow_edges.jsonl")? {
+        store.follow_edges.push((oid(&v, "from")?, oid(&v, "to")?));
+    }
+    for v in read_lines("reddit.jsonl")? {
+        let m = RedditMatch {
+            username: s(&v, "username"),
+            total_comments: n(&v, "total_comments") as u64,
+            comments: v
+                .get("comments")
+                .and_then(|a| a.as_array())
+                .map(|items| items.iter().filter_map(|i| i.as_str().map(str::to_owned)).collect())
+                .unwrap_or_default(),
+        };
+        store.reddit.insert(m.username.clone(), m);
+    }
+    Ok(store)
+}
+
+fn label_str(l: ShadowLabel) -> &'static str {
+    match l {
+        ShadowLabel::Standard => "standard",
+        ShadowLabel::Nsfw => "nsfw",
+        ShadowLabel::Offensive => "offensive",
+        ShadowLabel::Both => "both",
+    }
+}
+
+fn label_from_str(s: &str) -> ShadowLabel {
+    match s {
+        "nsfw" => ShadowLabel::Nsfw,
+        "offensive" => ShadowLabel::Offensive,
+        "both" => ShadowLabel::Both,
+        _ => ShadowLabel::Standard,
+    }
+}
+
+fn meta_to_json(m: &HiddenMeta) -> Value {
+    Value::object()
+        .with("language", m.language.as_str())
+        .with("canLogin", m.can_login)
+        .with("canPost", m.can_post)
+        .with("canReport", m.can_report)
+        .with("canChat", m.can_chat)
+        .with("canVote", m.can_vote)
+        .with("isBanned", m.is_banned)
+        .with("isAdmin", m.is_admin)
+        .with("isModerator", m.is_moderator)
+        .with("isPro", m.is_pro)
+        .with("isDonor", m.is_donor)
+        .with("isInvestor", m.is_investor)
+        .with("isPremium", m.is_premium)
+        .with("isTippable", m.is_tippable)
+        .with("isPrivate", m.is_private)
+        .with("verified", m.verified)
+        .with("filterPro", m.filter_pro)
+        .with("filterVerified", m.filter_verified)
+        .with("filterStandard", m.filter_standard)
+        .with("filterNsfw", m.filter_nsfw)
+        .with("filterOffensive", m.filter_offensive)
+}
+
+fn meta_from_json(v: &Value) -> HiddenMeta {
+    let b = |k: &str| v.get(k).and_then(|x| x.as_bool()).unwrap_or(false);
+    HiddenMeta {
+        language: v.get("language").and_then(|x| x.as_str()).unwrap_or("").to_owned(),
+        can_login: b("canLogin"),
+        can_post: b("canPost"),
+        can_report: b("canReport"),
+        can_chat: b("canChat"),
+        can_vote: b("canVote"),
+        is_banned: b("isBanned"),
+        is_admin: b("isAdmin"),
+        is_moderator: b("isModerator"),
+        is_pro: b("isPro"),
+        is_donor: b("isDonor"),
+        is_investor: b("isInvestor"),
+        is_premium: b("isPremium"),
+        is_tippable: b("isTippable"),
+        is_private: b("isPrivate"),
+        verified: b("verified"),
+        filter_pro: b("filterPro"),
+        filter_verified: b("filterVerified"),
+        filter_standard: b("filterStandard"),
+        filter_nsfw: b("filterNsfw"),
+        filter_offensive: b("filterOffensive"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn sample_store() -> CrawlStore {
+        let mut store = CrawlStore::default();
+        let mut ag = ObjectIdGen::new(EntityKind::Author, 1);
+        let mut ug = ObjectIdGen::new(EntityKind::CommentUrl, 2);
+        let mut cg = ObjectIdGen::new(EntityKind::Comment, 3);
+        store.gab_accounts.push(GabAccount {
+            gab_id: 1,
+            username: "e".into(),
+            created_at: "2016-08-15T00:00:00Z".into(),
+            created_epoch: 1_471_219_200,
+            followers_count: 10,
+            following_count: 2,
+        });
+        let author = ag.next(100);
+        let url = ug.next(200);
+        store.users.insert(
+            "alice".into(),
+            CrawledUser {
+                username: "alice".into(),
+                author_id: author,
+                display_name: "Alice & Co".into(),
+                bio: "speaks \"freely\"\nnewline".into(),
+                url_ids: vec![url],
+                meta: Some(HiddenMeta {
+                    language: "de".into(),
+                    can_login: true,
+                    filter_nsfw: true,
+                    ..Default::default()
+                }),
+            },
+        );
+        store.dissenter_usernames.push("alice".into());
+        store.urls.insert(
+            url,
+            CrawledUrl {
+                id: url,
+                url: "https://example.com/a?x=1&y=2".into(),
+                title: "T".into(),
+                description: String::new(),
+                upvotes: 3,
+                downvotes: 1,
+                declared_comment_count: 2,
+            },
+        );
+        let parent = cg.next(300);
+        for (id, p, label) in [
+            (parent, None, ShadowLabel::Standard),
+            (cg.next(301), Some(parent), ShadowLabel::Both),
+        ] {
+            store.comments.insert(
+                id,
+                CrawledComment {
+                    id,
+                    url_id: url,
+                    author_id: author,
+                    parent: p,
+                    text: "hi \u{1F600} unicode".into(),
+                    created_at: 300,
+                    label,
+                },
+            );
+        }
+        store.youtube.push(CrawledYoutube {
+            url: "https://youtube.com/watch?v=x".into(),
+            kind: "video".into(),
+            available: false,
+            reason: Some("This video is private".into()),
+            owner: None,
+            comments_disabled: false,
+        });
+        store.follow_edges.push((author, author));
+        store.reddit.insert(
+            "alice".into(),
+            RedditMatch { username: "alice".into(), total_comments: 7, comments: vec!["r1".into()] },
+        );
+        store
+    }
+
+    #[test]
+    fn round_trips_everything() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("crawl-persist-{}", std::process::id()));
+        save(&store, &dir).expect("save");
+        for f in FILES {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let loaded = load(&dir).expect("load");
+        assert_eq!(loaded.gab_accounts.len(), 1);
+        assert_eq!(loaded.gab_accounts[0].username, "e");
+        let alice = &loaded.users["alice"];
+        assert_eq!(alice.bio, "speaks \"freely\"\nnewline");
+        assert_eq!(alice.url_ids.len(), 1);
+        assert_eq!(alice.meta.as_ref().unwrap().language, "de");
+        assert!(alice.meta.as_ref().unwrap().filter_nsfw);
+        assert_eq!(loaded.urls.len(), 1);
+        assert_eq!(loaded.comments.len(), 2);
+        let both = loaded.comments.values().find(|c| c.parent.is_some()).unwrap();
+        assert_eq!(both.label, ShadowLabel::Both);
+        assert_eq!(both.text, "hi \u{1F600} unicode");
+        assert_eq!(loaded.youtube.len(), 1);
+        assert_eq!(loaded.follow_edges.len(), 1);
+        assert_eq!(loaded.reddit["alice"].total_comments, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(load(Path::new("/nonexistent/xyz")).is_err());
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let store = sample_store();
+        let d1 = std::env::temp_dir().join(format!("crawl-det1-{}", std::process::id()));
+        let d2 = std::env::temp_dir().join(format!("crawl-det2-{}", std::process::id()));
+        save(&store, &d1).unwrap();
+        save(&store, &d2).unwrap();
+        for f in FILES {
+            let a = std::fs::read(d1.join(f)).unwrap();
+            let b = std::fs::read(d2.join(f)).unwrap();
+            assert_eq!(a, b, "{f} differs");
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! Phase 2 — Dissenter account probing by response size (§3.1).
+//!
+//! "Based on the HTTP response sizes, we are able to identify Dissenter
+//! accounts, which are at least 10 kB; responses for non-existent users
+//! are ∼150 bytes."
+
+use crate::store::CrawlStore;
+use crate::Crawler;
+
+/// The size threshold separating real home pages from misses.
+pub const SIZE_THRESHOLD: usize = 10 * 1024;
+
+/// Probe every enumerated Gab username for a Dissenter home page.
+pub fn probe_dissenter_accounts(crawler: &Crawler, store: &mut CrawlStore) {
+    let usernames: Vec<String> = store.gab_accounts.iter().map(|a| a.username.clone()).collect();
+    let mut hits = crate::parallel::parallel_fetch(
+        crawler.endpoints.dissenter,
+        &usernames,
+        crawler.config.workers,
+        |_| {},
+        |client, name| {
+            store.stats.add_requests(1);
+            let resp = client
+                .get_resilient(&format!("/user/{name}"), crawler.config.retries, crawler.config.backoff)
+                .ok()?;
+            // Classification is purely by body size — deliberately NOT by
+            // status code, mirroring the paper's inference.
+            (resp.body.len() >= SIZE_THRESHOLD).then(|| name.clone())
+        },
+    );
+    hits.sort();
+    store.dissenter_usernames = hits;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_matches_paper() {
+        assert_eq!(SIZE_THRESHOLD, 10_240);
+    }
+}

@@ -1,0 +1,59 @@
+//! Phase 7 — Reddit username matching and Pushshift history pulls
+//! (§4.4.1).
+
+use crate::store::{CrawlStore, RedditMatch};
+use crate::Crawler;
+
+const PAGE_SIZE: usize = 100;
+
+/// Check every Dissenter username on Reddit; for matches, pull the full
+/// available comment history.
+pub fn crawl_reddit(crawler: &Crawler, store: &mut CrawlStore) {
+    let names: Vec<String> = store.users.keys().cloned().collect();
+    let matches = crate::parallel::parallel_fetch(
+        crawler.endpoints.reddit,
+        &names,
+        crawler.config.workers,
+        |_| {},
+        |client, name| {
+            store.stats.add_requests(1);
+            let about = client
+                .get_resilient(&format!("/user/{name}/about"), crawler.config.retries, crawler.config.backoff)
+                .ok()?;
+            if !about.status.is_success() {
+                return None;
+            }
+            let total = jsonlite::parse(&about.text())
+                .ok()?
+                .get("total_comments")
+                .and_then(|t| t.as_i64())
+                .unwrap_or(0) as u64;
+            let mut comments = Vec::new();
+            let mut page = 0usize;
+            loop {
+                store.stats.add_requests(1);
+                let resp = client
+                    .get_resilient(
+                        &format!("/pushshift/comments?author={name}&page={page}"),
+                        crawler.config.retries,
+                        crawler.config.backoff,
+                    )
+                    .ok()?;
+                let v = jsonlite::parse(&resp.text()).ok()?;
+                let data = v.get("data").and_then(|d| d.as_array()).unwrap_or(&[]).to_vec();
+                let n = data.len();
+                for item in data {
+                    if let Some(body) = item.get("body").and_then(|b| b.as_str()) {
+                        comments.push(body.to_owned());
+                    }
+                }
+                if n < PAGE_SIZE {
+                    break;
+                }
+                page += 1;
+            }
+            Some(RedditMatch { username: name.clone(), total_comments: total, comments })
+        },
+    );
+    store.reddit = matches.into_iter().map(|m| (m.username.clone(), m)).collect();
+}

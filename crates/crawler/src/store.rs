@@ -1,0 +1,309 @@
+//! The crawl's output: a reconstructed mirror of the platform.
+
+use ids::ObjectId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One enumerated Gab account (from the accounts API).
+#[derive(Debug, Clone)]
+pub struct GabAccount {
+    /// Sequential Gab ID.
+    pub gab_id: u64,
+    /// Username.
+    pub username: String,
+    /// ISO-8601 creation time string as returned by the API.
+    pub created_at: String,
+    /// Creation time parsed to epoch seconds (for Fig. 2).
+    pub created_epoch: u64,
+    /// Follower count advertised by the API.
+    pub followers_count: u64,
+    /// Following count advertised by the API.
+    pub following_count: u64,
+}
+
+/// Hidden per-user metadata scraped from the `commentAuthor` blob (§3.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HiddenMeta {
+    /// Language setting.
+    pub language: String,
+    /// Permission flags in Table-1 order.
+    pub can_login: bool,
+    /// canPost
+    pub can_post: bool,
+    /// canReport
+    pub can_report: bool,
+    /// canChat
+    pub can_chat: bool,
+    /// canVote
+    pub can_vote: bool,
+    /// isBanned
+    pub is_banned: bool,
+    /// isAdmin
+    pub is_admin: bool,
+    /// isModerator
+    pub is_moderator: bool,
+    /// isPro
+    pub is_pro: bool,
+    /// isDonor
+    pub is_donor: bool,
+    /// isInvestor
+    pub is_investor: bool,
+    /// isPremium
+    pub is_premium: bool,
+    /// isTippable
+    pub is_tippable: bool,
+    /// isPrivate
+    pub is_private: bool,
+    /// verified
+    pub verified: bool,
+    /// View filter: pro
+    pub filter_pro: bool,
+    /// View filter: verified
+    pub filter_verified: bool,
+    /// View filter: standard
+    pub filter_standard: bool,
+    /// View filter: nsfw
+    pub filter_nsfw: bool,
+    /// View filter: offensive
+    pub filter_offensive: bool,
+}
+
+/// A crawled Dissenter user.
+#[derive(Debug, Clone)]
+pub struct CrawledUser {
+    /// Username (from the probe phase).
+    pub username: String,
+    /// Author-id scraped from the home page.
+    pub author_id: ObjectId,
+    /// Display name.
+    pub display_name: String,
+    /// Biography.
+    pub bio: String,
+    /// Commenturl-ids listed on the home page, in page order.
+    pub url_ids: Vec<ObjectId>,
+    /// Hidden metadata (filled by the comment-page scrape; `None` for
+    /// users with no comments).
+    pub meta: Option<HiddenMeta>,
+}
+
+/// A crawled comment thread (URL record).
+#[derive(Debug, Clone)]
+pub struct CrawledUrl {
+    /// Commenturl-id.
+    pub id: ObjectId,
+    /// The URL string.
+    pub url: String,
+    /// Page title.
+    pub title: String,
+    /// Page description.
+    pub description: String,
+    /// Thumbs up.
+    pub upvotes: u32,
+    /// Thumbs down.
+    pub downvotes: u32,
+    /// Total comment count displayed on the page (includes shadow
+    /// content the anonymous crawl cannot see).
+    pub declared_comment_count: usize,
+}
+
+/// Shadow-label classification inferred by the diff crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowLabel {
+    /// Visible anonymously.
+    Standard,
+    /// Appeared only with the NSFW filter enabled.
+    Nsfw,
+    /// Appeared only with the "offensive" filter enabled.
+    Offensive,
+    /// Appeared in both authenticated crawls but not anonymously.
+    Both,
+}
+
+/// A crawled comment or reply.
+#[derive(Debug, Clone)]
+pub struct CrawledComment {
+    /// Comment-id.
+    pub id: ObjectId,
+    /// Thread it belongs to.
+    pub url_id: ObjectId,
+    /// Author.
+    pub author_id: ObjectId,
+    /// Parent comment for replies.
+    pub parent: Option<ObjectId>,
+    /// Text.
+    pub text: String,
+    /// Creation epoch seconds (scraped `data-created`).
+    pub created_at: u64,
+    /// Inferred label.
+    pub label: ShadowLabel,
+}
+
+/// Rendered YouTube state for one URL.
+#[derive(Debug, Clone)]
+pub struct CrawledYoutube {
+    /// The page URL.
+    pub url: String,
+    /// "video" / "user" / "channel".
+    pub kind: String,
+    /// Renders?
+    pub available: bool,
+    /// Unavailability reason text, if gone.
+    pub reason: Option<String>,
+    /// Content owner, if active.
+    pub owner: Option<String>,
+    /// Comments disabled on YouTube itself?
+    pub comments_disabled: bool,
+}
+
+/// Reddit match for one Dissenter username.
+#[derive(Debug, Clone)]
+pub struct RedditMatch {
+    /// Username.
+    pub username: String,
+    /// Full comment count declared by the archive.
+    pub total_comments: u64,
+    /// Downloaded comment bodies.
+    pub comments: Vec<String>,
+}
+
+/// Operational counters (the §4.3.1 hygiene evidence).
+#[derive(Debug, Default)]
+pub struct CrawlStats {
+    /// HTTP requests issued.
+    pub requests: AtomicU64,
+    /// Requests that failed and were retried.
+    pub retries: AtomicU64,
+    /// Requests that never succeeded.
+    pub failures: AtomicU64,
+    /// Rate-limit sleeps honored.
+    pub rate_limit_sleeps: AtomicU64,
+}
+
+impl CrawlStats {
+    /// Record `n` issued requests.
+    pub fn add_requests(&self, n: u64) {
+        self.requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a retry.
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a permanent failure.
+    pub fn add_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a rate-limit sleep.
+    pub fn add_rate_limit_sleep(&self) {
+        self.rate_limit_sleeps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything the crawl produced.
+#[derive(Debug, Default)]
+pub struct CrawlStore {
+    /// Enumerated Gab accounts, ascending by ID.
+    pub gab_accounts: Vec<GabAccount>,
+    /// Usernames confirmed to have Dissenter accounts.
+    pub dissenter_usernames: Vec<String>,
+    /// Crawled users by username.
+    pub users: HashMap<String, CrawledUser>,
+    /// Crawled threads by commenturl-id.
+    pub urls: HashMap<ObjectId, CrawledUrl>,
+    /// Crawled comments by comment-id.
+    pub comments: HashMap<ObjectId, CrawledComment>,
+    /// Validation outcomes from the shadow crawl: `(sampled, confirmed)`.
+    pub shadow_validation: (usize, usize),
+    /// Rendered YouTube states by URL.
+    pub youtube: Vec<CrawledYoutube>,
+    /// Follower edges among Dissenter users, as `(follower, followed)`
+    /// author-id pairs.
+    pub follow_edges: Vec<(ObjectId, ObjectId)>,
+    /// Reddit matches by username.
+    pub reddit: HashMap<String, RedditMatch>,
+    /// Operational counters.
+    pub stats: CrawlStats,
+}
+
+impl CrawlStore {
+    /// Comments labeled NSFW (including dual-labeled).
+    pub fn nsfw_comments(&self) -> impl Iterator<Item = &CrawledComment> {
+        self.comments
+            .values()
+            .filter(|c| matches!(c.label, ShadowLabel::Nsfw | ShadowLabel::Both))
+    }
+
+    /// Comments labeled "offensive" (including dual-labeled).
+    pub fn offensive_comments(&self) -> impl Iterator<Item = &CrawledComment> {
+        self.comments
+            .values()
+            .filter(|c| matches!(c.label, ShadowLabel::Offensive | ShadowLabel::Both))
+    }
+
+    /// Comments per author.
+    pub fn comments_by_author(&self) -> HashMap<ObjectId, Vec<&CrawledComment>> {
+        let mut m: HashMap<ObjectId, Vec<&CrawledComment>> = HashMap::new();
+        for c in self.comments.values() {
+            m.entry(c.author_id).or_default().push(c);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn comment(label: ShadowLabel, g: &mut ObjectIdGen) -> CrawledComment {
+        CrawledComment {
+            id: g.next(10),
+            url_id: g.next(1),
+            author_id: g.next(2),
+            parent: None,
+            text: "t".into(),
+            created_at: 10,
+            label,
+        }
+    }
+
+    #[test]
+    fn shadow_filters() {
+        let mut store = CrawlStore::default();
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 0);
+        for label in [ShadowLabel::Standard, ShadowLabel::Nsfw, ShadowLabel::Offensive, ShadowLabel::Both] {
+            let c = comment(label, &mut g);
+            store.comments.insert(c.id, c);
+        }
+        assert_eq!(store.nsfw_comments().count(), 2);
+        assert_eq!(store.offensive_comments().count(), 2);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let s = CrawlStats::default();
+        s.add_requests(5);
+        s.add_retry();
+        s.add_failure();
+        s.add_rate_limit_sleep();
+        assert_eq!(s.requests.load(Ordering::Relaxed), 5);
+        assert_eq!(s.retries.load(Ordering::Relaxed), 1);
+        assert_eq!(s.failures.load(Ordering::Relaxed), 1);
+        assert_eq!(s.rate_limit_sleeps.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn comments_by_author_groups() {
+        let mut store = CrawlStore::default();
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 1);
+        let a = comment(ShadowLabel::Standard, &mut g);
+        let mut b = comment(ShadowLabel::Standard, &mut g);
+        b.author_id = a.author_id;
+        store.comments.insert(a.id, a.clone());
+        store.comments.insert(b.id, b);
+        let by = store.comments_by_author();
+        assert_eq!(by[&a.author_id].len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Phase 5 — YouTube content crawl (§3.3).
+
+use crate::store::{CrawlStore, CrawledYoutube};
+use crate::Crawler;
+use platform::youtube::is_youtube_url;
+
+/// Fetch the rendered state of every YouTube URL found in the crawl.
+pub fn crawl_youtube(crawler: &Crawler, store: &mut CrawlStore) {
+    let targets: Vec<String> = store
+        .urls
+        .values()
+        .map(|u| u.url.clone())
+        .filter(|u| is_youtube_url(u))
+        .collect();
+    let results = crate::parallel::parallel_fetch(
+        crawler.endpoints.youtube,
+        &targets,
+        crawler.config.workers,
+        |_| {},
+        |client, url| {
+            store.stats.add_requests(1);
+            let target = format!("/render?url={}", httpnet::http::percent_encode(url));
+            let resp = client
+                .get_resilient(&target, crawler.config.retries, crawler.config.backoff)
+                .ok()?;
+            if !resp.status.is_success() {
+                // Never-hosted URL: record as unavailable/unknown.
+                return Some(CrawledYoutube {
+                    url: url.clone(),
+                    kind: "unknown".into(),
+                    available: false,
+                    reason: Some("not found".into()),
+                    owner: None,
+                    comments_disabled: false,
+                });
+            }
+            let v = jsonlite::parse(&resp.text()).ok()?;
+            Some(CrawledYoutube {
+                url: url.clone(),
+                kind: v.get("kind")?.as_str()?.to_owned(),
+                available: v.get("available")?.as_bool()?,
+                reason: v.get("reason").and_then(|r| r.as_str()).map(str::to_owned),
+                owner: v.get("owner").and_then(|o| o.as_str()).map(str::to_owned),
+                comments_disabled: v
+                    .get("comments_disabled")
+                    .and_then(|c| c.as_bool())
+                    .unwrap_or(false),
+            })
+        },
+    );
+    store.youtube = results;
+}

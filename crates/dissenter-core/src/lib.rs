@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+//! The public pipeline: generate → serve → crawl → classify → analyze.
+//!
+//! [`run_study`] is the one-call entry point reproducing the entire paper:
+//! it synthesizes a world at the configured scale, serves it over loopback
+//! HTTP as four services (Dissenter, Gab, Reddit, rendered YouTube), runs
+//! the §3 measurement methodology against those services, scores every
+//! comment with the §3.5 classification stack (dictionary, Perspective
+//! stand-in, SVM), and assembles every §4 table and figure into a
+//! [`Study`].
+//!
+//! ```no_run
+//! use dissenter_core::{run_study, StudyConfig};
+//!
+//! let study = run_study(&StudyConfig::small());
+//! println!("{}", dissenter_core::render::overview(&study));
+//! assert!(study.report.overview.comments > 0);
+//! ```
+
+pub mod experiments;
+pub mod render;
+pub mod svm_exp;
+
+use analysis::report::{build_report, StudyReport};
+use crawler::{CrawlConfig, CrawlStore, Crawler, Endpoints};
+use std::sync::Arc;
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::SimServices;
+
+pub use svm_exp::SvmReport;
+
+/// End-to-end study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// World generation parameters.
+    pub world: WorldConfig,
+    /// Crawl tuning.
+    pub crawl: CrawlConfig,
+    /// Worker threads for CPU-bound scoring.
+    pub workers: usize,
+    /// Size of the synthetic labeled corpus for the SVM experiment
+    /// (the Davidson corpus is 37,718 samples; scale to taste).
+    pub svm_corpus: usize,
+    /// Skip the SVM experiment (it is the most CPU-intensive stage).
+    pub skip_svm: bool,
+}
+
+impl StudyConfig {
+    /// Test-sized configuration.
+    pub fn small() -> Self {
+        Self {
+            world: WorldConfig::small(),
+            crawl: CrawlConfig::default(),
+            workers: 8,
+            svm_corpus: 2_000,
+            skip_svm: false,
+        }
+    }
+
+    /// Configuration at an arbitrary scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self { world: WorldConfig::at(scale), ..Self::small() }
+    }
+}
+
+/// The complete study output.
+#[derive(Debug)]
+pub struct Study {
+    /// Every §4 table and figure.
+    pub report: StudyReport,
+    /// The §3.5.3 SVM experiment (None when skipped).
+    pub svm: Option<SvmReport>,
+    /// The raw crawl mirror.
+    pub store: CrawlStore,
+    /// The scale factor the world was generated at.
+    pub scale_factor: f64,
+}
+
+/// Run the full pipeline.
+pub fn run_study(cfg: &StudyConfig) -> Study {
+    let (world, _truth) = synth::generate(&cfg.world);
+    let world = Arc::new(world);
+    let services = SimServices::start(world.clone(), crawler::default_server_config())
+        .expect("failed to start simulated services");
+    let mut crawler = Crawler::new(Endpoints {
+        dissenter: services.dissenter.addr(),
+        gab: services.gab.addr(),
+        reddit: services.reddit.addr(),
+        youtube: services.youtube.addr(),
+    });
+    crawler.config = cfg.crawl.clone();
+    // Scale the enumeration stop-window with the world (IDs are sparse).
+    crawler.config.enum_gap_tolerance = crawler
+        .config
+        .enum_gap_tolerance
+        .min((world.gab.max_id() / 4).max(512));
+    let store = crawler.full_crawl();
+
+    let report = build_report(&store, &world.baselines, cfg.workers);
+    let svm = (!cfg.skip_svm).then(|| svm_exp::run_svm_experiment(&store, cfg.svm_corpus, cfg.world.seed));
+    Study { report, svm, store, scale_factor: cfg.world.scale.factor() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_study_runs_end_to_end() {
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.002);
+        cfg.svm_corpus = 400;
+        let study = run_study(&cfg);
+        assert!(study.report.overview.comments > 100);
+        assert!(study.report.overview.urls > 50);
+        assert!(study.svm.as_ref().expect("svm ran").cv_f1 > 0.5);
+        // Every figure section materialized.
+        assert_eq!(study.report.figure7.len(), 4);
+        assert!(!study.report.figure8.severe_by_bias.is_empty());
+        assert!(study.report.social.users > 0);
+    }
+}

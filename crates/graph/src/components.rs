@@ -1,0 +1,132 @@
+//! Connected components over undirected adjacency lists.
+//!
+//! The hateful-core analysis (§4.5.1) reports its result as connected
+//! components of a mutual-follow subgraph: "six connected components …
+//! one large connected component, with 32 interconnected users".
+
+/// Summary of a component decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSummary {
+    /// Component membership: `labels[v]` is the component id of node v,
+    /// or `u32::MAX` if the node was not in the node set.
+    pub labels: Vec<u32>,
+    /// Component sizes in descending order.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentSummary {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 if there are none).
+    pub fn giant(&self) -> usize {
+        self.sizes.first().copied().unwrap_or(0)
+    }
+}
+
+/// Connected components of the subgraph induced on `nodes`, using
+/// undirected adjacency `adj` (restricted to members of `nodes`).
+///
+/// Runs an iterative BFS (no recursion — component sizes are unbounded).
+pub fn connected_components(adj: &[Vec<u32>], nodes: &[u32]) -> ComponentSummary {
+    let n = adj.len();
+    let mut in_set = vec![false; n];
+    for &v in nodes {
+        in_set[v as usize] = true;
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut next_label = 0u32;
+    for &start in nodes {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        labels[start as usize] = next_label;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in &adj[v as usize] {
+                if in_set[w as usize] && labels[w as usize] == u32::MAX {
+                    labels[w as usize] = next_label;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+        next_label += 1;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    ComponentSummary { labels, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        adj
+    }
+
+    #[test]
+    fn single_component() {
+        let adj = undirected(3, &[(0, 1), (1, 2)]);
+        let c = connected_components(&adj, &[0, 1, 2]);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.giant(), 3);
+    }
+
+    #[test]
+    fn multiple_components_sorted_by_size() {
+        let adj = undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&adj, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.sizes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_respects_node_set() {
+        // 0-1-2 chain, but 1 excluded: 0 and 2 end up separate.
+        let adj = undirected(3, &[(0, 1), (1, 2)]);
+        let c = connected_components(&adj, &[0, 2]);
+        assert_eq!(c.sizes, vec![1, 1]);
+        assert_eq!(c.labels[1], u32::MAX);
+    }
+
+    #[test]
+    fn empty_node_set() {
+        let adj = undirected(3, &[(0, 1)]);
+        let c = connected_components(&adj, &[]);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant(), 0);
+    }
+
+    #[test]
+    fn labels_consistent_within_component() {
+        let adj = undirected(5, &[(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&adj, &[0, 1, 2, 3, 4]);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[1], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+    }
+
+    #[test]
+    fn large_path_no_stack_overflow() {
+        // 100k-node path: recursion would overflow; BFS must not.
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let adj = undirected(n, &edges);
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        let c = connected_components(&adj, &nodes);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.giant(), n);
+    }
+}

@@ -1,0 +1,166 @@
+//! Hateful-core extraction (§4.5.1).
+//!
+//! The paper induces a subgraph on users `a`, `b` such that:
+//!   i) `a` and `b` are **mutual** followers;
+//!  ii) `a` has posted **≥ 100** comments or replies;
+//! iii) `a`'s **median** comment toxicity is **≥ 0.3**.
+//!
+//! On their data this yields 42 users in 6 connected components with one
+//! 32-user giant component. This module implements the same induction
+//! generically over per-user activity and toxicity series.
+
+use crate::components::{connected_components, ComponentSummary};
+use crate::digraph::DiGraph;
+
+/// Thresholds for core membership. Defaults match the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreCriteria {
+    /// Minimum comments + replies for a user to qualify (paper: 100).
+    pub min_comments: u64,
+    /// Minimum median toxicity (paper: 0.3).
+    pub min_median_toxicity: f64,
+}
+
+impl Default for CoreCriteria {
+    fn default() -> Self {
+        Self { min_comments: 100, min_median_toxicity: 0.3 }
+    }
+}
+
+/// The extracted core.
+#[derive(Debug, Clone)]
+pub struct HatefulCore {
+    /// Node indices of core members (those with ≥1 mutual edge to another
+    /// qualifying member), ascending.
+    pub members: Vec<u32>,
+    /// Component decomposition of the induced mutual subgraph.
+    pub components: ComponentSummary,
+}
+
+impl HatefulCore {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Extract the hateful core.
+///
+/// * `g` — the directed follow graph;
+/// * `comment_counts[v]` — comments+replies authored by node `v`;
+/// * `median_toxicity[v]` — the node's median comment toxicity (NaN if the
+///   node has no comments; NaN never qualifies).
+pub fn extract_hateful_core(
+    g: &DiGraph,
+    comment_counts: &[u64],
+    median_toxicity: &[f64],
+    criteria: CoreCriteria,
+) -> HatefulCore {
+    let n = g.node_count();
+    assert_eq!(comment_counts.len(), n, "comment_counts length mismatch");
+    assert_eq!(median_toxicity.len(), n, "median_toxicity length mismatch");
+
+    let qualifies = |v: u32| -> bool {
+        let i = v as usize;
+        comment_counts[i] >= criteria.min_comments
+            && median_toxicity[i] >= criteria.min_median_toxicity
+    };
+
+    // Mutual adjacency restricted to qualifying endpoints.
+    let mut adj = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        if !qualifies(u) {
+            continue;
+        }
+        for &v in g.following(u) {
+            if v > u && qualifies(v) && g.has_edge(v, u) {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+    }
+    // Members: qualifying nodes with at least one induced edge. (A
+    // qualifying node with no mutual qualifying neighbor is not "connected
+    // to other users also with high toxicity".)
+    let members: Vec<u32> = (0..n as u32)
+        .filter(|&v| !adj[v as usize].is_empty())
+        .collect();
+    let components = connected_components(&adj, &members);
+    HatefulCore { members, components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mutual(g: &mut DiGraph, a: u32, b: u32) {
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+    }
+
+    #[test]
+    fn extracts_planted_core() {
+        let mut g = DiGraph::with_nodes(8);
+        // Core clique: 0,1,2 mutually follow; 3,4 mutually follow.
+        mutual(&mut g, 0, 1);
+        mutual(&mut g, 1, 2);
+        mutual(&mut g, 3, 4);
+        // 5 is toxic+active but only one-way follows 0.
+        g.add_edge(5, 0);
+        // 6 mutual with 0 but not active enough; 7 mutual with 1 but mild.
+        mutual(&mut g, 6, 0);
+        mutual(&mut g, 7, 1);
+        let counts = [200, 150, 300, 120, 110, 500, 10, 400];
+        let tox = [0.5, 0.4, 0.9, 0.31, 0.35, 0.8, 0.9, 0.1];
+        let core = extract_hateful_core(&g, &counts, &tox, CoreCriteria::default());
+        assert_eq!(core.members, vec![0, 1, 2, 3, 4]);
+        assert_eq!(core.components.count(), 2);
+        assert_eq!(core.components.giant(), 3);
+    }
+
+    #[test]
+    fn empty_when_nobody_qualifies() {
+        let mut g = DiGraph::with_nodes(3);
+        mutual(&mut g, 0, 1);
+        let core = extract_hateful_core(&g, &[5, 5, 5], &[0.9, 0.9, 0.9], CoreCriteria::default());
+        assert_eq!(core.size(), 0);
+        assert_eq!(core.components.count(), 0);
+    }
+
+    #[test]
+    fn nan_toxicity_never_qualifies() {
+        let mut g = DiGraph::with_nodes(2);
+        mutual(&mut g, 0, 1);
+        let core = extract_hateful_core(
+            &g,
+            &[200, 200],
+            &[f64::NAN, 0.9],
+            CoreCriteria::default(),
+        );
+        assert_eq!(core.size(), 0);
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let mut g = DiGraph::with_nodes(2);
+        mutual(&mut g, 0, 1);
+        let core = extract_hateful_core(&g, &[100, 100], &[0.3, 0.3], CoreCriteria::default());
+        assert_eq!(core.size(), 2);
+    }
+
+    #[test]
+    fn custom_criteria_respected() {
+        let mut g = DiGraph::with_nodes(2);
+        mutual(&mut g, 0, 1);
+        let crit = CoreCriteria { min_comments: 10, min_median_toxicity: 0.05 };
+        let core = extract_hateful_core(&g, &[10, 12], &[0.06, 0.07], crit);
+        assert_eq!(core.size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let g = DiGraph::with_nodes(2);
+        extract_hateful_core(&g, &[1], &[0.1, 0.2], CoreCriteria::default());
+    }
+}

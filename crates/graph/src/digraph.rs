@@ -1,0 +1,210 @@
+//! A compact directed graph over dense `u32` node indices.
+//!
+//! Nodes are externally mapped (the analysis layer maps author-ids to
+//! indices); the graph itself stores adjacency as sorted vectors for
+//! deterministic iteration and O(log d) edge queries.
+
+/// A directed graph. Edge `(u, v)` means "u follows v".
+///
+/// ```
+/// let mut g = graph::DiGraph::with_nodes(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 0);
+/// assert!(g.mutual(0, 1));
+/// assert_eq!(g.isolated_nodes(), vec![2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    out: Vec<Vec<u32>>,
+    inn: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl DiGraph {
+    /// An empty graph with `n` nodes (indices `0..n`).
+    pub fn with_nodes(n: usize) -> Self {
+        Self { out: vec![Vec::new(); n], inn: vec![Vec::new(); n], edges: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Ensure node `v` exists, growing the graph if needed.
+    pub fn ensure_node(&mut self, v: u32) {
+        let need = v as usize + 1;
+        if need > self.out.len() {
+            self.out.resize(need, Vec::new());
+            self.inn.resize(need, Vec::new());
+        }
+    }
+
+    /// Add edge `u → v` (u follows v). Duplicate edges and self-loops are
+    /// ignored (a user cannot follow themselves on Gab).
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure_node(u.max(v));
+        let out = &mut self.out[u as usize];
+        match out.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                out.insert(pos, v);
+                let inn = &mut self.inn[v as usize];
+                let ipos = inn.binary_search(&u).unwrap_err();
+                inn.insert(ipos, u);
+                self.edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Does edge `u → v` exist?
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.out
+            .get(u as usize)
+            .map(|o| o.binary_search(&v).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Users `u` follows.
+    pub fn following(&self, u: u32) -> &[u32] {
+        self.out.get(u as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Users following `u`.
+    pub fn followers(&self, u: u32) -> &[u32] {
+        self.inn.get(u as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Out-degree (following count).
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.following(u).len()
+    }
+
+    /// In-degree (follower count).
+    pub fn in_degree(&self, u: u32) -> usize {
+        self.followers(u).len()
+    }
+
+    /// All in-degrees, indexed by node.
+    pub fn in_degrees(&self) -> Vec<u64> {
+        (0..self.node_count() as u32).map(|v| self.in_degree(v) as u64).collect()
+    }
+
+    /// All out-degrees, indexed by node.
+    pub fn out_degrees(&self) -> Vec<u64> {
+        (0..self.node_count() as u32).map(|v| self.out_degree(v) as u64).collect()
+    }
+
+    /// Are `u` and `v` mutual followers?
+    pub fn mutual(&self, u: u32, v: u32) -> bool {
+        self.has_edge(u, v) && self.has_edge(v, u)
+    }
+
+    /// Nodes with neither followers nor followings — the paper found
+    /// 15,702 such isolated Dissenter users (§4.5.1).
+    pub fn isolated_nodes(&self) -> Vec<u32> {
+        (0..self.node_count() as u32)
+            .filter(|&v| self.in_degree(v) == 0 && self.out_degree(v) == 0)
+            .collect()
+    }
+
+    /// The undirected "mutual-follow" graph as adjacency lists: `u ~ v` iff
+    /// both directed edges exist. Used by the hateful-core extraction.
+    pub fn mutual_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.node_count()];
+        for u in 0..self.node_count() as u32 {
+            for &v in self.following(u) {
+                if v > u && self.has_edge(v, u) {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DiGraph::with_nodes(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1), "duplicate rejected");
+        assert!(!g.add_edge(2, 2), "self-loop rejected");
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut g = DiGraph::default();
+        g.add_edge(5, 9);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.out_degree(5), 1);
+        assert_eq!(g.in_degree(9), 1);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(3, 0);
+        assert_eq!(g.following(0), &[1, 2]);
+        assert_eq!(g.followers(0), &[3]);
+        assert_eq!(g.out_degrees(), vec![2, 0, 0, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn mutual_detection() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1);
+        assert!(!g.mutual(0, 1));
+        g.add_edge(1, 0);
+        assert!(g.mutual(0, 1));
+        assert!(g.mutual(1, 0));
+    }
+
+    #[test]
+    fn isolated_nodes_found() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        assert_eq!(g.isolated_nodes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn mutual_adjacency_symmetric() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2); // one-way: excluded
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let adj = g.mutual_adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+        assert_eq!(adj[2], vec![3]);
+        assert_eq!(adj[3], vec![2]);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_empty() {
+        let g = DiGraph::with_nodes(1);
+        assert!(g.following(99).is_empty());
+        assert!(!g.has_edge(99, 0));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Directed social-graph algorithms for §4.5.
+//!
+//! The paper builds the Dissenter-specific social network by crawling Gab
+//! followers of every Dissenter user (Gab users are a strict superset), and
+//! analyzes it: in/out degree power laws, a following-vs-followers scatter,
+//! toxicity against degree, PageRank-style influence, and the "hateful
+//! core" — the subgraph induced on mutually-following, active, high-median-
+//! toxicity users, whose connected components the paper counts (42 users in
+//! 6 components, largest 32).
+
+pub mod components;
+pub mod core_extract;
+pub mod digraph;
+pub mod pagerank;
+
+pub use components::{connected_components, ComponentSummary};
+pub use core_extract::{extract_hateful_core, CoreCriteria, HatefulCore};
+pub use digraph::DiGraph;
+pub use pagerank::pagerank;

@@ -1,0 +1,287 @@
+//! The blocking HTTP client the crawler drives.
+//!
+//! Supports per-request headers and cookies, read timeouts, optional
+//! keep-alive, and simple retry with backoff — the operational behaviors
+//! the paper's crawl needed (timeout monitoring + re-requests, §4.3.1;
+//! rate-limit sleeps, §3.4).
+
+use crate::http::{read_response, write_request, Request, Response, WireError};
+use std::fmt;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(std::io::Error),
+    /// Failed mid-request/response (includes timeouts and drops).
+    Wire(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Wire(e) => write!(f, "request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking HTTP/1.1 client bound to one server address.
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    keep_alive: bool,
+    conn: Option<BufReader<TcpStream>>,
+    /// Cookies sent with every request as `name=value` pairs.
+    cookies: Vec<(String, String)>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Client({})", self.addr)
+    }
+}
+
+impl Client {
+    /// A client for `addr` with a 5-second timeout, no keep-alive.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(5),
+            keep_alive: false,
+            conn: None,
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Set the read timeout.
+    pub fn timeout(&mut self, t: Duration) -> &mut Self {
+        self.timeout = t;
+        self
+    }
+
+    /// Enable or disable connection reuse.
+    pub fn keep_alive(&mut self, on: bool) -> &mut Self {
+        self.keep_alive = on;
+        if !on {
+            self.conn = None;
+        }
+        self
+    }
+
+    /// Attach a cookie to all subsequent requests (e.g. the authenticated
+    /// session cookie used for the NSFW/offensive re-spider, §3.2).
+    pub fn set_cookie(&mut self, name: &str, value: &str) -> &mut Self {
+        self.cookies.retain(|(n, _)| n != name);
+        self.cookies.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Remove all cookies.
+    pub fn clear_cookies(&mut self) -> &mut Self {
+        self.cookies.clear();
+        self
+    }
+
+    /// Issue a GET. Requires `&mut self` only when keep-alive is on; this
+    /// immutable variant always uses a fresh connection.
+    pub fn get(&self, target: &str) -> Result<Response, ClientError> {
+        let req = self.build(Request::get(target));
+        self.send_fresh(&req)
+    }
+
+    /// Issue a GET over the persistent connection (establishing one on
+    /// demand; transparently reconnecting once if the pooled connection
+    /// died).
+    pub fn get_keep_alive(&mut self, target: &str) -> Result<Response, ClientError> {
+        if !self.keep_alive {
+            return self.get(target);
+        }
+        let req = self.build(Request::get(target));
+        if self.conn.is_none() {
+            self.conn = Some(BufReader::new(self.connect()?));
+        }
+        match self.send_on_conn(&req) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // Stale pooled connection: retry once on a fresh one.
+                self.conn = Some(BufReader::new(self.connect()?));
+                self.send_on_conn(&req)
+            }
+        }
+    }
+
+    /// Resilient GET over the persistent connection: retries on transport
+    /// errors *and* on 5xx responses (a fault-injected server error is as
+    /// transient as a dropped connection). The §4.3.1 re-request loop.
+    pub fn get_resilient(
+        &mut self,
+        target: &str,
+        retries: usize,
+        backoff: Duration,
+    ) -> Result<Response, ClientError> {
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..=retries {
+            match self.get_keep_alive(target) {
+                Ok(r) if r.status.0 < 500 => return Ok(r),
+                Ok(r) => {
+                    last_err = Some(ClientError::Wire(WireError::Malformed("server error")));
+                    let _ = r;
+                }
+                Err(e) => last_err = Some(e),
+            }
+            if attempt < retries && !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// GET with `retries` extra attempts and fixed `backoff` between them —
+    /// the timeout-re-request loop of §4.3.1.
+    pub fn get_with_retries(
+        &self,
+        target: &str,
+        retries: usize,
+        backoff: Duration,
+    ) -> Result<Response, ClientError> {
+        let mut last_err = None;
+        for attempt in 0..=retries {
+            match self.get(target) {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < retries && !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    fn build(&self, mut req: Request) -> Request {
+        req.headers.add("Host", "sim.local");
+        if !self.cookies.is_empty() {
+            let cookie = self
+                .cookies
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            req.headers.add("Cookie", &cookie);
+        }
+        if !self.keep_alive {
+            req.headers.add("Connection", "close");
+        }
+        req
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(ClientError::Connect)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(ClientError::Connect)?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn send_fresh(&self, req: &Request) -> Result<Response, ClientError> {
+        let stream = self.connect()?;
+        let mut write_half = stream.try_clone().map_err(ClientError::Connect)?;
+        write_request(req, &mut write_half).map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader).map_err(ClientError::Wire)
+    }
+
+    fn send_on_conn(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let reader = self.conn.as_mut().expect("connection present");
+        {
+            let stream = reader.get_mut();
+            write_request(req, stream).map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        }
+        match read_response(reader) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.conn = None;
+                Err(ClientError::Wire(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+    use crate::server::{Handler, Server, ServerConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn cookie_header_is_sent() {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            let auth = req.cookie("session").unwrap_or("none").to_owned();
+            Response::html(auth)
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+        assert_eq!(client.get("/").unwrap().text(), "none");
+        client.set_cookie("session", "tok123");
+        assert_eq!(client.get("/").unwrap().text(), "tok123");
+        client.clear_cookies();
+        assert_eq!(client.get("/").unwrap().text(), "none");
+    }
+
+    #[test]
+    fn retries_eventually_succeed_against_flaky_server() {
+        // Server drops the first 2 of every 3 requests.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &Request| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Response::html("ok".into())
+        });
+        let cfg = ServerConfig {
+            faults: crate::fault::FaultConfig { drop_prob: 0.66, seed: 3, ..Default::default() },
+            ..Default::default()
+        };
+        let server = Server::start(handler, cfg).unwrap();
+        let client = Client::new(server.addr());
+        let resp = client
+            .get_with_retries("/x", 20, Duration::ZERO)
+            .expect("retries should eventually land");
+        assert_eq!(resp.status, Status::OK);
+    }
+
+    #[test]
+    fn connect_error_reported() {
+        // Port 1 on localhost is almost certainly closed.
+        let client = Client::new("127.0.0.1:1".parse().unwrap());
+        match client.get("/") {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected connect error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_reconnects_after_server_side_close() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_: &Request| Response::html("pong".into()));
+        let cfg = ServerConfig { max_requests_per_conn: 1, ..Default::default() };
+        let server = Server::start(handler, cfg).unwrap();
+        let mut client = Client::new(server.addr());
+        client.keep_alive(true);
+        // Server closes after every request; client must transparently
+        // reconnect.
+        for _ in 0..3 {
+            assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic fault injection for the server.
+//!
+//! Mirrors the fault-injection philosophy of the smoltcp examples
+//! (`--drop-chance` etc.): adverse network conditions are a first-class
+//! test input. The crawler's §4.3.1 validation ("we monitor request
+//! timeouts and re-request missed pages") is tested against these faults.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Fault-injection configuration. All probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability of closing the connection without responding (the
+    /// client observes EOF / reset).
+    pub drop_prob: f64,
+    /// Probability of replying `500 Internal Server Error`.
+    pub error_prob: f64,
+    /// Fixed extra latency added to every response.
+    pub base_latency: Duration,
+    /// Additional uniform random latency in `[0, jitter]`.
+    pub jitter: Duration,
+    /// RNG seed (faults are reproducible run-to-run).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            error_prob: 0.0,
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.drop_prob), "drop_prob out of range");
+        assert!((0.0..=1.0).contains(&self.error_prob), "error_prob out of range");
+    }
+}
+
+/// Per-request fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Respond normally (after `delay`).
+    Proceed(Duration),
+    /// Close the connection without responding (after `delay`).
+    Drop(Duration),
+    /// Respond 500 (after `delay`).
+    Error(Duration),
+}
+
+/// Stateful fault injector (thread-safe).
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultInjector {
+    /// Build from config.
+    pub fn new(config: FaultConfig) -> Self {
+        config.validate();
+        Self { config, rng: Mutex::new(StdRng::seed_from_u64(config.seed)) }
+    }
+
+    /// Decide the fate of the next request.
+    pub fn decide(&self) -> FaultAction {
+        let mut rng = self.rng.lock();
+        let jitter_nanos = if self.config.jitter.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=self.config.jitter.as_nanos() as u64)
+        };
+        let delay = self.config.base_latency + Duration::from_nanos(jitter_nanos);
+        let roll: f64 = rng.gen();
+        if roll < self.config.drop_prob {
+            FaultAction::Drop(delay)
+        } else if roll < self.config.drop_prob + self.config.error_prob {
+            FaultAction::Error(delay)
+        } else {
+            FaultAction::Proceed(delay)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_proceeds() {
+        let f = FaultInjector::new(FaultConfig::none());
+        for _ in 0..100 {
+            assert_eq!(f.decide(), FaultAction::Proceed(Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn drop_rate_approximates_config() {
+        let f = FaultInjector::new(FaultConfig { drop_prob: 0.3, ..Default::default() });
+        let drops = (0..10_000)
+            .filter(|_| matches!(f.decide(), FaultAction::Drop(_)))
+            .count();
+        assert!((2_500..3_500).contains(&drops), "{drops}");
+    }
+
+    #[test]
+    fn error_and_drop_are_disjoint() {
+        let f = FaultInjector::new(FaultConfig {
+            drop_prob: 0.5,
+            error_prob: 0.5,
+            ..Default::default()
+        });
+        for _ in 0..1000 {
+            assert!(!matches!(f.decide(), FaultAction::Proceed(_)));
+        }
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let f = FaultInjector::new(FaultConfig {
+            base_latency: Duration::from_millis(5),
+            jitter: Duration::from_millis(10),
+            ..Default::default()
+        });
+        for _ in 0..100 {
+            match f.decide() {
+                FaultAction::Proceed(d) | FaultAction::Drop(d) | FaultAction::Error(d) => {
+                    assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(15));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FaultInjector::new(FaultConfig { drop_prob: 0.5, seed: 42, ..Default::default() });
+        let b = FaultInjector::new(FaultConfig { drop_prob: 0.5, seed: 42, ..Default::default() });
+        for _ in 0..100 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        FaultInjector::new(FaultConfig { drop_prob: 1.5, ..Default::default() });
+    }
+}

@@ -1,0 +1,563 @@
+//! HTTP/1.1 message types and wire codecs.
+//!
+//! Implements the subset the system needs — GET/POST, headers,
+//! Content-Length bodies — with hard caps on line length, header count,
+//! and body size so a misbehaving peer cannot exhaust server memory.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-line / header-line length in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per message.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum accepted body size (16 MiB — the longest real Dissenter comment
+/// was >90 kB, so give generous headroom).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Case-insensitive header multimap preserving insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers(Vec<(String, String)>);
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header.
+    pub fn add(&mut self, name: &str, value: &str) {
+        self.0.push((name.to_owned(), value.to_owned()));
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Raw request target (path + optional query string).
+    pub target: String,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodyless GET.
+    pub fn get(target: &str) -> Self {
+        Self { method: "GET".into(), target: target.into(), headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// Path component (before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// Query-string parameter by key (first match; simple `k=v&k2=v2`
+    /// parsing, no percent-decoding beyond `%2F`/`%3A` which the crawler
+    /// uses for URL-in-URL parameters).
+    pub fn query(&self, key: &str) -> Option<String> {
+        let (_, q) = self.target.split_once('?')?;
+        for pair in q.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            if k == key {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// Cookie value by name.
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        let cookies = self.headers.get("cookie")?;
+        for part in cookies.split(';') {
+            let part = part.trim();
+            let mut it = part.splitn(2, '=');
+            if it.next() == Some(name) {
+                return it.next();
+            }
+        }
+        None
+    }
+}
+
+/// Minimal percent-decoding (full reserved set).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            // `get` handles truncated escapes at end-of-input.
+            if let Some(hex) = bytes.get(i + 1..i + 3) {
+                if let Ok(v) = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16) {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        if bytes[i] == b'+' {
+            out.push(b' ');
+        } else {
+            out.push(bytes[i]);
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode for safe embedding in a query value.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200
+    pub const OK: Status = Status(200);
+    /// 404
+    pub const NOT_FOUND: Status = Status(404);
+    /// 429
+    pub const TOO_MANY: Status = Status(429);
+    /// 500
+    pub const INTERNAL: Status = Status(500);
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx?
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Headers (Content-Length is added automatically on write).
+    pub headers: Headers,
+    /// Body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Empty response with a status.
+    pub fn status(status: Status) -> Self {
+        Self { status, headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// 200 with an HTML body.
+    pub fn html(body: String) -> Self {
+        let mut r = Self::status(Status::OK);
+        r.headers.add("Content-Type", "text/html; charset=utf-8");
+        r.body = body.into_bytes();
+        r
+    }
+
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Self {
+        let mut r = Self::status(Status::OK);
+        r.headers.add("Content-Type", "application/json");
+        r.body = body.into_bytes();
+        r
+    }
+
+    /// 404 with a short body (~150 bytes, like Dissenter's miss pages).
+    pub fn not_found() -> Self {
+        let mut r = Self::status(Status::NOT_FOUND);
+        r.headers.add("Content-Type", "text/html; charset=utf-8");
+        r.body = b"<html><head><title>Not Found</title></head><body><h1>404</h1><p>The page you were looking for does not exist.</p></body></html>".to_vec();
+        r
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Total serialized size in bytes (status line + headers + body) — the
+    /// quantity the §3.1 account-probe inspects.
+    pub fn wire_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("vec write");
+        buf.len()
+    }
+
+    /// Serialize to a writer (adds Content-Length and Connection headers
+    /// if absent).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {}\r\n", self.status)?;
+        let mut has_len = false;
+        for (n, v) in self.headers.iter() {
+            if n.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        if !has_len {
+            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)
+    }
+}
+
+/// Errors reading a message from the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying IO failure (includes timeouts).
+    Io(std::io::Error),
+    /// Peer closed before a full message arrived.
+    Eof,
+    /// Malformed or over-limit message.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Eof => f.write_str("connection closed"),
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, WireError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                if line.is_empty() {
+                    return Err(WireError::Eof);
+                }
+                return Err(WireError::Malformed("truncated line"));
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(String::from_utf8_lossy(&line).into_owned());
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(WireError::Malformed("line too long"));
+        }
+    }
+}
+
+fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, WireError> {
+    let mut headers = Headers::new();
+    loop {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(WireError::Malformed("too many headers"));
+        }
+        let mut it = line.splitn(2, ':');
+        let name = it.next().unwrap_or("").trim();
+        let value = it.next().ok_or(WireError::Malformed("header missing colon"))?.trim();
+        if name.is_empty() {
+            return Err(WireError::Malformed("empty header name"));
+        }
+        headers.add(name, value);
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>, WireError> {
+    let len: usize = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v.parse().map_err(|_| WireError::Malformed("bad content-length"))?,
+    };
+    if len > MAX_BODY {
+        return Err(WireError::Malformed("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Malformed("truncated body")
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(body)
+}
+
+/// Read one request from a buffered stream.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, WireError> {
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(WireError::Malformed("empty request line"))?;
+    let target = parts.next().ok_or(WireError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(WireError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::Malformed("unsupported version"));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, &headers)?;
+    Ok(Request { method: method.to_owned(), target: target.to_owned(), headers, body })
+}
+
+/// Read one response from a buffered stream.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, WireError> {
+    let line = read_line(r)?;
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::Malformed("unsupported version"));
+    }
+    let code: u16 = parts
+        .next()
+        .ok_or(WireError::Malformed("missing status"))?
+        .parse()
+        .map_err(|_| WireError::Malformed("bad status code"))?;
+    let headers = read_headers(r)?;
+    let body = read_body(r, &headers)?;
+    Ok(Response { status: Status(code), headers, body })
+}
+
+/// Serialize a request to a writer.
+pub fn write_request<W: Write>(req: &Request, w: &mut W) -> std::io::Result<()> {
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
+    let mut has_len = false;
+    for (n, v) in req.headers.iter() {
+        if n.eq_ignore_ascii_case("content-length") {
+            has_len = true;
+        }
+        write!(w, "{n}: {v}\r\n")?;
+    }
+    if !req.body.is_empty() && !has_len {
+        write!(w, "Content-Length: {}\r\n", req.body.len())?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(&req.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(req, &mut buf).unwrap();
+        read_request(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::get("/user/a?x=1&y=2");
+        req.headers.add("Host", "dissenter.test");
+        req.headers.add("Cookie", "session=abc; nsfw=1");
+        let got = round_trip_request(&req);
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.path(), "/user/a");
+        assert_eq!(got.query("x").as_deref(), Some("1"));
+        assert_eq!(got.query("z"), None);
+        assert_eq!(got.cookie("session"), Some("abc"));
+        assert_eq!(got.cookie("nsfw"), Some("1"));
+        assert_eq!(got.cookie("missing"), None);
+    }
+
+    #[test]
+    fn request_with_body_round_trip() {
+        let mut req = Request::get("/submit");
+        req.method = "POST".into();
+        req.body = b"url=https%3A%2F%2Fexample.com".to_vec();
+        let got = round_trip_request(&req);
+        assert_eq!(got.body, req.body);
+    }
+
+    #[test]
+    fn response_round_trip_and_wire_size() {
+        let mut resp = Response::json("{\"ok\":true}".into());
+        resp.headers.add("X-RateLimit-Remaining", "59");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), resp.wire_size());
+        let got = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(got.status, Status::OK);
+        assert_eq!(got.headers.get("x-ratelimit-remaining"), Some("59"));
+        assert_eq!(got.text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn not_found_is_tiny() {
+        // §3.1: non-existent user pages are ~150 bytes vs ≥10 kB real ones.
+        let sz = Response::not_found().wire_size();
+        assert!(sz < 300, "{sz}");
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        ] {
+            let r = read_request(&mut BufReader::new(bad.as_bytes()));
+            assert!(r.is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn eof_before_any_bytes_is_eof_variant() {
+        let e = read_request(&mut BufReader::new(&b""[..])).unwrap_err();
+        assert!(matches!(e, WireError::Eof));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let msg = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let msg = "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed("truncated body"))));
+    }
+
+    #[test]
+    fn percent_codec_round_trip() {
+        let s = "https://example.com/path?a=1&b=two words";
+        assert_eq!(percent_decode(&percent_encode(s)), s);
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.add("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+    }
+
+    #[test]
+    fn status_properties() {
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status(429).reason(), "Too Many Requests");
+        assert_eq!(Status(999).reason(), "Unknown");
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn header_count_cap_enforced() {
+        let mut msg = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            msg.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        msg.push_str("\r\n");
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed("too many headers"))));
+    }
+
+    #[test]
+    fn line_length_cap_enforced() {
+        let msg = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed("line too long"))));
+    }
+
+    #[test]
+    fn percent_decode_truncated_escape_passthrough() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%2"), "%2");
+        assert_eq!(percent_decode("a%zzb"), "a%zzb");
+        assert_eq!(percent_decode("%41"), "A");
+        assert_eq!(percent_decode("x+y"), "x y");
+    }
+
+    #[test]
+    fn query_without_value_and_empty_value() {
+        let req = Request::get("/p?flag&k=&x=1");
+        assert_eq!(req.query("flag").as_deref(), Some(""));
+        assert_eq!(req.query("k").as_deref(), Some(""));
+        assert_eq!(req.query("x").as_deref(), Some("1"));
+    }
+}

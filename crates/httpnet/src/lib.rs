@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! A small, robust HTTP/1.1 server and client over `std::net` TCP.
+//!
+//! The paper's methodology is protocol work: probing response *sizes* to
+//! detect account existence (§3.1), reading rate-limit headers and backing
+//! off (§3.4), re-requesting timed-out pages (§4.3.1), and walking
+//! paginated APIs. To exercise those code paths for real, the simulated
+//! services are served over actual loopback TCP sockets and crawled with a
+//! real client.
+//!
+//! Design follows the networking guides' priorities — simplicity and
+//! robustness over framework magic:
+//!
+//! * explicit threaded server (bounded worker [`pool`]), no async runtime;
+//! * strict, bounded request parsing ([`http`]) — header and body caps so
+//!   no peer can exhaust memory;
+//! * keep-alive with per-connection request caps;
+//! * deterministic, seedable **fault injection** ([`fault`]): added
+//!   latency, dropped connections, and injected 5xx responses, in the
+//!   spirit of smoltcp's `--drop-chance` example knobs — used by tests to
+//!   prove the crawler's retry logic works;
+//! * a blocking [`client`] with timeouts, redirects disabled (the crawler
+//!   wants raw behavior), and response-size accounting.
+
+pub mod client;
+pub mod fault;
+pub mod http;
+pub mod log;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use fault::FaultConfig;
+pub use http::{Headers, Request, Response, Status};
+pub use log::{AccessEntry, AccessLog};
+pub use router::{Params, Router};
+pub use server::{Handler, Server, ServerConfig};

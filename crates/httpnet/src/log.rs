@@ -1,0 +1,128 @@
+//! Server-side access logging.
+//!
+//! The guides treat observability (packet dumps, traces) as a first-class
+//! feature of a networking substrate. The server keeps a bounded ring of
+//! recent requests — method, path, status, body size, handling duration —
+//! that tests and operators can inspect without external tooling.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// One served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// HTTP method.
+    pub method: String,
+    /// Request target (path + query).
+    pub target: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response body size in bytes.
+    pub body_len: usize,
+    /// Handler wall time.
+    pub duration: Duration,
+}
+
+/// A bounded, thread-safe ring of recent [`AccessEntry`]s.
+#[derive(Debug)]
+pub struct AccessLog {
+    ring: Mutex<VecDeque<AccessEntry>>,
+    capacity: usize,
+    total: std::sync::atomic::AtomicU64,
+}
+
+impl AccessLog {
+    /// A log retaining the most recent `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Record an entry (evicting the oldest when full).
+    pub fn record(&self, entry: AccessEntry) {
+        self.total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Snapshot of the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<AccessEntry> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total requests ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Count of retained entries with a given status class (e.g. `4` for
+    /// 4xx).
+    pub fn count_status_class(&self, class: u16) -> usize {
+        self.ring.lock().iter().filter(|e| e.status / 100 == class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(status: u16, target: &str) -> AccessEntry {
+        AccessEntry {
+            method: "GET".into(),
+            target: target.into(),
+            status,
+            body_len: 0,
+            duration: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let log = AccessLog::new(10);
+        log.record(entry(200, "/a"));
+        log.record(entry(404, "/b"));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].target, "/a");
+        assert_eq!(snap[1].status, 404);
+        assert_eq!(log.total(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = AccessLog::new(3);
+        for i in 0..5 {
+            log.record(entry(200, &format!("/{i}")));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].target, "/2");
+        assert_eq!(log.total(), 5);
+    }
+
+    #[test]
+    fn status_class_counting() {
+        let log = AccessLog::new(10);
+        log.record(entry(200, "/"));
+        log.record(entry(201, "/"));
+        log.record(entry(404, "/"));
+        log.record(entry(500, "/"));
+        assert_eq!(log.count_status_class(2), 2);
+        assert_eq!(log.count_status_class(4), 1);
+        assert_eq!(log.count_status_class(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        AccessLog::new(0);
+    }
+}

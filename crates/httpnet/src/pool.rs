@@ -1,0 +1,107 @@
+//! A bounded worker thread pool for connection handling.
+
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size thread pool. Jobs queue on a bounded channel (backpressure:
+/// `execute` blocks when the queue is full). Dropping the pool joins all
+/// workers after draining queued jobs.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool of `size` workers with a queue of `queue` jobs.
+    pub fn new(size: usize, queue: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (tx, rx) = bounded::<Job>(queue.max(1));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("httpnet-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { tx: Some(tx), workers }
+    }
+
+    /// Submit a job; blocks if the queue is full.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(f))
+            .expect("workers alive");
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4, 16);
+            for _ in 0..100 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins after draining.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn parallelism_actually_happens() {
+        use std::sync::Barrier;
+        let barrier = Arc::new(Barrier::new(4));
+        let pool = ThreadPool::new(4, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let d = done.clone();
+            pool.execute(move || {
+                // All four must rendezvous — impossible without 4 threads.
+                b.wait();
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        ThreadPool::new(0, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Path routing with `:param` captures.
+//!
+//! The simulated services expose the endpoints the paper names:
+//! `/api/v1/accounts/:id`, `/user/:username`, `/comment/:cid`,
+//! `/discussion/begin`, … — a tiny router keeps handler code flat.
+
+use crate::http::{Request, Response};
+use std::collections::HashMap;
+
+/// Captured path parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Params(HashMap<String, String>);
+
+impl Params {
+    /// Value of a capture.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+}
+
+type RouteFn = Box<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: RouteFn,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+    /// `*rest` — captures the remainder of the path (may contain slashes).
+    Wildcard(String),
+}
+
+/// A method+path router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a route. Patterns: literal segments, `:name` captures one
+    /// segment, `*name` captures the rest of the path.
+    pub fn route(
+        &mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_owned())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Wildcard(name.to_owned())
+                } else {
+                    Segment::Literal(s.to_owned())
+                }
+            })
+            .collect();
+        self.routes.push(Route { method: method.to_owned(), segments, handler: Box::new(handler) });
+        self
+    }
+
+    /// Dispatch a request; 404 when nothing matches.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let path_segments: Vec<&str> = req
+            .path()
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        'routes: for route in &self.routes {
+            if !route.method.eq_ignore_ascii_case(&req.method) {
+                continue;
+            }
+            let mut params = Params::default();
+            let mut i = 0;
+            for seg in &route.segments {
+                match seg {
+                    Segment::Literal(lit) => {
+                        if path_segments.get(i) != Some(&lit.as_str()) {
+                            continue 'routes;
+                        }
+                        i += 1;
+                    }
+                    Segment::Param(name) => {
+                        let Some(v) = path_segments.get(i) else {
+                            continue 'routes;
+                        };
+                        params.0.insert(name.clone(), (*v).to_owned());
+                        i += 1;
+                    }
+                    Segment::Wildcard(name) => {
+                        let rest = path_segments[i.min(path_segments.len())..].join("/");
+                        params.0.insert(name.clone(), rest);
+                        i = path_segments.len();
+                    }
+                }
+            }
+            if i != path_segments.len() {
+                continue;
+            }
+            return (route.handler)(req, &params);
+        }
+        Response::not_found()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+
+    fn get(path: &str) -> Request {
+        Request::get(path)
+    }
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.route("GET", "/", |_, _| Response::html("home".into()));
+        r.route("GET", "/user/:name", |_, p| {
+            Response::html(format!("user={}", p.get("name").unwrap()))
+        });
+        r.route("GET", "/api/v1/accounts/:id", |_, p| {
+            Response::json(format!("{{\"id\":{}}}", p.get("id").unwrap()))
+        });
+        r.route("GET", "/files/*path", |_, p| {
+            Response::html(format!("path={}", p.get("path").unwrap()))
+        });
+        r.route("POST", "/submit", |req, _| {
+            Response::html(format!("got {} bytes", req.body.len()))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/")).text(), "home");
+        assert_eq!(r.dispatch(&get("/user/a")).text(), "user=a");
+        assert_eq!(r.dispatch(&get("/api/v1/accounts/42")).text(), "{\"id\":42}");
+    }
+
+    #[test]
+    fn wildcard_captures_rest() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/files/a/b/c.txt")).text(), "path=a/b/c.txt");
+    }
+
+    #[test]
+    fn method_mismatch_404s() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/submit")).status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn unknown_path_404s() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/nope/nothing")).status, Status::NOT_FOUND);
+        assert_eq!(r.dispatch(&get("/user/a/extra")).status, Status::NOT_FOUND);
+        assert_eq!(r.dispatch(&get("/user")).status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn query_strings_ignored_for_matching() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/user/bob?tab=comments")).text(), "user=bob");
+    }
+
+    #[test]
+    fn post_route_sees_body() {
+        let r = router();
+        let mut req = get("/submit");
+        req.method = "POST".into();
+        req.body = b"hello".to_vec();
+        assert_eq!(r.dispatch(&req).text(), "got 5 bytes");
+    }
+}

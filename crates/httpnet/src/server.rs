@@ -1,0 +1,316 @@
+//! The threaded HTTP server.
+//!
+//! Accept loop on a dedicated thread; each connection is handled on a
+//! bounded worker pool with keep-alive. Shutdown is cooperative: a flag is
+//! set and the accept loop woken with a self-connection.
+
+use crate::fault::{FaultAction, FaultConfig, FaultInjector};
+use crate::http::{read_request, Request, Response, Status, WireError};
+use crate::pool::ThreadPool;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A request handler. Implementations must be thread-safe; the server
+/// invokes them concurrently.
+pub trait Handler: Send + Sync + 'static {
+    /// Produce a response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Pending-connection queue per worker pool.
+    pub queue: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Maximum keep-alive requests per connection.
+    pub max_requests_per_conn: usize,
+    /// Fault injection.
+    pub faults: FaultConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            queue: 64,
+            read_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            faults: FaultConfig::none(),
+        }
+    }
+}
+
+/// A running HTTP server. Dropping it shuts it down and joins all threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+    access_log: Arc<crate::log::AccessLog>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server({})", self.addr)
+    }
+}
+
+impl Server {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving.
+    pub fn start(handler: Arc<dyn Handler>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let injector = Arc::new(FaultInjector::new(config.faults));
+        let access_log = Arc::new(crate::log::AccessLog::new(4096));
+
+        let accept_stop = stop.clone();
+        let counter = requests_served.clone();
+        let log = access_log.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("httpnet-accept".into())
+            .spawn(move || {
+                let pool = ThreadPool::new(config.workers, config.queue);
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let handler = handler.clone();
+                    let injector = injector.clone();
+                    let counter = counter.clone();
+                    let log = log.clone();
+                    let cfg = config.clone();
+                    pool.execute(move || {
+                        handle_connection(stream, &*handler, &injector, &counter, &log, &cfg);
+                    });
+                }
+                // Pool drop joins workers.
+            })?;
+
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread), requests_served, access_log })
+    }
+
+    /// The server's access log (bounded ring of recent requests).
+    pub fn access_log(&self) -> &crate::log::AccessLog {
+        &self.access_log
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    injector: &FaultInjector,
+    counter: &AtomicU64,
+    log: &crate::log::AccessLog,
+    cfg: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    for _ in 0..cfg.max_requests_per_conn {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(WireError::Eof) => return,
+            Err(_) => {
+                let resp = Response::status(Status(400));
+                let _ = resp.write_to(&mut write_half);
+                return;
+            }
+        };
+        let close_requested = req
+            .headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+
+        let action = injector.decide();
+        let started = std::time::Instant::now();
+        let (delay, resp) = match action {
+            FaultAction::Proceed(d) => (d, handler.handle(&req)),
+            FaultAction::Error(d) => (d, Response::status(Status::INTERNAL)),
+            FaultAction::Drop(d) => {
+                std::thread::sleep(d);
+                return; // close without responding
+            }
+        };
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        counter.fetch_add(1, Ordering::SeqCst);
+        log.record(crate::log::AccessEntry {
+            method: req.method.clone(),
+            target: req.target.clone(),
+            status: resp.status.0,
+            body_len: resp.body.len(),
+            duration: started.elapsed(),
+        });
+        if resp.write_to(&mut write_half).is_err() {
+            return;
+        }
+        let _ = write_half.flush();
+        if close_requested {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn echo_server(config: ServerConfig) -> Server {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            Response::html(format!("echo:{}", req.path()))
+        });
+        Server::start(handler, config).expect("server starts")
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = echo_server(ServerConfig::default());
+        let client = Client::new(server.addr());
+        let resp = client.get("/hello").unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.text(), "echo:/hello");
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = echo_server(ServerConfig::default());
+        let mut client = Client::new(server.addr());
+        client.keep_alive(true);
+        for i in 0..5 {
+            let resp = client.get(&format!("/r{i}")).unwrap();
+            assert_eq!(resp.text(), format!("echo:/r{i}"));
+        }
+        assert_eq!(server.requests_served(), 5);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = echo_server(ServerConfig::default());
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let client = Client::new(addr);
+                for i in 0..20 {
+                    let resp = client.get(&format!("/t{t}/{i}")).unwrap();
+                    assert_eq!(resp.text(), format!("echo:/t{t}/{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 160);
+    }
+
+    #[test]
+    fn access_log_records_served_requests() {
+        let server = echo_server(ServerConfig::default());
+        let client = Client::new(server.addr());
+        client.get("/logged?x=1").unwrap();
+        client.get("/another").unwrap();
+        let snap = server.access_log().snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].target, "/logged?x=1");
+        assert_eq!(snap[0].status, 200);
+        assert!(snap[0].body_len > 0);
+        assert_eq!(server.access_log().count_status_class(2), 2);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let mut server = echo_server(ServerConfig::default());
+        server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn fault_injection_drops_connections() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { drop_prob: 1.0, seed: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        assert!(client.get("/x").is_err(), "dropped connection must error");
+    }
+
+    #[test]
+    fn fault_injection_errors() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { error_prob: 1.0, seed: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        let resp = client.get("/x").unwrap();
+        assert_eq!(resp.status, Status::INTERNAL);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = echo_server(ServerConfig::default());
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf);
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+}

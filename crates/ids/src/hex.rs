@@ -1,0 +1,80 @@
+//! Lowercase hexadecimal codecs used by the 24-hex-digit Dissenter IDs.
+
+/// Encode `bytes` as a lowercase hexadecimal string.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hexadecimal string (case-insensitive) into bytes.
+///
+/// Returns `None` if the input has odd length or contains a non-hex digit.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let b = s.as_bytes();
+    for pair in b.chunks_exact(2) {
+        let hi = val(pair[0])?;
+        let lo = val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn encode_known_vector() {
+        assert_eq!(encode(&[0x5c, 0x78, 0x0b, 0x19]), "5c780b19");
+    }
+
+    #[test]
+    fn decode_known_vector() {
+        assert_eq!(decode("5c780b19"), Some(vec![0x5c, 0x78, 0x0b, 0x19]));
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("DEADBEEF"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode("abc"), None);
+    }
+
+    #[test]
+    fn decode_rejects_non_hex() {
+        assert_eq!(decode("zz"), None);
+        assert_eq!(decode("0g"), None);
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)), Some(all));
+    }
+}

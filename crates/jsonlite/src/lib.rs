@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! A minimal, dependency-free JSON implementation.
+//!
+//! The Gab API returns JSON-encoded account and relationship data (§3.1,
+//! §3.4), and Dissenter comment pages embed a commented-out JavaScript
+//! `commentAuthor` array holding hidden user metadata (§3.2). Both the
+//! simulated services and the crawler need a JSON codec; rather than pull in
+//! `serde_json`, this crate implements the small subset of JSON the system
+//! needs from scratch: a [`Value`] tree, a recursive-descent [`parse()`] function, and
+//! a serializer.
+//!
+//! Design notes (following the guides' "simplicity and robustness" ethos):
+//! objects preserve insertion order (deterministic serialization for
+//! byte-identical responses across runs), parsing depth is bounded to keep
+//! hostile inputs from exhausting the stack, and numbers round-trip as
+//! `f64`/`i64` depending on form.
+
+pub mod parse;
+pub mod ser;
+pub mod value;
+
+pub use parse::{parse, ParseError};
+pub use ser::{to_string, to_string_pretty};
+pub use value::Value;
+
+#[cfg(test)]
+mod round_trip_tests {
+    use super::*;
+
+    #[test]
+    fn parse_then_serialize_is_stable() {
+        let src = r#"{"id":7,"name":"@a","flags":["pro","donor"],"score":-1.5,"meta":{"ok":true,"x":null}}"#;
+        let v = parse(src).unwrap();
+        let out = to_string(&v);
+        let v2 = parse(&out).unwrap();
+        assert_eq!(v, v2);
+        // Second serialization is byte-identical (order preserved).
+        assert_eq!(out, to_string(&v2));
+    }
+}

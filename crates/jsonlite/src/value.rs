@@ -1,0 +1,231 @@
+//! The JSON value tree.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects are stored as an insertion-ordered `Vec<(String, Value)>` so
+/// serialization is deterministic — the simulated services must emit
+/// byte-identical bodies for identical requests (the crawler infers account
+/// existence from response *sizes*, §3.1, so stability matters).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number written without fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array; `None` for non-arrays or out-of-range.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepts both number forms).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Builder: an empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Builder: insert/overwrite a key, returning `self` for chaining.
+    pub fn with(mut self, key: &str, val: impl Into<Value>) -> Value {
+        if let Value::Object(pairs) = &mut self {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = val.into();
+            } else {
+                pairs.push((key.to_owned(), val.into()));
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        if n <= i64::MAX as u64 {
+            Value::Int(n as i64)
+        } else {
+            Value::Float(n as f64)
+        }
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::from(n as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Int(n as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_get() {
+        let v = Value::object()
+            .with("name", "@a")
+            .with("id", 1i64)
+            .with("pro", true);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("@a"));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("pro").and_then(Value::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn with_overwrites_existing_key() {
+        let v = Value::object().with("k", 1i64).with("k", 2i64);
+        assert_eq!(v.get("k").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn as_f64_accepts_ints() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn array_indexing() {
+        let v: Value = vec![1i64, 2, 3].into();
+        assert_eq!(v.idx(1).and_then(Value::as_i64), Some(2));
+        assert!(v.idx(9).is_none());
+        assert!(Value::Null.idx(0).is_none());
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert!(Value::from(None::<i64>).is_null());
+        assert_eq!(Value::from(Some(4i64)).as_i64(), Some(4));
+    }
+
+    #[test]
+    fn large_u64_degrades_to_float() {
+        let v = Value::from(u64::MAX);
+        assert!(matches!(v, Value::Float(_)));
+    }
+}

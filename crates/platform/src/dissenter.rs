@@ -1,0 +1,342 @@
+//! The Dissenter comment store: URLs, comments, replies, votes, and the
+//! per-user / per-URL indexes the web front-end serves from.
+
+use crate::model::{Comment, CommentUrl, Vote};
+use crate::visibility::Viewer;
+use ids::ObjectId;
+use std::collections::HashMap;
+
+/// In-memory Dissenter database.
+#[derive(Debug, Default, Clone)]
+pub struct DissenterDb {
+    urls: Vec<CommentUrl>,
+    comments: Vec<Comment>,
+    url_by_id: HashMap<ObjectId, usize>,
+    url_by_string: HashMap<String, usize>,
+    comment_by_id: HashMap<ObjectId, usize>,
+    comments_by_url: HashMap<ObjectId, Vec<usize>>,
+    urls_by_author: HashMap<ObjectId, Vec<usize>>,
+    // Companion sets for urls_by_author: home pages list *distinct* URLs in
+    // first-comment order, and a linear contains() scan per comment would
+    // make bulk generation O(comments × urls-per-author).
+    url_set_by_author: HashMap<ObjectId, std::collections::HashSet<usize>>,
+    comments_by_author: HashMap<ObjectId, Vec<usize>>,
+}
+
+impl DissenterDb {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a comment URL. Panics on duplicate commenturl-id; duplicate
+    /// URL *strings* are rejected with `None` (Dissenter assigns exactly
+    /// one commenturl-id per exact string).
+    pub fn add_url(&mut self, url: CommentUrl) -> Option<ObjectId> {
+        assert!(
+            !self.url_by_id.contains_key(&url.id),
+            "duplicate commenturl-id {}",
+            url.id
+        );
+        if self.url_by_string.contains_key(&url.url) {
+            return None;
+        }
+        let id = url.id;
+        let idx = self.urls.len();
+        self.url_by_id.insert(id, idx);
+        self.url_by_string.insert(url.url.clone(), idx);
+        self.urls.push(url);
+        Some(id)
+    }
+
+    /// Add a comment or reply. Panics if the thread or (for replies) the
+    /// parent comment does not exist — the front-end never accepts those.
+    pub fn add_comment(&mut self, comment: Comment) {
+        assert!(
+            self.url_by_id.contains_key(&comment.url_id),
+            "comment references unknown thread"
+        );
+        if let Some(parent) = comment.parent {
+            assert!(self.comment_by_id.contains_key(&parent), "reply to unknown comment");
+        }
+        assert!(
+            !self.comment_by_id.contains_key(&comment.id),
+            "duplicate comment-id"
+        );
+        let idx = self.comments.len();
+        self.comment_by_id.insert(comment.id, idx);
+        self.comments_by_url.entry(comment.url_id).or_default().push(idx);
+        let url_idx = self.url_by_id[&comment.url_id];
+        if self.url_set_by_author.entry(comment.author_id).or_default().insert(url_idx) {
+            self.urls_by_author.entry(comment.author_id).or_default().push(url_idx);
+        }
+        self.comments_by_author.entry(comment.author_id).or_default().push(idx);
+        self.comments.push(comment);
+    }
+
+    /// Record a vote on a URL.
+    pub fn vote(&mut self, url_id: ObjectId, vote: Vote) {
+        let idx = self.url_by_id[&url_id];
+        match vote {
+            Vote::Up => self.urls[idx].upvotes += 1,
+            Vote::Down => self.urls[idx].downvotes += 1,
+        }
+    }
+
+    /// All URLs.
+    pub fn urls(&self) -> &[CommentUrl] {
+        &self.urls
+    }
+
+    /// All comments (including shadow content — this is the database view,
+    /// not a rendered page).
+    pub fn comments(&self) -> &[Comment] {
+        &self.comments
+    }
+
+    /// Look up a thread by commenturl-id.
+    pub fn url_by_id(&self, id: ObjectId) -> Option<&CommentUrl> {
+        self.url_by_id.get(&id).map(|&i| &self.urls[i])
+    }
+
+    /// Look up a thread by exact URL string.
+    pub fn url_by_string(&self, url: &str) -> Option<&CommentUrl> {
+        self.url_by_string.get(url).map(|&i| &self.urls[i])
+    }
+
+    /// Look up a comment by comment-id.
+    pub fn comment_by_id(&self, id: ObjectId) -> Option<&Comment> {
+        self.comment_by_id.get(&id).map(|&i| &self.comments[i])
+    }
+
+    /// Comments on a thread visible to `viewer`, in posting order.
+    pub fn visible_comments(&self, url_id: ObjectId, viewer: Viewer) -> Vec<&Comment> {
+        self.comments_by_url
+            .get(&url_id)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| &self.comments[i])
+                    .filter(|c| viewer.can_see(c))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total comment count on a thread (what the comment page header
+    /// displays), irrespective of viewer.
+    pub fn comment_count(&self, url_id: ObjectId) -> usize {
+        self.comments_by_url.get(&url_id).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The URLs a user has commented on, in first-comment order — exactly
+    /// what their Dissenter home page lists (§2.2).
+    pub fn urls_for_author(&self, author: ObjectId) -> Vec<&CommentUrl> {
+        self.urls_by_author
+            .get(&author)
+            .map(|idxs| idxs.iter().map(|&i| &self.urls[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All comments by a user.
+    pub fn comments_for_author(&self, author: ObjectId) -> Vec<&Comment> {
+        self.comments_by_author
+            .get(&author)
+            .map(|idxs| idxs.iter().map(|&i| &self.comments[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct commenting authors.
+    pub fn active_author_count(&self) -> usize {
+        self.comments_by_author.len()
+    }
+
+    /// Total URL count.
+    pub fn url_count(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Total comment count.
+    pub fn total_comments(&self) -> usize {
+        self.comments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::{EntityKind, ObjectIdGen};
+
+    struct Fixture {
+        db: DissenterDb,
+        url_gen: ObjectIdGen,
+        comment_gen: ObjectIdGen,
+        author_gen: ObjectIdGen,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self {
+                db: DissenterDb::new(),
+                url_gen: ObjectIdGen::new(EntityKind::CommentUrl, 1),
+                comment_gen: ObjectIdGen::new(EntityKind::Comment, 2),
+                author_gen: ObjectIdGen::new(EntityKind::Author, 3),
+            }
+        }
+
+        fn url(&mut self, s: &str) -> ObjectId {
+            let id = self.url_gen.next(100);
+            self.db
+                .add_url(CommentUrl {
+                    id,
+                    url: s.into(),
+                    title: "t".into(),
+                    description: String::new(),
+                    created_at: 100,
+                    upvotes: 0,
+                    downvotes: 0,
+                })
+                .expect("unique url");
+            id
+        }
+
+        fn author(&mut self) -> ObjectId {
+            self.author_gen.next(50)
+        }
+
+        fn comment(&mut self, url: ObjectId, author: ObjectId, nsfw: bool, offensive: bool) -> ObjectId {
+            let id = self.comment_gen.next(200);
+            self.db.add_comment(Comment {
+                id,
+                url_id: url,
+                author_id: author,
+                parent: None,
+                text: "hello".into(),
+                created_at: 200,
+                nsfw,
+                offensive,
+            });
+            id
+        }
+    }
+
+    #[test]
+    fn duplicate_url_string_rejected() {
+        let mut f = Fixture::new();
+        f.url("https://a.example/");
+        let id = f.url_gen.next(101);
+        let dup = CommentUrl {
+            id,
+            url: "https://a.example/".into(),
+            title: "t".into(),
+            description: String::new(),
+            created_at: 101,
+            upvotes: 0,
+            downvotes: 0,
+        };
+        assert!(f.db.add_url(dup).is_none());
+        assert_eq!(f.db.url_count(), 1);
+    }
+
+    #[test]
+    fn protocol_variants_are_distinct_threads() {
+        // §4.2.1: HTTP and HTTPS versions receive different commenturl-ids.
+        let mut f = Fixture::new();
+        f.url("http://a.example/page");
+        f.url("https://a.example/page");
+        assert_eq!(f.db.url_count(), 2);
+    }
+
+    #[test]
+    fn comments_indexed_by_url_and_author() {
+        let mut f = Fixture::new();
+        let u1 = f.url("https://a.example/1");
+        let u2 = f.url("https://a.example/2");
+        let alice = f.author();
+        f.comment(u1, alice, false, false);
+        f.comment(u2, alice, false, false);
+        f.comment(u1, alice, false, false);
+        assert_eq!(f.db.comment_count(u1), 2);
+        assert_eq!(f.db.comments_for_author(alice).len(), 3);
+        // Home page lists distinct URLs in first-comment order.
+        let urls: Vec<&str> = f.db.urls_for_author(alice).iter().map(|u| u.url.as_str()).collect();
+        assert_eq!(urls, vec!["https://a.example/1", "https://a.example/2"]);
+        assert_eq!(f.db.active_author_count(), 1);
+    }
+
+    #[test]
+    fn replies_require_existing_parent() {
+        let mut f = Fixture::new();
+        let u = f.url("https://a.example/");
+        let a = f.author();
+        let parent = f.comment(u, a, false, false);
+        let id = f.comment_gen.next(201);
+        f.db.add_comment(Comment {
+            id,
+            url_id: u,
+            author_id: a,
+            parent: Some(parent),
+            text: "reply".into(),
+            created_at: 201,
+            nsfw: false,
+            offensive: false,
+        });
+        assert_eq!(f.db.comment_count(u), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown comment")]
+    fn reply_to_missing_parent_panics() {
+        let mut f = Fixture::new();
+        let u = f.url("https://a.example/");
+        let a = f.author();
+        let bogus = f.comment_gen.next(999);
+        let id = f.comment_gen.next(202);
+        f.db.add_comment(Comment {
+            id,
+            url_id: u,
+            author_id: a,
+            parent: Some(bogus),
+            text: "reply".into(),
+            created_at: 202,
+            nsfw: false,
+            offensive: false,
+        });
+    }
+
+    #[test]
+    fn shadow_content_visibility() {
+        let mut f = Fixture::new();
+        let u = f.url("https://a.example/");
+        let a = f.author();
+        f.comment(u, a, false, false);
+        f.comment(u, a, true, false);
+        f.comment(u, a, false, true);
+        assert_eq!(f.db.visible_comments(u, Viewer::Anonymous).len(), 1);
+        assert_eq!(f.db.visible_comments(u, Viewer::with_nsfw()).len(), 2);
+        assert_eq!(f.db.visible_comments(u, Viewer::with_offensive()).len(), 2);
+        // The raw count shown on the page includes hidden comments.
+        assert_eq!(f.db.comment_count(u), 3);
+    }
+
+    #[test]
+    fn votes_accumulate() {
+        let mut f = Fixture::new();
+        let u = f.url("https://a.example/");
+        f.db.vote(u, Vote::Up);
+        f.db.vote(u, Vote::Down);
+        f.db.vote(u, Vote::Down);
+        assert_eq!(f.db.url_by_id(u).unwrap().net_votes(), -1);
+    }
+
+    #[test]
+    fn lookups_miss_gracefully() {
+        let f = Fixture::new();
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 9);
+        let id = g.next(1);
+        assert!(f.db.url_by_id(id).is_none());
+        assert!(f.db.comment_by_id(id).is_none());
+        assert!(f.db.url_by_string("nope").is_none());
+        assert!(f.db.visible_comments(id, Viewer::Anonymous).is_empty());
+        assert!(f.db.urls_for_author(id).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! The Gab side of the world: numeric account IDs, the follower graph, and
+//! the paginated relationship API the paper crawls (§3.1, §3.4).
+//!
+//! `GabDb` stores the ID space and the social graph over *user indexes*
+//! (positions in the `World`'s user table); the HTTP layer joins against
+//! user records when rendering API responses.
+
+use ids::GabId;
+use std::collections::HashMap;
+
+/// Gab-side state: ID mapping plus the directed follower graph.
+#[derive(Debug, Default, Clone)]
+pub struct GabDb {
+    id_to_user: HashMap<GabId, u32>,
+    max_id: GabId,
+    /// following[u] = users u follows (by user index), sorted.
+    following: Vec<Vec<u32>>,
+    /// followers[u] = users following u, sorted.
+    followers: Vec<Vec<u32>>,
+}
+
+impl GabDb {
+    /// An empty Gab database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a user (by world index) under a Gab ID. Panics on ID
+    /// collision — the allocator must prevent those.
+    pub fn register(&mut self, gab_id: GabId, user_idx: u32) {
+        assert!(
+            self.id_to_user.insert(gab_id, user_idx).is_none(),
+            "gab id {gab_id} registered twice"
+        );
+        self.max_id = self.max_id.max(gab_id);
+        let need = user_idx as usize + 1;
+        if self.following.len() < need {
+            self.following.resize(need, Vec::new());
+            self.followers.resize(need, Vec::new());
+        }
+    }
+
+    /// Resolve a Gab ID to its user index. `None` mirrors the API's
+    /// error response for unallocated IDs — the signal that lets the
+    /// paper's enumeration terminate.
+    pub fn user_by_gab_id(&self, gab_id: GabId) -> Option<u32> {
+        self.id_to_user.get(&gab_id).copied()
+    }
+
+    /// Highest allocated ID (the enumeration's upper bound).
+    pub fn max_id(&self) -> GabId {
+        self.max_id
+    }
+
+    /// Number of registered accounts.
+    pub fn account_count(&self) -> usize {
+        self.id_to_user.len()
+    }
+
+    /// Add follow edge `a → b` (a follows b). Self-follows and duplicates
+    /// are ignored.
+    pub fn follow(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let need = (a.max(b)) as usize + 1;
+        if self.following.len() < need {
+            self.following.resize(need, Vec::new());
+            self.followers.resize(need, Vec::new());
+        }
+        match self.following[a as usize].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.following[a as usize].insert(pos, b);
+                let fpos = self.followers[b as usize].binary_search(&a).unwrap_err();
+                self.followers[b as usize].insert(fpos, a);
+                true
+            }
+        }
+    }
+
+    /// Users `u` follows.
+    pub fn following(&self, u: u32) -> &[u32] {
+        self.following.get(u as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Users following `u`.
+    pub fn followers(&self, u: u32) -> &[u32] {
+        self.followers.get(u as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// One page of `u`'s followers — the API paginates, and "we can ensure
+    /// that we gather the complete network graph" by walking pages until a
+    /// short one (§3.4). Pages are 0-indexed.
+    pub fn followers_page(&self, u: u32, page: usize, page_size: usize) -> &[u32] {
+        paginate(self.followers(u), page, page_size)
+    }
+
+    /// One page of the users `u` follows.
+    pub fn following_page(&self, u: u32, page: usize, page_size: usize) -> &[u32] {
+        paginate(self.following(u), page, page_size)
+    }
+
+    /// Total follow edges.
+    pub fn edge_count(&self) -> usize {
+        self.following.iter().map(Vec::len).sum()
+    }
+}
+
+fn paginate(items: &[u32], page: usize, page_size: usize) -> &[u32] {
+    assert!(page_size > 0, "page size must be positive");
+    let start = page.saturating_mul(page_size).min(items.len());
+    let end = (start + page_size).min(items.len());
+    &items[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut g = GabDb::new();
+        g.register(1, 0);
+        g.register(5, 1);
+        assert_eq!(g.user_by_gab_id(1), Some(0));
+        assert_eq!(g.user_by_gab_id(2), None, "gap IDs answer like the real API");
+        assert_eq!(g.max_id(), 5);
+        assert_eq!(g.account_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut g = GabDb::new();
+        g.register(1, 0);
+        g.register(1, 1);
+    }
+
+    #[test]
+    fn follow_graph_bidirectional_indexes() {
+        let mut g = GabDb::new();
+        assert!(g.follow(0, 1));
+        assert!(!g.follow(0, 1), "duplicate ignored");
+        assert!(!g.follow(2, 2), "self-follow ignored");
+        assert_eq!(g.following(0), &[1]);
+        assert_eq!(g.followers(1), &[0]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn pagination_walks_complete_list() {
+        let mut g = GabDb::new();
+        for f in 1..=10u32 {
+            g.follow(f, 0);
+        }
+        let mut collected = Vec::new();
+        let mut page = 0;
+        loop {
+            let p = g.followers_page(0, page, 3);
+            collected.extend_from_slice(p);
+            if p.len() < 3 {
+                break;
+            }
+            page += 1;
+        }
+        assert_eq!(collected, (1..=10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pagination_past_end_is_empty() {
+        let mut g = GabDb::new();
+        g.follow(1, 0);
+        assert!(g.followers_page(0, 5, 10).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_queries_empty() {
+        let g = GabDb::new();
+        assert!(g.following(99).is_empty());
+        assert!(g.followers(99).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! Core entity types shared across the simulated services.
+
+use ids::{GabId, ObjectId, Timestamp};
+
+/// Per-account capability and status flags — the exact set Table 1 counts
+/// for the 47,165 active users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UserFlags {
+    /// May log in (99.97% of active users).
+    pub can_login: bool,
+    /// May post.
+    pub can_post: bool,
+    /// May report content.
+    pub can_report: bool,
+    /// May use chat.
+    pub can_chat: bool,
+    /// May vote.
+    pub can_vote: bool,
+    /// Banned from the platform (8 active users in the paper).
+    pub is_banned: bool,
+    /// Administrator (exactly two: @a and @shadowknight412).
+    pub is_admin: bool,
+    /// Moderator (zero active accounts observed).
+    pub is_moderator: bool,
+    /// Paid GabPRO subscriber.
+    pub is_pro: bool,
+    /// Donor badge.
+    pub is_donor: bool,
+    /// Investor badge.
+    pub is_investor: bool,
+    /// Premium content creator.
+    pub is_premium: bool,
+    /// Accepts tips.
+    pub is_tippable: bool,
+    /// Private account.
+    pub is_private: bool,
+    /// Verified identity.
+    pub verified: bool,
+}
+
+/// Comment view-filter preferences (the right half of Table 1). `pro`,
+/// `verified`, and `standard` default on; `nsfw` and `offensive` default
+/// off — producing the shadow overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewFilters {
+    /// Show comments from GabPRO accounts.
+    pub pro: bool,
+    /// Show comments from verified accounts.
+    pub verified: bool,
+    /// Show comments from standard accounts.
+    pub standard: bool,
+    /// Opt in to NSFW-labeled comments.
+    pub nsfw: bool,
+    /// Opt in to "offensive"-labeled comments.
+    pub offensive: bool,
+}
+
+impl Default for ViewFilters {
+    fn default() -> Self {
+        Self { pro: true, verified: true, standard: true, nsfw: false, offensive: false }
+    }
+}
+
+/// A user account. Gab account data and the optional Dissenter overlay
+/// account share a record — Dissenter users are a strict subset of Gab
+/// users (§3.1).
+#[derive(Debug, Clone)]
+pub struct User {
+    /// Dissenter author-id (timestamped 12-byte id), if a Dissenter
+    /// account exists.
+    pub author_id: Option<ObjectId>,
+    /// Gab numeric id (counter-allocated).
+    pub gab_id: GabId,
+    /// Unique handle, e.g. `a` for "@a".
+    pub username: String,
+    /// Display name (may differ from the handle).
+    pub display_name: String,
+    /// Profile biography. 25% of Dissenter users mention "censorship".
+    pub bio: String,
+    /// Account creation time.
+    pub created_at: Timestamp,
+    /// Capability flags.
+    pub flags: UserFlags,
+    /// View-filter preferences (hidden metadata, §3.2).
+    pub filters: ViewFilters,
+    /// Language setting (hidden metadata).
+    pub language: String,
+    /// The Gab account was deleted by its owner; the Dissenter account and
+    /// its comments remain but can no longer authenticate (§4.1.1).
+    pub gab_deleted: bool,
+}
+
+impl User {
+    /// Does this Gab user have a Dissenter account?
+    pub fn is_dissenter(&self) -> bool {
+        self.author_id.is_some()
+    }
+}
+
+/// A URL that has received at least one Dissenter comment (or was entered
+/// into the system via Gab Trends).
+#[derive(Debug, Clone)]
+pub struct CommentUrl {
+    /// The commenturl-id (timestamped: first appearance of the URL).
+    pub id: ObjectId,
+    /// The URL exactly as Dissenter stores it (protocol variants and
+    /// query-string duplicates are distinct records, §4.2.1).
+    pub url: String,
+    /// Page title as parsed by Dissenter — `"/watch"` for YouTube embeds.
+    pub title: String,
+    /// Short description, often empty for embedded content.
+    pub description: String,
+    /// First-seen time.
+    pub created_at: Timestamp,
+    /// Thumbs-up count.
+    pub upvotes: u32,
+    /// Thumbs-down count.
+    pub downvotes: u32,
+}
+
+impl CommentUrl {
+    /// Net vote score (up minus down), the x-axis of Figure 5.
+    pub fn net_votes(&self) -> i64 {
+        self.upvotes as i64 - self.downvotes as i64
+    }
+}
+
+/// A comment or reply.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment-id.
+    pub id: ObjectId,
+    /// The thread (commenturl-id) it belongs to.
+    pub url_id: ObjectId,
+    /// Author's author-id.
+    pub author_id: ObjectId,
+    /// Parent comment for replies (replies nest arbitrarily deep, §3.2).
+    pub parent: Option<ObjectId>,
+    /// Comment text (no practical length limit; the paper found one >90k
+    /// characters).
+    pub text: String,
+    /// Creation time.
+    pub created_at: Timestamp,
+    /// Author labeled it NSFW at post time.
+    pub nsfw: bool,
+    /// Platform labeled it "offensive" (mechanism opaque to users).
+    pub offensive: bool,
+}
+
+impl Comment {
+    /// Is this a reply (vs a top-level comment)?
+    pub fn is_reply(&self) -> bool {
+        self.parent.is_some()
+    }
+}
+
+/// A thumbs vote on a URL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// Thumbs up.
+    Up,
+    /// Thumbs down.
+    Down,
+}
+
+/// A baseline comment corpus (Table 3: NY Times, Daily Mail, Reddit).
+#[derive(Debug, Clone, Default)]
+pub struct BaselineCorpus {
+    /// Corpus name.
+    pub name: String,
+    /// Raw comment texts.
+    pub comments: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::{EntityKind, ObjectIdGen};
+
+    #[test]
+    fn default_filters_hide_shadow_content() {
+        let f = ViewFilters::default();
+        assert!(f.pro && f.verified && f.standard);
+        assert!(!f.nsfw && !f.offensive);
+    }
+
+    #[test]
+    fn net_votes_signed() {
+        let mut g = ObjectIdGen::new(EntityKind::CommentUrl, 0);
+        let u = CommentUrl {
+            id: g.next(10),
+            url: "https://example.com".into(),
+            title: "t".into(),
+            description: String::new(),
+            created_at: 10,
+            upvotes: 2,
+            downvotes: 5,
+        };
+        assert_eq!(u.net_votes(), -3);
+    }
+
+    #[test]
+    fn reply_detection() {
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 0);
+        let parent = g.next(5);
+        let c = Comment {
+            id: g.next(6),
+            url_id: g.next(1),
+            author_id: g.next(1),
+            parent: Some(parent),
+            text: "reply".into(),
+            created_at: 6,
+            nsfw: false,
+            offensive: false,
+        };
+        assert!(c.is_reply());
+    }
+
+    #[test]
+    fn dissenter_subset_of_gab() {
+        let u = User {
+            author_id: None,
+            gab_id: 42,
+            username: "quietuser".into(),
+            display_name: "Quiet".into(),
+            bio: String::new(),
+            created_at: 0,
+            flags: UserFlags::default(),
+            filters: ViewFilters::default(),
+            language: "en".into(),
+            gab_deleted: false,
+        };
+        assert!(!u.is_dissenter());
+    }
+}

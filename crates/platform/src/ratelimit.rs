@@ -1,0 +1,133 @@
+//! Rate limiting as the measured services exposed it.
+//!
+//! * Dissenter: HTTP headers advertise a 10-requests-per-minute limit —
+//!   but the counter is **per-URL**, so a crawler that never re-requests a
+//!   URL is unimpeded (§3.2). We reproduce that quirk exactly.
+//! * Gab: exposes `X-RateLimit-Remaining` and a reset time; the paper's
+//!   crawler throttles to 1 req/s and sleeps until reset when exhausted
+//!   (§3.4).
+//!
+//! The limiter is keyed (per-URL or per-client) and driven by an explicit
+//! clock value, keeping simulations deterministic.
+
+use std::collections::HashMap;
+
+/// Outcome of asking the limiter for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// Request admitted; `remaining` slots left in the window.
+    Allow {
+        /// Requests left in the current window after this one.
+        remaining: u32,
+        /// When the window resets (absolute seconds).
+        reset_at: u64,
+    },
+    /// Request rejected until `reset_at`.
+    Deny {
+        /// When the window resets (absolute seconds).
+        reset_at: u64,
+    },
+}
+
+impl RateDecision {
+    /// Was the request admitted?
+    pub fn allowed(&self) -> bool {
+        matches!(self, RateDecision::Allow { .. })
+    }
+}
+
+/// A fixed-window, keyed rate limiter.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    limit: u32,
+    window_secs: u64,
+    // key → (window_start, used)
+    state: HashMap<String, (u64, u32)>,
+}
+
+impl RateLimiter {
+    /// `limit` requests per `window_secs` per key.
+    pub fn new(limit: u32, window_secs: u64) -> Self {
+        assert!(limit > 0 && window_secs > 0, "limit and window must be positive");
+        Self { limit, window_secs, state: HashMap::new() }
+    }
+
+    /// Dissenter's advertised per-URL limit: 10 requests per minute.
+    pub fn dissenter_per_url() -> Self {
+        Self::new(10, 60)
+    }
+
+    /// Admit or reject a request for `key` at time `now`.
+    pub fn check(&mut self, key: &str, now: u64) -> RateDecision {
+        let entry = self.state.entry(key.to_owned()).or_insert((now, 0));
+        if now >= entry.0 + self.window_secs {
+            *entry = (now, 0);
+        }
+        let reset_at = entry.0 + self.window_secs;
+        if entry.1 >= self.limit {
+            RateDecision::Deny { reset_at }
+        } else {
+            entry.1 += 1;
+            RateDecision::Allow { remaining: self.limit - entry.1, reset_at }
+        }
+    }
+
+    /// The configured per-window limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Number of keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_up_to_limit_then_denies() {
+        let mut rl = RateLimiter::new(3, 60);
+        assert!(rl.check("k", 0).allowed());
+        assert!(rl.check("k", 1).allowed());
+        assert!(rl.check("k", 2).allowed());
+        let d = rl.check("k", 3);
+        assert!(!d.allowed());
+        assert_eq!(d, RateDecision::Deny { reset_at: 60 });
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut rl = RateLimiter::new(2, 60);
+        assert_eq!(rl.check("k", 0), RateDecision::Allow { remaining: 1, reset_at: 60 });
+        assert_eq!(rl.check("k", 0), RateDecision::Allow { remaining: 0, reset_at: 60 });
+    }
+
+    #[test]
+    fn window_resets() {
+        let mut rl = RateLimiter::new(1, 60);
+        assert!(rl.check("k", 0).allowed());
+        assert!(!rl.check("k", 30).allowed());
+        assert!(rl.check("k", 60).allowed(), "new window admits again");
+    }
+
+    #[test]
+    fn keys_are_independent_like_dissenters_per_url_counter() {
+        // The §3.2 quirk: exhausting one URL's budget leaves others open.
+        let mut rl = RateLimiter::dissenter_per_url();
+        for i in 0..10 {
+            assert!(rl.check("https://a.example/x", i).allowed());
+        }
+        assert!(!rl.check("https://a.example/x", 11).allowed());
+        assert!(rl.check("https://a.example/y", 11).allowed());
+        assert_eq!(rl.tracked_keys(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_panics() {
+        RateLimiter::new(0, 60);
+    }
+}

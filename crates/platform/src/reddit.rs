@@ -1,0 +1,119 @@
+//! The Reddit mirror used for the §4.4.1 baseline.
+//!
+//! The paper queries Reddit for accounts matching known Dissenter
+//! usernames (finding 56k matches, with an acknowledged false-positive
+//! rate) and pulls their comment histories from Pushshift. We model
+//! exactly what that needs: a username-keyed account table with per-account
+//! comment lists.
+
+use std::collections::HashMap;
+
+/// Reddit account store.
+///
+/// Besides materialized comment texts, each account carries a *declared*
+/// total comment count: the generator materializes only a capped sample of
+/// texts per account (memory), while Figure 6's comment-ratio analysis
+/// needs the full count — exactly the split between Pushshift metadata and
+/// body downloads.
+#[derive(Debug, Default, Clone)]
+pub struct RedditDb {
+    accounts: HashMap<String, Vec<String>>,
+    declared: HashMap<String, u64>,
+}
+
+impl RedditDb {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an account (case-preserving, lookup is exact like Reddit's
+    /// username semantics). Returns false if it already existed.
+    pub fn create_account(&mut self, username: &str) -> bool {
+        if self.accounts.contains_key(username) {
+            return false;
+        }
+        self.accounts.insert(username.to_owned(), Vec::new());
+        true
+    }
+
+    /// Append a comment to an account (creating it if needed).
+    pub fn add_comment(&mut self, username: &str, text: String) {
+        self.accounts.entry(username.to_owned()).or_default().push(text);
+    }
+
+    /// Does the username exist?
+    pub fn exists(&self, username: &str) -> bool {
+        self.accounts.contains_key(username)
+    }
+
+    /// Comment history (Pushshift-style full history), `None` if no account.
+    pub fn comments(&self, username: &str) -> Option<&[String]> {
+        self.accounts.get(username).map(Vec::as_slice)
+    }
+
+    /// Number of accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Total comments across accounts.
+    pub fn total_comments(&self) -> usize {
+        self.accounts.values().map(Vec::len).sum()
+    }
+
+    /// All usernames (unordered).
+    pub fn usernames(&self) -> impl Iterator<Item = &str> {
+        self.accounts.keys().map(String::as_str)
+    }
+
+    /// Set the declared (full) comment count for an account.
+    pub fn set_declared(&mut self, username: &str, count: u64) {
+        self.declared.insert(username.to_owned(), count);
+    }
+
+    /// Declared total comment count: the explicit value if set, otherwise
+    /// the number of materialized texts.
+    pub fn declared_count(&self, username: &str) -> Option<u64> {
+        if let Some(&c) = self.declared.get(username) {
+            return Some(c);
+        }
+        self.accounts.get(username).map(|v| v.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_query() {
+        let mut r = RedditDb::new();
+        assert!(r.create_account("alice"));
+        assert!(!r.create_account("alice"));
+        assert!(r.exists("alice"));
+        assert!(!r.exists("Alice"), "lookup is exact");
+        assert_eq!(r.comments("alice").unwrap().len(), 0);
+        assert!(r.comments("bob").is_none());
+    }
+
+    #[test]
+    fn declared_counts_override_materialized() {
+        let mut r = RedditDb::new();
+        r.add_comment("whale", "one".into());
+        assert_eq!(r.declared_count("whale"), Some(1));
+        r.set_declared("whale", 50_000);
+        assert_eq!(r.declared_count("whale"), Some(50_000));
+        assert_eq!(r.declared_count("nobody"), None);
+    }
+
+    #[test]
+    fn comments_accumulate() {
+        let mut r = RedditDb::new();
+        r.add_comment("bob", "first".into());
+        r.add_comment("bob", "second".into());
+        assert_eq!(r.comments("bob").unwrap(), &["first", "second"]);
+        assert_eq!(r.account_count(), 1);
+        assert_eq!(r.total_comments(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Comment visibility rules — the shadow-overlay mechanics of §2.2.
+//!
+//! NSFW posts are invisible to unauthenticated *and* authenticated users
+//! unless the viewer explicitly opted in; "offensive"-labeled posts behave
+//! the same with a separate opt-in. A user cannot even see their own NSFW
+//! comment without the setting (the paper hypothesizes this caused
+//! duplicate posts, §4.3.1).
+
+use crate::model::{Comment, ViewFilters};
+
+/// The viewing context of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Viewer {
+    /// No session cookie — what Dissenter shows the open web.
+    #[default]
+    Anonymous,
+    /// Authenticated with the given view filters.
+    Authenticated(ViewFilters),
+}
+
+impl Viewer {
+    /// An authenticated viewer with default filters (shadow content off).
+    pub fn logged_in_default() -> Viewer {
+        Viewer::Authenticated(ViewFilters::default())
+    }
+
+    /// An authenticated viewer with NSFW viewing enabled.
+    pub fn with_nsfw() -> Viewer {
+        Viewer::Authenticated(ViewFilters { nsfw: true, ..Default::default() })
+    }
+
+    /// An authenticated viewer with "offensive" viewing enabled.
+    pub fn with_offensive() -> Viewer {
+        Viewer::Authenticated(ViewFilters { offensive: true, ..Default::default() })
+    }
+
+    /// Can this viewer see `comment`?
+    pub fn can_see(&self, comment: &Comment) -> bool {
+        let filters = match self {
+            Viewer::Anonymous => {
+                return !comment.nsfw && !comment.offensive;
+            }
+            Viewer::Authenticated(f) => f,
+        };
+        if comment.nsfw && !filters.nsfw {
+            return false;
+        }
+        if comment.offensive && !filters.offensive {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn comment(nsfw: bool, offensive: bool) -> Comment {
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 1);
+        Comment {
+            id: g.next(10),
+            url_id: g.next(1),
+            author_id: g.next(1),
+            parent: None,
+            text: "x".into(),
+            created_at: 10,
+            nsfw,
+            offensive,
+        }
+    }
+
+    #[test]
+    fn anonymous_sees_only_standard() {
+        let v = Viewer::Anonymous;
+        assert!(v.can_see(&comment(false, false)));
+        assert!(!v.can_see(&comment(true, false)));
+        assert!(!v.can_see(&comment(false, true)));
+        assert!(!v.can_see(&comment(true, true)));
+    }
+
+    #[test]
+    fn default_authenticated_equals_anonymous() {
+        let v = Viewer::logged_in_default();
+        assert!(v.can_see(&comment(false, false)));
+        assert!(!v.can_see(&comment(true, false)));
+        assert!(!v.can_see(&comment(false, true)));
+    }
+
+    #[test]
+    fn nsfw_opt_in_reveals_only_nsfw() {
+        let v = Viewer::with_nsfw();
+        assert!(v.can_see(&comment(true, false)));
+        assert!(!v.can_see(&comment(false, true)), "offensive stays hidden");
+        assert!(!v.can_see(&comment(true, true)), "dual-labeled needs both opt-ins");
+    }
+
+    #[test]
+    fn offensive_opt_in_reveals_only_offensive() {
+        let v = Viewer::with_offensive();
+        assert!(v.can_see(&comment(false, true)));
+        assert!(!v.can_see(&comment(true, false)));
+    }
+
+    #[test]
+    fn both_filters_reveal_everything() {
+        let v = Viewer::Authenticated(ViewFilters { nsfw: true, offensive: true, ..Default::default() });
+        assert!(v.can_see(&comment(true, true)));
+    }
+}

@@ -1,0 +1,151 @@
+//! The composed world: one user table, four services, baseline corpora.
+
+use crate::dissenter::DissenterDb;
+use crate::gab::GabDb;
+use crate::model::{BaselineCorpus, User};
+use crate::reddit::RedditDb;
+use crate::youtube::YouTubeDb;
+use ids::ObjectId;
+use std::collections::HashMap;
+
+/// The complete simulated universe the crawler measures.
+///
+/// Invariants:
+/// * every user with `author_id = Some(..)` is a Dissenter user and appears
+///   in `by_author_id`;
+/// * every user is registered in [`GabDb`] under their `gab_id` **unless**
+///   `gab_deleted` is set (deleted accounts vanish from the Gab API but
+///   their Dissenter comments persist — §4.1.1 found ~1,300 such users);
+/// * usernames are unique.
+#[derive(Debug, Default, Clone)]
+pub struct World {
+    /// All users (Gab superset; some have Dissenter accounts).
+    pub users: Vec<User>,
+    /// Dissenter comment store.
+    pub dissenter: DissenterDb,
+    /// Gab ID space and social graph.
+    pub gab: GabDb,
+    /// Reddit accounts for the intersection baseline.
+    pub reddit: RedditDb,
+    /// YouTube content states.
+    pub youtube: YouTubeDb,
+    /// Table 3 baseline corpora (NY Times, Daily Mail).
+    pub baselines: Vec<BaselineCorpus>,
+    by_username: HashMap<String, u32>,
+    by_author_id: HashMap<ObjectId, u32>,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a user, maintaining indexes. Returns the user's index.
+    /// Panics on duplicate usernames or author-ids.
+    pub fn add_user(&mut self, user: User) -> u32 {
+        let idx = self.users.len() as u32;
+        assert!(
+            self.by_username.insert(user.username.clone(), idx).is_none(),
+            "duplicate username {}",
+            user.username
+        );
+        if let Some(aid) = user.author_id {
+            assert!(
+                self.by_author_id.insert(aid, idx).is_none(),
+                "duplicate author-id"
+            );
+        }
+        if !user.gab_deleted {
+            self.gab.register(user.gab_id, idx);
+        }
+        self.users.push(user);
+        idx
+    }
+
+    /// Look up a user index by username.
+    pub fn user_by_username(&self, username: &str) -> Option<u32> {
+        self.by_username.get(username).copied()
+    }
+
+    /// Look up a user index by Dissenter author-id.
+    pub fn user_by_author_id(&self, author_id: ObjectId) -> Option<u32> {
+        self.by_author_id.get(&author_id).copied()
+    }
+
+    /// The user record at an index.
+    pub fn user(&self, idx: u32) -> &User {
+        &self.users[idx as usize]
+    }
+
+    /// Number of users (Gab universe, including deleted).
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of Dissenter users.
+    pub fn dissenter_user_count(&self) -> usize {
+        self.by_author_id.len()
+    }
+
+    /// Indexes of all Dissenter users.
+    pub fn dissenter_users(&self) -> impl Iterator<Item = u32> + '_ {
+        self.by_author_id.values().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{UserFlags, ViewFilters};
+    use ids::{EntityKind, ObjectIdGen};
+
+    fn user(name: &str, gab_id: u64, dissenter: bool, deleted: bool, g: &mut ObjectIdGen) -> User {
+        User {
+            author_id: if dissenter { Some(g.next(100)) } else { None },
+            gab_id,
+            username: name.into(),
+            display_name: name.to_uppercase(),
+            bio: String::new(),
+            created_at: 100,
+            flags: UserFlags::default(),
+            filters: ViewFilters::default(),
+            language: "en".into(),
+            gab_deleted: deleted,
+        }
+    }
+
+    #[test]
+    fn indexes_stay_consistent() {
+        let mut w = World::new();
+        let mut g = ObjectIdGen::new(EntityKind::Author, 1);
+        let a = w.add_user(user("a", 1, true, false, &mut g));
+        let b = w.add_user(user("quiet", 2, false, false, &mut g));
+        assert_eq!(w.user_by_username("a"), Some(a));
+        assert_eq!(w.user_by_username("quiet"), Some(b));
+        assert_eq!(w.user_count(), 2);
+        assert_eq!(w.dissenter_user_count(), 1);
+        let aid = w.user(a).author_id.unwrap();
+        assert_eq!(w.user_by_author_id(aid), Some(a));
+    }
+
+    #[test]
+    fn deleted_gab_accounts_not_in_gab_api() {
+        let mut w = World::new();
+        let mut g = ObjectIdGen::new(EntityKind::Author, 2);
+        w.add_user(user("ghost", 7, true, true, &mut g));
+        // Dissenter side still knows them…
+        assert_eq!(w.dissenter_user_count(), 1);
+        // …but the Gab API does not.
+        assert_eq!(w.gab.user_by_gab_id(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate username")]
+    fn duplicate_username_panics() {
+        let mut w = World::new();
+        let mut g = ObjectIdGen::new(EntityKind::Author, 3);
+        w.add_user(user("dup", 1, false, false, &mut g));
+        w.add_user(user("dup", 2, false, false, &mut g));
+    }
+}

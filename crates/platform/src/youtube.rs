@@ -1,0 +1,161 @@
+//! The simulated YouTube used by the §3.3 content crawl.
+//!
+//! Dissenter itself can't parse YouTube pages (titles show as "/watch"),
+//! so the paper crawled 128k YouTube URLs with Selenium and classified
+//! them: 125k videos / 2k channels / 1k users; 109k active vs 16k
+//! unavailable, with removal reasons including private videos, terminated
+//! accounts, and hate-speech-policy strikes; >10% of active videos had
+//! comments disabled (§4.2.2). This module models that state space.
+
+use std::collections::HashMap;
+
+/// The three content types the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YtKind {
+    /// A single video page.
+    Video,
+    /// A user home page.
+    User,
+    /// A channel (collection of videos under one banner).
+    Channel,
+}
+
+/// Why an item is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YtUnavailableReason {
+    /// Generic "Video Unavailable".
+    Generic,
+    /// Private, requires permission.
+    Private,
+    /// Uploader's account was terminated.
+    AccountTerminated,
+    /// Removed for violating the hate-speech policy.
+    HateSpeechPolicy,
+}
+
+/// Availability state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YtState {
+    /// Page renders.
+    Active {
+        /// Video/channel title (requires JavaScript on the real site —
+        /// which is why Dissenter's own parser misses it).
+        title: String,
+        /// Uploader / content-owner name (e.g. "Fox News", "CNN").
+        owner: String,
+        /// Comment section disabled by the owner or platform.
+        comments_disabled: bool,
+    },
+    /// Page is gone.
+    Unavailable(YtUnavailableReason),
+}
+
+/// One YouTube item keyed by its URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YtContent {
+    /// Content type.
+    pub kind: YtKind,
+    /// Availability.
+    pub state: YtState,
+}
+
+/// The YouTube content store.
+#[derive(Debug, Default, Clone)]
+pub struct YouTubeDb {
+    by_url: HashMap<String, YtContent>,
+}
+
+impl YouTubeDb {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register content at a URL (overwrites earlier state — takedowns).
+    pub fn put(&mut self, url: &str, content: YtContent) {
+        self.by_url.insert(url.to_owned(), content);
+    }
+
+    /// Fetch content; `None` for URLs YouTube never hosted.
+    pub fn get(&self, url: &str) -> Option<&YtContent> {
+        self.by_url.get(url)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.by_url.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_url.is_empty()
+    }
+
+    /// Iterate `(url, content)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &YtContent)> {
+        self.by_url.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Is a URL YouTube content (youtube.com or the youtu.be domain hack)?
+pub fn is_youtube_url(url: &str) -> bool {
+    let host = url
+        .trim_start_matches("https://")
+        .trim_start_matches("http://")
+        .split('/')
+        .next()
+        .unwrap_or("");
+    let host = host.strip_prefix("www.").unwrap_or(host);
+    host == "youtube.com" || host == "youtu.be" || host == "m.youtube.com"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut db = YouTubeDb::new();
+        let url = "https://youtube.com/watch?v=abc";
+        db.put(
+            url,
+            YtContent {
+                kind: YtKind::Video,
+                state: YtState::Active {
+                    title: "A video".into(),
+                    owner: "Fox News".into(),
+                    comments_disabled: false,
+                },
+            },
+        );
+        assert_eq!(db.len(), 1);
+        // Takedown.
+        db.put(
+            url,
+            YtContent {
+                kind: YtKind::Video,
+                state: YtState::Unavailable(YtUnavailableReason::HateSpeechPolicy),
+            },
+        );
+        assert_eq!(db.len(), 1);
+        match &db.get(url).unwrap().state {
+            YtState::Unavailable(r) => assert_eq!(*r, YtUnavailableReason::HateSpeechPolicy),
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_url_is_none() {
+        assert!(YouTubeDb::new().get("https://youtube.com/watch?v=zzz").is_none());
+    }
+
+    #[test]
+    fn youtube_url_detection() {
+        assert!(is_youtube_url("https://youtube.com/watch?v=1"));
+        assert!(is_youtube_url("https://www.youtube.com/channel/UC1"));
+        assert!(is_youtube_url("https://youtu.be/abc"));
+        assert!(is_youtube_url("http://m.youtube.com/watch?v=2"));
+        assert!(!is_youtube_url("https://youtube.com.evil.example/x"));
+        assert!(!is_youtube_url("https://bitchute.com/video/1"));
+    }
+}

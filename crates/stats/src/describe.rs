@@ -1,0 +1,144 @@
+//! Descriptive statistics: mean, median, quantiles, and a summary struct.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Median (average of the two central order statistics for even n).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Quantile `q ∈ [0,1]` with linear interpolation between order statistics.
+///
+/// Sorts a copy; callers with pre-sorted data should use
+/// [`quantile_sorted`].
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile over already-sorted data.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A one-pass summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Describe {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 if n < 2).
+    pub std: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Summarize a sample. NaNs are rejected with a panic — upstream data
+    /// is always finite by construction, so a NaN indicates a bug.
+    pub fn of(xs: &[f64]) -> Describe {
+        assert!(xs.iter().all(|x| x.is_finite()), "non-finite value in sample");
+        if xs.is_empty() {
+            return Describe { n: 0, mean: 0.0, std: 0.0, min: 0.0, median: 0.0, max: 0.0 };
+        }
+        let n = xs.len();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Describe {
+            n,
+            mean: m,
+            std: var.sqrt(),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        assert_eq!(quantile(&[5.0], 7.0), Some(5.0));
+        assert_eq!(quantile(&[5.0], -1.0), Some(5.0));
+    }
+
+    #[test]
+    fn describe_matches_hand_computation() {
+        let d = Describe::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(d.n, 8);
+        assert_eq!(d.mean, 5.0);
+        assert!((d.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.max, 9.0);
+        assert_eq!(d.median, 4.5);
+    }
+
+    #[test]
+    fn describe_empty_and_singleton() {
+        let e = Describe::of(&[]);
+        assert_eq!(e.n, 0);
+        let s = Describe::of(&[3.0]);
+        assert_eq!((s.mean, s.std, s.median), (3.0, 0.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn describe_rejects_nan() {
+        Describe::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most of the paper's figures are ECDFs ("CDF of Total Comments",
+//! "CDF of Ratios", Perspective score CDFs). [`Ecdf`] owns a sorted sample
+//! and answers `F(x)`, quantiles, and evenly-spaced curve points suitable
+//! for plotting or table output.
+
+use crate::describe::quantile_sorted;
+
+/// An empirical CDF over a finite sample.
+///
+/// ```
+/// let e = stats::Ecdf::new(&[0.1, 0.4, 0.4, 0.9]);
+/// assert_eq!(e.eval(0.4), 0.75);
+/// assert_eq!(e.survival(0.4), 0.25);
+/// assert_eq!(e.quantile(0.5), Some(0.4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (copied and sorted). Panics on NaN.
+    pub fn new(xs: &[f64]) -> Self {
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `F(x)` — fraction of the sample ≤ `x`. Returns 0 for empty samples.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Complementary CDF: fraction strictly greater than `x`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Quantile `q ∈ [0,1]` with linear interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(quantile_sorted(&self.sorted, q))
+    }
+
+    /// `points` evenly-spaced `(x, F(x))` pairs spanning the sample range —
+    /// the series a plotting tool would consume.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Lorenz-style concentration curve for Figure 3: given per-user activity
+/// counts, returns `(user_fraction, activity_fraction)` pairs where users
+/// are ordered by *descending* activity. The paper reads this curve as
+/// "90% of comments are made by ~14% of active users".
+pub fn concentration_curve(counts: &[u64], points: usize) -> Vec<(f64, f64)> {
+    if counts.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return vec![(1.0, 0.0)];
+    }
+    let n = sorted.len();
+    let mut cum = 0u64;
+    let mut curve = Vec::with_capacity(points);
+    let mut next_mark = 0usize;
+    for (i, c) in sorted.iter().enumerate() {
+        cum += c;
+        // Emit when we cross each of the `points` user-fraction marks.
+        while next_mark < points && (i + 1) * points >= (next_mark + 1) * n {
+            curve.push(((i + 1) as f64 / n as f64, cum as f64 / total as f64));
+            next_mark += 1;
+        }
+    }
+    curve
+}
+
+/// Smallest user fraction whose (descending-activity) cumulative share
+/// reaches `target` of total activity — e.g. `fraction_for_share(c, 0.9)`
+/// answers "what fraction of users produce 90% of comments?".
+pub fn fraction_for_share(counts: &[u64], target: f64) -> f64 {
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let goal = target * total as f64;
+    let mut cum = 0f64;
+    for (i, c) in sorted.iter().enumerate() {
+        cum += *c as f64;
+        if cum >= goal {
+            return (i + 1) as f64 / sorted.len() as f64;
+        }
+    }
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn survival_complements() {
+        let e = Ecdf::new(&[1.0, 2.0]);
+        assert_eq!(e.survival(1.0), 0.5);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(&[]);
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    fn curve_spans_range_monotonically() {
+        let e = Ecdf::new(&[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 1.0);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    #[test]
+    fn curve_degenerate_sample() {
+        let e = Ecdf::new(&[5.0, 5.0, 5.0]);
+        assert_eq!(e.curve(10), vec![(5.0, 1.0)]);
+    }
+
+    #[test]
+    fn concentration_all_equal() {
+        // Uniform activity: x% of users always hold x% of activity.
+        let counts = vec![10u64; 100];
+        let c = concentration_curve(&counts, 10);
+        for (uf, af) in c {
+            assert!((uf - af).abs() < 0.11, "({uf},{af})");
+        }
+    }
+
+    #[test]
+    fn concentration_skewed() {
+        // One whale makes 91 of 100 comments.
+        let mut counts = vec![1u64; 9];
+        counts.push(91);
+        let f = fraction_for_share(&counts, 0.9);
+        assert!((f - 0.1).abs() < 1e-9, "one of ten users covers 90%: {f}");
+    }
+
+    #[test]
+    fn fraction_for_share_edge_cases() {
+        assert_eq!(fraction_for_share(&[], 0.9), 0.0);
+        assert_eq!(fraction_for_share(&[0, 0], 0.9), 0.0);
+        assert_eq!(fraction_for_share(&[5], 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(&[f64::NAN]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! §4.4.4 confirms that Perspective-score distributions differ across
+//! Allsides bias classes "via two-sample Kolmogorov-Smirnov; all pairs
+//! p < 0.01". This module implements the test: the D statistic as the
+//! supremum distance between the two ECDFs, and the asymptotic
+//! Kolmogorov distribution for the p-value.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic D = sup |F1(x) − F2(x)|.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// Convenience: is the difference significant at `alpha`?
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test. Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test requires non-empty samples");
+    assert!(
+        a.iter().chain(b.iter()).all(|x| !x.is_nan()),
+        "NaN in KS input"
+    );
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+
+    let (n1, n2) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = sa[i].min(sb[j]);
+        while i < n1 && sa[i] <= x {
+            i += 1;
+        }
+        while j < n2 && sb[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    // Asymptotic p-value with the standard small-sample correction
+    // (Stephens 1970), as used by scipy's `ks_2samp(mode="asymp")`.
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    KsResult { statistic: d, p_value: kolmogorov_sf(lambda), n1, n2 }
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = ks_two_sample(&xs, &xs);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn shifted_distributions_detected() {
+        // Deterministic "uniform" grids shifted by 0.3.
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 + 0.3).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.3).abs() < 0.01, "D={}", r.statistic);
+        assert!(r.significant_at(0.01));
+    }
+
+    #[test]
+    fn same_distribution_not_significant() {
+        // Interleaved halves of the same grid.
+        let a: Vec<f64> = (0..500).map(|i| (2 * i) as f64 / 1000.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| (2 * i + 1) as f64 / 1000.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.significant_at(0.01), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Q(λ) at standard critical values.
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 0.002);
+        assert!((kolmogorov_sf(1.6276) - 0.01).abs() < 0.001);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn unequal_sample_sizes_work() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert_eq!((r.n1, r.n2), (10, 1000));
+        assert!(r.statistic < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+}

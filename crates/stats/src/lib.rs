@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! Statistical primitives behind the paper's figures.
+//!
+//! Every figure in §4 is a distributional statement: CDFs of comment counts
+//! (Fig. 3), Perspective score CDFs (Figs. 4, 7, 8b), score-vs-votes means
+//! and medians (Fig. 5), comment-ratio CDFs (Fig. 6), degree scatter plots
+//! and toxicity-by-degree curves (Fig. 9), plus two-sample
+//! Kolmogorov–Smirnov significance tests for the bias analysis (§4.4.4).
+//! This crate implements those tools from scratch.
+
+pub mod correlation;
+pub mod describe;
+pub mod ecdf;
+pub mod hist;
+pub mod ks;
+pub mod powerlaw;
+
+pub use correlation::{pearson, spearman};
+pub use describe::{mean, median, quantile, Describe};
+pub use ecdf::Ecdf;
+pub use hist::{log_bins, Histogram};
+pub use ks::{ks_two_sample, KsResult};
+pub use powerlaw::{fit_power_law, PowerLawFit};

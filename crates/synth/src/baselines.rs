@@ -1,0 +1,161 @@
+//! Baseline comment corpora (Table 3) and per-community latent score
+//! distributions (Figure 7).
+//!
+//! Each community gets a latent-score sampler tuned so the classifier-
+//! recovered CDFs reproduce the paper's Figure 7 ordering and quantiles:
+//!
+//! | community  | SEVERE_TOXICITY          | LIKELY_TO_REJECT                |
+//! |------------|--------------------------|---------------------------------|
+//! | Dissenter  | ~20% ≥ 0.5, ~10% ≥ 0.75  | ~75% ≥ 0.5, ~50% ≥ 0.75         |
+//! | Reddit     | ~10% ≥ 0.5               | roughly uniform                 |
+//! | Daily Mail | low                      | between Reddit and Dissenter-lite |
+//! | NY Times   | lowest                   | lowest (moderated to house style) |
+
+use crate::dist::{beta, coin, geometric};
+use crate::textgen::CommentSpec;
+use rand::Rng;
+use textkit::langid::Lang;
+
+/// The four comment communities of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Community {
+    /// Dissenter comments and replies.
+    Dissenter,
+    /// Dissenter users' Reddit comments.
+    Reddit,
+    /// NY Times comment sections.
+    NyTimes,
+    /// Daily Mail comment sections.
+    DailyMail,
+}
+
+/// Draw the latent score targets for one comment from `community`.
+///
+/// `heat ∈ [0, 1]` shifts the distribution toward toxicity — the world
+/// generator feeds in per-user toxicity and per-URL bias context here.
+pub fn sample_spec<R: Rng>(rng: &mut R, community: Community, heat: f64, lang: Lang) -> CommentSpec {
+    let tokens = 4 + geometric(rng, 0.10, 120) as usize;
+    // Heat above 1.0 is reserved for the planted hateful core, whose
+    // members need a median comment toxicity ≥ 0.3 (§4.5.1).
+    let heat = heat.clamp(0.0, 1.5);
+    match community {
+        Community::Dissenter => {
+            // Hot comments carry real hate-lexicon density; the share of
+            // hot comments rises with user/context heat.
+            let p_hot = (0.10 + 0.45 * heat).min(0.85);
+            let severe = if coin(rng, p_hot) {
+                beta(rng, 4.0, 2.2) // mean ≈ 0.65
+            } else {
+                beta(rng, 1.1, 9.0) // mean ≈ 0.11
+            };
+            // Mixture tuned so the *realized* (classifier-recovered)
+            // distribution lands on the paper's quantiles: ~75% ≥ 0.5 and
+            // ~50% ≥ 0.75 after channel coupling inflates scores slightly.
+            let reject = if coin(rng, 0.70) { beta(rng, 4.0, 1.8) } else { beta(rng, 1.5, 4.5) };
+            let obscene = if coin(rng, 0.10 + 0.1 * heat) {
+                beta(rng, 3.0, 2.0)
+            } else {
+                beta(rng, 1.0, 14.0)
+            };
+            let attack = if coin(rng, 0.12) { beta(rng, 3.0, 2.5) } else { beta(rng, 1.0, 10.0) };
+            CommentSpec { lang, severe, obscene, attack, reject: reject.max(severe), tokens }
+        }
+        Community::Reddit => {
+            let severe = if coin(rng, 0.13 + 0.06 * heat) {
+                beta(rng, 3.5, 2.5)
+            } else {
+                beta(rng, 1.0, 11.0)
+            };
+            // "mostly uniform" rejection distribution, kept slightly below
+            // uniform so realized scores (inflated by channel coupling)
+            // land between Daily Mail and NY Times as in Fig. 7a.
+            let reject = beta(rng, 1.0, 1.5);
+            let obscene = if coin(rng, 0.07) { beta(rng, 3.0, 2.5) } else { beta(rng, 1.0, 16.0) };
+            let attack = if coin(rng, 0.09) { beta(rng, 2.5, 3.0) } else { beta(rng, 1.0, 11.0) };
+            CommentSpec { lang, severe, obscene, attack, reject: reject.max(severe * 0.9), tokens }
+        }
+        Community::DailyMail => {
+            let severe = if coin(rng, 0.05) { beta(rng, 3.0, 3.0) } else { beta(rng, 1.0, 13.0) };
+            let reject = beta(rng, 2.1, 1.7); // mean ≈ 0.55
+            let obscene = beta(rng, 1.0, 18.0);
+            let attack = if coin(rng, 0.08) { beta(rng, 2.5, 3.0) } else { beta(rng, 1.0, 12.0) };
+            CommentSpec { lang, severe, obscene, attack, reject, tokens }
+        }
+        Community::NyTimes => {
+            let severe = if coin(rng, 0.015) { beta(rng, 2.5, 3.5) } else { beta(rng, 1.0, 16.0) };
+            let reject = beta(rng, 1.2, 3.4); // mean ≈ 0.26
+            let obscene = beta(rng, 1.0, 24.0);
+            let attack = if coin(rng, 0.06) { beta(rng, 2.0, 3.5) } else { beta(rng, 1.0, 13.0) };
+            CommentSpec { lang, severe, obscene, attack, reject, tokens }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textgen::TextGen;
+    use classify::PerspectiveModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generate `n` comments of a community and return realized
+    /// (severe, reject) score vectors through the real classifier.
+    fn realized(community: Community, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let gen = TextGen::standard();
+        let model = PerspectiveModel::standard();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut severe = Vec::with_capacity(n);
+        let mut reject = Vec::with_capacity(n);
+        for _ in 0..n {
+            let heat = beta(&mut rng, 2.0, 6.0);
+            let spec = sample_spec(&mut rng, community, heat, Lang::En);
+            let s = model.score(&gen.generate(&mut rng, &spec));
+            severe.push(s.severe_toxicity);
+            reject.push(s.likely_to_reject);
+        }
+        (severe, reject)
+    }
+
+    fn frac_ge(xs: &[f64], t: f64) -> f64 {
+        xs.iter().filter(|&&x| x >= t).count() as f64 / xs.len() as f64
+    }
+
+    #[test]
+    fn dissenter_severe_quantiles_match_paper() {
+        let (severe, _) = realized(Community::Dissenter, 3_000);
+        let p50 = frac_ge(&severe, 0.5);
+        let p75 = frac_ge(&severe, 0.75);
+        assert!((0.12..0.30).contains(&p50), "P(severe≥0.5) = {p50}");
+        assert!((0.05..0.18).contains(&p75), "P(severe≥0.75) = {p75}");
+    }
+
+    #[test]
+    fn dissenter_reject_quantiles_match_paper() {
+        let (_, reject) = realized(Community::Dissenter, 3_000);
+        let p50 = frac_ge(&reject, 0.5);
+        let p75 = frac_ge(&reject, 0.75);
+        assert!((0.6..0.9).contains(&p50), "P(reject≥0.5) = {p50}");
+        assert!((0.35..0.65).contains(&p75), "P(reject≥0.75) = {p75}");
+    }
+
+    #[test]
+    fn severe_ordering_matches_figure_7b() {
+        let d = frac_ge(&realized(Community::Dissenter, 2_000).0, 0.5);
+        let r = frac_ge(&realized(Community::Reddit, 2_000).0, 0.5);
+        let m = frac_ge(&realized(Community::DailyMail, 2_000).0, 0.5);
+        let n = frac_ge(&realized(Community::NyTimes, 2_000).0, 0.5);
+        assert!(d > r && r > m && m > n, "d={d} r={r} m={m} n={n}");
+        // "about double the fraction of Reddit".
+        assert!(d / r > 1.4 && d / r < 3.5, "ratio {}", d / r);
+    }
+
+    #[test]
+    fn reject_ordering_matches_figure_7a() {
+        let d = frac_ge(&realized(Community::Dissenter, 2_000).1, 0.5);
+        let r = frac_ge(&realized(Community::Reddit, 2_000).1, 0.5);
+        let m = frac_ge(&realized(Community::DailyMail, 2_000).1, 0.5);
+        let n = frac_ge(&realized(Community::NyTimes, 2_000).1, 0.5);
+        assert!(d > m && m > r && r > n, "d={d} m={m} r={r} n={n}");
+    }
+}

@@ -1,0 +1,144 @@
+//! World-generation configuration and paper-calibrated constants.
+
+/// Preset sizes. All paper quantities scale linearly; statistics reported
+/// as fractions are scale-invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// ~1/64 world; seconds to generate. Used by tests.
+    Small,
+    /// ~1/16 world; the default for the `repro` harness.
+    Medium,
+    /// Full paper-scale counts (1.3M Gab users, 1.68M comments, 588k
+    /// URLs). Minutes to generate and crawl.
+    Paper,
+    /// Custom multiplier of the paper counts.
+    Custom(f64),
+}
+
+impl Scale {
+    /// The multiplier applied to paper counts.
+    pub fn factor(&self) -> f64 {
+        match self {
+            Scale::Small => 1.0 / 64.0,
+            Scale::Medium => 1.0 / 16.0,
+            Scale::Paper => 1.0,
+            Scale::Custom(f) => *f,
+        }
+    }
+}
+
+/// Paper-published absolute quantities (the `Scale` multiplies these).
+pub mod paper {
+    /// Gab accounts discovered by ID enumeration (§3.1).
+    pub const GAB_USERS: f64 = 1_300_000.0;
+    /// Dissenter accounts (§1).
+    pub const DISSENTER_USERS: f64 = 101_000.0;
+    /// Fraction of Dissenter users who joined by the end of March 2019.
+    pub const EARLY_JOIN_FRACTION: f64 = 0.77;
+    /// Fraction of Dissenter users with ≥1 comment (§4.1.1).
+    pub const ACTIVE_FRACTION: f64 = 0.47;
+    /// Total comments + replies.
+    pub const COMMENTS: f64 = 1_680_000.0;
+    /// Distinct commented URLs.
+    pub const URLS: f64 = 588_000.0;
+    /// NSFW-labeled comments (§4.3.1).
+    pub const NSFW_COMMENTS: f64 = 10_000.0;
+    /// "Offensive"-labeled comments.
+    pub const OFFENSIVE_COMMENTS: f64 = 8_000.0;
+    /// Dissenter users whose Gab account was deleted (§4.1.1).
+    pub const DELETED_GAB_USERS: f64 = 1_300.0;
+    /// Banned active users (Table 1).
+    pub const BANNED_USERS: f64 = 8.0;
+    /// Fraction of Dissenter usernames that exist on Reddit (§4.4.1).
+    pub const REDDIT_MATCH_FRACTION: f64 = 0.56;
+    /// Reddit baseline comments (Table 3).
+    pub const REDDIT_COMMENTS: f64 = 13_051_561.0;
+    /// NY Times baseline comments.
+    pub const NYT_COMMENTS: f64 = 4_995_119.0;
+    /// Daily Mail baseline comments.
+    pub const DAILYMAIL_COMMENTS: f64 = 14_287_096.0;
+    /// Users in the §4.5.1 hateful core.
+    pub const CORE_USERS: usize = 42;
+    /// Connected components of the core.
+    pub const CORE_COMPONENTS: usize = 6;
+    /// Size of the core's giant component.
+    pub const CORE_GIANT: usize = 32;
+    /// Dissenter users in the social-network analysis (≥1 comment/reply).
+    pub const SOCIAL_USERS: f64 = 45_524.0;
+    /// Users with no followers and following no one (§4.5.1).
+    pub const ISOLATED_USERS: f64 = 15_702.0;
+    /// YouTube URLs crawled (§3.3).
+    pub const YOUTUBE_URLS: f64 = 128_000.0;
+}
+
+/// Full configuration for [`crate::world::generate`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every sub-generator derives its own stream from it.
+    pub seed: u64,
+    /// World size.
+    pub scale: Scale,
+    /// Baseline corpora (NYT / Daily Mail / Reddit texts) are additionally
+    /// subsampled by this factor: the paper's 32M baseline comments only
+    /// matter distributionally, so materializing a fraction preserves
+    /// every figure while bounding memory. Declared totals in Table 3 are
+    /// still reported at full (scaled) size.
+    pub baseline_subsample: f64,
+    /// Cap on materialized Reddit comment texts per matched account (full
+    /// per-account counts are tracked separately for Figure 6).
+    pub reddit_texts_per_user_cap: usize,
+}
+
+impl WorldConfig {
+    /// Config at a given scale with the default seed.
+    pub fn at(scale: Scale) -> Self {
+        Self { seed: 0xD155_E17E, scale, baseline_subsample: 0.02, reddit_texts_per_user_cap: 50 }
+    }
+
+    /// Small test-sized config.
+    pub fn small() -> Self {
+        Self::at(Scale::Small)
+    }
+
+    /// Scaled count helper.
+    pub fn n(&self, paper_count: f64) -> usize {
+        (paper_count * self.scale.factor()).round().max(1.0) as usize
+    }
+
+    /// Scaled baseline-corpus count (scale × subsample).
+    pub fn n_baseline(&self, paper_count: f64) -> usize {
+        (paper_count * self.scale.factor() * self.baseline_subsample)
+            .round()
+            .max(10.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::Paper.factor(), 1.0);
+        assert!(Scale::Small.factor() < Scale::Medium.factor());
+        assert_eq!(Scale::Custom(0.5).factor(), 0.5);
+    }
+
+    #[test]
+    fn scaled_counts() {
+        let c = WorldConfig::at(Scale::Paper);
+        assert_eq!(c.n(paper::DISSENTER_USERS), 101_000);
+        let s = WorldConfig::small();
+        let n = s.n(paper::DISSENTER_USERS);
+        assert!((1_400..1_700).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn baseline_subsampling_applies() {
+        let c = WorldConfig::at(Scale::Paper);
+        let full = c.n(paper::NYT_COMMENTS);
+        let sampled = c.n_baseline(paper::NYT_COMMENTS);
+        assert!(sampled < full / 10);
+        assert!(sampled >= 10);
+    }
+}

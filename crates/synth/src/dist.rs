@@ -1,0 +1,216 @@
+//! Sampling primitives: categorical tables, bounded discrete power laws,
+//! Beta variates, and geometric tails. Implemented from scratch on top of
+//! `rand`'s uniform source so the generator needs no extra distribution
+//! crates.
+
+use rand::Rng;
+
+/// A categorical distribution over labeled weights, sampled by inverse CDF
+/// (weights need not sum to 1).
+#[derive(Debug, Clone)]
+pub struct Categorical<T: Clone> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> Categorical<T> {
+    /// Build from `(item, weight)` pairs; weights must be non-negative and
+    /// not all zero.
+    pub fn new(pairs: &[(T, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "empty categorical");
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            assert!(*w >= 0.0 && w.is_finite(), "bad weight");
+            acc += w;
+            items.push(item.clone());
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        Self { items, cumulative }
+    }
+
+    /// Draw one item.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &T {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the table empty (never true by construction)?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Bounded discrete power-law sample: integer in `[min, max]` with
+/// `P(x) ∝ x^{-alpha}` via inverse-CDF of the continuous envelope.
+pub fn power_law_int<R: Rng>(rng: &mut R, alpha: f64, min: u64, max: u64) -> u64 {
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    assert!(min >= 1 && max >= min, "bad bounds");
+    let a = 1.0 - alpha;
+    let (lo, hi) = ((min as f64).powf(a), ((max + 1) as f64).powf(a));
+    let u = rng.gen::<f64>();
+    let x = (lo + u * (hi - lo)).powf(1.0 / a);
+    (x as u64).clamp(min, max)
+}
+
+/// Beta(α, β) variate via two Gamma draws (Marsaglia–Tsang for shape ≥ 1,
+/// Johnk boost for shape < 1).
+pub fn beta<R: Rng>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    assert!(alpha > 0.0 && b > 0.0, "beta shapes must be positive");
+    let x = gamma(rng, alpha);
+    let y = gamma(rng, b);
+    if x + y == 0.0 {
+        return 0.5;
+    }
+    x / (x + y)
+}
+
+/// Gamma(shape, 1) variate.
+pub fn gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    // Marsaglia–Tsang squeeze.
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Geometric count ≥ 1 with success probability `p` (mean 1/p), capped.
+pub fn geometric<R: Rng>(rng: &mut R, p: f64, cap: u64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p out of range");
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    let x = (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as u64 + 1;
+    x.min(cap)
+}
+
+/// Bernoulli draw.
+pub fn coin<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Derive a child seed from a master seed and a stream tag (SplitMix64).
+pub fn child_seed(master: u64, tag: u64) -> u64 {
+    let mut z = master ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[("a", 8.0), ("b", 2.0)]);
+        let mut r = rng();
+        let n = 20_000;
+        let a = (0..n).filter(|_| *c.sample(&mut r) == "a").count();
+        let frac = a as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_sampled() {
+        let c = Categorical::new(&[("never", 0.0), ("always", 1.0)]);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(*c.sample(&mut r), "always");
+        }
+    }
+
+    #[test]
+    fn power_law_bounds_and_tail() {
+        let mut r = rng();
+        let xs: Vec<u64> = (0..50_000).map(|_| power_law_int(&mut r, 2.0, 1, 10_000)).collect();
+        assert!(xs.iter().all(|&x| (1..=10_000).contains(&x)));
+        let ones = xs.iter().filter(|&&x| x == 1).count() as f64 / xs.len() as f64;
+        // For α=2 on [1,10000], P(1) ≈ 1/ζ-ish ≈ 0.5 under the continuous
+        // envelope.
+        assert!(ones > 0.3 && ones < 0.7, "{ones}");
+        assert!(xs.iter().any(|&x| x > 100), "tail must reach high values");
+    }
+
+    #[test]
+    fn beta_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| beta(&mut r, 2.0, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0 / 7.0).abs() < 0.01, "{mean}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_small_shapes() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..5_000).map(|_| beta(&mut r, 0.5, 0.5)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Arcsine law: mass near the edges.
+        let edges = xs.iter().filter(|&&x| !(0.1..=0.9).contains(&x)).count() as f64
+            / xs.len() as f64;
+        assert!(edges > 0.3, "{edges}");
+    }
+
+    #[test]
+    fn geometric_mean_and_cap() {
+        let mut r = rng();
+        let xs: Vec<u64> = (0..20_000).map(|_| geometric(&mut r, 0.5, 100)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "{mean}");
+        let capped: Vec<u64> = (0..1000).map(|_| geometric(&mut r, 0.01, 5)).collect();
+        assert!(capped.iter().all(|&x| x <= 5));
+    }
+
+    #[test]
+    fn child_seeds_differ() {
+        let a = child_seed(1, 1);
+        let b = child_seed(1, 2);
+        let c = child_seed(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, child_seed(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn power_law_alpha_validated() {
+        power_law_int(&mut rng(), 1.0, 1, 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic username, domain, and title generation.
+
+use crate::dist::Categorical;
+use rand::Rng;
+
+const NAME_PARTS_A: &[&str] = &[
+    "free", "truth", "eagle", "patriot", "liberty", "digital", "silent", "night", "iron", "red",
+    "storm", "wolf", "hawk", "winter", "golden", "real", "honest", "deplor", "shadow", "lone",
+];
+
+const NAME_PARTS_B: &[&str] = &[
+    "speaker", "watcher", "rider", "fan", "voice", "thinker", "citizen", "walker", "smith",
+    "runner", "reader", "hunter", "maker", "keeper", "pilgrim", "dissident", "skeptic", "texan",
+    "viking", "owl",
+];
+
+/// Generate a unique username: `partA` + `partB` + decimal suffix.
+pub fn username<R: Rng>(rng: &mut R, serial: u64) -> String {
+    let a = NAME_PARTS_A[rng.gen_range(0..NAME_PARTS_A.len())];
+    let b = NAME_PARTS_B[rng.gen_range(0..NAME_PARTS_B.len())];
+    format!("{a}{b}{serial}")
+}
+
+/// Display name derived from a username (capitalized, spaced).
+pub fn display_name(username: &str) -> String {
+    let mut out = String::with_capacity(username.len() + 1);
+    let mut cap = true;
+    for c in username.chars() {
+        if c.is_ascii_digit() {
+            continue;
+        }
+        if cap {
+            out.extend(c.to_uppercase());
+            cap = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Table 2's top domains with their observed URL shares (percent of all
+/// 588k URLs). The remainder ("Other", 54.61%) is synthesized from
+/// [`other_domain`].
+pub const TOP_DOMAINS: &[(&str, f64)] = &[
+    ("youtube.com", 20.75),
+    ("twitter.com", 6.87),
+    ("breitbart.com", 4.03),
+    ("bbc.co.uk", 2.76),
+    ("dailymail.co.uk", 2.68),
+    ("foxnews.com", 2.08),
+    ("bitchute.com", 2.06),
+    ("zerohedge.com", 1.47),
+    ("theguardian.com", 1.36),
+    ("youtu.be", 1.33),
+];
+
+/// Table 2's TLD shares (percent) used for synthesized "other" domains.
+/// `.com`'s share here is net of the top domains above.
+pub const OTHER_TLDS: &[(&str, f64)] = &[
+    ("com", 40.0),
+    ("uk", 2.0),
+    ("org", 3.32),
+    ("de", 1.75),
+    ("be", 0.03),
+    ("au", 1.17),
+    ("ca", 0.93),
+    ("net", 0.81),
+    ("nz", 0.51),
+    ("no", 0.50),
+    ("fr", 0.30),
+    ("es", 0.25),
+    ("it", 0.25),
+];
+
+const DOMAIN_WORDS: &[&str] = &[
+    "daily", "news", "report", "times", "post", "tribune", "herald", "wire", "journal", "gazette",
+    "chronicle", "observer", "monitor", "dispatch", "insider", "review", "digest", "bulletin",
+    "record", "standard", "examiner", "courier", "sentinel", "register", "beacon", "signal",
+    "outlook", "globe", "voice", "watch",
+];
+
+/// Pre-built sampler for "other" domains' TLDs.
+pub fn other_tld_table() -> Categorical<&'static str> {
+    Categorical::new(&OTHER_TLDS.iter().map(|&(t, w)| (t, w)).collect::<Vec<_>>())
+}
+
+/// A synthesized long-tail domain like `dailyreport42.com`.
+pub fn other_domain<R: Rng>(rng: &mut R, tld: &str) -> String {
+    let a = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    let b = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    let n = rng.gen_range(1..100);
+    if tld == "uk" {
+        format!("{a}{b}{n}.co.uk")
+    } else {
+        format!("{a}{b}{n}.{tld}")
+    }
+}
+
+/// Known fringe domains the paper highlights for high per-URL comment
+/// volume (§4.2.1).
+pub const FRINGE_DOMAINS: &[&str] = &["thewatcherfiles.com", "deutschland.de"];
+
+/// A plausible article path.
+pub fn article_path<R: Rng>(rng: &mut R) -> String {
+    let a = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    let b = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    format!("/{}/{:04}/{a}-{b}-{}", 2019 + rng.gen_range(0..2), rng.gen_range(1..9999), rng.gen_range(100..999))
+}
+
+/// A YouTube video id (11 chars, base64-ish).
+pub fn youtube_id<R: Rng>(rng: &mut R) -> String {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+    (0..11).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn usernames_unique_by_serial() {
+        let mut r = StdRng::seed_from_u64(0);
+        let a = username(&mut r, 1);
+        let b = username(&mut r, 2);
+        assert!(a.ends_with('1'));
+        assert!(b.ends_with('2'));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_name_strips_digits() {
+        assert_eq!(display_name("truthwalker42"), "Truthwalker");
+    }
+
+    #[test]
+    fn top_domain_shares_match_table_2() {
+        let total: f64 = TOP_DOMAINS.iter().map(|(_, w)| w).sum();
+        assert!((total - 45.39).abs() < 0.01, "{total}");
+    }
+
+    #[test]
+    fn uk_domains_use_co_uk() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(other_domain(&mut r, "uk").ends_with(".co.uk"));
+        assert!(other_domain(&mut r, "de").ends_with(".de"));
+    }
+
+    #[test]
+    fn youtube_ids_have_right_shape() {
+        let mut r = StdRng::seed_from_u64(2);
+        let id = youtube_id(&mut r);
+        assert_eq!(id.len(), 11);
+    }
+}

@@ -1,0 +1,278 @@
+//! Calibrated comment-text generation.
+//!
+//! Each comment is generated from a [`CommentSpec`] carrying *target*
+//! Perspective scores. The generator inverts the documented model weights
+//! (`classify::perspective`) into marker densities, embeds that many hate /
+//! obscenity / insult / author-word markers among benign filler words of
+//! the requested language, and emits plain text. Because the classifier
+//! genuinely re-scores the text, realized scores track targets with
+//! quantization noise (a comment has integer token counts) — giving
+//! distributions the natural spread the paper's figures show.
+//!
+//! Deliberate imperfections carried over from §3.5's discussion:
+//! * a small rate of trailing-`z` slang on hate terms (stemmer-defeating
+//!   false negatives);
+//! * occasional ambiguous terms ("queen", "pig") in benign text
+//!   (dictionary false positives);
+//! * the [`lexicon_trap`] word containing a hate term as a
+//!   substring, which token-level matching correctly ignores.
+
+use classify::features::{AUTHOR_WORDS, INSULTS, SECOND_PERSON};
+use classify::lexicon::{AMBIGUOUS_TERMS, SUBSTRING_TRAP};
+use classify::perspective::{logit, ATTACK_W, OBSCENE_W, REJECT_W, SEVERE_W};
+use classify::Lexicon;
+use rand::Rng;
+use textkit::langid::{filler_words, Lang};
+
+/// Target scores and shape for one generated comment.
+#[derive(Debug, Clone, Copy)]
+pub struct CommentSpec {
+    /// Language of the filler vocabulary.
+    pub lang: Lang,
+    /// Target `SEVERE_TOXICITY`.
+    pub severe: f64,
+    /// Target `OBSCENE`.
+    pub obscene: f64,
+    /// Target `ATTACK_ON_AUTHOR`.
+    pub attack: f64,
+    /// Target `LIKELY_TO_REJECT` (satisfied via insult top-up after the
+    /// other channels are fixed).
+    pub reject: f64,
+    /// Number of word tokens.
+    pub tokens: usize,
+}
+
+impl CommentSpec {
+    /// A benign English comment of `tokens` words.
+    pub fn benign(tokens: usize) -> Self {
+        Self { lang: Lang::En, severe: 0.05, obscene: 0.04, attack: 0.03, reject: 0.15, tokens }
+    }
+}
+
+/// The text generator (shares its lexicon with the classifiers).
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    hate_terms: Vec<String>,
+    obscene_terms: Vec<String>,
+}
+
+impl TextGen {
+    /// Generator over the standard lexicon and marker lists.
+    pub fn standard() -> Self {
+        Self {
+            hate_terms: Lexicon::standard().terms().to_vec(),
+            obscene_terms: classify::features::obscene_markers(),
+        }
+    }
+
+    /// Generate comment text for a spec.
+    pub fn generate<R: Rng>(&self, rng: &mut R, spec: &CommentSpec) -> String {
+        let n = spec.tokens.max(3);
+        // Invert the models channel-by-channel.
+        let hd = if spec.severe <= 0.06 {
+            0.0
+        } else {
+            SEVERE_W.density_for_target(SEVERE_W.hate, spec.severe)
+        };
+        let od = if spec.obscene <= 0.05 {
+            0.0
+        } else {
+            OBSCENE_W.density_for_target(OBSCENE_W.obscene, spec.obscene)
+        };
+        let ad = if spec.attack <= 0.05 {
+            0.0
+        } else {
+            ATTACK_W.density_for_target(ATTACK_W.author, spec.attack)
+        };
+        // Reject top-up through the insult channel.
+        let l_reject =
+            REJECT_W.hate * hd + REJECT_W.obscene * od + REJECT_W.author * ad + REJECT_W.bias;
+        let target_reject = spec.reject.clamp(1e-4, 1.0 - 1e-4);
+        let id = ((logit(target_reject) - l_reject) / REJECT_W.insult).clamp(0.0, 0.6);
+
+        let n_h = (hd * n as f64).round() as usize;
+        let n_o = (od * n as f64).round() as usize;
+        let n_a = (ad * n as f64).round() as usize;
+        let n_i = (id * n as f64).round() as usize;
+        let marker_total = (n_h + n_o + n_a + n_i).min(n);
+        let _n_benign = n - marker_total;
+
+        let mut words: Vec<String> = Vec::with_capacity(n + 2);
+        for _ in 0..n_h {
+            let t = &self.hate_terms[rng.gen_range(0..self.hate_terms.len())];
+            // 5% slang-z suffix: defeats stemming — a designed false
+            // negative for the dictionary scorer.
+            if rng.gen::<f64>() < 0.05 {
+                words.push(format!("{t}z"));
+            } else {
+                words.push(t.clone());
+            }
+        }
+        for _ in 0..n_o.min(n - words.len()) {
+            words.push(self.obscene_terms[rng.gen_range(0..self.obscene_terms.len())].clone());
+        }
+        for _ in 0..n_a.min(n.saturating_sub(words.len())) {
+            words.push(AUTHOR_WORDS[rng.gen_range(0..AUTHOR_WORDS.len())].to_owned());
+        }
+        for _ in 0..n_i.min(n.saturating_sub(words.len())) {
+            words.push(INSULTS[rng.gen_range(0..INSULTS.len())].to_owned());
+        }
+        // Attack comments address someone directly.
+        if spec.attack > 0.3 && words.len() < n {
+            words.push(SECOND_PERSON[rng.gen_range(0..SECOND_PERSON.len())].to_owned());
+        }
+        let vocab = filler_words(spec.lang);
+        while words.len() < n {
+            if spec.lang == Lang::En && rng.gen::<f64>() < 0.004 {
+                // Ambiguous everyday term: benign use, dictionary hit.
+                words.push(AMBIGUOUS_TERMS[rng.gen_range(0..AMBIGUOUS_TERMS.len())].to_owned());
+            } else if spec.lang == Lang::En && rng.gen::<f64>() < 0.001 {
+                // The substring trap ("Pakistan" analogue).
+                words.push(SUBSTRING_TRAP.to_owned());
+            } else {
+                words.push(vocab[rng.gen_range(0..vocab.len())].to_owned());
+            }
+        }
+        // Shuffle so markers are interleaved with filler.
+        for i in (1..words.len()).rev() {
+            words.swap(i, rng.gen_range(0..=i));
+        }
+        let mut text = words.join(" ");
+        // Punctuation: exclamation marks scale with rejection energy.
+        if spec.reject > 0.6 && rng.gen::<f64>() < 0.5 {
+            let bangs = 1 + rng.gen_range(0..3);
+            text.push_str(&"!".repeat(bangs));
+        } else {
+            text.push('.');
+        }
+        // Capitalize the first letter.
+        let mut chars = text.chars();
+        match chars.next() {
+            Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+            None => text,
+        }
+    }
+}
+
+/// The "Pakistan"-analogue benign word containing a lexicon term.
+pub fn lexicon_trap() -> &'static str {
+    SUBSTRING_TRAP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classify::PerspectiveModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_scores(spec: &CommentSpec, n: usize) -> classify::PerspectiveScores {
+        let gen = TextGen::standard();
+        let model = PerspectiveModel::standard();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = classify::PerspectiveScores::default();
+        for _ in 0..n {
+            let text = gen.generate(&mut rng, spec);
+            let s = model.score(&text);
+            acc.severe_toxicity += s.severe_toxicity;
+            acc.likely_to_reject += s.likely_to_reject;
+            acc.obscene += s.obscene;
+            acc.attack_on_author += s.attack_on_author;
+        }
+        acc.severe_toxicity /= n as f64;
+        acc.likely_to_reject /= n as f64;
+        acc.obscene /= n as f64;
+        acc.attack_on_author /= n as f64;
+        acc
+    }
+
+    #[test]
+    fn benign_comments_score_benign() {
+        let s = mean_scores(&CommentSpec::benign(15), 200);
+        assert!(s.severe_toxicity < 0.15, "{s:?}");
+        assert!(s.obscene < 0.15, "{s:?}");
+        assert!(s.likely_to_reject < 0.35, "{s:?}");
+    }
+
+    #[test]
+    fn severe_target_is_recovered() {
+        let spec = CommentSpec {
+            lang: Lang::En,
+            severe: 0.7,
+            obscene: 0.05,
+            attack: 0.05,
+            reject: 0.8,
+            tokens: 20,
+        };
+        let s = mean_scores(&spec, 300);
+        assert!((s.severe_toxicity - 0.7).abs() < 0.15, "{s:?}");
+    }
+
+    #[test]
+    fn reject_target_is_recovered_even_when_severe_is_low() {
+        // The Dissenter signature: unacceptable-to-moderators but not
+        // hate-dense.
+        let spec = CommentSpec {
+            lang: Lang::En,
+            severe: 0.1,
+            obscene: 0.05,
+            attack: 0.1,
+            reject: 0.8,
+            tokens: 25,
+        };
+        let s = mean_scores(&spec, 300);
+        assert!((s.likely_to_reject - 0.8).abs() < 0.15, "{s:?}");
+        assert!(s.severe_toxicity < 0.45, "{s:?}");
+    }
+
+    #[test]
+    fn obscene_and_attack_channels_recover() {
+        let spec = CommentSpec {
+            lang: Lang::En,
+            severe: 0.05,
+            obscene: 0.8,
+            attack: 0.75,
+            reject: 0.6,
+            tokens: 24,
+        };
+        let s = mean_scores(&spec, 300);
+        assert!((s.obscene - 0.8).abs() < 0.2, "{s:?}");
+        assert!((s.attack_on_author - 0.75).abs() < 0.2, "{s:?}");
+    }
+
+    #[test]
+    fn language_filler_matches_langid() {
+        let gen = TextGen::standard();
+        let mut rng = StdRng::seed_from_u64(9);
+        for &lang in &[Lang::En, Lang::De, Lang::Fr, Lang::Es, Lang::It] {
+            let spec = CommentSpec { lang, ..CommentSpec::benign(20) };
+            let mut hits = 0;
+            for _ in 0..50 {
+                let text = gen.generate(&mut rng, &spec);
+                if textkit::detect(&text) == lang {
+                    hits += 1;
+                }
+            }
+            assert!(hits >= 40, "{lang:?}: {hits}/50");
+        }
+    }
+
+    #[test]
+    fn token_count_respected() {
+        let gen = TextGen::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = CommentSpec::benign(12);
+        let text = gen.generate(&mut rng, &spec);
+        let n = textkit::tokenize(&text).len();
+        assert!((11..=13).contains(&n), "{n}: {text}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let gen = TextGen::standard();
+        let spec = CommentSpec::benign(10);
+        let a = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
+        let b = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Text normalization applied before featurization (§3.5.3: "cleaned and
+//! stemmed word tokens").
+
+use crate::tokenize::tokenize;
+
+/// Normalize a comment for feature extraction: tokenize (lowercasing,
+/// dropping URLs/mentions/punctuation), collapse elongated letters
+/// ("sooooo" → "soo"), and drop purely numeric tokens.
+pub fn clean_text(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .map(|t| collapse_elongation(&t))
+        .collect()
+}
+
+/// Collapse runs of 3+ identical letters down to 2 — the standard
+/// social-media normalization for "haaaaate"-style emphasis (and the 45k
+/// repetitions of "ha" in the paper's longest comment).
+pub fn collapse_elongation(token: &str) -> String {
+    let mut out = String::with_capacity(token.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0;
+    for c in token.chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(c);
+        }
+        if run <= 2 {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_elongation() {
+        assert_eq!(collapse_elongation("sooooo"), "soo");
+        assert_eq!(collapse_elongation("hate"), "hate");
+        assert_eq!(collapse_elongation("aabbcc"), "aabbcc");
+        assert_eq!(collapse_elongation(""), "");
+    }
+
+    #[test]
+    fn clean_drops_numbers_and_urls() {
+        let t = clean_text("I rate this 10 https://example.com haaaaate it");
+        assert_eq!(t, vec!["i", "rate", "this", "haate", "it"]);
+    }
+
+    #[test]
+    fn clean_empty() {
+        assert!(clean_text("").is_empty());
+        assert!(clean_text("12345 999").is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! The paper stems tokens before matching against the hate dictionary so
+//! that inflected forms ("slurs", "slurring") hit the same dictionary entry
+//! — while noting this also *creates* false positives (§3.5). A faithful
+//! from-scratch implementation of the original five-step algorithm.
+
+/// Stem a single lowercase ASCII word. Non-ASCII or very short input is
+/// returned unchanged (the classic algorithm is defined over ASCII and
+/// leaves words of length ≤ 2 alone).
+///
+/// ```
+/// assert_eq!(textkit::porter_stem("running"), "run");
+/// assert_eq!(textkit::porter_stem("caresses"), "caress");
+/// assert_eq!(textkit::porter_stem("relational"), "relat");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase() || b == b'\'') {
+        return word.to_owned();
+    }
+    let mut w: Vec<u8> = word.bytes().filter(|&b| b != b'\'').collect();
+    if w.len() <= 2 {
+        return String::from_utf8(w).expect("ascii");
+    }
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii")
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// The "measure" m of the stem w[..end]: count of VC sequences.
+fn measure(w: &[u8], end: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < end && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < end && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= end {
+            return m;
+        }
+        // Skip consonants — one full VC observed.
+        while i < end && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(w: &[u8], end: usize) -> bool {
+    (0..end).any(|i| !is_consonant(w, i))
+}
+
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// cvc pattern at the end, where the final c is not w, x, or y.
+fn ends_cvc(w: &[u8], end: usize) -> bool {
+    if end < 3 {
+        return false;
+    }
+    let (a, b, c) = (end - 3, end - 2, end - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suf: &str) -> bool {
+    w.len() >= suf.len() && &w[w.len() - suf.len()..] == suf.as_bytes()
+}
+
+/// If w ends with `suf` and measure(stem) satisfies `cond`, replace the
+/// suffix with `rep` and return true.
+fn replace_if(w: &mut Vec<u8>, suf: &str, rep: &str, cond: impl Fn(&[u8], usize) -> bool) -> bool {
+    if ends_with(w, suf) {
+        let stem_len = w.len() - suf.len();
+        if cond(w, stem_len) {
+            w.truncate(stem_len);
+            w.extend_from_slice(rep.as_bytes());
+            return true;
+        }
+    }
+    false
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    // "sses" → "ss" and "ies" → "i" both drop two bytes; keep the branches
+    // in Porter's published order for readability.
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // keep
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1);
+        }
+        return;
+    }
+    let hit = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if hit {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if(w, suf, rep, |w, n| measure(w, n) > 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if(w, suf, rep, |w, n| measure(w, n) > 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(w, "ion") {
+        let n = w.len() - 3;
+        if measure(w, n) > 1 && n > 0 && matches!(w[n - 1], b's' | b't') {
+            w.truncate(n);
+            return;
+        }
+    }
+    for suf in RULES {
+        if ends_with(w, suf) {
+            let n = w.len() - suf.len();
+            if measure(w, n) > 1 {
+                w.truncate(n);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let n = w.len() - 1;
+        let m = measure(w, n);
+        if m > 1 || (m == 1 && !ends_cvc(w, n)) {
+            w.truncate(n);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(w: &str) -> String {
+        porter_stem(w)
+    }
+
+    #[test]
+    fn classic_vectors() {
+        // Vectors from Porter's paper and the reference implementation.
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("ties"), "ti");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+        assert_eq!(s("feed"), "feed");
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("bled"), "bled");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+    }
+
+    #[test]
+    fn repair_rules() {
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("tanned"), "tan");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("hissing"), "hiss");
+        assert_eq!(s("fizzed"), "fizz");
+        assert_eq!(s("failing"), "fail");
+        assert_eq!(s("filing"), "file");
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky");
+    }
+
+    #[test]
+    fn step2_suffixes() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("rational"), "ration");
+        assert_eq!(s("valenci"), "valenc");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("operator"), "oper");
+    }
+
+    #[test]
+    fn step3_step4() {
+        assert_eq!(s("triplicate"), "triplic");
+        assert_eq!(s("formative"), "form");
+        assert_eq!(s("formalize"), "formal");
+        assert_eq!(s("hopefulness"), "hope");
+        assert_eq!(s("goodness"), "good");
+        assert_eq!(s("revival"), "reviv");
+        assert_eq!(s("adjustment"), "adjust");
+        assert_eq!(s("adoption"), "adopt");
+    }
+
+    #[test]
+    fn full_words() {
+        assert_eq!(s("running"), "run");
+        assert_eq!(s("dogs"), "dog");
+        assert_eq!(s("censorship"), "censorship");
+        assert_eq!(s("comments"), "comment");
+        assert_eq!(s("generalizations"), "gener");
+    }
+
+    #[test]
+    fn short_and_nonascii_untouched() {
+        assert_eq!(s("a"), "a");
+        assert_eq!(s("be"), "be");
+        assert_eq!(s("caf\u{e9}"), "caf\u{e9}");
+        assert_eq!(s("\u{fc}ber"), "\u{fc}ber");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["running", "happiness", "relational", "dogs", "flies"] {
+            let once = s(w);
+            let twice = s(&once);
+            // Porter is not guaranteed idempotent in general, but it is on
+            // these vectors — a regression canary for the implementation.
+            assert_eq!(once, twice, "word {w}");
+        }
+    }
+}

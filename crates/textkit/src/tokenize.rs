@@ -1,0 +1,109 @@
+//! Word tokenization.
+//!
+//! Comments arrive as raw user text: mixed case, punctuation, URLs,
+//! @-mentions, repeated letters. The dictionary scorer (§3.5.1) computes
+//! `hate-tokens / total-tokens`, so what counts as a token matters; this
+//! tokenizer mirrors the common social-media pipeline: lowercase, drop URLs
+//! and mentions, split on non-alphanumerics, keep internal apostrophes.
+
+use crate::stem::porter_stem;
+
+/// Split `text` into lowercase word tokens.
+///
+/// Rules:
+/// * `http://…`, `https://…` and bare `www.…` runs are skipped entirely;
+/// * `@mention` tokens are skipped (platform artifacts, not speech);
+/// * remaining text splits on any char that is not alphanumeric or an
+///   apostrophe; leading/trailing apostrophes are trimmed;
+/// * purely numeric tokens are kept (the dictionary never matches them but
+///   the SVM uses a numeric-count feature).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split_whitespace() {
+        let lower = raw.to_lowercase();
+        if lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("www.")
+            || lower.starts_with('@')
+        {
+            continue;
+        }
+        let mut cur = String::new();
+        for c in lower.chars() {
+            if c.is_alphanumeric() || c == '\'' {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                push_token(&mut tokens, &mut cur);
+            }
+        }
+        if !cur.is_empty() {
+            push_token(&mut tokens, &mut cur);
+        }
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, cur: &mut String) {
+    let trimmed = cur.trim_matches('\'');
+    if !trimmed.is_empty() {
+        tokens.push(trimmed.to_owned());
+    }
+    cur.clear();
+}
+
+/// Tokenize then Porter-stem every token — the §3.5.1 dictionary pipeline.
+pub fn tokenize_stemmed(text: &str) -> Vec<String> {
+    tokenize(text).iter().map(|t| porter_stem(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn urls_are_dropped() {
+        let t = tokenize("see https://youtube.com/watch?v=x and www.example.org now");
+        assert_eq!(t, vec!["see", "and", "now"]);
+    }
+
+    #[test]
+    fn mentions_are_dropped() {
+        assert_eq!(tokenize("@a hello @shadowknight412"), vec!["hello"]);
+    }
+
+    #[test]
+    fn apostrophes_kept_internally() {
+        assert_eq!(tokenize("don't 'quote'"), vec!["don't", "quote"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(tokenize("caf\u{e9} \u{fc}ber"), vec!["caf\u{e9}", "\u{fc}ber"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(tokenize("top 10 list"), vec!["top", "10", "list"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn hyphenated_splits() {
+        assert_eq!(tokenize("left-leaning"), vec!["left", "leaning"]);
+    }
+
+    #[test]
+    fn stemmed_pipeline() {
+        assert_eq!(tokenize_stemmed("Running dogs"), vec!["run", "dog"]);
+    }
+}

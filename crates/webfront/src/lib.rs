@@ -1,0 +1,96 @@
+#![warn(missing_docs)]
+//! HTTP front-ends for the simulated services.
+//!
+//! Four independent servers (mirroring the four hosts the paper talks to):
+//!
+//! * [`dissenter`] — `dissenter.com`: user home pages (≥10 kB for real
+//!   accounts vs ~150 B misses — the §3.1 probe signal), per-URL comment
+//!   pages with vote counts and the per-URL 10-req/min rate-limit
+//!   headers, per-comment pages embedding the commented-out
+//!   `commentAuthor` JavaScript with hidden user metadata (§3.2), and the
+//!   Gab-Trends-style `/discussion/begin?url=…` lookup;
+//! * [`gab`] — `gab.com`: the JSON accounts API keyed by sequential ID
+//!   (with 404s for unallocated IDs), paginated follower/following
+//!   endpoints, and `X-RateLimit-Remaining` / `X-RateLimit-Reset`
+//!   headers (§3.4);
+//! * [`reddit`] — `reddit.com` + Pushshift: account existence and full
+//!   comment-history queries (§4.4.1);
+//! * [`youtube`] — the Selenium-rendered view of YouTube pages the paper
+//!   scraped (§3.3), exposed as a `render?url=…` endpoint returning the
+//!   video/channel/user state as JSON.
+//!
+//! Authentication is a `session` cookie of the form `u:<username>`; the
+//! comment-visibility rules then apply that user's stored view filters —
+//! NSFW / "offensive" shadow content appears only for opted-in sessions.
+
+pub mod dissenter;
+pub mod gab;
+pub mod reddit;
+pub mod youtube;
+
+use httpnet::{Handler, Server, ServerConfig};
+use platform::World;
+use std::sync::Arc;
+
+/// All four servers bound to ephemeral loopback ports.
+#[derive(Debug)]
+pub struct SimServices {
+    /// dissenter.com stand-in.
+    pub dissenter: Server,
+    /// gab.com stand-in.
+    pub gab: Server,
+    /// reddit.com / Pushshift stand-in.
+    pub reddit: Server,
+    /// Selenium-rendered YouTube stand-in.
+    pub youtube: Server,
+}
+
+impl SimServices {
+    /// Start all services over a shared world.
+    pub fn start(world: Arc<World>, config: ServerConfig) -> std::io::Result<SimServices> {
+        let d: Arc<dyn Handler> = Arc::new(dissenter::DissenterFront::new(world.clone()));
+        let g: Arc<dyn Handler> = Arc::new(gab::GabFront::new(world.clone()));
+        let r: Arc<dyn Handler> = Arc::new(reddit::RedditFront::new(world.clone()));
+        let y: Arc<dyn Handler> = Arc::new(youtube::YouTubeFront::new(world));
+        Ok(SimServices {
+            dissenter: Server::start(d, config.clone())?,
+            gab: Server::start(g, config.clone())?,
+            reddit: Server::start(r, config.clone())?,
+            youtube: Server::start(y, config)?,
+        })
+    }
+}
+
+/// Resolve a request's viewer from its `session` cookie (`u:<username>`).
+pub(crate) fn viewer_for(world: &World, req: &httpnet::Request) -> platform::Viewer {
+    let Some(session) = req.cookie("session") else {
+        return platform::Viewer::Anonymous;
+    };
+    // The measurement team's own accounts (§3.2: "the HTTP cookies of an
+    // authenticated account we created with NSFW and offensive content
+    // enabled separately").
+    if let Some(mode) = session.strip_prefix("crawler:") {
+        let filters = match mode {
+            "nsfw" => platform::ViewFilters { nsfw: true, ..Default::default() },
+            "offensive" => platform::ViewFilters { offensive: true, ..Default::default() },
+            "both" => platform::ViewFilters { nsfw: true, offensive: true, ..Default::default() },
+            _ => platform::ViewFilters::default(),
+        };
+        return platform::Viewer::Authenticated(filters);
+    }
+    let Some(username) = session.strip_prefix("u:") else {
+        return platform::Viewer::Anonymous;
+    };
+    match world.user_by_username(username) {
+        Some(idx) => {
+            let u = world.user(idx);
+            // Deleted Gab accounts can no longer authenticate (§4.1.1).
+            if u.gab_deleted || !u.flags.can_login || u.author_id.is_none() {
+                platform::Viewer::Anonymous
+            } else {
+                platform::Viewer::Authenticated(u.filters)
+            }
+        }
+        None => platform::Viewer::Anonymous,
+    }
+}

@@ -1,0 +1,70 @@
+//! The reddit.com / Pushshift front-end (§4.4.1).
+
+use httpnet::{Handler, Params, Request, Response, Router, Status};
+use platform::World;
+use std::sync::Arc;
+
+/// Pushshift page size.
+pub const PAGE_SIZE: usize = 100;
+
+/// Handler for Reddit account checks and Pushshift history pulls.
+pub struct RedditFront {
+    router: Router,
+}
+
+impl RedditFront {
+    /// Build over a shared world.
+    pub fn new(world: Arc<World>) -> Self {
+        let mut router = Router::new();
+        {
+            let world = world.clone();
+            router.route("GET", "/user/:username/about", move |_req, p| about(&world, p));
+        }
+        {
+            let world = world.clone();
+            router.route("GET", "/pushshift/comments", move |req, _| comments(&world, req));
+        }
+        Self { router }
+    }
+}
+
+impl Handler for RedditFront {
+    fn handle(&self, req: &Request) -> Response {
+        self.router.dispatch(req)
+    }
+}
+
+fn about(world: &World, p: &Params) -> Response {
+    let name = p.get("username").unwrap_or("");
+    if world.reddit.exists(name) {
+        let v = jsonlite::Value::object()
+            .with("name", name)
+            .with("total_comments", world.reddit.declared_count(name).unwrap_or(0));
+        Response::json(jsonlite::to_string(&v))
+    } else {
+        let mut r = Response::status(Status::NOT_FOUND);
+        r.body = br#"{"error":404,"message":"Not Found"}"#.to_vec();
+        r
+    }
+}
+
+fn comments(world: &World, req: &Request) -> Response {
+    let Some(author) = req.query("author") else {
+        return Response::status(Status(400));
+    };
+    let page: usize = req.query("page").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let Some(all) = world.reddit.comments(&author) else {
+        return Response::json("{\"data\":[],\"total\":0}".to_owned());
+    };
+    let start = (page * PAGE_SIZE).min(all.len());
+    let end = (start + PAGE_SIZE).min(all.len());
+    let items: Vec<jsonlite::Value> = all[start..end]
+        .iter()
+        .map(|t| jsonlite::Value::object().with("body", t.as_str()))
+        .collect();
+    let v = jsonlite::Value::object()
+        .with("data", jsonlite::Value::Array(items))
+        .with("total", world.reddit.declared_count(&author).unwrap_or(0))
+        .with("materialized", all.len());
+    Response::json(jsonlite::to_string(&v))
+}

@@ -1,0 +1,258 @@
+//! End-to-end tests of the four simulated services over real loopback TCP.
+
+use httpnet::{Client, ServerConfig, Status};
+use platform::World;
+use std::sync::{Arc, OnceLock};
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::SimServices;
+
+struct Fixture {
+    world: Arc<World>,
+    services: SimServices,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let cfg = WorldConfig { scale: Scale::Custom(0.004), ..WorldConfig::small() };
+        let (world, _) = synth::generate(&cfg);
+        let world = Arc::new(world);
+        let services = SimServices::start(world.clone(), ServerConfig::default()).expect("services");
+        Fixture { world, services }
+    })
+}
+
+fn some_dissenter_username(world: &World) -> String {
+    world
+        .users
+        .iter()
+        .find(|u| u.author_id.is_some() && !u.gab_deleted)
+        .expect("has dissenter users")
+        .username
+        .clone()
+}
+
+#[test]
+fn user_page_size_probe_signal() {
+    let fx = fixture();
+    let client = Client::new(fx.services.dissenter.addr());
+    let name = some_dissenter_username(&fx.world);
+    let hit = client.get(&format!("/user/{name}")).unwrap();
+    assert_eq!(hit.status, Status::OK);
+    assert!(hit.body.len() >= 10 * 1024, "real page must be ≥10kB, got {}", hit.body.len());
+
+    let miss = client.get("/user/thisuserdoesnotexist").unwrap();
+    assert_eq!(miss.status, Status::NOT_FOUND);
+    assert!(miss.body.len() < 300, "miss must be tiny, got {}", miss.body.len());
+
+    // Gab-only users have no Dissenter home page either.
+    let gab_only = fx
+        .world
+        .users
+        .iter()
+        .find(|u| u.author_id.is_none())
+        .expect("gab-only user");
+    let r = client.get(&format!("/user/{}", gab_only.username)).unwrap();
+    assert_eq!(r.status, Status::NOT_FOUND);
+}
+
+#[test]
+fn comment_page_lists_comments_and_votes() {
+    let fx = fixture();
+    let client = Client::new(fx.services.dissenter.addr());
+    // Find a URL with at least one anonymous-visible comment.
+    let url = fx
+        .world
+        .dissenter
+        .urls()
+        .iter()
+        .find(|u| {
+            !fx.world
+                .dissenter
+                .visible_comments(u.id, platform::Viewer::Anonymous)
+                .is_empty()
+        })
+        .expect("urls with comments");
+    let resp = client.get(&format!("/url/{}", url.id)).unwrap();
+    assert_eq!(resp.status, Status::OK);
+    let text = resp.text();
+    assert!(text.contains(&format!("data-commenturl-id=\"{}\"", url.id)));
+    assert!(text.contains("data-comment-id=\""));
+    assert!(text.contains("data-upvotes=\""));
+    assert!(resp.headers.get("x-ratelimit-limit").is_some());
+}
+
+#[test]
+fn nsfw_content_requires_opted_in_session() {
+    let fx = fixture();
+    let nsfw_comment = fx
+        .world
+        .dissenter
+        .comments()
+        .iter()
+        .find(|c| c.nsfw && !c.offensive)
+        .expect("nsfw comments exist");
+    let mut client = Client::new(fx.services.dissenter.addr());
+
+    // Anonymous: hidden.
+    let anon = client.get(&format!("/comment/{}", nsfw_comment.id)).unwrap();
+    assert_eq!(anon.status, Status::NOT_FOUND);
+
+    // Authenticated as a user with the NSFW filter enabled: visible.
+    let opted_in = fx
+        .world
+        .users
+        .iter()
+        .find(|u| u.author_id.is_some() && !u.gab_deleted && u.filters.nsfw && u.flags.can_login)
+        .expect("some user opted in");
+    client.set_cookie("session", &format!("u:{}", opted_in.username));
+    let authed = client.get(&format!("/comment/{}", nsfw_comment.id)).unwrap();
+    assert_eq!(authed.status, Status::OK);
+}
+
+#[test]
+fn comment_page_embeds_hidden_metadata() {
+    let fx = fixture();
+    let client = Client::new(fx.services.dissenter.addr());
+    let c = fx
+        .world
+        .dissenter
+        .comments()
+        .iter()
+        .find(|c| !c.nsfw && !c.offensive)
+        .expect("standard comment");
+    let resp = client.get(&format!("/comment/{}", c.id)).unwrap();
+    let text = resp.text();
+    assert!(text.contains("// var commentAuthor ="), "hidden JS blob missing");
+    assert!(text.contains("\"language\""));
+    assert!(text.contains("\"viewFilters\""));
+}
+
+#[test]
+fn gab_api_enumeration_signals() {
+    let fx = fixture();
+    let client = Client::new(fx.services.gab.addr());
+    // ID 1 is @e.
+    let r = client.get("/api/v1/accounts/1").unwrap();
+    assert_eq!(r.status, Status::OK);
+    let v = jsonlite::parse(&r.text()).unwrap();
+    assert_eq!(v.get("username").and_then(|s| s.as_str()), Some("e"));
+    assert!(r.headers.get("x-ratelimit-remaining").is_some());
+
+    // A wildly out-of-range ID errors like the real API.
+    let miss = client.get("/api/v1/accounts/999999999").unwrap();
+    assert_eq!(miss.status, Status::NOT_FOUND);
+    let v = jsonlite::parse(&miss.text()).unwrap();
+    assert!(v.get("error").is_some());
+}
+
+#[test]
+fn gab_followers_paginate() {
+    let fx = fixture();
+    let client = Client::new(fx.services.gab.addr());
+    // Find a live user with many followers.
+    let (idx, _) = (0..fx.world.user_count() as u32)
+        .filter(|&i| !fx.world.user(i).gab_deleted)
+        .map(|i| (i, fx.world.gab.followers(i).len()))
+        .max_by_key(|&(_, n)| n)
+        .unwrap();
+    let gab_id = fx.world.user(idx).gab_id;
+    let mut collected = 0usize;
+    let mut page = 0;
+    loop {
+        let r = client
+            .get(&format!("/api/v1/accounts/{gab_id}/followers?page={page}"))
+            .unwrap();
+        let v = jsonlite::parse(&r.text()).unwrap();
+        let n = v.as_array().map(|a| a.len()).unwrap_or(0);
+        collected += n;
+        if n < webfront::gab::PAGE_SIZE {
+            break;
+        }
+        page += 1;
+    }
+    // Deleted accounts are hidden from listings; everyone else appears.
+    let visible = fx
+        .world
+        .gab
+        .followers(idx)
+        .iter()
+        .filter(|&&f| !fx.world.user(f).gab_deleted)
+        .count();
+    assert_eq!(collected, visible);
+    assert!(collected > 0, "hub user should have visible followers");
+}
+
+#[test]
+fn reddit_and_pushshift() {
+    let fx = fixture();
+    let client = Client::new(fx.services.reddit.addr());
+    let name = fx.world.reddit.usernames().next().expect("reddit accounts").to_owned();
+    let about = client.get(&format!("/user/{name}/about")).unwrap();
+    assert_eq!(about.status, Status::OK);
+    let miss = client.get("/user/nobody-here-xyz/about").unwrap();
+    assert_eq!(miss.status, Status::NOT_FOUND);
+
+    let r = client
+        .get(&format!("/pushshift/comments?author={name}&page=0"))
+        .unwrap();
+    let v = jsonlite::parse(&r.text()).unwrap();
+    assert!(v.get("data").is_some());
+    assert!(v.get("total").is_some());
+}
+
+#[test]
+fn youtube_render_endpoint() {
+    let fx = fixture();
+    let client = Client::new(fx.services.youtube.addr());
+    let (url, _) = fx.world.youtube.iter().next().expect("youtube content");
+    let r = client.get(&webfront::youtube::render_target(url)).unwrap();
+    assert_eq!(r.status, Status::OK);
+    let v = jsonlite::parse(&r.text()).unwrap();
+    assert!(v.get("kind").is_some());
+    assert!(v.get("available").is_some());
+
+    let miss = client.get(&webfront::youtube::render_target("https://youtube.com/watch?v=nope")).unwrap();
+    assert_eq!(miss.status, Status::NOT_FOUND);
+}
+
+#[test]
+fn discussion_begin_known_and_unknown() {
+    let fx = fixture();
+    let client = Client::new(fx.services.dissenter.addr());
+    let known = &fx.world.dissenter.urls()[0];
+    let r = client
+        .get(&webfront::dissenter::discussion_target(&known.url))
+        .unwrap();
+    assert_eq!(r.status.0, 302, "known URL redirects to its thread");
+    assert!(r.headers.get("location").unwrap().contains(&known.id.to_hex()));
+
+    let r = client
+        .get(&webfront::dissenter::discussion_target("https://example.com/brand-new-page"))
+        .unwrap();
+    assert_eq!(r.status, Status::OK);
+    assert!(r.text().contains("data-comment-count=\"0\""));
+}
+
+#[test]
+fn per_url_rate_limit_enforced_and_scoped() {
+    let fx = fixture();
+    let client = Client::new(fx.services.dissenter.addr());
+    let urls = fx.world.dissenter.urls();
+    let (a, b) = (&urls[1], &urls[2]);
+    // Exhaust URL a's budget.
+    let mut denied = false;
+    for _ in 0..12 {
+        let r = client.get(&format!("/url/{}", a.id)).unwrap();
+        if r.status == Status::TOO_MANY {
+            denied = true;
+            assert!(r.headers.get("x-ratelimit-reset").is_some());
+            break;
+        }
+    }
+    assert!(denied, "11th request within a minute must be denied");
+    // URL b is unaffected — the §3.2 quirk the crawler exploits.
+    let r = client.get(&format!("/url/{}", b.id)).unwrap();
+    assert_eq!(r.status, Status::OK);
+}

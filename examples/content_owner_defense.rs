@@ -1,0 +1,109 @@
+//! The §6 proactive-defense scenario: "A content producer could
+//! pre-emptively post comments within Dissenter for the content they own
+//! to overwhelm the conversation with positive comments."
+//!
+//! ```sh
+//! cargo run --release --example content_owner_defense
+//! ```
+//!
+//! We simulate two identical articles. One is left undefended; on the
+//! other, the publisher seeds the thread with benign comments before the
+//! toxic crowd arrives. We then measure what a reader (and the paper's
+//! toxicity pipeline) experiences on each thread.
+
+use classify::PerspectiveModel;
+use ids::{EntityKind, ObjectIdGen, DISSENTER_LAUNCH};
+use platform::{Comment, CommentUrl, DissenterDb, Viewer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stats::mean;
+use synth::baselines::{sample_spec, Community};
+use synth::{CommentSpec, TextGen};
+use textkit::langid::Lang;
+
+struct Thread {
+    db: DissenterDb,
+    id: ids::ObjectId,
+}
+
+fn new_thread(url: &str, tag: u64) -> Thread {
+    let mut db = DissenterDb::new();
+    let mut gen = ObjectIdGen::new(EntityKind::CommentUrl, tag);
+    let id = gen.next(DISSENTER_LAUNCH);
+    db.add_url(CommentUrl {
+        id,
+        url: url.into(),
+        title: "Our big exclusive".into(),
+        description: "article".into(),
+        created_at: DISSENTER_LAUNCH,
+        upvotes: 0,
+        downvotes: 0,
+    });
+    Thread { db, id }
+}
+
+fn post(thread: &mut Thread, gen: &mut ObjectIdGen, author: &mut ObjectIdGen, t: u64, text: String) {
+    thread.db.add_comment(Comment {
+        id: gen.next(t),
+        url_id: thread.id,
+        author_id: author.next(t),
+        parent: None,
+        text,
+        created_at: t,
+        nsfw: false,
+        offensive: false,
+    });
+}
+
+fn main() {
+    let textgen = TextGen::standard();
+    let model = PerspectiveModel::standard();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut cgen = ObjectIdGen::new(EntityKind::Comment, 1);
+    let mut agen = ObjectIdGen::new(EntityKind::Author, 2);
+
+    let mut undefended = new_thread("https://publisher.example/exclusive", 10);
+    let mut defended = new_thread("https://publisher.example/exclusive-defended", 11);
+
+    // The publisher floods the defended thread first: 40 positive posts.
+    for i in 0..40u64 {
+        let spec = CommentSpec::benign(12 + (i % 9) as usize);
+        let text = textgen.generate(&mut rng, &spec);
+        post(&mut defended, &mut cgen, &mut agen, DISSENTER_LAUNCH + i, text);
+    }
+
+    // Then the usual Dissenter crowd hits both threads with 25 comments.
+    for i in 0..25u64 {
+        let spec = sample_spec(&mut rng, Community::Dissenter, 0.6, Lang::En);
+        let text = textgen.generate(&mut rng, &spec);
+        post(&mut undefended, &mut cgen, &mut agen, DISSENTER_LAUNCH + 100 + i, text.clone());
+        post(&mut defended, &mut cgen, &mut agen, DISSENTER_LAUNCH + 100 + i, text);
+    }
+
+    let summarize = |name: &str, t: &Thread| {
+        let comments = t.db.visible_comments(t.id, Viewer::Anonymous);
+        let severe: Vec<f64> =
+            comments.iter().map(|c| model.score(&c.text).severe_toxicity).collect();
+        let first_page: Vec<f64> = severe.iter().take(10).copied().collect();
+        println!("{name}:");
+        println!("  comments:                    {}", comments.len());
+        println!("  mean SEVERE_TOXICITY:        {:.3}", mean(&severe).unwrap_or(0.0));
+        println!(
+            "  mean toxicity, first 10 seen: {:.3}",
+            mean(&first_page).unwrap_or(0.0)
+        );
+        println!(
+            "  share of toxic (≥0.5):       {:.1}%",
+            100.0 * severe.iter().filter(|&&s| s >= 0.5).count() as f64 / severe.len() as f64
+        );
+    };
+
+    summarize("UNDEFENDED thread", &undefended);
+    println!();
+    summarize("DEFENDED thread (publisher pre-seeded 40 positive comments)", &defended);
+
+    println!();
+    println!("The defense does not remove toxic comments — Dissenter gives the");
+    println!("owner no such power — but it dominates the thread a reader opens,");
+    println!("diluting aggregate toxicity and pushing attacks off the first page.");
+}

@@ -1,0 +1,31 @@
+//! Quickstart: run the entire study at a small scale and print the
+//! headline results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This exercises the full pipeline the paper describes: a synthetic
+//! Dissenter/Gab/Reddit/YouTube world is generated, served over loopback
+//! HTTP, crawled with the §3 methodology, classified with the §3.5 stack,
+//! and analyzed into every §4 table and figure.
+
+use dissenter_core::{render, run_study, StudyConfig};
+use synth::config::Scale;
+
+fn main() {
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = Scale::Custom(0.01);
+    cfg.svm_corpus = 2_000;
+
+    println!("Running the Dissenter measurement study (scale 1/100)…\n");
+    let study = run_study(&cfg);
+
+    println!("{}", render::overview(&study));
+    println!("{}", render::fig3(&study));
+    println!("{}", render::fig7(&study));
+    println!("{}", render::fig9_core(&study));
+    println!("{}", render::svm(&study));
+
+    println!("Other sections: see `cargo run -p bench --bin repro -- --list`");
+}

@@ -1,0 +1,71 @@
+//! Toxicity audit: apply the paper's full §3.5 classification stack to a
+//! batch of comments — the workflow a moderation team would run against
+//! any comment dump.
+//!
+//! ```sh
+//! cargo run --release --example toxicity_audit
+//! ```
+//!
+//! Demonstrates all three methods the paper uses to bound its estimates:
+//! the hate dictionary (with its documented false positives/negatives),
+//! the four Perspective-style models, and the trained SVM's three-class
+//! probabilities.
+
+use classify::adasyn::AdasynConfig;
+use classify::cv::cross_validate;
+use classify::svm::{Featurizer, LinearSvm, SvmConfig};
+use classify::{CommentClass, HateDictionary, PerspectiveModel};
+use synth::labeled_corpus;
+
+fn main() {
+    let dict = HateDictionary::standard();
+    let perspective = PerspectiveModel::standard();
+
+    // Train the SVM exactly as §3.5.3: Davidson-shaped imbalanced corpus,
+    // ADASYN oversampling inside 5-fold CV, then a final model.
+    println!("training the 3-class SVM (hate / offensive / neither)…");
+    let corpus = labeled_corpus(3_000, 7);
+    let featurizer = Featurizer::standard();
+    let samples: Vec<_> =
+        corpus.iter().map(|s| (featurizer.featurize(&s.text), s.class.index())).collect();
+    let cfg = SvmConfig { epochs: 8, ..SvmConfig::default() };
+    let cv = cross_validate(&samples, 3, 5, cfg, Some(AdasynConfig::default()), 3);
+    println!("5-fold weighted F1 = {:.3}  (paper reports 0.87)\n", cv.weighted_f1());
+    let model = LinearSvm::train(&samples, 3, cfg);
+
+    // Audit a batch: two benign comments, an ambiguous-term false
+    // positive, and synthesized toxic/offensive comments.
+    let lexicon_term = dict.lexicon().term(17).to_owned();
+    let obscene = classify::features::obscene_markers()[5].clone();
+    let batch = vec![
+        ("benign", "I really enjoyed this article about the harvest festival.".to_string()),
+        ("ambiguous", "The queen fed her pig at the county fair.".to_string()),
+        ("author attack", "The author is a liar and this journalist writes pathetic garbage. You fool!".to_string()),
+        ("hate-dense", format!("Those {lexicon_term} people are {lexicon_term} again, typical {lexicon_term}!")),
+        ("obscene", format!("What a load of {obscene}, total {obscene}.")),
+    ];
+
+    println!(
+        "{:<14} {:>6} {:>7} {:>7} {:>7} {:>7}  class probabilities",
+        "comment", "dict", "severe", "reject", "obscene", "attack"
+    );
+    for (label, text) in &batch {
+        let d = dict.score(text);
+        let p = perspective.score(text);
+        let probs = model.probabilities(&featurizer.featurize(text));
+        println!(
+            "{label:<14} {d:>6.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}  hate={:.2} off={:.2} neither={:.2}",
+            p.severe_toxicity,
+            p.likely_to_reject,
+            p.obscene,
+            p.attack_on_author,
+            probs[CommentClass::Hate.index()],
+            probs[CommentClass::Offensive.index()],
+            probs[CommentClass::Neither.index()],
+        );
+    }
+
+    println!("\nNote the 'ambiguous' row: benign words shared with the lexicon");
+    println!("(the paper's \"queen\"/\"pig\" discussion, §3.5) still score on the");
+    println!("dictionary — which is why the paper triangulates three methods.");
+}

@@ -1,0 +1,20 @@
+//! Workspace-root facade crate.
+//!
+//! Re-exports the public crates of the Dissenter reproduction so that the
+//! `examples/` and `tests/` at the repository root can address the whole
+//! system through one dependency. Library users should depend on the
+//! individual crates (most importantly [`dissenter_core`]) directly.
+
+pub use analysis;
+pub use classify;
+pub use crawler;
+pub use dissenter_core;
+pub use graph;
+pub use httpnet;
+pub use ids;
+pub use jsonlite;
+pub use platform;
+pub use stats;
+pub use synth;
+pub use textkit;
+pub use webfront;

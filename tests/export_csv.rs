@@ -1,0 +1,54 @@
+//! The CSV exporter writes a complete, well-formed series set for every
+//! figure of a real study.
+
+use dissenter_repro::analysis::export::export_csv;
+use dissenter_repro::dissenter_core::{run_study, StudyConfig};
+use dissenter_repro::synth::config::Scale;
+
+#[test]
+fn export_writes_every_figure_series() {
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = Scale::Custom(0.0015);
+    cfg.skip_svm = true;
+    let study = run_study(&cfg);
+
+    let dir = std::env::temp_dir().join(format!("dissenter-export-{}", std::process::id()));
+    let files = export_csv(&study.report, &dir).expect("export succeeds");
+
+    let expected = [
+        "fig2_gab_growth.csv",
+        "fig3_concentration.csv",
+        "table1_flags.csv",
+        "table2_domains.csv",
+        "fig4_shadow_cdfs.csv",
+        "fig5_votes.csv",
+        "fig6_comment_ratios.csv",
+        "fig7_communities.csv",
+        "fig8a_severe_by_bias.csv",
+        "fig8b_attack_by_bias.csv",
+        "fig9a_degrees.csv",
+        "fig9bc_toxicity_by_degree.csv",
+    ];
+    for name in expected {
+        assert!(files.contains(&name.to_string()), "{name} not exported");
+        let content = std::fs::read_to_string(dir.join(name)).expect("file readable");
+        let mut lines = content.lines();
+        let header = lines.next().expect("header present");
+        assert!(header.contains(','), "{name}: header must be CSV");
+        let cols = header.split(',').count();
+        let mut rows = 0usize;
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "{name}: ragged row {line:?}");
+            rows += 1;
+        }
+        assert!(rows > 0, "{name}: no data rows");
+    }
+
+    // Spot-check a numeric column parses.
+    let fig3 = std::fs::read_to_string(dir.join("fig3_concentration.csv")).unwrap();
+    let last = fig3.lines().last().unwrap();
+    let cf: f64 = last.split(',').nth(1).unwrap().parse().unwrap();
+    assert!((0.9..=1.0).contains(&cf), "curve ends near 1.0: {cf}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

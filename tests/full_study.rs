@@ -1,0 +1,165 @@
+//! Cross-crate integration: run the entire pipeline once at a small scale
+//! and assert the paper's qualitative results hold in the assembled
+//! report — who wins, by roughly what factor, where the crossovers fall.
+
+use dissenter_repro::dissenter_core::{run_study, Study, StudyConfig};
+use dissenter_repro::synth::config::Scale;
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.006);
+        cfg.svm_corpus = 1_200;
+        run_study(&cfg)
+    })
+}
+
+#[test]
+fn overview_is_internally_consistent() {
+    let o = &study().report.overview;
+    assert!(o.gab_accounts > o.dissenter_users, "Dissenter is a strict subset of Gab");
+    assert!(o.active_users <= o.dissenter_users);
+    assert!(o.ghost_users > 0);
+    let active_frac = o.active_users as f64 / o.dissenter_users as f64;
+    assert!((active_frac - 0.47).abs() < 0.06, "active fraction {active_frac}");
+    assert!((o.joined_by_march_2019 - 0.77).abs() < 0.06);
+    assert_eq!(o.shadow_validation.0, o.shadow_validation.1, "all labels validate");
+}
+
+#[test]
+fn figure7_orderings_match_paper() {
+    let f7 = &study().report.figure7;
+    let get = |name: &str| f7.iter().find(|d| d.name == name).expect("dataset present");
+    let (d, r, n, m) = (get("Dissenter"), get("Reddit"), get("NY Times"), get("Daily Mail"));
+
+    // 7a LIKELY_TO_REJECT: Dissenter > Daily Mail > Reddit > NY Times.
+    let ltr = |x: &analysis::toxicity::Figure7Dataset| x.likely_to_reject.survival(0.5);
+    assert!(ltr(d) > ltr(m) && ltr(m) > ltr(r) && ltr(r) > ltr(n), "{} {} {} {}", ltr(d), ltr(m), ltr(r), ltr(n));
+    assert!((0.6..0.9).contains(&ltr(d)), "Dissenter LTR@0.5 {}", ltr(d));
+    assert!((0.35..0.65).contains(&d.likely_to_reject.survival(0.75)));
+
+    // 7b SEVERE_TOXICITY: Dissenter highest, roughly 2× Reddit at 0.5.
+    let sev = |x: &analysis::toxicity::Figure7Dataset| x.severe_toxicity.survival(0.5);
+    assert!(sev(d) > sev(r) && sev(r) > sev(m) && sev(m) > sev(n));
+    assert!((0.1..0.3).contains(&sev(d)), "Dissenter severe@0.5 {}", sev(d));
+    let ratio = sev(d) / sev(r).max(1e-9);
+    assert!((1.3..3.5).contains(&ratio), "Dissenter/Reddit severe ratio {ratio}");
+
+    // 7c ATTACK_ON_AUTHOR: no drastic separation (all within a loose band).
+    let atk = |x: &analysis::toxicity::Figure7Dataset| x.attack_on_author.survival(0.5);
+    assert!(atk(d) < 0.35 && atk(n) < atk(d));
+}
+
+#[test]
+fn figure4_shadow_content_is_more_extreme() {
+    let f4 = &study().report.figure4;
+    let all = f4.all.likely_to_reject.survival(0.95);
+    let nsfw = f4.nsfw.likely_to_reject.survival(0.95);
+    let off = f4.offensive.likely_to_reject.survival(0.95);
+    assert!(off > nsfw && nsfw > all, "off={off} nsfw={nsfw} all={all}");
+    assert!(off > 0.6, "offensive captures the most extreme content: {off}");
+    assert!(all < 0.2, "all={all}");
+    // Severe toxicity ordering too.
+    assert!(
+        f4.offensive.severe_toxicity.survival(0.5) > f4.all.severe_toxicity.survival(0.5)
+    );
+}
+
+#[test]
+fn figure5_votes_anticorrelate_with_toxicity() {
+    let f5 = &study().report.figure5;
+    assert!(f5.zero > f5.positive && f5.zero > f5.negative, "most URLs unvoted");
+    assert!(f5.mean_severe_zero > f5.mean_severe_voted);
+    assert!(f5.mean_severe_negative > f5.mean_severe_positive);
+    assert!(f5.within_ten > 0.97);
+}
+
+#[test]
+fn figure8_bias_conditioning() {
+    let f8 = &study().report.figure8;
+    let sev = |b: analysis::Bias| {
+        f8.severe_by_bias
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, d)| d.mean)
+            .expect("bias present")
+    };
+    use analysis::Bias::*;
+    assert!(sev(Center) > sev(Left), "center most toxic");
+    assert!(sev(Center) > sev(RightCenter));
+    assert!(sev(Right) < sev(Left) && sev(Right) < sev(RightCenter), "right lowest");
+    // Attack on author monotone Left → Right.
+    let atk = |b: analysis::Bias| {
+        f8.attack_by_bias
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, e)| e.survival(0.5))
+            .expect("bias present")
+    };
+    assert!(atk(Left) > atk(LeftCenter));
+    assert!(atk(LeftCenter) > atk(Center));
+    assert!(atk(Center) > atk(Right));
+    // Unranked URLs dominate (YouTube + social), as in the paper.
+    assert!(f8.unranked_comments as f64 > 0.3 * (f8.ranked_comments + f8.unranked_comments) as f64);
+}
+
+#[test]
+fn figure9_social_structure() {
+    let s = &study().report.social;
+    let iso_frac = s.isolated as f64 / s.users.max(1) as f64;
+    assert!((iso_frac - 0.345).abs() < 0.08, "isolated fraction {iso_frac}");
+    assert!(s.in_fit.is_some() && s.out_fit.is_some());
+    // The hateful core: present, several components, dominant giant.
+    assert!(s.core.size() >= 4);
+    assert!(s.core.components.count() >= 2);
+    assert!(s.core.components.giant() * 2 >= s.core.size(), "giant dominates");
+    assert!(s.popular_prolific_overlap <= 2);
+}
+
+#[test]
+fn table2_composition() {
+    let r = &study().report;
+    assert_eq!(r.domains[0].key, "youtube.com");
+    assert!((r.domains[0].percent - 20.75).abs() < 3.0);
+    let com = r.tlds.iter().find(|t| t.key == ".com").expect(".com row");
+    assert!(com.percent > 60.0);
+    // Fringe domains lead per-URL comment volume.
+    assert!(
+        r.domain_medians[0].2 >= 8.0,
+        "top median volume {} on {}",
+        r.domain_medians[0].2,
+        r.domain_medians[0].0
+    );
+}
+
+#[test]
+fn languages_mostly_english() {
+    let langs = &study().report.languages;
+    assert_eq!(langs[0].0, textkit::Lang::En);
+    assert!(langs[0].2 > 85.0, "English share {}", langs[0].2);
+    assert!(langs.iter().any(|(l, _, _)| *l == textkit::Lang::De));
+}
+
+#[test]
+fn svm_reaches_paper_band() {
+    let svm = study().svm.as_ref().expect("svm ran");
+    assert!(svm.cv_f1 > 0.8, "F1 {}", svm.cv_f1);
+    assert!((svm.mean_class_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    // Dissenter comments: 'neither' still the most common argmax class,
+    // but hate+offensive shares are substantial.
+    assert!(svm.class_shares[2] > svm.class_shares[0]);
+}
+
+#[test]
+fn render_covers_every_section() {
+    let text = dissenter_repro::dissenter_core::render::full(study());
+    for needle in [
+        "Overview", "Figure 2", "Figure 3", "Table 1", "Table 2", "URL anomaly", "YouTube",
+        "languages", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+        "SVM",
+    ] {
+        assert!(text.contains(needle), "render missing {needle}");
+    }
+}

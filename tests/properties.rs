@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: JSON round-trips, identifier codecs, tokenizer guarantees,
+//! ECDF/KS laws, rate-limiter bounds, and graph symmetries.
+
+use dissenter_repro::httpnet::http::{percent_decode, percent_encode};
+use dissenter_repro::ids::{EntityKind, ObjectId, ObjectIdGen};
+use dissenter_repro::jsonlite::{parse, to_string, Value};
+use proptest::prelude::*;
+
+fn arb_json(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12f64).prop_map(|x| Value::Float((x * 1e3).round() / 1e3)),
+        "[a-zA-Z0-9 _\\-\\.\u{e9}\u{fc}]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(depth, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..5).prop_map(|pairs| {
+                // Deduplicate keys: objects built via the API have unique keys.
+                let mut seen = std::collections::HashSet::new();
+                Value::Object(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn json_round_trips(v in arb_json(3)) {
+        let s = to_string(&v);
+        let back = parse(&s).expect("serializer output must parse");
+        prop_assert_eq!(&back, &v);
+        // Serialization is a fixpoint after one round.
+        prop_assert_eq!(to_string(&back), s);
+    }
+
+    #[test]
+    fn json_parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn object_id_hex_round_trips(bytes in prop::array::uniform12(any::<u8>())) {
+        let id = ObjectId::from_bytes(bytes);
+        let parsed: ObjectId = id.to_hex().parse().expect("hex parses");
+        prop_assert_eq!(parsed, id);
+    }
+
+    #[test]
+    fn object_id_timestamp_embeds(ts in 0u64..=u32::MAX as u64) {
+        let mut gen = ObjectIdGen::new(EntityKind::Comment, 1);
+        prop_assert_eq!(gen.next(ts).timestamp(), ts);
+    }
+
+    #[test]
+    fn percent_codec_round_trips(s in "\\PC{0,64}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    #[test]
+    fn tokenizer_emits_clean_tokens(s in "\\PC{0,200}") {
+        for t in textkit::tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.to_lowercase(), t.clone(), "tokens are lowercased");
+            prop_assert!(!t.starts_with('\'') && !t.ends_with('\''));
+        }
+    }
+
+    #[test]
+    fn stemmer_never_grows_words(s in "[a-z]{1,20}") {
+        let stem = textkit::porter_stem(&s);
+        prop_assert!(stem.len() <= s.len() + 1, "{} -> {}", s, stem);
+        prop_assert!(!stem.is_empty());
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        xs.iter_mut().for_each(|x| *x = (*x * 100.0).round() / 100.0);
+        let e = stats::Ecdf::new(&xs);
+        let mut last = 0.0;
+        for i in -10..=10 {
+            let v = e.eval(i as f64 * 1e5);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert_eq!(e.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn ks_statistic_in_unit_interval(
+        a in prop::collection::vec(0f64..1.0, 1..100),
+        b in prop::collection::vec(0f64..1.0, 1..100),
+    ) {
+        let r = stats::ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // KS is symmetric.
+        let r2 = stats::ks_two_sample(&b, &a);
+        prop_assert!((r.statistic - r2.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limiter_never_exceeds_limit(
+        limit in 1u32..20,
+        window in 1u64..100,
+        times in prop::collection::vec(0u64..500, 1..200),
+    ) {
+        let mut rl = platform::RateLimiter::new(limit, window);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        // Count allowed requests per window start; never above limit.
+        let mut allowed_at: Vec<u64> = Vec::new();
+        for t in sorted {
+            if rl.check("k", t).allowed() {
+                allowed_at.push(t);
+            }
+        }
+        // A fixed-window limiter admits at most `limit` per window, so any
+        // sliding interval of the same length (straddling two fixed
+        // windows) holds at most 2×limit.
+        for (i, &t) in allowed_at.iter().enumerate() {
+            let in_window = allowed_at[i..].iter().take_while(|&&u| u < t + window).count();
+            prop_assert!(in_window <= 2 * limit as usize);
+        }
+        prop_assert!(allowed_at.len() <= times.len());
+    }
+
+    #[test]
+    fn digraph_edges_are_symmetric_in_indexes(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)
+    ) {
+        let mut g = graph::DiGraph::with_nodes(50);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        for v in 0..50u32 {
+            for &w in g.following(v) {
+                prop_assert!(g.followers(w).contains(&v));
+            }
+            for &w in g.followers(v) {
+                prop_assert!(g.following(w).contains(&v));
+            }
+        }
+        let total: usize = (0..50u32).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn dictionary_score_bounded(s in "\\PC{0,300}") {
+        let d = classify::HateDictionary::standard();
+        let score = d.score(&s);
+        prop_assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn perspective_scores_bounded(s in "\\PC{0,300}") {
+        let m = classify::PerspectiveModel::standard();
+        let p = m.score(&s);
+        for v in [p.severe_toxicity, p.likely_to_reject, p.obscene, p.attack_on_author] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn langid_never_panics_and_returns_valid_variant(s in "\\PC{0,300}") {
+        let l = textkit::detect(&s);
+        let _ = l.code();
+    }
+
+    #[test]
+    fn porter_stem_handles_arbitrary_unicode(s in "\\PC{0,40}") {
+        // Non-ASCII input must be returned unchanged, never panic.
+        let out = textkit::porter_stem(&s);
+        if !s.bytes().all(|b| b.is_ascii_lowercase() || b == b'\'') {
+            prop_assert_eq!(out, s);
+        }
+    }
+
+    #[test]
+    fn component_sizes_partition_the_node_set(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120)
+    ) {
+        let mut adj = vec![Vec::new(); 40];
+        for &(a, b) in &edges {
+            if a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        let nodes: Vec<u32> = (0..40).collect();
+        let c = graph::connected_components(&adj, &nodes);
+        let total: usize = c.sizes.iter().sum();
+        prop_assert_eq!(total, 40, "components partition the node set");
+        // Sizes sorted descending.
+        for w in c.sizes.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn concentration_curve_is_monotone(counts in prop::collection::vec(0u64..1000, 1..100)) {
+        let curve = stats::ecdf::concentration_curve(&counts, 20);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0, "user fraction non-decreasing");
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12, "share non-decreasing");
+        }
+        for &(uf, af) in &curve {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&uf));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&af));
+        }
+    }
+
+    #[test]
+    fn featurizer_output_sorted_and_normalized(s in "[a-z ]{0,120}") {
+        let f = classify::svm::Featurizer::standard();
+        let v = f.featurize(&s);
+        for w in v.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "indices strictly ascending");
+        }
+        if !v.is_empty() {
+            let norm = classify::svm::norm(&v);
+            prop_assert!((norm - 1.0).abs() < 1e-4, "L2-normalized, got {norm}");
+        }
+    }
+}

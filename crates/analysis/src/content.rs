@@ -95,15 +95,13 @@ mod tests {
 
     #[test]
     fn breakdown_counts() {
-        let store = CrawlStore {
-            youtube: vec![
+        let mut store = CrawlStore::default();
+        store.youtube = vec![
             yt("video", true, None, Some("Fox News"), false),
             yt("video", true, None, Some("Fox News"), true),
             yt("video", false, Some("This video is private"), None, false),
             yt("channel", true, None, Some("CNN"), false),
-            ],
-            ..CrawlStore::default()
-        };
+        ];
         let b = youtube_breakdown(&store);
         assert_eq!(b.total, 4);
         assert_eq!(b.active, 3);

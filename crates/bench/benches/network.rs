@@ -1,9 +1,11 @@
 //! Benchmarks for the networking substrate and crawl phases over real
 //! loopback TCP: request/response round-trips, the §3.1 size probe, Gab
-//! API fetches (E1), and comment-page spidering.
+//! API fetches (E1), comment-page spidering, and the resilience layer
+//! (fault decisions, circuit-breaker bookkeeping, retrying fetches
+//! through a faulty server).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use httpnet::Client;
+use httpnet::{Client, FaultConfig, FaultInjector, RetryPolicy, ServerConfig};
 use std::sync::{Arc, OnceLock};
 use synth::config::Scale;
 use synth::WorldConfig;
@@ -11,6 +13,7 @@ use webfront::SimServices;
 
 struct Fx {
     services: SimServices,
+    world: Arc<platform::World>,
     dissenter_user: String,
     url_id: String,
     gab_id: u64,
@@ -32,8 +35,8 @@ fn fx() -> &'static Fx {
         let url_id = world.dissenter.urls()[0].id.to_hex();
         let gab_id = 1;
         let services =
-            SimServices::start(world, crawler::default_server_config()).expect("services");
-        Fx { services, dissenter_user, url_id, gab_id }
+            SimServices::start(world.clone(), crawler::default_server_config()).expect("services");
+        Fx { services, world, dissenter_user, url_id, gab_id }
     })
 }
 
@@ -99,5 +102,57 @@ fn bench_crawl_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_http, bench_crawl_ops);
+fn bench_resilience(c: &mut Criterion) {
+    let fx = fx();
+    let mut g = c.benchmark_group("resilience");
+    g.throughput(Throughput::Elements(1));
+
+    // The per-request cost of rolling a fault decision.
+    g.bench_function("fault_decide", |b| {
+        let injector = FaultInjector::new(FaultConfig::storm(7));
+        b.iter(|| black_box(injector.decide()));
+    });
+
+    // Closed-breaker bookkeeping on the crawl's hot path.
+    g.bench_function("breaker_allow_and_record", |b| {
+        let breaker = crawler::CircuitBreaker::new();
+        b.iter(|| {
+            black_box(breaker.allow());
+            breaker.record_success();
+        });
+    });
+
+    // A policy-driven fetch against a healthy endpoint: the overhead the
+    // retry machinery adds to the common (no-fault) case.
+    g.bench_function("get_with_policy_clean", |b| {
+        let mut client = Client::new(fx.services.gab.addr());
+        client.keep_alive(true);
+        let policy = RetryPolicy::immediate(3);
+        b.iter(|| black_box(client.get_with_policy("/api/v1/accounts/1", &policy).unwrap()));
+    });
+
+    // The same fetch through a 20%-faulty server (drops + 500s), retries
+    // included — the storm-weathering cost per delivered response.
+    g.bench_function("get_with_policy_faulty", |b| {
+        let world = fx.world.clone();
+        let cfg = ServerConfig {
+            faults: FaultConfig {
+                drop_prob: 0.1,
+                error_prob: 0.1,
+                seed: 21,
+                ..FaultConfig::none()
+            },
+            ..crawler::default_server_config()
+        };
+        let services = SimServices::start(world, cfg).expect("services");
+        let mut client = Client::new(services.gab.addr());
+        client.keep_alive(true);
+        let policy = RetryPolicy::immediate(8);
+        b.iter(|| black_box(client.get_with_policy("/api/v1/accounts/1", &policy).unwrap()));
+        std::mem::forget(services);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_http, bench_crawl_ops, bench_resilience);
 criterion_main!(benches);

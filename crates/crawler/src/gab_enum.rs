@@ -6,55 +6,15 @@
 //! denials (429 + `X-RateLimit-Reset`) are honored by sleeping until the
 //! advertised reset, exactly as §3.4 describes.
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::{CrawlStore, GabAccount};
 use crate::Crawler;
-use httpnet::{Client, Response};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 const BLOCK: u64 = 4_096;
 
-/// Issue a GET honoring 429 rate-limit responses by sleeping until the
-/// advertised reset (capped — simulation windows are short).
-pub fn get_respecting_limits(
-    client: &mut Client,
-    target: &str,
-    crawler: &Crawler,
-    store: &CrawlStore,
-) -> Option<Response> {
-    for _ in 0..(crawler.config.retries + 8) {
-        store.stats.add_requests(1);
-        match client.get_keep_alive(target) {
-            Ok(resp) if resp.status.0 == 429 => {
-                let now = SystemTime::now()
-                    .duration_since(UNIX_EPOCH)
-                    .map(|d| d.as_secs())
-                    .unwrap_or(0);
-                let reset: u64 = resp
-                    .headers
-                    .get("x-ratelimit-reset")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(now + 1);
-                let wait = Duration::from_secs(reset.saturating_sub(now).clamp(1, 3));
-                store.stats.add_rate_limit_sleep();
-                std::thread::sleep(wait);
-            }
-            Ok(resp) if resp.status.0 >= 500 => {
-                store.stats.add_retry();
-                std::thread::sleep(crawler.config.backoff);
-            }
-            Ok(resp) => return Some(resp),
-            Err(_) => {
-                store.stats.add_retry();
-                std::thread::sleep(crawler.config.backoff);
-            }
-        }
-    }
-    store.stats.add_failure();
-    None
-}
-
 /// Run the enumeration phase into `store.gab_accounts`.
 pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
+    let run = PhaseRun::new(crawler, Phase::GabEnum);
     let mut accounts: Vec<GabAccount> = Vec::new();
     let mut start: u64 = 1;
     let mut last_hit: u64 = 0;
@@ -64,10 +24,12 @@ pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
             crawler.endpoints.gab,
             &ids,
             crawler.config.workers,
-            |_| {},
+            &store.stats,
+            |c| {
+                c.timeout(crawler.config.timeout);
+            },
             |client, &id| {
-                let resp =
-                    get_respecting_limits(client, &format!("/api/v1/accounts/{id}"), crawler, store)?;
+                let resp = run.fetch(client, store, &format!("/api/v1/accounts/{id}"))?;
                 if !resp.status.is_success() {
                     return None;
                 }

@@ -32,6 +32,7 @@ pub mod parallel;
 pub mod persist;
 pub mod probe;
 pub mod reddit;
+pub mod resilience;
 pub mod scrape;
 pub mod shadow;
 pub mod social;
@@ -42,7 +43,8 @@ pub mod youtube;
 use httpnet::ServerConfig;
 use std::net::SocketAddr;
 
-pub use store::CrawlStore;
+pub use resilience::{CircuitBreaker, Phase};
+pub use store::{CrawlStore, DeadLetter};
 
 /// Crawl tuning.
 #[derive(Debug, Clone)]
@@ -57,6 +59,20 @@ pub struct CrawlConfig {
     pub enum_gap_tolerance: u64,
     /// Validation sample size for shadow-label checks.
     pub validation_sample: usize,
+    /// Client read/connect timeout — a stalled (slow-loris) server is
+    /// indistinguishable from a dead one past this point.
+    pub timeout: std::time::Duration,
+    /// Shared retry budget per phase: total extra attempts a phase may
+    /// spend across all its fetches. Once dry, every fetch gets a single
+    /// attempt, so a pathological endpoint degrades coverage (visibly,
+    /// via dead letters) instead of stalling the crawl.
+    pub retry_budget: usize,
+    /// Consecutive exhausted fetches that open an endpoint's circuit
+    /// breaker.
+    pub breaker_threshold: usize,
+    /// How long an open breaker fast-fails before admitting a half-open
+    /// probe.
+    pub breaker_cooldown: std::time::Duration,
 }
 
 impl Default for CrawlConfig {
@@ -67,6 +83,10 @@ impl Default for CrawlConfig {
             backoff: std::time::Duration::from_millis(20),
             enum_gap_tolerance: 2_000,
             validation_sample: 100,
+            timeout: std::time::Duration::from_secs(5),
+            retry_budget: 10_000,
+            breaker_threshold: 5,
+            breaker_cooldown: std::time::Duration::from_millis(200),
         }
     }
 }
@@ -91,12 +111,16 @@ pub struct Crawler {
     pub endpoints: Endpoints,
     /// Tuning.
     pub config: CrawlConfig,
+    /// Per-endpoint circuit breakers, shared across phases (probe and
+    /// spider hammer the same Dissenter endpoint; an outage in progress
+    /// must survive the phase boundary).
+    pub breakers: resilience::Breakers,
 }
 
 impl Crawler {
     /// A crawler with default tuning.
     pub fn new(endpoints: Endpoints) -> Self {
-        Self { endpoints, config: CrawlConfig::default() }
+        Self { endpoints, config: CrawlConfig::default(), breakers: resilience::Breakers::default() }
     }
 
     /// Run every phase: enumerate, probe, spider, shadow-diff, YouTube,

@@ -1,45 +1,64 @@
 //! A small scoped parallel-map used by all crawl phases: N workers, each
 //! with its own keep-alive HTTP client, draining a shared work index.
 
+use crate::store::CrawlStats;
 use httpnet::Client;
 use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Run `work(client, item)` over `items` with `workers` threads, each
 /// owning a keep-alive [`Client`] to `addr`. Results are collected
 /// unordered.
+///
+/// A panic inside `work` is confined to its item: it is caught, recorded
+/// as a failure (and panic) on `stats`, and the worker keeps draining on
+/// a fresh client — one poisoned page cannot take the phase down or
+/// strand the other workers' results.
 pub fn parallel_fetch<T: Sync, R: Send>(
     addr: SocketAddr,
     items: &[T],
     workers: usize,
+    stats: &CrawlStats,
     setup: impl Fn(&mut Client) + Sync,
     work: impl Fn(&mut Client, &T) -> Option<R> + Sync,
 ) -> Vec<R> {
     let workers = workers.max(1).min(items.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(items.len()));
+    let fresh_client = || {
+        let mut client = Client::new(addr);
+        client.keep_alive(true);
+        setup(&mut client);
+        client
+    };
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut client = Client::new(addr);
-                client.keep_alive(true);
-                setup(&mut client);
+                let mut client = fresh_client();
                 let mut local: Vec<R> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    if let Some(r) = work(&mut client, &items[i]) {
-                        local.push(r);
+                    match catch_unwind(AssertUnwindSafe(|| work(&mut client, &items[i]))) {
+                        Ok(Some(r)) => local.push(r),
+                        Ok(None) => {}
+                        Err(_) => {
+                            stats.add_panic();
+                            // The panic may have left the connection
+                            // mid-read; do not reuse it.
+                            client = fresh_client();
+                        }
                     }
                 }
-                results.lock().expect("no poisoning").extend(local);
+                results.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
             });
         }
     });
-    results.into_inner().expect("threads joined")
+    results.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -53,11 +72,13 @@ mod tests {
         let handler: Arc<dyn Handler> =
             Arc::new(|req: &Request| Response::html(format!("got {}", req.path())));
         let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let stats = CrawlStats::default();
         let items: Vec<usize> = (0..200).collect();
         let out = parallel_fetch(
             server.addr(),
             &items,
             8,
+            &stats,
             |_| {},
             |client, &i| {
                 let r = client.get_keep_alive(&format!("/i/{i}")).ok()?;
@@ -74,11 +95,13 @@ mod tests {
     fn worker_failures_are_skipped_not_fatal() {
         let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::not_found());
         let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let stats = CrawlStats::default();
         let items = vec![1, 2, 3];
-        let out: Vec<u32> = parallel_fetch(server.addr(), &items, 2, |_| {}, |client, &i| {
-            let r = client.get_keep_alive("/x").ok()?;
-            r.status.is_success().then_some(i)
-        });
+        let out: Vec<u32> =
+            parallel_fetch(server.addr(), &items, 2, &stats, |_| {}, |client, &i| {
+                let r = client.get_keep_alive("/x").ok()?;
+                r.status.is_success().then_some(i)
+            });
         assert!(out.is_empty());
     }
 
@@ -88,16 +111,44 @@ mod tests {
             Response::html(req.cookie("session").unwrap_or("none").to_owned())
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let stats = CrawlStats::default();
         let items = vec![()];
         let out = parallel_fetch(
             server.addr(),
             &items,
             1,
+            &stats,
             |c| {
                 c.set_cookie("session", "crawler:nsfw");
             },
             |client, _| client.get_keep_alive("/").ok().map(|r| r.text()),
         );
         assert_eq!(out, vec!["crawler:nsfw".to_owned()]);
+    }
+
+    #[test]
+    fn a_panicking_item_is_recorded_and_the_rest_survive() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: &Request| Response::html(format!("got {}", req.path())));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let stats = CrawlStats::default();
+        let items: Vec<usize> = (0..40).collect();
+        let out = parallel_fetch(
+            server.addr(),
+            &items,
+            4,
+            &stats,
+            |_| {},
+            |client, &i| {
+                let r = client.get_keep_alive(&format!("/i/{i}")).ok()?;
+                assert!(i % 10 != 7, "poisoned page {i}");
+                Some((i, r.text()))
+            },
+        );
+        // 4 of 40 items panic (7, 17, 27, 37); the rest all land.
+        assert_eq!(out.len(), 36);
+        assert!(out.iter().all(|(i, _)| i % 10 != 7));
+        assert_eq!(stats.panics.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.failures.load(Ordering::Relaxed), 4, "panics count as failures");
     }
 }

@@ -4,6 +4,7 @@
 //! accounts, which are at least 10 kB; responses for non-existent users
 //! are ∼150 bytes."
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::CrawlStore;
 use crate::Crawler;
 
@@ -12,17 +13,18 @@ pub const SIZE_THRESHOLD: usize = 10 * 1024;
 
 /// Probe every enumerated Gab username for a Dissenter home page.
 pub fn probe_dissenter_accounts(crawler: &Crawler, store: &mut CrawlStore) {
+    let run = PhaseRun::new(crawler, Phase::Probe);
     let usernames: Vec<String> = store.gab_accounts.iter().map(|a| a.username.clone()).collect();
     let mut hits = crate::parallel::parallel_fetch(
         crawler.endpoints.dissenter,
         &usernames,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, name| {
-            store.stats.add_requests(1);
-            let resp = client
-                .get_resilient(&format!("/user/{name}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let resp = run.fetch(client, store, &format!("/user/{name}"))?;
             // Classification is purely by body size — deliberately NOT by
             // status code, mirroring the paper's inference.
             (resp.body.len() >= SIZE_THRESHOLD).then(|| name.clone())

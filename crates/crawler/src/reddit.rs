@@ -1,6 +1,7 @@
 //! Phase 7 — Reddit username matching and Pushshift history pulls
 //! (§4.4.1).
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::{CrawlStore, RedditMatch};
 use crate::Crawler;
 
@@ -9,17 +10,21 @@ const PAGE_SIZE: usize = 100;
 /// Check every Dissenter username on Reddit; for matches, pull the full
 /// available comment history.
 pub fn crawl_reddit(crawler: &Crawler, store: &mut CrawlStore) {
-    let names: Vec<String> = store.users.keys().cloned().collect();
+    let mut names: Vec<String> = store.users.keys().cloned().collect();
+    // Sorted work list so the request order (and thus retry/dead-letter
+    // accounting) is reproducible run to run.
+    names.sort();
+    let run = PhaseRun::new(crawler, Phase::Reddit);
     let matches = crate::parallel::parallel_fetch(
         crawler.endpoints.reddit,
         &names,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, name| {
-            store.stats.add_requests(1);
-            let about = client
-                .get_resilient(&format!("/user/{name}/about"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let about = run.fetch(client, store, &format!("/user/{name}/about"))?;
             if !about.status.is_success() {
                 return None;
             }
@@ -31,14 +36,8 @@ pub fn crawl_reddit(crawler: &Crawler, store: &mut CrawlStore) {
             let mut comments = Vec::new();
             let mut page = 0usize;
             loop {
-                store.stats.add_requests(1);
-                let resp = client
-                    .get_resilient(
-                        &format!("/pushshift/comments?author={name}&page={page}"),
-                        crawler.config.retries,
-                        crawler.config.backoff,
-                    )
-                    .ok()?;
+                let resp =
+                    run.fetch(client, store, &format!("/pushshift/comments?author={name}&page={page}"))?;
                 let v = jsonlite::parse(&resp.text()).ok()?;
                 let data = v.get("data").and_then(|d| d.as_array()).unwrap_or(&[]).to_vec();
                 let n = data.len();

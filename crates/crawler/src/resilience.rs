@@ -1,0 +1,447 @@
+//! Crawl resilience: per-endpoint circuit breakers, per-phase retry
+//! budgets, and dead-letter accounting.
+//!
+//! The paper's §4.3.1 hygiene ("we monitor request timeouts and
+//! re-request missed pages") is the *mechanism*; this module adds the
+//! *policy* around it so one pathological endpoint cannot stall
+//! [`Crawler::full_crawl`](crate::Crawler::full_crawl):
+//!
+//! * every phase issues its HTTP through [`PhaseRun::fetch`], one call
+//!   per **logical fetch** (a page the crawl wants, however many wire
+//!   attempts that takes);
+//! * retries follow the seeded [`httpnet::RetryPolicy`] schedule, honor
+//!   `Retry-After` / `X-RateLimit-Reset`, and draw from a shared
+//!   per-phase [retry budget](crate::CrawlConfig::retry_budget) — when
+//!   the budget is dry, fetches get a single attempt;
+//! * each of the four services has a [`CircuitBreaker`]: enough
+//!   *consecutive* exhausted fetches open it, subsequent fetches
+//!   fast-fail to the dead-letter list, and after a cooldown a single
+//!   half-open probe decides whether to close it again;
+//! * every logical fetch ends in **exactly one** of
+//!   `succeeded`/`dead_lettered`, so per-phase coverage accounting
+//!   (`attempted = succeeded + dead_lettered`) tells every §4 analysis
+//!   what fraction of the world the crawl actually saw.
+
+use crate::store::{CrawlStore, DeadLetter};
+use crate::Crawler;
+use httpnet::{classify_status, parse_retry_after, Client, Response, RetryPolicy, StatusClass};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// The crawl phases, in pipeline order. Indexes [`crate::store::CrawlStats::phases`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Gab ID enumeration (§3.1).
+    GabEnum,
+    /// Dissenter account probing by response size (§3.1).
+    Probe,
+    /// Home-page and comment spidering (§3.2).
+    Spider,
+    /// Shadow-label validation (§4.3.1).
+    Shadow,
+    /// YouTube content crawl (§3.3).
+    Youtube,
+    /// Gab follower/following crawl (§3.4).
+    Social,
+    /// Reddit matching and Pushshift pulls (§4.4.1).
+    Reddit,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 7] = [
+        Phase::GabEnum,
+        Phase::Probe,
+        Phase::Spider,
+        Phase::Shadow,
+        Phase::Youtube,
+        Phase::Social,
+        Phase::Reddit,
+    ];
+
+    /// Stable index into per-phase stat arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name (used in dead-letter records and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GabEnum => "gab_enum",
+            Phase::Probe => "probe",
+            Phase::Spider => "spider",
+            Phase::Shadow => "shadow",
+            Phase::Youtube => "youtube",
+            Phase::Social => "social",
+            Phase::Reddit => "reddit",
+        }
+    }
+
+    /// The service this phase talks to (breakers are per-endpoint: the
+    /// probe, spider, and shadow phases share the Dissenter breaker, and
+    /// enumeration shares Gab's with the social crawl).
+    pub fn service(self) -> Service {
+        match self {
+            Phase::GabEnum | Phase::Social => Service::Gab,
+            Phase::Probe | Phase::Spider | Phase::Shadow => Service::Dissenter,
+            Phase::Youtube => Service::Youtube,
+            Phase::Reddit => Service::Reddit,
+        }
+    }
+}
+
+/// The four simulated services (one circuit breaker each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Service {
+    /// dissenter.com.
+    Dissenter,
+    /// gab.com.
+    Gab,
+    /// reddit.com / Pushshift.
+    Reddit,
+    /// Rendered YouTube.
+    Youtube,
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: counting consecutive exhausted fetches.
+    Closed { consecutive_failures: usize },
+    /// Tripped: fetches fast-fail until the cooldown instant.
+    Open { until: Instant },
+    /// Cooldown expired: exactly one probe fetch is in flight.
+    HalfOpen,
+}
+
+/// A per-endpoint circuit breaker: closed → (N consecutive failures) →
+/// open → (cooldown) → half-open probe → closed on success / open on
+/// failure.
+///
+/// "Failure" here is a *logical fetch that exhausted its retries* — a
+/// dead-letter-level event, not a single wire error (which the retry
+/// loop absorbs) and never a 429 (a throttling peer is alive and
+/// cooperating, not down). Thresholds live in
+/// [`crate::CrawlConfig`] and are passed per call so one breaker can
+/// outlive config tweaks between phases.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    state: Mutex<Option<BreakerState>>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut BreakerState) -> R) -> R {
+        let mut guard = self.state.lock();
+        let state = guard.get_or_insert(BreakerState::Closed { consecutive_failures: 0 });
+        f(state)
+    }
+
+    /// May a fetch proceed? While open, returns `false` until the
+    /// cooldown expires; the first call after expiry transitions to
+    /// half-open and admits that one caller as the probe (subsequent
+    /// calls stay rejected until the probe reports back).
+    pub fn allow(&self) -> bool {
+        self.with_state(|state| match *state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false,
+        })
+    }
+
+    /// A logical fetch succeeded: close (from any state) and reset the
+    /// failure count.
+    pub fn record_success(&self) {
+        self.with_state(|state| *state = BreakerState::Closed { consecutive_failures: 0 });
+    }
+
+    /// A logical fetch exhausted its retries. In half-open this re-opens
+    /// immediately (the probe failed); when closed, `threshold`
+    /// consecutive failures open the breaker for `cooldown`.
+    pub fn record_failure(&self, threshold: usize, cooldown: Duration) {
+        self.with_state(|state| match *state {
+            BreakerState::Closed { consecutive_failures } => {
+                let n = consecutive_failures + 1;
+                *state = if n >= threshold.max(1) {
+                    BreakerState::Open { until: Instant::now() + cooldown }
+                } else {
+                    BreakerState::Closed { consecutive_failures: n }
+                };
+            }
+            BreakerState::HalfOpen | BreakerState::Open { .. } => {
+                *state = BreakerState::Open { until: Instant::now() + cooldown };
+            }
+        })
+    }
+
+    /// The state name, for tests and debug output.
+    pub fn state_name(&self) -> &'static str {
+        self.with_state(|state| match state {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// One circuit breaker per service, shared across all phases of a crawl
+/// (the probe and spider phases hammer the same Dissenter endpoint; a
+/// breaker that resets between them would forget an outage in progress).
+#[derive(Debug, Default)]
+pub struct Breakers {
+    dissenter: CircuitBreaker,
+    gab: CircuitBreaker,
+    reddit: CircuitBreaker,
+    youtube: CircuitBreaker,
+}
+
+impl Breakers {
+    /// The breaker guarding `service`.
+    pub fn get(&self, service: Service) -> &CircuitBreaker {
+        match service {
+            Service::Dissenter => &self.dissenter,
+            Service::Gab => &self.gab,
+            Service::Reddit => &self.reddit,
+            Service::Youtube => &self.youtube,
+        }
+    }
+}
+
+/// Extra attempts granted to 429-throttled fetches beyond
+/// `CrawlConfig::retries` — throttling is the peer cooperating, not
+/// failing, so it gets more patience (mirroring the paper's
+/// sleep-until-reset loop) but still a bound, for liveness against a
+/// server that 429s forever.
+const THROTTLE_GRACE: usize = 8;
+
+/// Shared context for one phase of the crawl: the phase identity, the
+/// breaker for its endpoint, and the phase-wide retry budget all worker
+/// threads draw from.
+#[derive(Debug)]
+pub struct PhaseRun<'a> {
+    crawler: &'a Crawler,
+    phase: Phase,
+    budget: AtomicUsize,
+}
+
+impl<'a> PhaseRun<'a> {
+    /// Start a phase (budget charged from
+    /// [`retry_budget`](crate::CrawlConfig::retry_budget)).
+    pub fn new(crawler: &'a Crawler, phase: Phase) -> Self {
+        Self { crawler, phase, budget: AtomicUsize::new(crawler.config.retry_budget) }
+    }
+
+    /// The phase this run accounts to.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Retry budget left for this phase.
+    pub fn budget_remaining(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Try to spend one retry from the phase budget.
+    fn take_retry(&self) -> bool {
+        self.budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
+
+    /// One **logical fetch**: issue `target`, retrying per the
+    /// configured policy, honoring throttle advice, consulting the
+    /// endpoint's circuit breaker, and recording exactly one of
+    /// `succeeded` / `dead_lettered` (plus a [`DeadLetter`] record) for
+    /// this phase. Returns the delivered response, or `None` when the
+    /// fetch was dead-lettered.
+    ///
+    /// Non-2xx statuses other than 429/5xx are *delivered*, not
+    /// retried — a 404 is a data point to this crawler (§3.1).
+    pub fn fetch(&self, client: &mut Client, store: &CrawlStore, target: &str) -> Option<Response> {
+        let cfg = &self.crawler.config;
+        let stats = store.stats.phase(self.phase);
+        stats.add_attempted();
+
+        let breaker = self.crawler.breakers.get(self.phase.service());
+        if !breaker.allow() {
+            stats.add_dead_lettered();
+            store.stats.add_failure();
+            store.push_dead_letter(DeadLetter {
+                phase: self.phase,
+                target: target.to_owned(),
+                cause: "circuit open".to_owned(),
+            });
+            return None;
+        }
+
+        let policy = RetryPolicy {
+            max_retries: cfg.retries,
+            base_backoff: cfg.backoff,
+            ..RetryPolicy::default()
+        };
+        let mut rng = policy.jitter_rng();
+        let started = Instant::now();
+        let mut failures = 0usize; // wire errors + retryable statuses
+        let mut throttles = 0usize; // 429s
+        loop {
+            store.stats.add_requests(1);
+            let (cause, wait) = match client.get_keep_alive(target) {
+                Ok(resp) => match classify_status(resp.status) {
+                    StatusClass::Deliver => {
+                        breaker.record_success();
+                        stats.add_succeeded();
+                        return Some(resp);
+                    }
+                    StatusClass::Throttled => {
+                        throttles += 1;
+                        if throttles > cfg.retries + THROTTLE_GRACE {
+                            return self.dead_letter(store, breaker, target, "throttled beyond grace (429)");
+                        }
+                        store.stats.add_rate_limit_sleep();
+                        std::thread::sleep(throttle_delay(&resp, &policy, throttles - 1, &mut rng));
+                        continue;
+                    }
+                    StatusClass::Retryable => {
+                        let wait = policy.delay_for_response(&resp, failures, &mut rng);
+                        (format!("http status {}", resp.status), wait)
+                    }
+                },
+                Err(e) => {
+                    let wait = policy.backoff(failures, &mut rng);
+                    (e.to_string(), wait)
+                }
+            };
+            failures += 1;
+            if failures > cfg.retries || started.elapsed() > policy.max_elapsed {
+                return self.dead_letter(store, breaker, target, &cause);
+            }
+            if !self.take_retry() {
+                return self.dead_letter(store, breaker, target, "retry budget exhausted");
+            }
+            store.stats.add_retry();
+            stats.add_retried();
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+
+    fn dead_letter(
+        &self,
+        store: &CrawlStore,
+        breaker: &CircuitBreaker,
+        target: &str,
+        cause: &str,
+    ) -> Option<Response> {
+        let cfg = &self.crawler.config;
+        breaker.record_failure(cfg.breaker_threshold, cfg.breaker_cooldown);
+        store.stats.phase(self.phase).add_dead_lettered();
+        store.stats.add_failure();
+        store.push_dead_letter(DeadLetter {
+            phase: self.phase,
+            target: target.to_owned(),
+            cause: cause.to_owned(),
+        });
+        None
+    }
+}
+
+/// How long to wait out a 429. Preference order: the `Retry-After`
+/// header (fractional seconds, capped by the policy's `max_backoff`),
+/// then `X-RateLimit-Reset` (absolute epoch seconds, the Gab/Dissenter
+/// convention — waited in 1–3 s slices exactly like the paper's
+/// sleep-until-reset loop), then the computed backoff.
+fn throttle_delay(
+    resp: &Response,
+    policy: &RetryPolicy,
+    throttle_no: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Duration {
+    if let Some(ra) = parse_retry_after(resp) {
+        return ra.min(policy.max_backoff);
+    }
+    if let Some(reset) = resp.headers.get("x-ratelimit-reset").and_then(|v| v.parse::<u64>().ok()) {
+        let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+        return Duration::from_secs(reset.saturating_sub(now).clamp(1, 3));
+    }
+    policy.backoff(throttle_no, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOL: Duration = Duration::from_millis(30);
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let b = CircuitBreaker::new();
+        assert_eq!(b.state_name(), "closed");
+        // Two failures at threshold 3 keep it closed.
+        b.record_failure(3, COOL);
+        b.record_failure(3, COOL);
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow());
+        // Third consecutive failure opens it: fetches fast-fail.
+        b.record_failure(3, COOL);
+        assert_eq!(b.state_name(), "open");
+        assert!(!b.allow());
+        // Cooldown expires: exactly one half-open probe is admitted.
+        std::thread::sleep(COOL + Duration::from_millis(10));
+        assert!(b.allow());
+        assert_eq!(b.state_name(), "half-open");
+        assert!(!b.allow(), "only one probe until it reports back");
+        // The probe succeeds: closed again, failure count reset.
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        b.record_failure(3, COOL);
+        b.record_failure(3, COOL);
+        assert_eq!(b.state_name(), "closed", "count restarted after close");
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new();
+        b.record_failure(1, COOL);
+        assert_eq!(b.state_name(), "open");
+        std::thread::sleep(COOL + Duration::from_millis(10));
+        assert!(b.allow());
+        b.record_failure(1, COOL);
+        assert_eq!(b.state_name(), "open");
+        assert!(!b.allow(), "a failed probe restarts the cooldown");
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let b = CircuitBreaker::new();
+        for _ in 0..50 {
+            b.record_failure(3, COOL);
+            b.record_failure(3, COOL);
+            b.record_success();
+        }
+        assert_eq!(b.state_name(), "closed", "non-consecutive failures never open");
+    }
+
+    #[test]
+    fn phase_service_mapping_is_total() {
+        for p in Phase::ALL {
+            // Just exercise the mapping and names — a new phase that
+            // forgets either will fail to compile or panic here.
+            let _ = p.service();
+            assert!(!p.name().is_empty());
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+    }
+}

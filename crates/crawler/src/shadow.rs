@@ -7,6 +7,7 @@
 //! session with the matching filter enabled — the automated analogue of
 //! the authors' manual 100-comment check.
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::{CrawlStore, ShadowLabel};
 use crate::Crawler;
 use ids::ObjectId;
@@ -25,17 +26,20 @@ pub fn shadow_crawl(crawler: &Crawler, store: &mut CrawlStore) {
         let step = (v.len() / crawler.config.validation_sample.max(1)).max(1);
         v.into_iter().step_by(step).take(crawler.config.validation_sample).collect()
     };
+    let run = PhaseRun::new(crawler, Phase::Shadow);
     let confirmations = crate::parallel::parallel_fetch(
         crawler.endpoints.dissenter,
         &labeled,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, &(id, label)| {
-            store.stats.add_requests(2);
             client.clear_cookies();
-            let anon = client
-                .get_resilient(&format!("/comment/{id}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            // A 404 here is a *delivered* answer (the comment is hidden),
+            // not a failure — run.fetch only retries wire faults and 5xx.
+            let anon = run.fetch(client, store, &format!("/comment/{id}"))?;
             let session = match label {
                 ShadowLabel::Nsfw => "crawler:nsfw",
                 ShadowLabel::Offensive => "crawler:offensive",
@@ -43,9 +47,7 @@ pub fn shadow_crawl(crawler: &Crawler, store: &mut CrawlStore) {
                 ShadowLabel::Standard => unreachable!("sample is labeled-only"),
             };
             client.set_cookie("session", session);
-            let authed = client
-                .get_resilient(&format!("/comment/{id}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let authed = run.fetch(client, store, &format!("/comment/{id}"))?;
             Some(!anon.status.is_success() && authed.status.is_success())
         },
     );

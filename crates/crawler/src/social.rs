@@ -5,7 +5,7 @@
 //! the advertised rate limits, then induces the Dissenter-specific
 //! subgraph by dropping non-Dissenter endpoints.
 
-use crate::gab_enum::get_respecting_limits;
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::CrawlStore;
 use crate::Crawler;
 use ids::ObjectId;
@@ -25,24 +25,31 @@ pub fn crawl_social(crawler: &Crawler, store: &mut CrawlStore) {
     let dissenter_names: HashSet<&str> =
         store.users.values().map(|u| u.username.as_str()).collect();
 
-    let targets: Vec<(String, u64)> = store
+    let mut targets: Vec<(String, u64)> = store
         .users
         .values()
         .filter_map(|u| gab_id_by_username.get(u.username.as_str()).map(|&g| (u.username.clone(), g)))
         .collect();
+    // Sorted work list so the request order (and thus retry/dead-letter
+    // accounting) is reproducible run to run.
+    targets.sort();
 
+    let run = PhaseRun::new(crawler, Phase::Social);
     let edge_lists = crate::parallel::parallel_fetch(
         crawler.endpoints.gab,
         &targets,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, (username, gab_id)| {
             let mut edges: Vec<(String, String)> = Vec::new();
             for (endpoint, incoming) in [("followers", true), ("following", false)] {
                 let mut page = 0usize;
                 loop {
                     let target = format!("/api/v1/accounts/{gab_id}/{endpoint}?page={page}");
-                    let Some(resp) = get_respecting_limits(client, &target, crawler, store) else {
+                    let Some(resp) = run.fetch(client, store, &target) else {
                         break;
                     };
                     if !resp.status.is_success() {

@@ -14,6 +14,7 @@
 //! on, which are then crawled in the next round, possibly surfacing more
 //! ghosts, and so on.
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::scrape;
 use crate::store::{CrawlStore, CrawledComment, CrawledUrl, CrawledUser, ShadowLabel};
 use crate::Crawler;
@@ -50,17 +51,22 @@ fn parse_user_page(username: &str, html: &str) -> Option<CrawledUser> {
     })
 }
 
-fn crawl_users(crawler: &Crawler, store: &CrawlStore, names: &[String]) -> Vec<CrawledUser> {
+fn crawl_users(
+    crawler: &Crawler,
+    store: &CrawlStore,
+    run: &PhaseRun<'_>,
+    names: &[String],
+) -> Vec<CrawledUser> {
     crate::parallel::parallel_fetch(
         crawler.endpoints.dissenter,
         names,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, name| {
-            store.stats.add_requests(1);
-            let resp = client
-                .get_resilient(&format!("/user/{name}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let resp = run.fetch(client, store, &format!("/user/{name}"))?;
             if !resp.status.is_success() {
                 return None;
             }
@@ -101,6 +107,7 @@ pub fn parse_comment_page(html: &str) -> Option<(CrawledUrl, Vec<scrape::Scraped
 fn crawl_pass(
     crawler: &Crawler,
     store: &CrawlStore,
+    run: &PhaseRun<'_>,
     url_ids: &[ObjectId],
     session: Option<&str>,
 ) -> Vec<(CrawledUrl, Vec<scrape::ScrapedComment>)> {
@@ -108,16 +115,15 @@ fn crawl_pass(
         crawler.endpoints.dissenter,
         url_ids,
         crawler.config.workers,
+        &store.stats,
         |client| {
+            client.timeout(crawler.config.timeout);
             if let Some(s) = session {
                 client.set_cookie("session", s);
             }
         },
         |client, id| {
-            store.stats.add_requests(1);
-            let resp = client
-                .get_resilient(&format!("/url/{id}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let resp = run.fetch(client, store, &format!("/url/{id}"))?;
             if !resp.status.is_success() {
                 return None;
             }
@@ -128,11 +134,16 @@ fn crawl_pass(
 
 /// Crawl `url_ids` with all four visibility contexts, inserting threads
 /// and labeled comments into the store (§3.2's diff inference).
-pub fn crawl_threads(crawler: &Crawler, store: &mut CrawlStore, url_ids: &[ObjectId]) {
+pub fn crawl_threads(
+    crawler: &Crawler,
+    store: &mut CrawlStore,
+    run: &PhaseRun<'_>,
+    url_ids: &[ObjectId],
+) {
     if url_ids.is_empty() {
         return;
     }
-    let anon = crawl_pass(crawler, store, url_ids, None);
+    let anon = crawl_pass(crawler, store, run, url_ids, None);
     let mut baseline: HashSet<ObjectId> = HashSet::new();
     for (url, comments) in anon {
         let url_id = url.id;
@@ -161,9 +172,9 @@ pub fn crawl_threads(crawler: &Crawler, store: &mut CrawlStore, url_ids: &[Objec
         }
         out
     };
-    let nsfw_new = collect_new(crawl_pass(crawler, store, url_ids, Some("crawler:nsfw")));
-    let off_new = collect_new(crawl_pass(crawler, store, url_ids, Some("crawler:offensive")));
-    let both_new = collect_new(crawl_pass(crawler, store, url_ids, Some("crawler:both")));
+    let nsfw_new = collect_new(crawl_pass(crawler, store, run, url_ids, Some("crawler:nsfw")));
+    let off_new = collect_new(crawl_pass(crawler, store, run, url_ids, Some("crawler:offensive")));
+    let both_new = collect_new(crawl_pass(crawler, store, run, url_ids, Some("crawler:both")));
     let nsfw_ids: HashSet<ObjectId> = nsfw_new.iter().map(|(_, c)| c.id).collect();
     let off_ids: HashSet<ObjectId> = off_new.iter().map(|(_, c)| c.id).collect();
     for (url_id, c) in nsfw_new.into_iter().chain(off_new).chain(both_new) {
@@ -186,9 +197,13 @@ pub fn crawl_threads(crawler: &Crawler, store: &mut CrawlStore, url_ids: &[Objec
 
 /// Run the spider phase to fixpoint.
 pub fn spider(crawler: &Crawler, store: &mut CrawlStore) {
+    // One budget and breaker context for the whole phase, fixpoint
+    // rounds included.
+    let run = PhaseRun::new(crawler, Phase::Spider);
+
     // 1. Home pages for every probed username.
     let names = store.dissenter_usernames.clone();
-    for u in crawl_users(crawler, store, &names) {
+    for u in crawl_users(crawler, store, &run, &names) {
         store.users.insert(u.username.clone(), u);
     }
 
@@ -214,8 +229,8 @@ pub fn spider(crawler: &Crawler, store: &mut CrawlStore) {
             break;
         }
         attempted.extend(missing.iter().copied());
-        crawl_threads(crawler, store, &missing);
-        discover_metadata_and_ghosts(crawler, store, Some("crawler:both"));
+        crawl_threads(crawler, store, &run, &missing);
+        discover_metadata_and_ghosts(crawler, store, &run, Some("crawler:both"));
     }
 }
 
@@ -226,6 +241,7 @@ pub fn spider(crawler: &Crawler, store: &mut CrawlStore) {
 pub fn discover_metadata_and_ghosts(
     crawler: &Crawler,
     store: &mut CrawlStore,
+    run: &PhaseRun<'_>,
     session: Option<&str>,
 ) {
     let have_meta: HashSet<ObjectId> = store
@@ -235,30 +251,37 @@ pub fn discover_metadata_and_ghosts(
         .map(|u| u.author_id)
         .collect();
     let by_author: HashMap<ObjectId, ObjectId> = {
-        let mut m = HashMap::new();
+        let mut m: HashMap<ObjectId, ObjectId> = HashMap::new();
         for c in store.comments.values() {
             if !have_meta.contains(&c.author_id) {
-                m.entry(c.author_id).or_insert(c.id);
+                // Sample the *lowest* comment id per author, not the first
+                // seen: the HashMap walk order varies per instance, and the
+                // chosen target must not.
+                m.entry(c.author_id).and_modify(|id| *id = (*id).min(c.id)).or_insert(c.id);
             }
         }
         m
     };
-    let author_samples: Vec<(ObjectId, ObjectId)> =
-        by_author.iter().map(|(&a, &c)| (a, c)).collect();
+    // Sorted so the request order (and thus any fault-injection
+    // sequence) is reproducible run-to-run despite the HashMap walk.
+    let author_samples: Vec<(ObjectId, ObjectId)> = {
+        let mut v: Vec<(ObjectId, ObjectId)> = by_author.iter().map(|(&a, &c)| (a, c)).collect();
+        v.sort();
+        v
+    };
     let metas = crate::parallel::parallel_fetch(
         crawler.endpoints.dissenter,
         &author_samples,
         crawler.config.workers,
+        &store.stats,
         |client| {
+            client.timeout(crawler.config.timeout);
             if let Some(s) = session {
                 client.set_cookie("session", s);
             }
         },
         |client, &(author, cid)| {
-            store.stats.add_requests(1);
-            let resp = client
-                .get_resilient(&format!("/comment/{cid}"), crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let resp = run.fetch(client, store, &format!("/comment/{cid}"))?;
             if !resp.status.is_success() {
                 return None;
             }
@@ -289,7 +312,7 @@ pub fn discover_metadata_and_ghosts(
     }
     ghost_usernames.sort();
     ghost_usernames.dedup();
-    let ghosts = crawl_users(crawler, store, &ghost_usernames);
+    let ghosts = crawl_users(crawler, store, run, &ghost_usernames);
     for g in ghosts {
         store.users.insert(g.username.clone(), g);
     }

@@ -1,6 +1,8 @@
 //! The crawl's output: a reconstructed mirror of the platform.
 
+use crate::resilience::Phase;
 use ids::ObjectId;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -166,17 +168,95 @@ pub struct RedditMatch {
     pub comments: Vec<String>,
 }
 
+/// A fetch that exhausted its retries (or met an open circuit breaker):
+/// what was wanted, by which phase, and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// The phase that wanted the page.
+    pub phase: Phase,
+    /// The request target (path + query).
+    pub target: String,
+    /// The last failure observed before giving up.
+    pub cause: String,
+}
+
+/// Per-phase coverage counters. Counted per **logical fetch** (one page
+/// the crawl wants), not per wire attempt, so
+/// `attempted == succeeded + dead_lettered` always holds and the gap
+/// between "what the phase asked for" and "what it got" is explicit.
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    /// Logical fetches started.
+    pub attempted: AtomicU64,
+    /// Logical fetches that delivered a response.
+    pub succeeded: AtomicU64,
+    /// Extra wire attempts spent retrying (not counted in `attempted`).
+    pub retried: AtomicU64,
+    /// Logical fetches abandoned to the dead-letter list.
+    pub dead_lettered: AtomicU64,
+}
+
+impl PhaseStats {
+    /// Record a logical fetch starting.
+    pub fn add_attempted(&self) {
+        self.attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a delivered response.
+    pub fn add_succeeded(&self) {
+        self.succeeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retry attempt.
+    pub fn add_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abandoned fetch.
+    pub fn add_dead_lettered(&self) {
+        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy for comparison and reporting.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            attempted: self.attempted.load(Ordering::Relaxed),
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            dead_lettered: self.dead_lettered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`PhaseStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Logical fetches started.
+    pub attempted: u64,
+    /// Logical fetches that delivered a response.
+    pub succeeded: u64,
+    /// Extra wire attempts spent retrying.
+    pub retried: u64,
+    /// Logical fetches abandoned.
+    pub dead_lettered: u64,
+}
+
 /// Operational counters (the §4.3.1 hygiene evidence).
 #[derive(Debug, Default)]
 pub struct CrawlStats {
-    /// HTTP requests issued.
+    /// HTTP requests issued (wire attempts, including retries).
     pub requests: AtomicU64,
     /// Requests that failed and were retried.
     pub retries: AtomicU64,
-    /// Requests that never succeeded.
+    /// Logical fetches that never succeeded.
     pub failures: AtomicU64,
     /// Rate-limit sleeps honored.
     pub rate_limit_sleeps: AtomicU64,
+    /// Worker-closure panics caught by the parallel driver (each also
+    /// counted as a failure).
+    pub panics: AtomicU64,
+    /// Coverage accounting per phase, indexed by [`Phase::index`].
+    pub phases: [PhaseStats; 7],
 }
 
 impl CrawlStats {
@@ -198,6 +278,22 @@ impl CrawlStats {
     /// Record a rate-limit sleep.
     pub fn add_rate_limit_sleep(&self) {
         self.rate_limit_sleeps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a caught worker panic (also a failure).
+    pub fn add_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.add_failure();
+    }
+
+    /// The counters for one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        &self.phases[phase.index()]
+    }
+
+    /// Snapshots of every phase's coverage, in pipeline order.
+    pub fn phase_snapshots(&self) -> [(Phase, PhaseSnapshot); 7] {
+        Phase::ALL.map(|p| (p, self.phase(p).snapshot()))
     }
 }
 
@@ -225,9 +321,25 @@ pub struct CrawlStore {
     pub reddit: HashMap<String, RedditMatch>,
     /// Operational counters.
     pub stats: CrawlStats,
+    /// Fetches abandoned after exhausting their retries, with enough
+    /// context to audit (or re-drive) each one.
+    dead_letters: Mutex<Vec<DeadLetter>>,
 }
 
 impl CrawlStore {
+    /// Record an abandoned fetch.
+    pub fn push_dead_letter(&self, letter: DeadLetter) {
+        self.dead_letters.lock().push(letter);
+    }
+
+    /// All dead letters, sorted by (phase, target) for stable comparison
+    /// across runs regardless of worker interleaving.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        let mut v = self.dead_letters.lock().clone();
+        v.sort_by(|a, b| (a.phase, a.target.as_str()).cmp(&(b.phase, b.target.as_str())));
+        v
+    }
+
     /// Comments labeled NSFW (including dual-labeled).
     pub fn nsfw_comments(&self) -> impl Iterator<Item = &CrawledComment> {
         self.comments
@@ -292,6 +404,38 @@ mod tests {
         assert_eq!(s.retries.load(Ordering::Relaxed), 1);
         assert_eq!(s.failures.load(Ordering::Relaxed), 1);
         assert_eq!(s.rate_limit_sleeps.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn phase_stats_and_dead_letters() {
+        let store = CrawlStore::default();
+        let p = store.stats.phase(Phase::Probe);
+        p.add_attempted();
+        p.add_succeeded();
+        p.add_attempted();
+        p.add_retried();
+        p.add_dead_lettered();
+        let snap = p.snapshot();
+        assert_eq!(snap.attempted, 2);
+        assert_eq!(snap.attempted, snap.succeeded + snap.dead_lettered);
+        assert_eq!(snap.retried, 1);
+        // Other phases untouched.
+        assert_eq!(store.stats.phase(Phase::Reddit).snapshot(), PhaseSnapshot::default());
+
+        store.push_dead_letter(DeadLetter {
+            phase: Phase::Probe,
+            target: "/user/b".into(),
+            cause: "request failed".into(),
+        });
+        store.push_dead_letter(DeadLetter {
+            phase: Phase::GabEnum,
+            target: "/api/v1/accounts/9".into(),
+            cause: "http status 503".into(),
+        });
+        let letters = store.dead_letters();
+        assert_eq!(letters.len(), 2);
+        assert_eq!(letters[0].phase, Phase::GabEnum, "sorted by phase order");
+        assert_eq!(letters[1].target, "/user/b");
     }
 
     #[test]

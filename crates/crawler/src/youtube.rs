@@ -1,28 +1,33 @@
 //! Phase 5 — YouTube content crawl (§3.3).
 
+use crate::resilience::{Phase, PhaseRun};
 use crate::store::{CrawlStore, CrawledYoutube};
 use crate::Crawler;
 use platform::youtube::is_youtube_url;
 
 /// Fetch the rendered state of every YouTube URL found in the crawl.
 pub fn crawl_youtube(crawler: &Crawler, store: &mut CrawlStore) {
-    let targets: Vec<String> = store
+    let mut targets: Vec<String> = store
         .urls
         .values()
         .map(|u| u.url.clone())
         .filter(|u| is_youtube_url(u))
         .collect();
+    // Sorted work list so the request order (and thus retry/dead-letter
+    // accounting) is reproducible run to run.
+    targets.sort();
+    let run = PhaseRun::new(crawler, Phase::Youtube);
     let results = crate::parallel::parallel_fetch(
         crawler.endpoints.youtube,
         &targets,
         crawler.config.workers,
-        |_| {},
+        &store.stats,
+        |c| {
+            c.timeout(crawler.config.timeout);
+        },
         |client, url| {
-            store.stats.add_requests(1);
             let target = format!("/render?url={}", httpnet::http::percent_encode(url));
-            let resp = client
-                .get_resilient(&target, crawler.config.retries, crawler.config.backoff)
-                .ok()?;
+            let resp = run.fetch(client, store, &target)?;
             if !resp.status.is_success() {
                 // Never-hosted URL: record as unavailable/unknown.
                 return Some(CrawledYoutube {

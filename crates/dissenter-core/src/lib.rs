@@ -44,6 +44,10 @@ pub struct StudyConfig {
     pub svm_corpus: usize,
     /// Skip the SVM experiment (it is the most CPU-intensive stage).
     pub skip_svm: bool,
+    /// Fault injection applied to every simulated service — run the whole
+    /// study through an adverse network to exercise the crawler's
+    /// resilience layer. Defaults to no faults.
+    pub faults: httpnet::FaultConfig,
 }
 
 impl StudyConfig {
@@ -55,6 +59,7 @@ impl StudyConfig {
             workers: 8,
             svm_corpus: 2_000,
             skip_svm: false,
+            faults: httpnet::FaultConfig::none(),
         }
     }
 
@@ -81,7 +86,9 @@ pub struct Study {
 pub fn run_study(cfg: &StudyConfig) -> Study {
     let (world, _truth) = synth::generate(&cfg.world);
     let world = Arc::new(world);
-    let services = SimServices::start(world.clone(), crawler::default_server_config())
+    let server_config =
+        httpnet::ServerConfig { faults: cfg.faults, ..crawler::default_server_config() };
+    let services = SimServices::start(world.clone(), server_config)
         .expect("failed to start simulated services");
     let mut crawler = Crawler::new(Endpoints {
         dissenter: services.dissenter.addr(),
@@ -119,5 +126,26 @@ mod tests {
         assert_eq!(study.report.figure7.len(), 4);
         assert!(!study.report.figure8.severe_by_bias.is_empty());
         assert!(study.report.social.users > 0);
+    }
+
+    #[test]
+    fn study_survives_an_adverse_network() {
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.002);
+        cfg.skip_svm = true;
+        cfg.crawl.retries = 8;
+        cfg.crawl.backoff = std::time::Duration::from_millis(1);
+        cfg.faults = httpnet::FaultConfig {
+            drop_prob: 0.05,
+            error_prob: 0.05,
+            seed: 3,
+            ..httpnet::FaultConfig::none()
+        };
+        let study = run_study(&cfg);
+        assert!(study.report.overview.comments > 100);
+        assert!(
+            study.store.dead_letters().is_empty(),
+            "8 retries must ride out a 10% fault rate"
+        );
     }
 }

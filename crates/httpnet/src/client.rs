@@ -5,11 +5,12 @@
 //! the paper's crawl needed (timeout monitoring + re-requests, §4.3.1;
 //! rate-limit sleeps, §3.4).
 
-use crate::http::{read_response, write_request, Request, Response, WireError};
+use crate::http::{read_response, write_request, Request, Response, Status, WireError};
+use crate::retry::{classify_status, RetryPolicy, StatusClass};
 use std::fmt;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -18,6 +19,22 @@ pub enum ClientError {
     Connect(std::io::Error),
     /// Failed mid-request/response (includes timeouts and drops).
     Wire(WireError),
+    /// The server kept answering with a retryable error status until the
+    /// retry budget ran out. The final response is preserved — callers can
+    /// inspect the status (and any `Retry-After`) instead of a stand-in
+    /// "server error" string.
+    Http(Response),
+}
+
+impl ClientError {
+    /// The status of the final response, when the failure was an HTTP
+    /// error status rather than a transport fault.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            ClientError::Http(r) => Some(r.status),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -25,6 +42,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Connect(e) => write!(f, "connect failed: {e}"),
             ClientError::Wire(e) => write!(f, "request failed: {e}"),
+            ClientError::Http(r) => write!(f, "retries exhausted on status {}", r.status),
         }
     }
 }
@@ -117,29 +135,65 @@ impl Client {
     }
 
     /// Resilient GET over the persistent connection: retries on transport
-    /// errors *and* on 5xx responses (a fault-injected server error is as
-    /// transient as a dropped connection). The §4.3.1 re-request loop.
+    /// errors *and* on retryable statuses (5xx, 429 — a fault-injected
+    /// server error is as transient as a dropped connection). The §4.3.1
+    /// re-request loop, scheduled by `policy`: exponential backoff with
+    /// seeded jitter, `Retry-After` honoring, and a total-elapsed cap.
+    ///
+    /// On exhaustion the *last failure is preserved*: a transport fault
+    /// comes back as [`ClientError::Wire`]/[`ClientError::Connect`], and a
+    /// retryable status as [`ClientError::Http`] carrying the final
+    /// response.
+    pub fn get_with_policy(
+        &mut self,
+        target: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        let mut rng = policy.jitter_rng();
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..=policy.max_retries {
+            let delay = match self.get_keep_alive(target) {
+                Ok(r) => match classify_status(r.status) {
+                    StatusClass::Deliver => return Ok(r),
+                    StatusClass::Retryable | StatusClass::Throttled => {
+                        let d = policy.delay_for_response(&r, attempt, &mut rng);
+                        last_err = Some(ClientError::Http(r));
+                        d
+                    }
+                },
+                Err(e) => {
+                    last_err = Some(e);
+                    policy.backoff(attempt, &mut rng)
+                }
+            };
+            if attempt == policy.max_retries {
+                break;
+            }
+            if started.elapsed() + delay > policy.max_elapsed {
+                break; // budget spent: report the last failure
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// [`Self::get_with_policy`] with the legacy `(retries, backoff)`
+    /// shape: `backoff` seeds the exponential schedule.
     pub fn get_resilient(
         &mut self,
         target: &str,
         retries: usize,
         backoff: Duration,
     ) -> Result<Response, ClientError> {
-        let mut last_err: Option<ClientError> = None;
-        for attempt in 0..=retries {
-            match self.get_keep_alive(target) {
-                Ok(r) if r.status.0 < 500 => return Ok(r),
-                Ok(r) => {
-                    last_err = Some(ClientError::Wire(WireError::Malformed("server error")));
-                    let _ = r;
-                }
-                Err(e) => last_err = Some(e),
-            }
-            if attempt < retries && !backoff.is_zero() {
-                std::thread::sleep(backoff);
-            }
-        }
-        Err(last_err.expect("at least one attempt"))
+        let policy = RetryPolicy {
+            max_retries: retries,
+            base_backoff: backoff,
+            ..RetryPolicy::default()
+        };
+        self.get_with_policy(target, &policy)
     }
 
     /// GET with `retries` extra attempts and fixed `backoff` between them —
@@ -258,6 +312,117 @@ mod tests {
             .get_with_retries("/x", 20, Duration::ZERO)
             .expect("retries should eventually land");
         assert_eq!(resp.status, Status::OK);
+    }
+
+    #[test]
+    fn exhausted_retries_preserve_the_5xx_response() {
+        // Regression: the old loop discarded the 5xx response and
+        // reported a fabricated Malformed("server error") wire error.
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("x".into()));
+        let cfg = ServerConfig {
+            faults: crate::fault::FaultConfig { error_prob: 1.0, seed: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let server = Server::start(handler, cfg).unwrap();
+        let mut client = Client::new(server.addr());
+        match client.get_resilient("/x", 2, Duration::ZERO) {
+            Err(ClientError::Http(r)) => assert_eq!(r.status, Status::INTERNAL),
+            other => panic!("expected Http(500), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_retries_ride_out_a_flaky_5xx_server() {
+        // 500 on the first two requests, then healthy.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &Request| {
+            if c2.fetch_add(1, Ordering::SeqCst) < 2 {
+                Response::status(Status::INTERNAL)
+            } else {
+                Response::html("recovered".into())
+            }
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+        let policy = crate::retry::RetryPolicy::immediate(3);
+        let resp = client.get_with_policy("/x", &policy).expect("third attempt lands");
+        assert_eq!(resp.text(), "recovered");
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn throttled_responses_honor_retry_after() {
+        // One 429 advertising a 60 ms pause, then healthy: the policy must
+        // wait at least that long before the retry that succeeds.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &Request| {
+            if c2.fetch_add(1, Ordering::SeqCst) == 0 {
+                let mut r = Response::status(Status::TOO_MANY);
+                r.headers.add("Retry-After", "0.06");
+                r
+            } else {
+                Response::html("ok".into())
+            }
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+        let policy = crate::retry::RetryPolicy {
+            base_backoff: Duration::ZERO,
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let started = std::time::Instant::now();
+        let resp = client.get_with_policy("/x", &policy).expect("retry lands");
+        assert_eq!(resp.text(), "ok");
+        assert!(
+            started.elapsed() >= Duration::from_millis(55),
+            "must have slept the advertised Retry-After, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn max_elapsed_cap_stops_retrying() {
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_: &Request| Response::status(Status::INTERNAL));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+        let policy = crate::retry::RetryPolicy {
+            max_retries: 1_000,
+            base_backoff: Duration::from_millis(40),
+            multiplier: 1.0,
+            jitter: 0.0,
+            max_elapsed: Duration::from_millis(120),
+            ..Default::default()
+        };
+        let started = std::time::Instant::now();
+        let err = client.get_with_policy("/x", &policy).unwrap_err();
+        assert_eq!(err.status(), Some(Status::INTERNAL));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the elapsed cap must cut 1000 retries short"
+        );
+    }
+
+    #[test]
+    fn four_oh_four_is_delivered_not_retried() {
+        // The §3.1 probe *reads* 404s; retrying them would be both wrong
+        // and slow.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &Request| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Response::not_found()
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+        let resp = client
+            .get_with_policy("/missing", &crate::retry::RetryPolicy::immediate(5))
+            .expect("404 is a delivered response");
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "exactly one attempt");
     }
 
     #[test]

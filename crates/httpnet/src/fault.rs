@@ -4,13 +4,21 @@
 //! (`--drop-chance` etc.): adverse network conditions are a first-class
 //! test input. The crawler's §4.3.1 validation ("we monitor request
 //! timeouts and re-request missed pages") is tested against these faults.
+//!
+//! The matrix covers the failure shapes a long-running crawl actually
+//! meets: silent connection drops, 500s, truncated bodies, mid-line
+//! resets, slow-loris stalls that outlive the client read timeout,
+//! garbage status lines, and 429/503 throttling responses that advertise
+//! a `Retry-After`. Every decision is drawn from one seeded generator, so
+//! a `(seed, FaultConfig)` pair replays the identical fault sequence.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
-/// Fault-injection configuration. All probabilities in `[0, 1]`.
+/// Fault-injection configuration. All probabilities in `[0, 1]` and
+/// summing to at most 1; the leftover mass proceeds normally.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Probability of closing the connection without responding (the
@@ -18,6 +26,28 @@ pub struct FaultConfig {
     pub drop_prob: f64,
     /// Probability of replying `500 Internal Server Error`.
     pub error_prob: f64,
+    /// Probability of sending correct headers but only part of the
+    /// promised body, then closing.
+    pub truncate_prob: f64,
+    /// Probability of closing mid-status-line (a few raw bytes, then
+    /// reset).
+    pub reset_prob: f64,
+    /// Probability of stalling for [`stall`](Self::stall) before the
+    /// (otherwise normal) response — a slow-loris server.
+    pub stall_prob: f64,
+    /// Probability of replying with a garbage, non-HTTP status line.
+    pub malformed_prob: f64,
+    /// Probability of replying `429 Too Many Requests` with a
+    /// `Retry-After` header.
+    pub rate_limit_prob: f64,
+    /// Probability of replying `503 Service Unavailable` with a
+    /// `Retry-After` header.
+    pub unavailable_prob: f64,
+    /// How long a stalled response sleeps before completing.
+    pub stall: Duration,
+    /// `Retry-After` value advertised by 429/503 responses. Written in
+    /// seconds; fractional values are allowed so tests stay fast.
+    pub retry_after: Duration,
     /// Fixed extra latency added to every response.
     pub base_latency: Duration,
     /// Additional uniform random latency in `[0, jitter]`.
@@ -31,6 +61,14 @@ impl Default for FaultConfig {
         Self {
             drop_prob: 0.0,
             error_prob: 0.0,
+            truncate_prob: 0.0,
+            reset_prob: 0.0,
+            stall_prob: 0.0,
+            malformed_prob: 0.0,
+            rate_limit_prob: 0.0,
+            unavailable_prob: 0.0,
+            stall: Duration::from_millis(200),
+            retry_after: Duration::from_millis(50),
             base_latency: Duration::ZERO,
             jitter: Duration::ZERO,
             seed: 0,
@@ -44,10 +82,54 @@ impl FaultConfig {
         Self::default()
     }
 
+    /// The combined "storm": every fault class at once, at rates a
+    /// retrying crawler should still ride out.
+    pub fn storm(seed: u64) -> Self {
+        Self {
+            drop_prob: 0.06,
+            error_prob: 0.06,
+            truncate_prob: 0.04,
+            reset_prob: 0.04,
+            stall_prob: 0.03,
+            malformed_prob: 0.04,
+            rate_limit_prob: 0.05,
+            unavailable_prob: 0.04,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sum of all fault probabilities (the chance a request does *not*
+    /// proceed cleanly).
+    pub fn total_fault_prob(&self) -> f64 {
+        self.drop_prob
+            + self.error_prob
+            + self.truncate_prob
+            + self.reset_prob
+            + self.stall_prob
+            + self.malformed_prob
+            + self.rate_limit_prob
+            + self.unavailable_prob
+    }
+
     /// Validate ranges.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.drop_prob), "drop_prob out of range");
-        assert!((0.0..=1.0).contains(&self.error_prob), "error_prob out of range");
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("error_prob", self.error_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("reset_prob", self.reset_prob),
+            ("stall_prob", self.stall_prob),
+            ("malformed_prob", self.malformed_prob),
+            ("rate_limit_prob", self.rate_limit_prob),
+            ("unavailable_prob", self.unavailable_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of range");
+        }
+        assert!(
+            self.total_fault_prob() <= 1.0 + 1e-9,
+            "fault probabilities sum above 1"
+        );
     }
 }
 
@@ -60,6 +142,19 @@ pub enum FaultAction {
     Drop(Duration),
     /// Respond 500 (after `delay`).
     Error(Duration),
+    /// Send correct headers, part of the body, then close (after `delay`).
+    Truncate(Duration),
+    /// Close mid-status-line (after `delay`).
+    Reset(Duration),
+    /// Respond normally, but only after the contained (stall-inflated)
+    /// delay — long enough to outlive an impatient client's read timeout.
+    Stall(Duration),
+    /// Send a garbage, non-HTTP status line (after `delay`).
+    Malformed(Duration),
+    /// Respond `429 Too Many Requests` + `Retry-After` (after `delay`).
+    RateLimit(Duration),
+    /// Respond `503 Service Unavailable` + `Retry-After` (after `delay`).
+    Unavailable(Duration),
 }
 
 /// Stateful fault injector (thread-safe).
@@ -76,7 +171,14 @@ impl FaultInjector {
         Self { config, rng: Mutex::new(StdRng::seed_from_u64(config.seed)) }
     }
 
-    /// Decide the fate of the next request.
+    /// The configuration decisions are drawn from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decide the fate of the next request. Exactly one jitter draw (when
+    /// jitter is configured) and one fault roll are consumed per call, so
+    /// the decision sequence is a pure function of `(seed, config)`.
     pub fn decide(&self) -> FaultAction {
         let mut rng = self.rng.lock();
         let jitter_nanos = if self.config.jitter.is_zero() {
@@ -86,10 +188,29 @@ impl FaultInjector {
         };
         let delay = self.config.base_latency + Duration::from_nanos(jitter_nanos);
         let roll: f64 = rng.gen();
-        if roll < self.config.drop_prob {
+        let c = &self.config;
+        // Partition [0, 1): each fault class owns a contiguous band.
+        let mut edge = 0.0;
+        let mut band = |p: f64| {
+            edge += p;
+            roll < edge
+        };
+        if band(c.drop_prob) {
             FaultAction::Drop(delay)
-        } else if roll < self.config.drop_prob + self.config.error_prob {
+        } else if band(c.error_prob) {
             FaultAction::Error(delay)
+        } else if band(c.truncate_prob) {
+            FaultAction::Truncate(delay)
+        } else if band(c.reset_prob) {
+            FaultAction::Reset(delay)
+        } else if band(c.stall_prob) {
+            FaultAction::Stall(delay + c.stall)
+        } else if band(c.malformed_prob) {
+            FaultAction::Malformed(delay)
+        } else if band(c.rate_limit_prob) {
+            FaultAction::RateLimit(delay)
+        } else if band(c.unavailable_prob) {
+            FaultAction::Unavailable(delay)
         } else {
             FaultAction::Proceed(delay)
         }
@@ -130,6 +251,52 @@ mod tests {
     }
 
     #[test]
+    fn every_band_is_reachable() {
+        let f = FaultInjector::new(FaultConfig {
+            drop_prob: 0.1,
+            error_prob: 0.1,
+            truncate_prob: 0.1,
+            reset_prob: 0.1,
+            stall_prob: 0.1,
+            malformed_prob: 0.1,
+            rate_limit_prob: 0.1,
+            unavailable_prob: 0.1,
+            seed: 5,
+            ..Default::default()
+        });
+        let mut seen = [false; 9];
+        for _ in 0..2_000 {
+            let idx = match f.decide() {
+                FaultAction::Proceed(_) => 0,
+                FaultAction::Drop(_) => 1,
+                FaultAction::Error(_) => 2,
+                FaultAction::Truncate(_) => 3,
+                FaultAction::Reset(_) => 4,
+                FaultAction::Stall(_) => 5,
+                FaultAction::Malformed(_) => 6,
+                FaultAction::RateLimit(_) => 7,
+                FaultAction::Unavailable(_) => 8,
+            };
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 9]);
+    }
+
+    #[test]
+    fn stall_delay_includes_stall_duration() {
+        let f = FaultInjector::new(FaultConfig {
+            stall_prob: 1.0,
+            stall: Duration::from_millis(150),
+            base_latency: Duration::from_millis(5),
+            ..Default::default()
+        });
+        match f.decide() {
+            FaultAction::Stall(d) => assert_eq!(d, Duration::from_millis(155)),
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn latency_within_bounds() {
         let f = FaultInjector::new(FaultConfig {
             base_latency: Duration::from_millis(5),
@@ -141,6 +308,7 @@ mod tests {
                 FaultAction::Proceed(d) | FaultAction::Drop(d) | FaultAction::Error(d) => {
                     assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(15));
                 }
+                other => panic!("unexpected action {other:?}"),
             }
         }
     }
@@ -155,8 +323,47 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_across_full_matrix() {
+        // Same (seed, config) must replay the identical decision sequence
+        // even with every band and jitter active.
+        let cfg = FaultConfig {
+            jitter: Duration::from_micros(500),
+            ..FaultConfig::storm(97)
+        };
+        let a = FaultInjector::new(cfg);
+        let b = FaultInjector::new(cfg);
+        let seq_a: Vec<FaultAction> = (0..5_000).map(|_| a.decide()).collect();
+        let seq_b: Vec<FaultAction> = (0..5_000).map(|_| b.decide()).collect();
+        assert_eq!(seq_a, seq_b);
+        // And a different seed must diverge somewhere.
+        let c = FaultInjector::new(FaultConfig {
+            jitter: Duration::from_micros(500),
+            ..FaultConfig::storm(98)
+        });
+        let seq_c: Vec<FaultAction> = (0..5_000).map(|_| c.decide()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn storm_sums_below_one() {
+        let s = FaultConfig::storm(1);
+        s.validate();
+        assert!(s.total_fault_prob() < 0.5, "storm must leave a success majority");
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_probability_panics() {
         FaultInjector::new(FaultConfig { drop_prob: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "sum above 1")]
+    fn overfull_partition_panics() {
+        FaultInjector::new(FaultConfig {
+            drop_prob: 0.6,
+            error_prob: 0.6,
+            ..Default::default()
+        });
     }
 }

@@ -16,9 +16,13 @@
 //!   no peer can exhaust memory;
 //! * keep-alive with per-connection request caps;
 //! * deterministic, seedable **fault injection** ([`fault`]): added
-//!   latency, dropped connections, and injected 5xx responses, in the
-//!   spirit of smoltcp's `--drop-chance` example knobs — used by tests to
-//!   prove the crawler's retry logic works;
+//!   latency, dropped connections, injected 5xx responses, truncated
+//!   bodies, mid-line resets, slow-loris stalls, malformed status lines,
+//!   and 429/503 throttling with `Retry-After` — in the spirit of
+//!   smoltcp's `--drop-chance` example knobs — used by tests to prove the
+//!   crawler's retry logic works;
+//! * a seeded exponential-backoff [`retry`] policy with status-aware
+//!   classification, `Retry-After` honoring, and a total-elapsed cap;
 //! * a blocking [`client`] with timeouts, redirects disabled (the crawler
 //!   wants raw behavior), and response-size accounting.
 
@@ -27,12 +31,14 @@ pub mod fault;
 pub mod http;
 pub mod log;
 pub mod pool;
+pub mod retry;
 pub mod router;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use fault::FaultConfig;
+pub use fault::{FaultAction, FaultConfig, FaultInjector};
 pub use http::{Headers, Request, Response, Status};
 pub use log::{AccessEntry, AccessLog};
+pub use retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
 pub use router::{Params, Router};
 pub use server::{Handler, Server, ServerConfig};

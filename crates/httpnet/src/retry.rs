@@ -1,0 +1,251 @@
+//! Retry policy for resilient fetches: exponential backoff with seeded
+//! jitter, a total-elapsed cap, status-aware classification of what is
+//! worth retrying, and `Retry-After` honoring.
+//!
+//! This replaces the fixed sleep-and-loop the crawler's §4.3.1
+//! re-request path originally used. Jitter is drawn from a per-call
+//! seeded generator, so the sleep schedule — like the fault injector on
+//! the other side of the wire — is a pure function of configuration.
+
+use crate::http::{Response, Status};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// What a response status means for the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusClass {
+    /// Delivered: hand the response to the caller (2xx, 3xx, and 4xx
+    /// other than 429 — a 404 is data to this crawler, not a failure).
+    Deliver,
+    /// Transient server-side trouble (5xx): retry with backoff.
+    Retryable,
+    /// Throttled (429): retry after the advertised or computed delay.
+    Throttled,
+}
+
+/// Classify a status for the retry loop.
+pub fn classify_status(status: Status) -> StatusClass {
+    match status.0 {
+        429 => StatusClass::Throttled,
+        s if s >= 500 => StatusClass::Retryable,
+        _ => StatusClass::Deliver,
+    }
+}
+
+/// Parse a `Retry-After` header value. Delta-seconds only (fractional
+/// values accepted — the simulated servers use them to keep tests fast);
+/// HTTP-dates are not produced by any peer here and yield `None`.
+pub fn parse_retry_after(resp: &Response) -> Option<Duration> {
+    let secs: f64 = resp.headers.get("retry-after")?.trim().parse().ok()?;
+    if secs.is_finite() && secs >= 0.0 {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+/// Exponential-backoff retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (total attempts = `max_retries + 1`).
+    pub max_retries: usize,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Cap on any single backoff sleep (also bounds honored
+    /// `Retry-After` values).
+    pub max_backoff: Duration,
+    /// Total time budget: once exceeded, no further retries are made.
+    pub max_elapsed: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a factor
+    /// drawn uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(20),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            max_elapsed: Duration::from_secs(30),
+            jitter: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with no waiting at all — useful in tests that only care
+    /// about attempt counts.
+    pub fn immediate(max_retries: usize) -> Self {
+        Self {
+            max_retries,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Start the jitter stream for one logical fetch.
+    pub fn jitter_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// The backoff before retry number `retry` (0-based), jittered and
+    /// capped. `rng` must be the stream from [`Self::jitter_rng`],
+    /// advanced once per sleep, so schedules replay exactly per seed.
+    pub fn backoff(&self, retry: usize, rng: &mut StdRng) -> Duration {
+        let exp = self.base_backoff.as_secs_f64() * self.multiplier.powi(retry as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        let factor = if self.jitter > 0.0 {
+            1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+
+    /// The full sleep schedule for a fetch that exhausts every retry —
+    /// handy for tests and capacity planning.
+    pub fn schedule(&self) -> Vec<Duration> {
+        let mut rng = self.jitter_rng();
+        (0..self.max_retries).map(|i| self.backoff(i, &mut rng)).collect()
+    }
+
+    /// The delay before a retry prompted by `resp`: an advertised
+    /// `Retry-After` (capped by `max_backoff`) wins over computed backoff.
+    pub fn delay_for_response(
+        &self,
+        resp: &Response,
+        retry: usize,
+        rng: &mut StdRng,
+    ) -> Duration {
+        match parse_retry_after(resp) {
+            Some(ra) => ra.min(self.max_backoff),
+            None => self.backoff(retry, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Headers;
+
+    fn resp_with_retry_after(value: &str) -> Response {
+        let mut r = Response::status(Status::TOO_MANY);
+        r.headers.add("Retry-After", value);
+        r
+    }
+
+    #[test]
+    fn classification_matches_crawl_semantics() {
+        assert_eq!(classify_status(Status::OK), StatusClass::Deliver);
+        assert_eq!(classify_status(Status(302)), StatusClass::Deliver);
+        // 404 is a *data point* for the §3.1 probe, never retried.
+        assert_eq!(classify_status(Status::NOT_FOUND), StatusClass::Deliver);
+        assert_eq!(classify_status(Status(403)), StatusClass::Deliver);
+        assert_eq!(classify_status(Status::TOO_MANY), StatusClass::Throttled);
+        assert_eq!(classify_status(Status::INTERNAL), StatusClass::Retryable);
+        assert_eq!(classify_status(Status(503)), StatusClass::Retryable);
+        assert_eq!(classify_status(Status(599)), StatusClass::Retryable);
+    }
+
+    #[test]
+    fn unjittered_schedule_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 6,
+            base_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let ms: Vec<u128> = p.schedule().iter().map(|d| d.as_millis()).collect();
+        assert_eq!(ms, vec![10, 20, 40, 80, 100, 100]);
+    }
+
+    #[test]
+    fn jitter_stays_within_fraction() {
+        let p = RetryPolicy {
+            max_retries: 200,
+            base_backoff: Duration::from_millis(100),
+            multiplier: 1.0,
+            max_backoff: Duration::from_secs(10),
+            jitter: 0.25,
+            seed: 11,
+            ..Default::default()
+        };
+        let sched = p.schedule();
+        let (lo, hi) = (Duration::from_millis(75), Duration::from_millis(125));
+        assert!(sched.iter().all(|d| (lo..=hi).contains(d)));
+        // Jitter actually varies the sleeps.
+        assert!(sched.iter().any(|d| *d != sched[0]));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy { jitter: 0.5, seed: 7, max_retries: 50, ..Default::default() };
+        assert_eq!(p.schedule(), p.schedule());
+        let q = RetryPolicy { seed: 8, ..p };
+        assert_ne!(p.schedule(), q.schedule());
+    }
+
+    #[test]
+    fn retry_after_parses_integer_and_fractional_seconds() {
+        assert_eq!(
+            parse_retry_after(&resp_with_retry_after("2")),
+            Some(Duration::from_secs(2))
+        );
+        assert_eq!(
+            parse_retry_after(&resp_with_retry_after("0.25")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            parse_retry_after(&resp_with_retry_after(" 1.5 ")),
+            Some(Duration::from_millis(1500))
+        );
+    }
+
+    #[test]
+    fn retry_after_rejects_garbage() {
+        for bad in ["soon", "-1", "inf", "NaN", ""] {
+            assert_eq!(parse_retry_after(&resp_with_retry_after(bad)), None, "{bad:?}");
+        }
+        let bare = Response { status: Status::TOO_MANY, headers: Headers::new(), body: Vec::new() };
+        assert_eq!(parse_retry_after(&bare), None);
+    }
+
+    #[test]
+    fn advertised_retry_after_beats_backoff_but_is_capped() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(400),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut rng = p.jitter_rng();
+        assert_eq!(
+            p.delay_for_response(&resp_with_retry_after("0.05"), 0, &mut rng),
+            Duration::from_millis(50)
+        );
+        // A hostile/huge Retry-After cannot stall the crawl beyond the cap.
+        assert_eq!(
+            p.delay_for_response(&resp_with_retry_after("3600"), 0, &mut rng),
+            Duration::from_millis(400)
+        );
+        // Without the header, fall back to computed backoff.
+        let plain = Response::status(Status::INTERNAL);
+        assert_eq!(
+            p.delay_for_response(&plain, 0, &mut rng),
+            Duration::from_millis(10)
+        );
+    }
+}

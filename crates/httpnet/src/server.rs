@@ -142,6 +142,15 @@ impl Drop for Server {
     }
 }
 
+/// A throttling response advertising when the client may retry.
+/// `Retry-After` is written in (possibly fractional) seconds; the
+/// simulation allows sub-second values so throttle tests stay fast.
+fn retry_after_response(status: Status, retry_after: Duration) -> Response {
+    let mut resp = Response::status(status);
+    resp.headers.add("Retry-After", &format!("{}", retry_after.as_secs_f64()));
+    resp
+}
+
 fn handle_connection(
     stream: TcpStream,
     handler: &dyn Handler,
@@ -176,11 +185,42 @@ fn handle_connection(
         let action = injector.decide();
         let started = std::time::Instant::now();
         let (delay, resp) = match action {
-            FaultAction::Proceed(d) => (d, handler.handle(&req)),
+            FaultAction::Proceed(d) | FaultAction::Stall(d) => (d, handler.handle(&req)),
             FaultAction::Error(d) => (d, Response::status(Status::INTERNAL)),
             FaultAction::Drop(d) => {
                 std::thread::sleep(d);
                 return; // close without responding
+            }
+            FaultAction::Reset(d) => {
+                // A few raw bytes of status line, then close mid-send.
+                std::thread::sleep(d);
+                let _ = write_half.write_all(b"HTTP/1.1 2");
+                let _ = write_half.flush();
+                return;
+            }
+            FaultAction::Malformed(d) => {
+                std::thread::sleep(d);
+                let _ = write_half.write_all(b"SMTP/0.9 GARBAGE NOISE\r\n\r\n");
+                let _ = write_half.flush();
+                return;
+            }
+            FaultAction::Truncate(d) => {
+                // Correct status line and headers (promising the full
+                // Content-Length), then only part of the body.
+                std::thread::sleep(d);
+                let resp = handler.handle(&req);
+                let mut buf = Vec::new();
+                let _ = resp.write_to(&mut buf);
+                let cut = buf.len().saturating_sub(resp.body.len() / 2 + 1).max(1);
+                let _ = write_half.write_all(&buf[..cut]);
+                let _ = write_half.flush();
+                return;
+            }
+            FaultAction::RateLimit(d) => {
+                (d, retry_after_response(Status::TOO_MANY, cfg.faults.retry_after))
+            }
+            FaultAction::Unavailable(d) => {
+                (d, retry_after_response(Status(503), cfg.faults.retry_after))
             }
         };
         if !delay.is_zero() {
@@ -300,6 +340,107 @@ mod tests {
         let client = Client::new(server.addr());
         let resp = client.get("/x").unwrap();
         assert_eq!(resp.status, Status::INTERNAL);
+    }
+
+    #[test]
+    fn fault_injection_truncates_bodies() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { truncate_prob: 1.0, seed: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        match client.get("/x") {
+            Err(crate::client::ClientError::Wire(WireError::Malformed(m))) => {
+                assert!(m.contains("truncated"), "{m}");
+            }
+            other => panic!("expected truncated-body error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_injection_resets_mid_line() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { reset_prob: 1.0, seed: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        assert!(client.get("/x").is_err(), "mid-line reset must error");
+    }
+
+    #[test]
+    fn fault_injection_malformed_status_line() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { malformed_prob: 1.0, seed: 6, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        match client.get("/x") {
+            Err(crate::client::ClientError::Wire(WireError::Malformed(_))) => {}
+            other => panic!("expected malformed-wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_injection_stall_outlives_client_timeout() {
+        let cfg = ServerConfig {
+            faults: FaultConfig {
+                stall_prob: 1.0,
+                stall: Duration::from_millis(300),
+                seed: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let mut client = Client::new(server.addr());
+        client.timeout(Duration::from_millis(50));
+        match client.get("/x") {
+            Err(crate::client::ClientError::Wire(WireError::Io(e))) => {
+                assert!(
+                    matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ),
+                    "{e:?}"
+                );
+            }
+            other => panic!("expected read timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_injection_rate_limit_carries_retry_after() {
+        let cfg = ServerConfig {
+            faults: FaultConfig {
+                rate_limit_prob: 1.0,
+                retry_after: Duration::from_millis(250),
+                seed: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        let resp = client.get("/x").unwrap();
+        assert_eq!(resp.status, Status::TOO_MANY);
+        let ra: f64 = resp.headers.get("retry-after").unwrap().parse().unwrap();
+        assert!((ra - 0.25).abs() < 1e-9, "{ra}");
+    }
+
+    #[test]
+    fn fault_injection_unavailable_is_503() {
+        let cfg = ServerConfig {
+            faults: FaultConfig { unavailable_prob: 1.0, seed: 9, ..Default::default() },
+            ..Default::default()
+        };
+        let server = echo_server(cfg);
+        let client = Client::new(server.addr());
+        let resp = client.get("/x").unwrap();
+        assert_eq!(resp.status.0, 503);
+        assert!(resp.headers.get("retry-after").is_some());
     }
 
     #[test]

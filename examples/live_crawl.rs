@@ -25,14 +25,17 @@ fn main() {
     let truth_urls = world.dissenter.url_count();
     let world = Arc::new(world);
 
-    // 3% dropped connections, 2% injected 500s, 0–2 ms jitter.
+    // 3% dropped connections, 2% injected 500s, 1% truncations and
+    // resets, 0–2 ms jitter.
     let server_cfg = ServerConfig {
         faults: FaultConfig {
             drop_prob: 0.03,
             error_prob: 0.02,
-            base_latency: Duration::ZERO,
+            truncate_prob: 0.01,
+            reset_prob: 0.01,
             jitter: Duration::from_millis(2),
             seed: 42,
+            ..FaultConfig::none()
         },
         ..Default::default()
     };
@@ -75,6 +78,24 @@ fn main() {
     );
     let (sampled, confirmed) = store.shadow_validation;
     println!("shadow validation: {confirmed}/{sampled} confirmed");
+    println!("\nper-phase coverage:");
+    for (phase, snap) in store.stats.phase_snapshots() {
+        println!(
+            "  {:9} attempted={} succeeded={} retried={} dead_lettered={}",
+            phase.name(),
+            snap.attempted,
+            snap.succeeded,
+            snap.retried,
+            snap.dead_lettered
+        );
+    }
+    let dead = store.dead_letters();
+    if !dead.is_empty() {
+        println!("dead letters ({}):", dead.len());
+        for d in dead.iter().take(10) {
+            println!("  [{}] {} — {}", d.phase.name(), d.target, d.cause);
+        }
+    }
 
     if store.comments.len() == truth_comments && store.urls.len() == truth_urls {
         println!("\nreconstruction is EXACT despite the injected faults.");

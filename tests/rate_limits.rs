@@ -57,17 +57,24 @@ fn rate_limit_headers_present_and_counting() {
 
 #[test]
 fn denied_requests_report_reset_time() {
-    let (server, _) = tight_gab_server();
+    // A small limit inside a wide window trips deterministically: the 41st
+    // request lands in the same 4-second window regardless of machine load
+    // (the 500/1s fixture needs sub-2ms request latency to ever deny).
+    let cfg = WorldConfig { scale: Scale::Custom(0.0005), ..WorldConfig::small() };
+    let (world, _) = dissenter_repro::synth::generate(&cfg);
+    let handler: Arc<dyn Handler> =
+        Arc::new(GabFront::with_rate_limit(Arc::new(world), 40, 4));
+    let server = Server::start(handler, ServerConfig::default()).expect("server");
     let client = Client::new(server.addr());
     let mut denied = None;
-    for _ in 0..600 {
+    for _ in 0..100 {
         let r = client.get("/api/v1/accounts/1").unwrap();
         if r.status.0 == 429 {
             denied = Some(r);
             break;
         }
     }
-    let denied = denied.expect("limit must trip within 600 requests");
+    let denied = denied.expect("limit must trip within 100 requests");
     let reset: u64 = denied.headers.get("x-ratelimit-reset").unwrap().parse().unwrap();
     let now = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses. Benchmarks compile and run under `cargo bench`,
+//! printing a single mean time per benchmark to stdout. Statistical
+//! machinery (outlier detection, HTML reports, comparisons) is out of
+//! scope — the goal is keeping the bench targets buildable and giving a
+//! rough per-iteration number in an offline container.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget for one benchmark.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+
+/// Units for reporting throughput alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (reported in decimal units).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` should amortize per timing pass.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup values; large batches.
+    SmallInput,
+    /// Large setup values; one setup per measured call.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
+}
+
+/// Collects and runs benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group; benchmarks report as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attach throughput units to subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this runner sizes samples by time
+    /// budget rather than count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.throughput, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench: {id:<48} (no iterations recorded)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" {:>12.0} elem/s", n as f64 / (ns * 1e-9)),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+            format!(" {:>12.1} MB/s", n as f64 / (ns * 1e-9) / 1e6)
+        }
+    });
+    println!(
+        "bench: {id:<48} {:>14} ns/iter{}",
+        format_ns(ns),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the iteration count to the sample
+    /// budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate with a single call, then fill the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Time `routine` over fresh values from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Bundle benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_plumbing_works() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(2));
+        g.sample_size(10);
+        let mut n = 0u32;
+        g.bench_function("inner", |b| {
+            n += 1;
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        });
+        g.finish();
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: `channel::bounded` MPMC channels with blocking send
+//! (backpressure) and clonable receivers.
+
+/// Multi-producer multi-consumer bounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// `send` blocks while the queue is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, blocking while the queue is at capacity.
+        /// Errors when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < st.cap {
+                    st.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.inner.not_full.wait(st).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue one message, blocking while the queue is empty.
+        /// Errors once the queue is drained and every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Dequeue without blocking; `None` when empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            let v = st.queue.pop_front();
+            if v.is_some() {
+                self.inner.not_full.notify_one();
+            }
+            v
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").senders += 1;
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").receivers += 1;
+            Receiver { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+
+    #[test]
+    fn round_trip_in_order_single_consumer() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!((0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn backpressure_blocks_then_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_drains_everything() {
+        let (tx, rx) = bounded(8);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut n = 0u32;
+                    while rx.recv().is_ok() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

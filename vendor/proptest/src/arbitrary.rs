@@ -1,0 +1,75 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric spread; full bit-pattern floats (NaN,
+        // infinities) are rarely what property bodies want by default.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = TestRng::from_seed(41);
+        let s = any::<bool>();
+        let trues = (0..200).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 50 && trues < 150);
+    }
+
+    #[test]
+    fn i64_spans_signs() {
+        let mut rng = TestRng::from_seed(42);
+        let s = any::<i64>();
+        let negs = (0..200).filter(|_| s.generate(&mut rng) < 0).count();
+        assert!(negs > 50 && negs < 150);
+    }
+}

@@ -1,0 +1,48 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing a `Vec` of values from `element`, with a length
+/// drawn from `size` (half-open, like the real crate's `Range` form).
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Build a [`VecStrategy`]; `size` must be non-empty.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for vec strategy");
+    VecStrategy { element, min: size.start, max_exclusive: size.end }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.len_in(self.min, self.max_exclusive - 1);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let mut rng = TestRng::from_seed(21);
+        let s = vec(0u32..10, 2..6);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            lens.insert(v.len());
+        }
+        assert_eq!(lens.len(), 4, "all lengths 2..=5 reachable");
+    }
+}

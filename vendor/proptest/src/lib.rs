@@ -1,0 +1,70 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The container building this repository has no crates.io access, so the
+//! real crate cannot be fetched. This crate keeps the same property tests
+//! compiling and running: the `proptest!` macro generates a `#[test]` that
+//! draws a configurable number of random cases per property from
+//! `Strategy` values (ranges, regex-like string patterns, combinators)
+//! and asserts the body on each. Shrinking is not implemented — a failing
+//! case panics with the drawn values unshrunk, which is enough signal for
+//! a deterministic suite.
+
+pub mod array;
+pub mod arbitrary;
+pub mod collection;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Convenience imports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Define property tests. Each function parameter `pat in strategy` is
+/// drawn fresh for every case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $p =
+                            $crate::strategy::Strategy::generate(&($s), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

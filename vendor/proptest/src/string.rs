@@ -1,0 +1,214 @@
+//! Regex-subset string strategies: a `&'static str` pattern is itself a
+//! `Strategy<Value = String>`, as in the real crate.
+//!
+//! Supported grammar (covers every pattern in this workspace):
+//!   atom     := `\PC` | `[` class `]` | escaped-char | literal-char
+//!   class    := (escaped-char | range | literal-char)*
+//!   range    := char `-` char
+//!   each atom may be followed by `{m,n}` or `{n}` (default: exactly one)
+//!
+//! `\PC` draws any printable (non-control, non-format) character, biased
+//! toward ASCII with a tail of Latin-1 and multibyte code points so that
+//! UTF-8 boundary handling gets exercised.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: any printable char.
+    Printable,
+    /// A set of concrete candidate chars (char class or single literal).
+    OneOf(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pat:?}"));
+                    i += 2;
+                    Atom::OneOf(vec![c])
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("dangling escape in class {pat:?}"))
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (the `-` must not be last-in-class).
+                    if chars.get(i + 1) == Some(&'-')
+                        && chars.get(i + 2).is_some_and(|&c2| c2 != ']')
+                    {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "inverted class range in {pat:?}");
+                        set.extend(c..=hi);
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pat:?}");
+                i += 1; // closing `]`
+                assert!(!set.is_empty(), "empty char class in {pat:?}");
+                Atom::OneOf(set)
+            }
+            c => {
+                i += 1;
+                Atom::OneOf(vec![c])
+            }
+        };
+        // Optional `{m,n}` / `{n}` quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in {pat:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Multibyte, non-control code points mixed into `\PC` draws.
+const WIDE_CHARS: &[char] = &[
+    'é', 'ü', 'ß', 'ñ', 'Ω', 'λ', 'ж', 'م', '中', '日', '☃', '€', '😀',
+];
+
+fn printable_char(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        // 75%: printable ASCII.
+        0..=14 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        // 15%: Latin-1 supplement, skipping U+00AD (soft hyphen, category Cf).
+        15..=17 => loop {
+            let c = char::from_u32(0xa1 + rng.below(0x5f) as u32).unwrap();
+            if c != '\u{ad}' {
+                break c;
+            }
+        },
+        // 10%: a wider multibyte tail.
+        _ => WIDE_CHARS[rng.below(WIDE_CHARS.len() as u64) as usize],
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Patterns are static and few; parsing per draw keeps the type
+        // stateless and is cheap next to the property bodies.
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.len_in(piece.min, piece.max);
+            for _ in 0..n {
+                let c = match &piece.atom {
+                    Atom::Printable => printable_char(rng),
+                    Atom::OneOf(set) => set[rng.below(set.len() as u64) as usize],
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_escapes_and_unicode() {
+        let mut rng = TestRng::from_seed(11);
+        let pat = "[a-zA-Z0-9 _\\-\\.éü]{0,24}";
+        for _ in 0..500 {
+            let s = pat.generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || " _-.éü".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_control_chars() {
+        let mut rng = TestRng::from_seed(12);
+        let mut saw_non_ascii = false;
+        for _ in 0..500 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            for c in s.chars() {
+                assert!(!c.is_control(), "control char {c:?}");
+            }
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "\\PC should exercise multibyte UTF-8");
+    }
+
+    #[test]
+    fn bounded_lengths_are_respected() {
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = TestRng::from_seed(14);
+        let s = "[01]{16}".generate(&mut rng);
+        assert_eq!(s.len(), 16);
+        assert!(s.bytes().all(|b| b == b'0' || b == b'1'));
+    }
+
+    #[test]
+    fn literal_atoms_pass_through() {
+        let mut rng = TestRng::from_seed(15);
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+}

@@ -4,8 +4,8 @@ use crate::content::{language_table, youtube_breakdown, YoutubeBreakdown};
 use crate::domains::{domain_comment_medians, domain_table, tld_table, ShareRow};
 use crate::social::{analyze_social, SocialAnalysis};
 use crate::toxicity::{
-    figure4, figure7_dataset, figure8, score_store, score_texts, CommentScores, Figure4,
-    Figure7Dataset, Figure8,
+    figure4, figure7_dataset, figure8, score_store_with_metrics, score_texts_with_metrics,
+    CommentScores, Figure4, Figure7Dataset, Figure8,
 };
 use crate::url::{census, UrlCensus};
 use crate::users::{
@@ -124,7 +124,18 @@ pub fn build_report(
     baselines: &[BaselineCorpus],
     workers: usize,
 ) -> StudyReport {
-    let scores = score_store(store, workers);
+    build_report_with_metrics(store, baselines, workers, None)
+}
+
+/// [`build_report`] exporting per-scorer throughput to `metrics` (see
+/// [`score_texts_with_metrics`]).
+pub fn build_report_with_metrics(
+    store: &CrawlStore,
+    baselines: &[BaselineCorpus],
+    workers: usize,
+    metrics: Option<&obs::Registry>,
+) -> StudyReport {
+    let scores = score_store_with_metrics(store, workers, metrics);
 
     let ghosts = ghost_users(store);
     let overview = Overview {
@@ -180,7 +191,10 @@ pub fn build_report(
         .flat_map(|m| m.comments.iter().map(String::as_str))
         .collect();
     let reddit_scored: Vec<classify::PerspectiveScores> =
-        score_texts(&reddit_texts, workers).iter().map(|s| s.perspective).collect();
+        score_texts_with_metrics(&reddit_texts, workers, metrics)
+            .iter()
+            .map(|s| s.perspective)
+            .collect();
     figure7.push(figure7_dataset("Reddit", &reddit_scored));
     let mut table3 = vec![BaselineRow {
         name: "Reddit".into(),
@@ -193,7 +207,10 @@ pub fn build_report(
     for corpus in baselines {
         let texts: Vec<&str> = corpus.comments.iter().map(String::as_str).collect();
         let scored: Vec<classify::PerspectiveScores> =
-            score_texts(&texts, workers).iter().map(|s| s.perspective).collect();
+            score_texts_with_metrics(&texts, workers, metrics)
+                .iter()
+                .map(|s| s.perspective)
+                .collect();
         figure7.push(figure7_dataset(&corpus.name, &scored));
         table3.push(BaselineRow {
             name: corpus.name.clone(),

@@ -24,9 +24,24 @@ pub struct CommentScores {
 
 /// Score a batch of texts in parallel (chunked threads).
 pub fn score_texts(texts: &[&str], workers: usize) -> Vec<CommentScores> {
+    score_texts_with_metrics(texts, workers, None)
+}
+
+/// [`score_texts`], exporting per-scorer throughput to `metrics`:
+/// `classify.<scorer>.comments` counters (text counts, deterministic),
+/// `classify.<scorer>.busy` histograms (per-thread scorer busy time),
+/// and `classify.<scorer>.comments_per_sec` gauges (per-core rate:
+/// comments over summed cross-thread busy time).
+pub fn score_texts_with_metrics(
+    texts: &[&str],
+    workers: usize,
+    metrics: Option<&obs::Registry>,
+) -> Vec<CommentScores> {
+    use std::time::{Duration, Instant};
     let workers = workers.max(1);
     let chunk = texts.len().div_ceil(workers).max(1);
-    let mut out: Vec<Vec<CommentScores>> = Vec::new();
+    // (scores, perspective busy, dictionary busy) per worker thread.
+    let mut out: Vec<(Vec<CommentScores>, Duration, Duration)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = texts
             .chunks(chunk)
@@ -34,13 +49,21 @@ pub fn score_texts(texts: &[&str], workers: usize) -> Vec<CommentScores> {
                 scope.spawn(move || {
                     let model = PerspectiveModel::standard();
                     let dict = HateDictionary::standard();
-                    chunk
+                    let mut persp_busy = Duration::ZERO;
+                    let mut dict_busy = Duration::ZERO;
+                    let scores = chunk
                         .iter()
-                        .map(|t| CommentScores {
-                            perspective: model.score(t),
-                            dictionary: dict.score(t),
+                        .map(|t| {
+                            let t0 = Instant::now();
+                            let perspective = model.score(t);
+                            let t1 = Instant::now();
+                            let dictionary = dict.score(t);
+                            persp_busy += t1 - t0;
+                            dict_busy += t1.elapsed();
+                            CommentScores { perspective, dictionary }
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    (scores, persp_busy, dict_busy)
                 })
             })
             .collect();
@@ -48,15 +71,48 @@ pub fn score_texts(texts: &[&str], workers: usize) -> Vec<CommentScores> {
             out.push(h.join().expect("scoring thread"));
         }
     });
-    out.into_iter().flatten().collect()
+    if let Some(registry) = metrics {
+        let n = texts.len() as u64;
+        let persp_total: Duration = out.iter().map(|(_, p, _)| *p).sum();
+        let dict_total: Duration = out.iter().map(|(_, _, d)| *d).sum();
+        for (scorer, busy) in [("perspective", persp_total), ("dictionary", dict_total)] {
+            registry.add(&format!("classify.{scorer}.comments"), n);
+            registry.observe(&format!("classify.{scorer}.busy"), busy);
+            if busy > Duration::ZERO {
+                // Cumulative per-core rate across every scoring pass so
+                // far in this registry's lifetime.
+                let comments = registry.counter(&format!("classify.{scorer}.comments")).get();
+                let busy_total = registry
+                    .histogram(&format!("classify.{scorer}.busy"))
+                    .snapshot()
+                    .sum_ns as f64
+                    / 1e9;
+                registry.set_gauge(
+                    &format!("classify.{scorer}.comments_per_sec"),
+                    comments as f64 / busy_total,
+                );
+            }
+        }
+    }
+    out.into_iter().flat_map(|(scores, _, _)| scores).collect()
 }
 
 /// All Dissenter comments scored, keyed by comment-id.
 pub fn score_store(store: &CrawlStore, workers: usize) -> HashMap<ObjectId, CommentScores> {
+    score_store_with_metrics(store, workers, None)
+}
+
+/// [`score_store`] with per-scorer metrics (see
+/// [`score_texts_with_metrics`]).
+pub fn score_store_with_metrics(
+    store: &CrawlStore,
+    workers: usize,
+    metrics: Option<&obs::Registry>,
+) -> HashMap<ObjectId, CommentScores> {
     let items: Vec<(&ObjectId, &str)> =
         store.comments.iter().map(|(id, c)| (id, c.text.as_str())).collect();
     let texts: Vec<&str> = items.iter().map(|(_, t)| *t).collect();
-    let scores = score_texts(&texts, workers);
+    let scores = score_texts_with_metrics(&texts, workers, metrics);
     items.iter().map(|(id, _)| **id).zip(scores).collect()
 }
 

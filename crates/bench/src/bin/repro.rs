@@ -127,6 +127,7 @@ fn render_one(study: &Study, id: &str) -> String {
         "fig9" => render::fig9_core(study),
         "svm" => render::svm(study),
         "covert" => render::covert(study),
+        "runstats" => render::runstats(study),
         other => format!("(no renderer for {other})"),
     }
 }

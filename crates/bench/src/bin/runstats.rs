@@ -1,0 +1,108 @@
+//! Machine-readable run report: run one fixed-seed small-scale study and
+//! emit its [`RunStats`](dissenter_core::RunStats) as JSON (the
+//! `BENCH_PR2.json` artifact produced by `scripts/bench.sh`).
+//!
+//! ```text
+//! runstats [--out FILE] [--scale <f64>] [--seed N] [--skip-svm]
+//! ```
+//!
+//! The report splits along the obs determinism contract: everything under
+//! `"counters"` (and the phase/scorer comment counts) replays identically
+//! for the same seed; stage wall-clocks, rates, and latency quantiles are
+//! timing-derived and vary run to run.
+
+use dissenter_core::{run_study, StudyConfig};
+use std::fmt::Write as _;
+
+fn usage() -> ! {
+    eprintln!("usage: runstats [--out FILE] [--scale <f64>] [--seed N] [--skip-svm]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR2.json");
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = synth::config::Scale::Custom(0.004);
+    cfg.svm_corpus = 600;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.scale =
+                    synth::config::Scale::Custom(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--skip-svm" => cfg.skip_svm = true,
+            _ => usage(),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let study = run_study(&cfg);
+    let wall = started.elapsed();
+    let rs = &study.runstats;
+
+    let mut s = String::from("{");
+    let _ = write!(s, "\"bench\":\"run-stats\"");
+    let _ = write!(s, ",\"seed\":{}", cfg.world.seed);
+    let _ = write!(s, ",\"scale\":{}", study.scale_factor);
+    let _ = write!(s, ",\"wall_ms\":{:.1}", wall.as_secs_f64() * 1e3);
+    let _ = write!(s, ",\"comments\":{}", study.report.overview.comments);
+
+    s.push_str(",\"stages_us\":{");
+    for (i, st) in rs.stages.iter().enumerate() {
+        let _ = write!(s, "{}\"{}\":{}", if i > 0 { "," } else { "" }, st.name, st.wall_us);
+    }
+    s.push('}');
+
+    s.push_str(",\"phases\":{");
+    for (i, p) in rs.phases.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{}\":{{\"attempted\":{},\"succeeded\":{},\"retried\":{},\"dead_lettered\":{}}}",
+            if i > 0 { "," } else { "" },
+            p.name,
+            p.attempted,
+            p.succeeded,
+            p.retried,
+            p.dead_lettered
+        );
+    }
+    s.push('}');
+
+    s.push_str(",\"scorers\":{");
+    for (i, sc) in rs.scorers.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{}\":{{\"comments\":{},\"comments_per_sec\":{:.1}}}",
+            if i > 0 { "," } else { "" },
+            sc.name,
+            sc.comments,
+            sc.comments_per_sec
+        );
+    }
+    s.push('}');
+
+    let _ = write!(s, ",\"metrics\":{}", rs.snapshot.to_json());
+    s.push('}');
+
+    // Self-validate before writing: a malformed artifact should fail the
+    // bench run, not a downstream consumer.
+    jsonlite::parse(&s).expect("generated run report must be valid JSON");
+
+    std::fs::write(&out_path, &s).expect("write run report");
+    println!("wrote {} ({} bytes)", out_path.display(), s.len());
+    println!(
+        "stages: {}",
+        rs.stages
+            .iter()
+            .map(|st| format!("{} {:.0}ms", st.name, st.wall_us as f64 / 1e3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -25,9 +25,7 @@ pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
             &ids,
             crawler.config.workers,
             &store.stats,
-            |c| {
-                c.timeout(crawler.config.timeout);
-            },
+            |c| run.setup_client(c),
             |client, &id| {
                 let resp = run.fetch(client, store, &format!("/api/v1/accounts/{id}"))?;
                 if !resp.status.is_success() {

@@ -115,26 +115,56 @@ pub struct Crawler {
     /// spider hammer the same Dissenter endpoint; an outage in progress
     /// must survive the phase boundary).
     pub breakers: resilience::Breakers,
+    /// Run metrics: per-phase coverage counters, request latency per
+    /// service, breaker transition events, and phase wall-clock spans.
+    /// Replace with a clone of an outer registry to aggregate a crawl
+    /// into a larger run (the registry is a shared handle).
+    pub metrics: obs::Registry,
 }
 
 impl Crawler {
     /// A crawler with default tuning.
     pub fn new(endpoints: Endpoints) -> Self {
-        Self { endpoints, config: CrawlConfig::default(), breakers: resilience::Breakers::default() }
+        Self {
+            endpoints,
+            config: CrawlConfig::default(),
+            breakers: resilience::Breakers::default(),
+            metrics: obs::Registry::new(),
+        }
     }
 
     /// Run every phase: enumerate, probe, spider, shadow-diff, YouTube,
     /// social, Reddit. Returns the reconstructed dataset.
     pub fn full_crawl(&self) -> CrawlStore {
         let mut store = CrawlStore::default();
-        gab_enum::enumerate(self, &mut store);
-        probe::probe_dissenter_accounts(self, &mut store);
-        spider::spider(self, &mut store);
-        shadow::shadow_crawl(self, &mut store);
-        youtube::crawl_youtube(self, &mut store);
-        social::crawl_social(self, &mut store);
-        reddit::crawl_reddit(self, &mut store);
+        self.timed_phase(Phase::GabEnum, &mut store, gab_enum::enumerate);
+        self.timed_phase(Phase::Probe, &mut store, probe::probe_dissenter_accounts);
+        self.timed_phase(Phase::Spider, &mut store, spider::spider);
+        self.timed_phase(Phase::Shadow, &mut store, shadow::shadow_crawl);
+        self.timed_phase(Phase::Youtube, &mut store, youtube::crawl_youtube);
+        self.timed_phase(Phase::Social, &mut store, social::crawl_social);
+        self.timed_phase(Phase::Reddit, &mut store, reddit::crawl_reddit);
         store
+    }
+
+    /// Run one phase under a `crawl.<phase>` span and publish its
+    /// timing-derived throughput as a `crawl.<phase>.items_per_sec`
+    /// gauge (gauges, unlike counters, may differ between same-seed
+    /// runs).
+    fn timed_phase(
+        &self,
+        phase: Phase,
+        store: &mut CrawlStore,
+        f: impl FnOnce(&Crawler, &mut CrawlStore),
+    ) {
+        let span = self.metrics.span(&format!("crawl.{}", phase.name()));
+        f(self, store);
+        let elapsed = span.finish().as_secs_f64();
+        if elapsed > 0.0 {
+            let done = store.stats.phase(phase).snapshot().succeeded;
+            self.metrics
+                .set_gauge(&format!("crawl.{}.items_per_sec", phase.name()), done as f64 / elapsed);
+        }
     }
 }
 

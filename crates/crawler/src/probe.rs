@@ -20,9 +20,7 @@ pub fn probe_dissenter_accounts(crawler: &Crawler, store: &mut CrawlStore) {
         &usernames,
         crawler.config.workers,
         &store.stats,
-        |c| {
-            c.timeout(crawler.config.timeout);
-        },
+        |c| run.setup_client(c),
         |client, name| {
             let resp = run.fetch(client, store, &format!("/user/{name}"))?;
             // Classification is purely by body size — deliberately NOT by

@@ -20,9 +20,7 @@ pub fn crawl_reddit(crawler: &Crawler, store: &mut CrawlStore) {
         &names,
         crawler.config.workers,
         &store.stats,
-        |c| {
-            c.timeout(crawler.config.timeout);
-        },
+        |c| run.setup_client(c),
         |client, name| {
             let about = run.fetch(client, store, &format!("/user/{name}/about"))?;
             if !about.status.is_success() {

@@ -104,6 +104,19 @@ pub enum Service {
     Youtube,
 }
 
+impl Service {
+    /// Stable name, used as the endpoint class in metric names
+    /// (`http.<name>.latency`, `breaker.<name>.to_open`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Service::Dissenter => "dissenter",
+            Service::Gab => "gab",
+            Service::Reddit => "reddit",
+            Service::Youtube => "youtube",
+        }
+    }
+}
+
 /// Circuit-breaker state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BreakerState {
@@ -234,13 +247,55 @@ pub struct PhaseRun<'a> {
     crawler: &'a Crawler,
     phase: Phase,
     budget: AtomicUsize,
+    metrics: PhaseCounters,
+}
+
+/// Pre-resolved counter handles for one phase (`crawl.<phase>.*` in the
+/// crawler's registry). Handles are grabbed once here so the per-fetch
+/// hot path never takes the registry lock. These mirror
+/// [`crate::store::PhaseStats`] — same events, same invariant
+/// (`attempted == succeeded + dead_lettered`) — exported where the rest
+/// of the run's observability lives.
+#[derive(Debug)]
+struct PhaseCounters {
+    attempted: obs::Counter,
+    succeeded: obs::Counter,
+    retried: obs::Counter,
+    dead_lettered: obs::Counter,
+    throttle_sleeps: obs::Counter,
+}
+
+impl PhaseCounters {
+    fn new(registry: &obs::Registry, phase: Phase) -> Self {
+        let name = |suffix: &str| format!("crawl.{}.{suffix}", phase.name());
+        Self {
+            attempted: registry.counter(&name("attempted")),
+            succeeded: registry.counter(&name("succeeded")),
+            retried: registry.counter(&name("retried")),
+            dead_lettered: registry.counter(&name("dead_lettered")),
+            throttle_sleeps: registry.counter(&name("throttle_sleeps")),
+        }
+    }
 }
 
 impl<'a> PhaseRun<'a> {
     /// Start a phase (budget charged from
     /// [`retry_budget`](crate::CrawlConfig::retry_budget)).
     pub fn new(crawler: &'a Crawler, phase: Phase) -> Self {
-        Self { crawler, phase, budget: AtomicUsize::new(crawler.config.retry_budget) }
+        Self {
+            crawler,
+            phase,
+            budget: AtomicUsize::new(crawler.config.retry_budget),
+            metrics: PhaseCounters::new(&crawler.metrics, phase),
+        }
+    }
+
+    /// Configure a fresh worker client for this phase: the crawl
+    /// timeout, plus request instrumentation under this phase's service
+    /// name (`http.<service>.*` in the crawler's registry).
+    pub fn setup_client(&self, client: &mut Client) {
+        client.timeout(self.crawler.config.timeout);
+        client.instrument(&self.crawler.metrics, self.phase.service().name());
     }
 
     /// The phase this run accounts to.
@@ -273,10 +328,12 @@ impl<'a> PhaseRun<'a> {
         let cfg = &self.crawler.config;
         let stats = store.stats.phase(self.phase);
         stats.add_attempted();
+        self.metrics.attempted.inc();
 
         let breaker = self.crawler.breakers.get(self.phase.service());
-        if !breaker.allow() {
+        if !self.observe_breaker(breaker, || breaker.allow()) {
             stats.add_dead_lettered();
+            self.metrics.dead_lettered.inc();
             store.stats.add_failure();
             store.push_dead_letter(DeadLetter {
                 phase: self.phase,
@@ -300,8 +357,9 @@ impl<'a> PhaseRun<'a> {
             let (cause, wait) = match client.get_keep_alive(target) {
                 Ok(resp) => match classify_status(resp.status) {
                     StatusClass::Deliver => {
-                        breaker.record_success();
+                        self.observe_breaker(breaker, || breaker.record_success());
                         stats.add_succeeded();
+                        self.metrics.succeeded.inc();
                         return Some(resp);
                     }
                     StatusClass::Throttled => {
@@ -310,6 +368,7 @@ impl<'a> PhaseRun<'a> {
                             return self.dead_letter(store, breaker, target, "throttled beyond grace (429)");
                         }
                         store.stats.add_rate_limit_sleep();
+                        self.metrics.throttle_sleeps.inc();
                         std::thread::sleep(throttle_delay(&resp, &policy, throttles - 1, &mut rng));
                         continue;
                     }
@@ -332,6 +391,7 @@ impl<'a> PhaseRun<'a> {
             }
             store.stats.add_retry();
             stats.add_retried();
+            self.metrics.retried.inc();
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
@@ -346,8 +406,11 @@ impl<'a> PhaseRun<'a> {
         cause: &str,
     ) -> Option<Response> {
         let cfg = &self.crawler.config;
-        breaker.record_failure(cfg.breaker_threshold, cfg.breaker_cooldown);
+        self.observe_breaker(breaker, || {
+            breaker.record_failure(cfg.breaker_threshold, cfg.breaker_cooldown)
+        });
         store.stats.phase(self.phase).add_dead_lettered();
+        self.metrics.dead_lettered.inc();
         store.stats.add_failure();
         store.push_dead_letter(DeadLetter {
             phase: self.phase,
@@ -355,6 +418,26 @@ impl<'a> PhaseRun<'a> {
             cause: cause.to_owned(),
         });
         None
+    }
+
+    /// Run a breaker operation and, when it changed the breaker's state,
+    /// export the transition: a `breaker.<service>.to_<state>` counter
+    /// bump plus a structured `breaker` event in the trace log.
+    fn observe_breaker<R>(&self, breaker: &CircuitBreaker, op: impl FnOnce() -> R) -> R {
+        let before = breaker.state_name();
+        let out = op();
+        let after = breaker.state_name();
+        if before != after {
+            let service = self.phase.service().name();
+            self.crawler
+                .metrics
+                .inc(&format!("breaker.{service}.to_{}", after.replace('-', "_")));
+            self.crawler.metrics.event(
+                "breaker",
+                &[("service", service), ("from", before), ("to", after)],
+            );
+        }
+        out
     }
 }
 

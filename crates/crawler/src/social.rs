@@ -40,9 +40,7 @@ pub fn crawl_social(crawler: &Crawler, store: &mut CrawlStore) {
         &targets,
         crawler.config.workers,
         &store.stats,
-        |c| {
-            c.timeout(crawler.config.timeout);
-        },
+        |c| run.setup_client(c),
         |client, (username, gab_id)| {
             let mut edges: Vec<(String, String)> = Vec::new();
             for (endpoint, incoming) in [("followers", true), ("following", false)] {

@@ -62,9 +62,7 @@ fn crawl_users(
         names,
         crawler.config.workers,
         &store.stats,
-        |c| {
-            c.timeout(crawler.config.timeout);
-        },
+        |c| run.setup_client(c),
         |client, name| {
             let resp = run.fetch(client, store, &format!("/user/{name}"))?;
             if !resp.status.is_success() {
@@ -117,7 +115,7 @@ fn crawl_pass(
         crawler.config.workers,
         &store.stats,
         |client| {
-            client.timeout(crawler.config.timeout);
+            run.setup_client(client);
             if let Some(s) = session {
                 client.set_cookie("session", s);
             }
@@ -275,7 +273,7 @@ pub fn discover_metadata_and_ghosts(
         crawler.config.workers,
         &store.stats,
         |client| {
-            client.timeout(crawler.config.timeout);
+            run.setup_client(client);
             if let Some(s) = session {
                 client.set_cookie("session", s);
             }

@@ -22,9 +22,7 @@ pub fn crawl_youtube(crawler: &Crawler, store: &mut CrawlStore) {
         &targets,
         crawler.config.workers,
         &store.stats,
-        |c| {
-            c.timeout(crawler.config.timeout);
-        },
+        |c| run.setup_client(c),
         |client, url| {
             let target = format!("/render?url={}", httpnet::http::percent_encode(url));
             let resp = run.fetch(client, store, &target)?;

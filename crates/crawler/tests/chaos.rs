@@ -228,6 +228,77 @@ fn storm_with_tiny_budget_terminates_and_accounts_for_every_fetch() {
 }
 
 #[test]
+fn parallel_storm_keeps_accounting_and_metrics_coherent() {
+    // Four workers per phase racing through a storm: the accounting
+    // invariant must hold under real `parallel_fetch` concurrency, and
+    // the observability registry must agree exactly with the store's own
+    // counters — both sides count the same logical events, just from
+    // different modules.
+    let server_cfg =
+        ServerConfig { workers: 8, queue: 256, faults: fast_storm(23), ..Default::default() };
+    let services = SimServices::start(world(), server_cfg).expect("services");
+    let mut crawler = Crawler::new(Endpoints {
+        dissenter: services.dissenter.addr(),
+        gab: services.gab.addr(),
+        reddit: services.reddit.addr(),
+        youtube: services.youtube.addr(),
+    });
+    crawler.config.workers = 4;
+    crawler.config.retries = 2;
+    crawler.config.backoff = Duration::from_millis(1);
+    crawler.config.timeout = Duration::from_millis(50);
+    crawler.config.enum_gap_tolerance = 400;
+    crawler.config.retry_budget = 40;
+    crawler.config.breaker_threshold = 5;
+    let store = crawler.full_crawl();
+    let snap = crawler.metrics.snapshot();
+    std::mem::forget(services);
+
+    let mut any_dead = 0u64;
+    for (phase, stats) in store.stats.phase_snapshots() {
+        assert_eq!(
+            stats.attempted,
+            stats.succeeded + stats.dead_lettered,
+            "{}: every fetch ends in exactly one bucket under concurrency ({stats:?})",
+            phase.name()
+        );
+        let counter = |suffix: &str| {
+            snap.counter(&format!("crawl.{}.{suffix}", phase.name())).unwrap_or(0)
+        };
+        assert_eq!(counter("attempted"), stats.attempted, "{} attempted", phase.name());
+        assert_eq!(counter("succeeded"), stats.succeeded, "{} succeeded", phase.name());
+        assert_eq!(counter("retried"), stats.retried, "{} retried", phase.name());
+        assert_eq!(
+            counter("dead_lettered"),
+            stats.dead_lettered,
+            "{} dead_lettered",
+            phase.name()
+        );
+        any_dead += stats.dead_lettered;
+    }
+    assert!(any_dead > 0, "a storm on a 40-retry budget must dead-letter somewhere");
+    assert_eq!(
+        any_dead as usize,
+        store.dead_letters().len(),
+        "dead-letter records match the counters"
+    );
+    // Every phase issues its HTTP through `PhaseRun::fetch`, which counts
+    // one store-side request per wire attempt — so the per-service client
+    // instrumentation must agree with the store exactly.
+    let wire_requests: u64 = snap
+        .counters_with_prefix("http.")
+        .filter(|(name, _)| name.ends_with(".requests"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(wire_requests > 0, "instrumented clients must count requests");
+    assert_eq!(
+        wire_requests,
+        store.stats.requests.load(Ordering::Relaxed),
+        "wire request counters must match the store's request count"
+    );
+}
+
+#[test]
 fn same_seed_and_config_replay_the_identical_crawl() {
     // Tight enough that dead letters certainly occur. Two pieces of the
     // matrix are deliberately out of scope here because they hinge on

@@ -131,6 +131,13 @@ pub const EXPERIMENTS: &[Experiment] = &[
         modules: "synth::labeled, classify::{svm,adasyn,cv,metrics}",
         bench: Some("classify_bench::training/svm_train_1k_x3class + ablations::ablation_adasyn/*"),
     },
+    Experiment {
+        id: "runstats",
+        artifact: "run statistics — stage timings, crawl coverage, scorer throughput",
+        paper_result: "not a paper artifact: the observability report for the run itself",
+        modules: "obs::*, dissenter_core::runstats, render::runstats",
+        bench: Some("scripts/bench.sh → BENCH_PR2.json"),
+    },
 ];
 
 /// Look up an experiment by id.

@@ -19,15 +19,17 @@
 
 pub mod experiments;
 pub mod render;
+pub mod runstats;
 pub mod svm_exp;
 
-use analysis::report::{build_report, StudyReport};
+use analysis::report::{build_report_with_metrics, StudyReport};
 use crawler::{CrawlConfig, CrawlStore, Crawler, Endpoints};
 use std::sync::Arc;
 use synth::config::Scale;
 use synth::WorldConfig;
 use webfront::SimServices;
 
+pub use runstats::RunStats;
 pub use svm_exp::SvmReport;
 
 /// End-to-end study configuration.
@@ -80,16 +82,31 @@ pub struct Study {
     pub store: CrawlStore,
     /// The scale factor the world was generated at.
     pub scale_factor: f64,
+    /// Run observability: stage wall-clocks, per-phase crawl coverage,
+    /// per-scorer throughput, the full metric snapshot, and the event
+    /// trace.
+    pub runstats: RunStats,
 }
 
 /// Run the full pipeline.
 pub fn run_study(cfg: &StudyConfig) -> Study {
+    let metrics = obs::Registry::new();
+
+    let span = metrics.span("stage.synth");
     let (world, _truth) = synth::generate(&cfg.world);
+    span.finish();
     let world = Arc::new(world);
-    let server_config =
-        httpnet::ServerConfig { faults: cfg.faults, ..crawler::default_server_config() };
+
+    let span = metrics.span("stage.serve");
+    let server_config = httpnet::ServerConfig {
+        faults: cfg.faults,
+        metrics: Some(metrics.clone()),
+        ..crawler::default_server_config()
+    };
     let services = SimServices::start(world.clone(), server_config)
         .expect("failed to start simulated services");
+    span.finish();
+
     let mut crawler = Crawler::new(Endpoints {
         dissenter: services.dissenter.addr(),
         gab: services.gab.addr(),
@@ -97,16 +114,34 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
         youtube: services.youtube.addr(),
     });
     crawler.config = cfg.crawl.clone();
+    crawler.metrics = metrics.clone();
     // Scale the enumeration stop-window with the world (IDs are sparse).
     crawler.config.enum_gap_tolerance = crawler
         .config
         .enum_gap_tolerance
         .min((world.gab.max_id() / 4).max(512));
+    let span = metrics.span("stage.crawl");
     let store = crawler.full_crawl();
+    span.finish();
 
-    let report = build_report(&store, &world.baselines, cfg.workers);
-    let svm = (!cfg.skip_svm).then(|| svm_exp::run_svm_experiment(&store, cfg.svm_corpus, cfg.world.seed));
-    Study { report, svm, store, scale_factor: cfg.world.scale.factor() }
+    let span = metrics.span("stage.report");
+    let report = build_report_with_metrics(&store, &world.baselines, cfg.workers, Some(&metrics));
+    span.finish();
+
+    let svm = (!cfg.skip_svm).then(|| {
+        let span = metrics.span("stage.svm");
+        let r = svm_exp::run_svm_experiment_with_metrics(
+            &store,
+            cfg.svm_corpus,
+            cfg.world.seed,
+            Some(&metrics),
+        );
+        span.finish();
+        r
+    });
+
+    let runstats = runstats::collect(&metrics);
+    Study { report, svm, store, scale_factor: cfg.world.scale.factor(), runstats }
 }
 
 #[cfg(test)]
@@ -126,6 +161,69 @@ mod tests {
         assert_eq!(study.report.figure7.len(), 4);
         assert!(!study.report.figure8.severe_by_bias.is_empty());
         assert!(study.report.social.users > 0);
+    }
+
+    #[test]
+    fn runstats_are_fully_populated() {
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.002);
+        cfg.svm_corpus = 400;
+        let study = run_study(&cfg);
+        let rs = &study.runstats;
+
+        // Every pipeline stage ran under a span.
+        let stages: Vec<&str> = rs.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(stages, vec!["synth", "serve", "crawl", "report", "svm"]);
+        assert!(rs.stages.iter().all(|s| s.wall_us > 0), "stages take nonzero time: {rs:?}");
+
+        // Every crawl phase did work and balanced its books.
+        assert_eq!(rs.phases.len(), 7);
+        for p in &rs.phases {
+            assert!(p.attempted > 0, "phase {} attempted nothing", p.name);
+            assert_eq!(p.attempted, p.succeeded + p.dead_lettered, "{}", p.name);
+        }
+
+        // Every scorer is represented with comment counts.
+        let mut scorers: Vec<&str> = rs.scorers.iter().map(|s| s.name.as_str()).collect();
+        scorers.sort_unstable();
+        assert_eq!(scorers, vec!["dictionary", "perspective", "svm"]);
+        assert!(rs.scorers.iter().all(|s| s.comments > 0), "scorers scored: {:?}", rs.scorers);
+
+        // The wire instrumentation recorded latency for every service.
+        for service in ["dissenter", "gab", "reddit", "youtube"] {
+            let h = rs
+                .snapshot
+                .histogram(&format!("http.{service}.latency"))
+                .unwrap_or_else(|| panic!("latency histogram for {service}"));
+            assert!(h.count > 0 && h.sum_ns > 0, "{service} latency empty: {h:?}");
+        }
+
+        // The event trace captured the stage spans as JSONL.
+        assert!(rs.events_jsonl.lines().count() >= 5);
+        assert!(rs.events_jsonl.contains("\"event\":\"span\""));
+
+        // The rendered table mentions each section.
+        let table = render::runstats(&study);
+        for needle in ["stage wall-clock", "crawl coverage", "scorer throughput", "latency"] {
+            assert!(table.contains(needle), "runstats table missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_report_identical_counters() {
+        // Counters are the deterministic half of the observability split:
+        // two studies from the same seed must agree on every counter even
+        // though gauges and histograms (wall-clock) may differ.
+        let mut cfg = StudyConfig::small();
+        cfg.world.scale = Scale::Custom(0.002);
+        cfg.skip_svm = true;
+        let a = run_study(&cfg);
+        let b = run_study(&cfg);
+        assert_eq!(
+            a.runstats.snapshot.counters, b.runstats.snapshot.counters,
+            "same-seed counter sets must be identical"
+        );
+        assert!(!a.runstats.snapshot.counters.is_empty());
     }
 
     #[test]

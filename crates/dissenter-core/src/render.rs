@@ -388,6 +388,53 @@ pub fn svm(study: &Study) -> String {
     s
 }
 
+/// Run statistics: stage wall-clocks, crawl coverage, scorer throughput,
+/// and per-service request latency.
+pub fn runstats(study: &Study) -> String {
+    let rs = &study.runstats;
+    let mut s = String::new();
+    let _ = writeln!(s, "== Run statistics ==");
+    let _ = writeln!(s, "-- stage wall-clock --");
+    for st in &rs.stages {
+        let _ = writeln!(s, "  {:<10} {:>10.1} ms", st.name, st.wall_us as f64 / 1e3);
+    }
+    let _ = writeln!(s, "-- crawl coverage (attempted = succeeded + dead-lettered) --");
+    for p in &rs.phases {
+        let _ = writeln!(
+            s,
+            "  {:<10} attempted={:<8} succeeded={:<8} retried={:<6} dead-lettered={}",
+            p.name, p.attempted, p.succeeded, p.retried, p.dead_lettered
+        );
+    }
+    let _ = writeln!(s, "-- scorer throughput --");
+    for sc in &rs.scorers {
+        let _ = writeln!(
+            s,
+            "  {:<12} comments={:<9} {:>10.0} comments/sec",
+            sc.name, sc.comments, sc.comments_per_sec
+        );
+    }
+    let _ = writeln!(s, "-- request latency by service --");
+    for (name, h) in &rs.snapshot.histograms {
+        let Some(service) = name.strip_prefix("http.").and_then(|n| n.strip_suffix(".latency"))
+        else {
+            continue;
+        };
+        let _ = writeln!(
+            s,
+            "  {:<10} n={:<8} mean={:>7.1}µs p50={:>7.1}µs p95={:>7.1}µs p99={:>7.1}µs max={:>8.1}µs",
+            service,
+            h.count,
+            h.mean_ns() as f64 / 1e3,
+            h.p50_ns as f64 / 1e3,
+            h.p95_ns as f64 / 1e3,
+            h.p99_ns as f64 / 1e3,
+            h.max_ns as f64 / 1e3
+        );
+    }
+    s
+}
+
 /// §6 extension: covert-channel candidates.
 pub fn covert(study: &Study) -> String {
     let candidates = analysis::covert::detect_covert_channels(
@@ -430,6 +477,7 @@ pub fn full(study: &Study) -> String {
         fig9_core(study),
         svm(study),
         covert(study),
+        runstats(study),
     ]
     .join("\n")
 }

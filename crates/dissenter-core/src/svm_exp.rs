@@ -31,6 +31,21 @@ pub struct SvmReport {
 
 /// Run the full experiment against a crawl.
 pub fn run_svm_experiment(store: &CrawlStore, corpus_size: usize, seed: u64) -> SvmReport {
+    run_svm_experiment_with_metrics(store, corpus_size, seed, None)
+}
+
+/// [`run_svm_experiment`], exporting scorer metrics to `metrics`:
+/// `classify.svm.comments` (comments the final model scored —
+/// deterministic), `classify.svm.train` / `classify.svm.apply` busy-time
+/// histograms, and a `classify.svm.comments_per_sec` application-rate
+/// gauge.
+pub fn run_svm_experiment_with_metrics(
+    store: &CrawlStore,
+    corpus_size: usize,
+    seed: u64,
+    metrics: Option<&obs::Registry>,
+) -> SvmReport {
+    let train_started = std::time::Instant::now();
     let corpus = labeled_corpus(corpus_size, seed ^ 0x5717);
     let featurizer = Featurizer::standard();
     let samples: Vec<(SparseVec, usize)> = corpus
@@ -56,7 +71,9 @@ pub fn run_svm_experiment(store: &CrawlStore, corpus_size: usize, seed: u64) -> 
     let oversampled =
         classify::adasyn::adasyn(&samples, 3, AdasynConfig { k: 5, beta: 1.0, seed });
     let model = LinearSvm::train(&oversampled, 3, best.config);
+    let train_busy = train_started.elapsed();
 
+    let apply_started = std::time::Instant::now();
     let mut mean = [0.0f64; 3];
     let mut shares = [0.0f64; 3];
     let n = store.comments.len().max(1);
@@ -71,6 +88,19 @@ pub fn run_svm_experiment(store: &CrawlStore, corpus_size: usize, seed: u64) -> 
     for k in 0..3 {
         mean[k] /= n as f64;
         shares[k] /= n as f64;
+    }
+
+    if let Some(registry) = metrics {
+        let apply_busy = apply_started.elapsed();
+        registry.add("classify.svm.comments", store.comments.len() as u64);
+        registry.observe("classify.svm.train", train_busy);
+        registry.observe("classify.svm.apply", apply_busy);
+        if !apply_busy.is_zero() {
+            registry.set_gauge(
+                "classify.svm.comments_per_sec",
+                store.comments.len() as f64 / apply_busy.as_secs_f64(),
+            );
+        }
     }
 
     SvmReport {

@@ -6,7 +6,7 @@
 //! rate-limit sleeps, §3.4).
 
 use crate::http::{read_response, write_request, Request, Response, Status, WireError};
-use crate::retry::{classify_status, RetryPolicy, StatusClass};
+use crate::retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
 use std::fmt;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -49,6 +49,62 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Metric handles for one instrumented client (see [`Client::instrument`]).
+/// Counter values are a pure function of the seeded workload — latency
+/// lives in the histogram, which is the only timing-dependent piece.
+#[derive(Debug, Clone)]
+struct Instrument {
+    /// `http.<class>.requests` — wire attempts issued (one per logical
+    /// call; a transparent keep-alive reconnect is not double-counted).
+    requests: obs::Counter,
+    /// `http.<class>.latency` — request→response wall-clock for
+    /// delivered responses.
+    latency: obs::Histogram,
+    /// `http.<class>.wire_faults` — connect/transport failures observed
+    /// (drops, resets, truncations, malformed replies, timeouts).
+    wire_faults: obs::Counter,
+    /// `http.<class>.status_5xx` — injected/real server errors observed.
+    status_5xx: obs::Counter,
+    /// `http.<class>.status_429` — throttling responses observed.
+    status_429: obs::Counter,
+    /// `http.<class>.retries` — extra attempts spent by
+    /// [`Client::get_with_policy`].
+    retries: obs::Counter,
+    /// `http.<class>.retry_after_waits` — delays honored from an
+    /// advertised `Retry-After` header.
+    retry_after_waits: obs::Counter,
+}
+
+impl Instrument {
+    fn new(registry: &obs::Registry, class: &str) -> Self {
+        let name = |suffix: &str| format!("http.{class}.{suffix}");
+        Self {
+            requests: registry.counter(&name("requests")),
+            latency: registry.histogram(&name("latency")),
+            wire_faults: registry.counter(&name("wire_faults")),
+            status_5xx: registry.counter(&name("status_5xx")),
+            status_429: registry.counter(&name("status_429")),
+            retries: registry.counter(&name("retries")),
+            retry_after_waits: registry.counter(&name("retry_after_waits")),
+        }
+    }
+
+    fn observe(&self, started: Instant, result: &Result<Response, ClientError>) {
+        self.requests.inc();
+        match result {
+            Ok(r) => {
+                self.latency.observe(started.elapsed());
+                if r.status.0 >= 500 {
+                    self.status_5xx.inc();
+                } else if r.status.0 == 429 {
+                    self.status_429.inc();
+                }
+            }
+            Err(_) => self.wire_faults.inc(),
+        }
+    }
+}
+
 /// A blocking HTTP/1.1 client bound to one server address.
 pub struct Client {
     addr: SocketAddr,
@@ -57,6 +113,7 @@ pub struct Client {
     conn: Option<BufReader<TcpStream>>,
     /// Cookies sent with every request as `name=value` pairs.
     cookies: Vec<(String, String)>,
+    inst: Option<Instrument>,
 }
 
 impl fmt::Debug for Client {
@@ -74,7 +131,18 @@ impl Client {
             keep_alive: false,
             conn: None,
             cookies: Vec::new(),
+            inst: None,
         }
+    }
+
+    /// Report request metrics into `registry` under the endpoint class
+    /// `class` (e.g. the service name): per-request latency histogram
+    /// `http.<class>.latency`, plus counters for attempts, wire faults,
+    /// 5xx/429 statuses observed, retries, and honored `Retry-After`
+    /// waits.
+    pub fn instrument(&mut self, registry: &obs::Registry, class: &str) -> &mut Self {
+        self.inst = Some(Instrument::new(registry, class));
+        self
     }
 
     /// Set the read timeout.
@@ -110,7 +178,12 @@ impl Client {
     /// immutable variant always uses a fresh connection.
     pub fn get(&self, target: &str) -> Result<Response, ClientError> {
         let req = self.build(Request::get(target));
-        self.send_fresh(&req)
+        let started = Instant::now();
+        let result = self.send_fresh(&req);
+        if let Some(inst) = &self.inst {
+            inst.observe(started, &result);
+        }
+        result
     }
 
     /// Issue a GET over the persistent connection (establishing one on
@@ -121,17 +194,27 @@ impl Client {
             return self.get(target);
         }
         let req = self.build(Request::get(target));
-        if self.conn.is_none() {
-            self.conn = Some(BufReader::new(self.connect()?));
-        }
-        match self.send_on_conn(&req) {
-            Ok(r) => Ok(r),
-            Err(_) => {
-                // Stale pooled connection: retry once on a fresh one.
+        let started = Instant::now();
+        // Counted as ONE wire attempt even when a stale pooled connection
+        // forces a transparent resend — staleness depends on scheduling,
+        // and counters must replay identically for identical seeds.
+        let result = (|| {
+            if self.conn.is_none() {
                 self.conn = Some(BufReader::new(self.connect()?));
-                self.send_on_conn(&req)
             }
+            match self.send_on_conn(&req) {
+                Ok(r) => Ok(r),
+                Err(_) => {
+                    // Stale pooled connection: retry once on a fresh one.
+                    self.conn = Some(BufReader::new(self.connect()?));
+                    self.send_on_conn(&req)
+                }
+            }
+        })();
+        if let Some(inst) = &self.inst {
+            inst.observe(started, &result);
         }
+        result
     }
 
     /// Resilient GET over the persistent connection: retries on transport
@@ -157,6 +240,9 @@ impl Client {
                 Ok(r) => match classify_status(r.status) {
                     StatusClass::Deliver => return Ok(r),
                     StatusClass::Retryable | StatusClass::Throttled => {
+                        if let (Some(inst), Some(_)) = (&self.inst, parse_retry_after(&r)) {
+                            inst.retry_after_waits.inc();
+                        }
                         let d = policy.delay_for_response(&r, attempt, &mut rng);
                         last_err = Some(ClientError::Http(r));
                         d
@@ -172,6 +258,9 @@ impl Client {
             }
             if started.elapsed() + delay > policy.max_elapsed {
                 break; // budget spent: report the last failure
+            }
+            if let Some(inst) = &self.inst {
+                inst.retries.inc();
             }
             if !delay.is_zero() {
                 std::thread::sleep(delay);
@@ -448,5 +537,79 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
         }
+    }
+
+    #[test]
+    fn instrumented_client_counts_requests_and_latency() {
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("ok".into()));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let registry = obs::Registry::new();
+        let mut client = Client::new(server.addr());
+        client.instrument(&registry, "gab");
+        for _ in 0..5 {
+            client.get("/x").unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("http.gab.requests"), Some(5));
+        assert_eq!(snap.counter("http.gab.wire_faults"), Some(0));
+        let hist = snap.histogram("http.gab.latency").expect("latency histogram");
+        assert_eq!(hist.count, 5);
+        assert!(hist.sum_ns > 0, "loopback round-trips take nonzero time");
+    }
+
+    #[test]
+    fn instrumented_retries_and_retry_after_are_counted() {
+        // First response: 429 with Retry-After. Second: 500. Third: ok.
+        // Expect requests=3, retries=2, retry_after_waits=1, status_429=1,
+        // status_5xx=1 — all seed-independent facts of the exchange.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let handler: Arc<dyn Handler> = Arc::new(move |_: &Request| {
+            match c2.fetch_add(1, Ordering::SeqCst) {
+                0 => {
+                    let mut r = Response::status(Status::TOO_MANY);
+                    r.headers.add("Retry-After", "0.01");
+                    r
+                }
+                1 => Response::status(Status::INTERNAL),
+                _ => Response::html("ok".into()),
+            }
+        });
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let registry = obs::Registry::new();
+        let mut client = Client::new(server.addr());
+        client.instrument(&registry, "api");
+        let policy = crate::retry::RetryPolicy {
+            base_backoff: Duration::ZERO,
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(client.get_with_policy("/x", &policy).unwrap().text(), "ok");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("http.api.requests"), Some(3));
+        assert_eq!(snap.counter("http.api.retries"), Some(2));
+        assert_eq!(snap.counter("http.api.retry_after_waits"), Some(1));
+        assert_eq!(snap.counter("http.api.status_429"), Some(1));
+        assert_eq!(snap.counter("http.api.status_5xx"), Some(1));
+    }
+
+    #[test]
+    fn keep_alive_reconnect_counts_one_logical_request() {
+        // The transparent stale-connection resend must NOT double-count:
+        // counters are part of the deterministic replay surface and
+        // connection staleness depends on scheduling.
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("pong".into()));
+        let cfg = ServerConfig { max_requests_per_conn: 1, ..Default::default() };
+        let server = Server::start(handler, cfg).unwrap();
+        let registry = obs::Registry::new();
+        let mut client = Client::new(server.addr());
+        client.keep_alive(true);
+        client.instrument(&registry, "ka");
+        for _ in 0..4 {
+            assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("http.ka.requests"), Some(4));
+        assert_eq!(snap.histogram("http.ka.latency").unwrap().count, 4);
     }
 }

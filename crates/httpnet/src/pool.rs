@@ -1,6 +1,7 @@
 //! A bounded worker thread pool for connection handling.
 
 use crossbeam::channel::{bounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -8,6 +9,12 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Fixed-size thread pool. Jobs queue on a bounded channel (backpressure:
 /// `execute` blocks when the queue is full). Dropping the pool joins all
 /// workers after draining queued jobs.
+///
+/// A panicking job is confined to that job: the worker catches the
+/// unwind, counts it (when the pool is instrumented), and keeps
+/// draining. Before this guard a panic killed the worker thread, so
+/// `size` panicking jobs silently serialized the pool and the next
+/// `execute` after all workers died panicked on a dead channel.
 pub struct ThreadPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
@@ -16,16 +23,28 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Create a pool of `size` workers with a queue of `queue` jobs.
     pub fn new(size: usize, queue: usize) -> Self {
+        Self::with_metrics(size, queue, None)
+    }
+
+    /// [`ThreadPool::new`], counting caught job panics on
+    /// `metrics` under `pool.job_panics`.
+    pub fn with_metrics(size: usize, queue: usize, metrics: Option<&obs::Registry>) -> Self {
         assert!(size > 0, "pool needs at least one worker");
+        let panics = metrics.map(|r| r.counter("pool.job_panics"));
         let (tx, rx) = bounded::<Job>(queue.max(1));
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
+                let panics = panics.clone();
                 std::thread::Builder::new()
                     .name(format!("httpnet-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                if let Some(c) = &panics {
+                                    c.inc();
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker")
@@ -103,5 +122,56 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ThreadPool::new(0, 1);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_shrink_the_pool() {
+        // Regression: a job panic used to kill its worker thread. With a
+        // 2-worker pool, two panicking jobs left zero workers, the queue
+        // backed up, and `execute` itself panicked on the dead channel.
+        let registry = obs::Registry::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::with_metrics(2, 4, Some(&registry));
+            // More panics than workers, interleaved with real jobs.
+            for round in 0..10 {
+                pool.execute(move || panic!("poisoned job {round}"));
+                for _ in 0..10 {
+                    let d = done.clone();
+                    pool.execute(move || {
+                        d.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            }
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 100, "jobs after panics must still run");
+        assert_eq!(
+            registry.snapshot().counter("pool.job_panics"),
+            Some(10),
+            "every confined panic is visible in the metrics registry"
+        );
+    }
+
+    #[test]
+    fn parallelism_survives_panics() {
+        // All four workers must still rendezvous *after* each has had a
+        // panicking job — proof no worker thread died.
+        use std::sync::Barrier;
+        let pool = ThreadPool::new(4, 8);
+        for _ in 0..4 {
+            pool.execute(|| panic!("one per worker, probabilistically"));
+        }
+        let barrier = Arc::new(Barrier::new(4));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let d = done.clone();
+            pool.execute(move || {
+                b.wait();
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 4);
     }
 }

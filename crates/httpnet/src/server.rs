@@ -42,6 +42,9 @@ pub struct ServerConfig {
     pub max_requests_per_conn: usize,
     /// Fault injection.
     pub faults: FaultConfig,
+    /// Optional metrics registry: worker-pool job panics are counted
+    /// here under `pool.job_panics` when set.
+    pub metrics: Option<obs::Registry>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +55,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1000,
             faults: FaultConfig::none(),
+            metrics: None,
         }
     }
 }
@@ -87,7 +91,8 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("httpnet-accept".into())
             .spawn(move || {
-                let pool = ThreadPool::new(config.workers, config.queue);
+                let pool =
+                    ThreadPool::with_metrics(config.workers, config.queue, config.metrics.as_ref());
                 for conn in listener.incoming() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;

@@ -1,0 +1,88 @@
+//! The bounded structured event log.
+
+use crate::json;
+use std::sync::Mutex;
+
+/// Retain at most this many events; later events are dropped (and
+/// counted) rather than growing without bound during a long crawl.
+const EVENT_CAP: usize = 16_384;
+
+/// One structured event: a name, a relative timestamp, and flat
+/// key/value fields. Rendered as one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the owning registry was created.
+    pub ts_us: u64,
+    /// Event name (e.g. `span`, `breaker`, `dead_letter`).
+    pub name: String,
+    /// Flat string fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Render as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"ts_us\":{},\"event\":{}", self.ts_us, json::string(&self.name));
+        for (k, v) in &self.fields {
+            s.push(',');
+            s.push_str(&json::string(k));
+            s.push(':');
+            s.push_str(&json::string(v));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct EventLog {
+    events: Mutex<Vec<Event>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl EventLog {
+    pub(crate) fn push(&self, e: Event) {
+        let mut guard = self.events.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.len() < EVENT_CAP {
+            guard.push(e);
+        } else {
+            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    pub(crate) fn to_vec(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_line() {
+        let e = Event {
+            ts_us: 42,
+            name: "breaker".into(),
+            fields: vec![("service".into(), "gab".into()), ("to".into(), "open".into())],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ts_us\":42,\"event\":\"breaker\",\"service\":\"gab\",\"to\":\"open\"}"
+        );
+    }
+
+    #[test]
+    fn log_caps_and_counts_drops() {
+        let log = EventLog::default();
+        for i in 0..(EVENT_CAP + 5) {
+            log.push(Event { ts_us: i as u64, name: "e".into(), fields: vec![] });
+        }
+        assert_eq!(log.len(), EVENT_CAP);
+        assert_eq!(log.dropped.load(std::sync::atomic::Ordering::Relaxed), 5);
+    }
+}

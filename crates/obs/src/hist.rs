@@ -1,0 +1,178 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are geometric (powers of two) over nanoseconds, from 1 µs to
+//! ~137 s, plus an overflow bucket. Recording is a single atomic add —
+//! no locks on the hot path — and quantiles are estimated from bucket
+//! counts (reported as the bucket's upper bound, i.e. conservatively).
+
+use crate::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of finite buckets (the slot after them catches overflow).
+pub const BUCKET_COUNT: usize = 28;
+
+/// Upper bound (inclusive) of bucket `i`, in nanoseconds: `1 µs · 2^i`.
+fn upper_ns(i: usize) -> u64 {
+    1_000u64 << i
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct HistInner {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT + 1],
+}
+
+/// A shared handle to one histogram in a registry.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistInner>);
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self(Arc::new(HistInner::default()))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation given in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let idx = (0..BUCKET_COUNT).find(|&i| ns <= upper_ns(i)).unwrap_or(BUCKET_COUNT);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain-value copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.0.count.load(Ordering::Relaxed);
+        let sum_ns = self.0.sum_ns.load(Ordering::Relaxed);
+        let max_ns = self.0.max_ns.load(Ordering::Relaxed);
+        let buckets: Vec<u64> =
+            self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (i, &b) in buckets.iter().enumerate() {
+                cum += b;
+                if cum >= target {
+                    // The overflow bucket has no finite bound; the true
+                    // maximum is the tightest statement we can make.
+                    return if i < BUCKET_COUNT { upper_ns(i).min(max_ns) } else { max_ns };
+                }
+            }
+            max_ns
+        };
+        HistogramSnapshot {
+            count,
+            sum_ns,
+            max_ns,
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
+        }
+    }
+}
+
+/// Plain-value summary of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observation, nanoseconds.
+    pub max_ns: u64,
+    /// Estimated median (upper bucket bound), nanoseconds.
+    pub p50_ns: u64,
+    /// Estimated 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// Estimated 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Render as a JSON object (times in microseconds, f64).
+    pub fn to_json(&self) -> String {
+        let us = |ns: u64| json::number(ns as f64 / 1_000.0);
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.count,
+            us(self.mean_ns()),
+            us(self.p50_ns),
+            us(self.p95_ns),
+            us(self.p99_ns),
+            us(self.max_ns),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = Histogram::new();
+        // 99 observations at ~1 ms, one at ~1 s.
+        for _ in 0..99 {
+            h.observe(Duration::from_millis(1));
+        }
+        h.observe(Duration::from_secs(1));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50/p95 land in the 1 ms bucket: bound within [1 ms, 2·1 ms].
+        assert!(s.p50_ns >= 1_000_000 && s.p50_ns <= 2_100_000, "p50 {}", s.p50_ns);
+        assert!(s.p95_ns <= 2_100_000, "p95 {}", s.p95_ns);
+        // p99 must see the outlier's bucket region but never exceed max.
+        assert!(s.p99_ns <= s.max_ns);
+        assert!(s.max_ns >= 1_000_000_000);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        let h = Histogram::new();
+        h.observe(Duration::from_secs(500)); // beyond the last finite bound
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_ns, s.max_ns);
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = Histogram::new();
+        h.observe(Duration::from_micros(10));
+        let j = h.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("p99_us"));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Lightweight, dependency-free observability for the reproduction
+//! pipeline: an atomic metrics [`Registry`] (counters, gauges,
+//! fixed-bucket latency histograms), scoped [`Span`] timers for stage
+//! wall-clock, and a bounded structured event log rendered as JSONL.
+//!
+//! The paper is a measurement study; PAPERS.md's API-auditing lines
+//! ("Bye Bye Perspective API") argue measurement infrastructure must
+//! expose its own behaviour to be trustworthy. This crate is how the
+//! pipeline practices that on itself: every subsystem (HTTP client,
+//! crawler phases, scorers, the study driver) reports into one registry,
+//! and a [`Snapshot`] of it rides along with the study output.
+//!
+//! Determinism contract: **counters** record seed-determined facts
+//! (requests issued, retries spent, comments scored) — two runs with the
+//! same seed must produce identical counter values. **Gauges and
+//! histograms** carry wall-clock-derived values (latency, throughput)
+//! and may differ between runs. Consumers comparing runs compare
+//! counters; consumers chasing performance read histograms.
+//!
+//! Design notes:
+//! * handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s into the
+//!   registry — grab one once and update lock-free on hot paths; the
+//!   name-keyed convenience methods ([`Registry::inc`] etc.) lock a map
+//!   and are for cold paths;
+//! * the registry itself is a cheap [`Clone`] (shared interior), so it
+//!   threads through the pipeline without lifetime plumbing;
+//! * everything is `std`-only — no external crates, no global state.
+
+mod events;
+mod hist;
+mod json;
+mod registry;
+mod span;
+
+pub use events::Event;
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use registry::{Counter, Gauge, Registry, Snapshot};
+pub use span::Span;

@@ -1,0 +1,81 @@
+//! Scoped wall-clock spans.
+
+use crate::Registry;
+use std::time::{Duration, Instant};
+
+/// A running stage timer. Created by [`Registry::span`]; on
+/// [`Span::finish`] (or drop) the elapsed wall-clock lands in the
+/// histogram named after the span and a `span` event is logged, so stage
+/// timings show up both in the metric snapshot and the JSONL trace.
+#[derive(Debug)]
+pub struct Span {
+    registry: Registry,
+    name: String,
+    started: Instant,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn start(registry: Registry, name: &str) -> Self {
+        Self { registry, name: name.to_owned(), started: Instant::now(), finished: false }
+    }
+
+    /// The span's histogram/event name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Elapsed time so far without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// End the span, record it, and return the elapsed wall-clock.
+    pub fn finish(mut self) -> Duration {
+        self.record()
+    }
+
+    fn record(&mut self) -> Duration {
+        let elapsed = self.started.elapsed();
+        if !self.finished {
+            self.finished = true;
+            self.registry.histogram(&self.name).observe(elapsed);
+            let us = format!("{}", elapsed.as_micros());
+            self.registry.event("span", &[("name", self.name.as_str()), ("dur_us", &us)]);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_once() {
+        let r = Registry::new();
+        let span = r.span("stage.test");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = span.finish();
+        assert!(d >= Duration::from_millis(2));
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("stage.test").unwrap().count, 1);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].name, "span");
+    }
+
+    #[test]
+    fn drop_records_too() {
+        let r = Registry::new();
+        {
+            let _span = r.span("stage.dropped");
+        }
+        assert_eq!(r.snapshot().histogram("stage.dropped").unwrap().count, 1);
+    }
+}

@@ -57,16 +57,19 @@ impl Ecdf {
     }
 
     /// `points` evenly-spaced `(x, F(x))` pairs spanning the sample range —
-    /// the series a plotting tool would consume.
+    /// the series a plotting tool would consume. The span always includes
+    /// both endpoints (`points` is raised to 2 if needed); a constant
+    /// sample yields the two-point curve `[(lo, F(lo)), (hi, 1.0)]`.
     pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || points == 0 {
             return Vec::new();
         }
         let lo = self.sorted[0];
         let hi = self.sorted[self.sorted.len() - 1];
-        if points == 1 || hi == lo {
-            return vec![(hi, 1.0)];
+        if hi == lo {
+            return vec![(lo, self.eval(lo)), (hi, 1.0)];
         }
+        let points = points.max(2);
         (0..points)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
@@ -174,8 +177,18 @@ mod tests {
 
     #[test]
     fn curve_degenerate_sample() {
+        // A constant sample still reports both span endpoints (the old
+        // single-point answer dropped the lower one).
         let e = Ecdf::new(&[5.0, 5.0, 5.0]);
-        assert_eq!(e.curve(10), vec![(5.0, 1.0)]);
+        assert_eq!(e.curve(10), vec![(5.0, 1.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn curve_one_point_still_spans_the_range() {
+        // Regression: curve(1) used to return only (max, 1.0), losing the
+        // lower endpoint of the range.
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.curve(1), vec![(1.0, 0.25), (4.0, 1.0)]);
     }
 
     #[test]

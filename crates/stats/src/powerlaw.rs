@@ -41,21 +41,28 @@ pub fn fit_power_law(xs: &[f64], xmin: f64) -> Option<PowerLawFit> {
     let alpha = 1.0 + n / sum_log;
 
     // Goodness proxy: compare empirical CCDF to fitted slope in log space.
+    // The CCDF is evaluated once per *distinct* value as `count(≥x)/n`:
+    // walking raw indices (`1 - i/n`) hands every duplicate of a tied
+    // value a different CCDF — only one of which is right — biasing the
+    // residual on integer degree data, where ties dominate.
     let mut sorted = tail.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let mut resid = 0.0;
     let mut count = 0usize;
-    for (i, &x) in sorted.iter().enumerate() {
-        if x <= xmin {
-            continue;
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i];
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == x {
+            j += 1;
         }
-        let ccdf = 1.0 - i as f64 / n; // fraction ≥ x (approx.)
-        if ccdf <= 0.0 {
-            continue;
+        if x > xmin {
+            let ccdf = (sorted.len() - i) as f64 / n; // exact fraction ≥ x
+            let predicted = -(alpha - 1.0) * (x / xmin).ln();
+            resid += (ccdf.ln() - predicted).abs();
+            count += 1;
         }
-        let predicted = -(alpha - 1.0) * (x / xmin).ln();
-        resid += (ccdf.ln() - predicted).abs();
-        count += 1;
+        i = j;
     }
     let loglog_residual = if count > 0 { resid / count as f64 } else { 0.0 };
     Some(PowerLawFit { alpha, xmin, n_tail: tail.len(), loglog_residual })
@@ -135,6 +142,42 @@ mod tests {
             "uniform {} vs power {}",
             fit.loglog_residual,
             pl.loglog_residual
+        );
+    }
+
+    #[test]
+    fn tied_observations_share_one_ccdf_point() {
+        // Integer degrees with heavy ties. CCDF at each distinct value is
+        // count(≥x)/n: for [1×6, 2×3, 4×1], P(X≥2) = 4/10 and
+        // P(X≥4) = 1/10, regardless of how the ties are indexed.
+        let xs: Vec<f64> = [vec![1.0; 6], vec![2.0; 3], vec![4.0; 1]].concat();
+        let fit = fit_power_law(&xs, 1.0).expect("n == 10 tail");
+        let alpha = fit.alpha;
+        let expect = |x: f64, ccdf: f64| (ccdf.ln() - (-(alpha - 1.0) * x.ln())).abs();
+        let want = (expect(2.0, 0.4) + expect(4.0, 0.1)) / 2.0;
+        assert!(
+            (fit.loglog_residual - want).abs() < 1e-12,
+            "residual {} want {want}",
+            fit.loglog_residual
+        );
+    }
+
+    #[test]
+    fn residual_is_invariant_under_duplication() {
+        // Repeating every observation k times changes neither the distinct
+        // values nor their CCDF fractions, so the residual must not move.
+        // The old per-index CCDF walked duplicates to different heights
+        // and failed this.
+        let base = power_sample(2.3, 1.0, 500).iter().map(|x| x.round()).collect::<Vec<_>>();
+        let tripled: Vec<f64> = base.iter().flat_map(|&x| [x, x, x]).collect();
+        let f1 = fit_power_law(&base, 1.0).unwrap();
+        let f3 = fit_power_law(&tripled, 1.0).unwrap();
+        assert!((f1.alpha - f3.alpha).abs() < 1e-12);
+        assert!(
+            (f1.loglog_residual - f3.loglog_residual).abs() < 1e-9,
+            "{} vs {}",
+            f1.loglog_residual,
+            f3.loglog_residual
         );
     }
 

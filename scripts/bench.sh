@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run-stats bench: run one fixed-seed small-scale study end to end and
+# emit the machine-readable run report (stage wall-clocks, per-phase
+# crawl coverage, per-scorer throughput, full metric snapshot) as
+# BENCH_PR2.json in the repo root.
+#
+# Usage: scripts/bench.sh [extra runstats args, e.g. --scale 0.002]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin runstats -- --out BENCH_PR2.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR2.json") as f:
+    report = json.load(f)
+for key in ("stages_us", "phases", "scorers", "metrics"):
+    assert key in report, f"BENCH_PR2.json missing {key!r}"
+assert report["phases"], "no crawl phases recorded"
+assert all(
+    p["attempted"] == p["succeeded"] + p["dead_lettered"]
+    for p in report["phases"].values()
+), "phase accounting out of balance"
+print("BENCH_PR2.json OK:",
+      f"{report['comments']} comments,",
+      f"{len(report['phases'])} phases,",
+      f"{len(report['scorers'])} scorers,",
+      f"wall {report['wall_ms']:.0f} ms")
+EOF

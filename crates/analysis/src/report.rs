@@ -4,8 +4,8 @@ use crate::content::{language_table, youtube_breakdown, YoutubeBreakdown};
 use crate::domains::{domain_comment_medians, domain_table, tld_table, ShareRow};
 use crate::social::{analyze_social, SocialAnalysis};
 use crate::toxicity::{
-    figure4, figure7_dataset, figure8, score_store_with_metrics, score_texts_with_metrics,
-    CommentScores, Figure4, Figure7Dataset, Figure8,
+    figure4, figure7_dataset, figure8, score_store_pooled, score_texts_pooled, CommentScores,
+    Figure4, Figure7Dataset, Figure8,
 };
 use crate::url::{census, UrlCensus};
 use crate::users::{
@@ -128,14 +128,29 @@ pub fn build_report(
 }
 
 /// [`build_report`] exporting per-scorer throughput to `metrics` (see
-/// [`score_texts_with_metrics`]).
+/// [`crate::toxicity::score_texts_with_metrics`]). Spins up a transient
+/// `workers`-sized scoring pool.
 pub fn build_report_with_metrics(
     store: &CrawlStore,
     baselines: &[BaselineCorpus],
     workers: usize,
     metrics: Option<&obs::Registry>,
 ) -> StudyReport {
-    let scores = score_store_with_metrics(store, workers, metrics);
+    let workers = workers.max(1);
+    let pool = httpnet::ThreadPool::new(workers, workers * 2);
+    build_report_pooled(store, baselines, &pool, metrics)
+}
+
+/// [`build_report`] with every scoring pass sharded onto a shared
+/// [`httpnet::ThreadPool`] (see [`score_texts_pooled`] for the
+/// determinism contract and the metrics exported).
+pub fn build_report_pooled(
+    store: &CrawlStore,
+    baselines: &[BaselineCorpus],
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+) -> StudyReport {
+    let scores = score_store_pooled(store, pool, metrics);
 
     let ghosts = ghost_users(store);
     let overview = Overview {
@@ -191,7 +206,7 @@ pub fn build_report_with_metrics(
         .flat_map(|m| m.comments.iter().map(String::as_str))
         .collect();
     let reddit_scored: Vec<classify::PerspectiveScores> =
-        score_texts_with_metrics(&reddit_texts, workers, metrics)
+        score_texts_pooled(&reddit_texts, pool, metrics)
             .iter()
             .map(|s| s.perspective)
             .collect();
@@ -207,7 +222,7 @@ pub fn build_report_with_metrics(
     for corpus in baselines {
         let texts: Vec<&str> = corpus.comments.iter().map(String::as_str).collect();
         let scored: Vec<classify::PerspectiveScores> =
-            score_texts_with_metrics(&texts, workers, metrics)
+            score_texts_pooled(&texts, pool, metrics)
                 .iter()
                 .map(|s| s.perspective)
                 .collect();

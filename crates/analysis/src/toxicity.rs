@@ -22,57 +22,73 @@ pub struct CommentScores {
     pub dictionary: f64,
 }
 
-/// Score a batch of texts in parallel (chunked threads).
+/// Score a batch of texts in parallel (sharded on a transient pool).
 pub fn score_texts(texts: &[&str], workers: usize) -> Vec<CommentScores> {
     score_texts_with_metrics(texts, workers, None)
 }
 
-/// [`score_texts`], exporting per-scorer throughput to `metrics`:
-/// `classify.<scorer>.comments` counters (text counts, deterministic),
-/// `classify.<scorer>.busy` histograms (per-thread scorer busy time),
-/// and `classify.<scorer>.comments_per_sec` gauges (per-core rate:
-/// comments over summed cross-thread busy time).
+/// [`score_texts`], exporting per-scorer throughput to `metrics` (see
+/// [`score_texts_pooled`]). Spins up a transient `workers`-sized pool;
+/// callers that already own a pool should prefer the pooled variant.
 pub fn score_texts_with_metrics(
     texts: &[&str],
     workers: usize,
     metrics: Option<&obs::Registry>,
 ) -> Vec<CommentScores> {
-    use std::time::{Duration, Instant};
     let workers = workers.max(1);
-    let chunk = texts.len().div_ceil(workers).max(1);
-    // (scores, perspective busy, dictionary busy) per worker thread.
-    let mut out: Vec<(Vec<CommentScores>, Duration, Duration)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = texts
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let model = PerspectiveModel::standard();
-                    let dict = HateDictionary::standard();
-                    let mut persp_busy = Duration::ZERO;
-                    let mut dict_busy = Duration::ZERO;
-                    let scores = chunk
-                        .iter()
-                        .map(|t| {
-                            let t0 = Instant::now();
-                            let perspective = model.score(t);
-                            let t1 = Instant::now();
-                            let dictionary = dict.score(t);
-                            persp_busy += t1 - t0;
-                            dict_busy += t1.elapsed();
-                            CommentScores { perspective, dictionary }
-                        })
-                        .collect::<Vec<_>>();
-                    (scores, persp_busy, dict_busy)
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("scoring thread"));
-        }
-    });
+    let pool = httpnet::ThreadPool::new(workers, workers * 2);
+    score_texts_pooled(texts, &pool, metrics)
+}
+
+/// Score a batch of texts on a shared [`httpnet::ThreadPool`], split
+/// into fixed-size index-ordered shards and merged in shard order —
+/// byte-identical output for any pool size (scoring is a pure function
+/// of the text).
+///
+/// Exports per-scorer throughput to `metrics`:
+/// `classify.<scorer>.comments` counters (text counts, deterministic),
+/// `classify.<scorer>.busy` histograms (per-shard scorer busy time),
+/// `classify.<scorer>.comments_per_sec` gauges (per-core rate: comments
+/// over summed cross-shard busy time), plus `shard.classify.score.*`
+/// shard execution metrics (deterministic `jobs`/`items` counts,
+/// wall-clock `busy`/`gather` histograms).
+pub fn score_texts_pooled(
+    texts: &[&str],
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+) -> Vec<CommentScores> {
+    use std::time::{Duration, Instant};
+    let bounds = classify::shard::shard_bounds(texts.len(), classify::shard::DEFAULT_SHARD_SIZE);
+    // (scores, perspective busy, dictionary busy) per shard.
+    let jobs: Vec<_> = bounds
+        .iter()
+        .map(|r| {
+            let shard: Vec<String> = texts[r.clone()].iter().map(|t| (*t).to_owned()).collect();
+            move || {
+                let model = PerspectiveModel::standard();
+                let dict = HateDictionary::standard();
+                let mut persp_busy = Duration::ZERO;
+                let mut dict_busy = Duration::ZERO;
+                let scores = shard
+                    .iter()
+                    .map(|t| {
+                        let t0 = Instant::now();
+                        let perspective = model.score(t);
+                        let t1 = Instant::now();
+                        let dictionary = dict.score(t);
+                        persp_busy += t1 - t0;
+                        dict_busy += t1.elapsed();
+                        CommentScores { perspective, dictionary }
+                    })
+                    .collect::<Vec<_>>();
+                (scores, persp_busy, dict_busy)
+            }
+        })
+        .collect();
+    let out = pool.scatter_labeled("classify.score", metrics, jobs);
     if let Some(registry) = metrics {
         let n = texts.len() as u64;
+        registry.add("shard.classify.score.items", n);
         let persp_total: Duration = out.iter().map(|(_, p, _)| *p).sum();
         let dict_total: Duration = out.iter().map(|(_, _, d)| *d).sum();
         for (scorer, busy) in [("perspective", persp_total), ("dictionary", dict_total)] {
@@ -109,10 +125,21 @@ pub fn score_store_with_metrics(
     workers: usize,
     metrics: Option<&obs::Registry>,
 ) -> HashMap<ObjectId, CommentScores> {
+    let workers = workers.max(1);
+    let pool = httpnet::ThreadPool::new(workers, workers * 2);
+    score_store_pooled(store, &pool, metrics)
+}
+
+/// [`score_store`] on a shared pool (see [`score_texts_pooled`]).
+pub fn score_store_pooled(
+    store: &CrawlStore,
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+) -> HashMap<ObjectId, CommentScores> {
     let items: Vec<(&ObjectId, &str)> =
         store.comments.iter().map(|(id, c)| (id, c.text.as_str())).collect();
     let texts: Vec<&str> = items.iter().map(|(_, t)| *t).collect();
-    let scores = score_texts_with_metrics(&texts, workers, metrics);
+    let scores = score_texts_pooled(&texts, pool, metrics);
     items.iter().map(|(id, _)| **id).zip(scores).collect()
 }
 

@@ -50,9 +50,17 @@ pub fn figure5(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
             per_url.entry(c.url_id).or_default().push(s.perspective.severe_toxicity);
         }
     }
+    // URLs in id order, severities in value order: the stores are hash
+    // maps, so without this the point list (tie order under the stable
+    // net-vote sort) and the f64 mean (summation order) would vary run to
+    // run and break the byte-identical export contract.
+    let mut url_ids: Vec<ObjectId> = store.urls.keys().copied().collect();
+    url_ids.sort_unstable();
     let mut points = Vec::with_capacity(store.urls.len());
-    for (id, u) in &store.urls {
-        let Some(sev) = per_url.get(id) else { continue };
+    for id in url_ids {
+        let u = &store.urls[&id];
+        let Some(sev) = per_url.get_mut(&id) else { continue };
+        sev.sort_by(|a, b| a.partial_cmp(b).expect("finite severities"));
         let mean = stats::mean(sev).unwrap_or(0.0);
         let median = stats::median(sev).unwrap_or(0.0);
         points.push(VotePoint {

@@ -1,0 +1,164 @@
+//! Worker-sharding speedup bench: run the same fixed-seed study serially
+//! (`workers = 1`) and sharded (`--workers N`), prove the deterministic
+//! report renders byte-identical, and emit the timing comparison as JSON
+//! (the `BENCH_PR3.json` artifact produced by `scripts/bench_pr3.sh`).
+//!
+//! ```text
+//! speedup [--out FILE] [--scale <f64>] [--seed N] [--workers N] [--svm-corpus N]
+//! ```
+//!
+//! The determinism check is unconditional: any byte of divergence between
+//! the serial and sharded renders aborts the bench. The speedup assertion
+//! is gated on the host's CPU count (recorded as `"cpus"`): a single-core
+//! box cannot speed anything up, so there the bench only records the
+//! ratio.
+
+use dissenter_core::{render, run_study, Study, StudyConfig};
+use std::fmt::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: speedup [--out FILE] [--scale <f64>] [--seed N] [--workers N] [--svm-corpus N]"
+    );
+    std::process::exit(2);
+}
+
+/// FNV-1a over the rendered report — a compact fingerprint for the JSON.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Minimum speedup the bench enforces for a given CPU count: 8 sharded
+/// workers must beat serial by 1.5× with ≥4 cores, by a hair with 2–3,
+/// and the assertion is vacuous on a single core.
+fn required_speedup(cpus: usize) -> f64 {
+    match cpus {
+        0 | 1 => 0.0,
+        2 | 3 => 1.1,
+        _ => 1.5,
+    }
+}
+
+fn timed_study(cfg: &StudyConfig) -> (Study, std::time::Duration) {
+    let started = std::time::Instant::now();
+    let study = run_study(cfg);
+    (study, started.elapsed())
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR3.json");
+    let mut workers = 8usize;
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = synth::config::Scale::Custom(0.004);
+    cfg.svm_corpus = 600;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.scale =
+                    synth::config::Scale::Custom(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.world.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                workers = v.parse().unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage();
+                }
+            }
+            "--svm-corpus" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.svm_corpus = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    cfg.workers = 1;
+    let (serial, serial_wall) = timed_study(&cfg);
+    cfg.workers = workers;
+    let (parallel, parallel_wall) = timed_study(&cfg);
+
+    // The contract under test: the deterministic render (every paper
+    // artifact; run statistics excluded as wall-clock) must be
+    // byte-identical at any worker count.
+    let serial_render = render::deterministic(&serial);
+    let parallel_render = render::deterministic(&parallel);
+    assert_eq!(
+        serial_render, parallel_render,
+        "deterministic render diverged between workers=1 and workers={workers}"
+    );
+    let digest = fnv1a64(serial_render.as_bytes());
+
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+
+    let mut s = String::from("{");
+    let _ = write!(s, "\"bench\":\"worker-speedup\"");
+    let _ = write!(s, ",\"seed\":{}", cfg.world.seed);
+    let _ = write!(s, ",\"scale\":{}", serial.scale_factor);
+    let _ = write!(s, ",\"cpus\":{cpus}");
+    let _ = write!(s, ",\"workers\":{workers}");
+    let _ = write!(s, ",\"wall_ms_serial\":{:.1}", serial_wall.as_secs_f64() * 1e3);
+    let _ = write!(s, ",\"wall_ms_parallel\":{:.1}", parallel_wall.as_secs_f64() * 1e3);
+    let _ = write!(s, ",\"speedup\":{speedup:.3}");
+    let _ = write!(s, ",\"required_speedup\":{}", required_speedup(cpus));
+    let _ = write!(s, ",\"deterministic\":true");
+    let _ = write!(s, ",\"report_fnv1a64\":\"{digest:016x}\"");
+    let _ = write!(s, ",\"comments\":{}", serial.report.overview.comments);
+
+    s.push_str(",\"shards\":{");
+    for (i, sh) in parallel.runstats.shards.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{}\":{{\"jobs\":{},\"items\":{},\"busy_us\":{}}}",
+            if i > 0 { "," } else { "" },
+            sh.name,
+            sh.jobs,
+            sh.items,
+            sh.busy_us
+        );
+    }
+    s.push('}');
+
+    s.push_str(",\"stages_us\":{");
+    for (which, study) in [("serial", &serial), ("parallel", &parallel)] {
+        let _ = write!(s, "{}\"{which}\":{{", if which == "serial" { "" } else { "," });
+        for (i, st) in study.runstats.stages.iter().enumerate() {
+            let _ = write!(s, "{}\"{}\":{}", if i > 0 { "," } else { "" }, st.name, st.wall_us);
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s.push('}');
+
+    // Self-validate before writing: a malformed artifact should fail the
+    // bench run, not a downstream consumer.
+    jsonlite::parse(&s).expect("generated speedup report must be valid JSON");
+
+    std::fs::write(&out_path, &s).expect("write speedup report");
+    println!("wrote {} ({} bytes)", out_path.display(), s.len());
+    println!(
+        "serial {:.0} ms, {workers} workers {:.0} ms → {speedup:.2}x on {cpus} cpu(s); \
+         deterministic render fnv1a64={digest:016x}",
+        serial_wall.as_secs_f64() * 1e3,
+        parallel_wall.as_secs_f64() * 1e3,
+    );
+
+    let required = required_speedup(cpus);
+    assert!(
+        speedup >= required,
+        "speedup {speedup:.2}x below the {required:.1}x floor for {cpus} cpus"
+    );
+}

@@ -8,10 +8,16 @@
 //! where the minority class is hardest to learn (neighborhoods dominated by
 //! other classes).
 
+use crate::shard;
 use crate::svm::{lerp, sq_dist, SparseVec};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+
+/// Shard size for the per-minority-sample passes. Small because each
+/// kNN scan is O(n) over the whole corpus; fixed so shard geometry (and
+/// with it the output) never depends on the worker count.
+const ADASYN_SHARD: usize = 16;
 
 /// ADASYN parameters.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +39,56 @@ impl Default for AdasynConfig {
 
 /// Oversample `samples` (feature, label) so every class approaches the
 /// majority class count. Returns the input plus synthetic samples.
+/// Serial entry point; identical output to [`adasyn_sharded`] at any
+/// worker count.
 pub fn adasyn(samples: &[(SparseVec, usize)], classes: usize, cfg: AdasynConfig) -> Vec<(SparseVec, usize)> {
+    adasyn_sharded(samples, classes, cfg, 1)
+}
+
+/// k nearest neighbors of minority sample `i` among ALL samples:
+/// hardness r_i = fraction of those neighbors from other classes, plus
+/// the same-class neighbor indices used for interpolation.
+fn knn_scan(
+    samples: &[(SparseVec, usize)],
+    i: usize,
+    class: usize,
+    k: usize,
+) -> (f64, Vec<usize>) {
+    let mut dists: Vec<(f64, usize)> = (0..samples.len())
+        .filter(|&j| j != i)
+        .map(|j| (sq_dist(&samples[i].0, &samples[j].0), j))
+        .collect();
+    let k = k.min(dists.len());
+    let nth = k.saturating_sub(1).min(dists.len().saturating_sub(1));
+    dists.select_nth_unstable_by(nth, |a, b| {
+        a.0.partial_cmp(&b.0).expect("finite distances")
+    });
+    let neigh = &dists[..k];
+    let foreign = neigh.iter().filter(|(_, j)| samples[*j].1 != class).count();
+    let hardness = foreign as f64 / k.max(1) as f64;
+    let minority_neighbors = neigh
+        .iter()
+        .filter(|(_, j)| samples[*j].1 == class)
+        .map(|(_, j)| *j)
+        .collect();
+    (hardness, minority_neighbors)
+}
+
+/// [`adasyn`] with the O(n·k) neighbor scan and the synthesis pass
+/// sharded over `workers` threads.
+///
+/// Deterministic across worker counts: each minority sample `m` of a
+/// class draws from its own RNG stream seeded by
+/// `stream_seed(cfg.seed, class << 32 | m)` — stable ids, not thread
+/// identity — and synthetic samples are appended in canonical
+/// (class asc, minority position asc, draw asc) order, exactly the
+/// order the serial loop produces.
+pub fn adasyn_sharded(
+    samples: &[(SparseVec, usize)],
+    classes: usize,
+    cfg: AdasynConfig,
+    workers: usize,
+) -> Vec<(SparseVec, usize)> {
     assert!(cfg.k >= 1, "k must be >= 1");
     assert!(cfg.beta > 0.0 && cfg.beta <= 1.0, "beta must be in (0,1]");
     let mut counts = vec![0usize; classes];
@@ -41,7 +96,6 @@ pub fn adasyn(samples: &[(SparseVec, usize)], classes: usize, cfg: AdasynConfig)
         counts[*y] += 1;
     }
     let majority = counts.iter().copied().max().unwrap_or(0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out: Vec<(SparseVec, usize)> = samples.to_vec();
 
     for (class, &class_count) in counts.iter().enumerate() {
@@ -52,51 +106,47 @@ pub fn adasyn(samples: &[(SparseVec, usize)], classes: usize, cfg: AdasynConfig)
         let minority_idx: Vec<usize> =
             (0..samples.len()).filter(|&i| samples[i].1 == class).collect();
 
-        // For each minority sample: k nearest neighbors among ALL samples,
-        // hardness r_i = fraction of those neighbors from other classes.
-        let mut hardness = Vec::with_capacity(minority_idx.len());
-        let mut minority_neighbors: Vec<Vec<usize>> = Vec::with_capacity(minority_idx.len());
-        for &i in &minority_idx {
-            let mut dists: Vec<(f64, usize)> = (0..samples.len())
-                .filter(|&j| j != i)
-                .map(|j| (sq_dist(&samples[i].0, &samples[j].0), j))
-                .collect();
-            let k = cfg.k.min(dists.len());
-            let nth = k.saturating_sub(1).min(dists.len().saturating_sub(1));
-            dists.select_nth_unstable_by(nth, |a, b| {
-                a.0.partial_cmp(&b.0).expect("finite distances")
+        let scans: Vec<(f64, Vec<usize>)> =
+            shard::map_sharded(&minority_idx, ADASYN_SHARD, workers, |_, shard| {
+                shard.iter().map(|&i| knn_scan(samples, i, class, cfg.k)).collect()
             });
-            let neigh = &dists[..k];
-            let foreign = neigh.iter().filter(|(_, j)| samples[*j].1 != class).count();
-            hardness.push(foreign as f64 / k.max(1) as f64);
-            minority_neighbors.push(
-                neigh
+        let total_hardness: f64 = scans.iter().map(|(h, _)| h).sum();
+
+        // Synthesis: per-minority-sample RNG streams, canonical order.
+        let synthetic: Vec<Vec<(SparseVec, usize)>> =
+            shard::map_sharded(&minority_idx, ADASYN_SHARD, workers, |shard_id, shard| {
+                shard
                     .iter()
-                    .filter(|(_, j)| samples[*j].1 == class)
-                    .map(|(_, j)| *j)
-                    .collect(),
-            );
-        }
-        let total_hardness: f64 = hardness.iter().sum();
-        for (m, &i) in minority_idx.iter().enumerate() {
-            // Allocation: proportional to hardness; uniform if all easy.
-            let share = if total_hardness > 0.0 {
-                hardness[m] / total_hardness
-            } else {
-                1.0 / minority_idx.len() as f64
-            };
-            let g = (share * deficit as f64).round() as usize;
-            for _ in 0..g {
-                let base = &samples[i].0;
-                let synth = if minority_neighbors[m].is_empty() {
-                    base.clone() // isolated sample: duplicate
-                } else {
-                    let pick = minority_neighbors[m][rng.gen_range(0..minority_neighbors[m].len())];
-                    lerp(base, &samples[pick].0, rng.gen::<f32>())
-                };
-                out.push((synth, class));
-            }
-        }
+                    .enumerate()
+                    .map(|(pos, &i)| {
+                        let m = shard_id * ADASYN_SHARD + pos;
+                        let (hardness, neighbors) = &scans[m];
+                        // Allocation: proportional to hardness; uniform if all easy.
+                        let share = if total_hardness > 0.0 {
+                            hardness / total_hardness
+                        } else {
+                            1.0 / minority_idx.len() as f64
+                        };
+                        let g = (share * deficit as f64).round() as usize;
+                        let sample_id = ((class as u64) << 32) | m as u64;
+                        let mut rng =
+                            StdRng::seed_from_u64(shard::stream_seed(cfg.seed, sample_id));
+                        let base = &samples[i].0;
+                        (0..g)
+                            .map(|_| {
+                                let synth = if neighbors.is_empty() {
+                                    base.clone() // isolated sample: duplicate
+                                } else {
+                                    let pick = neighbors[rng.gen_range(0..neighbors.len())];
+                                    lerp(base, &samples[pick].0, rng.gen::<f32>())
+                                };
+                                (synth, class)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+        out.extend(synthetic.into_iter().flatten());
     }
     out
 }
@@ -175,6 +225,17 @@ mod tests {
         let b = adasyn(&s, 2, AdasynConfig::default());
         assert_eq!(a.len(), b.len());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_output_identical_for_any_worker_count() {
+        let s = toy_imbalanced();
+        let serial = adasyn_sharded(&s, 2, AdasynConfig::default(), 1);
+        for workers in [2, 3, 8] {
+            let par = adasyn_sharded(&s, 2, AdasynConfig::default(), workers);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        assert_eq!(serial, adasyn(&s, 2, AdasynConfig::default()));
     }
 
     #[test]

@@ -5,9 +5,15 @@
 //! ADASYN is applied **inside** each fold, to the training split only —
 //! oversampling before splitting would leak synthetic copies of test
 //! samples into training, inflating F1.
+//!
+//! Folds are independent given the fold assignment, so CV parallelizes
+//! per fold ([`cross_validate_sharded`]); each fold's ADASYN draws from
+//! its own seed stream split by the stable fold id ([`run_fold`]), so
+//! serial and sharded execution produce identical confusions.
 
-use crate::adasyn::{adasyn, AdasynConfig};
+use crate::adasyn::{adasyn_sharded, AdasynConfig};
 use crate::metrics::Confusion;
+use crate::shard;
 use crate::svm::{LinearSvm, SparseVec, SvmConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -42,8 +48,47 @@ impl CvResult {
     }
 }
 
+/// Train on everything outside `fold` (ADASYN on the training split when
+/// `oversample` is set) and score the held-out fold.
+///
+/// The fold's ADASYN seed is split from the base config by the stable
+/// fold id — never the thread that runs the fold — so a pool executing
+/// folds in any order reproduces the serial confusion exactly.
+pub fn run_fold(
+    samples: &[(SparseVec, usize)],
+    folds: &[usize],
+    fold: usize,
+    classes: usize,
+    svm_cfg: SvmConfig,
+    oversample: Option<AdasynConfig>,
+) -> Confusion {
+    let train: Vec<(SparseVec, usize)> = samples
+        .iter()
+        .zip(folds)
+        .filter(|(_, &f)| f != fold)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let train = match oversample {
+        Some(cfg) => {
+            let fold_cfg =
+                AdasynConfig { seed: shard::stream_seed(cfg.seed, fold as u64), ..cfg };
+            adasyn_sharded(&train, classes, fold_cfg, 1)
+        }
+        None => train,
+    };
+    let model = LinearSvm::train(&train, classes, svm_cfg);
+    let mut confusion = Confusion::new(classes);
+    for (s, &f) in samples.iter().zip(folds) {
+        if f == fold {
+            confusion.add(s.1, model.predict(&s.0));
+        }
+    }
+    confusion
+}
+
 /// Evaluate one SVM configuration with k-fold CV; ADASYN applied per-fold
-/// when `oversample` is set.
+/// when `oversample` is set. Serial; identical to
+/// [`cross_validate_sharded`] at any worker count.
 pub fn cross_validate(
     samples: &[(SparseVec, usize)],
     classes: usize,
@@ -52,31 +97,39 @@ pub fn cross_validate(
     oversample: Option<AdasynConfig>,
     seed: u64,
 ) -> CvResult {
+    cross_validate_sharded(samples, classes, k, svm_cfg, oversample, seed, 1)
+}
+
+/// [`cross_validate`] with folds executed on `workers` threads and the
+/// per-fold confusions merged in ascending fold order.
+#[allow(clippy::too_many_arguments)]
+pub fn cross_validate_sharded(
+    samples: &[(SparseVec, usize)],
+    classes: usize,
+    k: usize,
+    svm_cfg: SvmConfig,
+    oversample: Option<AdasynConfig>,
+    seed: u64,
+    workers: usize,
+) -> CvResult {
     let folds = fold_assignment(samples.len(), k, seed);
-    let mut confusion = Confusion::new(classes);
-    for fold in 0..k {
-        let train: Vec<(SparseVec, usize)> = samples
+    let fold_ids: Vec<usize> = (0..k).collect();
+    let per_fold: Vec<Confusion> = shard::map_sharded(&fold_ids, 1, workers, |_, shard| {
+        shard
             .iter()
-            .zip(&folds)
-            .filter(|(_, &f)| f != fold)
-            .map(|(s, _)| s.clone())
-            .collect();
-        let train = match oversample {
-            Some(cfg) => adasyn(&train, classes, cfg),
-            None => train,
-        };
-        let model = LinearSvm::train(&train, classes, svm_cfg);
-        for (s, &f) in samples.iter().zip(&folds) {
-            if f == fold {
-                confusion.add(s.1, model.predict(&s.0));
-            }
-        }
+            .map(|&fold| run_fold(samples, &folds, fold, classes, svm_cfg, oversample))
+            .collect()
+    });
+    let mut confusion = Confusion::new(classes);
+    for c in &per_fold {
+        confusion.merge(c);
     }
     CvResult { confusion, config: svm_cfg }
 }
 
 /// Grid search over λ: cross-validate each candidate, return all results
-/// sorted by weighted F1 (best first).
+/// sorted by weighted F1 (best first). Candidates run serially; pass
+/// `workers` via [`grid_search_sharded`] to fan the (λ, fold) grid out.
 pub fn grid_search(
     samples: &[(SparseVec, usize)],
     classes: usize,
@@ -86,12 +139,50 @@ pub fn grid_search(
     oversample: Option<AdasynConfig>,
     seed: u64,
 ) -> Vec<CvResult> {
+    grid_search_sharded(samples, classes, k, lambdas, base, oversample, seed, 1)
+}
+
+/// [`grid_search`] with the flattened (λ, fold) job grid executed on
+/// `workers` threads. The fold assignment is shared across candidates
+/// (same `seed`), per-fold results merge in fold order per λ, and the
+/// final sort is by (F1 desc, candidate index asc) — all independent of
+/// scheduling, so output is byte-identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search_sharded(
+    samples: &[(SparseVec, usize)],
+    classes: usize,
+    k: usize,
+    lambdas: &[f64],
+    base: SvmConfig,
+    oversample: Option<AdasynConfig>,
+    seed: u64,
+    workers: usize,
+) -> Vec<CvResult> {
     assert!(!lambdas.is_empty(), "empty grid");
+    let folds = fold_assignment(samples.len(), k, seed);
+    // Flatten to (candidate, fold) jobs so k-fold parallelism is not
+    // capped at k when the grid has several candidates.
+    let jobs: Vec<(usize, usize)> = (0..lambdas.len())
+        .flat_map(|c| (0..k).map(move |fold| (c, fold)))
+        .collect();
+    let per_job: Vec<Confusion> = shard::map_sharded(&jobs, 1, workers, |_, shard| {
+        shard
+            .iter()
+            .map(|&(c, fold)| {
+                let cfg = SvmConfig { lambda: lambdas[c], ..base };
+                run_fold(samples, &folds, fold, classes, cfg, oversample)
+            })
+            .collect()
+    });
     let mut results: Vec<CvResult> = lambdas
         .iter()
-        .map(|&lambda| {
-            let cfg = SvmConfig { lambda, ..base };
-            cross_validate(samples, classes, k, cfg, oversample, seed)
+        .enumerate()
+        .map(|(c, &lambda)| {
+            let mut confusion = Confusion::new(classes);
+            for fold in 0..k {
+                confusion.merge(&per_job[c * k + fold]);
+            }
+            CvResult { confusion, config: SvmConfig { lambda, ..base } }
         })
         .collect();
     results.sort_by(|a, b| {
@@ -171,5 +262,33 @@ mod tests {
     #[should_panic(expected = "folds")]
     fn too_few_samples_panics() {
         fold_assignment(3, 5, 0);
+    }
+
+    #[test]
+    fn sharded_cv_identical_for_any_worker_count() {
+        let s = separable(15);
+        let cfg = SvmConfig { dim: 16, lambda: 1e-3, epochs: 8, seed: 2 };
+        let over = Some(AdasynConfig::default());
+        let serial = cross_validate_sharded(&s, 2, 3, cfg, over, 5, 1);
+        for workers in [2, 8] {
+            let par = cross_validate_sharded(&s, 2, 3, cfg, over, 5, workers);
+            assert_eq!(par.confusion, serial.confusion, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_grid_identical_for_any_worker_count() {
+        let s = separable(12);
+        let base = SvmConfig { dim: 16, epochs: 6, seed: 2, lambda: 0.0 };
+        let lambdas = [1e-4, 1e-2];
+        let serial = grid_search_sharded(&s, 2, 3, &lambdas, base, None, 3, 1);
+        for workers in [2, 8] {
+            let par = grid_search_sharded(&s, 2, 3, &lambdas, base, None, 3, workers);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.confusion, b.confusion, "workers={workers}");
+                assert_eq!(a.config.lambda, b.config.lambda, "workers={workers}");
+            }
+        }
     }
 }

@@ -20,6 +20,10 @@
 //!    oversampling, [`cv`] k-fold cross-validation and grid search, and
 //!    [`metrics`] for F1 — reproducing the paper's hate/offensive/neither
 //!    classifier (5-fold F1 ≈ 0.87 on its training corpus).
+//!
+//! All three scorers (and the synth text generator above) parallelize
+//! through the deterministic sharding primitives in [`shard`]; see that
+//! module for the worker-count-invariance contract.
 
 pub mod adasyn;
 pub mod cv;
@@ -28,9 +32,11 @@ pub mod features;
 pub mod lexicon;
 pub mod metrics;
 pub mod perspective;
+pub mod shard;
 pub mod svm;
 
 pub use dictionary::HateDictionary;
+pub use metrics::Confusion;
 pub use lexicon::Lexicon;
 pub use perspective::{PerspectiveModel, PerspectiveScores};
 pub use svm::{CommentClass, LinearSvm, SvmConfig};

@@ -26,6 +26,15 @@ impl Confusion {
         self.m[truth * self.k + pred]
     }
 
+    /// Accumulate another matrix cell-wise (pooling per-fold confusions;
+    /// counts are commutative, so merge order cannot affect the result).
+    pub fn merge(&mut self, other: &Confusion) {
+        assert_eq!(self.k, other.k, "class count mismatch");
+        for (a, b) in self.m.iter_mut().zip(&other.m) {
+            *a += b;
+        }
+    }
+
     /// Total observations.
     pub fn total(&self) -> u64 {
         self.m.iter().sum()

@@ -22,7 +22,7 @@ pub mod render;
 pub mod runstats;
 pub mod svm_exp;
 
-use analysis::report::{build_report_with_metrics, StudyReport};
+use analysis::report::{build_report_pooled, StudyReport};
 use crawler::{CrawlConfig, CrawlStore, Crawler, Endpoints};
 use std::sync::Arc;
 use synth::config::Scale;
@@ -39,7 +39,9 @@ pub struct StudyConfig {
     pub world: WorldConfig,
     /// Crawl tuning.
     pub crawl: CrawlConfig,
-    /// Worker threads for CPU-bound scoring.
+    /// Worker threads for CPU-bound stages (synth text generation,
+    /// comment scoring, SVM cross-validation/application). Output is
+    /// byte-identical for every value; see DESIGN.md "Sharding".
     pub workers: usize,
     /// Size of the synthetic labeled corpus for the SVM experiment
     /// (the Davidson corpus is 37,718 samples; scale to taste).
@@ -89,11 +91,19 @@ pub struct Study {
 }
 
 /// Run the full pipeline.
+///
+/// CPU-bound stages (synth text generation, comment scoring, SVM
+/// cross-validation and application) shard onto `cfg.workers` threads;
+/// shard geometry and seed streams are keyed by stable ids, so the
+/// resulting [`Study`] is byte-identical at any worker count.
 pub fn run_study(cfg: &StudyConfig) -> Study {
     let metrics = obs::Registry::new();
+    let workers = cfg.workers.max(1);
+    // One pool shared by every scoring stage (report + SVM experiment).
+    let pool = httpnet::ThreadPool::with_metrics(workers, workers * 2, Some(&metrics));
 
     let span = metrics.span("stage.synth");
-    let (world, _truth) = synth::generate(&cfg.world);
+    let (world, _truth) = synth::generate_sharded(&cfg.world, workers);
     span.finish();
     let world = Arc::new(world);
 
@@ -125,15 +135,16 @@ pub fn run_study(cfg: &StudyConfig) -> Study {
     span.finish();
 
     let span = metrics.span("stage.report");
-    let report = build_report_with_metrics(&store, &world.baselines, cfg.workers, Some(&metrics));
+    let report = build_report_pooled(&store, &world.baselines, &pool, Some(&metrics));
     span.finish();
 
     let svm = (!cfg.skip_svm).then(|| {
         let span = metrics.span("stage.svm");
-        let r = svm_exp::run_svm_experiment_with_metrics(
+        let r = svm_exp::run_svm_experiment_pooled(
             &store,
             cfg.svm_corpus,
             cfg.world.seed,
+            &pool,
             Some(&metrics),
         );
         span.finish();
@@ -188,6 +199,11 @@ mod tests {
         scorers.sort_unstable();
         assert_eq!(scorers, vec!["dictionary", "perspective", "svm"]);
         assert!(rs.scorers.iter().all(|s| s.comments > 0), "scorers scored: {:?}", rs.scorers);
+
+        // Every sharded stage accounted for its scatter.
+        let shards: Vec<&str> = rs.shards.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(shards, vec!["classify.score", "svm.apply", "svm.cv"]);
+        assert!(rs.shards.iter().all(|s| s.jobs > 0), "shards ran: {:?}", rs.shards);
 
         // The wire instrumentation recorded latency for every service.
         for service in ["dissenter", "gab", "reddit", "youtube"] {

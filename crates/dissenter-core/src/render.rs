@@ -414,6 +414,17 @@ pub fn runstats(study: &Study) -> String {
             sc.name, sc.comments, sc.comments_per_sec
         );
     }
+    let _ = writeln!(s, "-- sharded stages (jobs/items worker-invariant) --");
+    for sh in &rs.shards {
+        let _ = writeln!(
+            s,
+            "  {:<15} shards={:<6} items={:<9} busy={:>9.1} ms",
+            sh.name,
+            sh.jobs,
+            sh.items,
+            sh.busy_us as f64 / 1e3
+        );
+    }
     let _ = writeln!(s, "-- request latency by service --");
     for (name, h) in &rs.snapshot.histograms {
         let Some(service) = name.strip_prefix("http.").and_then(|n| n.strip_suffix(".latency"))
@@ -431,6 +442,34 @@ pub fn runstats(study: &Study) -> String {
             h.p99_ns as f64 / 1e3,
             h.max_ns as f64 / 1e3
         );
+    }
+    s
+}
+
+/// The seed-deterministic subset of [`runstats`]: crawl coverage,
+/// scorer comment counts, and shard job/item accounting — everything
+/// counter-derived, nothing wall-clock. Byte-identical across same-seed
+/// runs at any worker count (shard geometry is worker-invariant), so it
+/// can be pinned by the golden-file test alongside the report.
+pub fn runstats_deterministic(study: &Study) -> String {
+    let rs = &study.runstats;
+    let mut s = String::new();
+    let _ = writeln!(s, "== Run statistics (deterministic subset) ==");
+    let _ = writeln!(s, "-- crawl coverage (attempted = succeeded + dead-lettered) --");
+    for p in &rs.phases {
+        let _ = writeln!(
+            s,
+            "  {:<10} attempted={:<8} succeeded={:<8} retried={:<6} dead-lettered={}",
+            p.name, p.attempted, p.succeeded, p.retried, p.dead_lettered
+        );
+    }
+    let _ = writeln!(s, "-- scorer volume --");
+    for sc in &rs.scorers {
+        let _ = writeln!(s, "  {:<12} comments={}", sc.name, sc.comments);
+    }
+    let _ = writeln!(s, "-- sharded stages --");
+    for sh in &rs.shards {
+        let _ = writeln!(s, "  {:<15} shards={:<6} items={}", sh.name, sh.jobs, sh.items);
     }
     s
 }
@@ -458,8 +497,11 @@ pub fn covert(study: &Study) -> String {
     s
 }
 
-/// Everything, in paper order.
-pub fn full(study: &Study) -> String {
+/// Every paper artifact, in paper order — the deterministic half of
+/// [`full`]: byte-identical across same-seed runs at **any** worker
+/// count (the determinism contract the worker-matrix and golden tests
+/// enforce). Excludes only [`runstats`], which reports wall-clock.
+pub fn deterministic(study: &Study) -> String {
     [
         overview(study),
         fig2(study),
@@ -477,7 +519,11 @@ pub fn full(study: &Study) -> String {
         fig9_core(study),
         svm(study),
         covert(study),
-        runstats(study),
     ]
     .join("\n")
+}
+
+/// Everything, in paper order.
+pub fn full(study: &Study) -> String {
+    [deterministic(study), runstats(study)].join("\n")
 }

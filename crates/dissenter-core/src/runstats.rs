@@ -45,6 +45,25 @@ pub struct ScorerThroughput {
     pub comments_per_sec: f64,
 }
 
+/// Scatter-gather accounting for one sharded pipeline stage (from the
+/// `shard.<label>.*` metrics emitted by
+/// [`httpnet::ThreadPool::scatter_labeled`] and the scoring passes).
+///
+/// `jobs` and `items` are deterministic *and* worker-invariant: shard
+/// geometry derives from input size and a fixed shard size, never from
+/// the worker count. `busy_us` is timing-derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Scatter label (`classify.score`, `svm.cv`, `svm.apply`).
+    pub name: String,
+    /// Shards executed (deterministic).
+    pub jobs: u64,
+    /// Items processed across shards (deterministic).
+    pub items: u64,
+    /// Total per-shard busy time, microseconds (timing-derived).
+    pub busy_us: u64,
+}
+
 /// The run's observability summary.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -54,6 +73,8 @@ pub struct RunStats {
     pub phases: Vec<PhaseCoverage>,
     /// Per-scorer classification throughput, sorted by name.
     pub scorers: Vec<ScorerThroughput>,
+    /// Per-label sharded-stage accounting, sorted by name.
+    pub shards: Vec<ShardStats>,
     /// The full metric snapshot (counters, gauges, histograms).
     pub snapshot: obs::Snapshot,
     /// The structured event trace as JSON Lines.
@@ -114,7 +135,24 @@ pub fn collect(registry: &obs::Registry) -> RunStats {
         })
         .collect();
 
-    RunStats { stages, phases, scorers, snapshot, events_jsonl: registry.events_jsonl() }
+    let mut shards: Vec<ShardStats> = snapshot
+        .counters_with_prefix("shard.")
+        .filter_map(|(name, jobs)| {
+            let label = name.strip_prefix("shard.")?.strip_suffix(".jobs")?;
+            Some(ShardStats {
+                name: label.to_owned(),
+                jobs,
+                items: snapshot.counter(&format!("shard.{label}.items")).unwrap_or(0),
+                busy_us: snapshot
+                    .histogram(&format!("shard.{label}.busy"))
+                    .map(|h| h.sum_ns / 1_000)
+                    .unwrap_or(0),
+            })
+        })
+        .collect();
+    shards.sort_by(|a, b| a.name.cmp(&b.name));
+
+    RunStats { stages, phases, scorers, shards, snapshot, events_jsonl: registry.events_jsonl() }
 }
 
 #[cfg(test)]
@@ -133,6 +171,10 @@ mod tests {
         r.add("crawl.probe.dead_lettered", 1);
         r.add("classify.dictionary.comments", 40);
         r.set_gauge("classify.dictionary.comments_per_sec", 123.0);
+        r.add("shard.svm.cv.jobs", 15);
+        r.add("shard.classify.score.jobs", 3);
+        r.add("shard.classify.score.items", 1_200);
+        r.histogram("shard.classify.score.busy").observe(Duration::from_millis(2));
 
         let rs = collect(&r);
         let names: Vec<&str> = rs.stages.iter().map(|s| s.name.as_str()).collect();
@@ -143,5 +185,11 @@ mod tests {
         assert_eq!(rs.scorers.len(), 1);
         assert_eq!(rs.scorers[0].comments, 40);
         assert_eq!(rs.scorers[0].comments_per_sec, 123.0);
+        let shard_names: Vec<&str> = rs.shards.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(shard_names, vec!["classify.score", "svm.cv"], "sorted by label");
+        assert_eq!(rs.shards[0].jobs, 3);
+        assert_eq!(rs.shards[0].items, 1_200);
+        assert_eq!(rs.shards[0].busy_us, 2_000);
+        assert_eq!(rs.shards[1].items, 0, "labels without item counters read zero");
     }
 }

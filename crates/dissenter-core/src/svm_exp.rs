@@ -2,13 +2,21 @@
 //! labeled corpus (Davidson-shaped imbalance) with ADASYN oversampling and
 //! grid search, report 5-fold cross-validated F1, then compute class
 //! probabilities for every crawled Dissenter comment.
+//!
+//! The experiment is sharded end to end: corpus synthesis and featurizing
+//! run on per-shard seed streams, the (λ, fold) grid fans out onto the
+//! shared study [`httpnet::ThreadPool`], and the application pass scores
+//! id-ordered comment shards whose partial sums merge in canonical shard
+//! order — so the report is byte-identical at any worker count.
 
-use classify::adasyn::AdasynConfig;
-use classify::cv::grid_search;
+use classify::adasyn::{adasyn_sharded, AdasynConfig};
+use classify::cv::{fold_assignment, run_fold, CvResult};
+use classify::shard;
 use classify::svm::{Featurizer, LinearSvm, SparseVec, SvmConfig};
 use classify::CommentClass;
 use crawler::CrawlStore;
-use synth::labeled_corpus;
+use std::sync::Arc;
+use synth::labeled_corpus_sharded;
 
 /// Outcome of the SVM experiment.
 #[derive(Debug, Clone)]
@@ -29,61 +37,129 @@ pub struct SvmReport {
     pub class_shares: [f64; 3],
 }
 
-/// Run the full experiment against a crawl.
+/// Run the full experiment against a crawl, serially.
 pub fn run_svm_experiment(store: &CrawlStore, corpus_size: usize, seed: u64) -> SvmReport {
     run_svm_experiment_with_metrics(store, corpus_size, seed, None)
 }
 
-/// [`run_svm_experiment`], exporting scorer metrics to `metrics`:
-/// `classify.svm.comments` (comments the final model scored —
-/// deterministic), `classify.svm.train` / `classify.svm.apply` busy-time
-/// histograms, and a `classify.svm.comments_per_sec` application-rate
-/// gauge.
+/// [`run_svm_experiment`] exporting scorer metrics; spins up a transient
+/// single-worker pool (see [`run_svm_experiment_pooled`] for the metrics
+/// exported).
 pub fn run_svm_experiment_with_metrics(
     store: &CrawlStore,
     corpus_size: usize,
     seed: u64,
     metrics: Option<&obs::Registry>,
 ) -> SvmReport {
-    let train_started = std::time::Instant::now();
-    let corpus = labeled_corpus(corpus_size, seed ^ 0x5717);
-    let featurizer = Featurizer::standard();
-    let samples: Vec<(SparseVec, usize)> = corpus
-        .iter()
-        .map(|s| (featurizer.featurize(&s.text), s.class.index()))
-        .collect();
+    let pool = httpnet::ThreadPool::new(1, 2);
+    run_svm_experiment_pooled(store, corpus_size, seed, &pool, metrics)
+}
 
+/// [`run_svm_experiment`] with cross-validation folds and the comment
+/// application pass scattered onto `pool`, exporting scorer metrics to
+/// `metrics`: `classify.svm.comments` (comments the final model scored —
+/// deterministic), `classify.svm.train` / `classify.svm.apply` busy-time
+/// histograms, a `classify.svm.comments_per_sec` application-rate gauge,
+/// plus the `shard.svm.cv.*` / `shard.svm.apply.*` scatter instrumentation
+/// from [`httpnet::ThreadPool::scatter_labeled`].
+pub fn run_svm_experiment_pooled(
+    store: &CrawlStore,
+    corpus_size: usize,
+    seed: u64,
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+) -> SvmReport {
+    let workers = pool.size();
+    let train_started = std::time::Instant::now();
+    let corpus = labeled_corpus_sharded(corpus_size, seed ^ 0x5717, workers);
+    let featurizer = Featurizer::standard();
+    let samples: Vec<(SparseVec, usize)> =
+        shard::map_sharded(&corpus, shard::DEFAULT_SHARD_SIZE, workers, |_, sh| {
+            sh.iter().map(|s| (featurizer.featurize(&s.text), s.class.index())).collect()
+        });
+
+    // Grid search over λ with the flattened (candidate, fold) jobs
+    // scattered onto the shared pool. Mirrors
+    // [`classify::cv::grid_search_sharded`]: one fold assignment shared
+    // across candidates, per-fold confusions merged in fold order per λ,
+    // final sort by F1 — independent of scheduling.
     let lambdas = [1e-5, 1e-4, 1e-3];
     let base = SvmConfig { epochs: 8, seed, ..SvmConfig::default() };
-    let results = grid_search(
-        &samples,
-        3,
-        5,
-        &lambdas,
-        base,
-        Some(AdasynConfig { k: 5, beta: 1.0, seed }),
-        seed ^ 0xF0F0,
-    );
+    let k = 5usize;
+    let oversample = Some(AdasynConfig { k: 5, beta: 1.0, seed });
+    let folds = Arc::new(fold_assignment(samples.len(), k, seed ^ 0xF0F0));
+    let shared = Arc::new(samples);
+    let jobs: Vec<_> = (0..lambdas.len())
+        .flat_map(|c| (0..k).map(move |fold| (c, fold)))
+        .map(|(c, fold)| {
+            let samples = Arc::clone(&shared);
+            let folds = Arc::clone(&folds);
+            move || {
+                let cfg = SvmConfig { lambda: lambdas[c], ..base };
+                run_fold(&samples, &folds, fold, 3, cfg, oversample)
+            }
+        })
+        .collect();
+    let per_job = pool.scatter_labeled("svm.cv", metrics, jobs);
+    let mut results: Vec<CvResult> = lambdas
+        .iter()
+        .enumerate()
+        .map(|(c, &lambda)| {
+            let mut confusion = classify::Confusion::new(3);
+            for fold in 0..k {
+                confusion.merge(&per_job[c * k + fold]);
+            }
+            CvResult { confusion, config: SvmConfig { lambda, ..base } }
+        })
+        .collect();
+    results.sort_by(|a, b| b.weighted_f1().partial_cmp(&a.weighted_f1()).expect("finite F1"));
     let best = &results[0];
-    let grid: Vec<(f64, f64)> = results.iter().map(|r| (r.config.lambda, r.weighted_f1())).collect();
+    let grid: Vec<(f64, f64)> =
+        results.iter().map(|r| (r.config.lambda, r.weighted_f1())).collect();
 
     // Final model on the full (oversampled) corpus; apply to all comments.
     let oversampled =
-        classify::adasyn::adasyn(&samples, 3, AdasynConfig { k: 5, beta: 1.0, seed });
-    let model = LinearSvm::train(&oversampled, 3, best.config);
+        adasyn_sharded(&shared, 3, AdasynConfig { k: 5, beta: 1.0, seed }, workers);
+    let model = Arc::new(LinearSvm::train(&oversampled, 3, best.config));
     let train_busy = train_started.elapsed();
 
+    // Application pass: comments in id order (the store is a hash map),
+    // sharded with fixed geometry so per-shard f64 partial sums merge
+    // identically at any worker count.
     let apply_started = std::time::Instant::now();
+    let mut items: Vec<(ids::ObjectId, String)> =
+        store.comments.iter().map(|(id, c)| (*id, c.text.clone())).collect();
+    items.sort_unstable_by_key(|&(id, _)| id);
+    let texts: Vec<String> = items.into_iter().map(|(_, t)| t).collect();
+    let n = texts.len().max(1);
+    let apply_jobs: Vec<_> = shard::shard_bounds(texts.len(), shard::DEFAULT_SHARD_SIZE)
+        .into_iter()
+        .map(|r| {
+            let chunk: Vec<String> = texts[r].to_vec();
+            let model = Arc::clone(&model);
+            move || {
+                let mut sums = [0.0f64; 3];
+                let mut counts = [0u64; 3];
+                for t in &chunk {
+                    let x = featurizer.featurize(t);
+                    let p = model.probabilities(&x);
+                    for k in 0..3 {
+                        sums[k] += p[k];
+                    }
+                    counts[model.predict(&x)] += 1;
+                }
+                (sums, counts)
+            }
+        })
+        .collect();
+    let parts = pool.scatter_labeled("svm.apply", metrics, apply_jobs);
     let mut mean = [0.0f64; 3];
     let mut shares = [0.0f64; 3];
-    let n = store.comments.len().max(1);
-    for c in store.comments.values() {
-        let x = featurizer.featurize(&c.text);
-        let p = model.probabilities(&x);
+    for (sums, counts) in &parts {
         for k in 0..3 {
-            mean[k] += p[k];
+            mean[k] += sums[k];
+            shares[k] += counts[k] as f64;
         }
-        shares[model.predict(&x)] += 1.0;
     }
     for k in 0..3 {
         mean[k] /= n as f64;
@@ -92,13 +168,14 @@ pub fn run_svm_experiment_with_metrics(
 
     if let Some(registry) = metrics {
         let apply_busy = apply_started.elapsed();
-        registry.add("classify.svm.comments", store.comments.len() as u64);
+        registry.add("shard.svm.apply.items", texts.len() as u64);
+        registry.add("classify.svm.comments", texts.len() as u64);
         registry.observe("classify.svm.train", train_busy);
         registry.observe("classify.svm.apply", apply_busy);
         if !apply_busy.is_zero() {
             registry.set_gauge(
                 "classify.svm.comments_per_sec",
-                store.comments.len() as f64 / apply_busy.as_secs_f64(),
+                texts.len() as f64 / apply_busy.as_secs_f64(),
             );
         }
     }
@@ -129,5 +206,21 @@ mod tests {
         assert!(r.grid.len() == 3);
         // Empty store → no comment application.
         assert_eq!(r.class_shares, [0.0; 3]);
+    }
+
+    #[test]
+    fn pooled_experiment_identical_for_any_pool_size() {
+        let store = CrawlStore::default();
+        let serial = {
+            let pool = httpnet::ThreadPool::new(1, 2);
+            run_svm_experiment_pooled(&store, 600, 7, &pool, None)
+        };
+        for workers in [2, 8] {
+            let pool = httpnet::ThreadPool::new(workers, workers * 2);
+            let par = run_svm_experiment_pooled(&store, 600, 7, &pool, None);
+            assert_eq!(par.cv_f1, serial.cv_f1, "workers={workers}");
+            assert_eq!(par.grid, serial.grid, "workers={workers}");
+            assert_eq!(par.best_lambda, serial.best_lambda, "workers={workers}");
+        }
     }
 }

@@ -39,6 +39,7 @@ pub use client::{Client, ClientError};
 pub use fault::{FaultAction, FaultConfig, FaultInjector};
 pub use http::{Headers, Request, Response, Status};
 pub use log::{AccessEntry, AccessLog};
+pub use pool::ThreadPool;
 pub use retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
 pub use router::{Params, Router};
 pub use server::{Handler, Server, ServerConfig};

@@ -34,7 +34,16 @@ pub const LABEL_NOISE: f64 = 0.09;
 
 /// Generate a labeled corpus with the Davidson class ratio, scaled so the
 /// total is `total` samples (exact class counts are proportional).
+/// Serial; identical to [`labeled_corpus_sharded`] at any worker count.
 pub fn labeled_corpus(total: usize, seed: u64) -> Vec<LabeledSample> {
+    labeled_corpus_sharded(total, seed, 1)
+}
+
+/// [`labeled_corpus`] with text synthesis sharded over `workers` threads.
+/// Specs and label-noise swaps are sampled serially from the corpus
+/// stream; each text draws from its own per-sample stream, so the corpus
+/// is byte-identical for every worker count.
+pub fn labeled_corpus_sharded(total: usize, seed: u64, workers: usize) -> Vec<LabeledSample> {
     assert!(total >= 30, "corpus too small to stratify");
     let (h, o, n) = DAVIDSON_COUNTS;
     let sum = (h + o + n) as f64;
@@ -44,19 +53,23 @@ pub fn labeled_corpus(total: usize, seed: u64) -> Vec<LabeledSample> {
 
     let gen = TextGen::standard();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n_h + n_o + n_n);
+    let mut specs: Vec<(CommentSpec, CommentClass)> = Vec::with_capacity(n_h + n_o + n_n);
     for _ in 0..n_h {
-        let spec = hate_spec(&mut rng);
-        out.push(LabeledSample { text: gen.generate(&mut rng, &spec), class: CommentClass::Hate });
+        specs.push((hate_spec(&mut rng), CommentClass::Hate));
     }
     for _ in 0..n_o {
-        let spec = offensive_spec(&mut rng);
-        out.push(LabeledSample { text: gen.generate(&mut rng, &spec), class: CommentClass::Offensive });
+        specs.push((offensive_spec(&mut rng), CommentClass::Offensive));
     }
     for _ in 0..n_n {
-        let spec = neither_spec(&mut rng);
-        out.push(LabeledSample { text: gen.generate(&mut rng, &spec), class: CommentClass::Neither });
+        specs.push((neither_spec(&mut rng), CommentClass::Neither));
     }
+    let flat: Vec<CommentSpec> = specs.iter().map(|(s, _)| *s).collect();
+    let texts = gen.generate_batch(&flat, crate::dist::child_seed(seed, 17), workers);
+    let mut out: Vec<LabeledSample> = specs
+        .iter()
+        .zip(texts)
+        .map(|(&(_, class), text)| LabeledSample { text, class })
+        .collect();
     // Crowd-label noise as label *swaps* between random sample pairs:
     // preserves the published class counts exactly while mislabeling
     // ~LABEL_NOISE of the corpus.
@@ -152,6 +165,18 @@ mod tests {
         let b = labeled_corpus(100, 9);
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text && x.class == y.class));
+    }
+
+    #[test]
+    fn sharded_corpus_identical_for_any_worker_count() {
+        let serial = labeled_corpus_sharded(400, 9, 1);
+        for workers in [2, 8] {
+            let par = labeled_corpus_sharded(400, 9, workers);
+            assert!(
+                serial.iter().zip(&par).all(|(x, y)| x.text == y.text && x.class == y.class),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod textgen;
 pub mod world;
 
 pub use config::{Scale, WorldConfig};
-pub use labeled::{labeled_corpus, LabeledSample};
+pub use labeled::{labeled_corpus, labeled_corpus_sharded, LabeledSample};
 pub use textgen::{CommentSpec, TextGen};
-pub use world::generate;
+pub use world::{generate, generate_sharded};

@@ -20,8 +20,9 @@
 use classify::features::{AUTHOR_WORDS, INSULTS, SECOND_PERSON};
 use classify::lexicon::{AMBIGUOUS_TERMS, SUBSTRING_TRAP};
 use classify::perspective::{logit, ATTACK_W, OBSCENE_W, REJECT_W, SEVERE_W};
-use classify::Lexicon;
-use rand::Rng;
+use classify::{shard, Lexicon};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use textkit::langid::{filler_words, Lang};
 
 /// Target scores and shape for one generated comment.
@@ -152,6 +153,31 @@ impl TextGen {
             None => text,
         }
     }
+
+    /// Generate one text per spec, sharded over `workers` threads.
+    ///
+    /// Item `i` draws from its own RNG stream seeded by
+    /// `stream_seed(seed, i)` — the stable item index, never the thread —
+    /// and outputs merge in spec order, so the result is byte-identical
+    /// at any worker count (including the serial `workers == 1` path).
+    pub fn generate_batch(&self, specs: &[CommentSpec], seed: u64, workers: usize) -> Vec<String> {
+        shard::map_sharded(
+            specs,
+            shard::DEFAULT_SHARD_SIZE,
+            workers,
+            |shard_id, shard_specs| {
+                shard_specs
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, spec)| {
+                        let i = (shard_id * shard::DEFAULT_SHARD_SIZE + pos) as u64;
+                        let mut rng = StdRng::seed_from_u64(shard::stream_seed(seed, i));
+                        self.generate(&mut rng, spec)
+                    })
+                    .collect()
+            },
+        )
+    }
 }
 
 /// The "Pakistan"-analogue benign word containing a lexicon term.
@@ -274,5 +300,24 @@ mod tests {
         let a = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
         let b = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_identical_for_any_worker_count() {
+        let gen = TextGen::standard();
+        let specs: Vec<CommentSpec> = (0..700)
+            .map(|i| CommentSpec {
+                severe: (i % 10) as f64 / 10.0,
+                reject: (i % 7) as f64 / 7.0,
+                ..CommentSpec::benign(8 + i % 20)
+            })
+            .collect();
+        let serial = gen.generate_batch(&specs, 42, 1);
+        assert_eq!(serial.len(), specs.len());
+        for workers in [2, 8] {
+            assert_eq!(gen.generate_batch(&specs, 42, workers), serial, "workers={workers}");
+        }
+        // Distinct stream parent → distinct texts somewhere.
+        assert_ne!(gen.generate_batch(&specs, 43, 1), serial);
     }
 }

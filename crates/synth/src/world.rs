@@ -76,8 +76,20 @@ pub fn bias_attack_mult(b: Bias) -> f64 {
     }
 }
 
-/// Generate a complete world.
+/// Generate a complete world (serial; identical to [`generate_sharded`]
+/// at any worker count).
 pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
+    generate_sharded(cfg, 1)
+}
+
+/// [`generate`] with comment-text generation sharded over `workers`
+/// threads. World structure (users, URLs, slots, votes, flags) is always
+/// sampled serially from the per-section seed streams; only text
+/// synthesis — the dominant cost — fans out, with each comment drawing
+/// from its own stream split by stable comment index
+/// (`stream_seed(child_seed(seed, TAG), i)`), so the world is
+/// byte-identical for every worker count.
+pub fn generate_sharded(cfg: &WorldConfig, workers: usize) -> (World, GroundTruth) {
     let scale = cfg.scale.factor();
     let mut world = World::new();
     let mut truth = GroundTruth::default();
@@ -562,11 +574,20 @@ pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
         let created = rng_c.gen_range(
             url.created.max(world.user(user_idx).created_at).min(STUDY_END - 2)..STUDY_END,
         );
-        let text = gen.generate(&mut rng_c, &spec);
         url_severity[u as usize].0 += spec.severe;
         url_severity[u as usize].1 += 1;
         let _ = i;
-        pending.push(PendingComment { author_slot: g, url_slot: u, spec, created, text });
+        pending.push(PendingComment { author_slot: g, url_slot: u, spec, created, text: String::new() });
+    }
+    // Texts are synthesized after (not inside) the sampling loop, each
+    // comment on its own seed stream, so the pass shards across workers
+    // without perturbing the structural rng_c stream.
+    {
+        let specs: Vec<CommentSpec> = pending.iter().map(|p| p.spec).collect();
+        let texts = gen.generate_batch(&specs, child_seed(cfg.seed, 13), workers);
+        for (p, text) in pending.iter_mut().zip(texts) {
+            p.text = text;
+        }
     }
     // The famous 90k-character comment: "ha" repeated, on a YouTube URL.
     if let Some((yt_idx, _)) = urls.iter().enumerate().find(|(_, u)| u.youtube) {
@@ -751,6 +772,7 @@ pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
     // ---- 9. Reddit mirror (Fig. 6, Table 3) -----------------------------------
     let mut rng_r = StdRng::seed_from_u64(child_seed(cfg.seed, 11));
     let active_set: std::collections::HashSet<u32> = truth.active_indices.iter().copied().collect();
+    let mut reddit_pending: Vec<(String, CommentSpec)> = Vec::new();
     for &idx in &truth.dissenter_indices {
         if !coin(&mut rng_r, paper::REDDIT_MATCH_FRACTION) {
             continue;
@@ -778,26 +800,35 @@ pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
         for _ in 0..materialize {
             let heat = beta(&mut rng_r, 1.5, 7.0);
             let spec = sample_spec(&mut rng_r, Community::Reddit, heat, Lang::En);
-            world.reddit.add_comment(&username, gen.generate(&mut rng_r, &spec));
+            reddit_pending.push((username.clone(), spec));
+        }
+    }
+    {
+        let specs: Vec<CommentSpec> = reddit_pending.iter().map(|(_, s)| *s).collect();
+        let texts = gen.generate_batch(&specs, child_seed(cfg.seed, 14), workers);
+        for ((username, _), text) in reddit_pending.iter().zip(texts) {
+            world.reddit.add_comment(username, text);
         }
     }
 
     // ---- 10. Baseline corpora ---------------------------------------------------
     let mut rng_b = StdRng::seed_from_u64(child_seed(cfg.seed, 12));
-    let mut make_corpus = |name: &str, community: Community, n: usize| -> BaselineCorpus {
-        let mut comments = Vec::with_capacity(n);
-        for _ in 0..n {
-            let heat = beta(&mut rng_b, 1.5, 7.0);
-            let spec = sample_spec(&mut rng_b, community, heat, Lang::En);
-            comments.push(gen.generate(&mut rng_b, &spec));
-        }
+    let mut make_corpus = |name: &str, community: Community, n: usize, tag: u64| -> BaselineCorpus {
+        let specs: Vec<CommentSpec> = (0..n)
+            .map(|_| {
+                let heat = beta(&mut rng_b, 1.5, 7.0);
+                sample_spec(&mut rng_b, community, heat, Lang::En)
+            })
+            .collect();
+        let comments = gen.generate_batch(&specs, child_seed(cfg.seed, tag), workers);
         BaselineCorpus { name: name.to_owned(), comments }
     };
-    world.baselines.push(make_corpus("NY Times", Community::NyTimes, cfg.n_baseline(paper::NYT_COMMENTS)));
+    world.baselines.push(make_corpus("NY Times", Community::NyTimes, cfg.n_baseline(paper::NYT_COMMENTS), 15));
     world.baselines.push(make_corpus(
         "Daily Mail",
         Community::DailyMail,
         cfg.n_baseline(paper::DAILYMAIL_COMMENTS),
+        16,
     ));
 
     (world, truth)
@@ -943,6 +974,26 @@ mod tests {
         assert_eq!(a.dissenter.comments()[0].text, b.dissenter.comments()[0].text);
         assert_eq!(a.users.len(), b.users.len());
         assert_eq!(a.users[100].username, b.users[100].username);
+    }
+
+    #[test]
+    fn sharded_world_identical_for_any_worker_count() {
+        let cfg = WorldConfig { scale: Scale::Custom(0.003), ..WorldConfig::small() };
+        let (serial, _) = generate_sharded(&cfg, 1);
+        for workers in [2, 8] {
+            let (par, _) = generate_sharded(&cfg, workers);
+            assert_eq!(par.dissenter.total_comments(), serial.dissenter.total_comments());
+            assert!(
+                par.dissenter
+                    .comments()
+                    .iter()
+                    .zip(serial.dissenter.comments())
+                    .all(|(a, b)| a.text == b.text && a.id == b.id),
+                "workers={workers}: comment stream diverged"
+            );
+            assert_eq!(par.baselines[0].comments, serial.baselines[0].comments);
+            assert_eq!(par.baselines[1].comments, serial.baselines[1].comments);
+        }
     }
 
     #[test]

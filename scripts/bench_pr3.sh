@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Worker-sharding speedup bench: run the same fixed-seed study at
+# workers=1 and workers=8, prove the deterministic report renders
+# byte-identical, and emit the timing comparison as BENCH_PR3.json in
+# the repo root. The ≥1.5x speedup floor is enforced by the bench
+# itself, gated on the recorded CPU count (single-core hosts only
+# record the ratio).
+#
+# Usage: scripts/bench_pr3.sh [extra speedup args, e.g. --scale 0.002]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin speedup -- --out BENCH_PR3.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR3.json") as f:
+    report = json.load(f)
+for key in ("cpus", "workers", "wall_ms_serial", "wall_ms_parallel",
+            "speedup", "deterministic", "report_fnv1a64", "shards",
+            "stages_us"):
+    assert key in report, f"BENCH_PR3.json missing {key!r}"
+assert report["deterministic"] is True, "render diverged across worker counts"
+assert report["shards"], "no sharded stages recorded"
+if report["cpus"] >= 4:
+    assert report["speedup"] >= 1.5, f"speedup {report['speedup']} < 1.5"
+print("BENCH_PR3.json OK:",
+      f"{report['speedup']:.2f}x on {report['cpus']} cpu(s),",
+      f"{len(report['shards'])} sharded stages,",
+      f"report fnv1a64 {report['report_fnv1a64']}")
+EOF

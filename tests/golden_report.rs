@@ -1,0 +1,71 @@
+//! Golden-file regression test: the deterministic render of a fixed-seed
+//! small study is pinned byte-for-byte under `tests/golden/`. Any change
+//! to world synthesis, crawling, scoring, or rendering that shifts a
+//! single byte fails here first — with an explicit regeneration path
+//! instead of a silent drift.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+//!
+//! then review the diff of `tests/golden/report_small.txt` like any other
+//! code change.
+
+use dissenter_repro::dissenter_core::{render, run_study, StudyConfig};
+use dissenter_repro::synth::config::Scale;
+
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = format!("{GOLDEN_DIR}/{name}");
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, rendered).expect("write golden file");
+        println!("regenerated {path} ({} bytes)", rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path}: {e}\n\
+             regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_report"
+        )
+    });
+    if golden != *rendered {
+        let first_diff = golden
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: golden {a:?} vs rendered {b:?}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} vs {}",
+                    golden.lines().count(),
+                    rendered.lines().count()
+                )
+            });
+        panic!(
+            "deterministic render drifted from {name}\n  first divergence: {first_diff}\n\
+             if intentional, regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_report\n\
+             and review the diff under tests/golden/"
+        );
+    }
+}
+
+#[test]
+fn deterministic_render_matches_golden_file() {
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = Scale::Custom(0.002);
+    cfg.svm_corpus = 400;
+    // One committed artifact, any worker count: CI runs this test with
+    // GOLDEN_WORKERS=1 and =8, so both must render the very same bytes.
+    if let Ok(w) = std::env::var("GOLDEN_WORKERS") {
+        cfg.workers = w.parse().expect("GOLDEN_WORKERS is a worker count");
+    }
+    let study = run_study(&cfg);
+    let report = render::deterministic(&study);
+    assert!(report.contains("== Overview"), "render sanity");
+    check_golden("report_small.txt", &report);
+    check_golden("runstats_small.txt", &render::runstats_deterministic(&study));
+}

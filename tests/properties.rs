@@ -172,6 +172,33 @@ proptest! {
     }
 }
 
+/// Promoted from `tests/properties.proptest-regressions` (`cc 3c21da6a…`,
+/// shrunk to `limit = 2, window = 12, times = [0, 0, 142, 153, 154, 154]`):
+/// a burst straddling the 144-boundary of two fixed windows once admitted
+/// 5 requests inside one sliding window of length 12, exceeding the
+/// 2×limit bound the `rate_limiter_never_exceeds_limit` property allows a
+/// fixed-window limiter. Kept as a named deterministic test so the case
+/// runs everywhere, not just where the regression file is honored.
+#[test]
+fn rate_limiter_regression_burst_straddling_window_boundary() {
+    let (limit, window) = (2u32, 12u64);
+    let times = [0u64, 0, 142, 153, 154, 154];
+    let mut rl = platform::RateLimiter::new(limit, window);
+    let mut allowed_at: Vec<u64> = Vec::new();
+    for t in times {
+        if rl.check("k", t).allowed() {
+            allowed_at.push(t);
+        }
+    }
+    for (i, &t) in allowed_at.iter().enumerate() {
+        let in_window = allowed_at[i..].iter().take_while(|&&u| u < t + window).count();
+        assert!(
+            in_window <= 2 * limit as usize,
+            "sliding window starting at t={t} admitted {in_window} > 2*limit; allowed: {allowed_at:?}"
+        );
+    }
+}
+
 proptest! {
     #[test]
     fn langid_never_panics_and_returns_valid_variant(s in "\\PC{0,300}") {

@@ -1,0 +1,113 @@
+//! The worker-matrix harness: one fixed-seed study per worker count, and
+//! every deterministic artifact — the rendered report (run statistics
+//! excluded, they are wall-clock) and every exported CSV — must be
+//! **byte-identical** across the whole matrix.
+//!
+//! The matrix defaults to workers ∈ {1, 2, 8}; CI overrides it via
+//! `WORKER_MATRIX` (comma- or space-separated counts, e.g.
+//! `WORKER_MATRIX=1` and `WORKER_MATRIX=8` on separate jobs, whose
+//! printed fingerprints must then agree across jobs).
+
+use dissenter_repro::analysis::export::export_csv;
+use dissenter_repro::dissenter_core::{render, run_study, Study, StudyConfig};
+use dissenter_repro::synth::config::Scale;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn matrix() -> Vec<usize> {
+    match std::env::var("WORKER_MATRIX") {
+        Ok(v) => {
+            let m: Vec<usize> = v
+                .split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().expect("WORKER_MATRIX entries are worker counts"))
+                .collect();
+            assert!(!m.is_empty(), "WORKER_MATRIX set but empty");
+            m
+        }
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+fn study_at(workers: usize) -> Study {
+    let mut cfg = StudyConfig::small();
+    cfg.world.scale = Scale::Custom(0.002);
+    cfg.svm_corpus = 400;
+    cfg.workers = workers;
+    run_study(&cfg)
+}
+
+/// FNV-1a fingerprint, printed so split CI jobs can be cross-checked.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn csv_bytes(study: &Study, dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let written = export_csv(&study.report, dir).expect("export CSVs");
+    assert!(!written.is_empty(), "export produced no files");
+    written
+        .into_iter()
+        .map(|name| {
+            let bytes = std::fs::read(dir.join(&name)).expect("read exported CSV");
+            (name, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn report_and_csvs_byte_identical_across_worker_counts() {
+    let matrix = matrix();
+    let mut baseline: Option<(usize, String, BTreeMap<String, Vec<u8>>)> = None;
+
+    for &workers in &matrix {
+        let study = study_at(workers);
+        // Report plus the counter-derived run-stats subset: shard
+        // geometry is worker-invariant, so even the shard job/item
+        // accounting must agree across the matrix.
+        let rendered =
+            [render::deterministic(&study), render::runstats_deterministic(&study)].join("\n");
+        let dir = std::env::temp_dir().join(format!(
+            "dissenter_worker_matrix_{}_{workers}",
+            std::process::id()
+        ));
+        let csvs = csv_bytes(&study, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "workers={workers}: report fnv1a64={:016x}, {} csv files",
+            fnv1a64(rendered.as_bytes()),
+            csvs.len()
+        );
+
+        match &baseline {
+            None => baseline = Some((workers, rendered, csvs)),
+            Some((base_workers, base_render, base_csvs)) => {
+                assert_eq!(
+                    base_render, &rendered,
+                    "rendered report diverged between workers={base_workers} and workers={workers}"
+                );
+                assert_eq!(
+                    base_csvs.keys().collect::<Vec<_>>(),
+                    csvs.keys().collect::<Vec<_>>(),
+                    "exported file sets differ at workers={workers}"
+                );
+                for (name, bytes) in base_csvs {
+                    assert_eq!(
+                        bytes, &csvs[name],
+                        "{name} diverged between workers={base_workers} and workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    // A study ran and produced real artifacts — not vacuously identical.
+    let (_, rendered, csvs) = baseline.expect("matrix is non-empty");
+    assert!(rendered.contains("== Overview"), "report rendered");
+    assert!(rendered.contains("== §3.5.3: SVM classifier =="), "svm section present");
+    assert!(csvs.len() >= 10, "every figure exported, got {}", csvs.len());
+}

@@ -72,7 +72,10 @@ pub fn language_table(store: &CrawlStore) -> Vec<(Lang, usize, f64)> {
         .into_iter()
         .map(|(l, n)| (l, n, 100.0 * n as f64 / total.max(1) as f64))
         .collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    // Tie-break equal counts by language code: `counts` is a hash map, so
+    // without it the order of 1-comment languages varies run to run and
+    // breaks the byte-identical report contract.
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.code().cmp(b.0.code())));
     rows
 }
 

@@ -128,12 +128,16 @@ pub fn detect_covert_channels(store: &CrawlStore, cfg: CovertConfig) -> Vec<Cove
             });
         }
     }
+    // The url_id tiebreak makes the order total even if two candidates
+    // ever shared a URL string — candidates arrive in hash-map order, so
+    // any tie left unresolved here would vary run to run.
     out.sort_by(|a, b| {
         b.signals
             .len()
             .cmp(&a.signals.len())
             .then(b.comments.cmp(&a.comments))
             .then(a.url.cmp(&b.url))
+            .then(a.url_id.cmp(&b.url_id))
     });
     out
 }

@@ -166,19 +166,31 @@ pub fn build_report_pooled(
         shadow_validation: store.shadow_validation,
     };
 
-    let url_strings: Vec<&str> = store.urls.values().map(|u| u.url.as_str()).collect();
-    let url_comment_counts: Vec<(&str, usize)> = store
-        .urls
-        .values()
-        .map(|u| (u.url.as_str(), u.declared_comment_count))
+    // Stores are hash maps: iterate urls by id, reddit matches by
+    // username, and scores by comment id so every derived sequence below
+    // is identical across runs — downstream order-insensitivity is then a
+    // bonus, not a load-bearing assumption of the byte-identical export
+    // contract.
+    let mut url_ids: Vec<ObjectId> = store.urls.keys().copied().collect();
+    url_ids.sort_unstable();
+    let url_strings: Vec<&str> = url_ids.iter().map(|id| store.urls[id].url.as_str()).collect();
+    let url_comment_counts: Vec<(&str, usize)> = url_ids
+        .iter()
+        .map(|id| {
+            let u = &store.urls[id];
+            (u.url.as_str(), u.declared_comment_count)
+        })
         .collect();
+    let mut reddit_names: Vec<&str> = store.reddit.keys().map(String::as_str).collect();
+    reddit_names.sort_unstable();
 
     // Fig. 6 / Table 3 Reddit side.
     let dissenter_counts = crate::users::comment_counts(store);
     let mut ratios = Vec::new();
     let mut active_either = 0usize;
-    for (name, m) in &store.reddit {
-        let d = dissenter_counts.get(name).copied().unwrap_or(0) as f64;
+    for name in &reddit_names {
+        let m = &store.reddit[*name];
+        let d = dissenter_counts.get(*name).copied().unwrap_or(0) as f64;
         let r = m.total_comments as f64;
         if d + r > 0.0 {
             active_either += 1;
@@ -197,13 +209,14 @@ pub fn build_report_pooled(
     };
 
     // Fig. 7: Dissenter + Reddit (crawled texts) + the two baselines.
+    let mut comment_ids: Vec<ObjectId> = scores.keys().copied().collect();
+    comment_ids.sort_unstable();
     let dissenter_scores: Vec<classify::PerspectiveScores> =
-        scores.values().map(|s| s.perspective).collect();
+        comment_ids.iter().map(|id| scores[id].perspective).collect();
     let mut figure7 = vec![figure7_dataset("Dissenter", &dissenter_scores)];
-    let reddit_texts: Vec<&str> = store
-        .reddit
-        .values()
-        .flat_map(|m| m.comments.iter().map(String::as_str))
+    let reddit_texts: Vec<&str> = reddit_names
+        .iter()
+        .flat_map(|name| store.reddit[*name].comments.iter().map(String::as_str))
         .collect();
     let reddit_scored: Vec<classify::PerspectiveScores> =
         score_texts_pooled(&reddit_texts, pool, metrics)

@@ -258,7 +258,13 @@ pub fn figure8(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
     let mut attack: HashMap<Bias, Vec<f64>> = HashMap::new();
     let mut unranked = 0usize;
     let mut ranked = 0usize;
-    for c in store.comments.values() {
+    // Comments in id order: the store is a hash map, so without this the
+    // per-bias score vectors (and every f64 mean summed over them) would
+    // vary run to run and break the byte-identical export contract.
+    let mut comment_ids: Vec<ObjectId> = store.comments.keys().copied().collect();
+    comment_ids.sort_unstable();
+    for id in comment_ids {
+        let c = &store.comments[&id];
         let Some(s) = scores.get(&c.id) else { continue };
         let bias = bias_of_url.get(&c.url_id).copied().unwrap_or(Bias::NotRanked);
         if bias == Bias::NotRanked {

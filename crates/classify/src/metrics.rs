@@ -40,6 +40,36 @@ impl Confusion {
         self.m.iter().sum()
     }
 
+    /// Per-class row sums (true-label supports).
+    pub fn row_sums(&self) -> Vec<u64> {
+        (0..self.k).map(|t| (0..self.k).map(|p| self.get(t, p)).sum()).collect()
+    }
+
+    /// Per-class column sums (prediction counts).
+    pub fn col_sums(&self) -> Vec<u64> {
+        (0..self.k).map(|p| (0..self.k).map(|t| self.get(t, p)).sum()).collect()
+    }
+
+    /// Audit the matrix against an expected observation count: the cells
+    /// must sum to `expected`, and the row and column marginals must both
+    /// re-sum to the same grand total. Under k-fold CV every sample is
+    /// validated exactly once, so the pooled matrix must account for the
+    /// whole corpus — a dropped or double-counted fold shows up here.
+    pub fn check_books(&self, expected: u64) -> Result<(), String> {
+        let total = self.total();
+        if total != expected {
+            return Err(format!("confusion holds {total} observations, expected {expected}"));
+        }
+        let rows: u64 = self.row_sums().iter().sum();
+        let cols: u64 = self.col_sums().iter().sum();
+        if rows != total || cols != total {
+            return Err(format!(
+                "marginals disagree: rows {rows}, cols {cols}, total {total}"
+            ));
+        }
+        Ok(())
+    }
+
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
         let correct: u64 = (0..self.k).map(|i| self.get(i, i)).sum();
@@ -183,6 +213,17 @@ mod tests {
             c.add(1, 0);
         }
         assert!(c.weighted_f1() > c.macro_f1());
+    }
+
+    #[test]
+    fn marginals_reconcile() {
+        let c = sample();
+        assert_eq!(c.row_sums(), vec![10, 20, 20]);
+        assert_eq!(c.col_sums(), vec![13, 16, 21]);
+        assert_eq!(c.row_sums().iter().sum::<u64>(), c.total());
+        assert_eq!(c.check_books(50), Ok(()));
+        let err = c.check_books(49).unwrap_err();
+        assert!(err.contains("expected 49"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,9 @@
 
 use crate::store::{CrawlStore, DeadLetter};
 use crate::Crawler;
-use httpnet::{classify_status, parse_retry_after, Client, Response, RetryPolicy, StatusClass};
+use httpnet::{
+    classify_status, parse_retry_after_detailed, Client, Response, RetryPolicy, StatusClass,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -263,6 +265,7 @@ struct PhaseCounters {
     retried: obs::Counter,
     dead_lettered: obs::Counter,
     throttle_sleeps: obs::Counter,
+    retry_after_clamped: obs::Counter,
 }
 
 impl PhaseCounters {
@@ -274,8 +277,18 @@ impl PhaseCounters {
             retried: registry.counter(&name("retried")),
             dead_lettered: registry.counter(&name("dead_lettered")),
             throttle_sleeps: registry.counter(&name("throttle_sleeps")),
+            retry_after_clamped: registry.counter(&name("retry_after_clamped")),
         }
     }
+}
+
+/// Is a named simulation-testing mutation active? `simcheck`'s mutation
+/// smoke test sets `SIMCHECK_MUTATE` to deliberately miscount and prove
+/// the accounting oracles catch it. Read once: the crawl hot path must
+/// not re-query the environment per fetch.
+fn mutation(name: &str) -> bool {
+    static ACTIVE: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    ACTIVE.get_or_init(|| std::env::var("SIMCHECK_MUTATE").ok()).as_deref() == Some(name)
 }
 
 impl<'a> PhaseRun<'a> {
@@ -359,7 +372,9 @@ impl<'a> PhaseRun<'a> {
                     StatusClass::Deliver => {
                         self.observe_breaker(breaker, || breaker.record_success());
                         stats.add_succeeded();
-                        self.metrics.succeeded.inc();
+                        if !mutation("skip_succeeded_counter") {
+                            self.metrics.succeeded.inc();
+                        }
                         return Some(resp);
                     }
                     StatusClass::Throttled => {
@@ -369,7 +384,12 @@ impl<'a> PhaseRun<'a> {
                         }
                         store.stats.add_rate_limit_sleep();
                         self.metrics.throttle_sleeps.inc();
-                        std::thread::sleep(throttle_delay(&resp, &policy, throttles - 1, &mut rng));
+                        let (wait, clamped) =
+                            throttle_delay(&resp, &policy, throttles - 1, &mut rng);
+                        if clamped {
+                            self.metrics.retry_after_clamped.inc();
+                        }
+                        std::thread::sleep(wait);
                         continue;
                     }
                     StatusClass::Retryable => {
@@ -441,25 +461,27 @@ impl<'a> PhaseRun<'a> {
     }
 }
 
-/// How long to wait out a 429. Preference order: the `Retry-After`
-/// header (fractional seconds, capped by the policy's `max_backoff`),
-/// then `X-RateLimit-Reset` (absolute epoch seconds, the Gab/Dissenter
-/// convention — waited in 1–3 s slices exactly like the paper's
-/// sleep-until-reset loop), then the computed backoff.
+/// How long to wait out a 429, plus whether the peer's advice was
+/// absurd enough to be clamped (surfaced as the phase's
+/// `retry_after_clamped` counter). Preference order: the `Retry-After`
+/// header (delta-seconds or HTTP-date, capped by the policy's
+/// `max_backoff`), then `X-RateLimit-Reset` (absolute epoch seconds, the
+/// Gab/Dissenter convention — waited in 1–3 s slices exactly like the
+/// paper's sleep-until-reset loop), then the computed backoff.
 fn throttle_delay(
     resp: &Response,
     policy: &RetryPolicy,
     throttle_no: usize,
     rng: &mut rand::rngs::StdRng,
-) -> Duration {
-    if let Some(ra) = parse_retry_after(resp) {
-        return ra.min(policy.max_backoff);
+) -> (Duration, bool) {
+    if let Some(ra) = parse_retry_after_detailed(resp) {
+        return (ra.delay.min(policy.max_backoff), ra.clamped);
     }
     if let Some(reset) = resp.headers.get("x-ratelimit-reset").and_then(|v| v.parse::<u64>().ok()) {
         let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
-        return Duration::from_secs(reset.saturating_sub(now).clamp(1, 3));
+        return (Duration::from_secs(reset.saturating_sub(now).clamp(1, 3)), false);
     }
-    policy.backoff(throttle_no, rng)
+    (policy.backoff(throttle_no, rng), false)
 }
 
 #[cfg(test)]

@@ -92,5 +92,8 @@ pub fn crawl_social(crawler: &Crawler, store: &mut CrawlStore) {
             edges.push((fa, ta));
         }
     }
+    // The per-user edge lists are collected in worker-completion order;
+    // sort so the stored graph is identical for any crawl worker count.
+    edges.sort_unstable();
     store.follow_edges = edges;
 }

@@ -354,13 +354,67 @@ impl CrawlStore {
             .filter(|c| matches!(c.label, ShadowLabel::Offensive | ShadowLabel::Both))
     }
 
-    /// Comments per author.
+    /// Comments per author. Each author's comments come back in comment-id
+    /// order: `self.comments` is a hash map, so without the sort the vec
+    /// order (and any f64 aggregation a consumer does over it) would vary
+    /// run to run and break the byte-identical export contract.
     pub fn comments_by_author(&self) -> HashMap<ObjectId, Vec<&CrawledComment>> {
         let mut m: HashMap<ObjectId, Vec<&CrawledComment>> = HashMap::new();
         for c in self.comments.values() {
             m.entry(c.author_id).or_default().push(c);
         }
+        for v in m.values_mut() {
+            v.sort_by_key(|c| c.id);
+        }
         m
+    }
+
+    /// Audit the crawl's books. Checks the per-phase coverage invariant
+    /// (`attempted == succeeded + dead_lettered`), that the dead-letter
+    /// list agrees with the counters, that aggregate retry/failure
+    /// counters reconcile with the per-phase ones, and comment→URL
+    /// referential integrity. Returns the first violation found.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        let mut dead_total = 0u64;
+        let mut retried_total = 0u64;
+        for (phase, s) in self.stats.phase_snapshots() {
+            if s.attempted != s.succeeded + s.dead_lettered {
+                return Err(format!(
+                    "phase {}: attempted {} != succeeded {} + dead_lettered {}",
+                    phase.name(),
+                    s.attempted,
+                    s.succeeded,
+                    s.dead_lettered
+                ));
+            }
+            dead_total += s.dead_lettered;
+            retried_total += s.retried;
+        }
+        let letters = self.dead_letters.lock().len() as u64;
+        if dead_total != letters {
+            return Err(format!(
+                "dead_lettered counters sum to {dead_total} but {letters} dead letters recorded"
+            ));
+        }
+        let retries = self.stats.retries.load(Ordering::Relaxed);
+        if retries != retried_total {
+            return Err(format!(
+                "aggregate retries {retries} != per-phase retried sum {retried_total}"
+            ));
+        }
+        let failures = self.stats.failures.load(Ordering::Relaxed);
+        let panics = self.stats.panics.load(Ordering::Relaxed);
+        if failures != dead_total + panics {
+            return Err(format!(
+                "failures {failures} != dead_lettered {dead_total} + panics {panics}"
+            ));
+        }
+        for c in self.comments.values() {
+            if !self.urls.contains_key(&c.url_id) {
+                return Err(format!("comment {} references uncrawled url {}", c.id, c.url_id));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -436,6 +490,42 @@ mod tests {
         assert_eq!(letters.len(), 2);
         assert_eq!(letters[0].phase, Phase::GabEnum, "sorted by phase order");
         assert_eq!(letters[1].target, "/user/b");
+    }
+
+    #[test]
+    fn accounting_audit_catches_cooked_books() {
+        let store = CrawlStore::default();
+        assert_eq!(store.check_accounting(), Ok(()));
+
+        // A balanced ledger: 2 attempted = 1 succeeded + 1 dead-lettered,
+        // with the matching dead letter and aggregate failure.
+        let p = store.stats.phase(Phase::Spider);
+        p.add_attempted();
+        p.add_succeeded();
+        p.add_attempted();
+        p.add_dead_lettered();
+        store.stats.add_failure();
+        store.push_dead_letter(DeadLetter {
+            phase: Phase::Spider,
+            target: "/comments/x".into(),
+            cause: "request failed".into(),
+        });
+        assert_eq!(store.check_accounting(), Ok(()));
+
+        // An extra "succeeded" without its "attempted" breaks the books.
+        p.add_succeeded();
+        let err = store.check_accounting().unwrap_err();
+        assert!(err.contains("spider"), "{err}");
+    }
+
+    #[test]
+    fn accounting_audit_catches_orphan_comments() {
+        let mut store = CrawlStore::default();
+        let mut g = ObjectIdGen::new(EntityKind::Comment, 7);
+        let c = comment(ShadowLabel::Standard, &mut g);
+        store.comments.insert(c.id, c);
+        let err = store.check_accounting().unwrap_err();
+        assert!(err.contains("uncrawled url"), "{err}");
     }
 
     #[test]

@@ -51,5 +51,9 @@ pub fn crawl_youtube(crawler: &Crawler, store: &mut CrawlStore) {
             })
         },
     );
+    // Results land in worker-completion order; sort so the stored list is
+    // identical for any crawl worker count.
+    let mut results = results;
+    results.sort_by(|a, b| a.url.cmp(&b.url));
     store.youtube = results;
 }

@@ -138,6 +138,13 @@ pub const EXPERIMENTS: &[Experiment] = &[
         modules: "obs::*, dissenter_core::runstats, render::runstats",
         bench: Some("scripts/bench.sh → BENCH_PR2.json"),
     },
+    Experiment {
+        id: "simcheck",
+        artifact: "simulation testing — differential oracles, invariants, shrink-to-replay",
+        paper_result: "not a paper artifact: randomized end-to-end correctness evidence for the pipeline",
+        modules: "simcheck::{scenario,oracle,shrink,replay}, invariant hooks across platform/crawler/stats/classify/obs",
+        bench: Some("scripts/simcheck.sh (seeded scenario sweep)"),
+    },
 ];
 
 /// Look up an experiment by id.

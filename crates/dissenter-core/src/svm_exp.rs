@@ -109,6 +109,11 @@ pub fn run_svm_experiment_pooled(
             for fold in 0..k {
                 confusion.merge(&per_job[c * k + fold]);
             }
+            // Every sample is validated exactly once across the k folds,
+            // so the pooled matrix must account for the whole corpus.
+            confusion
+                .check_books(shared.len() as u64)
+                .expect("pooled CV confusion accounts for every sample");
             CvResult { confusion, config: SvmConfig { lambda, ..base } }
         })
         .collect();

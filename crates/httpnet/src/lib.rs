@@ -40,6 +40,9 @@ pub use fault::{FaultAction, FaultConfig, FaultInjector};
 pub use http::{Headers, Request, Response, Status};
 pub use log::{AccessEntry, AccessLog};
 pub use pool::ThreadPool;
-pub use retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
+pub use retry::{
+    classify_status, parse_retry_after, parse_retry_after_detailed, RetryAfter, RetryPolicy,
+    StatusClass, MAX_RETRY_AFTER,
+};
 pub use router::{Params, Router};
 pub use server::{Handler, Server, ServerConfig};

@@ -240,6 +240,48 @@ impl Snapshot {
             .map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Counters that differ between two snapshots, as
+    /// `(name, self_value, other_value)` sorted by name; a counter absent
+    /// on one side reads 0 there. Differential testing uses this to
+    /// pinpoint exactly which counters diverged between two runs that
+    /// should have agreed.
+    pub fn diff_counters(&self, other: &Snapshot) -> Vec<(String, u64, u64)> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.counters.len() || j < other.counters.len() {
+            let (name, a, b) = match (self.counters.get(i), other.counters.get(j)) {
+                (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        (ka.clone(), *va, *vb)
+                    }
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (ka.clone(), *va, 0)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (kb.clone(), 0, *vb)
+                    }
+                },
+                (Some((ka, va)), None) => {
+                    i += 1;
+                    (ka.clone(), *va, 0)
+                }
+                (None, Some((kb, vb))) => {
+                    j += 1;
+                    (kb.clone(), 0, *vb)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if a != b {
+                out.push((name, a, b));
+            }
+        }
+        out
+    }
+
     /// Render the whole snapshot as one JSON object with `counters`,
     /// `gauges`, and `histograms` sub-objects.
     pub fn to_json(&self) -> String {
@@ -269,6 +311,28 @@ fn push_entries<'a>(s: &mut String, entries: impl Iterator<Item = (&'a String, S
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn diff_counters_merges_and_reports_only_changes() {
+        let a = Registry::new();
+        a.add("same", 5);
+        a.add("changed", 1);
+        a.add("only_a", 3);
+        let b = Registry::new();
+        b.add("same", 5);
+        b.add("changed", 2);
+        b.add("only_b", 4);
+        let diff = a.snapshot().diff_counters(&b.snapshot());
+        assert_eq!(
+            diff,
+            vec![
+                ("changed".to_owned(), 1, 2),
+                ("only_a".to_owned(), 3, 0),
+                ("only_b".to_owned(), 0, 4),
+            ]
+        );
+        assert!(a.snapshot().diff_counters(&a.snapshot()).is_empty());
+    }
 
     #[test]
     fn counters_accumulate_and_share_handles() {

@@ -159,6 +159,130 @@ impl DissenterDb {
     pub fn total_comments(&self) -> usize {
         self.comments.len()
     }
+
+    /// Audit the database's internal consistency: index completeness,
+    /// reply referential integrity (parents exist and live on the same
+    /// thread), and the shadow-visibility partition — for every thread,
+    /// the four `(nsfw, offensive)` comment classes must reconcile
+    /// exactly with what each viewer tier sees and with the displayed
+    /// comment count. Returns the first violation found. The simulation
+    /// harness runs this over generated worlds; it is cheap enough to
+    /// call in tests after any bulk load.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.url_by_id.len() != self.urls.len() || self.url_by_string.len() != self.urls.len() {
+            return Err(format!(
+                "url indexes cover {}/{} ids and {} strings for {} urls",
+                self.url_by_id.len(),
+                self.urls.len(),
+                self.url_by_string.len(),
+                self.urls.len()
+            ));
+        }
+        if self.comment_by_id.len() != self.comments.len() {
+            return Err(format!(
+                "comment-id index covers {} of {} comments",
+                self.comment_by_id.len(),
+                self.comments.len()
+            ));
+        }
+        let by_url_total: usize = self.comments_by_url.values().map(Vec::len).sum();
+        if by_url_total != self.comments.len() {
+            return Err(format!(
+                "per-url index holds {by_url_total} comments, store holds {}",
+                self.comments.len()
+            ));
+        }
+        let by_author_total: usize = self.comments_by_author.values().map(Vec::len).sum();
+        if by_author_total != self.comments.len() {
+            return Err(format!(
+                "per-author index holds {by_author_total} comments, store holds {}",
+                self.comments.len()
+            ));
+        }
+        for c in &self.comments {
+            if !self.url_by_id.contains_key(&c.url_id) {
+                return Err(format!("comment {} references unknown thread {}", c.id, c.url_id));
+            }
+            if let Some(parent) = c.parent {
+                match self.comment_by_id.get(&parent) {
+                    None => return Err(format!("comment {} replies to unknown {parent}", c.id)),
+                    Some(&i) if self.comments[i].url_id != c.url_id => {
+                        return Err(format!(
+                            "reply {} lives on thread {} but its parent is on {}",
+                            c.id, c.url_id, self.comments[i].url_id
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for url in &self.urls {
+            let all = self.comment_count(url.id);
+            let plain = self
+                .visible_comments(url.id, Viewer::Anonymous)
+                .iter()
+                .filter(|c| !c.nsfw && !c.offensive)
+                .count();
+            let anon = self.visible_comments(url.id, Viewer::Anonymous).len();
+            if anon != plain {
+                return Err(format!(
+                    "thread {}: anonymous viewer sees {anon} comments, {plain} are unlabeled",
+                    url.id
+                ));
+            }
+            let nsfw_only = self
+                .comments_by_url
+                .get(&url.id)
+                .map(|idxs| {
+                    idxs.iter().filter(|&&i| {
+                        let c = &self.comments[i];
+                        c.nsfw && !c.offensive
+                    })
+                })
+                .map(Iterator::count)
+                .unwrap_or(0);
+            let off_only = self
+                .comments_by_url
+                .get(&url.id)
+                .map(|idxs| {
+                    idxs.iter().filter(|&&i| {
+                        let c = &self.comments[i];
+                        !c.nsfw && c.offensive
+                    })
+                })
+                .map(Iterator::count)
+                .unwrap_or(0);
+            let with_nsfw = self.visible_comments(url.id, Viewer::with_nsfw()).len();
+            if with_nsfw != plain + nsfw_only {
+                return Err(format!(
+                    "thread {}: NSFW viewer sees {with_nsfw}, expected {plain} + {nsfw_only}",
+                    url.id
+                ));
+            }
+            let with_off = self.visible_comments(url.id, Viewer::with_offensive()).len();
+            if with_off != plain + off_only {
+                return Err(format!(
+                    "thread {}: offensive viewer sees {with_off}, expected {plain} + {off_only}",
+                    url.id
+                ));
+            }
+            let both = all - plain - nsfw_only - off_only;
+            let everything = Viewer::Authenticated(crate::model::ViewFilters {
+                nsfw: true,
+                offensive: true,
+                ..Default::default()
+            });
+            let full = self.visible_comments(url.id, everything).len();
+            if full != all {
+                return Err(format!(
+                    "thread {}: fully opted-in viewer sees {full} of {all} comments \
+                     ({both} dual-labeled)",
+                    url.id
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +450,57 @@ mod tests {
         f.db.vote(u, Vote::Down);
         f.db.vote(u, Vote::Down);
         assert_eq!(f.db.url_by_id(u).unwrap().net_votes(), -1);
+    }
+
+    #[test]
+    fn invariants_hold_on_a_populated_db() {
+        let mut f = Fixture::new();
+        let u1 = f.url("https://a.example/1");
+        let u2 = f.url("https://a.example/2");
+        let (alice, bob) = (f.author(), f.author());
+        let parent = f.comment(u1, alice, false, false);
+        f.comment(u1, bob, true, false);
+        f.comment(u1, bob, false, true);
+        f.comment(u2, alice, true, true);
+        let id = f.comment_gen.next(203);
+        f.db.add_comment(Comment {
+            id,
+            url_id: u1,
+            author_id: bob,
+            parent: Some(parent),
+            text: "reply".into(),
+            created_at: 203,
+            nsfw: false,
+            offensive: false,
+        });
+        f.db.vote(u1, Vote::Up);
+        assert_eq!(f.db.check_invariants(), Ok(()));
+        assert_eq!(DissenterDb::new().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_catch_cross_thread_replies() {
+        // add_comment only checks that the parent *exists*; a corrupted
+        // bulk load could still wire a reply to a parent on another
+        // thread, and the audit must see it.
+        let mut f = Fixture::new();
+        let u1 = f.url("https://a.example/1");
+        let u2 = f.url("https://a.example/2");
+        let a = f.author();
+        let parent = f.comment(u1, a, false, false);
+        let id = f.comment_gen.next(204);
+        f.db.add_comment(Comment {
+            id,
+            url_id: u2,
+            author_id: a,
+            parent: Some(parent),
+            text: "astray".into(),
+            created_at: 204,
+            nsfw: false,
+            offensive: false,
+        });
+        let err = f.db.check_invariants().unwrap_err();
+        assert!(err.contains("its parent is on"), "{err}");
     }
 
     #[test]

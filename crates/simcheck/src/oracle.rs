@@ -1,0 +1,431 @@
+//! The oracle library: everything a scenario run must satisfy.
+//!
+//! [`check_scenario`] runs the pipeline end to end and applies, in
+//! fail-fast order:
+//!
+//! 1. **obs ↔ store reconciliation** — every `crawl.<phase>.*` counter
+//!    must agree exactly with the store's own [`crawler`] accounting,
+//!    throttle sleeps must reconcile, and scorer counters must agree
+//!    with each other and with the mirror;
+//! 2. **full recovery** — inside the sampler's fault envelope the retry
+//!    layer must deliver every page (no dead letters);
+//! 3. **cross-crate invariants** — [`crawler::CrawlStore::check_accounting`],
+//!    the platform shadow-visibility invariants on a regenerated world,
+//!    world ↔ mirror fidelity field by field, monotone report curves,
+//!    and SVM report sanity;
+//! 4. **differential oracles** — the faulted sharded run and a clean
+//!    serial run of the same world must produce a byte-identical
+//!    rendered report, byte-identical CSV exports, a byte-identical
+//!    persisted mirror, and identical deterministic counters.
+
+use crate::scenario::Scenario;
+use crawler::store::ShadowLabel;
+use crawler::CrawlStore;
+use dissenter_core::{render, run_study, Study};
+use platform::World;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One oracle violation: which check tripped and what it saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable check identifier (e.g. `"obs.reconcile"`).
+    pub check: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Failure {
+    fn new(check: &str, detail: impl Into<String>) -> Self {
+        Self { check: check.to_owned(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Run `sc` end to end and apply every oracle. `Ok(())` means the
+/// faulted, sharded run was indistinguishable from a clean serial run
+/// and every invariant held.
+pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
+    let faulted = run_study(&sc.config_faulted());
+
+    reconcile_obs(&faulted)?;
+    full_recovery(&faulted)?;
+    faulted.store.check_accounting().map_err(|e| Failure::new("crawler.accounting", e))?;
+
+    // The synthesizer is itself deterministic and worker-invariant, so
+    // the oracle can regenerate the ground-truth world the services
+    // served and hold the crawled mirror against it.
+    let (world, _truth) = synth::generate(&sc.config_faulted().world);
+    world.dissenter.check_invariants().map_err(|e| Failure::new("platform.invariants", e))?;
+    mirror_fidelity(&world, &faulted.store)?;
+
+    report_curves(&faulted)?;
+    svm_sanity(&faulted)?;
+
+    let control = run_study(&sc.config_control());
+    differential(sc, &faulted, &control)
+}
+
+/// Obs counters must agree exactly with the crawler's own accounting —
+/// the two are incremented at different layers, so any skew means one
+/// side is lying.
+fn reconcile_obs(study: &Study) -> Result<(), Failure> {
+    let snap = &study.runstats.snapshot;
+    let mut throttle_total = 0u64;
+    for (phase, s) in study.store.stats.phase_snapshots() {
+        let get = |suffix: &str| {
+            snap.counter(&format!("crawl.{}.{suffix}", phase.name())).unwrap_or(0)
+        };
+        for (field, counter, store_side) in [
+            ("attempted", get("attempted"), s.attempted),
+            ("succeeded", get("succeeded"), s.succeeded),
+            ("retried", get("retried"), s.retried),
+            ("dead_lettered", get("dead_lettered"), s.dead_lettered),
+        ] {
+            if counter != store_side {
+                return Err(Failure::new(
+                    "obs.reconcile",
+                    format!(
+                        "phase {}: obs counter crawl.{}.{field} = {counter} but store \
+                         accounting says {store_side}",
+                        phase.name(),
+                        phase.name(),
+                    ),
+                ));
+            }
+        }
+        throttle_total += get("throttle_sleeps");
+    }
+    let store_sleeps =
+        study.store.stats.rate_limit_sleeps.load(std::sync::atomic::Ordering::Relaxed);
+    if store_sleeps != throttle_total {
+        return Err(Failure::new(
+            "obs.reconcile",
+            format!(
+                "store rate_limit_sleeps {store_sleeps} != sum of crawl.*.throttle_sleeps \
+                 {throttle_total}"
+            ),
+        ));
+    }
+
+    // Scorer counters: perspective and dictionary score the same texts
+    // in the same pass, and the scored-item shard counter tallies that
+    // same volume; all Dissenter comments are among the scored texts.
+    let persp = snap.counter("classify.perspective.comments").unwrap_or(0);
+    let dict = snap.counter("classify.dictionary.comments").unwrap_or(0);
+    let scored = snap.counter("shard.classify.score.items").unwrap_or(0);
+    if persp != dict || persp != scored {
+        return Err(Failure::new(
+            "obs.reconcile",
+            format!(
+                "scorer volumes disagree: perspective {persp}, dictionary {dict}, \
+                 shard.classify.score.items {scored}"
+            ),
+        ));
+    }
+    let comments = study.store.comments.len() as u64;
+    if scored < comments {
+        return Err(Failure::new(
+            "obs.reconcile",
+            format!("scored {scored} texts but the mirror holds {comments} comments"),
+        ));
+    }
+    if let Some(svm) = snap.counter("classify.svm.comments") {
+        if svm != comments {
+            return Err(Failure::new(
+                "obs.reconcile",
+                format!("classify.svm.comments {svm} != mirror comments {comments}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Inside the sampler's envelope every logical fetch must eventually
+/// succeed; a dead letter here means the retry layer gave up too early.
+fn full_recovery(study: &Study) -> Result<(), Failure> {
+    let letters = study.store.dead_letters();
+    if !letters.is_empty() {
+        let first = &letters[0];
+        return Err(Failure::new(
+            "crawl.recovery",
+            format!(
+                "{} dead letters inside the recovery envelope; first: {} {} ({})",
+                letters.len(),
+                first.phase.name(),
+                first.target,
+                first.cause
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// The crawled mirror must reproduce the served world exactly: same
+/// URLs with the same votes and declared counts, same comments with the
+/// same text/threading, and shadow labels matching each comment's
+/// (nsfw, offensive) flags.
+fn mirror_fidelity(world: &World, store: &CrawlStore) -> Result<(), Failure> {
+    let fail = |d: String| Err(Failure::new("mirror.fidelity", d));
+    let urls = world.dissenter.urls();
+    if store.urls.len() != urls.len() {
+        return fail(format!("mirror has {} urls, world has {}", store.urls.len(), urls.len()));
+    }
+    for u in urls {
+        let Some(m) = store.urls.get(&u.id) else {
+            return fail(format!("url {} ({}) missing from the mirror", u.id, u.url));
+        };
+        if m.url != u.url || m.upvotes != u.upvotes || m.downvotes != u.downvotes {
+            return fail(format!(
+                "url {}: mirror ({}, +{}/-{}) != world ({}, +{}/-{})",
+                u.id, m.url, m.upvotes, m.downvotes, u.url, u.upvotes, u.downvotes
+            ));
+        }
+        let declared = world.dissenter.comment_count(u.id);
+        if m.declared_comment_count != declared {
+            return fail(format!(
+                "url {}: declared_comment_count {} != world count {}",
+                u.id, m.declared_comment_count, declared
+            ));
+        }
+    }
+    let comments = world.dissenter.comments();
+    if store.comments.len() != comments.len() {
+        return fail(format!(
+            "mirror has {} comments, world has {}",
+            store.comments.len(),
+            comments.len()
+        ));
+    }
+    for c in comments {
+        let Some(m) = store.comments.get(&c.id) else {
+            return fail(format!("comment {} missing from the mirror", c.id));
+        };
+        if m.url_id != c.url_id
+            || m.author_id != c.author_id
+            || m.parent != c.parent
+            || m.text != c.text
+            || m.created_at != c.created_at
+        {
+            return fail(format!("comment {}: mirror fields diverge from the world", c.id));
+        }
+        let expected = match (c.nsfw, c.offensive) {
+            (false, false) => ShadowLabel::Standard,
+            (true, false) => ShadowLabel::Nsfw,
+            (false, true) => ShadowLabel::Offensive,
+            (true, true) => ShadowLabel::Both,
+        };
+        if m.label != expected {
+            return fail(format!(
+                "comment {}: shadow label {:?} but flags (nsfw={}, offensive={}) imply {:?}",
+                c.id, m.label, c.nsfw, c.offensive, expected
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Every distribution the report exports must be a well-formed curve:
+/// finite, CDF values in [0, 1], x and y monotone non-decreasing.
+fn report_curves(study: &Study) -> Result<(), Failure> {
+    let r = &study.report;
+    let mut curves: Vec<(String, Vec<(f64, f64)>)> =
+        vec![("fig3.concentration".into(), r.activity.curve.clone())];
+    for (pop, c) in
+        [("all", &r.figure4.all), ("nsfw", &r.figure4.nsfw), ("offensive", &r.figure4.offensive)]
+    {
+        curves.push((format!("fig4.{pop}.likely_to_reject"), c.likely_to_reject.curve(101)));
+        curves.push((format!("fig4.{pop}.obscene"), c.obscene.curve(101)));
+        curves.push((format!("fig4.{pop}.severe_toxicity"), c.severe_toxicity.curve(101)));
+    }
+    for d in &r.figure7 {
+        curves.push((format!("fig7.{}.likely_to_reject", d.name), d.likely_to_reject.curve(101)));
+        curves.push((format!("fig7.{}.severe_toxicity", d.name), d.severe_toxicity.curve(101)));
+        curves.push((format!("fig7.{}.attack_on_author", d.name), d.attack_on_author.curve(101)));
+    }
+    for (bias, e) in &r.figure8.attack_by_bias {
+        curves.push((format!("fig8b.{}", bias.label()), e.curve(101)));
+    }
+    for (name, points) in curves {
+        stats::ecdf::validate_curve(&points)
+            .map_err(|e| Failure::new("stats.curves", format!("{name}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Basic sanity on the SVM report when the experiment ran: F1 in range,
+/// the full grid present, and both probability vectors summing to one.
+fn svm_sanity(study: &Study) -> Result<(), Failure> {
+    let Some(svm) = &study.svm else { return Ok(()) };
+    let fail = |d: String| Err(Failure::new("svm.sanity", d));
+    if !(0.0..=1.0).contains(&svm.cv_f1) {
+        return fail(format!("cv_f1 {} out of range", svm.cv_f1));
+    }
+    if svm.grid.is_empty() || svm.corpus_size == 0 {
+        return fail(format!("empty grid ({}) or corpus ({})", svm.grid.len(), svm.corpus_size));
+    }
+    if !svm.grid.iter().any(|&(l, f1)| l == svm.best_lambda && f1 == svm.cv_f1) {
+        return fail(format!("best (λ={}, F1={}) not on the grid", svm.best_lambda, svm.cv_f1));
+    }
+    for (name, v) in [("mean_class_probs", svm.mean_class_probs), ("class_shares", svm.class_shares)]
+    {
+        let sum: f64 = v.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return fail(format!("{name} sums to {sum}, expected 1"));
+        }
+    }
+    Ok(())
+}
+
+/// The differential oracles: the faulted sharded run must be
+/// byte-identical to the clean serial control on every deterministic
+/// surface.
+fn differential(sc: &Scenario, faulted: &Study, control: &Study) -> Result<(), Failure> {
+    // 1. Rendered report (excludes timing-derived run stats).
+    let ra = render::deterministic(faulted);
+    let rb = render::deterministic(control);
+    if ra != rb {
+        let diff = first_diff_line(&ra, &rb);
+        return Err(Failure::new(
+            "differential.render",
+            format!("faulted/sharded render diverges from clean/serial: {diff}"),
+        ));
+    }
+
+    // 2 + 3. CSV exports and the persisted mirror, compared file by file
+    // in throwaway directories.
+    let base = std::env::temp_dir().join(format!(
+        "simcheck-{}-{:016x}",
+        std::process::id(),
+        sc.seed
+    ));
+    let result = differential_files(faulted, control, &base);
+    std::fs::remove_dir_all(&base).ok();
+    result?;
+
+    // 4. Deterministic counters: shard geometry and scorer volumes are
+    // contracted to be identical for any worker count and any fault
+    // history (`crawl.*` counters are NOT compared — retries and
+    // throttle sleeps legitimately differ under faults).
+    let diffs: Vec<String> = faulted
+        .runstats
+        .snapshot
+        .diff_counters(&control.runstats.snapshot)
+        .into_iter()
+        .filter(|(name, _, _)| name.starts_with("shard.") || name.starts_with("classify."))
+        .map(|(name, a, b)| format!("{name}: faulted {a} vs control {b}"))
+        .collect();
+    if !diffs.is_empty() {
+        return Err(Failure::new(
+            "differential.counters",
+            format!("deterministic counters diverge: {}", diffs.join("; ")),
+        ));
+    }
+    Ok(())
+}
+
+fn differential_files(faulted: &Study, control: &Study, base: &Path) -> Result<(), Failure> {
+    let io_fail = |e: std::io::Error| Failure::new("differential.io", e.to_string());
+    let read = |path: PathBuf| std::fs::read(&path).map_err(io_fail);
+
+    let (csv_a, csv_b) = (base.join("csv-faulted"), base.join("csv-control"));
+    let files_a = analysis::export::export_csv(&faulted.report, &csv_a).map_err(io_fail)?;
+    let files_b = analysis::export::export_csv(&control.report, &csv_b).map_err(io_fail)?;
+    if files_a != files_b {
+        return Err(Failure::new(
+            "differential.csv",
+            format!("export file sets differ: {files_a:?} vs {files_b:?}"),
+        ));
+    }
+    for name in &files_a {
+        if read(csv_a.join(name))? != read(csv_b.join(name))? {
+            return Err(Failure::new("differential.csv", format!("{name} bytes differ")));
+        }
+    }
+
+    let (mir_a, mir_b) = (base.join("mirror-faulted"), base.join("mirror-control"));
+    crawler::persist::save(&faulted.store, &mir_a).map_err(io_fail)?;
+    crawler::persist::save(&control.store, &mir_b).map_err(io_fail)?;
+    for name in crawler::persist::FILES {
+        if read(mir_a.join(name))? != read(mir_b.join(name))? {
+            return Err(Failure::new("differential.persist", format!("{name} bytes differ")));
+        }
+    }
+    Ok(())
+}
+
+/// First line where two renders diverge, for failure detail.
+fn first_diff_line(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: {la:?} vs {lb:?}", i + 1);
+        }
+    }
+    format!("lengths differ ({} vs {} lines)", a.lines().count(), b.lines().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MIN_SCALE;
+
+    /// The cheapest possible scenario: serial, clean, tiny, no SVM.
+    fn minimal() -> Scenario {
+        Scenario {
+            seed: 0,
+            world_seed: 0xD15C,
+            scale: MIN_SCALE,
+            workers: 1,
+            crawl_workers: 1,
+            retries: 6,
+            drop_prob: 0.0,
+            error_prob: 0.0,
+            truncate_prob: 0.0,
+            reset_prob: 0.0,
+            stall_prob: 0.0,
+            malformed_prob: 0.0,
+            rate_limit_prob: 0.0,
+            unavailable_prob: 0.0,
+            fault_seed: 0,
+            svm: false,
+            svm_corpus: 300,
+        }
+    }
+
+    #[test]
+    fn minimal_clean_scenario_passes_every_oracle() {
+        let sc = minimal();
+        if let Err(f) = check_scenario(&sc) {
+            panic!("minimal scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn a_faulted_scenario_passes_every_oracle() {
+        // One fixed fault-matrix scenario in-tree so the sweep binary is
+        // not the only thing exercising the faulted differential path.
+        let sc = Scenario {
+            drop_prob: 0.02,
+            error_prob: 0.02,
+            rate_limit_prob: 0.01,
+            fault_seed: 11,
+            crawl_workers: 2,
+            workers: 2,
+            ..minimal()
+        };
+        if let Err(f) = check_scenario(&sc) {
+            panic!("faulted scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn first_diff_line_pinpoints_divergence() {
+        assert!(first_diff_line("a\nb\nc", "a\nX\nc").starts_with("line 2"));
+        assert!(first_diff_line("a", "a\nb").contains("lengths differ"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Self-contained replay files.
+//!
+//! A replay is everything needed to re-execute a (shrunk) failing
+//! scenario deterministically: the scenario itself plus the failure it
+//! reproduced when written. Replays live under `simcheck/replays/` at
+//! the repository root; committed ones act as a pinned regression
+//! corpus that `tests/simcheck_replays.rs` re-runs on every
+//! `cargo test` and must now pass.
+
+use crate::oracle::Failure;
+use crate::scenario::Scenario;
+use jsonlite::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The replay schema version written by this build.
+pub const VERSION: i64 = 1;
+
+/// Default replay directory, relative to the repository root.
+pub const DEFAULT_DIR: &str = "simcheck/replays";
+
+/// One replay file's contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// The scenario to re-execute.
+    pub scenario: Scenario,
+    /// The oracle that tripped when this replay was written (for
+    /// committed regression replays: the failure the fix addressed).
+    pub check: String,
+    /// Failure evidence as observed at write time.
+    pub detail: String,
+}
+
+impl Replay {
+    /// Package a shrunk failure.
+    pub fn new(scenario: Scenario, failure: &Failure) -> Self {
+        Self { scenario, check: failure.check.clone(), detail: failure.detail.clone() }
+    }
+
+    /// Serialize to the on-disk JSON form.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("version", VERSION)
+            .with("check", self.check.as_str())
+            .with("detail", self.detail.as_str())
+            .with("scenario", self.scenario.to_json())
+    }
+
+    /// Deserialize from the on-disk JSON form.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let version = v.get("version").and_then(Value::as_i64).ok_or("replay: missing version")?;
+        if version != VERSION {
+            return Err(format!("replay: unsupported version {version}"));
+        }
+        Ok(Self {
+            scenario: Scenario::from_json(v.get("scenario").ok_or("replay: missing scenario")?)?,
+            check: v
+                .get("check")
+                .and_then(Value::as_str)
+                .ok_or("replay: missing check")?
+                .to_owned(),
+            detail: v
+                .get("detail")
+                .and_then(Value::as_str)
+                .ok_or("replay: missing detail")?
+                .to_owned(),
+        })
+    }
+}
+
+/// Write a replay into `dir` (created if missing) as
+/// `seed-<seed-hex>.json`. Returns the path written.
+pub fn write(dir: &Path, replay: &Replay) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("seed-{:016x}.json", replay.scenario.seed));
+    let mut text = jsonlite::to_string_pretty(&replay.to_json());
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Read one replay file.
+pub fn read(path: &Path) -> Result<Replay, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = jsonlite::parse(&text).map_err(|e| format!("{}: {e:?}", path.display()))?;
+    Replay::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Every `*.json` replay in `dir`, sorted by file name for a stable run
+/// order. An absent directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Replay)>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths.into_iter().map(|p| read(&p).map(|r| (p, r))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("simcheck-replay-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let replay = Replay::new(
+            Scenario::from_seed(0xBEEF),
+            &Failure { check: "obs.reconcile".into(), detail: "counter skew".into() },
+        );
+        let path = write(&dir, &replay).expect("writes");
+        assert!(path.file_name().unwrap().to_str().unwrap().contains("beef"));
+        assert_eq!(read(&path).expect("reads"), replay);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_sorts_and_tolerates_absence() {
+        let dir = temp_dir("loaddir");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(load_dir(&dir).expect("missing dir is empty"), Vec::new());
+        let f = Failure { check: "c".into(), detail: "d".into() };
+        write(&dir, &Replay::new(Scenario::from_seed(9), &f)).unwrap();
+        write(&dir, &Replay::new(Scenario::from_seed(2), &f)).unwrap();
+        let loaded = load_dir(&dir).expect("loads");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].1.scenario.seed, 2, "sorted by file name");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_and_field_errors_are_reported() {
+        let v = jsonlite::parse(r#"{"version":99}"#).unwrap();
+        assert!(Replay::from_json(&v).unwrap_err().contains("version 99"));
+        let v = jsonlite::parse(r#"{"version":1,"check":"c","detail":"d"}"#).unwrap();
+        assert!(Replay::from_json(&v).unwrap_err().contains("scenario"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Scenario shrinking: reduce a failing scenario to a minimal
+//! still-failing case before writing the replay.
+//!
+//! The shrinker is a single greedy pass over a fixed candidate
+//! sequence — halve the world (twice), drop the SVM stage, zero each
+//! fault-matrix entry, serialize the workers. Each candidate re-runs the
+//! oracle and is kept only if the failure (any failure) persists, so the
+//! pass is bounded at ~13 pipeline runs and the result is deterministic
+//! for a deterministic check function.
+
+use crate::oracle::Failure;
+use crate::scenario::{Scenario, MIN_SCALE};
+
+/// Shrink `sc` (already known to fail with `failure`) against `check`,
+/// which returns `Some(failure)` while the scenario still fails.
+/// Returns the smallest failing scenario found and its failure.
+pub fn shrink<F>(sc: Scenario, failure: Failure, check: F) -> (Scenario, Failure)
+where
+    F: Fn(&Scenario) -> Option<Failure>,
+{
+    type Step = Box<dyn Fn(&Scenario) -> Scenario>;
+    let halve = |s: &Scenario| Scenario { scale: (s.scale / 2.0).max(MIN_SCALE), ..s.clone() };
+    let steps: Vec<Step> = vec![
+        Box::new(halve),
+        Box::new(halve),
+        Box::new(|s| Scenario { svm: false, ..s.clone() }),
+        Box::new(|s| Scenario { drop_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { error_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { truncate_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { reset_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { stall_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { malformed_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { rate_limit_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { unavailable_prob: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { workers: 1, ..s.clone() }),
+        Box::new(|s| Scenario { crawl_workers: 1, ..s.clone() }),
+    ];
+
+    let mut best = sc;
+    let mut best_failure = failure;
+    for step in steps {
+        let candidate = step(&best);
+        if candidate == best {
+            continue; // the knob is already minimal — no run to spend
+        }
+        if let Some(f) = check(&candidate) {
+            best = candidate;
+            best_failure = f;
+        }
+    }
+    (best, best_failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fails_when(pred: impl Fn(&Scenario) -> bool) -> impl Fn(&Scenario) -> Option<Failure> {
+        move |s| pred(s).then(|| Failure { check: "test".into(), detail: format!("{s:?}") })
+    }
+
+    #[test]
+    fn shrinks_every_irrelevant_knob_to_its_floor() {
+        let sc = Scenario::from_seed(3); // arbitrary non-minimal scenario
+        let first = Failure { check: "test".into(), detail: String::new() };
+        // A failure independent of every knob shrinks all the way down.
+        let sc = Scenario { workers: 8, crawl_workers: 4, svm: true, drop_prob: 0.01, ..sc };
+        let expected_scale = (sc.scale / 4.0).max(MIN_SCALE); // two halvings
+        let (min, f) = shrink(sc, first, fails_when(|_| true));
+        assert_eq!(min.scale, expected_scale);
+        assert!(!min.svm);
+        assert_eq!(min.workers, 1);
+        assert_eq!(min.crawl_workers, 1);
+        assert_eq!(min.total_fault_prob(), 0.0);
+        assert_eq!(f.check, "test");
+    }
+
+    #[test]
+    fn keeps_the_knob_the_failure_depends_on() {
+        let mut sc = Scenario::from_seed(5);
+        sc.drop_prob = 0.02;
+        sc.workers = 8;
+        let first = Failure { check: "test".into(), detail: String::new() };
+        let (min, _) = shrink(sc, first, fails_when(|s| s.drop_prob > 0.0));
+        assert!(min.drop_prob > 0.0, "the load-bearing fault survives shrinking");
+        assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
+        assert_eq!(min.error_prob, 0.0);
+    }
+
+    #[test]
+    fn never_runs_noop_candidates() {
+        use std::cell::Cell;
+        let runs = Cell::new(0usize);
+        let sc = Scenario { // already minimal except one knob
+            workers: 4,
+            ..Scenario {
+                scale: MIN_SCALE,
+                svm: false,
+                crawl_workers: 1,
+                drop_prob: 0.0,
+                error_prob: 0.0,
+                truncate_prob: 0.0,
+                reset_prob: 0.0,
+                stall_prob: 0.0,
+                malformed_prob: 0.0,
+                rate_limit_prob: 0.0,
+                unavailable_prob: 0.0,
+                ..Scenario::from_seed(0)
+            }
+        };
+        let first = Failure { check: "test".into(), detail: String::new() };
+        let check = |_: &Scenario| {
+            runs.set(runs.get() + 1);
+            Some(Failure { check: "test".into(), detail: String::new() })
+        };
+        let (min, _) = shrink(sc, first, check);
+        assert_eq!(min.workers, 1);
+        assert_eq!(runs.get(), 1, "only the one changing candidate re-ran the oracle");
+    }
+}

@@ -113,6 +113,32 @@ pub fn concentration_curve(counts: &[u64], points: usize) -> Vec<(f64, f64)> {
     curve
 }
 
+/// Check that `(x, y)` points form a valid CDF-style curve: every value
+/// finite, `y` within `[0, 1]`, and both coordinates non-decreasing.
+/// Holds for [`Ecdf::curve`] and [`concentration_curve`] output by
+/// construction; the simulation harness asserts it on every exported
+/// curve so a regression in either becomes a named invariant violation
+/// instead of a silent byte diff. Returns the first violation found.
+pub fn validate_curve(points: &[(f64, f64)]) -> Result<(), String> {
+    for (i, &(x, y)) in points.iter().enumerate() {
+        if !x.is_finite() || !y.is_finite() {
+            return Err(format!("curve point {i} not finite: ({x}, {y})"));
+        }
+        if !(-1e-9..=1.0 + 1e-9).contains(&y) {
+            return Err(format!("curve point {i} has y outside [0,1]: {y}"));
+        }
+    }
+    for (i, w) in points.windows(2).enumerate() {
+        if w[1].0 < w[0].0 {
+            return Err(format!("curve x decreases at point {}: {} -> {}", i + 1, w[0].0, w[1].0));
+        }
+        if w[1].1 < w[0].1 {
+            return Err(format!("curve y decreases at point {}: {} -> {}", i + 1, w[0].1, w[1].1));
+        }
+    }
+    Ok(())
+}
+
 /// Smallest user fraction whose (descending-activity) cumulative share
 /// reaches `target` of total activity — e.g. `fraction_for_share(c, 0.9)`
 /// answers "what fraction of users produce 90% of comments?".
@@ -221,5 +247,25 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         Ecdf::new(&[f64::NAN]);
+    }
+
+    #[test]
+    fn validate_curve_accepts_real_curves() {
+        let e = Ecdf::new(&[0.1, 0.3, 0.3, 0.9]);
+        assert_eq!(validate_curve(&e.curve(50)), Ok(()));
+        assert_eq!(validate_curve(&concentration_curve(&[1, 5, 2, 90], 20)), Ok(()));
+        assert_eq!(validate_curve(&[]), Ok(()));
+    }
+
+    #[test]
+    fn validate_curve_rejects_bad_shapes() {
+        assert!(validate_curve(&[(0.0, f64::NAN)]).unwrap_err().contains("not finite"));
+        assert!(validate_curve(&[(0.0, 1.5)]).unwrap_err().contains("outside [0,1]"));
+        assert!(validate_curve(&[(1.0, 0.1), (0.5, 0.2)])
+            .unwrap_err()
+            .contains("x decreases"));
+        assert!(validate_curve(&[(0.0, 0.5), (1.0, 0.2)])
+            .unwrap_err()
+            .contains("y decreases"));
     }
 }

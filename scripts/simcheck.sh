@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Seed-driven end-to-end simulation sweep (see crates/simcheck).
+#
+# Usage: scripts/simcheck.sh [COUNT] [START]
+#   COUNT  number of seeded scenarios to run (default 50)
+#   START  first seed (default 1)
+#
+# Failing scenarios are shrunk and written to simcheck/replays/ —
+# commit the replay alongside the fix so tests/simcheck_replays.rs
+# pins it forever.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -p simcheck -- --count "${1:-50}" --start "${2:-1}"

@@ -14,6 +14,7 @@ pub use httpnet;
 pub use ids;
 pub use jsonlite;
 pub use platform;
+pub use simcheck;
 pub use stats;
 pub use synth;
 pub use textkit;

@@ -1,0 +1,50 @@
+//! Mutation smoke: a deliberately injected accounting bug must be
+//! caught by the simcheck oracles, shrink to a minimal scenario, and
+//! reproduce deterministically from its replay file.
+//!
+//! The mutation lives behind the `SIMCHECK_MUTATE` environment variable
+//! in the crawler's resilience layer: `skip_succeeded_counter` skips the
+//! obs `crawl.<phase>.succeeded` increment while the store's own books
+//! still count the delivery, so the obs ↔ store reconciliation oracle
+//! must trip. The variable is read once per process (the crawl hot path
+//! must not re-query the environment), which is why this test owns its
+//! own integration-test binary and sets the variable before anything
+//! crawls.
+
+use dissenter_repro::simcheck::{check_scenario, replay, shrink, Scenario};
+use dissenter_repro::simcheck::scenario::MIN_SCALE;
+
+#[test]
+fn injected_accounting_bug_is_caught_shrunk_and_replayed() {
+    // Must happen before the first crawl in this process.
+    std::env::set_var("SIMCHECK_MUTATE", "skip_succeeded_counter");
+
+    // A small scenario; the shrinker should still find work to do.
+    let sc = Scenario {
+        scale: 0.001,
+        workers: 2,
+        crawl_workers: 1,
+        svm: false,
+        ..Scenario::from_seed(0x5EED)
+    };
+
+    // 1. Detection.
+    let failure = check_scenario(&sc).expect_err("the mutated crawler must trip an oracle");
+    assert_eq!(failure.check, "obs.reconcile", "caught by counter reconciliation: {failure}");
+    assert!(failure.detail.contains("succeeded"), "{failure}");
+
+    // 2. Shrinking preserves the failure and reaches the floor.
+    let (min, min_failure) = shrink::shrink(sc, failure, |c| check_scenario(c).err());
+    assert_eq!(min_failure.check, "obs.reconcile", "{min_failure}");
+    assert_eq!(min.scale, MIN_SCALE, "scale shrinks to the floor");
+    assert_eq!(min.workers, 1, "workers shrink to serial");
+
+    // 3. The replay file round-trips and still reproduces the failure.
+    let dir = std::env::temp_dir().join(format!("simcheck-mutation-{}", std::process::id()));
+    let path = replay::write(&dir, &replay::Replay::new(min, &min_failure)).expect("replay writes");
+    let loaded = replay::read(&path).expect("replay reads");
+    let replayed = check_scenario(&loaded.scenario)
+        .expect_err("the replayed scenario must reproduce the failure deterministically");
+    assert_eq!(replayed.check, "obs.reconcile", "{replayed}");
+    std::fs::remove_dir_all(&dir).ok();
+}

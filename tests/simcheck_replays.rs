@@ -1,0 +1,32 @@
+//! Re-execute every committed simcheck replay.
+//!
+//! `simcheck/replays/` is the pinned regression corpus: each file is a
+//! shrunk scenario that once tripped an oracle (the `check`/`detail`
+//! fields record what it caught). After the corresponding fix every
+//! committed replay must pass the full oracle suite, deterministically,
+//! on every `cargo test`.
+
+use dissenter_repro::simcheck::{check_scenario, replay};
+use std::path::Path;
+
+#[test]
+fn every_committed_replay_passes_the_oracles() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(replay::DEFAULT_DIR);
+    let replays = replay::load_dir(&dir).expect("replay corpus loads");
+    assert!(
+        !replays.is_empty(),
+        "no committed replays under {} — the regression corpus must not be empty",
+        dir.display()
+    );
+    for (path, r) in replays {
+        println!(
+            "replaying {} (originally caught: [{}] {})",
+            path.display(),
+            r.check,
+            r.detail
+        );
+        if let Err(f) = check_scenario(&r.scenario) {
+            panic!("{} regressed: {f}", path.display());
+        }
+    }
+}

@@ -80,11 +80,11 @@ fn bench_keepalive_ablation(c: &mut Criterion) {
     let addr = server.addr();
     let mut g = c.benchmark_group("ablation_keepalive");
     g.bench_function("fresh_connection_per_request", |b| {
-        let client = Client::new(addr);
+        let client = Client::builder(addr).build();
         b.iter(|| black_box(client.get("/x").unwrap()));
     });
     g.bench_function("keep_alive_connection", |b| {
-        let mut client = Client::new(addr);
+        let mut client = Client::builder(addr).build();
         client.keep_alive(true);
         b.iter(|| black_box(client.get_keep_alive("/x").unwrap()));
     });

@@ -46,11 +46,11 @@ fn bench_http(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
 
     g.bench_function("roundtrip_fresh_connection", |b| {
-        let client = Client::new(fx.services.gab.addr());
+        let client = Client::builder(fx.services.gab.addr()).build();
         b.iter(|| black_box(client.get("/api/v1/accounts/1").unwrap()));
     });
     g.bench_function("roundtrip_keep_alive", |b| {
-        let mut client = Client::new(fx.services.gab.addr());
+        let mut client = Client::builder(fx.services.gab.addr()).build();
         client.keep_alive(true);
         b.iter(|| black_box(client.get_keep_alive("/api/v1/accounts/1").unwrap()));
     });
@@ -63,7 +63,7 @@ fn bench_crawl_ops(c: &mut Criterion) {
 
     // E1: one Gab enumeration probe (hit + parse).
     g.bench_function("gab_account_fetch_parse", |b| {
-        let mut client = Client::new(fx.services.gab.addr());
+        let mut client = Client::builder(fx.services.gab.addr()).build();
         client.keep_alive(true);
         let target = format!("/api/v1/accounts/{}", fx.gab_id);
         b.iter(|| {
@@ -74,7 +74,7 @@ fn bench_crawl_ops(c: &mut Criterion) {
 
     // §3.1: the size probe (body length inspection, hit + miss).
     g.bench_function("dissenter_size_probe_hit", |b| {
-        let mut client = Client::new(fx.services.dissenter.addr());
+        let mut client = Client::builder(fx.services.dissenter.addr()).build();
         client.keep_alive(true);
         let target = format!("/user/{}", fx.dissenter_user);
         b.iter(|| {
@@ -83,7 +83,7 @@ fn bench_crawl_ops(c: &mut Criterion) {
         });
     });
     g.bench_function("dissenter_size_probe_miss", |b| {
-        let mut client = Client::new(fx.services.dissenter.addr());
+        let mut client = Client::builder(fx.services.dissenter.addr()).build();
         client.keep_alive(true);
         b.iter(|| {
             let resp = client.get_keep_alive("/user/nosuchuserzz").unwrap();
@@ -95,7 +95,7 @@ fn bench_crawl_ops(c: &mut Criterion) {
     // per-URL 10-req/min limit the real site advertises — hammering it in
     // a bench loop would measure the 429 path), then benchmark the parse.
     g.bench_function("comment_page_scrape", |b| {
-        let client = Client::new(fx.services.dissenter.addr());
+        let client = Client::builder(fx.services.dissenter.addr()).build();
         let html = client.get(&format!("/url/{}", fx.url_id)).unwrap().text();
         b.iter(|| black_box(crawler::spider::parse_comment_page(&html)));
     });
@@ -125,7 +125,7 @@ fn bench_resilience(c: &mut Criterion) {
     // A policy-driven fetch against a healthy endpoint: the overhead the
     // retry machinery adds to the common (no-fault) case.
     g.bench_function("get_with_policy_clean", |b| {
-        let mut client = Client::new(fx.services.gab.addr());
+        let mut client = Client::builder(fx.services.gab.addr()).build();
         client.keep_alive(true);
         let policy = RetryPolicy::immediate(3);
         b.iter(|| black_box(client.get_with_policy("/api/v1/accounts/1", &policy).unwrap()));
@@ -145,7 +145,7 @@ fn bench_resilience(c: &mut Criterion) {
             ..crawler::default_server_config()
         };
         let services = SimServices::start(world, cfg).expect("services");
-        let mut client = Client::new(services.gab.addr());
+        let mut client = Client::builder(services.gab.addr()).build();
         client.keep_alive(true);
         let policy = RetryPolicy::immediate(8);
         b.iter(|| black_box(client.get_with_policy("/api/v1/accounts/1", &policy).unwrap()));

@@ -1,0 +1,192 @@
+//! Conditional-request serving bench: drive the Dissenter front with a
+//! closed-loop load in both regimes (every-request-rendered vs
+//! ETag/304 revalidation) and emit the comparison as `BENCH_PR5.json`
+//! (produced in CI by `scripts/bench_pr5.sh`).
+//!
+//! ```text
+//! loadgen [--out FILE] [--threads N] [--requests N] [--targets N] [--scale <f64>] [--seed N]
+//! ```
+//!
+//! Self-validating: the run aborts unless (a) cached throughput strictly
+//! beats uncached, (b) the cached pass actually revalidated, (c) no
+//! request failed, and (d) the shadow-visibility isolation probe holds —
+//! a page served to an NSFW/offensive-enabled session must not be
+//! reachable (as body, cache entry, or validator match) by an anonymous
+//! session.
+
+use bench::loadgen::{run, LoadConfig, Mode};
+use httpnet::{Handler, Request};
+use std::sync::Arc;
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::dissenter::DissenterFront;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--out FILE] [--threads N] [--requests N] [--targets N] \
+         [--scale <f64>] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// In-process probe of the cache-coherence contract: a shadow-labeled
+/// comment page fetched by an opted-in session (200, tagged, cached)
+/// must stay invisible to an anonymous request — including when the
+/// anonymous request replays the shadow session's validator.
+fn shadow_isolation_holds(world: &Arc<platform::World>) -> bool {
+    let Some(comment) = world.dissenter.comments().iter().find(|c| c.nsfw || c.offensive) else {
+        eprintln!("loadgen: world has no shadow-labeled comments; grow --scale");
+        return false;
+    };
+    let front = DissenterFront::new(world.clone());
+    let target = format!("/comment/{}", comment.id);
+
+    let mut shadow_req = Request::get(&target);
+    shadow_req.headers.add("Cookie", "session=crawler:both");
+    let shadow = front.handle(&shadow_req);
+    if !shadow.status.is_success() {
+        eprintln!("loadgen: shadow session got {} for {target}", shadow.status);
+        return false;
+    }
+    let Some(tag) = shadow.etag().map(str::to_owned) else {
+        eprintln!("loadgen: shadow 200 for {target} is untagged");
+        return false;
+    };
+
+    // Plain anonymous request: the cached shadow body must not leak.
+    let anon = front.handle(&Request::get(&target));
+    if anon.status.is_success() {
+        eprintln!("loadgen: anonymous request was served a shadow-visible page for {target}");
+        return false;
+    }
+    // Anonymous request replaying the shadow validator: must not 304.
+    let mut replay = Request::get(&target);
+    replay.headers.add("If-None-Match", &tag);
+    let replayed = front.handle(&replay);
+    if replayed.status == httpnet::Status::NOT_MODIFIED || replayed.status.is_success() {
+        eprintln!(
+            "loadgen: shadow validator {tag} validated for an anonymous session ({})",
+            replayed.status
+        );
+        return false;
+    }
+    true
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR5.json");
+    let mut load = LoadConfig::default();
+    let mut target_count = 24usize;
+    let mut scale = 0.002f64;
+    let mut seed = 0x5EED_BE7Au64;
+    let mut args = std::env::args().skip(1);
+    fn next_arg(args: &mut impl Iterator<Item = String>) -> String {
+        args.next().unwrap_or_else(|| usage())
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = next_arg(&mut args).into(),
+            "--threads" => load.threads = next_arg(&mut args).parse_ok("--threads"),
+            "--requests" => load.requests_per_thread = next_arg(&mut args).parse_ok("--requests"),
+            "--targets" => target_count = next_arg(&mut args).parse_ok("--targets"),
+            "--scale" => scale = next_arg(&mut args).parse_ok("--scale"),
+            "--seed" => seed = next_arg(&mut args).parse_ok("--seed"),
+            _ => usage(),
+        }
+    }
+
+    let cfg = WorldConfig { seed, scale: Scale::Custom(scale), ..WorldConfig::small() };
+    let (world, _) = synth::generate(&cfg);
+    let world = Arc::new(world);
+    let registry = obs::Registry::new();
+    let fronts = webfront::SimFronts::with_registry(world.clone(), &registry);
+    let services = webfront::SimServices::start_with(fronts, crawler::default_server_config())
+        .expect("failed to start simulated services");
+
+    let mut names: Vec<String> =
+        world.dissenter_users().map(|i| world.user(i).username.clone()).collect();
+    names.sort_unstable();
+    let targets: Vec<String> =
+        names.iter().take(target_count.max(1)).map(|n| format!("/user/{n}")).collect();
+    assert!(!targets.is_empty(), "world has no dissenter users; grow --scale");
+
+    let addr = services.dissenter.addr();
+    let uncached = run(addr, &targets, &load, Mode::Uncached);
+    let cached = run(addr, &targets, &load, Mode::Cached);
+    let shadow_isolated = shadow_isolation_holds(&world);
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let summary = |s: &bench::loadgen::LoadSummary| {
+        jsonlite::Value::object()
+            .with("requests", s.requests)
+            .with("failures", s.failures)
+            .with("wall_ms", s.wall_ms)
+            .with("req_per_sec", s.req_per_sec)
+            .with("p50_us", s.p50_us)
+            .with("p99_us", s.p99_us)
+            .with("not_modified", s.not_modified)
+    };
+    let report = jsonlite::Value::object()
+        .with("threads", load.threads)
+        .with("requests_per_thread", load.requests_per_thread)
+        .with("targets", targets.len())
+        .with("scale", scale)
+        .with("uncached", summary(&uncached))
+        .with("cached", summary(&cached))
+        .with("speedup", cached.req_per_sec / uncached.req_per_sec.max(1e-9))
+        .with("cache_hits", counter("cache.hits"))
+        .with("cache_misses", counter("cache.misses"))
+        .with("cache_evictions", counter("cache.evictions"))
+        .with("shadow_isolated", shadow_isolated);
+    std::fs::write(&out_path, jsonlite::to_string_pretty(&report))
+        .expect("failed to write bench artifact");
+    println!(
+        "loadgen: uncached {:.0} req/s (p99 {} us) vs cached {:.0} req/s (p99 {} us), \
+         {} revalidations -> {}",
+        uncached.req_per_sec,
+        uncached.p99_us,
+        cached.req_per_sec,
+        cached.p99_us,
+        cached.not_modified,
+        out_path.display()
+    );
+
+    let mut ok = true;
+    if uncached.failures + cached.failures > 0 {
+        eprintln!("loadgen: FAIL — {} requests failed", uncached.failures + cached.failures);
+        ok = false;
+    }
+    if cached.not_modified == 0 {
+        eprintln!("loadgen: FAIL — cached pass never revalidated");
+        ok = false;
+    }
+    if cached.req_per_sec <= uncached.req_per_sec {
+        eprintln!(
+            "loadgen: FAIL — cached {:.0} req/s did not beat uncached {:.0} req/s",
+            cached.req_per_sec, uncached.req_per_sec
+        );
+        ok = false;
+    }
+    if !shadow_isolated {
+        eprintln!("loadgen: FAIL — shadow-visibility isolation violated");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Tiny arg-parsing helper: parse or die with the flag name.
+trait ParseOk {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T;
+}
+
+impl ParseOk for String {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T {
+        self.parse().unwrap_or_else(|_| {
+            eprintln!("loadgen: invalid value {self:?} for {name}");
+            std::process::exit(2);
+        })
+    }
+}

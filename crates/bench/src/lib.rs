@@ -1,5 +1,8 @@
-//! Benchmark support: shared fixtures for the Criterion benches and the
-//! `repro` harness binary that regenerates every table and figure.
+//! Benchmark support: shared fixtures for the Criterion benches, the
+//! `repro` harness binary that regenerates every table and figure, and
+//! the [`loadgen`] closed-loop load generator behind `BENCH_PR5.json`.
+
+pub mod loadgen;
 
 use dissenter_core::{run_study, Study, StudyConfig};
 use std::sync::OnceLock;

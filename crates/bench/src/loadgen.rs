@@ -1,0 +1,203 @@
+//! Closed-loop load generator for the conditional-request serving layer
+//! (the `BENCH_PR5.json` artifact).
+//!
+//! [`run`] drives a front with `threads` closed-loop workers — each
+//! issues its next request only after the previous one completes — and
+//! reports throughput plus exact latency percentiles. Two regimes:
+//!
+//! * [`Mode::Uncached`] — every request carries a unique cache-busting
+//!   query, so the server renders every response from scratch and no
+//!   validator ever matches. This is the pre-PR cost of a request.
+//! * [`Mode::Cached`] — a fixed working set fetched through a shared
+//!   client [`RevalidationCache`]: after the first fetch of each target,
+//!   repeats send `If-None-Match` and ride the `304` fast path (a hash
+//!   compare and ~100 wire bytes instead of a render and a full body).
+//!
+//! The `loadgen` binary runs both regimes against the same services and
+//! self-validates that cached throughput strictly beats uncached.
+
+use httpnet::{Client, RevalidationCache};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Load shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Closed-loop worker threads.
+    pub threads: usize,
+    /// Requests each worker issues.
+    pub requests_per_thread: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self { threads: 4, requests_per_thread: 250 }
+    }
+}
+
+/// Serving regime under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Unique query string per request: every response fully rendered.
+    Uncached,
+    /// Fixed working set through a shared revalidation cache.
+    Cached,
+}
+
+/// One regime's measured outcome.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Requests completed successfully (2xx, or 304-resolved).
+    pub requests: u64,
+    /// Requests that errored or returned non-success (expected 0).
+    pub failures: u64,
+    /// Wall-clock for the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Successful requests per second.
+    pub req_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Requests resolved client-side from a `304 Not Modified`.
+    pub not_modified: u64,
+}
+
+/// Drive `targets` on the server at `addr` under the given regime.
+/// Workers walk the target list round-robin from staggered offsets, so
+/// every target is exercised by every thread.
+pub fn run(addr: SocketAddr, targets: &[String], cfg: &LoadConfig, mode: Mode) -> LoadSummary {
+    assert!(!targets.is_empty(), "loadgen needs at least one target");
+    let threads = cfg.threads.max(1);
+    let bust = AtomicU64::new(0);
+    let reval = RevalidationCache::new(targets.len() * 4);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let failures = AtomicU64::new(0);
+    let before_revalidated = reval.stats().revalidated;
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let reval = reval.clone();
+            let (bust, latencies, failures) = (&bust, &latencies, &failures);
+            scope.spawn(move || {
+                let mut builder = Client::builder(addr).keep_alive(true);
+                if mode == Mode::Cached {
+                    builder = builder.revalidation_cache(reval);
+                }
+                let mut client = builder.build();
+                let mut local = Vec::with_capacity(cfg.requests_per_thread);
+                for i in 0..cfg.requests_per_thread {
+                    let base = &targets[(t + i) % targets.len()];
+                    let target = match mode {
+                        Mode::Cached => base.clone(),
+                        Mode::Uncached => {
+                            format!("{base}?bust={}", bust.fetch_add(1, Ordering::Relaxed))
+                        }
+                    };
+                    let sent = Instant::now();
+                    match client.get_keep_alive(&target) {
+                        Ok(resp) if resp.status.is_success() => {
+                            local.push(sent.elapsed().as_micros() as u64);
+                        }
+                        _ => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        lat[((lat.len() - 1) as f64 * q).round() as usize]
+    };
+    let requests = lat.len() as u64;
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    LoadSummary {
+        requests,
+        failures: failures.load(Ordering::Relaxed),
+        wall_ms,
+        req_per_sec: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        not_modified: reval.stats().revalidated.saturating_sub(before_revalidated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use synth::config::Scale;
+    use synth::WorldConfig;
+
+    #[test]
+    fn cached_load_engages_the_fast_path() {
+        let cfg = WorldConfig {
+            seed: 0xBEEF,
+            scale: Scale::Custom(0.001),
+            ..WorldConfig::small()
+        };
+        let (world, _) = synth::generate(&cfg);
+        let world = Arc::new(world);
+        let registry = obs::Registry::new();
+        let fronts = webfront::SimFronts::with_registry(world.clone(), &registry);
+        let services =
+            webfront::SimServices::start_with(fronts, crawler::default_server_config())
+                .expect("services start");
+
+        let mut names: Vec<String> =
+            world.dissenter_users().map(|i| world.user(i).username.clone()).collect();
+        names.sort_unstable();
+        let targets: Vec<String> =
+            names.iter().take(4).map(|n| format!("/user/{n}")).collect();
+        assert!(!targets.is_empty(), "world has dissenter users");
+
+        let load = LoadConfig { threads: 2, requests_per_thread: 20 };
+        let summary = run(services.dissenter.addr(), &targets, &load, Mode::Cached);
+        assert_eq!(summary.failures, 0, "loopback load must not fail");
+        assert_eq!(summary.requests, 40);
+        assert!(
+            summary.not_modified > 0,
+            "repeat fetches of a fixed working set must revalidate: {summary:?}"
+        );
+        let snap = registry.snapshot();
+        let hits = snap.counter("cache.hits").unwrap_or(0);
+        let ratio = (summary.not_modified + hits) as f64 / summary.requests as f64;
+        assert!(ratio > 0.0, "cache-hit ratio must be nonzero (hits {hits}, {summary:?})");
+    }
+
+    #[test]
+    fn uncached_load_never_revalidates() {
+        let cfg = WorldConfig {
+            seed: 0xBEEF,
+            scale: Scale::Custom(0.001),
+            ..WorldConfig::small()
+        };
+        let (world, _) = synth::generate(&cfg);
+        let world = Arc::new(world);
+        let services =
+            webfront::SimServices::start(world.clone(), crawler::default_server_config())
+                .expect("services start");
+        let name = world
+            .dissenter_users()
+            .map(|i| world.user(i).username.clone())
+            .min()
+            .expect("a dissenter user");
+        let targets = vec![format!("/user/{name}")];
+        let load = LoadConfig { threads: 2, requests_per_thread: 10 };
+        let summary = run(services.dissenter.addr(), &targets, &load, Mode::Uncached);
+        assert_eq!(summary.failures, 0);
+        assert_eq!(summary.not_modified, 0, "cache-busted requests must never 304");
+    }
+}

@@ -120,6 +120,9 @@ pub struct Crawler {
     /// Replace with a clone of an outer registry to aggregate a crawl
     /// into a larger run (the registry is a shared handle).
     pub metrics: obs::Registry,
+    /// Shared ETag revalidation cache, attached to every worker client
+    /// when set (see [`Crawler::enable_revalidation`]).
+    reval: Option<httpnet::RevalidationCache>,
 }
 
 impl Crawler {
@@ -130,7 +133,29 @@ impl Crawler {
             config: CrawlConfig::default(),
             breakers: resilience::Breakers::default(),
             metrics: obs::Registry::new(),
+            reval: None,
         }
+    }
+
+    /// Turn on **incremental re-crawl**: every worker client shares one
+    /// [`httpnet::RevalidationCache`], so a second [`Crawler::full_crawl`]
+    /// on the same crawler sends `If-None-Match` for pages it has seen
+    /// and resolves the servers' `304`s from cache instead of
+    /// re-downloading bodies. The store a re-crawl produces is
+    /// byte-identical to a fresh full crawl's (the cache is transparent
+    /// — `simcheck`'s incremental oracle holds this across seeds);
+    /// only the wire traffic shrinks, visible as `http.<service>.not_modified`
+    /// counters in [`Crawler::metrics`].
+    ///
+    /// `capacity` bounds the number of cached representations (FIFO
+    /// eviction; an evicted page is transparently re-fetched in full).
+    pub fn enable_revalidation(&mut self, capacity: usize) {
+        self.reval = Some(httpnet::RevalidationCache::new(capacity));
+    }
+
+    /// The shared revalidation cache, if incremental re-crawl is on.
+    pub fn revalidation_cache(&self) -> Option<&httpnet::RevalidationCache> {
+        self.reval.as_ref()
     }
 
     /// Run every phase: enumerate, probe, spider, shadow-diff, YouTube,

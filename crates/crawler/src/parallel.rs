@@ -28,8 +28,7 @@ pub fn parallel_fetch<T: Sync, R: Send>(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(items.len()));
     let fresh_client = || {
-        let mut client = Client::new(addr);
-        client.keep_alive(true);
+        let mut client = Client::builder(addr).keep_alive(true).build();
         setup(&mut client);
         client
     };

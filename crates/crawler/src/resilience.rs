@@ -304,11 +304,15 @@ impl<'a> PhaseRun<'a> {
     }
 
     /// Configure a fresh worker client for this phase: the crawl
-    /// timeout, plus request instrumentation under this phase's service
-    /// name (`http.<service>.*` in the crawler's registry).
+    /// timeout, request instrumentation under this phase's service name
+    /// (`http.<service>.*` in the crawler's registry), and — when
+    /// incremental re-crawl is on — the crawl-wide revalidation cache.
     pub fn setup_client(&self, client: &mut Client) {
         client.timeout(self.crawler.config.timeout);
         client.instrument(&self.crawler.metrics, self.phase.service().name());
+        if let Some(reval) = self.crawler.revalidation_cache() {
+            client.set_revalidation_cache(reval.clone());
+        }
     }
 
     /// The phase this run accounts to.

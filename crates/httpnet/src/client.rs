@@ -5,6 +5,7 @@
 //! the paper's crawl needed (timeout monitoring + re-requests, §4.3.1;
 //! rate-limit sleeps, §3.4).
 
+use crate::cache::RevalidationCache;
 use crate::http::{read_response, write_request, Request, Response, Status, WireError};
 use crate::retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
 use std::fmt;
@@ -73,6 +74,9 @@ struct Instrument {
     /// `http.<class>.retry_after_waits` — delays honored from an
     /// advertised `Retry-After` header.
     retry_after_waits: obs::Counter,
+    /// `http.<class>.not_modified` — 304s answered from the
+    /// revalidation cache (full representation served locally).
+    not_modified: obs::Counter,
 }
 
 impl Instrument {
@@ -86,6 +90,7 @@ impl Instrument {
             status_429: registry.counter(&name("status_429")),
             retries: registry.counter(&name("retries")),
             retry_after_waits: registry.counter(&name("retry_after_waits")),
+            not_modified: registry.counter(&name("not_modified")),
         }
     }
 
@@ -105,6 +110,91 @@ impl Instrument {
     }
 }
 
+/// Chained-setter construction for [`Client`] — the one supported way
+/// to configure a client. Obtained from [`Client::builder`].
+///
+/// ```
+/// # let addr: std::net::SocketAddr = "127.0.0.1:9".parse().unwrap();
+/// let registry = obs::Registry::new();
+/// let client = httpnet::Client::builder(addr)
+///     .timeout(std::time::Duration::from_secs(2))
+///     .keep_alive(true)
+///     .metrics(&registry, "gab")
+///     .retry_policy(httpnet::RetryPolicy::default())
+///     .revalidation_cache(httpnet::RevalidationCache::new(1024))
+///     .build();
+/// # drop(client);
+/// ```
+#[derive(Debug)]
+#[must_use = "call .build() to obtain the Client"]
+pub struct ClientBuilder {
+    addr: SocketAddr,
+    timeout: Duration,
+    keep_alive: bool,
+    cookies: Vec<(String, String)>,
+    inst: Option<Instrument>,
+    reval: Option<RevalidationCache>,
+    policy: RetryPolicy,
+}
+
+impl ClientBuilder {
+    /// Set the connect/read timeout.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// Enable or disable connection reuse.
+    pub fn keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Attach a cookie to every request.
+    pub fn cookie(mut self, name: &str, value: &str) -> Self {
+        self.cookies.retain(|(n, _)| n != name);
+        self.cookies.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Report request metrics into `registry` under the endpoint class
+    /// `class` (see [`Client::instrument`] for the metric names).
+    pub fn metrics(mut self, registry: &obs::Registry, class: &str) -> Self {
+        self.inst = Some(Instrument::new(registry, class));
+        self
+    }
+
+    /// Attach a client-side revalidation cache: stored ETags are sent as
+    /// `If-None-Match`, and a `304 Not Modified` is transparently
+    /// resolved to the cached full representation, so callers always see
+    /// the complete response. Clone one cache across clients (and across
+    /// sweeps) to share it.
+    pub fn revalidation_cache(mut self, cache: RevalidationCache) -> Self {
+        self.reval = Some(cache);
+        self
+    }
+
+    /// The retry policy [`Client::get_retrying`] schedules with.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> Client {
+        Client {
+            addr: self.addr,
+            timeout: self.timeout,
+            keep_alive: self.keep_alive,
+            conn: None,
+            cookies: self.cookies,
+            inst: self.inst,
+            reval: self.reval,
+            policy: self.policy,
+        }
+    }
+}
+
 /// A blocking HTTP/1.1 client bound to one server address.
 pub struct Client {
     addr: SocketAddr,
@@ -114,6 +204,8 @@ pub struct Client {
     /// Cookies sent with every request as `name=value` pairs.
     cookies: Vec<(String, String)>,
     inst: Option<Instrument>,
+    reval: Option<RevalidationCache>,
+    policy: RetryPolicy,
 }
 
 impl fmt::Debug for Client {
@@ -123,16 +215,26 @@ impl fmt::Debug for Client {
 }
 
 impl Client {
-    /// A client for `addr` with a 5-second timeout, no keep-alive.
-    pub fn new(addr: SocketAddr) -> Self {
-        Self {
+    /// Start building a client for `addr`. Defaults: 5-second timeout,
+    /// no keep-alive, no cookies, no metrics, no revalidation cache,
+    /// [`RetryPolicy::default`].
+    pub fn builder(addr: SocketAddr) -> ClientBuilder {
+        ClientBuilder {
             addr,
             timeout: Duration::from_secs(5),
             keep_alive: false,
-            conn: None,
             cookies: Vec::new(),
             inst: None,
+            reval: None,
+            policy: RetryPolicy::default(),
         }
+    }
+
+    /// A client for `addr` with default settings.
+    #[deprecated(note = "field-poking construction is gone; use `Client::builder(addr)` — \
+                         this shim lasts one release")]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::builder(addr).build()
     }
 
     /// Report request metrics into `registry` under the endpoint class
@@ -174,12 +276,79 @@ impl Client {
         self
     }
 
+    /// Attach (or replace) the revalidation cache after construction —
+    /// the runtime counterpart of
+    /// [`ClientBuilder::revalidation_cache`].
+    pub fn set_revalidation_cache(&mut self, cache: RevalidationCache) -> &mut Self {
+        self.reval = Some(cache);
+        self
+    }
+
+    /// The cache-context key for `target`: cookie state is part of the
+    /// key because the same target renders differently per session
+    /// (shadow views must never resurrect into another session).
+    fn reval_key(&self, target: &str) -> String {
+        let mut key = String::new();
+        for (n, v) in &self.cookies {
+            key.push_str(n);
+            key.push('=');
+            key.push_str(v);
+            key.push(';');
+        }
+        key.push('|');
+        key.push_str(target);
+        key
+    }
+
+    /// Build the (possibly conditional) GET for `target`, returning the
+    /// revalidation context when a cache is attached: `(key, etag sent)`.
+    fn prepare_get(&self, target: &str) -> (Request, Option<(String, bool)>) {
+        let mut req = self.build(Request::get(target));
+        let Some(rc) = &self.reval else { return (req, None) };
+        let key = self.reval_key(target);
+        let etag = rc.etag_for(&key);
+        if let Some(etag) = &etag {
+            req.headers.add("If-None-Match", etag);
+        }
+        let conditional = etag.is_some();
+        (req, Some((key, conditional)))
+    }
+
     /// Issue a GET. Requires `&mut self` only when keep-alive is on; this
     /// immutable variant always uses a fresh connection.
     pub fn get(&self, target: &str) -> Result<Response, ClientError> {
-        let req = self.build(Request::get(target));
+        let (req, ctx) = self.prepare_get(target);
         let started = Instant::now();
-        let result = self.send_fresh(&req);
+        let mut result = self.send_fresh(&req);
+        if let (Some(rc), Some((key, conditional))) = (&self.reval, &ctx) {
+            result = match result {
+                Ok(r) if r.status == Status::NOT_MODIFIED && *conditional => {
+                    match rc.take_revalidated(key) {
+                        Some(full) => {
+                            if let Some(inst) = &self.inst {
+                                inst.not_modified.inc();
+                            }
+                            Ok(full)
+                        }
+                        // Entry evicted since the ETag was read: refetch
+                        // unconditionally (still one logical request).
+                        None => {
+                            let plain = self.build(Request::get(target));
+                            let refetched = self.send_fresh(&plain);
+                            if let Ok(r2) = &refetched {
+                                rc.store(key, r2);
+                            }
+                            refetched
+                        }
+                    }
+                }
+                Ok(r) => {
+                    rc.store(key, &r);
+                    Ok(r)
+                }
+                e => e,
+            };
+        }
         if let Some(inst) = &self.inst {
             inst.observe(started, &result);
         }
@@ -193,28 +362,67 @@ impl Client {
         if !self.keep_alive {
             return self.get(target);
         }
-        let req = self.build(Request::get(target));
+        let (req, ctx) = self.prepare_get(target);
         let started = Instant::now();
         // Counted as ONE wire attempt even when a stale pooled connection
         // forces a transparent resend — staleness depends on scheduling,
         // and counters must replay identically for identical seeds.
-        let result = (|| {
-            if self.conn.is_none() {
-                self.conn = Some(BufReader::new(self.connect()?));
-            }
-            match self.send_on_conn(&req) {
-                Ok(r) => Ok(r),
-                Err(_) => {
-                    // Stale pooled connection: retry once on a fresh one.
-                    self.conn = Some(BufReader::new(self.connect()?));
-                    self.send_on_conn(&req)
+        let mut result = self.send_pooled(&req);
+        if let Some((key, conditional)) = &ctx {
+            let rc = self.reval.clone().expect("ctx implies cache");
+            result = match result {
+                Ok(r) if r.status == Status::NOT_MODIFIED && *conditional => {
+                    match rc.take_revalidated(key) {
+                        Some(full) => {
+                            if let Some(inst) = &self.inst {
+                                inst.not_modified.inc();
+                            }
+                            Ok(full)
+                        }
+                        None => {
+                            let plain = self.build(Request::get(target));
+                            let refetched = self.send_pooled(&plain);
+                            if let Ok(r2) = &refetched {
+                                rc.store(key, r2);
+                            }
+                            refetched
+                        }
+                    }
                 }
-            }
-        })();
+                Ok(r) => {
+                    rc.store(key, &r);
+                    Ok(r)
+                }
+                e => e,
+            };
+        }
         if let Some(inst) = &self.inst {
             inst.observe(started, &result);
         }
         result
+    }
+
+    /// Send on the pooled connection, transparently reconnecting once if
+    /// it went stale.
+    fn send_pooled(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(BufReader::new(self.connect()?));
+        }
+        match self.send_on_conn(req) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // Stale pooled connection: retry once on a fresh one.
+                self.conn = Some(BufReader::new(self.connect()?));
+                self.send_on_conn(req)
+            }
+        }
+    }
+
+    /// Resilient GET scheduled by the retry policy configured at build
+    /// time ([`ClientBuilder::retry_policy`]).
+    pub fn get_retrying(&mut self, target: &str) -> Result<Response, ClientError> {
+        let policy = self.policy;
+        self.get_with_policy(target, &policy)
     }
 
     /// Resilient GET over the persistent connection: retries on transport
@@ -374,7 +582,7 @@ mod tests {
             Response::html(auth)
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         assert_eq!(client.get("/").unwrap().text(), "none");
         client.set_cookie("session", "tok123");
         assert_eq!(client.get("/").unwrap().text(), "tok123");
@@ -396,7 +604,7 @@ mod tests {
             ..Default::default()
         };
         let server = Server::start(handler, cfg).unwrap();
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         let resp = client
             .get_with_retries("/x", 20, Duration::ZERO)
             .expect("retries should eventually land");
@@ -413,7 +621,7 @@ mod tests {
             ..Default::default()
         };
         let server = Server::start(handler, cfg).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         match client.get_resilient("/x", 2, Duration::ZERO) {
             Err(ClientError::Http(r)) => assert_eq!(r.status, Status::INTERNAL),
             other => panic!("expected Http(500), got {other:?}"),
@@ -433,7 +641,7 @@ mod tests {
             }
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         let policy = crate::retry::RetryPolicy::immediate(3);
         let resp = client.get_with_policy("/x", &policy).expect("third attempt lands");
         assert_eq!(resp.text(), "recovered");
@@ -456,7 +664,7 @@ mod tests {
             }
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         let policy = crate::retry::RetryPolicy {
             base_backoff: Duration::ZERO,
             jitter: 0.0,
@@ -477,7 +685,7 @@ mod tests {
         let handler: Arc<dyn Handler> =
             Arc::new(|_: &Request| Response::status(Status::INTERNAL));
         let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         let policy = crate::retry::RetryPolicy {
             max_retries: 1_000,
             base_backoff: Duration::from_millis(40),
@@ -506,7 +714,7 @@ mod tests {
             Response::not_found()
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         let resp = client
             .get_with_policy("/missing", &crate::retry::RetryPolicy::immediate(5))
             .expect("404 is a delivered response");
@@ -517,7 +725,7 @@ mod tests {
     #[test]
     fn connect_error_reported() {
         // Port 1 on localhost is almost certainly closed.
-        let client = Client::new("127.0.0.1:1".parse().unwrap());
+        let client = Client::builder("127.0.0.1:1".parse().unwrap()).build();
         match client.get("/") {
             Err(ClientError::Connect(_)) => {}
             other => panic!("expected connect error, got {other:?}"),
@@ -530,7 +738,7 @@ mod tests {
             Arc::new(|_: &Request| Response::html("pong".into()));
         let cfg = ServerConfig { max_requests_per_conn: 1, ..Default::default() };
         let server = Server::start(handler, cfg).unwrap();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.keep_alive(true);
         // Server closes after every request; client must transparently
         // reconnect.
@@ -544,7 +752,7 @@ mod tests {
         let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("ok".into()));
         let server = Server::start(handler, ServerConfig::default()).unwrap();
         let registry = obs::Registry::new();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.instrument(&registry, "gab");
         for _ in 0..5 {
             client.get("/x").unwrap();
@@ -577,7 +785,7 @@ mod tests {
         });
         let server = Server::start(handler, ServerConfig::default()).unwrap();
         let registry = obs::Registry::new();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.instrument(&registry, "api");
         let policy = crate::retry::RetryPolicy {
             base_backoff: Duration::ZERO,
@@ -594,6 +802,91 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_constructs_a_working_client() {
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("ok".into()));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let client = Client::new(server.addr());
+        assert_eq!(client.get("/x").unwrap().text(), "ok");
+    }
+
+    /// A conditional server: tags every 200 with a fixed ETag and
+    /// answers 304 to a matching If-None-Match. Returns the handler and
+    /// a counter of full (non-304) renders.
+    fn conditional_server() -> (Server, Arc<AtomicU32>) {
+        let renders = Arc::new(AtomicU32::new(0));
+        let r2 = renders.clone();
+        let etag = crate::http::format_etag(0xabcd);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            if let Some(inm) = req.headers.get("if-none-match") {
+                if crate::http::if_none_match(inm, &etag) {
+                    let mut h = crate::http::Headers::new();
+                    h.add("ETag", &etag);
+                    return Response::not_modified(h);
+                }
+            }
+            r2.fetch_add(1, Ordering::SeqCst);
+            let mut resp = Response::html(format!("full body for {}", req.path()));
+            resp.headers.add("ETag", &etag);
+            resp
+        });
+        (Server::start(handler, ServerConfig::default()).unwrap(), renders)
+    }
+
+    #[test]
+    fn revalidation_cache_turns_304_into_the_full_response() {
+        let (server, renders) = conditional_server();
+        let registry = obs::Registry::new();
+        let cache = RevalidationCache::new(64);
+        let mut client = Client::builder(server.addr())
+            .keep_alive(true)
+            .metrics(&registry, "cond")
+            .revalidation_cache(cache.clone())
+            .build();
+        let first = client.get_keep_alive("/page").unwrap();
+        let second = client.get_keep_alive("/page").unwrap();
+        // The caller sees identical full 200s both times…
+        assert_eq!(first.status, Status::OK);
+        assert_eq!(second.status, Status::OK);
+        assert_eq!(first.text(), second.text());
+        // …but the server only rendered once.
+        assert_eq!(renders.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().revalidated, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("http.cond.not_modified"), Some(1));
+        assert_eq!(snap.counter("http.cond.requests"), Some(2));
+    }
+
+    #[test]
+    fn revalidation_is_scoped_by_cookie_context() {
+        // Same target, different session cookie: the second session must
+        // NOT revalidate against the first session's entry.
+        let (server, renders) = conditional_server();
+        let cache = RevalidationCache::new(64);
+        let mut client =
+            Client::builder(server.addr()).revalidation_cache(cache.clone()).build();
+        client.set_cookie("session", "a");
+        client.get("/page").unwrap();
+        client.set_cookie("session", "b");
+        client.get("/page").unwrap();
+        assert_eq!(renders.load(Ordering::SeqCst), 2, "one full render per session");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn evicted_entry_forces_transparent_unconditional_refetch() {
+        let (server, renders) = conditional_server();
+        let cache = RevalidationCache::new(1);
+        let client = Client::builder(server.addr()).revalidation_cache(cache.clone()).build();
+        client.get("/a").unwrap();
+        client.get("/b").unwrap(); // evicts /a (capacity 1)
+        let again = client.get("/a").unwrap();
+        assert_eq!(again.status, Status::OK);
+        assert!(again.text().contains("/a"), "full body delivered after eviction");
+        assert_eq!(renders.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
     fn keep_alive_reconnect_counts_one_logical_request() {
         // The transparent stale-connection resend must NOT double-count:
         // counters are part of the deterministic replay surface and
@@ -602,7 +895,7 @@ mod tests {
         let cfg = ServerConfig { max_requests_per_conn: 1, ..Default::default() };
         let server = Server::start(handler, cfg).unwrap();
         let registry = obs::Registry::new();
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.keep_alive(true);
         client.instrument(&registry, "ka");
         for _ in 0..4 {

@@ -153,6 +153,8 @@ pub struct Status(pub u16);
 impl Status {
     /// 200
     pub const OK: Status = Status(200);
+    /// 304
+    pub const NOT_MODIFIED: Status = Status(304);
     /// 404
     pub const NOT_FOUND: Status = Status(404);
     /// 429
@@ -231,6 +233,29 @@ impl Response {
         r.headers.add("Content-Type", "text/html; charset=utf-8");
         r.body = b"<html><head><title>Not Found</title></head><body><h1>404</h1><p>The page you were looking for does not exist.</p></body></html>".to_vec();
         r
+    }
+
+    /// `304 Not Modified` carrying the validator headers of the current
+    /// representation. RFC 9110 §15.4.5: a 304 has no body; the headers
+    /// passed in (ETag, Cache-Control, Content-Type, …) are preserved so
+    /// the client can refresh its stored metadata.
+    pub fn not_modified(headers: Headers) -> Self {
+        let mut r = Self::status(Status::NOT_MODIFIED);
+        r.headers = headers;
+        r
+    }
+
+    /// Convert this response into its `304 Not Modified` form: same
+    /// headers (validators preserved), empty body.
+    pub fn into_not_modified(mut self) -> Self {
+        self.status = Status::NOT_MODIFIED;
+        self.body.clear();
+        self
+    }
+
+    /// The response's strong `ETag`, if any.
+    pub fn etag(&self) -> Option<&str> {
+        self.headers.get("etag")
     }
 
     /// Body as UTF-8 (lossy).
@@ -410,6 +435,29 @@ pub fn write_request<W: Write>(req: &Request, w: &mut W) -> std::io::Result<()> 
     w.write_all(&req.body)
 }
 
+/// Format a strong entity-tag from a 64-bit content hash (`"<16 hex>"`,
+/// quotes included — the wire form).
+pub fn format_etag(hash: u64) -> String {
+    format!("\"{hash:016x}\"")
+}
+
+/// Does an `If-None-Match` header value match `etag` (the current
+/// representation's strong entity-tag, wire form with quotes)?
+///
+/// Implements RFC 9110 §13.1.2: `*` matches any current representation;
+/// otherwise the field is a comma-separated list of entity-tags compared
+/// with the *weak* comparison (a `W/` prefix on either side is ignored —
+/// If-None-Match is defined to use weak comparison).
+pub fn if_none_match(header: &str, etag: &str) -> bool {
+    let header = header.trim();
+    if header == "*" {
+        return true;
+    }
+    let strip = |t: &str| t.trim().trim_start_matches("W/").to_owned();
+    let target = strip(etag);
+    header.split(',').any(|candidate| strip(candidate) == target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +558,37 @@ mod tests {
         h.add("Content-Type", "text/html");
         assert_eq!(h.get("content-type"), Some("text/html"));
         assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+    }
+
+    #[test]
+    fn if_none_match_semantics() {
+        let etag = format_etag(0xdead_beef_cafe_f00d);
+        assert_eq!(etag, "\"deadbeefcafef00d\"");
+        assert!(if_none_match(&etag, &etag));
+        assert!(if_none_match("*", &etag));
+        assert!(if_none_match(&format!("\"0000\", {etag}"), &etag), "comma list");
+        assert!(if_none_match(&format!("W/{etag}"), &etag), "weak comparison");
+        assert!(!if_none_match("\"0123\"", &etag));
+        assert!(!if_none_match("", &etag));
+    }
+
+    #[test]
+    fn not_modified_has_no_body_and_preserves_headers() {
+        let mut full = Response::html("<html>big page</html>".into());
+        full.headers.add("ETag", "\"abc\"");
+        full.headers.add("Cache-Control", "private, max-age=0, must-revalidate");
+        let nm = full.clone().into_not_modified();
+        assert_eq!(nm.status, Status::NOT_MODIFIED);
+        assert!(nm.body.is_empty());
+        assert_eq!(nm.etag(), Some("\"abc\""));
+        assert_eq!(nm.headers.get("cache-control"), full.headers.get("cache-control"));
+        // And it survives the wire.
+        let mut buf = Vec::new();
+        nm.write_to(&mut buf).unwrap();
+        let got = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(got.status, Status::NOT_MODIFIED);
+        assert!(got.body.is_empty());
+        assert_eq!(got.etag(), Some("\"abc\""));
     }
 
     #[test]

@@ -24,8 +24,14 @@
 //! * a seeded exponential-backoff [`retry`] policy with status-aware
 //!   classification, `Retry-After` honoring, and a total-elapsed cap;
 //! * a blocking [`client`] with timeouts, redirects disabled (the crawler
-//!   wants raw behavior), and response-size accounting.
+//!   wants raw behavior), and response-size accounting — constructed via
+//!   [`Client::builder`];
+//! * conditional requests ([`http::format_etag`], [`http::if_none_match`],
+//!   `304 Not Modified`) backed by a server-side [`cache::ResponseCache`]
+//!   and a client-side [`cache::RevalidationCache`] so longitudinal
+//!   re-crawls revalidate instead of re-downloading.
 
+pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod http;
@@ -35,9 +41,10 @@ pub mod retry;
 pub mod router;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use cache::{CacheConfig, ResponseCache, RevalidationCache};
+pub use client::{Client, ClientBuilder, ClientError};
 pub use fault::{FaultAction, FaultConfig, FaultInjector};
-pub use http::{Headers, Request, Response, Status};
+pub use http::{format_etag, if_none_match, Headers, Request, Response, Status};
 pub use log::{AccessEntry, AccessLog};
 pub use pool::ThreadPool;
 pub use retry::{

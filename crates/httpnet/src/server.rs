@@ -38,6 +38,10 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Per-connection write timeout — symmetric with `read_timeout`: a
+    /// peer that stops draining its receive window must not pin a worker
+    /// forever any more than a peer that stops sending.
+    pub write_timeout: Duration,
     /// Maximum keep-alive requests per connection.
     pub max_requests_per_conn: usize,
     /// Fault injection.
@@ -53,6 +57,7 @@ impl Default for ServerConfig {
             workers: 8,
             queue: 64,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1000,
             faults: FaultConfig::none(),
             metrics: None,
@@ -165,6 +170,7 @@ fn handle_connection(
     cfg: &ServerConfig,
 ) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut write_half = match stream.try_clone() {
         Ok(s) => s,
@@ -264,7 +270,7 @@ mod tests {
     #[test]
     fn serves_requests() {
         let server = echo_server(ServerConfig::default());
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         let resp = client.get("/hello").unwrap();
         assert_eq!(resp.status, Status::OK);
         assert_eq!(resp.text(), "echo:/hello");
@@ -274,7 +280,7 @@ mod tests {
     #[test]
     fn keep_alive_reuses_connection() {
         let server = echo_server(ServerConfig::default());
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.keep_alive(true);
         for i in 0..5 {
             let resp = client.get(&format!("/r{i}")).unwrap();
@@ -290,7 +296,7 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..8 {
             handles.push(std::thread::spawn(move || {
-                let client = Client::new(addr);
+                let client = Client::builder(addr).build();
                 for i in 0..20 {
                     let resp = client.get(&format!("/t{t}/{i}")).unwrap();
                     assert_eq!(resp.text(), format!("echo:/t{t}/{i}"));
@@ -306,7 +312,7 @@ mod tests {
     #[test]
     fn access_log_records_served_requests() {
         let server = echo_server(ServerConfig::default());
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         client.get("/logged?x=1").unwrap();
         client.get("/another").unwrap();
         let snap = server.access_log().snapshot();
@@ -331,7 +337,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         assert!(client.get("/x").is_err(), "dropped connection must error");
     }
 
@@ -342,7 +348,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         let resp = client.get("/x").unwrap();
         assert_eq!(resp.status, Status::INTERNAL);
     }
@@ -354,7 +360,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         match client.get("/x") {
             Err(crate::client::ClientError::Wire(WireError::Malformed(m))) => {
                 assert!(m.contains("truncated"), "{m}");
@@ -370,7 +376,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         assert!(client.get("/x").is_err(), "mid-line reset must error");
     }
 
@@ -381,7 +387,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         match client.get("/x") {
             Err(crate::client::ClientError::Wire(WireError::Malformed(_))) => {}
             other => panic!("expected malformed-wire error, got {other:?}"),
@@ -400,7 +406,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let mut client = Client::new(server.addr());
+        let mut client = Client::builder(server.addr()).build();
         client.timeout(Duration::from_millis(50));
         match client.get("/x") {
             Err(crate::client::ClientError::Wire(WireError::Io(e))) => {
@@ -428,7 +434,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         let resp = client.get("/x").unwrap();
         assert_eq!(resp.status, Status::TOO_MANY);
         let ra: f64 = resp.headers.get("retry-after").unwrap().parse().unwrap();
@@ -442,7 +448,7 @@ mod tests {
             ..Default::default()
         };
         let server = echo_server(cfg);
-        let client = Client::new(server.addr());
+        let client = Client::builder(server.addr()).build();
         let resp = client.get("/x").unwrap();
         assert_eq!(resp.status.0, 503);
         assert!(resp.headers.get("retry-after").is_some());

@@ -92,6 +92,121 @@ impl World {
     pub fn dissenter_users(&self) -> impl Iterator<Item = u32> + '_ {
         self.by_author_id.values().copied()
     }
+
+    /// A 64-bit FNV-1a digest of every field the four services can
+    /// render: users (identity, profile, flags, filters), the Dissenter
+    /// URL/comment store, the Gab social graph, Reddit histories, YouTube
+    /// content states, and baseline corpora. Two worlds with equal
+    /// digests serve byte-identical pages, so the webfronts derive
+    /// strong ETags from this value. Unordered collections are hashed in
+    /// sorted order, making the digest independent of map iteration.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        for u in &self.users {
+            h.str(&u.username).str(&u.display_name).str(&u.bio).str(&u.language);
+            h.u64(u.gab_id).u64(u.created_at).bit(u.gab_deleted);
+            match u.author_id {
+                Some(id) => h.str(&id.to_hex()),
+                None => h.bit(false),
+            };
+            let f = &u.flags;
+            for b in [
+                f.can_login, f.can_post, f.can_report, f.can_chat, f.can_vote, f.is_banned,
+                f.is_admin, f.is_moderator, f.is_pro, f.is_donor, f.is_investor, f.is_premium,
+                f.is_tippable, f.is_private, f.verified,
+            ] {
+                h.bit(b);
+            }
+            let v = &u.filters;
+            for b in [v.pro, v.verified, v.standard, v.nsfw, v.offensive] {
+                h.bit(b);
+            }
+        }
+        for url in self.dissenter.urls() {
+            h.str(&url.id.to_hex()).str(&url.url).str(&url.title).str(&url.description);
+            h.u64(url.created_at).u64(url.upvotes as u64).u64(url.downvotes as u64);
+        }
+        for c in self.dissenter.comments() {
+            h.str(&c.id.to_hex()).str(&c.url_id.to_hex()).str(&c.author_id.to_hex());
+            match c.parent {
+                Some(p) => h.str(&p.to_hex()),
+                None => h.bit(false),
+            };
+            h.str(&c.text).u64(c.created_at).bit(c.nsfw).bit(c.offensive);
+        }
+        for idx in 0..self.users.len() as u32 {
+            for &f in self.gab.following(idx) {
+                h.u64(idx as u64).u64(f as u64);
+            }
+        }
+        let mut reddit: Vec<&str> = self.reddit.usernames().collect();
+        reddit.sort_unstable();
+        for name in reddit {
+            h.str(name);
+            if let Some(comments) = self.reddit.comments(name) {
+                for c in comments {
+                    h.str(c);
+                }
+            }
+            h.u64(self.reddit.declared_count(name).unwrap_or(0));
+        }
+        let mut yt: Vec<(&str, &crate::youtube::YtContent)> = self.youtube.iter().collect();
+        yt.sort_unstable_by_key(|(url, _)| *url);
+        for (url, content) in yt {
+            h.str(url).u64(content.kind as u64);
+            match &content.state {
+                crate::youtube::YtState::Active { title, owner, comments_disabled } => {
+                    h.bit(true).str(title).str(owner).bit(*comments_disabled);
+                }
+                crate::youtube::YtState::Unavailable(reason) => {
+                    h.bit(false).u64(*reason as u64);
+                }
+            }
+        }
+        for b in &self.baselines {
+            h.str(&b.name).u64(b.comments.len() as u64);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a accumulator with field separators (so adjacent fields cannot
+/// alias into each other).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn str(&mut self, s: &str) -> &mut Self {
+        for b in s.bytes() {
+            self.byte(b);
+        }
+        self.byte(0x1f);
+        self
+    }
+
+    fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    fn bit(&mut self, b: bool) -> &mut Self {
+        self.byte(b as u8 + 1);
+        self
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +253,44 @@ mod tests {
         assert_eq!(w.dissenter_user_count(), 1);
         // …but the Gab API does not.
         assert_eq!(w.gab.user_by_gab_id(7), None);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let build = |bio: &str| {
+            let mut w = World::new();
+            let mut g = ObjectIdGen::new(EntityKind::Author, 9);
+            let mut u = user("a", 1, true, false, &mut g);
+            u.bio = bio.into();
+            w.add_user(u);
+            w
+        };
+        let w1 = build("hello");
+        assert_eq!(w1.content_hash(), build("hello").content_hash(), "same content, same hash");
+        assert_ne!(w1.content_hash(), build("changed").content_hash(), "content change must show");
+        // A vote is a world-visible mutation: the digest must move.
+        let mut w2 = build("hello");
+        let url_id = {
+            let mut g = ObjectIdGen::new(EntityKind::CommentUrl, 9);
+            let id = g.next(50);
+            let author = w2.users[0].author_id.unwrap();
+            w2.dissenter
+                .add_url(crate::model::CommentUrl {
+                    id,
+                    url: "https://example.com".into(),
+                    title: "t".into(),
+                    description: String::new(),
+                    created_at: 10,
+                    upvotes: 0,
+                    downvotes: 0,
+                })
+                .unwrap_or(id);
+            let _ = author;
+            id
+        };
+        let before = w2.content_hash();
+        w2.dissenter.vote(url_id, crate::model::Vote::Up);
+        assert_ne!(before, w2.content_hash(), "vote must change the digest");
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! 4. **differential oracles** — the faulted sharded run and a clean
 //!    serial run of the same world must produce a byte-identical
 //!    rendered report, byte-identical CSV exports, a byte-identical
-//!    persisted mirror, and identical deterministic counters.
+//!    persisted mirror, and identical deterministic counters;
+//! 5. **incremental re-crawl** — with the client revalidation cache on,
+//!    a second sweep against the same live services must persist a
+//!    mirror byte-identical to the first sweep's while resolving a
+//!    nonzero share of its fetches through `304 Not Modified` (the
+//!    conditional-request fast path must be both engaged and invisible).
 
 use crate::scenario::Scenario;
 use crawler::store::ShadowLabel;
@@ -68,7 +73,90 @@ pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
     svm_sanity(&faulted)?;
 
     let control = run_study(&sc.config_control());
-    differential(sc, &faulted, &control)
+    differential(sc, &faulted, &control)?;
+
+    incremental_recrawl(sc)
+}
+
+/// Oracle 5: incremental re-crawl. Runs two full sweeps over one set of
+/// live services with a shared revalidation cache — clean network, serial
+/// crawl (fault interactions are oracle 4's job) — and demands the
+/// second sweep's persisted mirror be byte-identical to the first's with
+/// the `304` fast path demonstrably engaged.
+fn incremental_recrawl(sc: &Scenario) -> Result<(), Failure> {
+    let cfg = sc.config_control();
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let (world, _truth) = synth::generate(&cfg.world);
+    let world = std::sync::Arc::new(world);
+    let services =
+        webfront::SimServices::start(world.clone(), crawler::default_server_config())
+            .map_err(|e| fail("incremental.serve", e.to_string()))?;
+    let mut crawler = crawler::Crawler::new(crawler::Endpoints {
+        dissenter: services.dissenter.addr(),
+        gab: services.gab.addr(),
+        reddit: services.reddit.addr(),
+        youtube: services.youtube.addr(),
+    });
+    crawler.config = cfg.crawl.clone();
+    crawler.config.enum_gap_tolerance =
+        crawler.config.enum_gap_tolerance.min((world.gab.max_id() / 4).max(512));
+    crawler.enable_revalidation(1 << 16);
+
+    let first = crawler.full_crawl();
+    let second = crawler.full_crawl();
+    for (sweep, store) in [("first", &first), ("second", &second)] {
+        let letters = store.dead_letters();
+        if !letters.is_empty() {
+            return Err(fail(
+                "incremental.recovery",
+                format!(
+                    "{sweep} sweep dead-lettered {} fetches on a clean network; first: {} ({})",
+                    letters.len(),
+                    letters[0].target,
+                    letters[0].cause
+                ),
+            ));
+        }
+    }
+
+    let base = std::env::temp_dir().join(format!(
+        "simcheck-incr-{}-{:016x}",
+        std::process::id(),
+        sc.seed
+    ));
+    let io_fail = |e: std::io::Error| Failure::new("incremental.io", e.to_string());
+    let result = (|| {
+        let (dir_a, dir_b) = (base.join("sweep1"), base.join("sweep2"));
+        crawler::persist::save(&first, &dir_a).map_err(io_fail)?;
+        crawler::persist::save(&second, &dir_b).map_err(io_fail)?;
+        for name in crawler::persist::FILES {
+            let a = std::fs::read(dir_a.join(name)).map_err(io_fail)?;
+            let b = std::fs::read(dir_b.join(name)).map_err(io_fail)?;
+            if a != b {
+                return Err(fail(
+                    "incremental.persist",
+                    format!("{name}: re-crawl bytes differ from the fresh crawl's"),
+                ));
+            }
+        }
+        Ok(())
+    })();
+    std::fs::remove_dir_all(&base).ok();
+    result?;
+
+    let snap = crawler.metrics.snapshot();
+    let revalidated: u64 = ["dissenter", "gab", "reddit", "youtube"]
+        .iter()
+        .map(|s| snap.counter(&format!("http.{s}.not_modified")).unwrap_or(0))
+        .sum();
+    if revalidated == 0 {
+        return Err(fail(
+            "incremental.engaged",
+            "re-crawl resolved zero fetches via 304 — the conditional fast path never fired"
+                .to_owned(),
+        ));
+    }
+    Ok(())
 }
 
 /// Obs counters must agree exactly with the crawler's own accounting —

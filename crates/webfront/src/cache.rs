@@ -1,0 +1,297 @@
+//! Conditional-request serving for the fronts: strong ETags derived from
+//! world content, `304 Not Modified` revalidation, and an opt-in response
+//! cache.
+//!
+//! # Protocol
+//!
+//! Every cacheable 200 leaves a front tagged with a strong ETag computed
+//! from three inputs:
+//!
+//! 1. the world's [content hash](platform::World::content_hash), taken
+//!    once at front construction (the world behind a running front is
+//!    immutable);
+//! 2. the front's *generation* counter, bumped by any front-level
+//!    world-visible mutation (e.g. the Dissenter vote endpoint) — bumping
+//!    also purges the response cache, so no stale body survives a
+//!    mutation;
+//! 3. the request target and the requester's *visibility class*.
+//!
+//! A repeat request carrying `If-None-Match` with the current tag gets a
+//! bodyless `304` before any rendering or cache work happens — the whole
+//! point of the protocol: revalidation costs a hash compare, not a render.
+//!
+//! # Cache-coherence rules
+//!
+//! The [visibility class](visibility_class) is part of **both** the cache
+//! key and the ETag input. Dissenter serves shadow-banned (NSFW /
+//! "offensive") comments only to opted-in sessions (§3.2), so two
+//! sessions can receive different bodies for the same target. Keying by
+//! class means an anonymous client can never be served a body rendered
+//! for an opted-in session out of a shared cache entry, and a shadow
+//! session's ETag never validates an anonymous request (different class →
+//! different tag → no 304). Responses other than 200 are never tagged or
+//! cached: a 404 probe miss, a 429, and a 302 all stay fully dynamic.
+//!
+//! Rate-limited routes use [`FrontCache::conditional_only`]: they still
+//! answer `304` to a fresh validator (inside the limiter's allowed
+//! branch, so cache hits cannot bypass the limiter's accounting) but
+//! never serve a stored body.
+
+use httpnet::http::{format_etag, if_none_match};
+use httpnet::{CacheConfig, Headers, Request, Response, ResponseCache, Status};
+use platform::{Viewer, World};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cacheable pages are private (per-visibility-class) and must always be
+/// revalidated — the client may reuse its copy only after a `304`.
+const CACHE_CONTROL: &str = "private, max-age=0, must-revalidate";
+
+/// Shared conditional-request state for one front. Cheap to clone (all
+/// clones share the same cache and generation counter), so each route
+/// closure captures its own handle.
+#[derive(Debug, Clone)]
+pub struct FrontCache {
+    cache: Arc<ResponseCache>,
+    generation: Arc<AtomicU64>,
+    /// World content digest at construction; folds world identity into
+    /// every ETag so tags from a different world never validate.
+    stamp: u64,
+}
+
+impl FrontCache {
+    /// A cache stamped with a world digest, using the default
+    /// [`CacheConfig`].
+    pub fn new(stamp: u64) -> Self {
+        Self::with_config(stamp, CacheConfig::default())
+    }
+
+    /// A cache with an explicit configuration.
+    pub fn with_config(stamp: u64, config: CacheConfig) -> Self {
+        Self {
+            cache: Arc::new(ResponseCache::new(config)),
+            generation: Arc::new(AtomicU64::new(0)),
+            stamp,
+        }
+    }
+
+    /// A cache publishing `cache.*` metrics into `registry`.
+    pub fn with_registry(stamp: u64, config: CacheConfig, registry: &obs::Registry) -> Self {
+        Self {
+            cache: Arc::new(ResponseCache::with_registry(config, registry)),
+            generation: Arc::new(AtomicU64::new(0)),
+            stamp,
+        }
+    }
+
+    /// The strong ETag for `target` as seen by `class`, under the current
+    /// generation.
+    pub fn etag(&self, target: &str, class: &str) -> String {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        eat(&self.stamp.to_le_bytes());
+        eat(&self.generation.load(Ordering::Acquire).to_le_bytes());
+        eat(target.as_bytes());
+        eat(class.as_bytes());
+        format_etag(h)
+    }
+
+    /// Current generation (starts at 0; every bump invalidates all
+    /// outstanding ETags).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Record a world-visible mutation: advance the generation (so every
+    /// outstanding ETag stops validating) and purge the response cache
+    /// (so no stale body survives).
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.cache.purge();
+    }
+
+    /// Serve `req` for visibility `class` with the full conditional
+    /// pipeline: `304` on a fresh `If-None-Match`, then the response
+    /// cache, then `render` (whose 200 output is tagged and stored).
+    pub fn respond(
+        &self,
+        req: &Request,
+        class: &str,
+        render: impl FnOnce() -> Response,
+    ) -> Response {
+        let tag = self.etag(&req.target, class);
+        if let Some(resp) = self.revalidate(req, &tag) {
+            return resp;
+        }
+        if let Some(hit) = self.cache.lookup(&req.method, &req.target, class) {
+            return hit;
+        }
+        let resp = self.tag_success(render(), &tag);
+        if resp.status == Status::OK {
+            self.cache.insert(&req.method, &req.target, class, &resp);
+        }
+        resp
+    }
+
+    /// Serve `req` conditionally but never store or serve a cached body.
+    /// For rate-limited routes: the caller invokes this *inside* the
+    /// limiter's allowed branch, so a `304` still spends rate budget and
+    /// the limiter's accounting stays exact, while fresh validators skip
+    /// the render.
+    pub fn conditional_only(
+        &self,
+        req: &Request,
+        class: &str,
+        render: impl FnOnce() -> Response,
+    ) -> Response {
+        let tag = self.etag(&req.target, class);
+        if let Some(resp) = self.revalidate(req, &tag) {
+            return resp;
+        }
+        self.tag_success(render(), &tag)
+    }
+
+    /// The underlying response cache (tests and the load generator
+    /// inspect occupancy).
+    pub fn response_cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    fn revalidate(&self, req: &Request, tag: &str) -> Option<Response> {
+        let condition = req.headers.get("if-none-match")?;
+        if !if_none_match(condition, tag) {
+            return None;
+        }
+        let mut headers = Headers::new();
+        headers.add("ETag", tag);
+        headers.add("Cache-Control", CACHE_CONTROL);
+        Some(Response::not_modified(headers))
+    }
+
+    fn tag_success(&self, mut resp: Response, tag: &str) -> Response {
+        if resp.status == Status::OK {
+            resp.headers.add("ETag", tag);
+            resp.headers.add("Cache-Control", CACHE_CONTROL);
+        }
+        resp
+    }
+}
+
+/// The requester's visibility class: `anon` for anonymous sessions,
+/// otherwise the resolved view-filter bits (`v` + one digit per filter,
+/// in pro/verified/standard/nsfw/offensive order). Two sessions in the
+/// same class see byte-identical pages, so they may legitimately share
+/// cache entries and validators; sessions in different classes never do.
+pub fn visibility_class(world: &World, req: &Request) -> String {
+    match crate::viewer_for(world, req) {
+        Viewer::Anonymous => "anon".to_owned(),
+        Viewer::Authenticated(f) => format!(
+            "v{}{}{}{}{}",
+            f.pro as u8, f.verified as u8, f.standard as u8, f.nsfw as u8, f.offensive as u8
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(target: &str) -> Request {
+        Request::get(target)
+    }
+
+    fn with_inm(target: &str, tag: &str) -> Request {
+        let mut r = Request::get(target);
+        r.headers.add("If-None-Match", tag);
+        r
+    }
+
+    #[test]
+    fn etag_distinguishes_target_class_generation_and_stamp() {
+        let c = FrontCache::new(7);
+        let base = c.etag("/a", "anon");
+        assert_eq!(base, c.etag("/a", "anon"), "stable");
+        assert_ne!(base, c.etag("/b", "anon"), "target matters");
+        assert_ne!(base, c.etag("/a", "v00011"), "class matters");
+        assert_ne!(base, FrontCache::new(8).etag("/a", "anon"), "stamp matters");
+        c.bump_generation();
+        assert_ne!(base, c.etag("/a", "anon"), "generation matters");
+    }
+
+    #[test]
+    fn respond_serves_304_then_cache_then_render() {
+        let c = FrontCache::new(1);
+        let mut renders = 0;
+        let first = c.respond(&get("/p"), "anon", || {
+            renders += 1;
+            Response::html("hello".to_owned())
+        });
+        assert_eq!(first.status, Status::OK);
+        let tag = first.etag().expect("200 is tagged").to_owned();
+        // Cached: a plain repeat serves the stored body without rendering.
+        let second = c.respond(&get("/p"), "anon", || unreachable!("must hit cache"));
+        assert_eq!(second.text(), "hello");
+        assert_eq!(second.etag(), Some(tag.as_str()));
+        // Conditional repeat: bodyless 304 carrying the validator.
+        let third = c.respond(&with_inm("/p", &tag), "anon", || unreachable!("must 304"));
+        assert_eq!(third.status, Status::NOT_MODIFIED);
+        assert!(third.body.is_empty());
+        assert_eq!(third.etag(), Some(tag.as_str()));
+        assert_eq!(renders, 1);
+    }
+
+    #[test]
+    fn bump_generation_invalidates_tags_and_purges_bodies() {
+        let c = FrontCache::new(1);
+        let first = c.respond(&get("/p"), "anon", || Response::html("v1".to_owned()));
+        let tag = first.etag().unwrap().to_owned();
+        c.bump_generation();
+        assert!(c.response_cache().is_empty(), "bodies purged");
+        let after = c.respond(&with_inm("/p", &tag), "anon", || Response::html("v2".to_owned()));
+        assert_eq!(after.status, Status::OK, "stale validator gets the new body");
+        assert_eq!(after.text(), "v2");
+        assert_ne!(after.etag(), Some(tag.as_str()));
+    }
+
+    #[test]
+    fn non_200s_are_never_tagged_or_cached() {
+        let c = FrontCache::new(1);
+        let miss = c.respond(&get("/absent"), "anon", Response::not_found);
+        assert_eq!(miss.status, Status::NOT_FOUND);
+        assert!(miss.etag().is_none());
+        assert!(c.response_cache().is_empty());
+    }
+
+    #[test]
+    fn conditional_only_never_stores_bodies() {
+        let c = FrontCache::new(1);
+        let first = c.conditional_only(&get("/lim"), "anon", || Response::html("x".to_owned()));
+        let tag = first.etag().unwrap().to_owned();
+        assert!(c.response_cache().is_empty(), "no body stored");
+        let mut renders = 0;
+        let plain = c.conditional_only(&get("/lim"), "anon", || {
+            renders += 1;
+            Response::html("x".to_owned())
+        });
+        assert_eq!(plain.status, Status::OK, "plain repeat re-renders");
+        assert_eq!(renders, 1);
+        let cond = c.conditional_only(&with_inm("/lim", &tag), "anon", || unreachable!());
+        assert_eq!(cond.status, Status::NOT_MODIFIED);
+    }
+
+    #[test]
+    fn shadow_etags_do_not_validate_for_other_classes() {
+        let c = FrontCache::new(1);
+        let shadow_tag = c.etag("/url/1", "v00011");
+        let resp =
+            c.respond(&with_inm("/url/1", &shadow_tag), "anon", || Response::html("a".to_owned()));
+        assert_eq!(resp.status, Status::OK, "cross-class validator must not 304");
+    }
+}

@@ -1,34 +1,61 @@
 //! The dissenter.com front-end.
 
-use crate::viewer_for;
+use crate::cache::{visibility_class, FrontCache};
+use crate::{viewer_for, Front};
 use httpnet::http::percent_encode;
-use httpnet::{Handler, Params, Request, Response, Router, Status};
+use httpnet::{Handler, Params, Request, Response, Router, ServerConfig, Status};
 use ids::ObjectId;
 use parking_lot::Mutex;
 use platform::{RateLimiter, World};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+/// Front-level vote tallies layered over the immutable world's counts
+/// (the world behind a running front is shared and read-only; votes are
+/// the one write path the front accepts).
+type VoteOverlay = Arc<Mutex<HashMap<ObjectId, (u64, u64)>>>;
+
 /// Handler for the Dissenter web application.
+///
+/// User and single-comment pages are served through the full
+/// [`FrontCache`] pipeline (ETag + `304` + response cache). The per-URL
+/// comment page is **conditional-only**: its 10-req/min rate limiter must
+/// account every request, so revalidation happens inside the limiter's
+/// allowed branch and bodies are never served from cache.
 pub struct DissenterFront {
     router: Router,
+    cache: FrontCache,
+    config_override: Option<ServerConfig>,
 }
 
 impl DissenterFront {
-    /// Build over a shared world.
+    /// Build over a shared world with a default cache.
     pub fn new(world: Arc<World>) -> Self {
+        let stamp = world.content_hash();
+        Self::with_cache(world, FrontCache::new(stamp))
+    }
+
+    /// Build over a shared world with an explicit conditional-request
+    /// cache (callers wanting `cache.*` metrics construct one with
+    /// [`FrontCache::with_registry`]).
+    pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
         let mut router = Router::new();
         let limiter = Arc::new(Mutex::new(RateLimiter::dissenter_per_url()));
+        let votes: VoteOverlay = Arc::new(Mutex::new(HashMap::new()));
 
         {
             let world = world.clone();
+            let cache = cache.clone();
             router.route("GET", "/user/:username", move |req, p| {
-                user_page(&world, req, p)
+                cache.respond(req, &visibility_class(&world, req), || user_page(&world, req, p))
             });
         }
         {
             let world = world.clone();
+            let cache = cache.clone();
             let limiter = limiter.clone();
+            let votes = votes.clone();
             router.route("GET", "/url/:cuid", move |req, p| {
                 let decision = limiter.lock().check(req.path(), now_secs());
                 match decision {
@@ -39,7 +66,11 @@ impl DissenterFront {
                         r
                     }
                     platform::ratelimit::RateDecision::Allow { remaining, reset_at } => {
-                        let mut r = comment_page(&world, req, p);
+                        let mut r = cache.conditional_only(
+                            req,
+                            &visibility_class(&world, req),
+                            || comment_page(&world, &votes, req, p),
+                        );
                         r.headers.add("X-RateLimit-Limit", "10");
                         r.headers.add("X-RateLimit-Remaining", &remaining.to_string());
                         r.headers.add("X-RateLimit-Reset", &reset_at.to_string());
@@ -50,8 +81,19 @@ impl DissenterFront {
         }
         {
             let world = world.clone();
+            let cache = cache.clone();
+            let votes = votes.clone();
+            router.route("POST", "/url/:cuid/vote", move |req, p| {
+                vote(&world, &votes, &cache, req, p)
+            });
+        }
+        {
+            let world = world.clone();
+            let cache = cache.clone();
             router.route("GET", "/comment/:cid", move |req, p| {
-                single_comment_page(&world, req, p)
+                cache.respond(req, &visibility_class(&world, req), || {
+                    single_comment_page(&world, req, p)
+                })
             });
         }
         {
@@ -60,13 +102,35 @@ impl DissenterFront {
                 discussion_begin(&world, req)
             });
         }
-        Self { router }
+        Self { router, cache, config_override: None }
+    }
+
+    /// Pin an explicit server configuration for this front (returned by
+    /// [`Front::server_config`] instead of the fleet-wide base).
+    pub fn with_server_config(mut self, config: ServerConfig) -> Self {
+        self.config_override = Some(config);
+        self
+    }
+
+    /// The front's conditional-request cache.
+    pub fn cache(&self) -> &FrontCache {
+        &self.cache
     }
 }
 
 impl Handler for DissenterFront {
     fn handle(&self, req: &Request) -> Response {
         self.router.dispatch(req)
+    }
+}
+
+impl Front for DissenterFront {
+    fn name(&self) -> &'static str {
+        "dissenter"
+    }
+
+    fn server_config(&self, base: &ServerConfig) -> ServerConfig {
+        self.config_override.clone().unwrap_or_else(|| base.clone())
     }
 }
 
@@ -131,7 +195,7 @@ fn user_page(world: &World, _req: &Request, p: &Params) -> Response {
     Response::html(body)
 }
 
-fn comment_page(world: &World, req: &Request, p: &Params) -> Response {
+fn comment_page(world: &World, votes: &VoteOverlay, req: &Request, p: &Params) -> Response {
     let Some(cuid) = p.get("cuid").and_then(|s| s.parse::<ObjectId>().ok()) else {
         return Response::not_found();
     };
@@ -140,6 +204,7 @@ fn comment_page(world: &World, req: &Request, p: &Params) -> Response {
     };
     let viewer = viewer_for(world, req);
     let comments = world.dissenter.visible_comments(cuid, viewer);
+    let (extra_up, extra_down) = votes.lock().get(&cuid).copied().unwrap_or((0, 0));
     let mut body = String::with_capacity(4096);
     body.push_str("<html><head><title>");
     body.push_str(&html_escape(&url.title));
@@ -148,8 +213,8 @@ fn comment_page(world: &World, req: &Request, p: &Params) -> Response {
         "<div class=\"thread\" data-commenturl-id=\"{}\" data-url=\"{}\" data-upvotes=\"{}\" data-downvotes=\"{}\" data-comment-count=\"{}\"><p class=\"description\">{}</p></div>",
         url.id,
         html_escape(&url.url),
-        url.upvotes,
-        url.downvotes,
+        url.upvotes as u64 + extra_up,
+        url.downvotes as u64 + extra_down,
         world.dissenter.comment_count(cuid),
         html_escape(&url.description),
     ));
@@ -231,6 +296,47 @@ fn single_comment_page(world: &World, req: &Request, p: &Params) -> Response {
     }
     body.push_str("</body></html>");
     Response::html(body)
+}
+
+/// `POST /url/:cuid/vote?dir=up|down` — the one world-visible mutation
+/// the front accepts. The tally lands in the front-level overlay and the
+/// cache generation is bumped, so every outstanding ETag stops
+/// validating and no cached body survives the change.
+fn vote(
+    world: &World,
+    votes: &VoteOverlay,
+    cache: &FrontCache,
+    req: &Request,
+    p: &Params,
+) -> Response {
+    let Some(cuid) = p.get("cuid").and_then(|s| s.parse::<ObjectId>().ok()) else {
+        return Response::not_found();
+    };
+    let Some(url) = world.dissenter.url_by_id(cuid) else {
+        return Response::not_found();
+    };
+    let up = match req.query("dir").as_deref() {
+        Some("up") => true,
+        Some("down") => false,
+        _ => return Response::status(Status(400)),
+    };
+    let (u, d) = {
+        let mut guard = votes.lock();
+        let entry = guard.entry(cuid).or_insert((0, 0));
+        if up {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+        *entry
+    };
+    cache.bump_generation();
+    Response::json(jsonlite::to_string(
+        &jsonlite::Value::object()
+            .with("id", cuid.to_hex())
+            .with("upvotes", url.upvotes as u64 + u)
+            .with("downvotes", url.downvotes as u64 + d),
+    ))
 }
 
 fn discussion_begin(world: &World, req: &Request) -> Response {

@@ -1,11 +1,17 @@
 //! The gab.com API front-end (§3.1, §3.4).
 
-use httpnet::{Handler, Params, Request, Response, Router, Status};
+use crate::cache::FrontCache;
+use crate::Front;
+use httpnet::{Handler, Params, Request, Response, Router, ServerConfig, Status};
 use ids::clock::format_datetime;
 use parking_lot::Mutex;
 use platform::{RateLimiter, World};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The Gab API is unauthenticated — every requester sees the same JSON,
+/// so all conditional requests share one visibility class.
+const API_CLASS: &str = "api";
 
 /// Followers/following page size.
 pub const PAGE_SIZE: usize = 80;
@@ -21,10 +27,17 @@ pub const RATE_LIMIT: u32 = 5_000_000;
 const RATE_WINDOW_SECS: u64 = 300;
 
 /// Handler for the Gab API.
+///
+/// Every route is rate-limited, so conditional serving is
+/// [`FrontCache::conditional_only`]: a revalidation still spends rate
+/// budget (the limiter's accounting stays exact) but a fresh
+/// `If-None-Match` skips the JSON render. Bodies are never cached — the
+/// `X-RateLimit-*` headers differ on every response.
 pub struct GabFront {
     router: Router,
     /// The advertised per-window limit (echoed in headers).
     limit: u32,
+    config_override: Option<ServerConfig>,
 }
 
 impl GabFront {
@@ -33,32 +46,56 @@ impl GabFront {
         Self::with_rate_limit(world, RATE_LIMIT, RATE_WINDOW_SECS)
     }
 
+    /// Build with an explicit conditional-request cache.
+    pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
+        Self::build(world, cache, RATE_LIMIT, RATE_WINDOW_SECS)
+    }
+
     /// Build with an explicit rate limit (tests use tight windows to
     /// exercise the crawler's backoff path).
     pub fn with_rate_limit(world: Arc<World>, limit: u32, window_secs: u64) -> Self {
+        let stamp = world.content_hash();
+        Self::build(world, FrontCache::new(stamp), limit, window_secs)
+    }
+
+    fn build(world: Arc<World>, cache: FrontCache, limit: u32, window_secs: u64) -> Self {
         let limiter = Arc::new(Mutex::new(RateLimiter::new(limit, window_secs)));
         let mut router = Router::new();
         {
             let world = world.clone();
             let limiter = limiter.clone();
+            let cache = cache.clone();
             router.route("GET", "/api/v1/accounts/:id", move |req, p| {
-                rate_limited(&limiter, req, |_| account(&world, p))
+                rate_limited(&limiter, req, |req| {
+                    cache.conditional_only(req, API_CLASS, || account(&world, p))
+                })
             });
         }
         {
             let world = world.clone();
             let limiter = limiter.clone();
+            let cache = cache.clone();
             router.route("GET", "/api/v1/accounts/:id/followers", move |req, p| {
-                rate_limited(&limiter, req, |req| relationships(&world, req, p, true))
+                rate_limited(&limiter, req, |req| {
+                    cache.conditional_only(req, API_CLASS, || relationships(&world, req, p, true))
+                })
             });
         }
         {
             let world = world.clone();
             router.route("GET", "/api/v1/accounts/:id/following", move |req, p| {
-                rate_limited(&limiter, req, |req| relationships(&world, req, p, false))
+                rate_limited(&limiter, req, |req| {
+                    cache.conditional_only(req, API_CLASS, || relationships(&world, req, p, false))
+                })
             });
         }
-        Self { router, limit }
+        Self { router, limit, config_override: None }
+    }
+
+    /// Pin an explicit server configuration for this front.
+    pub fn with_server_config(mut self, config: ServerConfig) -> Self {
+        self.config_override = Some(config);
+        self
     }
 
     /// The advertised per-window limit.
@@ -70,6 +107,16 @@ impl GabFront {
 impl Handler for GabFront {
     fn handle(&self, req: &Request) -> Response {
         self.router.dispatch(req)
+    }
+}
+
+impl Front for GabFront {
+    fn name(&self) -> &'static str {
+        "gab"
+    }
+
+    fn server_config(&self, base: &ServerConfig) -> ServerConfig {
+        self.config_override.clone().unwrap_or_else(|| base.clone())
     }
 }
 

@@ -22,7 +22,20 @@
 //! Authentication is a `session` cookie of the form `u:<username>`; the
 //! comment-visibility rules then apply that user's stored view filters —
 //! NSFW / "offensive" shadow content appears only for opted-in sessions.
+//!
+//! All four fronts speak the conditional-request protocol in [`cache`]:
+//! cacheable 200s carry strong ETags derived from the world's content
+//! hash, repeat requests with `If-None-Match` get bodyless `304`s, and
+//! cache entries are keyed by the requester's visibility class so shadow
+//! views never leak across sessions.
+//!
+//! Each front implements [`Front`] — a [`Handler`] with a stable name and
+//! a per-service [`ServerConfig`] override — and [`SimServices::start_with`]
+//! starts one server per front from a [`SimFronts`] set. The one-line
+//! [`SimServices::start`] remains for callers happy with four identical
+//! configs.
 
+pub mod cache;
 pub mod dissenter;
 pub mod gab;
 pub mod reddit;
@@ -31,6 +44,66 @@ pub mod youtube;
 use httpnet::{Handler, Server, ServerConfig};
 use platform::World;
 use std::sync::Arc;
+
+/// A simulated service front: an HTTP [`Handler`] plus the metadata
+/// [`SimServices::start_with`] needs to run it as its own server.
+pub trait Front: Handler {
+    /// Stable service name (matches the crawler's endpoint classes:
+    /// `dissenter`, `gab`, `reddit`, `youtube`).
+    fn name(&self) -> &'static str;
+
+    /// The server configuration this front should run under, given the
+    /// fleet-wide base. The default keeps the base; fronts with an
+    /// explicit override (see `with_server_config` on each front) return
+    /// it instead.
+    fn server_config(&self, base: &ServerConfig) -> ServerConfig {
+        base.clone()
+    }
+}
+
+/// The four concrete fronts over one shared world, ready to start.
+/// Construct with [`SimFronts::new`], optionally swap in customized
+/// fronts (rate limits, cache registries, per-service configs), then
+/// hand to [`SimServices::start_with`].
+pub struct SimFronts {
+    /// dissenter.com handler.
+    pub dissenter: Arc<dissenter::DissenterFront>,
+    /// gab.com handler.
+    pub gab: Arc<gab::GabFront>,
+    /// reddit.com / Pushshift handler.
+    pub reddit: Arc<reddit::RedditFront>,
+    /// Rendered-YouTube handler.
+    pub youtube: Arc<youtube::YouTubeFront>,
+}
+
+impl SimFronts {
+    /// Default fronts over a shared world.
+    pub fn new(world: Arc<World>) -> Self {
+        Self {
+            dissenter: Arc::new(dissenter::DissenterFront::new(world.clone())),
+            gab: Arc::new(gab::GabFront::new(world.clone())),
+            reddit: Arc::new(reddit::RedditFront::new(world.clone())),
+            youtube: Arc::new(youtube::YouTubeFront::new(world)),
+        }
+    }
+
+    /// Default fronts whose response caches publish `cache.*` metrics
+    /// into `registry` (all four share the registry's counters).
+    pub fn with_registry(world: Arc<World>, registry: &obs::Registry) -> Self {
+        let stamp = world.content_hash();
+        let front_cache =
+            || cache::FrontCache::with_registry(stamp, httpnet::CacheConfig::default(), registry);
+        Self {
+            dissenter: Arc::new(dissenter::DissenterFront::with_cache(
+                world.clone(),
+                front_cache(),
+            )),
+            gab: Arc::new(gab::GabFront::with_cache(world.clone(), front_cache())),
+            reddit: Arc::new(reddit::RedditFront::with_cache(world.clone(), front_cache())),
+            youtube: Arc::new(youtube::YouTubeFront::with_cache(world, front_cache())),
+        }
+    }
+}
 
 /// All four servers bound to ephemeral loopback ports.
 #[derive(Debug)]
@@ -46,17 +119,23 @@ pub struct SimServices {
 }
 
 impl SimServices {
-    /// Start all services over a shared world.
+    /// Start default fronts over a shared world, all under one config.
     pub fn start(world: Arc<World>, config: ServerConfig) -> std::io::Result<SimServices> {
-        let d: Arc<dyn Handler> = Arc::new(dissenter::DissenterFront::new(world.clone()));
-        let g: Arc<dyn Handler> = Arc::new(gab::GabFront::new(world.clone()));
-        let r: Arc<dyn Handler> = Arc::new(reddit::RedditFront::new(world.clone()));
-        let y: Arc<dyn Handler> = Arc::new(youtube::YouTubeFront::new(world));
+        Self::start_with(SimFronts::new(world), config)
+    }
+
+    /// Start one server per front, each under the config the front asks
+    /// for ([`Front::server_config`] applied to `base`).
+    pub fn start_with(fronts: SimFronts, base: ServerConfig) -> std::io::Result<SimServices> {
+        fn launch<F: Front + 'static>(front: Arc<F>, base: &ServerConfig) -> std::io::Result<Server> {
+            let config = front.server_config(base);
+            Server::start(front as Arc<dyn Handler>, config)
+        }
         Ok(SimServices {
-            dissenter: Server::start(d, config.clone())?,
-            gab: Server::start(g, config.clone())?,
-            reddit: Server::start(r, config.clone())?,
-            youtube: Server::start(y, config)?,
+            dissenter: launch(fronts.dissenter, &base)?,
+            gab: launch(fronts.gab, &base)?,
+            reddit: launch(fronts.reddit, &base)?,
+            youtube: launch(fronts.youtube, &base)?,
         })
     }
 }

@@ -1,36 +1,73 @@
 //! The reddit.com / Pushshift front-end (§4.4.1).
 
-use httpnet::{Handler, Params, Request, Response, Router, Status};
+use crate::cache::FrontCache;
+use crate::Front;
+use httpnet::{Handler, Params, Request, Response, Router, ServerConfig, Status};
 use platform::World;
 use std::sync::Arc;
 
 /// Pushshift page size.
 pub const PAGE_SIZE: usize = 100;
 
-/// Handler for Reddit account checks and Pushshift history pulls.
+/// Pushshift is unauthenticated: one shared visibility class.
+const API_CLASS: &str = "api";
+
+/// Handler for Reddit account checks and Pushshift history pulls. No
+/// rate limiter and no per-session content, so both routes run the full
+/// conditional pipeline: 200s are tagged, cached, and revalidate to
+/// bodyless `304`s. The account-miss 404 (the §4.4.1 existence signal)
+/// stays fully dynamic.
 pub struct RedditFront {
     router: Router,
+    config_override: Option<ServerConfig>,
 }
 
 impl RedditFront {
-    /// Build over a shared world.
+    /// Build over a shared world with a default cache.
     pub fn new(world: Arc<World>) -> Self {
+        let stamp = world.content_hash();
+        Self::with_cache(world, FrontCache::new(stamp))
+    }
+
+    /// Build with an explicit conditional-request cache.
+    pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
         let mut router = Router::new();
         {
             let world = world.clone();
-            router.route("GET", "/user/:username/about", move |_req, p| about(&world, p));
+            let cache = cache.clone();
+            router.route("GET", "/user/:username/about", move |req, p| {
+                cache.respond(req, API_CLASS, || about(&world, p))
+            });
         }
         {
             let world = world.clone();
-            router.route("GET", "/pushshift/comments", move |req, _| comments(&world, req));
+            router.route("GET", "/pushshift/comments", move |req, _| {
+                cache.respond(req, API_CLASS, || comments(&world, req))
+            });
         }
-        Self { router }
+        Self { router, config_override: None }
+    }
+
+    /// Pin an explicit server configuration for this front.
+    pub fn with_server_config(mut self, config: ServerConfig) -> Self {
+        self.config_override = Some(config);
+        self
     }
 }
 
 impl Handler for RedditFront {
     fn handle(&self, req: &Request) -> Response {
         self.router.dispatch(req)
+    }
+}
+
+impl Front for RedditFront {
+    fn name(&self) -> &'static str {
+        "reddit"
+    }
+
+    fn server_config(&self, base: &ServerConfig) -> ServerConfig {
+        self.config_override.clone().unwrap_or_else(|| base.clone())
     }
 }
 

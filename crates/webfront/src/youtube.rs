@@ -5,28 +5,61 @@
 //! step: `GET /render?url=<page url>` returns the fully-rendered page
 //! state as JSON (kind, availability, title, owner, comments-disabled).
 
+use crate::cache::FrontCache;
+use crate::Front;
 use httpnet::http::percent_encode;
-use httpnet::{Handler, Request, Response, Router, Status};
+use httpnet::{Handler, Request, Response, Router, ServerConfig, Status};
 use platform::{World, YtKind, YtState, YtUnavailableReason};
 use std::sync::Arc;
 
-/// Handler exposing the rendered view of YouTube pages.
+/// Rendered pages are the same for every requester.
+const RENDER_CLASS: &str = "render";
+
+/// Handler exposing the rendered view of YouTube pages. Rendering was
+/// the paper's most expensive fetch (a Selenium browser per page), which
+/// makes this front the best conditional-serving customer: rendered
+/// states are tagged, cached, and revalidate to `304`s.
 pub struct YouTubeFront {
     router: Router,
+    config_override: Option<ServerConfig>,
 }
 
 impl YouTubeFront {
-    /// Build over a shared world.
+    /// Build over a shared world with a default cache.
     pub fn new(world: Arc<World>) -> Self {
+        let stamp = world.content_hash();
+        Self::with_cache(world, FrontCache::new(stamp))
+    }
+
+    /// Build with an explicit conditional-request cache.
+    pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
         let mut router = Router::new();
-        router.route("GET", "/render", move |req, _| render(&world, req));
-        Self { router }
+        router.route("GET", "/render", move |req, _| {
+            cache.respond(req, RENDER_CLASS, || render(&world, req))
+        });
+        Self { router, config_override: None }
+    }
+
+    /// Pin an explicit server configuration for this front.
+    pub fn with_server_config(mut self, config: ServerConfig) -> Self {
+        self.config_override = Some(config);
+        self
     }
 }
 
 impl Handler for YouTubeFront {
     fn handle(&self, req: &Request) -> Response {
         self.router.dispatch(req)
+    }
+}
+
+impl Front for YouTubeFront {
+    fn name(&self) -> &'static str {
+        "youtube"
+    }
+
+    fn server_config(&self, base: &ServerConfig) -> ServerConfig {
+        self.config_override.clone().unwrap_or_else(|| base.clone())
     }
 }
 

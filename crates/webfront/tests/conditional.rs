@@ -1,0 +1,245 @@
+//! HTTP conformance tests for the conditional-request protocol: ETag
+//! stability, `304` semantics on the wire, `If-None-Match: *`,
+//! mutation-driven invalidation, rate-limit accounting under
+//! revalidation, and the shadow-visibility cache-coherence contract.
+
+use httpnet::{Client, Handler, Request, RevalidationCache, ServerConfig, Status};
+use platform::World;
+use std::io::{Read, Write};
+use std::sync::{Arc, OnceLock};
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::dissenter::DissenterFront;
+use webfront::{SimFronts, SimServices};
+
+struct Fixture {
+    world: Arc<World>,
+    services: SimServices,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let cfg = WorldConfig { scale: Scale::Custom(0.003), ..WorldConfig::small() };
+        let (world, _) = synth::generate(&cfg);
+        let world = Arc::new(world);
+        let services =
+            SimServices::start(world.clone(), ServerConfig::default()).expect("services");
+        Fixture { world, services }
+    })
+}
+
+fn dissenter_username(world: &World) -> String {
+    world
+        .users
+        .iter()
+        .find(|u| u.author_id.is_some() && !u.gab_deleted)
+        .expect("has dissenter users")
+        .username
+        .clone()
+}
+
+fn get_with(front: &DissenterFront, target: &str, headers: &[(&str, &str)]) -> httpnet::Response {
+    let mut req = Request::get(target);
+    for (name, value) in headers {
+        req.headers.add(name, value);
+    }
+    front.handle(&req)
+}
+
+#[test]
+fn etags_are_stable_across_identical_renders_and_fronts() {
+    let fx = fixture();
+    let name = dissenter_username(&fx.world);
+    let target = format!("/user/{name}");
+    let front = DissenterFront::new(fx.world.clone());
+
+    let first = get_with(&front, &target, &[]);
+    let second = get_with(&front, &target, &[]);
+    assert_eq!(first.status, Status::OK);
+    let tag = first.etag().expect("200 is tagged");
+    assert_eq!(second.etag(), Some(tag), "identical renders carry identical validators");
+
+    // A different front over the same world derives the same tag — the
+    // validator is a function of content, not of process state.
+    let other = DissenterFront::new(fx.world.clone());
+    let third = get_with(&other, &target, &[]);
+    assert_eq!(third.etag(), Some(tag), "etag is content-derived");
+}
+
+#[test]
+fn not_modified_has_no_body_on_the_wire() {
+    let fx = fixture();
+    let name = dissenter_username(&fx.world);
+    let target = format!("/user/{name}");
+    let addr = fx.services.dissenter.addr();
+
+    let raw = |extra: &str| -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nConnection: close\r\n{extra}\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("read");
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let (head, body) = text.split_once("\r\n\r\n").expect("well-formed response");
+        (head.to_owned(), body.to_owned())
+    };
+
+    let (head, body) = raw("");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.len() >= 10 * 1024, "full body first");
+    let tag = head
+        .lines()
+        .find_map(|l| l.strip_prefix("ETag: ").or_else(|| l.strip_prefix("etag: ")))
+        .expect("tagged")
+        .to_owned();
+
+    let (head2, body2) = raw(&format!("If-None-Match: {tag}\r\n"));
+    assert!(head2.starts_with("HTTP/1.1 304"), "fresh validator revalidates: {head2}");
+    assert!(body2.is_empty(), "a 304 carries no body, got {} bytes", body2.len());
+    assert!(head2.contains(&tag), "the 304 repeats the validator");
+}
+
+#[test]
+fn if_none_match_star_matches_any_representation() {
+    let fx = fixture();
+    let name = dissenter_username(&fx.world);
+    let front = DissenterFront::new(fx.world.clone());
+    let resp = get_with(&front, &format!("/user/{name}"), &[("If-None-Match", "*")]);
+    assert_eq!(resp.status, Status::NOT_MODIFIED, "`*` matches any current representation");
+    assert!(resp.body.is_empty());
+}
+
+#[test]
+fn vote_mutation_invalidates_every_outstanding_validator() {
+    let fx = fixture();
+    let url = fx.world.dissenter.urls().first().expect("urls").clone();
+    let front = DissenterFront::new(fx.world.clone());
+    let target = format!("/url/{}", url.id);
+
+    let before = get_with(&front, &target, &[]);
+    assert_eq!(before.status, Status::OK);
+    let tag = before.etag().expect("tagged").to_owned();
+    let upvotes = |body: &str| -> u64 {
+        let marker = "data-upvotes=\"";
+        let rest = &body[body.find(marker).expect("upvotes attr") + marker.len()..];
+        rest[..rest.find('"').unwrap()].parse().expect("numeric")
+    };
+    let n = upvotes(&before.text());
+
+    let mut vote = Request::get(&format!("/url/{}/vote?dir=up", url.id));
+    vote.method = "POST".into();
+    let voted = front.handle(&vote);
+    assert_eq!(voted.status, Status::OK, "vote accepted");
+    assert!(voted.text().contains(&format!("\"upvotes\":{}", n + 1)), "{}", voted.text());
+
+    // The old validator must no longer match: a conditional request gets
+    // the fresh body with the new count and a new tag.
+    let after = get_with(&front, &target, &[("If-None-Match", &tag)]);
+    assert_eq!(after.status, Status::OK, "stale validator re-renders");
+    assert_eq!(upvotes(&after.text()), n + 1, "mutation visible in the body");
+    assert_ne!(after.etag(), Some(tag.as_str()), "new representation, new validator");
+}
+
+#[test]
+fn conditional_requests_still_spend_rate_budget() {
+    // The per-URL limiter allows 10/min. Revalidation happens *inside*
+    // the allowed branch, so 304s spend budget exactly like full
+    // responses — caching must never let a client exceed the limit.
+    let fx = fixture();
+    let url = fx.world.dissenter.urls().last().expect("urls").clone();
+    let front = DissenterFront::new(fx.world.clone());
+    let target = format!("/url/{}", url.id);
+
+    let first = get_with(&front, &target, &[]);
+    assert_eq!(first.status, Status::OK);
+    let tag = first.etag().expect("tagged").to_owned();
+    for i in 2..=10 {
+        let r = get_with(&front, &target, &[("If-None-Match", &tag)]);
+        assert_eq!(r.status, Status::NOT_MODIFIED, "request {i} revalidates");
+    }
+    let eleventh = get_with(&front, &target, &[("If-None-Match", &tag)]);
+    assert_eq!(eleventh.status, Status::TOO_MANY, "revalidations count against the limit");
+}
+
+#[test]
+fn shadow_visibility_never_leaks_through_the_cache() {
+    let fx = fixture();
+    let shadow = fx
+        .world
+        .dissenter
+        .comments()
+        .iter()
+        .find(|c| c.nsfw || c.offensive)
+        .expect("shadow comments");
+    let front = DissenterFront::new(fx.world.clone());
+    let target = format!("/comment/{}", shadow.id);
+
+    // Opted-in session: 200, tagged, and now resident in the response
+    // cache under the session's visibility class.
+    let authed = get_with(&front, &target, &[("Cookie", "session=crawler:both")]);
+    assert_eq!(authed.status, Status::OK);
+    let tag = authed.etag().expect("tagged").to_owned();
+
+    // Anonymous request for the same target: the cached shadow body must
+    // not be served (the cache key includes the visibility class).
+    let anon = get_with(&front, &target, &[]);
+    assert_eq!(anon.status, Status::NOT_FOUND, "shadow body must not leak to anon");
+
+    // Anonymous request replaying the shadow validator: different class
+    // means a different current representation, so no 304 either.
+    let replay = get_with(&front, &target, &[("If-None-Match", &tag)]);
+    assert_eq!(replay.status, Status::NOT_FOUND, "shadow validator must not validate for anon");
+
+    // The opted-in session itself revalidates normally.
+    let again = get_with(
+        &front,
+        &target,
+        &[("Cookie", "session=crawler:both"), ("If-None-Match", &tag)],
+    );
+    assert_eq!(again.status, Status::NOT_MODIFIED);
+}
+
+#[test]
+fn revalidating_client_round_trips_against_a_live_front() {
+    let fx = fixture();
+    let name = dissenter_username(&fx.world);
+    let target = format!("/user/{name}");
+    let registry = obs::Registry::new();
+    let reval = RevalidationCache::new(64);
+    let client = Client::builder(fx.services.dissenter.addr())
+        .metrics(&registry, "dissenter")
+        .revalidation_cache(reval.clone())
+        .build();
+
+    let first = client.get(&target).expect("first fetch");
+    let second = client.get(&target).expect("revalidated fetch");
+    assert_eq!(first.status, Status::OK);
+    assert_eq!(second.status, Status::OK, "304 resolved to the cached representation");
+    assert_eq!(first.body, second.body, "transparent to the caller");
+    assert_eq!(reval.stats().revalidated, 1);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("http.dissenter.not_modified"), Some(1));
+}
+
+#[test]
+fn per_front_server_config_overrides_apply() {
+    let fx = fixture();
+    let fronts = SimFronts::new(fx.world.clone());
+    let tight = ServerConfig { workers: 1, queue: 4, ..ServerConfig::default() };
+    let fronts = SimFronts {
+        dissenter: Arc::new(
+            DissenterFront::new(fx.world.clone()).with_server_config(tight.clone()),
+        ),
+        ..fronts
+    };
+    use webfront::Front as _;
+    assert_eq!(fronts.dissenter.server_config(&ServerConfig::default()).workers, 1);
+    assert_eq!(fronts.gab.server_config(&ServerConfig::default()).workers, ServerConfig::default().workers);
+
+    // And the overridden fleet still starts and serves.
+    let services = SimServices::start_with(fronts, ServerConfig::default()).expect("start");
+    let client = Client::builder(services.dissenter.addr()).build();
+    let name = dissenter_username(&fx.world);
+    let r = client.get(&format!("/user/{name}")).expect("serves");
+    assert_eq!(r.status, Status::OK);
+}

@@ -36,7 +36,7 @@ fn some_dissenter_username(world: &World) -> String {
 #[test]
 fn user_page_size_probe_signal() {
     let fx = fixture();
-    let client = Client::new(fx.services.dissenter.addr());
+    let client = Client::builder(fx.services.dissenter.addr()).build();
     let name = some_dissenter_username(&fx.world);
     let hit = client.get(&format!("/user/{name}")).unwrap();
     assert_eq!(hit.status, Status::OK);
@@ -60,7 +60,7 @@ fn user_page_size_probe_signal() {
 #[test]
 fn comment_page_lists_comments_and_votes() {
     let fx = fixture();
-    let client = Client::new(fx.services.dissenter.addr());
+    let client = Client::builder(fx.services.dissenter.addr()).build();
     // Find a URL with at least one anonymous-visible comment.
     let url = fx
         .world
@@ -93,7 +93,7 @@ fn nsfw_content_requires_opted_in_session() {
         .iter()
         .find(|c| c.nsfw && !c.offensive)
         .expect("nsfw comments exist");
-    let mut client = Client::new(fx.services.dissenter.addr());
+    let mut client = Client::builder(fx.services.dissenter.addr()).build();
 
     // Anonymous: hidden.
     let anon = client.get(&format!("/comment/{}", nsfw_comment.id)).unwrap();
@@ -114,7 +114,7 @@ fn nsfw_content_requires_opted_in_session() {
 #[test]
 fn comment_page_embeds_hidden_metadata() {
     let fx = fixture();
-    let client = Client::new(fx.services.dissenter.addr());
+    let client = Client::builder(fx.services.dissenter.addr()).build();
     let c = fx
         .world
         .dissenter
@@ -132,7 +132,7 @@ fn comment_page_embeds_hidden_metadata() {
 #[test]
 fn gab_api_enumeration_signals() {
     let fx = fixture();
-    let client = Client::new(fx.services.gab.addr());
+    let client = Client::builder(fx.services.gab.addr()).build();
     // ID 1 is @e.
     let r = client.get("/api/v1/accounts/1").unwrap();
     assert_eq!(r.status, Status::OK);
@@ -150,7 +150,7 @@ fn gab_api_enumeration_signals() {
 #[test]
 fn gab_followers_paginate() {
     let fx = fixture();
-    let client = Client::new(fx.services.gab.addr());
+    let client = Client::builder(fx.services.gab.addr()).build();
     // Find a live user with many followers.
     let (idx, _) = (0..fx.world.user_count() as u32)
         .filter(|&i| !fx.world.user(i).gab_deleted)
@@ -187,7 +187,7 @@ fn gab_followers_paginate() {
 #[test]
 fn reddit_and_pushshift() {
     let fx = fixture();
-    let client = Client::new(fx.services.reddit.addr());
+    let client = Client::builder(fx.services.reddit.addr()).build();
     let name = fx.world.reddit.usernames().next().expect("reddit accounts").to_owned();
     let about = client.get(&format!("/user/{name}/about")).unwrap();
     assert_eq!(about.status, Status::OK);
@@ -205,7 +205,7 @@ fn reddit_and_pushshift() {
 #[test]
 fn youtube_render_endpoint() {
     let fx = fixture();
-    let client = Client::new(fx.services.youtube.addr());
+    let client = Client::builder(fx.services.youtube.addr()).build();
     let (url, _) = fx.world.youtube.iter().next().expect("youtube content");
     let r = client.get(&webfront::youtube::render_target(url)).unwrap();
     assert_eq!(r.status, Status::OK);
@@ -220,7 +220,7 @@ fn youtube_render_endpoint() {
 #[test]
 fn discussion_begin_known_and_unknown() {
     let fx = fixture();
-    let client = Client::new(fx.services.dissenter.addr());
+    let client = Client::builder(fx.services.dissenter.addr()).build();
     let known = &fx.world.dissenter.urls()[0];
     let r = client
         .get(&webfront::dissenter::discussion_target(&known.url))
@@ -238,7 +238,7 @@ fn discussion_begin_known_and_unknown() {
 #[test]
 fn per_url_rate_limit_enforced_and_scoped() {
     let fx = fixture();
-    let client = Client::new(fx.services.dissenter.addr());
+    let client = Client::builder(fx.services.dissenter.addr()).build();
     let urls = fx.world.dissenter.urls();
     let (a, b) = (&urls[1], &urls[2]);
     // Exhaust URL a's budget.

@@ -87,7 +87,7 @@ fn main() {
     // Over the wire, exactly as the participants would do it.
     let services =
         SimServices::start(Arc::new(world), crawler::default_server_config()).expect("services");
-    let mut client = Client::new(services.dissenter.addr());
+    let mut client = Client::builder(services.dissenter.addr()).build();
     let page = client
         .get(&webfront::dissenter::discussion_target(anchor))
         .expect("lookup succeeds");

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Conditional-request serving bench: drive the Dissenter front with a
+# closed-loop load in both regimes (every-request-rendered vs ETag/304
+# revalidation) and emit the comparison as BENCH_PR5.json in the repo
+# root. The loadgen binary self-validates — it exits nonzero unless the
+# cached regime strictly beats uncached throughput, the cached pass
+# actually revalidated, no request failed, and the shadow-visibility
+# isolation probe holds.
+#
+# Usage: scripts/bench_pr5.sh [extra loadgen args, e.g. --requests 100]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin loadgen -- --out BENCH_PR5.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR5.json") as f:
+    report = json.load(f)
+for key in ("threads", "requests_per_thread", "targets", "scale",
+            "uncached", "cached", "speedup", "cache_hits",
+            "cache_misses", "cache_evictions", "shadow_isolated"):
+    assert key in report, f"BENCH_PR5.json missing {key!r}"
+for regime in ("uncached", "cached"):
+    for key in ("requests", "failures", "wall_ms", "req_per_sec",
+                "p50_us", "p99_us", "not_modified"):
+        assert key in report[regime], f"BENCH_PR5.json missing {regime}.{key}"
+    assert report[regime]["failures"] == 0, f"{regime} regime had failures"
+assert report["shadow_isolated"] is True, "shadow-visibility isolation violated"
+assert report["cached"]["not_modified"] > 0, "cached regime never revalidated"
+assert report["uncached"]["not_modified"] == 0, "uncached regime revalidated"
+assert report["speedup"] > 1.0, f"speedup {report['speedup']} <= 1.0"
+print("BENCH_PR5.json OK:",
+      f"{report['speedup']:.2f}x cached over uncached,",
+      f"{report['cached']['not_modified']} revalidations,",
+      f"p99 {report['uncached']['p99_us']} -> {report['cached']['p99_us']} us")
+EOF

@@ -45,7 +45,7 @@ fn enumeration_survives_tight_rate_limits() {
 #[test]
 fn rate_limit_headers_present_and_counting() {
     let (server, _) = tight_gab_server();
-    let client = Client::new(server.addr());
+    let client = Client::builder(server.addr()).build();
     let r1 = client.get("/api/v1/accounts/1").unwrap();
     let rem1: i64 = r1.headers.get("x-ratelimit-remaining").unwrap().parse().unwrap();
     let r2 = client.get("/api/v1/accounts/1").unwrap();
@@ -65,7 +65,7 @@ fn denied_requests_report_reset_time() {
     let handler: Arc<dyn Handler> =
         Arc::new(GabFront::with_rate_limit(Arc::new(world), 40, 4));
     let server = Server::start(handler, ServerConfig::default()).expect("server");
-    let client = Client::new(server.addr());
+    let client = Client::builder(server.addr()).build();
     let mut denied = None;
     for _ in 0..100 {
         let r = client.get("/api/v1/accounts/1").unwrap();

@@ -28,6 +28,7 @@
 //! reads the in-process `World`; its only input is HTTP.
 
 pub mod gab_enum;
+pub mod journal;
 pub mod parallel;
 pub mod persist;
 pub mod probe;
@@ -43,6 +44,7 @@ pub mod youtube;
 use httpnet::ServerConfig;
 use std::net::SocketAddr;
 
+pub use journal::{DurableConfig, Failpoint, Retention};
 pub use resilience::{CircuitBreaker, Phase};
 pub use store::{CrawlStore, DeadLetter};
 
@@ -89,6 +91,22 @@ impl Default for CrawlConfig {
             breaker_cooldown: std::time::Duration::from_millis(200),
         }
     }
+}
+
+/// What [`Crawler::resume`] found in the journal before re-running the
+/// remainder of the crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Phases already durable at recovery time (a prefix of
+    /// [`Phase::ALL`]); only the rest were re-run.
+    pub completed: usize,
+    /// Revalidation entries recovered from after the last checkpoint —
+    /// the killed run's partial progress through the interrupted phase.
+    /// Each is answerable with a `304` during the re-run, so this is a
+    /// floor on the `http.<service>.not_modified` counters resume earns.
+    pub uncheckpointed_reval: usize,
+    /// The WAL ended in a torn record that recovery truncated away.
+    pub torn_tail_recovered: bool,
 }
 
 /// Addresses of the four services.
@@ -162,14 +180,68 @@ impl Crawler {
     /// social, Reddit. Returns the reconstructed dataset.
     pub fn full_crawl(&self) -> CrawlStore {
         let mut store = CrawlStore::default();
-        self.timed_phase(Phase::GabEnum, &mut store, gab_enum::enumerate);
-        self.timed_phase(Phase::Probe, &mut store, probe::probe_dissenter_accounts);
-        self.timed_phase(Phase::Spider, &mut store, spider::spider);
-        self.timed_phase(Phase::Shadow, &mut store, shadow::shadow_crawl);
-        self.timed_phase(Phase::Youtube, &mut store, youtube::crawl_youtube);
-        self.timed_phase(Phase::Social, &mut store, social::crawl_social);
-        self.timed_phase(Phase::Reddit, &mut store, reddit::crawl_reddit);
+        for phase in Phase::ALL {
+            self.timed_phase(phase, &mut store, phase_fn(phase));
+        }
         store
+    }
+
+    /// [`Crawler::full_crawl`], journaled through a [`journal::Journal`]
+    /// rooted at `dir`: each phase is checkpointed into a segmented WAL
+    /// (with periodic snapshots) as it completes, so a killed crawl can
+    /// pick up from the last phase boundary via [`Crawler::resume`]
+    /// instead of starting over. Fails if `dir` already holds a
+    /// journal.
+    pub fn full_crawl_durable(
+        &self,
+        dir: &std::path::Path,
+        cfg: &DurableConfig,
+    ) -> std::io::Result<CrawlStore> {
+        let mut journal = journal::Journal::create(dir, cfg, self.metrics.clone())?;
+        let mut store = CrawlStore::default();
+        for phase in Phase::ALL {
+            self.timed_phase(phase, &mut store, phase_fn(phase));
+            journal.commit_phase(phase, &store, self.revalidation_cache())?;
+        }
+        Ok(store)
+    }
+
+    /// Resume a killed [`Crawler::full_crawl_durable`] from its journal:
+    /// replay the latest snapshot + WAL tail into the store, seed the
+    /// revalidation cache with every journaled representation (so the
+    /// re-run answers `If-None-Match` with `304`s instead of
+    /// re-downloading pages the dead crawl already fetched), durably
+    /// roll back the interrupted phase's partial batch, and re-run only
+    /// the phases after the last checkpoint. The result is
+    /// indistinguishable from an uninterrupted crawl — `simcheck`'s
+    /// `crash.resume` oracle holds this byte-for-byte across seeds.
+    pub fn resume(
+        &self,
+        dir: &std::path::Path,
+        cfg: &DurableConfig,
+    ) -> std::io::Result<(CrawlStore, ResumeInfo)> {
+        let (mut journal, state) = journal::Journal::recover(dir, cfg, self.metrics.clone())?;
+        if let Some(cache) = &self.reval {
+            for (key, resp) in &state.reval_entries {
+                cache.store(key, resp);
+            }
+        }
+        journal.rollback()?;
+        let info = ResumeInfo {
+            completed: state.completed,
+            uncheckpointed_reval: state.uncheckpointed_reval,
+            torn_tail_recovered: state.torn_tail_recovered,
+        };
+        let mut completed = state.completed;
+        if resilience::mutation("resume_skips_interrupted_phase") && completed < Phase::ALL.len() {
+            completed += 1;
+        }
+        let mut store = state.store;
+        for &phase in &Phase::ALL[completed..] {
+            self.timed_phase(phase, &mut store, phase_fn(phase));
+            journal.commit_phase(phase, &store, self.revalidation_cache())?;
+        }
+        Ok((store, info))
     }
 
     /// Run one phase under a `crawl.<phase>` span and publish its
@@ -190,6 +262,20 @@ impl Crawler {
             self.metrics
                 .set_gauge(&format!("crawl.{}.items_per_sec", phase.name()), done as f64 / elapsed);
         }
+    }
+}
+
+/// The function that runs one pipeline phase (`full_crawl`, its durable
+/// variant, and `resume` all dispatch through this table).
+fn phase_fn(phase: Phase) -> fn(&Crawler, &mut CrawlStore) {
+    match phase {
+        Phase::GabEnum => gab_enum::enumerate,
+        Phase::Probe => probe::probe_dissenter_accounts,
+        Phase::Spider => spider::spider,
+        Phase::Shadow => shadow::shadow_crawl,
+        Phase::Youtube => youtube::crawl_youtube,
+        Phase::Social => social::crawl_social,
+        Phase::Reddit => reddit::crawl_reddit,
     }
 }
 

@@ -286,7 +286,7 @@ impl PhaseCounters {
 /// smoke test sets `SIMCHECK_MUTATE` to deliberately miscount and prove
 /// the accounting oracles catch it. Read once: the crawl hot path must
 /// not re-query the environment per fetch.
-fn mutation(name: &str) -> bool {
+pub(crate) fn mutation(name: &str) -> bool {
     static ACTIVE: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
     ACTIVE.get_or_init(|| std::env::var("SIMCHECK_MUTATE").ok()).as_deref() == Some(name)
 }
@@ -465,13 +465,27 @@ impl<'a> PhaseRun<'a> {
     }
 }
 
+/// Ceiling on one sleep-until-reset wait. A peer advertising a reset
+/// further out than this is treated as absurd advice and clamped
+/// (surfaced via `retry_after_clamped`), so a hostile server cannot
+/// park a worker indefinitely.
+const MAX_RESET_WAIT: Duration = Duration::from_secs(120);
+
 /// How long to wait out a 429, plus whether the peer's advice was
 /// absurd enough to be clamped (surfaced as the phase's
 /// `retry_after_clamped` counter). Preference order: the `Retry-After`
 /// header (delta-seconds or HTTP-date, capped by the policy's
 /// `max_backoff`), then `X-RateLimit-Reset` (absolute epoch seconds, the
-/// Gab/Dissenter convention — waited in 1–3 s slices exactly like the
+/// Gab/Dissenter convention — slept out **in full**, exactly like the
 /// paper's sleep-until-reset loop), then the computed backoff.
+///
+/// Sleeping to the advertised reset, rather than probing in short
+/// slices, is what keeps a fetch's *outcome* independent of where in
+/// the peer's rate window it starts: a crawl resumed right after a
+/// crash inherits a window its dead predecessor already spent, and a
+/// sliced wait would burn through the throttle grace before the
+/// window turns over, dead-lettering fetches an uninterrupted crawl
+/// delivers.
 fn throttle_delay(
     resp: &Response,
     policy: &RetryPolicy,
@@ -483,7 +497,11 @@ fn throttle_delay(
     }
     if let Some(reset) = resp.headers.get("x-ratelimit-reset").and_then(|v| v.parse::<u64>().ok()) {
         let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
-        return (Duration::from_secs(reset.saturating_sub(now).clamp(1, 3)), false);
+        // +1 covers sub-second truncation on both clocks: sleeping to
+        // the reset's second boundary can still land inside the old
+        // window.
+        let wait = Duration::from_secs(reset.saturating_sub(now).max(1) + 1);
+        return (wait.min(MAX_RESET_WAIT), wait > MAX_RESET_WAIT);
     }
     (policy.backoff(throttle_no, rng), false)
 }

@@ -1,0 +1,127 @@
+//! Snapshot files: `snap_{:08}.snap` (named by the WAL watermark they
+//! cover), a fixed 64-byte header (`DSRSNPv1` magic, format version,
+//! section count, covers-through watermark, store UUID, 24 reserved
+//! zero bytes) followed by sections `[tag u32][len u64][crc u32][payload]`
+//! with the CRC32 over `tag_le ++ payload`. Written whole via the
+//! temp-file + rename + fsync discipline, so a crash mid-write never
+//! leaves a torn snapshot behind.
+
+use crate::{corrupt, crc::crc32, fsutil, FORMAT_VERSION, SNAP_MAGIC};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bytes in a snapshot header.
+pub(crate) const HEADER_LEN: usize = 64;
+/// Bytes in a section header (tag + len + crc).
+const SECTION_LEN: usize = 16;
+
+fn snapshot_path(dir: &Path, watermark: u64) -> PathBuf {
+    dir.join(format!("snap_{watermark:08}.snap"))
+}
+
+/// All snapshots in `dir`, sorted by covered watermark.
+pub(crate) fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(num) = name
+            .strip_prefix("snap_")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((num, path));
+        }
+    }
+    out.sort_unstable_by_key(|(num, _)| *num);
+    Ok(out)
+}
+
+/// A fully validated snapshot file.
+pub(crate) struct SnapshotData {
+    pub(crate) uuid: [u8; 16],
+    pub(crate) covers_through: u64,
+    pub(crate) sections: Vec<(u32, Vec<u8>)>,
+}
+
+/// Serialize and durably write a snapshot covering WAL segments
+/// `1..=watermark`. Returns the file size in bytes.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    watermark: u64,
+    uuid: [u8; 16],
+    sections: &[(u32, Vec<u8>)],
+) -> io::Result<u64> {
+    let mut buf = Vec::with_capacity(
+        HEADER_LEN + sections.iter().map(|(_, p)| SECTION_LEN + p.len()).sum::<usize>(),
+    );
+    buf.extend_from_slice(&SNAP_MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&watermark.to_le_bytes());
+    buf.extend_from_slice(&uuid);
+    buf.extend_from_slice(&[0u8; 24]);
+    for (tag, payload) in sections {
+        buf.extend_from_slice(&tag.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc32(&[&tag.to_le_bytes(), payload]).to_le_bytes());
+        buf.extend_from_slice(payload);
+    }
+    fsutil::atomic_write_file(&snapshot_path(dir, watermark), &buf)?;
+    Ok(buf.len() as u64)
+}
+
+/// Read and strictly validate the snapshot at `path`; `num` is the
+/// watermark its file name claims. Snapshots are written atomically, so
+/// unlike the WAL tail there is no torn state to tolerate — any
+/// anomaly is corruption.
+pub(crate) fn read_snapshot(path: &Path, num: u64) -> io::Result<SnapshotData> {
+    let bytes = std::fs::read(path)?;
+    let name = path.display();
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!("{name}: short snapshot header ({} bytes)", bytes.len())));
+    }
+    if bytes[..8] != SNAP_MAGIC {
+        return Err(corrupt(format!("{name}: bad snapshot magic")));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "{name}: unsupported snapshot format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let section_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let covers_through = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    if covers_through != num {
+        return Err(corrupt(format!(
+            "{name}: header covers through {covers_through} but the file name says {num}"
+        )));
+    }
+    let uuid: [u8; 16] = bytes[24..40].try_into().unwrap();
+
+    let mut sections = Vec::with_capacity(section_count as usize);
+    let mut offset = HEADER_LEN;
+    for i in 0..section_count {
+        let header = bytes
+            .get(offset..offset + SECTION_LEN)
+            .ok_or_else(|| corrupt(format!("{name}: truncated header for section {i}")))?;
+        let tag = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u64::from_le_bytes(header[4..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let payload = bytes
+            .get(offset + SECTION_LEN..offset + SECTION_LEN + len)
+            .ok_or_else(|| corrupt(format!("{name}: truncated payload for section {i}")))?;
+        if crc32(&[&tag.to_le_bytes(), payload]) != crc {
+            return Err(corrupt(format!("{name}: CRC mismatch in section {i}")));
+        }
+        sections.push((tag, payload.to_vec()));
+        offset += SECTION_LEN + len;
+    }
+    if offset != bytes.len() {
+        return Err(corrupt(format!(
+            "{name}: {} trailing bytes after the last section",
+            bytes.len() - offset
+        )));
+    }
+    Ok(SnapshotData { uuid, covers_through, sections })
+}

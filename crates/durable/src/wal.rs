@@ -1,0 +1,212 @@
+//! Segmented WAL files: `wal_{:08}.seg`, a fixed 40-byte header
+//! (`DSRWALv1` magic, format version, flags, segment number, store
+//! UUID) followed by record frames `[len u32][tag u32][crc u32][payload]`
+//! with the CRC32 taken over `tag_le ++ payload`. All integers little
+//! endian.
+
+use crate::{corrupt, crc::crc32, FORMAT_VERSION, WAL_MAGIC};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes in a segment header.
+pub(crate) const HEADER_LEN: u64 = 40;
+/// Bytes in a record frame header (len + tag + crc).
+const FRAME_LEN: usize = 12;
+
+fn segment_path(dir: &Path, num: u64) -> PathBuf {
+    dir.join(format!("wal_{num:08}.seg"))
+}
+
+/// All segments in `dir`, sorted by segment number.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(num) = name
+            .strip_prefix("wal_")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push((num, path));
+        }
+    }
+    out.sort_unstable_by_key(|(num, _)| *num);
+    Ok(out)
+}
+
+fn frame(tag: u32, payload: &[u8]) -> Vec<u8> {
+    let crc = crc32(&[&tag.to_le_bytes(), payload]);
+    let mut buf = Vec::with_capacity(FRAME_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Appender over one live segment file.
+pub(crate) struct SegmentWriter {
+    out: io::BufWriter<std::fs::File>,
+    seg_no: u64,
+    bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Create segment `num` in `dir` with a synced header. Fails if the
+    /// file already exists (segment numbers are never reused silently).
+    pub(crate) fn create(dir: &Path, num: u64, uuid: [u8; 16]) -> io::Result<Self> {
+        let path = segment_path(dir, num);
+        let file = std::fs::OpenOptions::new().write(true).create_new(true).open(&path)?;
+        let mut out = io::BufWriter::new(file);
+        out.write_all(&WAL_MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?; // flags, reserved
+        out.write_all(&num.to_le_bytes())?;
+        out.write_all(&uuid)?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        Ok(Self { out, seg_no: num, bytes: HEADER_LEN })
+    }
+
+    /// Reopen a validated segment for further appends at its current end.
+    pub(crate) fn reopen(path: &Path, num: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Self { out: io::BufWriter::new(file), seg_no: num, bytes })
+    }
+
+    /// Buffered frame write; durable only after [`SegmentWriter::sync`].
+    pub(crate) fn append(&mut self, tag: u32, payload: &[u8]) -> io::Result<()> {
+        let buf = frame(tag, payload);
+        self.out.write_all(&buf)?;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Flush and fsync everything appended so far.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()
+    }
+
+    /// Write a deliberately incomplete frame (the on-disk shape a kill
+    /// mid-append leaves behind) and flush it so recovery sees it.
+    pub(crate) fn write_torn_record(&mut self, tag: u32, payload: &[u8]) -> io::Result<()> {
+        let buf = frame(tag, payload);
+        // Cut inside the payload when there is one, else inside the
+        // frame header — either way the frame is unreadable past `len`.
+        let cut = if payload.is_empty() { 8 } else { FRAME_LEN + payload.len() / 2 };
+        self.out.write_all(&buf[..cut])?;
+        self.bytes += cut as u64;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()
+    }
+
+    /// Total bytes written to the segment, header included.
+    pub(crate) fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// This segment's number.
+    pub(crate) fn segment_number(&self) -> u64 {
+        self.seg_no
+    }
+}
+
+/// What reading one segment produced.
+pub(crate) enum SegmentRead {
+    /// Header validated; `records` decoded. `truncated_to` is set when a
+    /// torn tail was found at that byte offset (final segment only).
+    Valid { records: Vec<crate::Record>, truncated_to: Option<u64> },
+    /// The file is shorter than a segment header — a crash landed
+    /// between file creation and the header write. Final segment only;
+    /// anywhere else it is reported as corruption.
+    TornHeader,
+}
+
+/// Read and validate segment `num` at `path`. `uuid` is the store UUID
+/// established so far (`None` until the first header is seen); `last`
+/// marks the final segment, the only place torn-tail recovery applies —
+/// anomalies in sealed segments are hard errors.
+pub(crate) fn read_segment(
+    path: &Path,
+    num: u64,
+    uuid: &mut Option<[u8; 16]>,
+    last: bool,
+) -> io::Result<SegmentRead> {
+    let bytes = std::fs::read(path)?;
+    let name = path.display();
+    if (bytes.len() as u64) < HEADER_LEN {
+        if last {
+            return Ok(SegmentRead::TornHeader);
+        }
+        return Err(corrupt(format!("{name}: short segment header ({} bytes)", bytes.len())));
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(corrupt(format!("{name}: bad WAL magic")));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "{name}: unsupported WAL format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let seg_no = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    if seg_no != num {
+        return Err(corrupt(format!(
+            "{name}: header says segment {seg_no} but the file name says {num}"
+        )));
+    }
+    let file_uuid: [u8; 16] = bytes[24..40].try_into().unwrap();
+    match *uuid {
+        Some(expected) if expected != file_uuid => {
+            return Err(corrupt(format!("{name}: store UUID mismatch (foreign segment?)")));
+        }
+        Some(_) => {}
+        None => *uuid = Some(file_uuid),
+    }
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut truncated_to = None;
+    while offset < bytes.len() {
+        let frame_ok = (|| {
+            let header = bytes.get(offset..offset + FRAME_LEN)?;
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+            let tag = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+            let payload = bytes.get(offset + FRAME_LEN..offset + FRAME_LEN + len)?;
+            if crc32(&[&tag.to_le_bytes(), payload]) != crc {
+                return None;
+            }
+            Some((tag, payload.to_vec(), FRAME_LEN + len))
+        })();
+        match frame_ok {
+            Some((tag, payload, advance)) => {
+                records.push(crate::Record { tag, payload });
+                offset += advance;
+            }
+            None if last => {
+                // A kill mid-append: everything up to here is good, the
+                // rest is the torn tail.
+                truncated_to = Some(offset as u64);
+                break;
+            }
+            None => {
+                return Err(corrupt(format!(
+                    "{name}: corrupt record at byte {offset} in a sealed segment"
+                )));
+            }
+        }
+    }
+    Ok(SegmentRead::Valid { records, truncated_to })
+}
+
+/// Cut a torn tail off: truncate the segment file to `end` bytes and
+/// sync it.
+pub(crate) fn truncate_segment(path: &Path, end: u64) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(end)?;
+    file.sync_all()
+}

@@ -1,0 +1,496 @@
+//! Lifecycle and corruption coverage for the durable store: the
+//! append/sync/rotate/snapshot path, compaction under both retention
+//! policies, failpoint kills (clean and torn-tail), and every
+//! corruption class the format is supposed to detect — flipped CRC
+//! byte, short segment header, wrong magic/version/UUID, torn final
+//! record.
+
+use durable::{DurableStore, Failpoint, Retention, StoreOptions};
+use std::path::{Path, PathBuf};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let d = std::env::temp_dir().join(format!(
+            "durable-store-{tag}-{}-{:x}",
+            std::process::id(),
+            {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            }
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        Self(d)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn opts() -> StoreOptions {
+    StoreOptions { retention: Retention::KeepAll, ..StoreOptions::default() }
+}
+
+fn segment_files(dir: &Path) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("wal_"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn snapshot_files(dir: &Path) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("snap_"))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn append_sync_reopen_replays_everything_in_order() {
+    let tmp = TempDir::new("roundtrip");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    for i in 0u32..100 {
+        store.append(i % 7, format!("payload-{i}").as_bytes()).unwrap();
+    }
+    store.sync().unwrap();
+    drop(store);
+
+    let (_, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(recovered.snapshot.is_none());
+    assert!(!recovered.torn_tail_recovered);
+    assert_eq!(recovered.records.len(), 100);
+    for (i, rec) in recovered.records.iter().enumerate() {
+        assert_eq!(rec.tag, (i % 7) as u32);
+        assert_eq!(rec.payload, format!("payload-{i}").into_bytes());
+    }
+}
+
+#[test]
+fn create_refuses_an_existing_store() {
+    let tmp = TempDir::new("nooverwrite");
+    let store = DurableStore::create(tmp.path(), opts()).unwrap();
+    drop(store);
+    let err = DurableStore::create(tmp.path(), opts()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+}
+
+#[test]
+fn open_refuses_an_empty_directory() {
+    let tmp = TempDir::new("notastore");
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn rotation_spreads_records_across_segments() {
+    let tmp = TempDir::new("rotate");
+    let options = StoreOptions {
+        segment_max_bytes: 256,
+        retention: Retention::KeepAll,
+        ..StoreOptions::default()
+    };
+    let mut store = DurableStore::create(tmp.path(), options.clone()).unwrap();
+    for i in 0u32..50 {
+        store.append(1, format!("record-number-{i:04}").as_bytes()).unwrap();
+    }
+    store.sync().unwrap();
+    assert!(store.segment_number() > 1, "256-byte cap must have forced rotations");
+    drop(store);
+
+    let (_, recovered) = DurableStore::open(tmp.path(), options).unwrap();
+    assert_eq!(recovered.records.len(), 50);
+    assert_eq!(recovered.records[49].payload, b"record-number-0049");
+}
+
+#[test]
+fn snapshot_restores_sections_and_tail_records() {
+    let tmp = TempDir::new("snapshot");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"before-snap").unwrap();
+    store
+        .snapshot(&[(10, b"state-a".to_vec()), (11, b"state-b".to_vec())])
+        .unwrap();
+    store.append(2, b"after-snap").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let (_, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    let snap = recovered.snapshot.expect("snapshot must be found");
+    assert_eq!(snap.sections, vec![(10, b"state-a".to_vec()), (11, b"state-b".to_vec())]);
+    // Only the tail after the watermark replays; "before-snap" is covered.
+    assert_eq!(recovered.records.len(), 1);
+    assert_eq!(recovered.records[0].payload, b"after-snap");
+}
+
+#[test]
+fn keep_all_retention_deletes_nothing() {
+    let tmp = TempDir::new("keepall");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    for round in 0u32..3 {
+        store.append(1, &round.to_le_bytes()).unwrap();
+        store.snapshot(&[(1, vec![round as u8])]).unwrap();
+    }
+    assert_eq!(segment_files(tmp.path()).len(), 4);
+    assert_eq!(snapshot_files(tmp.path()).len(), 3);
+}
+
+#[test]
+fn keep_last_retention_compacts_covered_segments_and_old_snapshots() {
+    let tmp = TempDir::new("keeplast");
+    let options = StoreOptions { retention: Retention::KeepLast(1), ..StoreOptions::default() };
+    let mut store = DurableStore::create(tmp.path(), options.clone()).unwrap();
+    for round in 0u32..4 {
+        store.append(1, &round.to_le_bytes()).unwrap();
+        store.snapshot(&[(1, vec![round as u8])]).unwrap();
+    }
+    // One covered segment kept + the fresh live one; live snapshot + one
+    // predecessor.
+    assert_eq!(segment_files(tmp.path()), vec!["wal_00000004.seg", "wal_00000005.seg"]);
+    assert_eq!(snapshot_files(tmp.path()), vec!["snap_00000003.snap", "snap_00000004.snap"]);
+    drop(store);
+
+    let (_, recovered) = DurableStore::open(tmp.path(), options).unwrap();
+    assert_eq!(recovered.snapshot.unwrap().sections, vec![(1, vec![3u8])]);
+    assert!(recovered.records.is_empty());
+}
+
+#[test]
+fn failpoint_kills_the_exact_op_and_is_recognizable() {
+    let tmp = TempDir::new("failpoint");
+    let options = StoreOptions {
+        retention: Retention::KeepAll,
+        failpoint: Failpoint { kill_at_op: Some(3), torn_tail: false },
+        ..StoreOptions::default()
+    };
+    let mut store = DurableStore::create(tmp.path(), options).unwrap();
+    store.append(1, b"one").unwrap();
+    store.append(1, b"two").unwrap();
+    let err = store.append(1, b"three").unwrap_err();
+    assert!(durable::is_kill_error(&err), "not a kill error: {err}");
+    assert!(!durable::is_kill_error(&std::io::Error::other("disk on fire")));
+    drop(store);
+
+    // The killed op never made it in; the first two are intact.
+    let (_, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert_eq!(recovered.records.len(), 2);
+    assert!(!recovered.torn_tail_recovered);
+}
+
+#[test]
+fn torn_tail_from_a_failpoint_kill_is_truncated_and_recovered() {
+    let tmp = TempDir::new("torntail");
+    let options = StoreOptions {
+        retention: Retention::KeepAll,
+        failpoint: Failpoint { kill_at_op: Some(3), torn_tail: true },
+        ..StoreOptions::default()
+    };
+    let mut store = DurableStore::create(tmp.path(), options).unwrap();
+    store.append(1, b"one").unwrap();
+    store.append(1, b"two").unwrap();
+    store.sync().unwrap();
+    let err = store.append(1, b"three-will-tear").unwrap_err();
+    assert!(durable::is_kill_error(&err));
+    drop(store);
+
+    let (mut reopened, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(recovered.torn_tail_recovered, "torn tail must be reported");
+    assert_eq!(recovered.records.len(), 2);
+
+    // The store is fully usable after truncation: append, sync, replay.
+    reopened.append(1, b"after-recovery").unwrap();
+    reopened.sync().unwrap();
+    drop(reopened);
+    let (_, again) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(!again.torn_tail_recovered);
+    assert_eq!(again.records.len(), 3);
+    assert_eq!(again.records[2].payload, b"after-recovery");
+}
+
+#[test]
+fn torn_final_record_with_empty_payload_is_recovered_too() {
+    let tmp = TempDir::new("tornempty");
+    let options = StoreOptions {
+        retention: Retention::KeepAll,
+        failpoint: Failpoint { kill_at_op: Some(2), torn_tail: true },
+        ..StoreOptions::default()
+    };
+    let mut store = DurableStore::create(tmp.path(), options).unwrap();
+    store.append(1, b"one").unwrap();
+    store.sync().unwrap();
+    assert!(store.append(7, b"").is_err());
+    drop(store);
+
+    let (_, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(recovered.torn_tail_recovered);
+    assert_eq!(recovered.records.len(), 1);
+}
+
+#[test]
+fn flipped_crc_byte_in_a_sealed_segment_is_detected() {
+    let tmp = TempDir::new("crcflip");
+    let options = StoreOptions { segment_max_bytes: 64, ..opts() };
+    let mut store = DurableStore::create(tmp.path(), options.clone()).unwrap();
+    for i in 0u32..20 {
+        store.append(1, format!("record-{i:04}").as_bytes()).unwrap();
+    }
+    store.sync().unwrap();
+    assert!(store.segment_number() >= 2);
+    drop(store);
+
+    // Flip one payload byte in the first (sealed) segment, past the
+    // 40-byte header.
+    let path = tmp.path().join("wal_00000001.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[55] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = DurableStore::open(tmp.path(), options).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("sealed segment"), "{err}");
+}
+
+#[test]
+fn short_header_on_a_sealed_segment_is_an_error() {
+    let tmp = TempDir::new("shorthdr");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.rotate().unwrap();
+    store.append(1, b"y").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let path = tmp.path().join("wal_00000001.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..10]).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("short segment header"), "{err}");
+}
+
+#[test]
+fn short_header_on_the_final_segment_is_recovered_in_place() {
+    let tmp = TempDir::new("tornhdr");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"keep-me").unwrap();
+    store.rotate().unwrap();
+    drop(store);
+
+    // Simulate a crash between creating wal_00000002.seg and its header
+    // reaching disk.
+    let path = tmp.path().join("wal_00000002.seg");
+    std::fs::write(&path, b"DSRW").unwrap();
+
+    let (mut reopened, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(recovered.torn_tail_recovered);
+    assert_eq!(recovered.records.len(), 1);
+    assert_eq!(reopened.segment_number(), 2, "numbering stays contiguous");
+    reopened.append(1, b"fresh").unwrap();
+    reopened.sync().unwrap();
+    drop(reopened);
+    let (_, again) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert_eq!(again.records.len(), 2);
+}
+
+#[test]
+fn wrong_magic_is_detected() {
+    let tmp = TempDir::new("magic");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let path = tmp.path().join("wal_00000001.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("bad WAL magic"), "{err}");
+}
+
+#[test]
+fn wrong_version_is_detected() {
+    let tmp = TempDir::new("version");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let path = tmp.path().join("wal_00000001.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8] = 99;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("unsupported WAL format version"), "{err}");
+}
+
+#[test]
+fn foreign_uuid_is_detected() {
+    let tmp = TempDir::new("uuid");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.rotate().unwrap();
+    store.append(1, b"y").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    // Rewrite segment 2's UUID: a segment from some other store that
+    // landed in this directory.
+    let path = tmp.path().join("wal_00000002.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    for b in &mut bytes[24..40] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("UUID mismatch"), "{err}");
+}
+
+#[test]
+fn segment_number_mismatch_is_detected() {
+    let tmp = TempDir::new("renamed");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    std::fs::rename(
+        tmp.path().join("wal_00000001.seg"),
+        tmp.path().join("wal_00000003.seg"),
+    )
+    .unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("file name says"), "{err}");
+}
+
+#[test]
+fn segment_gap_is_detected() {
+    let tmp = TempDir::new("gap");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"a").unwrap();
+    store.rotate().unwrap();
+    store.append(1, b"b").unwrap();
+    store.rotate().unwrap();
+    store.append(1, b"c").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    std::fs::remove_file(tmp.path().join("wal_00000002.seg")).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("segment gap"), "{err}");
+}
+
+#[test]
+fn corrupt_snapshot_section_is_detected() {
+    let tmp = TempDir::new("snapcrc");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.snapshot(&[(5, b"important-state".to_vec())]).unwrap();
+    drop(store);
+
+    let path = tmp.path().join("snap_00000001.snap");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("CRC mismatch in section"), "{err}");
+}
+
+#[test]
+fn wrong_snapshot_magic_and_version_are_detected() {
+    let tmp = TempDir::new("snaphdr");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.snapshot(&[(5, b"state".to_vec())]).unwrap();
+    drop(store);
+
+    let path = tmp.path().join("snap_00000001.snap");
+    let good = std::fs::read(&path).unwrap();
+
+    let mut bad = good.clone();
+    bad[0] = b'Z';
+    std::fs::write(&path, &bad).unwrap();
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("bad snapshot magic"), "{err}");
+
+    let mut bad = good.clone();
+    bad[8] = 42;
+    std::fs::write(&path, &bad).unwrap();
+    let err = DurableStore::open(tmp.path(), opts()).unwrap_err();
+    assert!(err.to_string().contains("unsupported snapshot format version"), "{err}");
+}
+
+#[test]
+fn stale_snapshot_tmp_file_is_swept_on_open() {
+    let tmp = TempDir::new("staletmp");
+    let mut store = DurableStore::create(tmp.path(), opts()).unwrap();
+    store.append(1, b"x").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    // A crash mid-snapshot leaves the temp file; the rename never ran.
+    std::fs::write(tmp.path().join("snap_00000001.snap.tmp"), b"half-written").unwrap();
+
+    let (_, recovered) = DurableStore::open(tmp.path(), opts()).unwrap();
+    assert!(recovered.snapshot.is_none());
+    assert_eq!(recovered.records.len(), 1);
+    assert!(!tmp.path().join("snap_00000001.snap.tmp").exists());
+}
+
+#[test]
+fn metrics_counters_track_the_lifecycle() {
+    let tmp = TempDir::new("metrics");
+    let registry = obs::Registry::new();
+    let options = StoreOptions {
+        retention: Retention::KeepAll,
+        metrics: Some(registry.clone()),
+        ..StoreOptions::default()
+    };
+    let mut store = DurableStore::create(tmp.path(), options).unwrap();
+    store.append(1, b"a").unwrap();
+    store.append(1, b"b").unwrap();
+    store.snapshot(&[(1, b"s".to_vec())]).unwrap();
+    store.append(1, b"c").unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("wal.appends"), Some(3));
+    assert_eq!(snap.counter("snapshot.written"), Some(1));
+    assert!(snap.counter("wal.fsyncs").unwrap_or(0) >= 2);
+    assert!(snap.counter("wal.rotations").unwrap_or(0) >= 1);
+    assert!(snap.counter("snapshot.bytes").unwrap_or(0) > 0);
+
+    // Replay counts land in a fresh registry on open.
+    let reopen_registry = obs::Registry::new();
+    let reopen_options = StoreOptions {
+        retention: Retention::KeepAll,
+        metrics: Some(reopen_registry.clone()),
+        ..StoreOptions::default()
+    };
+    let (_, recovered) = DurableStore::open(tmp.path(), reopen_options).unwrap();
+    assert_eq!(recovered.records.len(), 1);
+    assert_eq!(reopen_registry.snapshot().counter("wal.replayed_records"), Some(1));
+}

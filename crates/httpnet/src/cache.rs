@@ -322,6 +322,32 @@ impl RevalidationCache {
         Some(resp)
     }
 
+    /// Every held `(key, full 200 representation)` pair, sorted by key.
+    /// This is the durable-journal export: a resumed crawl imports the
+    /// pairs back via [`RevalidationCache::store`] so `If-None-Match`
+    /// revalidation survives a crash.
+    pub fn export_entries(&self) -> Vec<(String, Response)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(String, Response)> =
+            inner.map.iter().map(|(k, (_, r))| (k.clone(), r.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Visit every held entry in key order without cloning bodies — the
+    /// journal calls this at each phase commit, where
+    /// [`RevalidationCache::export_entries`]'s full-cache clone would
+    /// dominate the commit. The cache lock is held for the whole walk;
+    /// `f` must not call back into the cache.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&str, &Response)) {
+        let inner = self.inner.lock().unwrap();
+        let mut keys: Vec<&String> = inner.map.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            f(key, &inner.map[key].1);
+        }
+    }
+
     /// Usage counters.
     pub fn stats(&self) -> RevalStats {
         let inner = self.inner.lock().unwrap();

@@ -230,13 +230,6 @@ impl Client {
         }
     }
 
-    /// A client for `addr` with default settings.
-    #[deprecated(note = "field-poking construction is gone; use `Client::builder(addr)` — \
-                         this shim lasts one release")]
-    pub fn new(addr: SocketAddr) -> Self {
-        Self::builder(addr).build()
-    }
-
     /// Report request metrics into `registry` under the endpoint class
     /// `class` (e.g. the service name): per-request latency histogram
     /// `http.<class>.latency`, plus counters for attempts, wire faults,
@@ -799,15 +792,6 @@ mod tests {
         assert_eq!(snap.counter("http.api.retry_after_waits"), Some(1));
         assert_eq!(snap.counter("http.api.status_429"), Some(1));
         assert_eq!(snap.counter("http.api.status_5xx"), Some(1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_still_constructs_a_working_client() {
-        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("ok".into()));
-        let server = Server::start(handler, ServerConfig::default()).unwrap();
-        let client = Client::new(server.addr());
-        assert_eq!(client.get("/x").unwrap().text(), "ok");
     }
 
     /// A conditional server: tags every 200 with a fixed ETag and

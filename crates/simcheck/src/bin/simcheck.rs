@@ -1,7 +1,7 @@
 //! Seeded scenario sweeps for CI and soak runs.
 //!
 //! ```text
-//! simcheck [--count N] [--start S] [--replay-dir DIR] [--replay FILE]
+//! simcheck [--count N] [--start S] [--family all|crash] [--replay-dir DIR] [--replay FILE]
 //! ```
 //!
 //! Runs `N` seeded scenarios starting at seed `S` through every oracle.
@@ -9,15 +9,18 @@
 //! written as a replay JSON under `--replay-dir` (default
 //! `simcheck/replays/`); the sweep continues through the remaining seeds
 //! and the process exits nonzero. `--replay FILE` re-executes one replay
-//! file instead of sweeping.
+//! file instead of sweeping. `--family crash` restricts both the sweep
+//! and the shrinker to the crash-recovery oracle family (the CI crash
+//! job's mode — a kill-point sweep without the full differential stack).
 
-use simcheck::{check_scenario, replay, shrink, Scenario};
+use simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
 use std::path::PathBuf;
 use std::time::Instant;
 
 struct Args {
     count: u64,
     start: u64,
+    family: Family,
     replay_dir: PathBuf,
     replay_file: Option<PathBuf>,
 }
@@ -26,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         count: 5,
         start: 1,
+        family: Family::All,
         replay_dir: PathBuf::from(replay::DEFAULT_DIR),
         replay_file: None,
     };
@@ -35,11 +39,13 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--count" => args.count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?,
             "--start" => args.start = value("--start")?.parse().map_err(|e| format!("--start: {e}"))?,
+            "--family" => args.family = Family::parse(&value("--family")?)?,
             "--replay-dir" => args.replay_dir = PathBuf::from(value("--replay-dir")?),
             "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: simcheck [--count N] [--start S] [--replay-dir DIR] [--replay FILE]"
+                    "usage: simcheck [--count N] [--start S] [--family all|crash] \
+                     [--replay-dir DIR] [--replay FILE]"
                 );
                 std::process::exit(0);
             }
@@ -51,19 +57,24 @@ fn parse_args() -> Result<Args, String> {
 
 fn describe(sc: &Scenario) -> String {
     format!(
-        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}",
+        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}",
         sc.scale,
         sc.workers,
         sc.crawl_workers,
         sc.retries,
         sc.total_fault_prob(),
-        if sc.svm { ", +svm" } else { "" }
+        if sc.svm { ", +svm" } else { "" },
+        if sc.kill_fraction > 0.0 {
+            format!(", kill@{:.2}{}", sc.kill_fraction, if sc.torn_tail { " torn" } else { "" })
+        } else {
+            String::new()
+        }
     )
 }
 
-fn run_one(sc: &Scenario, replay_dir: &std::path::Path) -> bool {
+fn run_one(sc: &Scenario, family: Family, replay_dir: &std::path::Path) -> bool {
     let started = Instant::now();
-    match check_scenario(sc) {
+    match check_scenario_family(sc, family) {
         Ok(()) => {
             println!(
                 "seed {:>6}: ok    ({:.1}s; {})",
@@ -77,7 +88,7 @@ fn run_one(sc: &Scenario, replay_dir: &std::path::Path) -> bool {
             eprintln!("seed {:>6}: FAIL  {failure}", sc.seed);
             eprintln!("  shrinking ({})...", describe(sc));
             let (min, min_failure) =
-                shrink::shrink(sc.clone(), failure, |c| check_scenario(c).err());
+                shrink::shrink(sc.clone(), failure, |c| check_scenario_family(c, family).err());
             eprintln!("  minimal: {} -> {min_failure}", describe(&min));
             match replay::write(replay_dir, &replay::Replay::new(min, &min_failure)) {
                 Ok(path) => eprintln!("  replay written: {}", path.display()),
@@ -106,7 +117,7 @@ fn main() {
             }
         };
         println!("replaying {} (originally failed: [{}] {})", file.display(), replay.check, replay.detail);
-        if !run_one(&replay.scenario, &args.replay_dir) {
+        if !run_one(&replay.scenario, args.family, &args.replay_dir) {
             std::process::exit(1);
         }
         return;
@@ -115,7 +126,7 @@ fn main() {
     let started = Instant::now();
     let mut failed = 0u64;
     for seed in args.start..args.start.saturating_add(args.count) {
-        if !run_one(&Scenario::from_seed(seed), &args.replay_dir) {
+        if !run_one(&Scenario::from_seed(seed), args.family, &args.replay_dir) {
             failed += 1;
         }
     }

@@ -9,7 +9,10 @@
 //! must satisfy a library of cross-crate invariants (obs counters
 //! reconciling with crawler/store accounting, platform shadow-visibility
 //! partitions, monotone ECDF curves, confusion-matrix marginals, the
-//! world↔mirror fidelity contract).
+//! world↔mirror fidelity contract). Each scenario also carries a seeded
+//! WAL kill point: the `crash.*` family kills a journaled crawl there
+//! and demands recovery + resume reproduce the uninterrupted run byte
+//! for byte, all the way through the rendered report and CSV exports.
 //!
 //! On failure the [`shrink`] pass reduces the scenario to a minimal
 //! still-failing case and [`replay`] writes it as a self-contained JSON
@@ -28,6 +31,6 @@ pub mod replay;
 pub mod scenario;
 pub mod shrink;
 
-pub use oracle::{check_scenario, Failure};
+pub use oracle::{check_scenario, check_scenario_family, Failure, Family};
 pub use replay::Replay;
 pub use scenario::Scenario;

@@ -21,7 +21,15 @@
 //!    a second sweep against the same live services must persist a
 //!    mirror byte-identical to the first sweep's while resolving a
 //!    nonzero share of its fetches through `304 Not Modified` (the
-//!    conditional-request fast path must be both engaged and invisible).
+//!    conditional-request fast path must be both engaged and invisible);
+//! 6. **crash recovery** (`crash.*`) — a journaled crawl killed at the
+//!    scenario's seeded WAL-op failpoint, recovered, and resumed must
+//!    yield a store byte-identical to an uninterrupted run, replay its
+//!    completed phases from disk without a single re-fetch, revalidate
+//!    the interrupted phase's partial progress via `304`s, and feed the
+//!    downstream study (rendered report + CSV exports) to byte-identical
+//!    output. Recovery itself must be idempotent: opening a killed
+//!    journal twice — torn tail or not — yields the same state.
 
 use crate::scenario::Scenario;
 use crawler::store::ShadowLabel;
@@ -52,6 +60,37 @@ impl fmt::Display for Failure {
     }
 }
 
+/// Which oracle family to run: [`Family::All`] is the default sweep;
+/// [`Family::Crash`] runs only the crash-recovery family (used by the
+/// CI crash job and mutation smoke, where the full differential stack
+/// would drown the signal in runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Every oracle, fail-fast (what [`check_scenario`] runs).
+    All,
+    /// Only the `crash.*` kill-point family.
+    Crash,
+}
+
+impl Family {
+    /// Parse a `--family` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "all" => Ok(Self::All),
+            "crash" => Ok(Self::Crash),
+            other => Err(format!("unknown family {other:?} (expected all|crash)")),
+        }
+    }
+}
+
+/// Run `sc` through one oracle [`Family`].
+pub fn check_scenario_family(sc: &Scenario, family: Family) -> Result<(), Failure> {
+    match family {
+        Family::All => check_scenario(sc),
+        Family::Crash => crash_recovery(sc),
+    }
+}
+
 /// Run `sc` end to end and apply every oracle. `Ok(())` means the
 /// faulted, sharded run was indistinguishable from a clean serial run
 /// and every invariant held.
@@ -75,7 +114,249 @@ pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
     let control = run_study(&sc.config_control());
     differential(sc, &faulted, &control)?;
 
-    incremental_recrawl(sc)
+    incremental_recrawl(sc)?;
+    crash_recovery(sc)
+}
+
+/// Oracle 6: crash recovery. Journals a reference crawl to learn the
+/// WAL-op count, maps the scenario's `kill_fraction` onto a concrete
+/// kill op, kills a second crawl there (torn tail per the scenario),
+/// then demands: the kill actually fired (`crash.kill`), double
+/// recovery is idempotent (`crash.replay`), and a resumed crawl is
+/// indistinguishable from the uninterrupted one — persisted store,
+/// rendered report, and CSV exports all byte-identical, with completed
+/// phases replayed from disk (zero fetches) and the interrupted phase's
+/// journaled partial progress answered by `304`s (`crash.resume`,
+/// `crash.render`, `crash.csv`).
+///
+/// Runs on the control config (clean network, serial): fault × kill
+/// interactions belong to the faulted differential, not here — a kill
+/// must be recoverable even under ideal conditions before fault soup
+/// means anything.
+fn crash_recovery(sc: &Scenario) -> Result<(), Failure> {
+    if sc.kill_fraction <= 0.0 {
+        return Ok(()); // family disabled (shrunk away, or a pre-crash replay)
+    }
+    let cfg = sc.config_control();
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let (world, _truth) = synth::generate(&cfg.world);
+    let world = std::sync::Arc::new(world);
+
+    // Dissenter's per-URL fixed window is served with a short period
+    // here so a resume landing inside the window a killed run already
+    // spent sleeps milliseconds, not the production 60 s (the crawler's
+    // sleep-until-reset handling is what keeps that correct).
+    let mut fronts = webfront::SimFronts::new(world.clone());
+    fronts.dissenter =
+        std::sync::Arc::new(webfront::dissenter::DissenterFront::with_rate_limit(
+            world.clone(),
+            10,
+            2,
+        ));
+    let services = webfront::SimServices::start_with(fronts, crawler::default_server_config())
+        .map_err(|e| fail("crash.serve", e.to_string()))?;
+    let crawler_for = || {
+        let mut crawler = crawler::Crawler::new(crawler::Endpoints {
+            dissenter: services.dissenter.addr(),
+            gab: services.gab.addr(),
+            reddit: services.reddit.addr(),
+            youtube: services.youtube.addr(),
+        });
+        crawler.config = cfg.crawl.clone();
+        crawler.config.enum_gap_tolerance =
+            crawler.config.enum_gap_tolerance.min((world.gab.max_id() / 4).max(512));
+        crawler.enable_revalidation(1 << 16);
+        crawler
+    };
+
+    let base = std::env::temp_dir().join(format!(
+        "simcheck-crash-{}-{:016x}",
+        std::process::id(),
+        sc.seed
+    ));
+    std::fs::remove_dir_all(&base).ok();
+    let result = crash_recovery_in(sc, &base, &crawler_for, &world);
+    std::fs::remove_dir_all(&base).ok();
+    result
+}
+
+/// The body of [`crash_recovery`], separated so the caller can clean up
+/// `base` on every exit path.
+fn crash_recovery_in(
+    sc: &Scenario,
+    base: &Path,
+    crawler_for: &dyn Fn() -> crawler::Crawler,
+    world: &World,
+) -> Result<(), Failure> {
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let io_fail = |e: std::io::Error| Failure::new("crash.io", e.to_string());
+    let durable = crawler::DurableConfig::default();
+
+    // Uninterrupted journaled reference run: the byte-identity target,
+    // and the WAL-op count the kill fraction indexes into.
+    let reference_crawler = crawler_for();
+    let reference = reference_crawler
+        .full_crawl_durable(&base.join("reference"), &durable)
+        .map_err(|e| fail("crash.reference", e.to_string()))?;
+    let total_ops = reference_crawler
+        .metrics
+        .snapshot()
+        .counter("wal.appends")
+        .filter(|&n| n > 1)
+        .ok_or_else(|| {
+            fail("crash.reference", "journaled run recorded no WAL appends".to_owned())
+        })?;
+
+    // Map the unit-interval fraction onto a concrete op in [1, W].
+    let kill_at = 1 + (sc.kill_fraction * (total_ops - 1) as f64) as u64;
+    let killed_dir = base.join("killed");
+    let kill_cfg = crawler::DurableConfig {
+        failpoint: crawler::Failpoint { kill_at_op: Some(kill_at), torn_tail: sc.torn_tail },
+        ..crawler::DurableConfig::default()
+    };
+    match crawler_for().full_crawl_durable(&killed_dir, &kill_cfg) {
+        Ok(_) => {
+            return Err(fail(
+                "crash.kill",
+                format!("failpoint at op {kill_at}/{total_ops} never fired"),
+            ))
+        }
+        Err(e) if !crawler::journal::is_kill_error(&e) => {
+            return Err(fail(
+                "crash.kill",
+                format!("kill at op {kill_at}/{total_ops} surfaced a foreign error: {e}"),
+            ))
+        }
+        Err(_) => {}
+    }
+
+    // Idempotent recovery: opening the killed journal twice must yield
+    // the same completed-prefix and the same store bytes (the first
+    // open truncates any torn tail; the second sees a clean log).
+    let recovered = |tag: &str| -> Result<(usize, Vec<Vec<u8>>), Failure> {
+        let (_, state) =
+            crawler::journal::Journal::recover(&killed_dir, &durable, obs::Registry::new())
+                .map_err(|e| fail("crash.replay", e.to_string()))?;
+        Ok((state.completed, persist_bytes(&state.store, &base.join(tag))?))
+    };
+    let (completed_a, bytes_a) = recovered("recover-a")?;
+    let (completed_b, bytes_b) = recovered("recover-b")?;
+    if completed_a != completed_b || bytes_a != bytes_b {
+        return Err(fail(
+            "crash.replay",
+            format!(
+                "double recovery diverged (completed {completed_a} vs {completed_b}, \
+                 torn_tail={})",
+                sc.torn_tail
+            ),
+        ));
+    }
+
+    // Resume must reconstruct the uninterrupted run byte for byte.
+    let resumer = crawler_for();
+    let (resumed, info) = resumer
+        .resume(&killed_dir, &durable)
+        .map_err(|e| fail("crash.resume", e.to_string()))?;
+    let resumed_bytes = persist_bytes(&resumed, &base.join("persist-resumed"))?;
+    let reference_bytes = persist_bytes(&reference, &base.join("persist-reference"))?;
+    for (name, (a, b)) in
+        crawler::persist::FILES.iter().zip(resumed_bytes.iter().zip(&reference_bytes))
+    {
+        if a != b {
+            return Err(fail(
+                "crash.resume",
+                format!(
+                    "{name}: resumed store bytes diverge from the uninterrupted run \
+                     (killed at op {kill_at}/{total_ops}, torn_tail={})",
+                    sc.torn_tail
+                ),
+            ));
+        }
+    }
+
+    // Completed phases came back from the journal, not the network.
+    let snap = resumer.metrics.snapshot();
+    for phase in &crawler::Phase::ALL[..info.completed] {
+        let attempted = snap.counter(&format!("crawl.{}.attempted", phase.name())).unwrap_or(0);
+        if attempted != 0 {
+            return Err(fail(
+                "crash.resume",
+                format!("completed phase {} re-fetched {attempted} pages", phase.name()),
+            ));
+        }
+    }
+    // The interrupted phase's journaled partial progress is a floor on
+    // the 304s resume must earn back.
+    let not_modified: u64 = ["dissenter", "gab", "reddit", "youtube"]
+        .iter()
+        .map(|s| snap.counter(&format!("http.{s}.not_modified")).unwrap_or(0))
+        .sum();
+    if not_modified < info.uncheckpointed_reval as u64 {
+        return Err(fail(
+            "crash.resume",
+            format!(
+                "resume revalidated {not_modified} fetches but the journal held {} \
+                 uncheckpointed entries",
+                info.uncheckpointed_reval
+            ),
+        ));
+    }
+
+    // Downstream: the study built from the resumed store must render and
+    // export byte-identically to one built from the reference store.
+    let study_of = |store: CrawlStore| {
+        let report =
+            analysis::report::build_report(&store, &world.baselines, sc.workers.max(1));
+        Study {
+            report,
+            svm: None,
+            store,
+            scale_factor: sc.scale,
+            runstats: dissenter_core::runstats::collect(&obs::Registry::new()),
+        }
+    };
+    let from_resumed = study_of(resumed);
+    let from_reference = study_of(reference);
+    let ra = render::deterministic(&from_resumed);
+    let rb = render::deterministic(&from_reference);
+    if ra != rb {
+        return Err(fail(
+            "crash.render",
+            format!(
+                "report from the resumed store diverges: {}",
+                first_diff_line(&ra, &rb)
+            ),
+        ));
+    }
+    let (csv_a, csv_b) = (base.join("csv-resumed"), base.join("csv-reference"));
+    let files_a = analysis::export::export_csv(&from_resumed.report, &csv_a).map_err(io_fail)?;
+    let files_b =
+        analysis::export::export_csv(&from_reference.report, &csv_b).map_err(io_fail)?;
+    if files_a != files_b {
+        return Err(fail(
+            "crash.csv",
+            format!("export file sets differ: {files_a:?} vs {files_b:?}"),
+        ));
+    }
+    for name in &files_a {
+        let a = std::fs::read(csv_a.join(name)).map_err(io_fail)?;
+        let b = std::fs::read(csv_b.join(name)).map_err(io_fail)?;
+        if a != b {
+            return Err(fail("crash.csv", format!("{name} bytes differ")));
+        }
+    }
+    Ok(())
+}
+
+/// Persist `store` under `dir` and read the canonical files back, in
+/// [`crawler::persist::FILES`] order.
+fn persist_bytes(store: &CrawlStore, dir: &Path) -> Result<Vec<Vec<u8>>, Failure> {
+    let io_fail = |e: std::io::Error| Failure::new("crash.io", e.to_string());
+    crawler::persist::save(store, dir).map_err(io_fail)?;
+    crawler::persist::FILES
+        .iter()
+        .map(|f| std::fs::read(dir.join(f)).map_err(io_fail))
+        .collect()
 }
 
 /// Oracle 5: incremental re-crawl. Runs two full sweeps over one set of
@@ -482,6 +763,8 @@ mod tests {
             fault_seed: 0,
             svm: false,
             svm_corpus: 300,
+            kill_fraction: 0.0,
+            torn_tail: false,
         }
     }
 
@@ -508,6 +791,16 @@ mod tests {
         };
         if let Err(f) = check_scenario(&sc) {
             panic!("faulted scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn crash_family_survives_a_torn_midpoint_kill() {
+        // Family::Crash alone (the CI crash job's path): kill 40% into
+        // the WAL with a torn tail, on the cheapest world.
+        let sc = Scenario { kill_fraction: 0.4, torn_tail: true, ..minimal() };
+        if let Err(f) = check_scenario_family(&sc, Family::Crash) {
+            panic!("crash scenario failed: {f}");
         }
     }
 

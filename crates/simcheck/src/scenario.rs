@@ -65,6 +65,15 @@ pub struct Scenario {
     pub svm: bool,
     /// Labeled-corpus size when `svm` is set.
     pub svm_corpus: usize,
+    /// Where along the journaled-op axis the crash oracle kills the
+    /// durable crawl, as a fraction in `(0, 1]` of the uninterrupted
+    /// run's WAL appends. `0.0` disables the `crash.*` family (the
+    /// shrinker's off switch, and the default for replays written
+    /// before the family existed).
+    pub kill_fraction: f64,
+    /// Kill with a torn (half-written) final WAL record instead of a
+    /// clean cut, exercising tail truncation on recovery.
+    pub torn_tail: bool,
 }
 
 /// SplitMix64 step — the scenario sampler's only randomness source.
@@ -108,6 +117,10 @@ impl Scenario {
             }
         }
         let fault_seed = splitmix(&mut st);
+        // Drawn after every pre-existing knob so adding the crash family
+        // left all earlier per-seed draws (and committed replays) intact.
+        let kill_fraction = 1.0 - unit(&mut st); // (0, 1]: every seed crashes somewhere
+        let torn_tail = splitmix(&mut st).is_multiple_of(2);
 
         Self {
             seed,
@@ -127,6 +140,8 @@ impl Scenario {
             fault_seed,
             svm: seed.is_multiple_of(4),
             svm_corpus: 300,
+            kill_fraction,
+            torn_tail,
         }
     }
 
@@ -220,6 +235,12 @@ impl Scenario {
             )
             .with("svm", self.svm)
             .with("svm_corpus", self.svm_corpus)
+            .with(
+                "crash",
+                Value::object()
+                    .with("kill_fraction", self.kill_fraction)
+                    .with("torn_tail", self.torn_tail),
+            )
     }
 
     /// Deserialize from JSON written by [`Scenario::to_json`].
@@ -260,6 +281,18 @@ impl Scenario {
             fault_seed: hex("seed", faults)?,
             svm: v.get("svm").and_then(Value::as_bool).ok_or("scenario: missing \"svm\"")?,
             svm_corpus: int("svm_corpus", v)?,
+            // Absent in replays written before the crash family existed:
+            // default to "no kill" so their meaning is unchanged.
+            kill_fraction: v
+                .get("crash")
+                .and_then(|c| c.get("kill_fraction"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            torn_tail: v
+                .get("crash")
+                .and_then(|c| c.get("torn_tail"))
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
         })
     }
 }

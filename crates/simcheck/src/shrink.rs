@@ -3,10 +3,11 @@
 //!
 //! The shrinker is a single greedy pass over a fixed candidate
 //! sequence — halve the world (twice), drop the SVM stage, zero each
-//! fault-matrix entry, serialize the workers. Each candidate re-runs the
-//! oracle and is kept only if the failure (any failure) persists, so the
-//! pass is bounded at ~13 pipeline runs and the result is deterministic
-//! for a deterministic check function.
+//! fault-matrix entry, serialize the workers, disarm the crash-family
+//! kill point. Each candidate re-runs the oracle and is kept only if
+//! the failure (any failure) persists, so the pass is bounded at ~15
+//! pipeline runs and the result is deterministic for a deterministic
+//! check function.
 
 use crate::oracle::Failure;
 use crate::scenario::{Scenario, MIN_SCALE};
@@ -34,6 +35,10 @@ where
         Box::new(|s| Scenario { unavailable_prob: 0.0, ..s.clone() }),
         Box::new(|s| Scenario { workers: 1, ..s.clone() }),
         Box::new(|s| Scenario { crawl_workers: 1, ..s.clone() }),
+        // Drop the torn tail first (a gentler kill), then the whole
+        // kill point — `kill_fraction: 0.0` disables the crash family.
+        Box::new(|s| Scenario { torn_tail: false, ..s.clone() }),
+        Box::new(|s| Scenario { kill_fraction: 0.0, ..s.clone() }),
     ];
 
     let mut best = sc;
@@ -72,6 +77,8 @@ mod tests {
         assert_eq!(min.workers, 1);
         assert_eq!(min.crawl_workers, 1);
         assert_eq!(min.total_fault_prob(), 0.0);
+        assert_eq!(min.kill_fraction, 0.0, "the kill point shrinks away too");
+        assert!(!min.torn_tail);
         assert_eq!(f.check, "test");
     }
 
@@ -85,6 +92,16 @@ mod tests {
         assert!(min.drop_prob > 0.0, "the load-bearing fault survives shrinking");
         assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
         assert_eq!(min.error_prob, 0.0);
+    }
+
+    #[test]
+    fn keeps_the_kill_point_a_crash_failure_depends_on() {
+        let mut sc = Scenario::from_seed(9); // kill_fraction > 0 by construction
+        sc.torn_tail = true;
+        let first = Failure { check: "crash.resume".into(), detail: String::new() };
+        let (min, _) = shrink(sc, first, fails_when(|s| s.kill_fraction > 0.0));
+        assert!(min.kill_fraction > 0.0, "the load-bearing kill point survives");
+        assert!(!min.torn_tail, "the irrelevant torn tail still shrinks");
     }
 
     #[test]
@@ -105,6 +122,8 @@ mod tests {
                 malformed_prob: 0.0,
                 rate_limit_prob: 0.0,
                 unavailable_prob: 0.0,
+                kill_fraction: 0.0,
+                torn_tail: false,
                 ..Scenario::from_seed(0)
             }
         };

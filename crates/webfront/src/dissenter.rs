@@ -40,8 +40,23 @@ impl DissenterFront {
     /// cache (callers wanting `cache.*` metrics construct one with
     /// [`FrontCache::with_registry`]).
     pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
+        Self::build(world, cache, RateLimiter::dissenter_per_url())
+    }
+
+    /// Build with an explicit per-URL rate limiter in place of the
+    /// advertised 10-req/min default. Tests and fast sweeps use a short
+    /// window so runs that revisit the same comment pages (e.g. a
+    /// crash-recovery resume right after a killed crawl) wait out
+    /// seconds rather than the better part of a minute.
+    pub fn with_rate_limit(world: Arc<World>, limit: u32, window_secs: u64) -> Self {
+        let stamp = world.content_hash();
+        Self::build(world, FrontCache::new(stamp), RateLimiter::new(limit, window_secs))
+    }
+
+    fn build(world: Arc<World>, cache: FrontCache, limiter: RateLimiter) -> Self {
         let mut router = Router::new();
-        let limiter = Arc::new(Mutex::new(RateLimiter::dissenter_per_url()));
+        let limit_header = limiter.limit().to_string();
+        let limiter = Arc::new(Mutex::new(limiter));
         let votes: VoteOverlay = Arc::new(Mutex::new(HashMap::new()));
 
         {
@@ -56,12 +71,13 @@ impl DissenterFront {
             let cache = cache.clone();
             let limiter = limiter.clone();
             let votes = votes.clone();
+            let limit_header = limit_header.clone();
             router.route("GET", "/url/:cuid", move |req, p| {
                 let decision = limiter.lock().check(req.path(), now_secs());
                 match decision {
                     platform::ratelimit::RateDecision::Deny { reset_at } => {
                         let mut r = Response::status(Status::TOO_MANY);
-                        r.headers.add("X-RateLimit-Limit", "10");
+                        r.headers.add("X-RateLimit-Limit", &limit_header);
                         r.headers.add("X-RateLimit-Reset", &reset_at.to_string());
                         r
                     }
@@ -71,7 +87,7 @@ impl DissenterFront {
                             &visibility_class(&world, req),
                             || comment_page(&world, &votes, req, p),
                         );
-                        r.headers.add("X-RateLimit-Limit", "10");
+                        r.headers.add("X-RateLimit-Limit", &limit_header);
                         r.headers.add("X-RateLimit-Remaining", &remaining.to_string());
                         r.headers.add("X-RateLimit-Reset", &reset_at.to_string());
                         r

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Durable-crawl recovery bench: crawl the simulated services plain
+# (+ one final persist::save) and journaled through the segmented WAL,
+# then kill the journaled crawl two WAL ops short of completion and
+# resume it. Emits the comparison as BENCH_PR6.json in the repo root.
+# The recovery binary self-validates — it exits nonzero unless
+# journaling stays within 25% of the plain wall-clock, the journaled
+# and resumed stores are byte-identical to the plain run's, resume
+# re-fetched nothing from completed phases, and the interrupted phase's
+# partial progress was answered with 304s.
+#
+# Usage: scripts/bench_pr6.sh [extra recovery args, e.g. --scale 0.002]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin recovery -- --out BENCH_PR6.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR6.json") as f:
+    report = json.load(f)
+for key in ("scale", "seed", "wal_off", "wal_on", "overhead_ratio",
+            "journal_invisible", "recovery"):
+    assert key in report, f"BENCH_PR6.json missing {key!r}"
+assert "wall_ms" in report["wal_off"], "BENCH_PR6.json missing wal_off.wall_ms"
+for key in ("wall_ms", "appends", "fsyncs", "rotations",
+            "snapshots_written", "snapshot_bytes"):
+    assert key in report["wal_on"], f"BENCH_PR6.json missing wal_on.{key}"
+rec = report["recovery"]
+for key in ("kill_at_op", "total_ops", "completed_phases",
+            "uncheckpointed_reval", "torn_tail_recovered", "resume_ms",
+            "replayed_records", "not_modified",
+            "refetched_completed_phase_pages", "store_identical"):
+    assert key in rec, f"BENCH_PR6.json missing recovery.{key}"
+assert report["overhead_ratio"] <= 1.25, \
+    f"journaling overhead {report['overhead_ratio']:.3f}x exceeds 1.25x"
+assert report["journal_invisible"] is True, "journaled store diverged"
+assert rec["store_identical"] is True, "resumed store diverged"
+assert rec["refetched_completed_phase_pages"] == 0, \
+    "resume re-fetched completed-phase pages"
+assert rec["not_modified"] > 0, "resume never revalidated via 304"
+assert rec["replayed_records"] > 0, "resume replayed nothing"
+print("BENCH_PR6.json OK:",
+      f"{report['overhead_ratio']:.3f}x journaling overhead,",
+      f"killed at op {rec['kill_at_op']}/{rec['total_ops']},",
+      f"resumed in {rec['resume_ms']} ms",
+      f"({rec['replayed_records']} records replayed,",
+      f"{rec['not_modified']} revalidations)")
+EOF

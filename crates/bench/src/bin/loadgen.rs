@@ -4,7 +4,7 @@
 //! (produced in CI by `scripts/bench_pr5.sh`).
 //!
 //! ```text
-//! loadgen [--out FILE] [--threads N] [--requests N] [--targets N] [--scale <f64>] [--seed N]
+//! loadgen [--out FILE] [--threads N] [--requests N] [--warmup N] [--targets N] [--scale <f64>] [--seed N]
 //! ```
 //!
 //! Self-validating: the run aborts unless (a) cached throughput strictly
@@ -23,7 +23,7 @@ use webfront::dissenter::DissenterFront;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--out FILE] [--threads N] [--requests N] [--targets N] \
+        "usage: loadgen [--out FILE] [--threads N] [--requests N] [--warmup N] [--targets N] \
          [--scale <f64>] [--seed N]"
     );
     std::process::exit(2);
@@ -76,6 +76,11 @@ fn shadow_isolation_holds(world: &Arc<platform::World>) -> bool {
 fn main() {
     let mut out_path = std::path::PathBuf::from("BENCH_PR5.json");
     let mut load = LoadConfig::default();
+    // Warm both regimes by default so the measured window starts at steady
+    // state (connection pool filled, caches primed for the cached pass):
+    // without this, cold-start outliers land in the cached p99 and can
+    // make it read *worse* than uncached.
+    load.warmup_per_thread = 50;
     let mut target_count = 24usize;
     let mut scale = 0.002f64;
     let mut seed = 0x5EED_BE7Au64;
@@ -88,6 +93,7 @@ fn main() {
             "--out" => out_path = next_arg(&mut args).into(),
             "--threads" => load.threads = next_arg(&mut args).parse_ok("--threads"),
             "--requests" => load.requests_per_thread = next_arg(&mut args).parse_ok("--requests"),
+            "--warmup" => load.warmup_per_thread = next_arg(&mut args).parse_ok("--warmup"),
             "--targets" => target_count = next_arg(&mut args).parse_ok("--targets"),
             "--scale" => scale = next_arg(&mut args).parse_ok("--scale"),
             "--seed" => seed = next_arg(&mut args).parse_ok("--seed"),
@@ -130,6 +136,7 @@ fn main() {
     let report = jsonlite::Value::object()
         .with("threads", load.threads)
         .with("requests_per_thread", load.requests_per_thread)
+        .with("warmup_per_thread", load.warmup_per_thread)
         .with("targets", targets.len())
         .with("scale", scale)
         .with("uncached", summary(&uncached))

@@ -1,0 +1,414 @@
+//! Transport bench for the event-driven httpnet server + pooled client
+//! (the `BENCH_PR7.json` artifact, produced in CI by
+//! `scripts/bench_pr7.sh`). Three phases:
+//!
+//! 1. **loadgen** — the BENCH_PR5 closed-loop comparison re-run with a
+//!    warmup window, so both regimes are measured at steady state
+//!    (pool filled, caches primed). Gates: zero failures, cached beats
+//!    uncached on throughput *and* p99 (the warmup fixes the cold-fill
+//!    skew that made PR5's cached p99 read worse than uncached).
+//! 2. **transport** — HTTP/1.1 pipelined load against a trivial echo
+//!    handler, measuring the reactor transport itself with render cost
+//!    out of the picture. Gate: ≥ 5× the PR5 uncached baseline
+//!    (12,506 req/s → 62,530 req/s).
+//! 3. **soak** — 10,000 concurrent keep-alive connections. The binary
+//!    re-execs itself as `--soak-client` so the client's 10k fds live
+//!    in a separate process; the parent (server side) gates its own
+//!    peak RSS from `/proc/self/status` against a ceiling. Needs
+//!    `ulimit -n` comfortably above the connection count in both
+//!    processes (CI uses 20000).
+//!
+//! ```text
+//! transport [--out FILE] [--conns N] [--rounds N] [--rss-ceiling-mb N]
+//!           [--threads N] [--batch N] [--batches N] [--scale <f64>] [--seed N]
+//! transport --soak-client --addr HOST:PORT --conns N --rounds N   (internal)
+//! ```
+
+use bench::loadgen::{run, run_pipelined, LoadConfig, Mode, PipelineConfig};
+use httpnet::{Handler, Request, Response, Server, ServerConfig};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use synth::config::Scale;
+use synth::WorldConfig;
+
+/// PR5's recorded uncached throughput on the blocking thread-per-request
+/// transport; the pipelined transport phase must clear 5× this.
+const BASELINE_UNCACHED_REQ_PER_SEC: f64 = 12_506.0;
+const TRANSPORT_SPEEDUP_GATE: f64 = 5.0;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: transport [--out FILE] [--conns N] [--rounds N] [--rss-ceiling-mb N] \
+         [--threads N] [--batch N] [--batches N] [--scale <f64>] [--seed N]\n\
+         \x20      transport --soak-client --addr HOST:PORT --conns N --rounds N"
+    );
+    std::process::exit(2);
+}
+
+/// Read a `kB` field (`VmRSS`, `VmHWM`, ...) from `/proc/self/status`.
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            if let Some(kb) = rest.split_whitespace().next() {
+                return kb.parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+fn rss_mb() -> f64 {
+    proc_status_kb("VmRSS") as f64 / 1024.0
+}
+
+/// Client half of the soak, run in a child process so its `conns` fds
+/// don't share the parent's fd table. Opens every connection, then per
+/// round writes one request on each connection before reading any
+/// response back — so all `conns` connections are simultaneously
+/// mid-request on the server — with an idle keep-alive hold between
+/// rounds. Exits nonzero on any failure.
+fn soak_client(addr: SocketAddr, conns: usize, rounds: usize) -> ! {
+    let request = b"GET /soak HTTP/1.1\r\nHost: sim.local\r\n\r\n";
+    // Connect from several threads: one-at-a-time, 10k connects against
+    // a busy accept loop can take long enough for the earliest-accepted
+    // connections to idle into the server's read deadline.
+    let connectors = 8usize;
+    let streams_mx: std::sync::Mutex<Vec<BufReader<TcpStream>>> =
+        std::sync::Mutex::new(Vec::with_capacity(conns));
+    std::thread::scope(|scope| {
+        for part in 0..connectors {
+            let streams_mx = &streams_mx;
+            let share = conns / connectors + usize::from(part < conns % connectors);
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(share);
+                for i in 0..share {
+                    let stream = TcpStream::connect(addr)
+                        .and_then(|s| {
+                            s.set_nodelay(true)?;
+                            s.set_read_timeout(Some(Duration::from_secs(60)))?;
+                            Ok(s)
+                        })
+                        .unwrap_or_else(|e| {
+                            eprintln!(
+                                "soak-client: connect {i} of {share} (part {part}) failed: {e} \
+                                 (is `ulimit -n` above the connection count?)"
+                            );
+                            std::process::exit(1);
+                        });
+                    // Small buffers: 10k default 8 KiB BufReaders would be
+                    // 80 MiB of client-side ballast for ~100-byte responses.
+                    local.push(BufReader::with_capacity(512, stream));
+                }
+                streams_mx.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+    let mut streams = streams_mx.into_inner().unwrap_or_else(|e| e.into_inner());
+    eprintln!("soak-client: {} connections established", streams.len());
+
+    let mut served = 0u64;
+    for round in 0..rounds {
+        for conn in &mut streams {
+            if let Err(e) = conn.get_mut().write_all(request) {
+                eprintln!("soak-client: write failed in round {round}: {e}");
+                std::process::exit(1);
+            }
+        }
+        for conn in &mut streams {
+            match httpnet::http::read_response(conn) {
+                Ok(resp) if resp.status.is_success() => served += 1,
+                other => {
+                    eprintln!("soak-client: bad response in round {round}: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if round + 1 < rounds {
+            // Idle hold: every connection stays open and silent, so the
+            // server must carry all of them without timing them out.
+            std::thread::sleep(Duration::from_secs(2));
+        }
+    }
+    eprintln!("soak-client: ok, {served} responses over {rounds} rounds");
+    std::process::exit(0);
+}
+
+struct SoakOutcome {
+    requests: u64,
+    rss_before_mb: f64,
+    rss_after_mb: f64,
+    rss_peak_mb: f64,
+}
+
+/// Server half of the soak: start an echo server sized for `conns`
+/// concurrent connections, run the client as a subprocess, and sample
+/// this process's RSS around the run.
+fn run_soak(conns: usize, rounds: usize) -> Result<SoakOutcome, String> {
+    let handler: Arc<dyn Handler> = Arc::new(|_req: &Request| Response::html("ok".to_string()));
+    let mut server = Server::start(
+        handler,
+        ServerConfig {
+            workers: 4,
+            queue: 1024,
+            // Effectively no read deadline: early connections sit idle
+            // while the client is still opening the rest, and again
+            // during the inter-round hold — this phase soaks memory,
+            // not timeout policy.
+            read_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("soak server failed to start: {e}"))?;
+
+    let rss_before_mb = rss_mb();
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let status = std::process::Command::new(exe)
+        .arg("--soak-client")
+        .arg("--addr")
+        .arg(server.addr().to_string())
+        .arg("--conns")
+        .arg(conns.to_string())
+        .arg("--rounds")
+        .arg(rounds.to_string())
+        .status()
+        .map_err(|e| format!("failed to spawn soak client: {e}"))?;
+    if !status.success() {
+        return Err(format!("soak client exited with {status}"));
+    }
+    // Let the reactors observe the client's EOFs and release buffers
+    // before the post-run sample.
+    std::thread::sleep(Duration::from_millis(500));
+    let rss_after_mb = rss_mb();
+    let rss_peak_mb = proc_status_kb("VmHWM") as f64 / 1024.0;
+
+    let served = server.requests_served();
+    let expected = (conns * rounds) as u64;
+    server.shutdown();
+    if served != expected {
+        return Err(format!("soak served {served} requests, expected {expected}"));
+    }
+    Ok(SoakOutcome { requests: served, rss_before_mb, rss_after_mb, rss_peak_mb })
+}
+
+fn summary_json(s: &bench::loadgen::LoadSummary) -> jsonlite::Value {
+    jsonlite::Value::object()
+        .with("requests", s.requests)
+        .with("failures", s.failures)
+        .with("wall_ms", s.wall_ms)
+        .with("req_per_sec", s.req_per_sec)
+        .with("p50_us", s.p50_us)
+        .with("p99_us", s.p99_us)
+        .with("not_modified", s.not_modified)
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR7.json");
+    let mut conns = 10_000usize;
+    let mut rounds = 2usize;
+    let mut rss_ceiling_mb = 512.0f64;
+    let mut scale = 0.002f64;
+    let mut seed = 0x5EED_BE7Au64;
+    let mut pipe = PipelineConfig::default();
+    let mut soak_client_mode = false;
+    let mut addr: Option<SocketAddr> = None;
+
+    let mut args = std::env::args().skip(1);
+    fn next_arg(args: &mut impl Iterator<Item = String>) -> String {
+        args.next().unwrap_or_else(|| usage())
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = next_arg(&mut args).into(),
+            "--conns" => conns = next_arg(&mut args).parse_ok("--conns"),
+            "--rounds" => rounds = next_arg(&mut args).parse_ok("--rounds"),
+            "--rss-ceiling-mb" => {
+                rss_ceiling_mb = next_arg(&mut args).parse_ok("--rss-ceiling-mb")
+            }
+            "--threads" => pipe.threads = next_arg(&mut args).parse_ok("--threads"),
+            "--batch" => pipe.batch = next_arg(&mut args).parse_ok("--batch"),
+            "--batches" => pipe.batches_per_thread = next_arg(&mut args).parse_ok("--batches"),
+            "--scale" => scale = next_arg(&mut args).parse_ok("--scale"),
+            "--seed" => seed = next_arg(&mut args).parse_ok("--seed"),
+            "--soak-client" => soak_client_mode = true,
+            "--addr" => addr = Some(next_arg(&mut args).parse_ok("--addr")),
+            _ => usage(),
+        }
+    }
+    if soak_client_mode {
+        let addr = addr.unwrap_or_else(|| usage());
+        soak_client(addr, conns, rounds);
+    }
+
+    // ---- Phase 1: warmed loadgen on the real dissenter front ----------
+    let cfg = WorldConfig { seed, scale: Scale::Custom(scale), ..WorldConfig::small() };
+    let (world, _) = synth::generate(&cfg);
+    let world = Arc::new(world);
+    let services = webfront::SimServices::start(world.clone(), crawler::default_server_config())
+        .expect("failed to start simulated services");
+    let mut names: Vec<String> =
+        world.dissenter_users().map(|i| world.user(i).username.clone()).collect();
+    names.sort_unstable();
+    let targets: Vec<String> = names.iter().take(24).map(|n| format!("/user/{n}")).collect();
+    assert!(!targets.is_empty(), "world has no dissenter users; grow --scale");
+
+    // Same shape as the PR5 loadgen run (4×250), so the two artifacts
+    // compare like for like; only the warmup is new.
+    let load = LoadConfig { warmup_per_thread: 50, ..LoadConfig::default() };
+    let front = services.dissenter.addr();
+    let uncached = run(front, &targets, &load, Mode::Uncached);
+    let cached = run(front, &targets, &load, Mode::Cached);
+    let pool_stats = load.pool.stats();
+    println!(
+        "transport: loadgen uncached {:.0} req/s (p99 {} us) vs cached {:.0} req/s (p99 {} us)",
+        uncached.req_per_sec, uncached.p99_us, cached.req_per_sec, cached.p99_us
+    );
+
+    // ---- Phase 2: pipelined transport against an echo handler ---------
+    let echo: Arc<dyn Handler> = Arc::new(|_req: &Request| Response::html("ok".to_string()));
+    let mut echo_server = Server::start(
+        echo,
+        ServerConfig {
+            // Each pipelined worker sends its whole run down one
+            // connection; don't let the keep-alive cap cut it short.
+            max_requests_per_conn: usize::MAX,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("echo server");
+    let transport = run_pipelined(echo_server.addr(), "/t", &pipe);
+    echo_server.shutdown();
+    let transport_speedup = transport.req_per_sec / BASELINE_UNCACHED_REQ_PER_SEC;
+    println!(
+        "transport: pipelined {:.0} req/s ({:.1}x the {:.0} req/s blocking-transport baseline)",
+        transport.req_per_sec, transport_speedup, BASELINE_UNCACHED_REQ_PER_SEC
+    );
+
+    // ---- Phase 3: 10k-connection soak ---------------------------------
+    let soak = run_soak(conns, rounds);
+    match &soak {
+        Ok(s) => println!(
+            "transport: soak {} conns x {} rounds ok, rss {:.1} -> {:.1} MB (peak {:.1} MB)",
+            conns, rounds, s.rss_before_mb, s.rss_after_mb, s.rss_peak_mb
+        ),
+        Err(e) => eprintln!("transport: soak failed: {e}"),
+    }
+
+    let report = jsonlite::Value::object()
+        .with("baseline_uncached_req_per_sec", BASELINE_UNCACHED_REQ_PER_SEC)
+        .with(
+            "loadgen",
+            jsonlite::Value::object()
+                .with("threads", load.threads)
+                .with("requests_per_thread", load.requests_per_thread)
+                .with("warmup_per_thread", load.warmup_per_thread)
+                .with("targets", targets.len())
+                .with("scale", scale)
+                .with("uncached", summary_json(&uncached))
+                .with("cached", summary_json(&cached))
+                .with("speedup", cached.req_per_sec / uncached.req_per_sec.max(1e-9)),
+        )
+        .with(
+            "pool",
+            jsonlite::Value::object()
+                .with("open", pool_stats.open)
+                .with("reuse", pool_stats.reuse)
+                .with("evicted", pool_stats.evicted)
+                .with("idle", pool_stats.idle),
+        )
+        .with(
+            "transport",
+            jsonlite::Value::object()
+                .with("threads", pipe.threads)
+                .with("batch", pipe.batch)
+                .with("batches_per_thread", pipe.batches_per_thread)
+                .with("summary", summary_json(&transport))
+                .with("speedup_vs_baseline", transport_speedup),
+        )
+        .with(
+            "soak",
+            match &soak {
+                Ok(s) => jsonlite::Value::object()
+                    .with("ok", true)
+                    .with("conns", conns)
+                    .with("rounds", rounds)
+                    .with("requests", s.requests)
+                    .with("rss_before_mb", s.rss_before_mb)
+                    .with("rss_after_mb", s.rss_after_mb)
+                    .with("rss_peak_mb", s.rss_peak_mb)
+                    .with("rss_ceiling_mb", rss_ceiling_mb),
+                Err(e) => jsonlite::Value::object().with("ok", false).with("error", e.as_str()),
+            },
+        );
+    std::fs::write(&out_path, jsonlite::to_string_pretty(&report))
+        .expect("failed to write bench artifact");
+    println!("transport: wrote {}", out_path.display());
+
+    // ---- Self-validation ----------------------------------------------
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("transport: FAIL — {msg}");
+        ok = false;
+    };
+    if uncached.failures + cached.failures > 0 {
+        fail(format!("{} loadgen requests failed", uncached.failures + cached.failures));
+    }
+    if cached.req_per_sec <= uncached.req_per_sec {
+        fail(format!(
+            "cached {:.0} req/s did not beat uncached {:.0} req/s",
+            cached.req_per_sec, uncached.req_per_sec
+        ));
+    }
+    // PR5's cold-fill skew put the cached p99 far above uncached; the
+    // warmed gate allows 10% scheduler jitter on the tail but no more.
+    if cached.p99_us as f64 > uncached.p99_us as f64 * 1.10 {
+        fail(format!(
+            "cached p99 {} us exceeds uncached p99 {} us despite warmup",
+            cached.p99_us, uncached.p99_us
+        ));
+    }
+    if pool_stats.reuse == 0 {
+        fail("connection pool recorded zero reuse under keep-alive load".to_string());
+    }
+    if transport.failures > 0 {
+        fail(format!("{} pipelined requests failed", transport.failures));
+    }
+    if transport_speedup < TRANSPORT_SPEEDUP_GATE {
+        fail(format!(
+            "pipelined transport {:.0} req/s is only {:.1}x baseline (need {:.0}x)",
+            transport.req_per_sec, transport_speedup, TRANSPORT_SPEEDUP_GATE
+        ));
+    }
+    match &soak {
+        Ok(s) => {
+            if s.rss_peak_mb > rss_ceiling_mb {
+                fail(format!(
+                    "soak peak RSS {:.1} MB exceeds {:.1} MB ceiling",
+                    s.rss_peak_mb, rss_ceiling_mb
+                ));
+            }
+        }
+        Err(e) => fail(format!("soak: {e}")),
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Tiny arg-parsing helper: parse or die with the flag name.
+trait ParseOk {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T;
+}
+
+impl ParseOk for String {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T {
+        self.parse().unwrap_or_else(|_| {
+            eprintln!("transport: invalid value {self:?} for {name}");
+            std::process::exit(2);
+        })
+    }
+}

@@ -6,6 +6,7 @@
 //! rate-limit sleeps, §3.4).
 
 use crate::cache::RevalidationCache;
+use crate::cpool::ConnPool;
 use crate::http::{read_response, write_request, Request, Response, Status, WireError};
 use crate::retry::{classify_status, parse_retry_after, RetryPolicy, StatusClass};
 use std::fmt;
@@ -135,6 +136,7 @@ pub struct ClientBuilder {
     inst: Option<Instrument>,
     reval: Option<RevalidationCache>,
     policy: RetryPolicy,
+    pool: Option<ConnPool>,
 }
 
 impl ClientBuilder {
@@ -180,13 +182,20 @@ impl ClientBuilder {
         self
     }
 
+    /// Share a keep-alive [`ConnPool`] with other clients. Without this
+    /// the client gets a private pool with default knobs.
+    pub fn pool(mut self, pool: ConnPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Finish construction.
     pub fn build(self) -> Client {
         Client {
             addr: self.addr,
             timeout: self.timeout,
             keep_alive: self.keep_alive,
-            conn: None,
+            pool: self.pool.unwrap_or_default(),
             cookies: self.cookies,
             inst: self.inst,
             reval: self.reval,
@@ -200,7 +209,7 @@ pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
     keep_alive: bool,
-    conn: Option<BufReader<TcpStream>>,
+    pool: ConnPool,
     /// Cookies sent with every request as `name=value` pairs.
     cookies: Vec<(String, String)>,
     inst: Option<Instrument>,
@@ -227,7 +236,13 @@ impl Client {
             inst: None,
             reval: None,
             policy: RetryPolicy::default(),
+            pool: None,
         }
+    }
+
+    /// The keep-alive connection pool backing [`Client::get_keep_alive`].
+    pub fn pool(&self) -> &ConnPool {
+        &self.pool
     }
 
     /// Report request metrics into `registry` under the endpoint class
@@ -249,9 +264,6 @@ impl Client {
     /// Enable or disable connection reuse.
     pub fn keep_alive(&mut self, on: bool) -> &mut Self {
         self.keep_alive = on;
-        if !on {
-            self.conn = None;
-        }
         self
     }
 
@@ -395,18 +407,23 @@ impl Client {
         result
     }
 
-    /// Send on the pooled connection, transparently reconnecting once if
-    /// it went stale.
+    /// Send over the pool: check out a (possibly reused) connection,
+    /// transparently retrying once on a fresh one if the exchange fails —
+    /// a reused socket may have been closed server-side at any point.
+    /// Only a successful exchange returns the connection to the pool.
     fn send_pooled(&mut self, req: &Request) -> Result<Response, ClientError> {
-        if self.conn.is_none() {
-            self.conn = Some(BufReader::new(self.connect()?));
-        }
-        match self.send_on_conn(req) {
+        let (conn, _reused) =
+            self.pool.acquire(self.addr, self.timeout).map_err(ClientError::Connect)?;
+        match self.send_on_conn(conn, req) {
             Ok(r) => Ok(r),
             Err(_) => {
-                // Stale pooled connection: retry once on a fresh one.
-                self.conn = Some(BufReader::new(self.connect()?));
-                self.send_on_conn(req)
+                // Stale pooled connection (or transient failure): one
+                // retry on a fresh connection, still ONE logical request.
+                let fresh = self
+                    .pool
+                    .connect_fresh(self.addr, self.timeout)
+                    .map_err(ClientError::Connect)?;
+                self.send_on_conn(fresh, req)
             }
         }
     }
@@ -544,18 +561,27 @@ impl Client {
         read_response(&mut reader).map_err(ClientError::Wire)
     }
 
-    fn send_on_conn(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let reader = self.conn.as_mut().expect("connection present");
+    /// One request/response exchange on `conn`. On success the connection
+    /// is checked back into the pool; on failure it is dropped (its wire
+    /// state is unknown).
+    fn send_on_conn(
+        &self,
+        mut conn: BufReader<TcpStream>,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        conn.get_ref()
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
         {
-            let stream = reader.get_mut();
+            let stream = conn.get_mut();
             write_request(req, stream).map_err(|e| ClientError::Wire(WireError::Io(e)))?;
         }
-        match read_response(reader) {
-            Ok(r) => Ok(r),
-            Err(e) => {
-                self.conn = None;
-                Err(ClientError::Wire(e))
+        match read_response(&mut conn) {
+            Ok(r) => {
+                self.pool.release(self.addr, conn);
+                Ok(r)
             }
+            Err(e) => Err(ClientError::Wire(e)),
         }
     }
 }
@@ -868,6 +894,80 @@ mod tests {
         assert_eq!(again.status, Status::OK);
         assert!(again.text().contains("/a"), "full body delivered after eviction");
         assert_eq!(renders.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn pooled_keep_alive_reconciles_with_server_requests_served() {
+        // Lifecycle satellite: every logical request rides exactly one
+        // pooled checkout, so open + reuse == server.requests_served.
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("pong".into()));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let mut client = Client::builder(server.addr()).keep_alive(true).build();
+        for _ in 0..10 {
+            assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
+        }
+        let stats = client.pool().stats();
+        assert_eq!(stats.open, 1, "one connect for the whole run");
+        assert_eq!(stats.reuse, 9);
+        assert_eq!(stats.open + stats.reuse, server.requests_served());
+    }
+
+    #[test]
+    fn shared_pool_reuses_across_client_instances() {
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("pong".into()));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let pool = crate::cpool::ConnPool::new(crate::cpool::PoolConfig::default());
+        for _ in 0..3 {
+            // A fresh Client per sweep, as the crawler builds them.
+            let mut client =
+                Client::builder(server.addr()).keep_alive(true).pool(pool.clone()).build();
+            assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.open, 1, "later clients reuse the first client's connection");
+        assert_eq!(stats.reuse, 2);
+    }
+
+    #[test]
+    fn pool_idle_timeout_evicts_between_requests() {
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("pong".into()));
+        let server = Server::start(handler, ServerConfig::default()).unwrap();
+        let pool = crate::cpool::ConnPool::new(crate::cpool::PoolConfig {
+            idle_timeout: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let mut client =
+            Client::builder(server.addr()).keep_alive(true).pool(pool.clone()).build();
+        client.get_keep_alive("/p").unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        client.get_keep_alive("/p").unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.evicted, 1, "cold connection evicted, not reused");
+        assert_eq!(stats.open, 2);
+        assert_eq!(stats.reuse, 0);
+    }
+
+    #[test]
+    fn transparent_retry_reconciles_pool_and_server_counters() {
+        // Server closes after every request, so each logical request
+        // after the first burns one stale reuse and opens one fresh
+        // connection — yet requests/served counters see one request each.
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("pong".into()));
+        let cfg = ServerConfig { max_requests_per_conn: 1, ..Default::default() };
+        let server = Server::start(handler, cfg).unwrap();
+        let registry = obs::Registry::new();
+        let mut client = Client::builder(server.addr())
+            .keep_alive(true)
+            .metrics(&registry, "ka")
+            .build();
+        for _ in 0..4 {
+            assert_eq!(client.get_keep_alive("/p").unwrap().text(), "pong");
+        }
+        let stats = client.pool().stats();
+        assert_eq!(stats.open, 4, "every logical request ends on a fresh connection");
+        assert_eq!(stats.reuse, 3, "stale checkouts before each transparent retry");
+        assert_eq!(server.requests_served(), 4, "server saw exactly the logical requests");
+        assert_eq!(registry.snapshot().counter("http.ka.requests"), Some(4));
     }
 
     #[test]

@@ -320,28 +320,42 @@ impl From<std::io::Error> for WireError {
 }
 
 fn read_line<R: BufRead>(r: &mut R) -> Result<String, WireError> {
-    let mut line = Vec::new();
+    // Scan the reader's internal buffer for the newline instead of
+    // pulling one byte at a time — this is the client's hot path.
+    let mut line: Vec<u8> = Vec::new();
     loop {
-        let mut byte = [0u8; 1];
-        match r.read_exact(&mut byte) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+        let (done, used) = {
+            let available = match r.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            };
+            if available.is_empty() {
                 if line.is_empty() {
                     return Err(WireError::Eof);
                 }
                 return Err(WireError::Malformed("truncated line"));
             }
-            Err(e) => return Err(WireError::Io(e)),
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&available[..i]);
+                    (true, i + 1)
+                }
+                None => {
+                    line.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        r.consume(used);
+        if line.len() > MAX_LINE {
+            return Err(WireError::Malformed("line too long"));
         }
-        if byte[0] == b'\n' {
+        if done {
             if line.last() == Some(&b'\r') {
                 line.pop();
             }
             return Ok(String::from_utf8_lossy(&line).into_owned());
-        }
-        line.push(byte[0]);
-        if line.len() > MAX_LINE {
-            return Err(WireError::Malformed("line too long"));
         }
     }
 }
@@ -366,10 +380,39 @@ fn read_headers<R: BufRead>(r: &mut R) -> Result<Headers, WireError> {
     }
 }
 
+/// Strict `Content-Length` extraction (RFC 9112 §6.2-adjacent).
+///
+/// `usize::from_str` accepts `+10` and surrounding unicode whitespace —
+/// lenient parses like that are the classic request-smuggling foothold,
+/// because two hops that disagree on the value split the byte stream
+/// differently. This helper accepts ASCII digits only, and when the
+/// header is repeated, all copies must agree exactly; any other shape is
+/// [`WireError::Malformed`].
+pub fn content_length(headers: &Headers) -> Result<Option<usize>, WireError> {
+    let mut found: Option<usize> = None;
+    for (name, value) in headers.iter() {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(WireError::Malformed("bad content-length"));
+        }
+        let len: usize =
+            value.parse().map_err(|_| WireError::Malformed("bad content-length"))?;
+        match found {
+            Some(prev) if prev != len => {
+                return Err(WireError::Malformed("conflicting content-length"))
+            }
+            _ => found = Some(len),
+        }
+    }
+    Ok(found)
+}
+
 fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>, WireError> {
-    let len: usize = match headers.get("content-length") {
+    let len: usize = match content_length(headers)? {
         None => return Ok(Vec::new()),
-        Some(v) => v.parse().map_err(|_| WireError::Malformed("bad content-length"))?,
+        Some(len) => len,
     };
     if len > MAX_BODY {
         return Err(WireError::Malformed("body too large"));
@@ -433,6 +476,108 @@ pub fn write_request<W: Write>(req: &Request, w: &mut W) -> std::io::Result<()> 
     }
     write!(w, "\r\n")?;
     w.write_all(&req.body)
+}
+
+/// Serialize a response's status line and headers (adding
+/// `Content-Length` if absent) into `buf`, leaving the body out — the
+/// server sends `[head, body]` as one vectored write instead of copying
+/// the body into a contiguous buffer.
+pub fn serialize_response_head(resp: &Response, buf: &mut Vec<u8>) {
+    use std::io::Write as _;
+    // Writing into a Vec cannot fail.
+    let _ = write!(buf, "HTTP/1.1 {}\r\n", resp.status);
+    let mut has_len = false;
+    for (n, v) in resp.headers.iter() {
+        if n.eq_ignore_ascii_case("content-length") {
+            has_len = true;
+        }
+        let _ = write!(buf, "{n}: {v}\r\n");
+    }
+    if !has_len {
+        let _ = write!(buf, "Content-Length: {}\r\n", resp.body.len());
+    }
+    buf.extend_from_slice(b"\r\n");
+}
+
+/// Incremental request parse straight off a connection's read buffer.
+///
+/// Returns `Ok(Some((request, consumed)))` when `buf` starts with one
+/// complete request (`consumed` bytes of it), `Ok(None)` when more bytes
+/// are needed, and `Err` when the prefix can never become a valid
+/// request (over-limit or malformed). No intermediate line buffers: the
+/// head is parsed in place and only the owned `Request` fields allocate.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, WireError> {
+    // --- request line ---
+    let Some((line, mut pos)) = next_line(buf, 0)? else { return Ok(None) };
+    let line = std::str::from_utf8(line).map_err(|_| WireError::Malformed("bad request line"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().filter(|m| !m.is_empty());
+    let method = method.ok_or(WireError::Malformed("empty request line"))?;
+    let target = parts.next().ok_or(WireError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(WireError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(WireError::Malformed("unsupported version"));
+    }
+
+    // --- headers ---
+    let mut headers = Headers::new();
+    loop {
+        let Some((line, next)) = next_line(buf, pos)? else { return Ok(None) };
+        pos = next;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(WireError::Malformed("too many headers"));
+        }
+        let line = String::from_utf8_lossy(line);
+        let mut it = line.splitn(2, ':');
+        let name = it.next().unwrap_or("").trim();
+        let value = it.next().ok_or(WireError::Malformed("header missing colon"))?.trim();
+        if name.is_empty() {
+            return Err(WireError::Malformed("empty header name"));
+        }
+        headers.add(name, value);
+    }
+
+    // --- body ---
+    let len = content_length(&headers)?.unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(WireError::Malformed("body too large"));
+    }
+    if buf.len() < pos + len {
+        return Ok(None);
+    }
+    let body = buf[pos..pos + len].to_vec();
+    Ok(Some((
+        Request { method: method.to_owned(), target: target.to_owned(), headers, body },
+        pos + len,
+    )))
+}
+
+/// Find the next `\n`-terminated line starting at `start`: returns the
+/// line contents (trailing `\r` stripped) and the offset just past the
+/// newline, or `None` when the line is still incomplete.
+fn next_line(buf: &[u8], start: usize) -> Result<Option<(&[u8], usize)>, WireError> {
+    let rest = &buf[start.min(buf.len())..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i > MAX_LINE {
+                return Err(WireError::Malformed("line too long"));
+            }
+            let mut line = &rest[..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            Ok(Some((line, start + i + 1)))
+        }
+        None => {
+            if rest.len() > MAX_LINE {
+                return Err(WireError::Malformed("line too long"));
+            }
+            Ok(None)
+        }
+    }
 }
 
 /// Format a strong entity-tag from a 64-bit content hash (`"<16 hex>"`,
@@ -589,6 +734,98 @@ mod tests {
         assert_eq!(got.status, Status::NOT_MODIFIED);
         assert!(got.body.is_empty());
         assert_eq!(got.etag(), Some("\"abc\""));
+    }
+
+    #[test]
+    fn content_length_rejects_smuggling_shapes() {
+        // `usize::parse` happily accepts a leading `+`; the wire must not.
+        for bad in ["+10", "-1", "1 0", "0x10", "10.", "", " 10", "1e3"] {
+            let mut h = Headers::new();
+            h.add("Content-Length", bad);
+            assert!(
+                matches!(content_length(&h), Err(WireError::Malformed(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+        let msg = "POST / HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc";
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed("bad content-length"))), "{r:?}");
+    }
+
+    #[test]
+    fn duplicate_content_length_must_agree() {
+        // Disagreeing duplicates are the request-smuggling classic: two
+        // hops each believe a different body boundary.
+        let msg = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 10\r\n\r\nabc";
+        let r = read_request(&mut BufReader::new(msg.as_bytes()));
+        assert!(matches!(r, Err(WireError::Malformed("conflicting content-length"))), "{r:?}");
+        // Agreeing duplicates are redundant but harmless.
+        let msg = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        let req = read_request(&mut BufReader::new(msg.as_bytes())).unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn parse_request_incremental_completion() {
+        let msg = b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        // Every proper prefix is Partial; the full message parses.
+        for cut in 0..msg.len() {
+            match parse_request(&msg[..cut]) {
+                Ok(None) => {}
+                other => panic!("prefix of {cut} bytes must be partial, got {other:?}"),
+            }
+        }
+        let (req, consumed) = parse_request(msg).unwrap().expect("complete");
+        assert_eq!(consumed, msg.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/submit");
+        assert_eq!(req.headers.get("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parse_request_pipelined_pair() {
+        let msg = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, used) = parse_request(msg).unwrap().expect("first");
+        assert_eq!(first.target, "/a");
+        let (second, used2) = parse_request(&msg[used..]).unwrap().expect("second");
+        assert_eq!(second.target, "/b");
+        assert_eq!(used + used2, msg.len());
+    }
+
+    #[test]
+    fn parse_request_enforces_caps_and_shape() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        assert!(matches!(
+            parse_request(long.as_bytes()),
+            Err(WireError::Malformed("line too long"))
+        ));
+        // An over-long line is rejected even before its newline arrives.
+        let unterminated = "G".repeat(MAX_LINE + 10);
+        assert!(matches!(
+            parse_request(unterminated.as_bytes()),
+            Err(WireError::Malformed("line too long"))
+        ));
+        assert!(parse_request(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\nNoColon\r\n\r\n").is_err());
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            parse_request(huge.as_bytes()),
+            Err(WireError::Malformed("body too large"))
+        ));
+    }
+
+    #[test]
+    fn serialize_response_head_matches_write_to() {
+        let mut resp = Response::html("<p>hello</p>".into());
+        resp.headers.add("ETag", "\"aa\"");
+        let mut head = Vec::new();
+        serialize_response_head(&resp, &mut head);
+        let mut full = Vec::new();
+        resp.write_to(&mut full).unwrap();
+        let mut reassembled = head.clone();
+        reassembled.extend_from_slice(&resp.body);
+        assert_eq!(reassembled, full, "head + body must equal the streamed form");
     }
 
     #[test]

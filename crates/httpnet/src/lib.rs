@@ -11,7 +11,11 @@
 //! Design follows the networking guides' priorities — simplicity and
 //! robustness over framework magic:
 //!
-//! * explicit threaded server (bounded worker [`pool`]), no async runtime;
+//! * an explicit event-driven server — an accept loop feeding per-core
+//!   epoll reactors ([`sys`] raw syscall wrappers, no `libc`), with
+//!   per-connection state machines, reusable buffers, and vectored
+//!   writes; no async runtime (the bounded worker [`pool`] remains for
+//!   compute scatter/gather);
 //! * strict, bounded request parsing ([`http`]) — header and body caps so
 //!   no peer can exhaust memory;
 //! * keep-alive with per-connection request caps;
@@ -33,16 +37,20 @@
 
 pub mod cache;
 pub mod client;
+pub mod cpool;
 pub mod fault;
 pub mod http;
 pub mod log;
 pub mod pool;
+mod reactor;
 pub mod retry;
 pub mod router;
 pub mod server;
+pub mod sys;
 
 pub use cache::{CacheConfig, ResponseCache, RevalidationCache};
 pub use client::{Client, ClientBuilder, ClientError};
+pub use cpool::{ConnPool, PoolConfig, PoolStats};
 pub use fault::{FaultAction, FaultConfig, FaultInjector};
 pub use http::{format_etag, if_none_match, Headers, Request, Response, Status};
 pub use log::{AccessEntry, AccessLog};

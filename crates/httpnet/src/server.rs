@@ -1,20 +1,25 @@
-//! The threaded HTTP server.
+//! The event-driven HTTP server.
 //!
-//! Accept loop on a dedicated thread; each connection is handled on a
-//! bounded worker pool with keep-alive. Shutdown is cooperative: a flag is
-//! set and the accept loop woken with a self-connection.
+//! An accept loop on a dedicated thread feeds accepted connections
+//! round-robin to `workers` epoll reactors (see [`crate::reactor`]); each
+//! reactor multiplexes its connections on a readiness loop with
+//! per-connection state machines, so a stalled or fault-delayed peer
+//! never pins a thread. Transient `accept()` failures (EMFILE during a
+//! connection flood) back off exponentially instead of spinning hot, and
+//! are counted under `accept.errors` when a metrics registry is set.
+//! Shutdown is cooperative: a flag is set, the accept loop is woken with
+//! a self-connection, and every reactor is woken through its eventfd.
 
-use crate::fault::{FaultAction, FaultConfig, FaultInjector};
-use crate::http::{read_request, Request, Response, Status, WireError};
-use crate::pool::ThreadPool;
-use std::io::{BufReader, Write};
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::http::{Request, Response, Status};
+use crate::reactor::{Inbox, Reactor, ReactorShared};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// A request handler. Implementations must be thread-safe; the server
-/// invokes them concurrently.
+/// invokes them concurrently (one at a time per reactor).
 pub trait Handler: Send + Sync + 'static {
     /// Produce a response for one request.
     fn handle(&self, req: &Request) -> Response;
@@ -32,22 +37,24 @@ where
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads.
+    /// Reactor (event-loop worker) threads.
     pub workers: usize,
-    /// Pending-connection queue per worker pool.
+    /// Pending-connection hand-off queue per reactor.
     pub queue: usize,
-    /// Per-connection read timeout.
+    /// Per-connection read timeout (enforced to sweep granularity,
+    /// ~200 ms).
     pub read_timeout: Duration,
     /// Per-connection write timeout — symmetric with `read_timeout`: a
-    /// peer that stops draining its receive window must not pin a worker
-    /// forever any more than a peer that stops sending.
+    /// peer that stops draining its receive window must not pin a
+    /// connection slot forever any more than a peer that stops sending.
     pub write_timeout: Duration,
     /// Maximum keep-alive requests per connection.
     pub max_requests_per_conn: usize,
     /// Fault injection.
     pub faults: FaultConfig,
-    /// Optional metrics registry: worker-pool job panics are counted
-    /// here under `pool.job_panics` when set.
+    /// Optional metrics registry: handler panics are counted under
+    /// `pool.job_panics` (name kept from the worker-pool era) and accept
+    /// failures under `accept.errors` when set.
     pub metrics: Option<obs::Registry>,
 }
 
@@ -65,11 +72,18 @@ impl Default for ServerConfig {
     }
 }
 
+/// Smallest accept-error backoff; doubles per consecutive failure.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+/// Backoff cap, so recovery after a long fd-exhaustion episode is quick.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
 /// A running HTTP server. Dropping it shuts it down and joins all threads.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor_threads: Vec<std::thread::JoinHandle<()>>,
+    inboxes: Vec<Arc<Inbox>>,
     requests_served: Arc<AtomicU64>,
     access_log: Arc<crate::log::AccessLog>,
 }
@@ -87,35 +101,51 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
-        let injector = Arc::new(FaultInjector::new(config.faults));
         let access_log = Arc::new(crate::log::AccessLog::new(4096));
+        let accept_errors = config.metrics.as_ref().map(|r| r.counter("accept.errors"));
+        let handler_panics = config.metrics.as_ref().map(|r| r.counter("pool.job_panics"));
+
+        let shared = Arc::new(ReactorShared {
+            handler,
+            injector: Arc::new(FaultInjector::new(config.faults)),
+            requests_served: requests_served.clone(),
+            access_log: access_log.clone(),
+            stop: stop.clone(),
+            config: config.clone(),
+            handler_panics,
+        });
+
+        let workers = config.workers.max(1);
+        let mut inboxes = Vec::with_capacity(workers);
+        let mut reactor_threads = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inbox = Inbox::new(config.queue)?;
+            let reactor = Reactor::new(inbox.clone(), shared.clone())?;
+            inboxes.push(inbox);
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("httpnet-reactor-{i}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
 
         let accept_stop = stop.clone();
-        let counter = requests_served.clone();
-        let log = access_log.clone();
+        let accept_inboxes = inboxes.clone();
         let accept_thread = std::thread::Builder::new()
             .name("httpnet-accept".into())
             .spawn(move || {
-                let pool =
-                    ThreadPool::with_metrics(config.workers, config.queue, config.metrics.as_ref());
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let handler = handler.clone();
-                    let injector = injector.clone();
-                    let counter = counter.clone();
-                    let log = log.clone();
-                    let cfg = config.clone();
-                    pool.execute(move || {
-                        handle_connection(stream, &*handler, &injector, &counter, &log, &cfg);
-                    });
-                }
-                // Pool drop joins workers.
+                accept_loop(listener, accept_inboxes, accept_stop, accept_errors);
             })?;
 
-        Ok(Server { addr, stop, accept_thread: Some(accept_thread), requests_served, access_log })
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            reactor_threads,
+            inboxes,
+            requests_served,
+            access_log,
+        })
     }
 
     /// The server's access log (bounded ring of recent requests).
@@ -143,6 +173,12 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        for inbox in &self.inboxes {
+            inbox.wake();
+        }
+        for t in self.reactor_threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -152,118 +188,78 @@ impl Drop for Server {
     }
 }
 
+/// Accept connections and hand them to reactors round-robin. Errors from
+/// `accept()` (fd exhaustion, aborted handshakes on some platforms) back
+/// off exponentially up to [`ACCEPT_BACKOFF_MAX`] instead of spinning.
+fn accept_loop(
+    listener: TcpListener,
+    inboxes: Vec<Arc<Inbox>>,
+    stop: Arc<AtomicBool>,
+    accept_errors: Option<obs::Counter>,
+) {
+    let mut next = 0usize;
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut pending = Some(stream);
+                'place: while let Some(s) = pending.take() {
+                    let mut cur = s;
+                    for k in 0..inboxes.len() {
+                        let i = (next + k) % inboxes.len();
+                        match inboxes[i].push(cur) {
+                            Ok(()) => {
+                                next = (i + 1) % inboxes.len();
+                                continue 'place;
+                            }
+                            Err(back) => cur = back,
+                        }
+                    }
+                    // Every inbox is full: brief pause, then retry so the
+                    // connection is not dropped under a burst.
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    pending = Some(cur);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(c) = &accept_errors {
+                    c.inc();
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+    }
+}
+
 /// A throttling response advertising when the client may retry.
 /// `Retry-After` is written in (possibly fractional) seconds; the
 /// simulation allows sub-second values so throttle tests stay fast.
-fn retry_after_response(status: Status, retry_after: Duration) -> Response {
+pub(crate) fn retry_after_response(status: Status, retry_after: Duration) -> Response {
     let mut resp = Response::status(status);
     resp.headers.add("Retry-After", &format!("{}", retry_after.as_secs_f64()));
     resp
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    handler: &dyn Handler,
-    injector: &FaultInjector,
-    counter: &AtomicU64,
-    log: &crate::log::AccessLog,
-    cfg: &ServerConfig,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    for _ in 0..cfg.max_requests_per_conn {
-        let req = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(WireError::Eof) => return,
-            Err(_) => {
-                let resp = Response::status(Status(400));
-                let _ = resp.write_to(&mut write_half);
-                return;
-            }
-        };
-        let close_requested = req
-            .headers
-            .get("connection")
-            .map(|v| v.eq_ignore_ascii_case("close"))
-            .unwrap_or(false);
-
-        let action = injector.decide();
-        let started = std::time::Instant::now();
-        let (delay, resp) = match action {
-            FaultAction::Proceed(d) | FaultAction::Stall(d) => (d, handler.handle(&req)),
-            FaultAction::Error(d) => (d, Response::status(Status::INTERNAL)),
-            FaultAction::Drop(d) => {
-                std::thread::sleep(d);
-                return; // close without responding
-            }
-            FaultAction::Reset(d) => {
-                // A few raw bytes of status line, then close mid-send.
-                std::thread::sleep(d);
-                let _ = write_half.write_all(b"HTTP/1.1 2");
-                let _ = write_half.flush();
-                return;
-            }
-            FaultAction::Malformed(d) => {
-                std::thread::sleep(d);
-                let _ = write_half.write_all(b"SMTP/0.9 GARBAGE NOISE\r\n\r\n");
-                let _ = write_half.flush();
-                return;
-            }
-            FaultAction::Truncate(d) => {
-                // Correct status line and headers (promising the full
-                // Content-Length), then only part of the body.
-                std::thread::sleep(d);
-                let resp = handler.handle(&req);
-                let mut buf = Vec::new();
-                let _ = resp.write_to(&mut buf);
-                let cut = buf.len().saturating_sub(resp.body.len() / 2 + 1).max(1);
-                let _ = write_half.write_all(&buf[..cut]);
-                let _ = write_half.flush();
-                return;
-            }
-            FaultAction::RateLimit(d) => {
-                (d, retry_after_response(Status::TOO_MANY, cfg.faults.retry_after))
-            }
-            FaultAction::Unavailable(d) => {
-                (d, retry_after_response(Status(503), cfg.faults.retry_after))
-            }
-        };
-        if !delay.is_zero() {
-            std::thread::sleep(delay);
-        }
-        counter.fetch_add(1, Ordering::SeqCst);
-        log.record(crate::log::AccessEntry {
-            method: req.method.clone(),
-            target: req.target.clone(),
-            status: resp.status.0,
-            body_len: resp.body.len(),
-            duration: started.elapsed(),
-        });
-        if resp.write_to(&mut write_half).is_err() {
-            return;
-        }
-        let _ = write_half.flush();
-        if close_requested {
-            return;
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::http::WireError;
 
     fn echo_server(config: ServerConfig) -> Server {
-        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
-            Response::html(format!("echo:{}", req.path()))
-        });
+        let handler: Arc<dyn Handler> =
+            Arc::new(|req: &Request| Response::html(format!("echo:{}", req.path())));
         Server::start(handler, config).expect("server starts")
     }
 
@@ -328,6 +324,123 @@ mod tests {
         let mut server = echo_server(ServerConfig::default());
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn single_worker_multiplexes_concurrent_connections() {
+        // One reactor, many simultaneous keep-alive connections: the
+        // readiness loop must interleave them rather than serialize
+        // whole connections.
+        let server = echo_server(ServerConfig { workers: 1, ..Default::default() });
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..16 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = Client::builder(addr).build();
+                client.keep_alive(true);
+                for i in 0..10 {
+                    let resp = client.get(&format!("/w{t}/{i}")).unwrap();
+                    assert_eq!(resp.text(), format!("echo:/w{t}/{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 160);
+    }
+
+    #[test]
+    fn pipelined_requests_get_ordered_responses() {
+        use std::io::{Read, Write};
+        let server = echo_server(ServerConfig::default());
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..4 {
+            batch.extend_from_slice(
+                format!("GET /p{i} HTTP/1.1\r\nHost: sim.local\r\n\r\n").as_bytes(),
+            );
+        }
+        // Last request closes the connection so read_to_end terminates.
+        batch.extend_from_slice(b"GET /last HTTP/1.1\r\nHost: sim.local\r\nConnection: close\r\n\r\n");
+        s.write_all(&batch).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        let mut pos = 0;
+        for expect in ["echo:/p0", "echo:/p1", "echo:/p2", "echo:/p3", "echo:/last"] {
+            let at = text[pos..].find(expect).unwrap_or_else(|| panic!("missing {expect}"));
+            pos += at + expect.len();
+        }
+        assert_eq!(server.requests_served(), 5);
+    }
+
+    #[test]
+    fn handler_panic_drops_connection_and_counts() {
+        let registry = obs::Registry::new();
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            if req.path() == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::html("ok".to_string())
+        });
+        let server = Server::start(
+            handler,
+            ServerConfig { metrics: Some(registry.clone()), ..Default::default() },
+        )
+        .unwrap();
+        let client = Client::builder(server.addr()).build();
+        assert!(client.get("/boom").is_err(), "panicked handler must close the connection");
+        // The server survives and keeps serving.
+        assert_eq!(client.get("/fine").unwrap().text(), "ok");
+        assert_eq!(registry.snapshot().counter("pool.job_panics"), Some(1));
+    }
+
+    #[test]
+    fn slow_draining_peer_gets_write_timeout_close() {
+        use std::io::Write;
+        // A response too large for kernel socket buffers (tcp_wmem +
+        // tcp_rmem autotune to ~36 MB here) against a peer that never
+        // reads: the reactor must park the connection on EPOLLOUT and
+        // close it when the write deadline passes — without blocking
+        // other connections.
+        let big = "x".repeat(64 * 1024 * 1024);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            if req.path() == "/big" {
+                Response::html(big.clone())
+            } else {
+                Response::html("ok".to_string())
+            }
+        });
+        let server = Server::start(
+            handler,
+            ServerConfig {
+                workers: 1,
+                write_timeout: Duration::from_millis(300),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut stuck = TcpStream::connect(server.addr()).unwrap();
+        stuck.write_all(b"GET /big HTTP/1.1\r\nHost: sim.local\r\n\r\n").unwrap();
+        // While the big write is parked, a well-behaved client on the
+        // same single reactor is still served.
+        std::thread::sleep(Duration::from_millis(50));
+        let client = Client::builder(server.addr()).build();
+        assert_eq!(client.get("/ok").unwrap().status, Status::OK);
+        // Wait out the write deadline plus a sweep interval (draining
+        // earlier would un-stick the write), then drain: buffered bytes
+        // followed by EOF proves the sweep closed the connection.
+        std::thread::sleep(Duration::from_millis(900));
+        stuck.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut sink = vec![0u8; 1024 * 1024];
+        loop {
+            match std::io::Read::read(&mut stuck, &mut sink) {
+                Ok(0) => break, // server closed
+                Ok(_) => continue,
+                Err(e) => panic!("server never closed the stuck connection: {e}"),
+            }
+        }
     }
 
     #[test]
@@ -423,6 +536,48 @@ mod tests {
     }
 
     #[test]
+    fn fault_injection_stall_does_not_block_other_connections() {
+        // On a single reactor, a stalled response must not delay an
+        // unfaulted concurrent request — the delay is a timer, not a
+        // sleeping thread.
+        let handler: Arc<dyn Handler> = Arc::new(|_: &Request| Response::html("ok".to_string()));
+        let stalled = Server::start(
+            handler.clone(),
+            ServerConfig {
+                workers: 1,
+                faults: FaultConfig {
+                    stall_prob: 1.0,
+                    stall: Duration::from_millis(600),
+                    seed: 11,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every request stalls, so overlap is the signal: four stalled
+        // connections on one reactor must finish in ~one stall, not four.
+        let addr = stalled.addr();
+        let started = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let client = Client::builder(addr).build();
+                let _ = client.get("/x");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = started.elapsed();
+        // Serialized stalls would take ≥ 4 × 600 ms on one reactor.
+        assert!(
+            elapsed < Duration::from_millis(1800),
+            "stalls must overlap on a single reactor, took {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn fault_injection_rate_limit_carries_retry_after() {
         let cfg = ServerConfig {
             faults: FaultConfig {
@@ -464,5 +619,22 @@ mod tests {
         let _ = s.read_to_end(&mut buf);
         let text = String::from_utf8_lossy(&buf);
         assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+
+    #[test]
+    fn smuggled_content_length_gets_400() {
+        use std::io::{Read, Write};
+        let server = echo_server(ServerConfig::default());
+        for bad in
+            ["Content-Length: +10", "Content-Length: 5\r\nContent-Length: 6", "Content-Length: 1e2"]
+        {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.write_all(format!("GET / HTTP/1.1\r\nHost: sim.local\r\n{bad}\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 400"), "{bad} => {text}");
+        }
     }
 }

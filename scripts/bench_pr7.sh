@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Event-driven transport bench: warmed loadgen regimes on the Dissenter
+# front, a pipelined echo phase measuring the reactor transport itself,
+# and a 10k-connection keep-alive soak with an RSS ceiling — emitted as
+# BENCH_PR7.json in the repo root. The transport binary self-validates:
+# it exits nonzero unless no request failed, cached beats uncached on
+# throughput AND p99, the pool recorded reuse, the pipelined phase
+# clears 5x the PR5 blocking-transport baseline (12,506 req/s), and the
+# soak's peak RSS stays under the ceiling.
+#
+# The soak holds 10k sockets in the server process and another 10k in a
+# re-exec'd client subprocess: both need `ulimit -n` comfortably above
+# the connection count (CI raises it to 20000).
+#
+# Usage: scripts/bench_pr7.sh [extra transport args, e.g. --conns 1000]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+soft_limit="$(ulimit -n)"
+if [ "$soft_limit" != "unlimited" ] && [ "$soft_limit" -lt 16384 ]; then
+    ulimit -n 16384 2>/dev/null || {
+        echo "bench_pr7: ulimit -n is $soft_limit; need >=16384 for the 10k-conn soak" >&2
+        exit 1
+    }
+fi
+
+cargo run --release -p bench --bin transport -- --out BENCH_PR7.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR7.json") as f:
+    report = json.load(f)
+for key in ("baseline_uncached_req_per_sec", "loadgen", "pool", "transport", "soak"):
+    assert key in report, f"BENCH_PR7.json missing {key!r}"
+lg = report["loadgen"]
+for regime in ("uncached", "cached"):
+    for key in ("requests", "failures", "req_per_sec", "p50_us", "p99_us"):
+        assert key in lg[regime], f"BENCH_PR7.json missing loadgen.{regime}.{key}"
+    assert lg[regime]["failures"] == 0, f"{regime} regime had failures"
+assert lg["cached"]["req_per_sec"] > lg["uncached"]["req_per_sec"], "cached did not beat uncached"
+assert lg["cached"]["p99_us"] <= lg["uncached"]["p99_us"] * 1.10, \
+    f"cached p99 {lg['cached']['p99_us']} us > uncached {lg['uncached']['p99_us']} us"
+pool = report["pool"]
+assert pool["reuse"] > 0, "pool recorded no connection reuse"
+# Every request is one pool acquire (open or reuse), plus one extra open
+# per transparent retry when the server retires a keep-alive connection
+# at its per-connection request cap — a ~0.1% overhead, not more.
+expected = (lg["uncached"]["requests"] + lg["cached"]["requests"]
+            + 2 * lg["threads"] * lg["warmup_per_thread"])
+acquires = pool["open"] + pool["reuse"]
+assert expected <= acquires <= expected * 1.01, \
+    f"pool opens+reuses {acquires} do not cover the {expected}-request load"
+tr = report["transport"]
+assert tr["summary"]["failures"] == 0, "pipelined phase had failures"
+assert tr["speedup_vs_baseline"] >= 5.0, \
+    f"transport speedup {tr['speedup_vs_baseline']:.2f}x < 5x baseline"
+soak = report["soak"]
+assert soak["ok"] is True, f"soak failed: {soak.get('error')}"
+assert soak["requests"] == soak["conns"] * soak["rounds"], "soak request accounting is off"
+assert soak["rss_peak_mb"] <= soak["rss_ceiling_mb"], \
+    f"soak peak RSS {soak['rss_peak_mb']:.1f} MB over the {soak['rss_ceiling_mb']} MB ceiling"
+print("BENCH_PR7.json OK:",
+      f"transport {tr['summary']['req_per_sec']:.0f} req/s"
+      f" ({tr['speedup_vs_baseline']:.1f}x baseline),",
+      f"loadgen p99 {lg['uncached']['p99_us']} -> {lg['cached']['p99_us']} us,",
+      f"soak {soak['conns']} conns peak RSS {soak['rss_peak_mb']:.1f} MB")
+EOF

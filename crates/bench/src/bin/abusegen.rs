@@ -1,0 +1,437 @@
+//! Adversarial-traffic bench: every abuse profile driven concurrently
+//! with a polite loadgen baseline against a hardened Dissenter front
+//! (the `BENCH_PR8.json` artifact, produced in CI by
+//! `scripts/bench_pr8.sh`). Phases:
+//!
+//! 1. **baseline** — the polite closed-loop load alone (warmed, cached
+//!    regime): the no-abuse p99 the contested runs are gated against.
+//! 2. **profiles** — one mixed run per [`bench::abusegen::Profile`]:
+//!    hostile clients plus the same polite load, measured mid-abuse.
+//! 3. **4TCT comparison** — greedy vs polite collectors on the
+//!    rate-limited per-URL route under a penalty-enabled short-window
+//!    limiter (arXiv:2307.03556's polite-collector argument): same wall
+//!    budget, the polite one must acquire more pages.
+//!
+//! Self-validating gates (exit 1 on any failure):
+//! * polite success rate ≥ 99% and p99 ≤ 3× the no-abuse baseline
+//!   (with a 10 ms jitter floor) under **every** profile;
+//! * every abuse segment's books reconcile exactly
+//!   (offered == served + 304 + 429 + rejected + dropped + errors);
+//! * zero shadow-visibility leaks and zero ETag↔body incoherence;
+//! * the slowloris phase is actually defended: hostile conns closed and
+//!   counted under `conn.read_timeouts` / `conn.write_timeouts`;
+//! * the limiter's books reconcile exactly against client-observed
+//!   outcomes on the rate-limited route, penalized lockouts included;
+//! * the polite collector out-collects the greedy one;
+//! * server-process peak RSS stays under the ceiling.
+//!
+//! ```text
+//! abusegen [--out FILE] [--conns N] [--threads N] [--requests N]
+//!          [--budget-ms N] [--rss-ceiling-mb N] [--scale <f64>] [--seed N]
+//! ```
+
+use bench::abusegen::{
+    greedy_collect, polite_collect, run_mixed, shadow_probe, AbuseConfig, AbuseCounts,
+    AbuseTargets, CollectorOutcome, MixedOutcome, Profile,
+};
+use bench::loadgen::{run, LoadConfig, LoadSummary, Mode};
+use httpnet::ServerConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synth::config::Scale;
+use synth::WorldConfig;
+use webfront::dissenter::DissenterFront;
+
+/// Short, penalty-enabled per-URL window so the collectors' comparison
+/// resolves in seconds instead of the production 10-req/min.
+const URL_LIMIT: u32 = 3;
+const URL_WINDOW_SECS: u64 = 1;
+const URL_PENALTY_SECS: u64 = 3;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: abusegen [--out FILE] [--conns N] [--threads N] [--requests N] \
+         [--budget-ms N] [--rss-ceiling-mb N] [--scale <f64>] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Read a `kB` field (`VmRSS`, `VmHWM`, ...) from `/proc/self/status`.
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            if let Some(kb) = rest.split_whitespace().next() {
+                return kb.parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+fn counts_json(c: &AbuseCounts) -> jsonlite::Value {
+    jsonlite::Value::object()
+        .with("offered", c.offered)
+        .with("served", c.served)
+        .with("not_modified", c.not_modified)
+        .with("denied", c.denied)
+        .with("penalized", c.penalized)
+        .with("rejected", c.rejected)
+        .with("dropped", c.dropped)
+        .with("errors", c.errors)
+        .with("leaks", c.leaks)
+        .with("incoherent", c.incoherent)
+        .with("closed_conns", c.closed_conns)
+        .with("reconciles", c.reconciles())
+}
+
+fn summary_json(s: &LoadSummary) -> jsonlite::Value {
+    jsonlite::Value::object()
+        .with("requests", s.requests)
+        .with("failures", s.failures)
+        .with("wall_ms", s.wall_ms)
+        .with("req_per_sec", s.req_per_sec)
+        .with("p50_us", s.p50_us)
+        .with("p99_us", s.p99_us)
+        .with("not_modified", s.not_modified)
+}
+
+fn collector_json(c: &CollectorOutcome) -> jsonlite::Value {
+    jsonlite::Value::object()
+        .with("acquired", c.acquired)
+        .with("sleeps", c.sleeps)
+        .with("counts", counts_json(&c.counts))
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR8.json");
+    let mut conns = 4usize;
+    let mut threads = 4usize;
+    let mut requests = 150usize;
+    let mut budget_ms = 3200u64;
+    let mut rss_ceiling_mb = 512.0f64;
+    let mut scale = 0.002f64;
+    let mut seed = 0x0005_EEDA_B05E_u64;
+
+    let mut args = std::env::args().skip(1);
+    fn next_arg(args: &mut impl Iterator<Item = String>) -> String {
+        args.next().unwrap_or_else(|| usage())
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = next_arg(&mut args).into(),
+            "--conns" => conns = next_arg(&mut args).parse_ok("--conns"),
+            "--threads" => threads = next_arg(&mut args).parse_ok("--threads"),
+            "--requests" => requests = next_arg(&mut args).parse_ok("--requests"),
+            "--budget-ms" => budget_ms = next_arg(&mut args).parse_ok("--budget-ms"),
+            "--rss-ceiling-mb" => {
+                rss_ceiling_mb = next_arg(&mut args).parse_ok("--rss-ceiling-mb")
+            }
+            "--scale" => scale = next_arg(&mut args).parse_ok("--scale"),
+            "--seed" => seed = next_arg(&mut args).parse_ok("--seed"),
+            _ => usage(),
+        }
+    }
+
+    // ---- Hardened services over a seeded world ------------------------
+    let cfg = WorldConfig { seed, scale: Scale::Custom(scale), ..WorldConfig::small() };
+    let (world, _) = synth::generate(&cfg);
+    let world = Arc::new(world);
+    let registry = obs::Registry::new();
+    let stamp = world.content_hash();
+    let front_cache = webfront::cache::FrontCache::with_registry(
+        stamp,
+        httpnet::CacheConfig::default(),
+        &registry,
+    );
+    let limiter = platform::RateLimiter::new(URL_LIMIT, URL_WINDOW_SECS)
+        .with_penalty(URL_PENALTY_SECS);
+    let dissenter =
+        Arc::new(DissenterFront::with_parts(world.clone(), front_cache, limiter));
+    let mut fronts = webfront::SimFronts::new(world.clone());
+    fronts.dissenter = dissenter.clone();
+    let hardened = ServerConfig {
+        workers: 4,
+        queue: 256,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_millis(400),
+        header_read_timeout: Duration::from_millis(300),
+        metrics: Some(registry.clone()),
+        ..ServerConfig::default()
+    };
+    let services = webfront::SimServices::start_with(fronts, hardened)
+        .expect("failed to start simulated services");
+    let addr = services.dissenter.addr();
+
+    let targets = AbuseTargets::discover(&world, 3)
+        .expect("world has no dissenter users/urls; grow --scale");
+    let shadow = shadow_probe(addr, &world);
+    if shadow.is_none() {
+        eprintln!("abusegen: note — no shadow-labeled comment at this scale; validator_replay probes only the anonymous path");
+    }
+    let mut names: Vec<String> =
+        world.dissenter_users().map(|i| world.user(i).username.clone()).collect();
+    names.sort_unstable();
+    let polite_targets: Vec<String> =
+        names.iter().take(16).map(|n| format!("/user/{n}")).collect();
+    assert!(!polite_targets.is_empty(), "world has no dissenter users; grow --scale");
+
+    // ---- Phase 1: no-abuse polite baseline ----------------------------
+    let polite_shape = || LoadConfig {
+        threads,
+        requests_per_thread: requests,
+        warmup_per_thread: 30,
+        ..LoadConfig::default()
+    };
+    let baseline = run(addr, &polite_targets, &polite_shape(), Mode::Cached);
+    println!(
+        "abusegen: baseline {:.0} req/s (p99 {} us, {} failures)",
+        baseline.req_per_sec, baseline.p99_us, baseline.failures
+    );
+
+    // ---- Phase 2: one mixed run per profile ---------------------------
+    let abuse_cfg = AbuseConfig { conns, seed, ..AbuseConfig::default() };
+    let hold = Duration::from_millis(2500);
+    let mut phases: Vec<(Profile, MixedOutcome)> = Vec::new();
+    for profile in Profile::ALL {
+        let rss_before_mb = proc_status_kb("VmRSS") as f64 / 1024.0;
+        let outcome = run_mixed(
+            addr,
+            profile,
+            &targets,
+            shadow.as_ref(),
+            &abuse_cfg,
+            &polite_targets,
+            &polite_shape(),
+            hold,
+        );
+        println!(
+            "abusegen: {} — polite p99 {} us ({} failures), abuse {:?} (rss {:.1} MB)",
+            profile.name(),
+            outcome.polite.p99_us,
+            outcome.polite.failures,
+            outcome.abuse,
+            rss_before_mb
+        );
+        phases.push((profile, outcome));
+    }
+
+    // ---- Phase 3: 4TCT polite-vs-greedy collector comparison ----------
+    let budget = Duration::from_millis(budget_ms);
+    let greedy = greedy_collect(addr, &targets.cuids, Instant::now() + budget);
+    // Let every penalty lockout expire so the polite run starts clean.
+    std::thread::sleep(Duration::from_millis(URL_PENALTY_SECS * 1000 + 600));
+    let polite_c = polite_collect(addr, &targets.cuids, Instant::now() + budget);
+    println!(
+        "abusegen: 4tct — polite acquired {} ({} reset sleeps) vs greedy {} ({} penalized denies)",
+        polite_c.acquired, polite_c.sleeps, greedy.acquired, greedy.counts.penalized
+    );
+
+    let rss_peak_mb = proc_status_kb("VmHWM") as f64 / 1024.0;
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let rate_stats = dissenter.rate_stats();
+
+    // Every segment that touched the rate-limited route, for the
+    // limiter-book reconciliation.
+    let mut url_books = AbuseCounts::default();
+    for (profile, outcome) in &phases {
+        if *profile == Profile::GreedyScraper {
+            url_books.merge(&outcome.abuse);
+        }
+    }
+    url_books.merge(&greedy.counts);
+    url_books.merge(&polite_c.counts);
+
+    let report = jsonlite::Value::object()
+        .with("scale", scale)
+        .with("abuse_conns", conns)
+        .with(
+            "limiter",
+            jsonlite::Value::object()
+                .with("limit", URL_LIMIT)
+                .with("window_secs", URL_WINDOW_SECS)
+                .with("penalty_secs", URL_PENALTY_SECS)
+                .with("allowed", rate_stats.allowed)
+                .with("denied", rate_stats.denied)
+                .with("penalized", rate_stats.penalized),
+        )
+        .with("baseline", summary_json(&baseline))
+        .with("profiles", {
+            let mut obj = jsonlite::Value::object();
+            for (profile, outcome) in &phases {
+                obj = obj.with(
+                    profile.name(),
+                    jsonlite::Value::object()
+                        .with("polite", summary_json(&outcome.polite))
+                        .with("abuse", counts_json(&outcome.abuse)),
+                );
+            }
+            obj
+        })
+        .with(
+            "four_tct",
+            jsonlite::Value::object()
+                .with("budget_ms", budget_ms)
+                .with("polite", collector_json(&polite_c))
+                .with("greedy", collector_json(&greedy)),
+        )
+        .with(
+            "server",
+            jsonlite::Value::object()
+                .with("requests_served", services.dissenter.requests_served())
+                .with("read_timeouts", counter("conn.read_timeouts"))
+                .with("write_timeouts", counter("conn.write_timeouts"))
+                .with("oversize", counter("conn.oversize"))
+                .with("cache_hits", counter("cache.hits"))
+                .with("cache_misses", counter("cache.misses"))
+                .with("rss_peak_mb", rss_peak_mb)
+                .with("rss_ceiling_mb", rss_ceiling_mb),
+        );
+    std::fs::write(&out_path, jsonlite::to_string_pretty(&report))
+        .expect("failed to write bench artifact");
+    println!("abusegen: wrote {}", out_path.display());
+
+    // ---- Self-validation ----------------------------------------------
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("abusegen: FAIL — {msg}");
+        ok = false;
+    };
+
+    // Polite envelope: success ≥ 99% and p99 ≤ 3× baseline (10 ms floor
+    // against microsecond-scale scheduler jitter) under every profile.
+    let p99_gate = (baseline.p99_us as f64 * 3.0).max(10_000.0);
+    if baseline.failures > 0 {
+        fail(format!("{} baseline requests failed", baseline.failures));
+    }
+    for (profile, outcome) in &phases {
+        let p = &outcome.polite;
+        let total = p.requests + p.failures;
+        if total == 0 || (p.failures as f64) > total as f64 * 0.01 {
+            fail(format!(
+                "{}: polite success rate below 99% ({} failures of {total})",
+                profile.name(),
+                p.failures
+            ));
+        }
+        if (p.p99_us as f64) > p99_gate {
+            fail(format!(
+                "{}: polite p99 {} us exceeds gate {:.0} us (3x baseline {} us)",
+                profile.name(),
+                p.p99_us,
+                p99_gate,
+                baseline.p99_us
+            ));
+        }
+        if !outcome.abuse.reconciles() {
+            fail(format!("{}: abuse books do not reconcile: {:?}", profile.name(), outcome.abuse));
+        }
+        if outcome.abuse.leaks > 0 {
+            fail(format!("{}: {} shadow-visibility leaks", profile.name(), outcome.abuse.leaks));
+        }
+        if outcome.abuse.incoherent > 0 {
+            fail(format!(
+                "{}: {} ETag/body coherence violations",
+                profile.name(),
+                outcome.abuse.incoherent
+            ));
+        }
+    }
+
+    // The slowloris phase must have been defended, and every hostile
+    // close accounted by a defense counter.
+    let slowloris = &phases.iter().find(|(p, _)| *p == Profile::Slowloris).expect("ran").1.abuse;
+    if slowloris.dropped == 0 {
+        fail("slowloris: no hostile connection was ever closed".to_owned());
+    }
+    if slowloris.errors > 0 {
+        fail(format!(
+            "slowloris: {} tricklers outlived the give-up budget unclosed",
+            slowloris.errors
+        ));
+    }
+    if counter("conn.read_timeouts") == 0 {
+        fail("conn.read_timeouts never fired (header budget defense is dead)".to_owned());
+    }
+    if counter("conn.write_timeouts") == 0 {
+        fail("conn.write_timeouts never fired (write deadline defense is dead)".to_owned());
+    }
+    let closed: u64 = phases.iter().map(|(_, o)| o.abuse.closed_conns).sum::<u64>()
+        + greedy.counts.closed_conns
+        + polite_c.counts.closed_conns;
+    let defense_closes = counter("conn.read_timeouts")
+        + counter("conn.write_timeouts")
+        + counter("conn.oversize");
+    // Keep-alive retirements at the per-connection cap are graceful
+    // closes, not defense closes; only the slowloris phase's closes are
+    // all defense-attributable.
+    if defense_closes < slowloris.closed_conns {
+        fail(format!(
+            "server counted {defense_closes} defense closes but slowloris clients observed {} \
+             (of {closed} hostile closes total)",
+            slowloris.closed_conns
+        ));
+    }
+
+    // Limiter books must reconcile exactly against client-observed
+    // outcomes on the rate-limited route.
+    let client_allowed = url_books.served + url_books.not_modified + url_books.rejected;
+    if rate_stats.allowed != client_allowed {
+        fail(format!(
+            "limiter allowed {} != client-observed successes {client_allowed}",
+            rate_stats.allowed
+        ));
+    }
+    if rate_stats.denied != url_books.denied {
+        fail(format!(
+            "limiter denied {} != client-observed 429s {}",
+            rate_stats.denied, url_books.denied
+        ));
+    }
+    if rate_stats.penalized != url_books.penalized {
+        fail(format!(
+            "limiter penalized {} != client-observed penalized 429s {}",
+            rate_stats.penalized, url_books.penalized
+        ));
+    }
+    if url_books.penalized == 0 {
+        fail("no penalized lockout was ever observed (the greedy swarm never bit)".to_owned());
+    }
+
+    // 4TCT: the polite collector must out-collect the greedy one.
+    if polite_c.acquired <= greedy.acquired {
+        fail(format!(
+            "polite collector acquired {} <= greedy {}",
+            polite_c.acquired, greedy.acquired
+        ));
+    }
+    if polite_c.sleeps == 0 {
+        fail("polite collector never slept on a reset (limiter never bound)".to_owned());
+    }
+
+    if rss_peak_mb > rss_ceiling_mb {
+        fail(format!(
+            "peak RSS {rss_peak_mb:.1} MB exceeds {rss_ceiling_mb:.1} MB ceiling"
+        ));
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Tiny arg-parsing helper: parse or die with the flag name.
+trait ParseOk {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T;
+}
+
+impl ParseOk for String {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T {
+        self.parse().unwrap_or_else(|_| {
+            eprintln!("abusegen: invalid value {self:?} for {name}");
+            std::process::exit(2);
+        })
+    }
+}

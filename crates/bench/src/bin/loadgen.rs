@@ -75,12 +75,11 @@ fn shadow_isolation_holds(world: &Arc<platform::World>) -> bool {
 
 fn main() {
     let mut out_path = std::path::PathBuf::from("BENCH_PR5.json");
-    let mut load = LoadConfig::default();
     // Warm both regimes by default so the measured window starts at steady
     // state (connection pool filled, caches primed for the cached pass):
     // without this, cold-start outliers land in the cached p99 and can
     // make it read *worse* than uncached.
-    load.warmup_per_thread = 50;
+    let mut load = LoadConfig { warmup_per_thread: 50, ..LoadConfig::default() };
     let mut target_count = 24usize;
     let mut scale = 0.002f64;
     let mut seed = 0x5EED_BE7Au64;

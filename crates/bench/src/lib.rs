@@ -1,7 +1,9 @@
 //! Benchmark support: shared fixtures for the Criterion benches, the
-//! `repro` harness binary that regenerates every table and figure, and
-//! the [`loadgen`] closed-loop load generator behind `BENCH_PR5.json`.
+//! `repro` harness binary that regenerates every table and figure, the
+//! [`loadgen`] closed-loop load generator behind `BENCH_PR5.json`, and
+//! the [`abusegen`] hostile-load generator behind `BENCH_PR8.json`.
 
+pub mod abusegen;
 pub mod loadgen;
 
 use dissenter_core::{run_study, Study, StudyConfig};

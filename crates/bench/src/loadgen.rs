@@ -250,7 +250,7 @@ pub fn run_pipelined(addr: SocketAddr, target: &str, cfg: &PipelineConfig) -> Lo
                     match exchange(&mut conn) {
                         Ok(()) => {
                             let per_req = (sent.elapsed().as_micros() as u64) / batch as u64;
-                            local.extend(std::iter::repeat(per_req).take(batch));
+                            local.extend(std::iter::repeat_n(per_req, batch));
                         }
                         Err(()) => {
                             failures.fetch_add(batch as u64, Ordering::Relaxed);

@@ -113,6 +113,11 @@ struct Conn {
     /// Read/write deadline enforced by the sweep (None while delayed —
     /// the timer heap owns the wakeup then).
     deadline: Option<Instant>,
+    /// When the first byte of the in-flight request arrived. Unlike
+    /// `deadline` (which is refreshed on every read), this is pinned
+    /// until a complete request parses, so `header_read_timeout` bounds
+    /// the *total* time a slowloris peer can trickle bytes.
+    request_started: Option<Instant>,
     /// Access-log bookkeeping for the in-flight request.
     pending_log: Option<PendingLog>,
     /// Slot generation, so stale timer entries can be detected.
@@ -143,6 +148,21 @@ pub(crate) struct ReactorShared {
     /// `pool.job_panics` — handler panics confined by the reactor (the
     /// metric name predates the reactor; kept for continuity).
     pub(crate) handler_panics: Option<obs::Counter>,
+    /// `conn.read_timeouts` — sweep closes of connections stuck in
+    /// `Reading` (idle keep-alive expiry and slowloris header trickles).
+    pub(crate) read_timeouts: Option<obs::Counter>,
+    /// `conn.write_timeouts` — sweep closes of peers that stop draining
+    /// their response (slow-drain abuse).
+    pub(crate) write_timeouts: Option<obs::Counter>,
+    /// `conn.oversize` — closes of peers that shoveled more unparsed
+    /// request bytes than `max_inflight_request_bytes` allows.
+    pub(crate) oversize: Option<obs::Counter>,
+}
+
+fn bump(counter: &Option<obs::Counter>) {
+    if let Some(c) = counter {
+        c.inc();
+    }
 }
 
 /// One event-loop worker.
@@ -248,6 +268,7 @@ impl Reactor {
                 close_after_write: false,
                 interest: EPOLLIN | EPOLLRDHUP,
                 deadline: Some(Instant::now() + self.shared.config.read_timeout),
+                request_started: None,
                 pending_log: None,
                 gen: self.gens[token],
             };
@@ -295,8 +316,9 @@ impl Reactor {
                 }
                 Ok(n) => {
                     conn.read_buf.extend_from_slice(&chunk[..n]);
-                    if conn.read_buf.len() > crate::http::MAX_BODY + crate::http::MAX_LINE * 2 {
+                    if conn.read_buf.len() > self.shared.config.max_inflight_request_bytes {
                         // A peer shoveling unbounded bytes that never parse.
+                        bump(&self.shared.oversize);
                         self.close(token);
                         return;
                     }
@@ -319,9 +341,14 @@ impl Reactor {
     fn advance(&mut self, token: usize) {
         let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
         debug_assert_eq!(conn.state, State::Reading);
+        if !conn.read_buf.is_empty() && conn.request_started.is_none() {
+            conn.request_started = Some(Instant::now());
+        }
         match parse_request(&conn.read_buf) {
             Ok(None) => {
-                // Incomplete: wait for more bytes.
+                // Incomplete: wait for more bytes. The per-read deadline
+                // refreshes, but `request_started` does not — a trickling
+                // peer still runs out of `header_read_timeout`.
                 conn.deadline = Some(Instant::now() + self.shared.config.read_timeout);
                 self.set_interest(token, EPOLLIN | EPOLLRDHUP);
             }
@@ -338,6 +365,9 @@ impl Reactor {
                 self.begin_write(token);
             }
             Ok(Some((req, consumed))) => {
+                // A complete request arrived in time; pipelined leftovers
+                // start a fresh header clock when they get parsed.
+                conn.request_started = None;
                 // Drop the consumed prefix, keeping pipelined leftovers.
                 if consumed == conn.read_buf.len() {
                     conn.read_buf.clear();
@@ -584,21 +614,30 @@ impl Reactor {
         }
     }
 
-    /// Close connections whose read/write deadline has passed.
+    /// Close connections whose read/write deadline has passed. Two clocks
+    /// apply while reading: the per-read deadline (refreshed on every
+    /// byte) and the pinned `request_started + header_read_timeout`
+    /// budget that a slowloris trickle cannot refresh.
     fn sweep(&mut self, now: Instant) {
-        let overdue: Vec<usize> = self
+        let header_budget = self.shared.config.header_read_timeout;
+        let overdue: Vec<(usize, State)> = self
             .conns
             .iter()
             .enumerate()
             .filter_map(|(i, c)| {
                 let c = c.as_ref()?;
-                match c.deadline {
-                    Some(d) if d <= now => Some(i),
-                    _ => None,
-                }
+                let deadline_passed = matches!(c.deadline, Some(d) if d <= now);
+                let header_passed = c.state == State::Reading
+                    && matches!(c.request_started, Some(s) if s + header_budget <= now);
+                (deadline_passed || header_passed).then_some((i, c.state))
             })
             .collect();
-        for token in overdue {
+        for (token, state) in overdue {
+            match state {
+                State::Reading => bump(&self.shared.read_timeouts),
+                State::Writing => bump(&self.shared.write_timeouts),
+                State::Delayed => {}
+            }
             self.close(token);
         }
     }

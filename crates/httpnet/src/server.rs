@@ -50,6 +50,17 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum keep-alive requests per connection.
     pub max_requests_per_conn: usize,
+    /// Total time a connection may take to deliver one complete request,
+    /// measured from its first byte. Unlike `read_timeout` (refreshed on
+    /// every read, so a slowloris peer trickling one byte per interval
+    /// refreshes it forever), this budget is pinned at request start;
+    /// connections that exceed it are closed and counted under
+    /// `conn.read_timeouts`.
+    pub header_read_timeout: Duration,
+    /// Ceiling on buffered, not-yet-parsed request bytes per connection.
+    /// A peer that exceeds it (shoveling bytes that never form a request)
+    /// is closed and counted under `conn.oversize`.
+    pub max_inflight_request_bytes: usize,
     /// Fault injection.
     pub faults: FaultConfig,
     /// Optional metrics registry: handler panics are counted under
@@ -66,6 +77,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1000,
+            header_read_timeout: Duration::from_secs(10),
+            max_inflight_request_bytes: crate::http::MAX_BODY + crate::http::MAX_LINE * 2,
             faults: FaultConfig::none(),
             metrics: None,
         }
@@ -104,6 +117,9 @@ impl Server {
         let access_log = Arc::new(crate::log::AccessLog::new(4096));
         let accept_errors = config.metrics.as_ref().map(|r| r.counter("accept.errors"));
         let handler_panics = config.metrics.as_ref().map(|r| r.counter("pool.job_panics"));
+        let read_timeouts = config.metrics.as_ref().map(|r| r.counter("conn.read_timeouts"));
+        let write_timeouts = config.metrics.as_ref().map(|r| r.counter("conn.write_timeouts"));
+        let oversize = config.metrics.as_ref().map(|r| r.counter("conn.oversize"));
 
         let shared = Arc::new(ReactorShared {
             handler,
@@ -113,6 +129,9 @@ impl Server {
             stop: stop.clone(),
             config: config.clone(),
             handler_panics,
+            read_timeouts,
+            write_timeouts,
+            oversize,
         });
 
         let workers = config.workers.max(1);
@@ -441,6 +460,205 @@ mod tests {
                 Err(e) => panic!("server never closed the stuck connection: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn header_trickle_slowloris_is_closed_and_counted() {
+        use std::io::Write;
+        // One byte per 100 ms of a syntactically fine request that never
+        // completes: each byte refreshes the per-read deadline, so only
+        // the pinned `header_read_timeout` budget can stop it.
+        let registry = obs::Registry::new();
+        let server = echo_server(ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_secs(5),
+            header_read_timeout: Duration::from_millis(300),
+            metrics: Some(registry.clone()),
+            ..Default::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let req = b"GET /slow HTTP/1.1\r\nHost: sim.local\r\nX-Pad: aaaaaaaaaaaaaaaa\r\n\r\n";
+        let started = std::time::Instant::now();
+        let mut fed = 0usize;
+        let mut closed = false;
+        for &b in req.iter() {
+            if s.write_all(&[b]).is_err() {
+                closed = true;
+                break;
+            }
+            fed += 1;
+            std::thread::sleep(Duration::from_millis(100));
+            if started.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        // The write side may keep succeeding into kernel buffers after
+        // the server closed; the read side is authoritative.
+        if !closed {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut byte = [0u8; 16];
+            match std::io::Read::read(&mut s, &mut byte) {
+                Ok(0) => {}
+                Err(e) if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => panic!("server never closed the trickling connection"),
+                Err(_) => {}
+                Ok(n) => panic!("server answered a never-completed request with {n} bytes"),
+            }
+        }
+        assert!(
+            fed < req.len(),
+            "server accepted the whole trickled request ({fed} bytes) without closing"
+        );
+        assert!(
+            registry.snapshot().counter("conn.read_timeouts").unwrap_or(0) >= 1,
+            "slowloris close must be counted under conn.read_timeouts"
+        );
+        // A well-behaved client on the same reactor is unaffected.
+        let client = Client::builder(server.addr()).build();
+        assert_eq!(client.get("/fine").unwrap().status, Status::OK);
+    }
+
+    #[test]
+    fn peer_abort_mid_request_leaves_server_clean() {
+        use std::io::Write;
+        // Two flavors of mid-request abort against the reactor: a FIN
+        // after half a request (EPOLLRDHUP / read 0) and an RST via
+        // SO_LINGER(0) (EPOLLHUP / ECONNRESET). Neither may count a
+        // served request or wedge the reactor.
+        let registry = obs::Registry::new();
+        let server = echo_server(ServerConfig {
+            workers: 1,
+            metrics: Some(registry.clone()),
+            ..Default::default()
+        });
+
+        // FIN mid-request.
+        let mut fin = TcpStream::connect(server.addr()).unwrap();
+        fin.write_all(b"GET /half HTTP/1.1\r\nHos").unwrap();
+        fin.shutdown(std::net::Shutdown::Write).unwrap();
+        // RST mid-request: linger(0) turns close into a reset.
+        let rst = TcpStream::connect(server.addr()).unwrap();
+        (&rst).write_all(b"POST /half HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial").unwrap();
+        set_linger_zero(&rst);
+        drop(rst);
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The reactor survives both aborts and never accounted them.
+        let client = Client::builder(server.addr()).build();
+        assert_eq!(client.get("/after").unwrap().text(), "echo:/after");
+        assert_eq!(server.requests_served(), 1, "aborted requests must not be counted");
+        drop(fin);
+    }
+
+    /// `SO_LINGER { on, 0 }` via setsockopt so dropping the socket sends
+    /// RST instead of FIN (no libc: raw syscall like `crate::sys`).
+    fn set_linger_zero(s: &TcpStream) {
+        use std::os::fd::AsRawFd;
+        #[repr(C)]
+        struct Linger {
+            onoff: i32,
+            linger: i32,
+        }
+        let val = Linger { onoff: 1, linger: 0 };
+        // SOL_SOCKET = 1, SO_LINGER = 13 on linux.
+        let ret = unsafe {
+            let fd = s.as_raw_fd() as usize;
+            let level = 1usize;
+            let optname = 13usize;
+            let optval = &val as *const Linger as usize;
+            let optlen = std::mem::size_of::<Linger>();
+            syscall_setsockopt(fd, level, optname, optval, optlen)
+        };
+        assert_eq!(ret, 0, "setsockopt(SO_LINGER) failed");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall_setsockopt(
+        fd: usize,
+        level: usize,
+        optname: usize,
+        optval: usize,
+        optlen: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 54isize => ret, // __NR_setsockopt
+            in("rdi") fd,
+            in("rsi") level,
+            in("rdx") optname,
+            in("r10") optval,
+            in("r8") optlen,
+            lateout("rcx") _,
+            lateout("r11") _,
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall_setsockopt(
+        fd: usize,
+        level: usize,
+        optname: usize,
+        optval: usize,
+        optlen: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            inlateout("x8") 208isize => _, // __NR_setsockopt
+            inlateout("x0") fd as isize => ret,
+            in("x1") level,
+            in("x2") optname,
+            in("x3") optval,
+            in("x4") optlen,
+        );
+        ret
+    }
+
+    #[test]
+    fn oversize_inflight_request_is_closed_and_counted() {
+        use std::io::Write;
+        let registry = obs::Registry::new();
+        let server = echo_server(ServerConfig {
+            workers: 1,
+            max_inflight_request_bytes: 64 * 1024,
+            metrics: Some(registry.clone()),
+            ..Default::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Headers that never end: the buffered bytes cross the ceiling
+        // long before any request parses.
+        s.write_all(b"GET /big HTTP/1.1\r\n").unwrap();
+        let chunk = format!("X-Fill: {}\r\n", "a".repeat(4000));
+        let mut closed = false;
+        for _ in 0..64 {
+            if s.write_all(chunk.as_bytes()).is_err() {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut byte = [0u8; 16];
+            match std::io::Read::read(&mut s, &mut byte) {
+                Ok(0) => {}
+                Err(e) if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => panic!("server never closed the oversize connection"),
+                Err(_) => {}
+                Ok(n) => panic!("server answered an oversize request with {n} bytes"),
+            }
+        }
+        assert!(
+            registry.snapshot().counter("conn.oversize").unwrap_or(0) >= 1,
+            "oversize close must be counted under conn.oversize"
+        );
+        let client = Client::builder(server.addr()).build();
+        assert_eq!(client.get("/fine").unwrap().status, Status::OK);
     }
 
     #[test]

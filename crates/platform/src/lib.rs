@@ -36,7 +36,7 @@ pub use gab::GabDb;
 pub use model::{
     BaselineCorpus, Comment, CommentUrl, User, UserFlags, ViewFilters, Vote,
 };
-pub use ratelimit::RateLimiter;
+pub use ratelimit::{RateLimiter, RateStats};
 pub use reddit::RedditDb;
 pub use visibility::Viewer;
 pub use world::World;

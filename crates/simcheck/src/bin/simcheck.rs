@@ -1,7 +1,7 @@
 //! Seeded scenario sweeps for CI and soak runs.
 //!
 //! ```text
-//! simcheck [--count N] [--start S] [--family all|crash] [--replay-dir DIR] [--replay FILE]
+//! simcheck [--count N] [--start S] [--family all|crash|abuse] [--replay-dir DIR] [--replay FILE]
 //! ```
 //!
 //! Runs `N` seeded scenarios starting at seed `S` through every oracle.
@@ -11,7 +11,9 @@
 //! and the process exits nonzero. `--replay FILE` re-executes one replay
 //! file instead of sweeping. `--family crash` restricts both the sweep
 //! and the shrinker to the crash-recovery oracle family (the CI crash
-//! job's mode — a kill-point sweep without the full differential stack).
+//! job's mode — a kill-point sweep without the full differential stack);
+//! `--family abuse` does the same for the adversarial-traffic family
+//! (seeded hostile profiles against hardened services).
 
 use simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
 use std::path::PathBuf;
@@ -44,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: simcheck [--count N] [--start S] [--family all|crash] \
+                    "usage: simcheck [--count N] [--start S] [--family all|crash|abuse] \
                      [--replay-dir DIR] [--replay FILE]"
                 );
                 std::process::exit(0);
@@ -57,7 +59,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn describe(sc: &Scenario) -> String {
     format!(
-        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}",
+        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}{}",
         sc.scale,
         sc.workers,
         sc.crawl_workers,
@@ -66,6 +68,15 @@ fn describe(sc: &Scenario) -> String {
         if sc.svm { ", +svm" } else { "" },
         if sc.kill_fraction > 0.0 {
             format!(", kill@{:.2}{}", sc.kill_fraction, if sc.torn_tail { " torn" } else { "" })
+        } else {
+            String::new()
+        },
+        if sc.abuse_conns > 0 {
+            format!(
+                ", abuse {}x{}",
+                bench::abusegen::Profile::from_index(sc.abuse_profile).name(),
+                sc.abuse_conns
+            )
         } else {
             String::new()
         }

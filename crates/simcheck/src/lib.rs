@@ -13,6 +13,10 @@
 //! WAL kill point: the `crash.*` family kills a journaled crawl there
 //! and demands recovery + resume reproduce the uninterrupted run byte
 //! for byte, all the way through the rendered report and CSV exports.
+//! A seeded hostile-traffic profile rides along too: the `abuse.*`
+//! family drives it ([`bench::abusegen`]) against hardened services
+//! concurrently with a polite load and demands no starvation, no
+//! shadow-visibility leaks, and exact request/limiter reconciliation.
 //!
 //! On failure the [`shrink`] pass reduces the scenario to a minimal
 //! still-failing case and [`replay`] writes it as a self-contained JSON

@@ -30,6 +30,12 @@
 //!    downstream study (rendered report + CSV exports) to byte-identical
 //!    output. Recovery itself must be idempotent: opening a killed
 //!    journal twice — torn tail or not — yields the same state.
+//! 7. **adversarial traffic** (`abuse.*`) — the scenario's seeded abuse
+//!    profile ([`bench::abusegen`]) driven against hardened services
+//!    concurrently with a polite load must leave the polite client
+//!    inside its starvation envelope, leak nothing across the shadow
+//!    boundary, and reconcile every request — client-side books and the
+//!    rate limiter's own accounting — to the last penalized 429.
 
 use crate::scenario::Scenario;
 use crawler::store::ShadowLabel;
@@ -70,6 +76,8 @@ pub enum Family {
     All,
     /// Only the `crash.*` kill-point family.
     Crash,
+    /// Only the `abuse.*` adversarial-traffic family.
+    Abuse,
 }
 
 impl Family {
@@ -78,7 +86,8 @@ impl Family {
         match s {
             "all" => Ok(Self::All),
             "crash" => Ok(Self::Crash),
-            other => Err(format!("unknown family {other:?} (expected all|crash)")),
+            "abuse" => Ok(Self::Abuse),
+            other => Err(format!("unknown family {other:?} (expected all|crash|abuse)")),
         }
     }
 }
@@ -88,6 +97,7 @@ pub fn check_scenario_family(sc: &Scenario, family: Family) -> Result<(), Failur
     match family {
         Family::All => check_scenario(sc),
         Family::Crash => crash_recovery(sc),
+        Family::Abuse => abuse_traffic(sc),
     }
 }
 
@@ -115,7 +125,222 @@ pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
     differential(sc, &faulted, &control)?;
 
     incremental_recrawl(sc)?;
-    crash_recovery(sc)
+    crash_recovery(sc)?;
+    abuse_traffic(sc)
+}
+
+/// Oracle 7: adversarial traffic. Serves the scenario's world through a
+/// hardened [`webfront::SimServices`] stack — tight header/write
+/// deadlines, a short penalty-enabled per-URL rate limit, metrics wired
+/// — then drives the scenario's seeded [`bench::abusegen::Profile`]
+/// with `abuse_conns` hostile connections concurrently with a polite
+/// closed-loop load, plus a greedy burst on the rate-limited route so
+/// penalties always engage. Demands:
+///
+/// * `abuse.polite` — the polite client stays inside the starvation
+///   envelope: ≥ 99% success and p99 under an absolute 2 s ceiling;
+/// * `abuse.leak` — zero shadow-visibility leaks (a cached or replayed
+///   validator must never reveal shadowed content to the wrong viewer)
+///   and zero ETag ↔ body incoherence under stampede;
+/// * `abuse.reconcile` — every abuse segment's client-side books
+///   balance exactly (offered = served + 304 + 429 + rejected +
+///   dropped + errors), and the limiter's own `RateStats` agree with
+///   client-observed outcomes on the rate-limited route to the exact
+///   count — penalized lockouts included, and at least one observed;
+/// * `abuse.defense` — when the profile is slowloris, the server's
+///   `conn.read_timeouts`/`conn.write_timeouts` counters prove the
+///   header and write deadlines actually fired, and defense closes
+///   cover every hostile close the clients observed.
+fn abuse_traffic(sc: &Scenario) -> Result<(), Failure> {
+    use bench::abusegen::{
+        greedy_collect, run_mixed, shadow_probe, AbuseConfig, AbuseCounts, AbuseTargets, Profile,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    if sc.abuse_conns == 0 {
+        return Ok(()); // family disabled (shrunk away, or a pre-abuse replay)
+    }
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let cfg = sc.config_control();
+    let (world, _truth) = synth::generate(&cfg.world);
+    let world = Arc::new(world);
+
+    let registry = obs::Registry::new();
+    let cache = webfront::cache::FrontCache::with_registry(
+        world.content_hash(),
+        httpnet::CacheConfig::default(),
+        &registry,
+    );
+    // Short window + penalty so the limiter binds (and bites) within
+    // the phase instead of the production 60 s cadence.
+    let limiter = platform::RateLimiter::new(3, 1).with_penalty(3);
+    let dissenter = Arc::new(webfront::dissenter::DissenterFront::with_parts(
+        world.clone(),
+        cache,
+        limiter,
+    ));
+    let mut fronts = webfront::SimFronts::new(world.clone());
+    fronts.dissenter = dissenter.clone();
+    let hardened = httpnet::ServerConfig {
+        workers: 4,
+        queue: 256,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_millis(400),
+        header_read_timeout: Duration::from_millis(300),
+        metrics: Some(registry.clone()),
+        ..httpnet::ServerConfig::default()
+    };
+    let services = webfront::SimServices::start_with(fronts, hardened)
+        .map_err(|e| fail("abuse.serve", e.to_string()))?;
+    let addr = services.dissenter.addr();
+
+    let targets = AbuseTargets::discover(&world, 3)
+        .ok_or_else(|| fail("abuse.serve", "world has no dissenter targets".to_owned()))?;
+    let shadow = shadow_probe(addr, &world);
+    let mut names: Vec<String> =
+        world.dissenter_users().map(|i| world.user(i).username.clone()).collect();
+    names.sort_unstable();
+    let polite_targets: Vec<String> =
+        names.iter().take(8).map(|n| format!("/user/{n}")).collect();
+
+    let profile = Profile::from_index(sc.abuse_profile);
+    let abuse_cfg = AbuseConfig {
+        conns: sc.abuse_conns,
+        seed: sc.seed,
+        conn_deadline: Duration::from_millis(1200),
+        ..AbuseConfig::default()
+    };
+    let polite = bench::loadgen::LoadConfig {
+        threads: 2,
+        requests_per_thread: 60,
+        warmup_per_thread: 10,
+        ..bench::loadgen::LoadConfig::default()
+    };
+    let outcome = run_mixed(
+        addr,
+        profile,
+        &targets,
+        shadow.as_ref(),
+        &abuse_cfg,
+        &polite_targets,
+        &polite,
+        Duration::from_millis(2200),
+    );
+    // A short greedy burst on the rate-limited route regardless of
+    // profile: penalties must engage (and reconcile) in every armed run.
+    let greedy = greedy_collect(addr, &targets.cuids, Instant::now() + Duration::from_millis(1200));
+
+    // abuse.polite — starvation envelope.
+    let p = &outcome.polite;
+    let total = p.requests + p.failures;
+    if total == 0 || (p.failures as f64) > total as f64 * 0.01 {
+        return Err(fail(
+            "abuse.polite",
+            format!(
+                "polite client starved under {}: {} failures of {total} requests",
+                profile.name(),
+                p.failures
+            ),
+        ));
+    }
+    if p.p99_us > 2_000_000 {
+        return Err(fail(
+            "abuse.polite",
+            format!("polite p99 {} us breaches the 2 s envelope under {}", p.p99_us, profile.name()),
+        ));
+    }
+
+    // abuse.leak — shadow isolation and cache coherence.
+    if outcome.abuse.leaks > 0 {
+        return Err(fail(
+            "abuse.leak",
+            format!("{} shadow-visibility leaks under {}", outcome.abuse.leaks, profile.name()),
+        ));
+    }
+    if outcome.abuse.incoherent > 0 {
+        return Err(fail(
+            "abuse.leak",
+            format!(
+                "{} ETag/body coherence violations under {}",
+                outcome.abuse.incoherent,
+                profile.name()
+            ),
+        ));
+    }
+
+    // abuse.reconcile — client books, then the limiter's own.
+    for (tag, counts) in [(profile.name(), &outcome.abuse), ("greedy_burst", &greedy.counts)] {
+        if !counts.reconciles() {
+            return Err(fail("abuse.reconcile", format!("{tag} books do not balance: {counts:?}")));
+        }
+    }
+    let mut url_books = AbuseCounts::default();
+    if profile == Profile::GreedyScraper {
+        url_books.merge(&outcome.abuse);
+    }
+    url_books.merge(&greedy.counts);
+    let stats = dissenter.rate_stats();
+    let client_allowed = url_books.served + url_books.not_modified + url_books.rejected;
+    if stats.allowed != client_allowed
+        || stats.denied != url_books.denied
+        || stats.penalized != url_books.penalized
+    {
+        return Err(fail(
+            "abuse.reconcile",
+            format!(
+                "limiter books diverge from client-observed outcomes: limiter \
+                 allowed/denied/penalized {}/{}/{} vs client {}/{}/{}",
+                stats.allowed,
+                stats.denied,
+                stats.penalized,
+                client_allowed,
+                url_books.denied,
+                url_books.penalized
+            ),
+        ));
+    }
+    if url_books.penalized == 0 {
+        return Err(fail(
+            "abuse.reconcile",
+            "no penalized lockout was ever observed (the greedy burst never bit)".to_owned(),
+        ));
+    }
+
+    // abuse.defense — slowloris must be defeated by the deadline sweeps,
+    // and every hostile close accounted to a defense counter.
+    if profile == Profile::Slowloris {
+        let snap = registry.snapshot();
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        if outcome.abuse.errors > 0 {
+            return Err(fail(
+                "abuse.defense",
+                format!("{} tricklers outlived the give-up budget unclosed", outcome.abuse.errors),
+            ));
+        }
+        if counter("conn.read_timeouts") == 0 || counter("conn.write_timeouts") == 0 {
+            return Err(fail(
+                "abuse.defense",
+                format!(
+                    "deadline defenses dead: conn.read_timeouts {} conn.write_timeouts {}",
+                    counter("conn.read_timeouts"),
+                    counter("conn.write_timeouts")
+                ),
+            ));
+        }
+        let defense =
+            counter("conn.read_timeouts") + counter("conn.write_timeouts") + counter("conn.oversize");
+        if defense < outcome.abuse.closed_conns {
+            return Err(fail(
+                "abuse.defense",
+                format!(
+                    "clients observed {} hostile closes but defense counters account {defense}",
+                    outcome.abuse.closed_conns
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Oracle 6: crash recovery. Journals a reference crawl to learn the
@@ -765,6 +990,8 @@ mod tests {
             svm_corpus: 300,
             kill_fraction: 0.0,
             torn_tail: false,
+            abuse_profile: 0,
+            abuse_conns: 0,
         }
     }
 
@@ -802,6 +1029,26 @@ mod tests {
         if let Err(f) = check_scenario_family(&sc, Family::Crash) {
             panic!("crash scenario failed: {f}");
         }
+    }
+
+    #[test]
+    fn abuse_family_holds_under_a_seeded_slowloris() {
+        // Family::Abuse alone (the CI abuse job's path): the slowloris
+        // profile with two hostile conns on the cheapest world. This is
+        // the profile with the richest defense accounting, so it doubles
+        // as the in-tree proof that the hardened deadlines fire.
+        let sc = Scenario { abuse_profile: 1, abuse_conns: 2, ..minimal() };
+        if let Err(f) = check_scenario_family(&sc, Family::Abuse) {
+            panic!("abuse scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn disarmed_abuse_family_is_a_no_op() {
+        // abuse_conns == 0 is the shrinker's off switch and the
+        // back-compat default for old replays; it must short-circuit.
+        let sc = minimal();
+        assert_eq!(check_scenario_family(&sc, Family::Abuse), Ok(()));
     }
 
     #[test]

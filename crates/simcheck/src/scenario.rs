@@ -74,6 +74,13 @@ pub struct Scenario {
     /// Kill with a torn (half-written) final WAL record instead of a
     /// clean cut, exercising tail truncation on recovery.
     pub torn_tail: bool,
+    /// Which [`bench::abusegen::Profile`] the `abuse.*` family drives
+    /// (index into `Profile::ALL`, reduced modulo its length).
+    pub abuse_profile: u8,
+    /// Hostile connections per abuse profile. `0` disables the
+    /// `abuse.*` family (the shrinker's off switch, and the default for
+    /// replays written before the family existed).
+    pub abuse_conns: usize,
 }
 
 /// SplitMix64 step — the scenario sampler's only randomness source.
@@ -121,6 +128,9 @@ impl Scenario {
         // left all earlier per-seed draws (and committed replays) intact.
         let kill_fraction = 1.0 - unit(&mut st); // (0, 1]: every seed crashes somewhere
         let torn_tail = splitmix(&mut st).is_multiple_of(2);
+        // Drawn after torn_tail for the same replay-stability reason.
+        let abuse_profile = (splitmix(&mut st) % 5) as u8;
+        let abuse_conns = 2 + (splitmix(&mut st) % 3) as usize;
 
         Self {
             seed,
@@ -142,6 +152,8 @@ impl Scenario {
             svm_corpus: 300,
             kill_fraction,
             torn_tail,
+            abuse_profile,
+            abuse_conns,
         }
     }
 
@@ -241,6 +253,12 @@ impl Scenario {
                     .with("kill_fraction", self.kill_fraction)
                     .with("torn_tail", self.torn_tail),
             )
+            .with(
+                "abuse",
+                Value::object()
+                    .with("profile", u64::from(self.abuse_profile))
+                    .with("conns", self.abuse_conns),
+            )
     }
 
     /// Deserialize from JSON written by [`Scenario::to_json`].
@@ -293,6 +311,20 @@ impl Scenario {
                 .and_then(|c| c.get("torn_tail"))
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
+            // Absent in replays written before the abuse family existed:
+            // default to disarmed so their meaning is unchanged.
+            abuse_profile: v
+                .get("abuse")
+                .and_then(|a| a.get("profile"))
+                .and_then(Value::as_i64)
+                .map(|n| (n.rem_euclid(5)) as u8)
+                .unwrap_or(0),
+            abuse_conns: v
+                .get("abuse")
+                .and_then(|a| a.get("conns"))
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .unwrap_or(0),
         })
     }
 }
@@ -328,6 +360,8 @@ mod tests {
                 assert!((0.0..=MAX_SINGLE_FAULT).contains(&p), "seed {seed}: prob {p}");
             }
             assert!(sc.total_fault_prob() <= MAX_TOTAL_FAULT + 1e-12, "seed {seed}");
+            assert!(sc.abuse_profile < 5, "seed {seed}");
+            assert!((2..=4).contains(&sc.abuse_conns), "seed {seed}");
             sc.faults().validate();
         }
     }
@@ -345,6 +379,12 @@ mod tests {
             assert!(scenarios.iter().any(|s| s.workers == w), "workers={w} never sampled");
         }
         assert!(scenarios.iter().any(|s| s.svm) && scenarios.iter().any(|s| !s.svm));
+        for profile in 0..5u8 {
+            assert!(
+                scenarios.iter().any(|s| s.abuse_profile == profile),
+                "abuse profile {profile} never sampled"
+            );
+        }
     }
 
     #[test]

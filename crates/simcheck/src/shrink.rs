@@ -39,6 +39,10 @@ where
         // kill point — `kill_fraction: 0.0` disables the crash family.
         Box::new(|s| Scenario { torn_tail: false, ..s.clone() }),
         Box::new(|s| Scenario { kill_fraction: 0.0, ..s.clone() }),
+        // Thin the hostile herd to a single connection, then disarm the
+        // abuse family entirely (`abuse_conns: 0` is its off switch).
+        Box::new(|s| Scenario { abuse_conns: s.abuse_conns.min(1), ..s.clone() }),
+        Box::new(|s| Scenario { abuse_conns: 0, ..s.clone() }),
     ];
 
     let mut best = sc;
@@ -79,7 +83,18 @@ mod tests {
         assert_eq!(min.total_fault_prob(), 0.0);
         assert_eq!(min.kill_fraction, 0.0, "the kill point shrinks away too");
         assert!(!min.torn_tail);
+        assert_eq!(min.abuse_conns, 0, "the hostile herd shrinks away too");
         assert_eq!(f.check, "test");
+    }
+
+    #[test]
+    fn keeps_the_herd_an_abuse_failure_depends_on() {
+        let mut sc = Scenario::from_seed(7); // abuse_conns >= 2 by construction
+        sc.workers = 8;
+        let first = Failure { check: "abuse.reconcile".into(), detail: String::new() };
+        let (min, _) = shrink(sc, first, fails_when(|s| s.abuse_conns > 0));
+        assert_eq!(min.abuse_conns, 1, "the armed herd survives at its floor");
+        assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
     }
 
     #[test]
@@ -124,6 +139,7 @@ mod tests {
                 unavailable_prob: 0.0,
                 kill_fraction: 0.0,
                 torn_tail: false,
+                abuse_conns: 0,
                 ..Scenario::from_seed(0)
             }
         };

@@ -40,6 +40,8 @@
 use httpnet::http::{format_etag, if_none_match};
 use httpnet::{CacheConfig, Headers, Request, Response, ResponseCache, Status};
 use platform::{Viewer, World};
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +59,60 @@ pub struct FrontCache {
     /// World content digest at construction; folds world identity into
     /// every ETag so tags from a different world never validate.
     stamp: u64,
+    /// Single-flight coordination for concurrent misses (stampede
+    /// control): at most one render per key is in flight at a time.
+    flights: Arc<Flights>,
+}
+
+/// Sharded in-flight-render registry. A miss claims its key before
+/// rendering; concurrent misses on the same key park on the shard's
+/// condvar and re-probe the cache once the leader finishes, so a
+/// stampeding herd costs one upstream render, not one per client.
+#[derive(Debug)]
+struct Flights {
+    shards: Vec<FlightShard>,
+}
+
+#[derive(Debug, Default)]
+struct FlightShard {
+    inflight: Mutex<HashSet<String>>,
+    done: Condvar,
+}
+
+impl Flights {
+    fn new() -> Self {
+        Self { shards: (0..16).map(|_| FlightShard::default()).collect() }
+    }
+
+    fn shard(&self, key: &str) -> &FlightShard {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+}
+
+/// Clears the claimed flight key and wakes waiters on drop, so a
+/// panicking render can never strand followers on the condvar.
+struct FlightGuard<'a> {
+    shard: &'a FlightShard,
+    key: &'a str,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        lock_flights(&self.shard.inflight).remove(self.key);
+        self.shard.done.notify_all();
+    }
+}
+
+/// Lock a flight shard, shrugging off poisoning: the set's invariant
+/// (claimed keys are always released by a [`FlightGuard`]) holds even
+/// when a holder panicked between lock and unlock.
+fn lock_flights(m: &Mutex<HashSet<String>>) -> std::sync::MutexGuard<'_, HashSet<String>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl FrontCache {
@@ -72,6 +128,7 @@ impl FrontCache {
             cache: Arc::new(ResponseCache::new(config)),
             generation: Arc::new(AtomicU64::new(0)),
             stamp,
+            flights: Arc::new(Flights::new()),
         }
     }
 
@@ -81,6 +138,7 @@ impl FrontCache {
             cache: Arc::new(ResponseCache::with_registry(config, registry)),
             generation: Arc::new(AtomicU64::new(0)),
             stamp,
+            flights: Arc::new(Flights::new()),
         }
     }
 
@@ -120,6 +178,14 @@ impl FrontCache {
     /// Serve `req` for visibility `class` with the full conditional
     /// pipeline: `304` on a fresh `If-None-Match`, then the response
     /// cache, then `render` (whose 200 output is tagged and stored).
+    ///
+    /// Concurrent misses on one key are single-flighted: the first claims
+    /// the key and renders; the rest park until it finishes and then take
+    /// the stored body as an ordinary cache hit. A stampeding herd costs
+    /// one render, every client gets byte-identical bytes, and
+    /// `cache.{hits,misses}` reconcile exactly (followers never probe the
+    /// cache while the render they are waiting on is in flight, so each
+    /// request counts exactly one hit or one miss).
     pub fn respond(
         &self,
         req: &Request,
@@ -130,13 +196,36 @@ impl FrontCache {
         if let Some(resp) = self.revalidate(req, &tag) {
             return resp;
         }
-        if let Some(hit) = self.cache.lookup(&req.method, &req.target, class) {
-            return hit;
+        let key = format!("{}\u{0}{}\u{0}{}", req.method, req.target, class);
+        let shard = self.flights.shard(&key);
+        let mut inflight = lock_flights(&shard.inflight);
+        loop {
+            if inflight.contains(&key) {
+                // A leader is rendering this key: wait, then re-probe.
+                inflight = shard
+                    .done
+                    .wait(inflight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            // Probe under the shard lock, so a follower can never count a
+            // spurious miss against a render that is already in flight.
+            if let Some(hit) = self.cache.lookup(&req.method, &req.target, class) {
+                return hit;
+            }
+            inflight.insert(key.clone());
+            break;
         }
+        drop(inflight);
+        // This request is the leader; the guard releases the key (and
+        // wakes followers) however the render ends — including a panic,
+        // in which case a follower takes over and renders itself.
+        let guard = FlightGuard { shard, key: &key };
         let resp = self.tag_success(render(), &tag);
         if resp.status == Status::OK {
             self.cache.insert(&req.method, &req.target, class, &resp);
         }
+        drop(guard);
         resp
     }
 
@@ -284,6 +373,77 @@ mod tests {
         assert_eq!(renders, 1);
         let cond = c.conditional_only(&with_inm("/lim", &tag), "anon", || unreachable!());
         assert_eq!(cond.status, Status::NOT_MODIFIED);
+    }
+
+    #[test]
+    fn stampede_on_one_key_renders_once_with_identical_bodies() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let registry = obs::Registry::new();
+        let cache =
+            FrontCache::with_registry(1, CacheConfig::default(), &registry);
+        let renders = Arc::new(AtomicUsize::new(0));
+        let n = 16;
+        let barrier = Arc::new(Barrier::new(n));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let cache = cache.clone();
+            let renders = Arc::clone(&renders);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache.respond(&Request::get("/hot"), "anon", || {
+                    renders.fetch_add(1, Ordering::SeqCst);
+                    // Widen the stampede window so every follower really
+                    // arrives while the leader is rendering.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    Response::html("hot page".to_owned())
+                })
+            }));
+        }
+        let bodies: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(renders.load(Ordering::SeqCst), 1, "N concurrent misses, one render");
+        let first = &bodies[0];
+        for resp in &bodies {
+            assert_eq!(resp.status, Status::OK);
+            assert_eq!(resp.body, first.body, "every client gets byte-identical bytes");
+            assert_eq!(resp.etag(), first.etag());
+        }
+        let snap = registry.snapshot();
+        let hits = snap.counter("cache.hits").unwrap_or(0);
+        let misses = snap.counter("cache.misses").unwrap_or(0);
+        assert_eq!(misses, 1, "exactly the leader's probe misses");
+        assert_eq!(hits, (n - 1) as u64, "every follower resolves to a hit");
+        assert_eq!(hits + misses, n as u64, "hits + misses reconcile to requests exactly");
+    }
+
+    #[test]
+    fn singleflight_leader_panic_does_not_strand_followers() {
+        use std::sync::Barrier;
+        let cache = FrontCache::new(1);
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let cache = cache.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.respond(&Request::get("/boom"), "anon", || {
+                        barrier.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("render exploded");
+                    })
+                }));
+            })
+        };
+        barrier.wait();
+        // Arrives while the leader is mid-panic; must not hang forever,
+        // and takes over the render after the guard clears the key.
+        let resp = cache.respond(&Request::get("/boom"), "anon", || {
+            Response::html("recovered".to_owned())
+        });
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.text(), "recovered");
+        leader.join().unwrap();
     }
 
     #[test]

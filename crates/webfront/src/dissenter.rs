@@ -26,6 +26,7 @@ type VoteOverlay = Arc<Mutex<HashMap<ObjectId, (u64, u64)>>>;
 pub struct DissenterFront {
     router: Router,
     cache: FrontCache,
+    limiter: Arc<Mutex<RateLimiter>>,
     config_override: Option<ServerConfig>,
 }
 
@@ -53,6 +54,13 @@ impl DissenterFront {
         Self::build(world, FrontCache::new(stamp), RateLimiter::new(limit, window_secs))
     }
 
+    /// Build with both an explicit cache and an explicit limiter — the
+    /// adversarial-traffic harness wants `cache.*` metrics *and* a short,
+    /// penalty-enabled rate window on one front.
+    pub fn with_parts(world: Arc<World>, cache: FrontCache, limiter: RateLimiter) -> Self {
+        Self::build(world, cache, limiter)
+    }
+
     fn build(world: Arc<World>, cache: FrontCache, limiter: RateLimiter) -> Self {
         let mut router = Router::new();
         let limit_header = limiter.limit().to_string();
@@ -75,10 +83,17 @@ impl DissenterFront {
             router.route("GET", "/url/:cuid", move |req, p| {
                 let decision = limiter.lock().check(req.path(), now_secs());
                 match decision {
-                    platform::ratelimit::RateDecision::Deny { reset_at } => {
+                    platform::ratelimit::RateDecision::Deny { reset_at, penalized } => {
                         let mut r = Response::status(Status::TOO_MANY);
                         r.headers.add("X-RateLimit-Limit", &limit_header);
                         r.headers.add("X-RateLimit-Reset", &reset_at.to_string());
+                        if penalized {
+                            // This deny extended a greedy-client lockout;
+                            // marked so abuse oracles can reconcile the
+                            // limiter's penalized counter against what
+                            // clients actually observed.
+                            r.headers.add("X-RateLimit-Penalized", "1");
+                        }
                         r
                     }
                     platform::ratelimit::RateDecision::Allow { remaining, reset_at } => {
@@ -118,7 +133,7 @@ impl DissenterFront {
                 discussion_begin(&world, req)
             });
         }
-        Self { router, cache, config_override: None }
+        Self { router, cache, limiter, config_override: None }
     }
 
     /// Pin an explicit server configuration for this front (returned by
@@ -131,6 +146,12 @@ impl DissenterFront {
     /// The front's conditional-request cache.
     pub fn cache(&self) -> &FrontCache {
         &self.cache
+    }
+
+    /// The per-URL limiter's running decision totals, for oracles that
+    /// reconcile server books against client-observed 429s.
+    pub fn rate_stats(&self) -> platform::RateStats {
+        self.limiter.lock().stats()
     }
 }
 

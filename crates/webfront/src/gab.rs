@@ -134,7 +134,7 @@ fn rate_limited(
         (guard.check("api", now_secs()), guard.limit())
     };
     match decision {
-        platform::ratelimit::RateDecision::Deny { reset_at } => {
+        platform::ratelimit::RateDecision::Deny { reset_at, penalized: _ } => {
             let mut r = Response::status(Status::TOO_MANY);
             r.headers.add("X-RateLimit-Limit", &limit.to_string());
             r.headers.add("X-RateLimit-Remaining", "0");

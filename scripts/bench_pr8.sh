@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Adversarial-traffic bench: every abuse profile (greedy scraper,
+# slowloris + partial-write sinkhole, cache stampede, pipeline flood,
+# validator replay) driven concurrently with a polite loadgen baseline
+# against a hardened Dissenter front, plus a polite-vs-greedy collector
+# comparison on the rate-limited route — emitted as BENCH_PR8.json in
+# the repo root. The abusegen binary self-validates: it exits nonzero
+# unless the polite client keeps >=99% success and p99 <= 3x the
+# no-abuse baseline under every profile, every abuse segment's books
+# reconcile exactly (client-side AND against the limiter's own
+# RateStats, penalized lockouts included), zero shadow-visibility leaks
+# and ETag/body incoherences occur, the slowloris phase is provably
+# defended (conn.read_timeouts / conn.write_timeouts fired), the polite
+# collector out-collects the greedy one, and peak RSS stays under the
+# ceiling.
+#
+# Usage: scripts/bench_pr8.sh [extra abusegen args, e.g. --conns 8]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin abusegen -- --out BENCH_PR8.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR8.json") as f:
+    report = json.load(f)
+for key in ("limiter", "baseline", "profiles", "four_tct", "server"):
+    assert key in report, f"BENCH_PR8.json missing {key!r}"
+base = report["baseline"]
+assert base["failures"] == 0, "baseline had failures"
+profiles = report["profiles"]
+expected_profiles = {"greedy_scraper", "slowloris", "stampede",
+                     "pipeline_flood", "validator_replay"}
+assert set(profiles) == expected_profiles, f"profile set is {sorted(profiles)}"
+p99_gate = max(base["p99_us"] * 3.0, 10_000)
+for name, phase in profiles.items():
+    polite, abuse = phase["polite"], phase["abuse"]
+    total = polite["requests"] + polite["failures"]
+    assert total > 0 and polite["failures"] <= total * 0.01, \
+        f"{name}: polite success below 99% ({polite['failures']}/{total})"
+    assert polite["p99_us"] <= p99_gate, \
+        f"{name}: polite p99 {polite['p99_us']} us over gate {p99_gate:.0f} us"
+    assert abuse["reconciles"] is True, f"{name}: abuse books do not reconcile"
+    assert abuse["leaks"] == 0, f"{name}: {abuse['leaks']} shadow leaks"
+    assert abuse["incoherent"] == 0, f"{name}: cache incoherence"
+slow = profiles["slowloris"]["abuse"]
+assert slow["dropped"] > 0, "slowloris: no hostile connection was closed"
+assert slow["errors"] == 0, "slowloris: tricklers outlived the give-up budget"
+server = report["server"]
+assert server["read_timeouts"] > 0, "header-budget defense never fired"
+assert server["write_timeouts"] > 0, "write-deadline defense never fired"
+assert server["rss_peak_mb"] <= server["rss_ceiling_mb"], \
+    f"peak RSS {server['rss_peak_mb']:.1f} MB over {server['rss_ceiling_mb']} MB"
+tct = report["four_tct"]
+polite_a, greedy_a = tct["polite"]["acquired"], tct["greedy"]["acquired"]
+assert polite_a > greedy_a, f"polite acquired {polite_a} <= greedy {greedy_a}"
+assert tct["polite"]["sleeps"] > 0, "polite collector never slept on a reset"
+lim = report["limiter"]
+assert lim["penalized"] > 0, "no penalized lockout was ever recorded"
+print("BENCH_PR8.json OK:",
+      f"baseline p99 {base['p99_us']} us,",
+      f"worst polite p99 {max(p['polite']['p99_us'] for p in profiles.values())} us,",
+      f"defenses read/write {server['read_timeouts']}/{server['write_timeouts']},",
+      f"4tct polite {polite_a} vs greedy {greedy_a},",
+      f"peak RSS {server['rss_peak_mb']:.1f} MB")
+EOF

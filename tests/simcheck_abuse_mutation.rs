@@ -1,0 +1,58 @@
+//! Mutation smoke for the abuse family: a deliberately injected
+//! accounting bug in the rate limiter must be caught by the `abuse.*`
+//! oracles, shrink to a minimal still-armed scenario, and reproduce
+//! deterministically from its replay file.
+//!
+//! The mutation lives behind the `SIMCHECK_MUTATE` environment variable
+//! in [`platform::RateLimiter`]: `skip_penalty_counter` skips the
+//! `RateStats::penalized` increment while the 429 response still carries
+//! the `X-RateLimit-Penalized` header, so the limiter's books diverge
+//! from client-observed outcomes and `abuse.reconcile` must trip. The
+//! variable is read once per process, which is why this test owns its
+//! own integration-test binary (separate from `simcheck_mutation.rs`,
+//! which arms a different mutation) and sets it before anything serves.
+
+use dissenter_repro::simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
+
+#[test]
+fn injected_penalty_undercount_is_caught_shrunk_and_replayed() {
+    // Must happen before the first rate-limit check in this process.
+    std::env::set_var("SIMCHECK_MUTATE", "skip_penalty_counter");
+
+    // The greedy-scraper profile hammers the rate-limited route hardest,
+    // but the oracle's unconditional greedy burst means any armed
+    // profile would catch this; pin the profile for determinism.
+    let sc = Scenario {
+        scale: 0.001,
+        workers: 2,
+        svm: false,
+        abuse_profile: 0,
+        abuse_conns: 3,
+        ..Scenario::from_seed(0xAB5E)
+    };
+
+    // 1. Detection.
+    let failure = check_scenario_family(&sc, Family::Abuse)
+        .expect_err("the mutated limiter must trip the abuse oracle");
+    assert_eq!(failure.check, "abuse.reconcile", "caught by book reconciliation: {failure}");
+    assert!(failure.detail.contains("penalized"), "{failure}");
+
+    // 2. Shrinking preserves the failure and keeps the herd armed.
+    let (min, min_failure) =
+        shrink::shrink(sc, failure, |c| check_scenario_family(c, Family::Abuse).err());
+    assert_eq!(min_failure.check, "abuse.reconcile", "{min_failure}");
+    assert!(min.abuse_conns > 0, "the load-bearing herd survives shrinking");
+    assert_eq!(min.abuse_conns, 1, "and thins to a single connection");
+    assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
+
+    // 3. The replay file round-trips and still reproduces the failure.
+    let dir =
+        std::env::temp_dir().join(format!("simcheck-abuse-mutation-{}", std::process::id()));
+    let path =
+        replay::write(&dir, &replay::Replay::new(min, &min_failure)).expect("replay writes");
+    let loaded = replay::read(&path).expect("replay reads");
+    let replayed = check_scenario_family(&loaded.scenario, Family::Abuse)
+        .expect_err("the replayed scenario must reproduce the failure deterministically");
+    assert_eq!(replayed.check, "abuse.reconcile", "{replayed}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,9 @@ fn injected_accounting_bug_is_caught_shrunk_and_replayed() {
         workers: 2,
         crawl_workers: 1,
         svm: false,
+        // Disarm the abuse family: it is irrelevant to this mutation and
+        // would only add wall time to every shrink candidate.
+        abuse_conns: 0,
         ..Scenario::from_seed(0x5EED)
     };
 

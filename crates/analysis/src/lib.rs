@@ -16,6 +16,8 @@
 //! * [`votes`] — Fig. 5;
 //! * [`social`] — §4.5 network analyses (Fig. 9, hateful core);
 //! * [`covert`] — §6's covert-channel candidate detector (extension);
+//! * [`windowed`] — longitudinal growth curves, per-window toxicity,
+//!   crossover timing, and the scorer-drift report;
 //! * [`export`] — CSV plot series for every figure;
 //! * [`report`] — the assembled [`report::StudyReport`].
 
@@ -30,6 +32,7 @@ pub mod toxicity;
 pub mod url;
 pub mod users;
 pub mod votes;
+pub mod windowed;
 
 pub use allsides::{bias_of_domain, Bias};
 pub use report::StudyReport;

@@ -7,7 +7,7 @@
 
 use crate::allsides::{bias_of_domain, Bias};
 use crate::url::ParsedUrl;
-use classify::{HateDictionary, PerspectiveModel, PerspectiveScores};
+use classify::{HateDictionary, PerspectiveModel, PerspectiveScores, ScorerVersion};
 use crawler::store::{CrawlStore, ShadowLabel};
 use ids::ObjectId;
 use stats::{ks_two_sample, Ecdf, KsResult};
@@ -57,7 +57,22 @@ pub fn score_texts_pooled(
     pool: &httpnet::ThreadPool,
     metrics: Option<&obs::Registry>,
 ) -> Vec<CommentScores> {
+    score_texts_versioned_pooled(texts, &ScorerVersion::launch(0), pool, metrics)
+}
+
+/// [`score_texts_pooled`] under a specific [`ScorerVersion`]. The launch
+/// revision (or any zero-drift revision) scores bit-identically to the
+/// standard model, so the unversioned entry points delegate here; the
+/// windowed longitudinal analysis passes drifted revisions to reproduce
+/// mid-study scorer retraining.
+pub fn score_texts_versioned_pooled(
+    texts: &[&str],
+    version: &ScorerVersion,
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+) -> Vec<CommentScores> {
     use std::time::{Duration, Instant};
+    let version = *version;
     let bounds = classify::shard::shard_bounds(texts.len(), classify::shard::DEFAULT_SHARD_SIZE);
     // (scores, perspective busy, dictionary busy) per shard.
     let jobs: Vec<_> = bounds
@@ -65,7 +80,7 @@ pub fn score_texts_pooled(
         .map(|r| {
             let shard: Vec<String> = texts[r.clone()].iter().map(|t| (*t).to_owned()).collect();
             move || {
-                let model = PerspectiveModel::standard();
+                let model = PerspectiveModel::versioned(&version);
                 let dict = HateDictionary::standard();
                 let mut persp_busy = Duration::ZERO;
                 let mut dict_busy = Duration::ZERO;

@@ -1,0 +1,245 @@
+//! Longitudinal sweep bench: run the same evolving-world study both
+//! ways — composed incremental sweeps vs a one-shot retrospective
+//! crawl — and emit the comparison as `BENCH_PR9.json` (produced in CI
+//! by `scripts/bench_pr9.sh`).
+//!
+//! ```text
+//! sweepbench [--out FILE] [--epochs N] [--drift <f64>] [--scale <f64>]
+//!            [--seed N] [--workers N]
+//! ```
+//!
+//! Self-validating gates (exit 1 on any failure):
+//! * **oracle** — every artifact (render, longitudinal section, the
+//!   three windowed CSVs, figure CSVs, persisted JSONL mirror) is
+//!   byte-identical between the composed and one-shot runs. Unlike the
+//!   simcheck family this is checked at *nonzero* drift: both modes
+//!   apply the same declared revision timeline, so the equality must
+//!   hold regardless.
+//! * **amortization** — every *incremental* sweep (all but the base)
+//!   finishes within 1.5× the one-shot crawl's wall-clock (plus a
+//!   250 ms jitter floor), even though it re-covers a strictly larger
+//!   world than any sweep before it: validator reuse plus the
+//!   enumeration hint must keep a re-sweep at parity with a cold crawl
+//!   (measured ~0.9×, where a hint-free re-sweep lands well above 1×).
+//!   The composed *total* necessarily contains `epochs + 1`
+//!   full-coverage crawls and is reported (`crawl_ratio`) rather than
+//!   gated.
+//! * **revalidation reuse** — every post-base sweep answers more
+//!   requests with `304 Not Modified` than the base sweep did and at
+//!   least a quarter of its requests from cache; the per-sweep
+//!   304-served fraction is reported.
+//! * **drift detection** — at the configured nonzero drift the report
+//!   carries exactly one version boundary, rescored on a nonempty
+//!   calibration sample, with a nonzero max per-comment delta and the
+//!   boundary flagged as conclusion-threatening.
+
+use dissenter_core::longitudinal::{
+    artifacts, run_composed, run_one_shot, LongitudinalConfig,
+};
+use dissenter_core::StudyConfig;
+use std::time::Instant;
+use synth::config::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweepbench [--out FILE] [--epochs N] [--drift <f64>] [--scale <f64>] \
+         [--seed N] [--workers N]"
+    );
+    std::process::exit(2);
+}
+
+trait ParseOk {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T;
+}
+
+impl ParseOk for String {
+    fn parse_ok<T: std::str::FromStr>(&self, name: &str) -> T {
+        self.parse().unwrap_or_else(|_| {
+            eprintln!("sweepbench: invalid value {self:?} for {name}");
+            usage()
+        })
+    }
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_PR9.json");
+    let mut epochs: u32 = 2;
+    let mut drift: f64 = 0.25;
+    let mut scale: f64 = 0.003;
+    let mut seed: u64 = 0x10_6601;
+    let mut workers: usize = 8;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| usage()).parse_ok::<String>(name);
+        match arg.as_str() {
+            "--out" => out_path = val("--out").into(),
+            "--epochs" => epochs = val("--epochs").parse_ok("--epochs"),
+            "--drift" => drift = val("--drift").parse_ok("--drift"),
+            "--scale" => scale = val("--scale").parse_ok("--scale"),
+            "--seed" => seed = val("--seed").parse_ok("--seed"),
+            "--workers" => workers = val("--workers").parse_ok("--workers"),
+            _ => usage(),
+        }
+    }
+    assert!(epochs >= 1, "sweepbench needs at least one epoch of evolution");
+    assert!(drift > 0.0, "sweepbench gates on drift detection; pass --drift > 0");
+
+    let mut study = StudyConfig::small();
+    study.world.seed = seed;
+    study.world.scale = Scale::Custom(scale);
+    study.workers = workers;
+    study.skip_svm = true;
+    let cfg = LongitudinalConfig {
+        study,
+        epochs,
+        drift,
+        drift_seed: seed,
+        calibration: 256,
+        durable_root: None,
+        kill_sweep: None,
+    };
+
+    eprintln!("sweepbench: one-shot crawl of the final epoch state ...");
+    let t0 = Instant::now();
+    let one_shot = run_one_shot(&cfg);
+    let one_shot_total = t0.elapsed();
+    let one_shot_crawl_ms = one_shot.sweep_wall[0].as_secs_f64() * 1e3;
+
+    eprintln!("sweepbench: composed run, {} sweeps ...", epochs + 1);
+    let t1 = Instant::now();
+    let composed = run_composed(&cfg);
+    let composed_total = t1.elapsed();
+    let composed_crawl_ms: f64 =
+        composed.sweep_wall.iter().map(|w| w.as_secs_f64() * 1e3).sum();
+
+    // Gate 1: the differential oracle, at nonzero drift.
+    let a = artifacts(&composed);
+    let b = artifacts(&one_shot);
+    assert_eq!(
+        a.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        "artifact sets differ"
+    );
+    let mut bytes_compared = 0usize;
+    for ((name, left), (_, right)) in a.iter().zip(&b) {
+        assert!(left == right, "artifact {name} differs between composed and one-shot");
+        bytes_compared += left.len();
+    }
+
+    let boundaries = &composed.drift.boundaries;
+    let boundary = boundaries.first().expect("the schedule guarantees one version boundary");
+
+    let sweeps: Vec<jsonlite::Value> = composed
+        .sweep_wall
+        .iter()
+        .zip(&composed.sweep_not_modified)
+        .zip(&composed.sweep_requests)
+        .enumerate()
+        .map(|(i, ((wall, &nm), &req))| {
+            jsonlite::Value::object()
+                .with("sweep", i as i64)
+                .with("wall_ms", wall.as_secs_f64() * 1e3)
+                .with("not_modified", nm as f64)
+                .with("requests", req as f64)
+                .with("not_modified_fraction", if req > 0 { nm as f64 / req as f64 } else { 0.0 })
+                .with("ratio_to_one_shot", wall.as_secs_f64() * 1e3 / one_shot_crawl_ms.max(1e-9))
+        })
+        .collect();
+    let report = jsonlite::Value::object()
+        .with(
+            "config",
+            jsonlite::Value::object()
+                .with("epochs", epochs as i64)
+                .with("drift", drift)
+                .with("scale", scale)
+                .with("seed", format!("{seed:#x}"))
+                .with("workers", workers as i64),
+        )
+        .with(
+            "one_shot",
+            jsonlite::Value::object()
+                .with("crawl_wall_ms", one_shot_crawl_ms)
+                .with("total_wall_ms", one_shot_total.as_secs_f64() * 1e3)
+                .with("requests", one_shot.sweep_requests[0] as f64),
+        )
+        .with(
+            "composed",
+            jsonlite::Value::object()
+                .with("sweeps", jsonlite::Value::Array(sweeps))
+                .with("crawl_wall_ms", composed_crawl_ms)
+                .with("total_wall_ms", composed_total.as_secs_f64() * 1e3)
+                .with("crawl_ratio", composed_crawl_ms / one_shot_crawl_ms.max(1e-9))
+                .with("sweep_gate_ratio", 1.5),
+        )
+        .with(
+            "oracle",
+            jsonlite::Value::object()
+                .with("artifacts", a.len() as i64)
+                .with("bytes_compared", bytes_compared as i64)
+                .with("equal", true),
+        )
+        .with(
+            "drift",
+            jsonlite::Value::object()
+                .with("boundaries", boundaries.len() as i64)
+                .with("window", boundary.window as i64)
+                .with("calibration_n", boundary.calibration_n as i64)
+                .with("mean_severe_delta", boundary.mean_severe_delta)
+                .with("mean_reject_delta", boundary.mean_reject_delta)
+                .with("max_abs_comment_delta", boundary.max_abs_comment_delta)
+                .with("flagged", boundary.flagged),
+        );
+    std::fs::write(&out_path, jsonlite::to_string_pretty(&report))
+        .expect("write bench report");
+
+    // Gate 2: amortization, per incremental sweep.
+    let wall_gate_ms = one_shot_crawl_ms * 1.5 + 250.0;
+    for (i, wall) in composed.sweep_wall.iter().enumerate().skip(1) {
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        assert!(
+            wall_ms <= wall_gate_ms,
+            "incremental sweep {i} took {wall_ms:.0} ms, over gate {wall_gate_ms:.0} ms \
+             (one-shot {one_shot_crawl_ms:.0} ms)"
+        );
+    }
+
+    // Gate 3: revalidation reuse.
+    let base_304 = composed.sweep_not_modified[0];
+    for (i, (&nm, &req)) in
+        composed.sweep_not_modified.iter().zip(&composed.sweep_requests).enumerate().skip(1)
+    {
+        assert!(
+            nm > base_304,
+            "sweep {i} answered {nm} 304s, not more than the base sweep's {base_304}"
+        );
+        let fraction = nm as f64 / (req as f64).max(1.0);
+        assert!(
+            fraction >= 0.25,
+            "sweep {i} served only {:.1}% of its {req} requests as 304s",
+            fraction * 100.0
+        );
+    }
+
+    // Gate 4: drift detection.
+    assert_eq!(boundaries.len(), 1, "expected exactly one version boundary");
+    assert!(boundary.calibration_n > 0, "empty calibration sample");
+    assert!(boundary.max_abs_comment_delta > 0.0, "drift moved no calibration comment");
+    assert!(boundary.flagged, "drift {drift} was not flagged as conclusion-threatening");
+
+    let sweep_ratios: Vec<String> = composed
+        .sweep_wall
+        .iter()
+        .skip(1)
+        .map(|w| format!("{:.2}x", w.as_secs_f64() * 1e3 / one_shot_crawl_ms.max(1e-9)))
+        .collect();
+    eprintln!(
+        "sweepbench: OK — incremental sweeps at [{}] of the one-shot crawl \
+         ({one_shot_crawl_ms:.0} ms; composed total {composed_crawl_ms:.0} ms over {} sweeps), \
+         {} artifacts equal ({bytes_compared} bytes), drift flagged (max |delta| {:.4}); wrote {}",
+        sweep_ratios.join(", "),
+        epochs + 1,
+        a.len(),
+        boundary.max_abs_comment_delta,
+        out_path.display()
+    );
+}

@@ -38,5 +38,5 @@ pub mod svm;
 pub use dictionary::HateDictionary;
 pub use metrics::Confusion;
 pub use lexicon::Lexicon;
-pub use perspective::{PerspectiveModel, PerspectiveScores};
+pub use perspective::{PerspectiveModel, PerspectiveScores, ScorerVersion};
 pub use svm::{CommentClass, LinearSvm, SvmConfig};

@@ -123,21 +123,106 @@ pub struct PerspectiveScores {
     pub attack_on_author: f64,
 }
 
+/// One published revision of the black-box scoring service.
+///
+/// The Perspective papers ("Bye Bye Perspective API", arXiv:2604.25580;
+/// "On the Challenges of Using Black-Box APIs for Toxicity Evaluation",
+/// arXiv:2304.12397) document that the hosted models are silently
+/// retrained mid-study, shifting score distributions under longitudinal
+/// analyses. A `ScorerVersion` reproduces that hazard deterministically:
+/// `version` identifies the revision, and each weight of each model is
+/// perturbed multiplicatively by at most `drift` (relative), with the
+/// perturbation drawn from a seeded stream keyed on
+/// `(seed, version, weight index)`. Version 0 — or any version with
+/// `drift == 0` — is *bit-identical* to [`PerspectiveModel::standard`],
+/// which anchors the longitudinal differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScorerVersion {
+    /// Monotone revision number; 0 is the launch model.
+    pub version: u32,
+    /// Maximum relative weight perturbation in `[0, 1)`; 0 disables drift.
+    pub drift: f64,
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+}
+
+impl ScorerVersion {
+    /// The launch revision (scores exactly like the standard model).
+    pub fn launch(seed: u64) -> Self {
+        Self { version: 0, drift: 0.0, seed }
+    }
+
+    /// Revision `version` with relative drift `drift`.
+    pub fn at(version: u32, drift: f64, seed: u64) -> Self {
+        Self { version, drift, seed }
+    }
+
+    /// The seeded perturbation factor for weight `idx` of this revision,
+    /// in `[1 - drift, 1 + drift]`.
+    fn factor(&self, idx: u64) -> f64 {
+        if self.version == 0 || self.drift == 0.0 {
+            return 1.0;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((self.version as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(idx.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to [-1, 1] then scale by the drift magnitude.
+        let unit = (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0;
+        1.0 + self.drift * unit
+    }
+
+    fn perturb(&self, w: &ModelWeights, base_idx: u64) -> ModelWeights {
+        ModelWeights {
+            hate: w.hate * self.factor(base_idx),
+            obscene: w.obscene * self.factor(base_idx + 1),
+            insult: w.insult * self.factor(base_idx + 2),
+            author: w.author * self.factor(base_idx + 3),
+            exclaim: w.exclaim * self.factor(base_idx + 4),
+            caps: w.caps * self.factor(base_idx + 5),
+            bias: w.bias * self.factor(base_idx + 6),
+        }
+    }
+}
+
 /// The scoring service: feature extraction plus the four models.
+///
+/// The model carries its own weight set so different [`ScorerVersion`]s
+/// can coexist in one process (the windowed analysis rescoring a
+/// calibration sample across revisions needs exactly that).
 #[derive(Debug, Clone)]
 pub struct PerspectiveModel {
     extractor: FeatureExtractor,
+    severe: ModelWeights,
+    reject: ModelWeights,
+    obscene: ModelWeights,
+    attack: ModelWeights,
 }
 
 impl PerspectiveModel {
-    /// Model over the standard lexicon.
+    /// Model over the standard lexicon with the published launch weights.
     pub fn standard() -> Self {
-        Self { extractor: FeatureExtractor::standard() }
+        Self::new(FeatureExtractor::standard())
     }
 
-    /// Model over a custom extractor.
+    /// Model over a custom extractor (launch weights).
     pub fn new(extractor: FeatureExtractor) -> Self {
-        Self { extractor }
+        Self { extractor, severe: SEVERE_W, reject: REJECT_W, obscene: OBSCENE_W, attack: ATTACK_W }
+    }
+
+    /// The standard model as revised by `version`. Version 0 (or zero
+    /// drift) is bit-identical to [`PerspectiveModel::standard`].
+    pub fn versioned(version: &ScorerVersion) -> Self {
+        Self {
+            extractor: FeatureExtractor::standard(),
+            severe: version.perturb(&SEVERE_W, 0),
+            reject: version.perturb(&REJECT_W, 7),
+            obscene: version.perturb(&OBSCENE_W, 14),
+            attack: version.perturb(&ATTACK_W, 21),
+        }
     }
 
     /// The feature extractor (shared with the SVM featurizer).
@@ -154,10 +239,10 @@ impl PerspectiveModel {
     /// Score pre-extracted features.
     pub fn score_features(&self, f: &TextFeatures) -> PerspectiveScores {
         PerspectiveScores {
-            severe_toxicity: SEVERE_W.score(f),
-            likely_to_reject: REJECT_W.score(f),
-            obscene: OBSCENE_W.score(f),
-            attack_on_author: ATTACK_W.score(f),
+            severe_toxicity: self.severe.score(f),
+            likely_to_reject: self.reject.score(f),
+            obscene: self.obscene.score(f),
+            attack_on_author: self.attack.score(f),
         }
     }
 }
@@ -262,6 +347,36 @@ mod tests {
         assert_eq!(d, 1.0);
         let d0 = OBSCENE_W.density_for_target(16.0, 1e-9);
         assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn version_zero_and_zero_drift_score_bit_identically() {
+        let texts = [
+            "I went for a walk and saw a bird.",
+            "you stupid pathetic fool idiot",
+            "the author is a liar honestly",
+        ];
+        let standard = PerspectiveModel::standard();
+        let launch = PerspectiveModel::versioned(&ScorerVersion::launch(42));
+        let drift0 = PerspectiveModel::versioned(&ScorerVersion::at(7, 0.0, 42));
+        for t in texts {
+            let want = standard.score(t);
+            assert_eq!(want, launch.score(t), "launch version must be bit-identical");
+            assert_eq!(want, drift0.score(t), "zero drift must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn drifted_versions_move_scores_deterministically() {
+        let text = "you stupid pathetic fool idiot";
+        let v1 = ScorerVersion::at(1, 0.2, 42);
+        let a = PerspectiveModel::versioned(&v1).score(text);
+        let b = PerspectiveModel::versioned(&v1).score(text);
+        assert_eq!(a, b, "same version must reproduce");
+        let base = PerspectiveModel::standard().score(text);
+        assert_ne!(a, base, "20% drift must move a mid-range score");
+        let v2 = ScorerVersion::at(2, 0.2, 42);
+        assert_ne!(a, PerspectiveModel::versioned(&v2).score(text), "revisions differ");
     }
 
     #[test]

@@ -5,6 +5,15 @@
 //! gap-tolerance window past the highest hit comes back empty. Rate-limit
 //! denials (429 + `X-RateLimit-Reset`) are honored by sleeping until the
 //! advertised reset, exactly as §3.4 describes.
+//!
+//! With a [`SweepHint`](crate::SweepHint) attached, the scan is
+//! **incremental**: the known ID set is re-fetched (conditional GETs,
+//! mostly `304`-cheap; deletions since the last sweep come back 404 and
+//! drop out) and the block sweep starts just past the previous maximum,
+//! since the monotonic allocator can only have minted new accounts
+//! above it. The unallocated-ID probes below the previous maximum — the
+//! one part of a re-sweep that revalidation can never make cheap,
+//! because a 404 carries no validator — are skipped entirely.
 
 use crate::resilience::{Phase, PhaseRun};
 use crate::store::{CrawlStore, GabAccount};
@@ -15,14 +24,10 @@ const BLOCK: u64 = 4_096;
 /// Run the enumeration phase into `store.gab_accounts`.
 pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
     let run = PhaseRun::new(crawler, Phase::GabEnum);
-    let mut accounts: Vec<GabAccount> = Vec::new();
-    let mut start: u64 = 1;
-    let mut last_hit: u64 = 0;
-    loop {
-        let ids: Vec<u64> = (start..start + BLOCK).collect();
-        let found = crate::parallel::parallel_fetch(
+    let fetch_ids = |ids: &[u64], store: &CrawlStore| -> Vec<GabAccount> {
+        crate::parallel::parallel_fetch(
             crawler.endpoints.gab,
-            &ids,
+            ids,
             crawler.config.workers,
             &store.stats,
             |c| run.setup_client(c),
@@ -43,12 +48,40 @@ pub fn enumerate(crawler: &Crawler, store: &mut CrawlStore) {
                         as u64,
                 })
             },
-        );
+        )
+    };
+
+    let mut accounts: Vec<GabAccount> = Vec::new();
+    let mut start: u64 = 1;
+    let mut last_hit: u64 = 0;
+    let mut block = BLOCK;
+    if let Some(hint) = crawler.sweep_hint() {
+        // Incremental: re-check the known set, then scan only the ID
+        // space the allocator could have extended into. `last_hit`
+        // seeds from the *surviving* known IDs (the previous maximum
+        // may have been deleted since), exactly where a from-scratch
+        // scan's high-water mark would stand on crossing it.
+        accounts = fetch_ids(&hint.known_gab_ids, store);
+        last_hit = accounts.iter().map(|a| a.gab_id).max().unwrap_or(0);
+        start = hint.max_gab_id + 1;
+        // Blocks sized to the expected tail (block geometry affects
+        // only request batching, never the found set — see the
+        // termination argument below).
+        block = crawler.config.enum_gap_tolerance.clamp(512, BLOCK);
+    }
+    // Termination: the scan stops once a whole gap-tolerance window past
+    // the highest hit is exhausted. Since consecutive allocated IDs
+    // never differ by more than the tolerance, `last_hit` reaches the
+    // true maximum before any stop, so every visible ID is found
+    // regardless of where the blocks start or how wide they are.
+    loop {
+        let ids: Vec<u64> = (start..start + block).collect();
+        let found = fetch_ids(&ids, store);
         if let Some(max_hit) = found.iter().map(|a| a.gab_id).max() {
             last_hit = last_hit.max(max_hit);
         }
         accounts.extend(found);
-        start += BLOCK;
+        start += block;
         if start > last_hit + crawler.config.enum_gap_tolerance {
             break;
         }

@@ -122,6 +122,57 @@ pub struct Endpoints {
     pub youtube: SocketAddr,
 }
 
+/// Prior-sweep knowledge for an incremental longitudinal sweep (see
+/// [`Crawler::set_sweep_hint`]).
+///
+/// # Soundness contract
+///
+/// The hint lets [`gab_enum`] and [`probe`] skip the uncacheable
+/// negative probes (404s carry no validator, so they are re-paid in
+/// full every sweep) that a previous sweep already answered. Skipping
+/// them is sound only under the world's epoch contract
+/// (`synth::apply_epoch`):
+///
+/// * Gab IDs are minted by a monotonic counter — every account created
+///   after the previous sweep has an ID **above** [`SweepHint::max_gab_id`],
+///   and IDs that were unallocated (or deleted) below it never become
+///   visible again. Re-checking the known IDs (conditional, mostly
+///   `304`-cheap) plus scanning past the previous maximum therefore
+///   finds exactly the set a from-scratch enumeration would.
+/// * Existing Gab users never gain a Dissenter account mid-study (only
+///   newly created users can carry one), so a username that probed
+///   negative stays negative; known positives are re-probed (their
+///   pages change with bans) and new accounts are probed fresh.
+///
+/// The sweep≡one-shot differential oracle (`longitudinal.oracle`)
+/// enforces the contract end-to-end: a hint that skipped a probe it
+/// should not have makes the composed study diverge from the one-shot
+/// study byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct SweepHint {
+    /// Highest Gab ID visible to the previous sweep.
+    pub max_gab_id: u64,
+    /// Every Gab ID the previous sweep enumerated, ascending.
+    pub known_gab_ids: Vec<u64>,
+    /// Usernames the previous sweep confirmed as Dissenter accounts.
+    pub dissenter_usernames: std::collections::HashSet<String>,
+}
+
+impl SweepHint {
+    /// Derive the hint from a completed sweep's store. `None` when the
+    /// store enumerated nothing (an empty hint would degenerate the next
+    /// sweep's enumeration into scanning from ID 1 anyway).
+    pub fn from_store(store: &CrawlStore) -> Option<Self> {
+        let known_gab_ids: Vec<u64> = store.gab_accounts.iter().map(|a| a.gab_id).collect();
+        let max_gab_id = *known_gab_ids.last()?;
+        Some(Self {
+            max_gab_id,
+            known_gab_ids,
+            dissenter_usernames: store.dissenter_usernames.iter().cloned().collect(),
+        })
+    }
+}
+
 /// The full §3 pipeline.
 #[derive(Debug)]
 pub struct Crawler {
@@ -141,6 +192,10 @@ pub struct Crawler {
     /// Shared ETag revalidation cache, attached to every worker client
     /// when set (see [`Crawler::enable_revalidation`]).
     reval: Option<httpnet::RevalidationCache>,
+    /// Simulated serving clock (see [`Crawler::set_clock`]).
+    clock: Option<platform::SimClock>,
+    /// Prior-sweep knowledge (see [`Crawler::set_sweep_hint`]).
+    hint: Option<SweepHint>,
 }
 
 impl Crawler {
@@ -152,7 +207,25 @@ impl Crawler {
             breakers: resilience::Breakers::default(),
             metrics: obs::Registry::new(),
             reval: None,
+            clock: None,
+            hint: None,
         }
+    }
+
+    /// Attach prior-sweep knowledge for an **incremental sweep**: the
+    /// enumeration re-checks the known ID set and scans only past the
+    /// previous maximum, and the probe phase skips usernames that
+    /// already probed negative (see [`SweepHint`] for why that is
+    /// sound). The resulting store is byte-identical to a hint-free
+    /// crawl of the same world; only the uncacheable negative-probe
+    /// traffic disappears.
+    pub fn set_sweep_hint(&mut self, hint: SweepHint) {
+        self.hint = Some(hint);
+    }
+
+    /// The attached prior-sweep knowledge, if any.
+    pub fn sweep_hint(&self) -> Option<&SweepHint> {
+        self.hint.as_ref()
     }
 
     /// Turn on **incremental re-crawl**: every worker client shares one
@@ -174,6 +247,31 @@ impl Crawler {
     /// The shared revalidation cache, if incremental re-crawl is on.
     pub fn revalidation_cache(&self) -> Option<&httpnet::RevalidationCache> {
         self.reval.as_ref()
+    }
+
+    /// Attach an **existing** revalidation cache instead of a fresh one
+    /// — longitudinal sweeps hand every sweep's crawler the same cache
+    /// (revalidation keys are host-free, so validators earned against
+    /// one sweep's ephemeral ports keep working on the next sweep's).
+    pub fn set_revalidation(&mut self, cache: httpnet::RevalidationCache) {
+        self.reval = Some(cache);
+    }
+
+    /// Key every throttle wait off a shared [`platform::SimClock`]
+    /// instead of the wall: when a server's `X-RateLimit-Reset` (in
+    /// simulated seconds) demands a wait, the crawler *advances the
+    /// clock* past the reset rather than sleeping. Paired with fronts
+    /// built by `webfront::SimFronts::for_sweep` (whose rate limiters
+    /// read the same clock), this keeps penalty lockouts and resumed
+    /// sweeps byte-replayable — wall-clock scheduling can no longer
+    /// decide whether a resumed crawl lands inside a spent rate window.
+    pub fn set_clock(&mut self, clock: platform::SimClock) {
+        self.clock = Some(clock);
+    }
+
+    /// The simulated clock, if one is attached.
+    pub fn clock(&self) -> Option<&platform::SimClock> {
+        self.clock.as_ref()
     }
 
     /// Run every phase: enumerate, probe, spider, shadow-diff, YouTube,

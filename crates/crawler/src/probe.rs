@@ -12,9 +12,26 @@ use crate::Crawler;
 pub const SIZE_THRESHOLD: usize = 10 * 1024;
 
 /// Probe every enumerated Gab username for a Dissenter home page.
+///
+/// With a [`SweepHint`](crate::SweepHint) attached, only accounts
+/// created since the previous sweep plus the known positives are
+/// probed: a 404-sized miss carries no validator so re-probing it is
+/// never `304`-cheap, and the epoch contract guarantees an existing
+/// account cannot gain a Dissenter page mid-study (known positives
+/// *are* re-probed — bans change their pages).
 pub fn probe_dissenter_accounts(crawler: &Crawler, store: &mut CrawlStore) {
     let run = PhaseRun::new(crawler, Phase::Probe);
-    let usernames: Vec<String> = store.gab_accounts.iter().map(|a| a.username.clone()).collect();
+    let usernames: Vec<String> = match crawler.sweep_hint() {
+        Some(hint) => store
+            .gab_accounts
+            .iter()
+            .filter(|a| {
+                a.gab_id > hint.max_gab_id || hint.dissenter_usernames.contains(&a.username)
+            })
+            .map(|a| a.username.clone())
+            .collect(),
+        None => store.gab_accounts.iter().map(|a| a.username.clone()).collect(),
+    };
     let mut hits = crate::parallel::parallel_fetch(
         crawler.endpoints.dissenter,
         &usernames,

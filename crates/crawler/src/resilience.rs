@@ -388,12 +388,24 @@ impl<'a> PhaseRun<'a> {
                         }
                         store.stats.add_rate_limit_sleep();
                         self.metrics.throttle_sleeps.inc();
+                        let now = match self.crawler.clock() {
+                            Some(clock) => clock.now(),
+                            None => wall_secs(),
+                        };
                         let (wait, clamped) =
-                            throttle_delay(&resp, &policy, throttles - 1, &mut rng);
+                            throttle_delay(&resp, &policy, throttles - 1, &mut rng, now);
                         if clamped {
                             self.metrics.retry_after_clamped.inc();
                         }
-                        std::thread::sleep(wait);
+                        match self.crawler.clock() {
+                            // Simulated time: advance past the advertised
+                            // reset instead of sleeping. The wait is in
+                            // simulated seconds (the front's limiter reads
+                            // the same clock), so sleeping it out on the
+                            // wall would be both slow and meaningless.
+                            Some(clock) => clock.advance(wait.as_secs().max(1)),
+                            None => std::thread::sleep(wait),
+                        }
                         continue;
                     }
                     StatusClass::Retryable => {
@@ -471,15 +483,24 @@ impl<'a> PhaseRun<'a> {
 /// park a worker indefinitely.
 const MAX_RESET_WAIT: Duration = Duration::from_secs(120);
 
+/// Wall-clock epoch seconds (the `now` used when no simulated clock is
+/// attached to the crawler).
+fn wall_secs() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
 /// How long to wait out a 429, plus whether the peer's advice was
 /// absurd enough to be clamped (surfaced as the phase's
 /// `retry_after_clamped` counter). Preference order: the `Retry-After`
 /// header (delta-seconds or HTTP-date, capped by the policy's
-/// `max_backoff`), then `X-RateLimit-Reset` (absolute epoch seconds, the
-/// Gab/Dissenter convention — slept out **in full**, exactly like the
-/// paper's sleep-until-reset loop), then the computed backoff.
+/// `max_backoff`), then `X-RateLimit-Reset` (absolute seconds on the
+/// caller's clock, the Gab/Dissenter convention — waited out **in
+/// full**, exactly like the paper's sleep-until-reset loop), then the
+/// computed backoff. `now` is the current instant *on whichever clock
+/// the server's reset refers to*: wall seconds normally, the shared
+/// [`platform::SimClock`] under a longitudinal sweep.
 ///
-/// Sleeping to the advertised reset, rather than probing in short
+/// Waiting to the advertised reset, rather than probing in short
 /// slices, is what keeps a fetch's *outcome* independent of where in
 /// the peer's rate window it starts: a crawl resumed right after a
 /// crash inherits a window its dead predecessor already spent, and a
@@ -491,13 +512,13 @@ fn throttle_delay(
     policy: &RetryPolicy,
     throttle_no: usize,
     rng: &mut rand::rngs::StdRng,
+    now: u64,
 ) -> (Duration, bool) {
     if let Some(ra) = parse_retry_after_detailed(resp) {
         return (ra.delay.min(policy.max_backoff), ra.clamped);
     }
     if let Some(reset) = resp.headers.get("x-ratelimit-reset").and_then(|v| v.parse::<u64>().ok()) {
-        let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
-        // +1 covers sub-second truncation on both clocks: sleeping to
+        // +1 covers sub-second truncation on both clocks: waiting to
         // the reset's second boundary can still land inside the old
         // window.
         let wait = Duration::from_secs(reset.saturating_sub(now).max(1) + 1);

@@ -18,6 +18,7 @@
 //! ```
 
 pub mod experiments;
+pub mod longitudinal;
 pub mod render;
 pub mod runstats;
 pub mod svm_exp;

@@ -497,6 +497,67 @@ pub fn covert(study: &Study) -> String {
     s
 }
 
+/// The longitudinal section: per-window growth and toxicity, crossover
+/// timing, the scorer-revision timeline, and the drift verdict.
+/// Deterministic — diagnostics (per-sweep 304s, wall-clocks) are
+/// deliberately excluded so composed and one-shot artifacts compare
+/// byte-for-byte under the sweep≡one-shot oracle.
+pub fn longitudinal(ls: &crate::longitudinal::LongitudinalStudy) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Longitudinal: windowed study ==");
+    let _ = writeln!(s, "windows: {}   epochs past base: {}", ls.windows.len(), ls.windows.len().saturating_sub(1));
+    let _ = writeln!(s, "-- growth curve --");
+    for g in &ls.growth {
+        let _ = writeln!(
+            s,
+            "  w{:<3} {}  users={:<7} (+{:<5}) comments={:<8} (+{:<5}) urls={:<6} (+{})",
+            g.window,
+            g.until,
+            g.total_users,
+            g.new_users,
+            g.total_comments,
+            g.new_comments,
+            g.total_urls,
+            g.new_urls
+        );
+    }
+    let _ = writeln!(s, "-- per-window toxicity --");
+    for w in &ls.windows {
+        let _ = writeln!(
+            s,
+            "  w{:<3} scorer=v{} comments={:<8} severe={:.4} reject={:.4} attack={:.4}",
+            w.window, w.scorer_version, w.comments, w.mean_severe, w.mean_reject, w.mean_attack
+        );
+    }
+    match ls.crossover {
+        Some(w) => {
+            let _ = writeln!(s, "severe-toxicity crossover: window {w}");
+        }
+        None => {
+            let _ = writeln!(s, "severe-toxicity crossover: none");
+        }
+    }
+    let _ = writeln!(s, "-- scorer drift --");
+    if ls.drift.boundaries.is_empty() {
+        let _ = writeln!(s, "  no version boundaries in study span");
+    }
+    for b in &ls.drift.boundaries {
+        let _ = writeln!(
+            s,
+            "  w{:<3} v{} -> v{}  sample={} d_severe={:+.6} d_reject={:+.6} max|d|={:.6}  {}",
+            b.window,
+            b.from_version,
+            b.to_version,
+            b.calibration_n,
+            b.mean_severe_delta,
+            b.mean_reject_delta,
+            b.max_abs_comment_delta,
+            if b.flagged { "FLAGGED: conclusion-changing drift" } else { "within tolerance" }
+        );
+    }
+    s
+}
+
 /// Every paper artifact, in paper order — the deterministic half of
 /// [`full`]: byte-identical across same-seed runs at **any** worker
 /// count (the determinism contract the worker-matrix and golden tests

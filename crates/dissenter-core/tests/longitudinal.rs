@@ -1,0 +1,121 @@
+//! The sweep≡one-shot differential oracle, as an integration test.
+//!
+//! At drift 0 a longitudinal study composed sweep-by-sweep over every
+//! epoch must equal a one-shot retrospective study of the final epoch
+//! state **byte-for-byte** on every artifact: the deterministic render,
+//! the longitudinal section, the windowed CSVs, the figure CSVs, and
+//! the persisted JSONL mirror. The `longitudinal.*` simcheck family
+//! enforces the same property across seeds; this test pins one seed in
+//! the tier-1 suite and also exercises the legitimate-divergence side
+//! (drift > 0 must flag) and the crash-resume side (a killed sweep
+//! resumes into the same bytes).
+
+use dissenter_core::longitudinal::{
+    artifacts, run_composed, run_one_shot, version_schedule, LongitudinalConfig,
+};
+use synth::config::Scale;
+
+fn cfg(epochs: u32, drift: f64) -> LongitudinalConfig {
+    let mut cfg = LongitudinalConfig::small();
+    cfg.study.world.seed = 0xD155_E17E;
+    cfg.study.world.scale = Scale::Custom(0.003);
+    cfg.epochs = epochs;
+    cfg.drift = drift;
+    cfg
+}
+
+fn assert_same_artifacts(want: &[(String, Vec<u8>)], have: &[(String, Vec<u8>)]) {
+    assert_eq!(
+        want.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        have.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        "artifact sets differ"
+    );
+    for ((name, want), (_, have)) in want.iter().zip(have) {
+        assert_eq!(want, have, "{name} differs between composed and one-shot studies");
+    }
+}
+
+#[test]
+fn composed_sweeps_equal_one_shot_at_zero_drift() {
+    let cfg = cfg(2, 0.0);
+    let composed = run_composed(&cfg);
+    let one_shot = run_one_shot(&cfg);
+
+    // The oracle proper.
+    assert_same_artifacts(&artifacts(&one_shot), &artifacts(&composed));
+
+    // Sanity on the composed run's shape: one sweep per window, and the
+    // shared revalidation cache turned repeat fetches into 304s from the
+    // second sweep on (per-target stamps keep validators stable for
+    // pages untouched by an epoch).
+    assert_eq!(composed.windows.len(), 3);
+    assert_eq!(composed.sweep_not_modified.len(), 3);
+    // Sweep 0 can only revalidate targets it refetched itself; sweeps 1+
+    // inherit the whole previous mirror's validators, so their 304
+    // volume must dominate it.
+    assert!(
+        composed.sweep_not_modified[1..]
+            .iter()
+            .all(|&n| n > composed.sweep_not_modified[0]),
+        "incremental sweeps must be 304-dominated: {:?}",
+        composed.sweep_not_modified
+    );
+    // The evolving world actually grew in every epoch.
+    for pair in composed.growth.windows(2) {
+        assert!(pair[1].new_users > 0 && pair[1].new_comments > 0, "dead epoch: {pair:?}");
+    }
+    // A no-op mid-study redeploy is detected but never flagged.
+    assert_eq!(composed.drift.boundaries.len(), 1);
+    assert!(!composed.drift.boundaries[0].flagged, "zero drift must not flag");
+}
+
+#[test]
+fn drift_produces_flagged_rescoring_deltas() {
+    let cfg = cfg(2, 0.25);
+    let study = run_composed(&cfg);
+    assert_eq!(study.drift.boundaries.len(), 1, "one mid-study revision expected");
+    let b = &study.drift.boundaries[0];
+    assert_eq!((b.from_version, b.to_version), (0, 1));
+    assert!(b.calibration_n > 0);
+    assert!(
+        b.flagged,
+        "drift 0.25 must move calibration means past the threshold: {b:?}"
+    );
+    assert!(b.max_abs_comment_delta > 0.0);
+    // Windows before the upgrade were scored under v0, after under v1.
+    assert_eq!(study.windows[0].scorer_version, 0);
+    assert_eq!(study.windows[2].scorer_version, 1);
+}
+
+#[test]
+fn version_schedule_shape() {
+    assert_eq!(
+        version_schedule(0, 0.1, 7).iter().map(|v| v.version).collect::<Vec<_>>(),
+        vec![0],
+        "a zero-epoch study never upgrades"
+    );
+    assert_eq!(
+        version_schedule(2, 0.1, 7).iter().map(|v| v.version).collect::<Vec<_>>(),
+        vec![0, 0, 1]
+    );
+    assert_eq!(
+        version_schedule(4, 0.1, 7).iter().map(|v| v.version).collect::<Vec<_>>(),
+        vec![0, 0, 0, 1, 1]
+    );
+}
+
+#[test]
+fn killed_sweep_resumes_into_identical_artifacts() {
+    let plain = cfg(1, 0.0);
+    let want = artifacts(&run_composed(&plain));
+
+    let root = std::env::temp_dir().join(format!("longitudinal-kill-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut killed = cfg(1, 0.0);
+    killed.durable_root = Some(root.clone());
+    killed.kill_sweep = Some((1, 40));
+    let have = artifacts(&run_composed(&killed));
+    std::fs::remove_dir_all(&root).ok();
+
+    assert_same_artifacts(&want, &have);
+}

@@ -247,10 +247,9 @@ pub struct RevalStats {
     pub revalidated: u64,
 }
 
-struct RevalInner {
-    map: HashMap<String, (String, Response)>,
+struct RevalShard {
+    map: HashMap<String, (String, Arc<Response>)>,
     order: std::collections::VecDeque<String>,
-    capacity: usize,
     stored: u64,
     revalidated: u64,
 }
@@ -258,9 +257,17 @@ struct RevalInner {
 /// Client-side `(ETag, response)` store keyed by cookie context +
 /// target. Cloning shares the underlying store, so one cache can serve
 /// every worker of a crawl and persist across sweeps.
+///
+/// The store is sharded: every crawl worker touches the cache once or
+/// twice per request (`If-None-Match` lookup, then either a store or a
+/// 304 resurrection), so a single lock would serialize the whole
+/// incremental sweep. Bodies are held behind `Arc` and cloned outside
+/// the shard lock, so no worker memcpys a response body while holding a
+/// lock another worker needs.
 #[derive(Clone)]
 pub struct RevalidationCache {
-    inner: Arc<Mutex<RevalInner>>,
+    shards: Arc<Vec<Mutex<RevalShard>>>,
+    per_shard_cap: usize,
 }
 
 impl std::fmt::Debug for RevalidationCache {
@@ -275,22 +282,37 @@ impl std::fmt::Debug for RevalidationCache {
 }
 
 impl RevalidationCache {
-    /// A cache bounded to `capacity` entries (FIFO eviction).
+    /// A cache bounded to roughly `capacity` entries (FIFO eviction per
+    /// shard; the bound is exact when `capacity` divides evenly across
+    /// the shards).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let n_shards = capacity.min(16);
         Self {
-            inner: Arc::new(Mutex::new(RevalInner {
-                map: HashMap::new(),
-                order: std::collections::VecDeque::new(),
-                capacity: capacity.max(1),
-                stored: 0,
-                revalidated: 0,
-            })),
+            shards: Arc::new(
+                (0..n_shards)
+                    .map(|_| {
+                        Mutex::new(RevalShard {
+                            map: HashMap::new(),
+                            order: std::collections::VecDeque::new(),
+                            stored: 0,
+                            revalidated: 0,
+                        })
+                    })
+                    .collect(),
+            ),
+            per_shard_cap: capacity.div_ceil(n_shards).max(1),
         }
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<RevalShard> {
+        let h = fnv1a(&[key.as_bytes()]);
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// The ETag to send as `If-None-Match` for `key`, if one is held.
     pub fn etag_for(&self, key: &str) -> Option<String> {
-        self.inner.lock().unwrap().map.get(key).map(|(etag, _)| etag.clone())
+        self.shard_for(key).lock().unwrap().map.get(key).map(|(etag, _)| etag.clone())
     }
 
     /// Store a 200-with-ETag response. Non-200s and untagged responses
@@ -300,26 +322,33 @@ impl RevalidationCache {
             return;
         }
         let Some(etag) = resp.etag().map(str::to_owned) else { return };
-        let mut inner = self.inner.lock().unwrap();
-        inner.stored += 1;
-        if inner.map.insert(key.to_owned(), (etag, resp.clone())).is_none() {
-            inner.order.push_back(key.to_owned());
-            while inner.order.len() > inner.capacity {
-                if let Some(victim) = inner.order.pop_front() {
-                    inner.map.remove(&victim);
+        // Clone the representation before taking the shard lock: the
+        // body memcpy must not serialize other workers.
+        let held = Arc::new(resp.clone());
+        let mut shard = self.shard_for(key).lock().unwrap();
+        shard.stored += 1;
+        if shard.map.insert(key.to_owned(), (etag, held)).is_none() {
+            shard.order.push_back(key.to_owned());
+            while shard.order.len() > self.per_shard_cap {
+                if let Some(victim) = shard.order.pop_front() {
+                    shard.map.remove(&victim);
                 }
             }
         }
     }
 
     /// A server said `304 Not Modified` for `key`: return the stored
-    /// full representation (cloned), or `None` if it was evicted — the
-    /// caller must then re-request without `If-None-Match`.
+    /// full representation (cloned outside the shard lock), or `None`
+    /// if it was evicted — the caller must then re-request without
+    /// `If-None-Match`.
     pub fn take_revalidated(&self, key: &str) -> Option<Response> {
-        let mut inner = self.inner.lock().unwrap();
-        let resp = inner.map.get(key).map(|(_, r)| r.clone())?;
-        inner.revalidated += 1;
-        Some(resp)
+        let held = {
+            let mut shard = self.shard_for(key).lock().unwrap();
+            let held = shard.map.get(key).map(|(_, r)| Arc::clone(r))?;
+            shard.revalidated += 1;
+            held
+        };
+        Some((*held).clone())
     }
 
     /// Every held `(key, full 200 representation)` pair, sorted by key.
@@ -327,9 +356,11 @@ impl RevalidationCache {
     /// pairs back via [`RevalidationCache::store`] so `If-None-Match`
     /// revalidation survives a crash.
     pub fn export_entries(&self) -> Vec<(String, Response)> {
-        let inner = self.inner.lock().unwrap();
-        let mut out: Vec<(String, Response)> =
-            inner.map.iter().map(|(k, (_, r))| (k.clone(), r.clone())).collect();
+        let mut out: Vec<(String, Response)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            out.extend(shard.map.iter().map(|(k, (_, r))| (k.clone(), (**r).clone())));
+        }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
@@ -337,25 +368,31 @@ impl RevalidationCache {
     /// Visit every held entry in key order without cloning bodies — the
     /// journal calls this at each phase commit, where
     /// [`RevalidationCache::export_entries`]'s full-cache clone would
-    /// dominate the commit. The cache lock is held for the whole walk;
-    /// `f` must not call back into the cache.
+    /// dominate the commit. Entries are gathered shard by shard (cheap
+    /// `Arc` bumps) and visited with no lock held, so `f` may call back
+    /// into the cache.
     pub fn for_each_entry(&self, mut f: impl FnMut(&str, &Response)) {
-        let inner = self.inner.lock().unwrap();
-        let mut keys: Vec<&String> = inner.map.keys().collect();
-        keys.sort_unstable();
-        for key in keys {
-            f(key, &inner.map[key].1);
+        let mut entries: Vec<(String, Arc<Response>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            entries.extend(shard.map.iter().map(|(k, (_, r))| (k.clone(), Arc::clone(r))));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, resp) in &entries {
+            f(key, resp);
         }
     }
 
     /// Usage counters.
     pub fn stats(&self) -> RevalStats {
-        let inner = self.inner.lock().unwrap();
-        RevalStats {
-            entries: inner.map.len(),
-            stored: inner.stored,
-            revalidated: inner.revalidated,
+        let mut stats = RevalStats::default();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap();
+            stats.entries += shard.map.len();
+            stats.stored += shard.stored;
+            stats.revalidated += shard.revalidated;
         }
+        stats
     }
 }
 
@@ -452,11 +489,33 @@ mod tests {
         for i in 0..5 {
             cache.store(&format!("k{i}"), &tagged("b", i));
         }
-        assert_eq!(cache.stats().entries, 2);
-        assert!(cache.etag_for("k0").is_none(), "oldest evicted");
-        assert!(cache.etag_for("k4").is_some());
+        let entries = cache.stats().entries;
+        assert!(entries <= 2, "capacity respected: {entries}");
+        assert!(cache.etag_for("k4").is_some(), "newest entry always survives");
         // A shared clone sees the same store.
         let shared = cache.clone();
-        assert_eq!(shared.stats().entries, 2);
+        assert_eq!(shared.stats().entries, entries);
+    }
+
+    #[test]
+    fn revalidation_cache_shards_agree_across_keys() {
+        // Spread keys over every shard and verify each round-trips.
+        let cache = RevalidationCache::new(1 << 10);
+        for i in 0..64 {
+            cache.store(&format!("ctx|/page/{i}"), &tagged(&format!("body {i}"), i));
+        }
+        assert_eq!(cache.stats().entries, 64);
+        for i in 0..64 {
+            let key = format!("ctx|/page/{i}");
+            assert_eq!(cache.etag_for(&key), Some(format_etag(i)));
+            assert_eq!(cache.take_revalidated(&key).unwrap().text(), format!("body {i}"));
+        }
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 64);
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "export sorted by key");
+        let mut walked = Vec::new();
+        cache.for_each_entry(|k, _| walked.push(k.to_owned()));
+        assert_eq!(walked.len(), 64);
+        assert!(walked.windows(2).all(|w| w[0] < w[1]), "walk sorted by key");
     }
 }

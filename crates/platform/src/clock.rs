@@ -1,0 +1,71 @@
+//! Simulated study time.
+//!
+//! The longitudinal engine replays the paper's 14-month crawl as a
+//! sequence of epochs over an evolving world. Everything time-dependent
+//! on the serving side (rate-limit windows, penalty lockouts,
+//! `X-RateLimit-Reset` headers) and on the crawling side (throttle
+//! sleeps) keys off one shared [`SimClock`] instead of the wall clock,
+//! so a sweep — or a killed-and-resumed sweep — replays identically no
+//! matter when or how fast it actually runs.
+//!
+//! The clock is a monotone atomic: it only moves forward
+//! ([`SimClock::advance_to`] is a `fetch_max`), which keeps concurrent
+//! advancement races harmless — the furthest-ahead waiter wins and
+//! everyone re-reads a consistent "now".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotone simulated clock (seconds since the Unix epoch,
+/// like every other timestamp in the world). Cheap to clone; all clones
+/// observe and advance the same instant.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock(Arc<AtomicU64>);
+
+impl SimClock {
+    /// A clock starting at `now` (seconds).
+    pub fn new(now: u64) -> Self {
+        Self(Arc::new(AtomicU64::new(now)))
+    }
+
+    /// The current simulated time in seconds.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Move the clock forward to `t`. A no-op if the clock is already at
+    /// or past `t` — time never runs backwards, so concurrent advances
+    /// resolve to the furthest instant.
+    pub fn advance_to(&self, t: u64) {
+        self.0.fetch_max(t, Ordering::AcqRel);
+    }
+
+    /// Move the clock forward by `secs` relative to its current reading.
+    pub fn advance(&self, secs: u64) {
+        self.0.fetch_add(secs, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_instant() {
+        let a = SimClock::new(100);
+        let b = a.clone();
+        b.advance_to(250);
+        assert_eq!(a.now(), 250);
+        a.advance(10);
+        assert_eq!(b.now(), 260);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new(500);
+        c.advance_to(400);
+        assert_eq!(c.now(), 500, "time never runs backwards");
+        c.advance_to(501);
+        assert_eq!(c.now(), 501);
+    }
+}

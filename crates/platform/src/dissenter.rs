@@ -122,6 +122,16 @@ impl DissenterDb {
             .unwrap_or_default()
     }
 
+    /// Every comment on a thread, shadow overlay included — the view a
+    /// cache stamp needs: any change visible to *some* viewer class must
+    /// move the digest, so the stamp folds the unfiltered thread.
+    pub fn comments_for_url(&self, url_id: ObjectId) -> Vec<&Comment> {
+        self.comments_by_url
+            .get(&url_id)
+            .map(|idxs| idxs.iter().map(|&i| &self.comments[i]).collect())
+            .unwrap_or_default()
+    }
+
     /// Total comment count on a thread (what the comment page header
     /// displays), irrespective of viewer.
     pub fn comment_count(&self, url_id: ObjectId) -> usize {

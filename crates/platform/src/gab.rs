@@ -40,6 +40,16 @@ impl GabDb {
         }
     }
 
+    /// Remove a Gab ID from the API's view mid-study (account deletion,
+    /// §4.1.1). The ID stays burned — `max_id` is unchanged, so the
+    /// enumeration bound survives — and the social-graph rows are kept:
+    /// the fronts filter deleted accounts at render time, mirroring how
+    /// the live API answered for the ~1,300 ghost users whose Dissenter
+    /// comments outlived their Gab accounts.
+    pub fn unregister(&mut self, gab_id: GabId) -> Option<u32> {
+        self.id_to_user.remove(&gab_id)
+    }
+
     /// Resolve a Gab ID to its user index. `None` mirrors the API's
     /// error response for unallocated IDs — the signal that lets the
     /// paper's enumeration terminate.
@@ -127,6 +137,18 @@ mod tests {
         assert_eq!(g.user_by_gab_id(2), None, "gap IDs answer like the real API");
         assert_eq!(g.max_id(), 5);
         assert_eq!(g.account_count(), 2);
+    }
+
+    #[test]
+    fn unregister_hides_id_but_keeps_bound() {
+        let mut g = GabDb::new();
+        g.register(1, 0);
+        g.register(5, 1);
+        assert_eq!(g.unregister(5), Some(1));
+        assert_eq!(g.user_by_gab_id(5), None, "deleted account answers like a gap");
+        assert_eq!(g.unregister(5), None, "second delete is a no-op");
+        assert_eq!(g.max_id(), 5, "the ID stays burned");
+        assert_eq!(g.account_count(), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! corpora of Table 3. The `httpnet`-based front-end serves this model over
 //! HTTP; the `crawler` crate re-discovers it exactly the way the paper did.
 
+pub mod clock;
 pub mod dissenter;
 pub mod gab;
 pub mod model;
@@ -31,6 +32,7 @@ pub mod visibility;
 pub mod world;
 pub mod youtube;
 
+pub use clock::SimClock;
 pub use dissenter::DissenterDb;
 pub use gab::GabDb;
 pub use model::{

@@ -103,24 +103,7 @@ impl World {
     pub fn content_hash(&self) -> u64 {
         let mut h = Fnv::new();
         for u in &self.users {
-            h.str(&u.username).str(&u.display_name).str(&u.bio).str(&u.language);
-            h.u64(u.gab_id).u64(u.created_at).bit(u.gab_deleted);
-            match u.author_id {
-                Some(id) => h.str(&id.to_hex()),
-                None => h.bit(false),
-            };
-            let f = &u.flags;
-            for b in [
-                f.can_login, f.can_post, f.can_report, f.can_chat, f.can_vote, f.is_banned,
-                f.is_admin, f.is_moderator, f.is_pro, f.is_donor, f.is_investor, f.is_premium,
-                f.is_tippable, f.is_private, f.verified,
-            ] {
-                h.bit(b);
-            }
-            let v = &u.filters;
-            for b in [v.pro, v.verified, v.standard, v.nsfw, v.offensive] {
-                h.bit(b);
-            }
+            hash_user_core(&mut h, u);
         }
         for url in self.dissenter.urls() {
             h.str(&url.id.to_hex()).str(&url.url).str(&url.title).str(&url.description);
@@ -167,6 +150,177 @@ impl World {
             h.str(&b.name).u64(b.comments.len() as u64);
         }
         h.finish()
+    }
+
+    // ── Per-target page stamps ─────────────────────────────────────────
+    //
+    // `content_hash` digests the whole world, so deriving validators
+    // from it invalidates every cached page on any mutation. The
+    // longitudinal engine evolves the world *between* sweeps and then
+    // re-crawls it; for incremental sweeps to actually serve 304s on
+    // untouched entities, each front derives its ETags from these
+    // narrower digests instead. A page's stamp folds exactly the records
+    // that page can render (plus a leading tag byte so digests of
+    // different page kinds never alias). Over-inclusion is safe — a
+    // stamp that moves without a byte change only costs a re-download —
+    // but under-inclusion is a correctness bug the `longitudinal.oracle`
+    // simcheck family catches as byte divergence from a fresh crawl.
+
+    /// Stamp for the Dissenter `/user/:username` profile page: the user
+    /// record plus the list of URLs they have commented on.
+    pub fn hash_user_page(&self, idx: u32) -> u64 {
+        let u = &self.users[idx as usize];
+        let mut h = Fnv::new();
+        h.byte(1);
+        hash_user_core(&mut h, u);
+        if let Some(aid) = u.author_id {
+            for url in self.dissenter.urls_for_author(aid) {
+                h.str(&url.id.to_hex()).str(&url.url).str(&url.title);
+            }
+        }
+        h.finish()
+    }
+
+    /// Stamp for the Dissenter `/url/:cuid` comment page: the URL record
+    /// (votes included) and the full thread, shadow overlay included —
+    /// the visibility class is folded into the ETag separately.
+    pub fn hash_url_page(&self, url_id: ObjectId) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(2);
+        if let Some(url) = self.dissenter.url_by_id(url_id) {
+            h.str(&url.id.to_hex()).str(&url.url).str(&url.title).str(&url.description);
+            h.u64(url.created_at).u64(url.upvotes as u64).u64(url.downvotes as u64);
+            for c in self.dissenter.comments_for_url(url_id) {
+                h.str(&c.id.to_hex()).str(&c.author_id.to_hex());
+                match c.parent {
+                    Some(p) => h.str(&p.to_hex()),
+                    None => h.bit(false),
+                };
+                h.str(&c.text).u64(c.created_at).bit(c.nsfw).bit(c.offensive);
+            }
+        }
+        h.finish()
+    }
+
+    /// Stamp for the Dissenter `/comment/:cid` page: the comment plus its
+    /// author's full record — the hidden `commentAuthor` block leaks the
+    /// author's permissions and view filters, so a mid-study ban must
+    /// rotate this stamp.
+    pub fn hash_comment_page(&self, comment_id: ObjectId) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(3);
+        if let Some(c) = self.dissenter.comment_by_id(comment_id) {
+            h.str(&c.id.to_hex()).str(&c.url_id.to_hex()).str(&c.author_id.to_hex());
+            match c.parent {
+                Some(p) => h.str(&p.to_hex()),
+                None => h.bit(false),
+            };
+            h.str(&c.text).u64(c.created_at).bit(c.nsfw).bit(c.offensive);
+            if let Some(idx) = self.user_by_author_id(c.author_id) {
+                hash_user_core(&mut h, &self.users[idx as usize]);
+            }
+        }
+        h.finish()
+    }
+
+    /// Stamp for the Gab `/api/v1/accounts/:id` page: the account record
+    /// plus both relationship lists (the rendered counts filter deleted
+    /// accounts, so a follower's deletion must rotate this stamp too).
+    pub fn hash_gab_account(&self, idx: u32) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(4);
+        hash_user_core(&mut h, &self.users[idx as usize]);
+        self.hash_gab_lists(&mut h, idx);
+        h.finish()
+    }
+
+    /// Stamp for the Gab followers/following pages of one account. One
+    /// stamp covers every page of both lists: an edge or deletion
+    /// anywhere in either list re-downloads all pages — over-invalidation,
+    /// never staleness.
+    pub fn hash_gab_relationships(&self, idx: u32) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(5);
+        self.hash_gab_lists(&mut h, idx);
+        h.finish()
+    }
+
+    fn hash_gab_lists(&self, h: &mut Fnv, idx: u32) {
+        for (tag, list) in [(6u8, self.gab.following(idx)), (7u8, self.gab.followers(idx))] {
+            h.byte(tag);
+            for &f in list {
+                let u = &self.users[f as usize];
+                h.u64(u.gab_id).str(&u.username).str(&u.display_name).bit(u.gab_deleted);
+            }
+        }
+    }
+
+    /// Stamp for both Reddit endpoints (`/user/:name/about` and the
+    /// pushshift comment pages) of one username.
+    pub fn hash_reddit(&self, username: &str) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(8);
+        h.str(username);
+        match self.reddit.comments(username) {
+            Some(comments) => {
+                h.bit(true);
+                for c in comments {
+                    h.str(c);
+                }
+                h.u64(self.reddit.declared_count(username).unwrap_or(0));
+            }
+            None => {
+                h.bit(false);
+            }
+        }
+        h.finish()
+    }
+
+    /// Stamp for the YouTube `/render?url=` page of one URL.
+    pub fn hash_youtube(&self, url: &str) -> u64 {
+        let mut h = Fnv::new();
+        h.byte(9);
+        h.str(url);
+        match self.youtube.get(url) {
+            Some(content) => {
+                h.bit(true).u64(content.kind as u64);
+                match &content.state {
+                    crate::youtube::YtState::Active { title, owner, comments_disabled } => {
+                        h.bit(true).str(title).str(owner).bit(*comments_disabled);
+                    }
+                    crate::youtube::YtState::Unavailable(reason) => {
+                        h.bit(false).u64(*reason as u64);
+                    }
+                }
+            }
+            None => {
+                h.bit(false);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Fold one user record — identity, profile, flags, filters — exactly as
+/// `content_hash` always has, so the whole-world digest is unchanged.
+fn hash_user_core(h: &mut Fnv, u: &User) {
+    h.str(&u.username).str(&u.display_name).str(&u.bio).str(&u.language);
+    h.u64(u.gab_id).u64(u.created_at).bit(u.gab_deleted);
+    match u.author_id {
+        Some(id) => h.str(&id.to_hex()),
+        None => h.bit(false),
+    };
+    let f = &u.flags;
+    for b in [
+        f.can_login, f.can_post, f.can_report, f.can_chat, f.can_vote, f.is_banned,
+        f.is_admin, f.is_moderator, f.is_pro, f.is_donor, f.is_investor, f.is_premium,
+        f.is_tippable, f.is_private, f.verified,
+    ] {
+        h.bit(b);
+    }
+    let v = &u.filters;
+    for b in [v.pro, v.verified, v.standard, v.nsfw, v.offensive] {
+        h.bit(b);
     }
 }
 
@@ -291,6 +445,63 @@ mod tests {
         let before = w2.content_hash();
         w2.dissenter.vote(url_id, crate::model::Vote::Up);
         assert_ne!(before, w2.content_hash(), "vote must change the digest");
+    }
+
+    #[test]
+    fn page_stamps_track_their_entities() {
+        let mut w = World::new();
+        let mut g = ObjectIdGen::new(EntityKind::Author, 11);
+        let a = w.add_user(user("alice", 1, true, false, &mut g));
+        let b = w.add_user(user("bob", 2, true, false, &mut g));
+        let aid = w.user(a).author_id.unwrap();
+        let url_id = {
+            let mut ug = ObjectIdGen::new(EntityKind::CommentUrl, 11);
+            let id = ug.next(50);
+            w.dissenter
+                .add_url(crate::model::CommentUrl {
+                    id,
+                    url: "https://example.com".into(),
+                    title: "t".into(),
+                    description: String::new(),
+                    created_at: 50,
+                    upvotes: 0,
+                    downvotes: 0,
+                })
+                .unwrap();
+            id
+        };
+        let cid = {
+            let mut cg = ObjectIdGen::new(EntityKind::Comment, 11);
+            let id = cg.next(60);
+            w.dissenter.add_comment(crate::model::Comment {
+                id,
+                url_id,
+                author_id: aid,
+                parent: None,
+                text: "hi".into(),
+                created_at: 60,
+                nsfw: false,
+                offensive: false,
+            });
+            id
+        };
+
+        // A vote moves the url-page stamp but not bob's profile stamp.
+        let url_before = w.hash_url_page(url_id);
+        let bob_before = w.hash_user_page(b);
+        w.dissenter.vote(url_id, crate::model::Vote::Up);
+        assert_ne!(url_before, w.hash_url_page(url_id), "vote must rotate the thread stamp");
+        assert_eq!(bob_before, w.hash_user_page(b), "unrelated profile stamp must hold");
+
+        // A ban rotates the author's comment-page stamp (hidden
+        // commentAuthor permissions leak) but not the thread list itself.
+        let comment_before = w.hash_comment_page(cid);
+        w.users[a as usize].flags.is_banned = true;
+        w.users[a as usize].flags.can_login = false;
+        assert_ne!(comment_before, w.hash_comment_page(cid), "ban must rotate the comment stamp");
+
+        // Stamps of different page kinds never alias even for one entity.
+        assert_ne!(w.hash_user_page(a), w.hash_gab_account(a));
     }
 
     #[test]

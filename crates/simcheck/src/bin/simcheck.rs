@@ -1,7 +1,7 @@
 //! Seeded scenario sweeps for CI and soak runs.
 //!
 //! ```text
-//! simcheck [--count N] [--start S] [--family all|crash|abuse] [--replay-dir DIR] [--replay FILE]
+//! simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal] [--replay-dir DIR] [--replay FILE]
 //! ```
 //!
 //! Runs `N` seeded scenarios starting at seed `S` through every oracle.
@@ -13,7 +13,9 @@
 //! and the shrinker to the crash-recovery oracle family (the CI crash
 //! job's mode — a kill-point sweep without the full differential stack);
 //! `--family abuse` does the same for the adversarial-traffic family
-//! (seeded hostile profiles against hardened services).
+//! (seeded hostile profiles against hardened services); `--family
+//! longitudinal` restricts to the sweep-composition family (incremental
+//! sweeps over an evolving world vs a one-shot study).
 
 use simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
 use std::path::PathBuf;
@@ -46,7 +48,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: simcheck [--count N] [--start S] [--family all|crash|abuse] \
+                    "usage: simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal] \
                      [--replay-dir DIR] [--replay FILE]"
                 );
                 std::process::exit(0);
@@ -59,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn describe(sc: &Scenario) -> String {
     format!(
-        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}{}",
+        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}{}{}",
         sc.scale,
         sc.workers,
         sc.crawl_workers,
@@ -77,6 +79,11 @@ fn describe(sc: &Scenario) -> String {
                 bench::abusegen::Profile::from_index(sc.abuse_profile).name(),
                 sc.abuse_conns
             )
+        } else {
+            String::new()
+        },
+        if sc.epochs > 0 {
+            format!(", longitudinal {}e drift {:.2}", sc.epochs, sc.drift)
         } else {
             String::new()
         }

@@ -36,6 +36,14 @@
 //!    inside its starvation envelope, leak nothing across the shadow
 //!    boundary, and reconcile every request — client-side books and the
 //!    rate limiter's own accounting — to the last penalized 429.
+//! 8. **longitudinal sweeps** (`longitudinal.*`) — a study composed
+//!    sweep-by-sweep over the scenario's seeded epoch evolution (shared
+//!    sim clock, shared revalidation cache, per-target ETag stamps)
+//!    must equal a one-shot study of the final epoch state byte-for-byte
+//!    on every artifact; the drift report must detect the mid-study
+//!    scorer revision and carry genuine rescoring deltas whenever the
+//!    scenario's drift is nonzero; and a sweep killed at a journaled
+//!    failpoint and resumed in place must compose to the same bytes.
 
 use crate::scenario::Scenario;
 use crawler::store::ShadowLabel;
@@ -78,6 +86,8 @@ pub enum Family {
     Crash,
     /// Only the `abuse.*` adversarial-traffic family.
     Abuse,
+    /// Only the `longitudinal.*` sweep-composition family.
+    Longitudinal,
 }
 
 impl Family {
@@ -87,7 +97,10 @@ impl Family {
             "all" => Ok(Self::All),
             "crash" => Ok(Self::Crash),
             "abuse" => Ok(Self::Abuse),
-            other => Err(format!("unknown family {other:?} (expected all|crash|abuse)")),
+            "longitudinal" => Ok(Self::Longitudinal),
+            other => {
+                Err(format!("unknown family {other:?} (expected all|crash|abuse|longitudinal)"))
+            }
         }
     }
 }
@@ -98,6 +111,7 @@ pub fn check_scenario_family(sc: &Scenario, family: Family) -> Result<(), Failur
         Family::All => check_scenario(sc),
         Family::Crash => crash_recovery(sc),
         Family::Abuse => abuse_traffic(sc),
+        Family::Longitudinal => longitudinal_sweeps(sc),
     }
 }
 
@@ -126,7 +140,155 @@ pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
 
     incremental_recrawl(sc)?;
     crash_recovery(sc)?;
-    abuse_traffic(sc)
+    abuse_traffic(sc)?;
+    longitudinal_sweeps(sc)
+}
+
+/// Oracle 8: longitudinal sweeps. Builds the scenario's longitudinal
+/// study twice — composed sweep-by-sweep over the seeded epoch
+/// evolution, and one-shot at the final epoch state — and demands:
+///
+/// * `longitudinal.oracle` — every artifact (deterministic render,
+///   longitudinal section, windowed CSVs, figure CSVs, persisted JSONL
+///   mirror) byte-identical between the two, and the incremental sweeps
+///   demonstrably 304-dominated from the second sweep on. Both modes
+///   score under the same declared revision timeline, so equality must
+///   hold at any drift — a crawl-, clock-, stamp-, or
+///   revalidation-layer bug cannot hide behind scorer drift;
+/// * `longitudinal.drift` — the drift report detects the mid-study
+///   revision the schedule deploys, its calibration sample is nonempty,
+///   and the rescoring deltas are genuine: exactly zero at drift 0,
+///   nonzero movement on some calibration comment at drift > 0 (the
+///   `skip_drift_rescore` mutation zeroes them and must trip here);
+/// * `longitudinal.resume` — the composed study repeated with its last
+///   sweep killed at a seeded journal failpoint and resumed in place
+///   composes to the same bytes as the uninterrupted composition.
+///
+/// Runs on a clean network at the scenario's worker shape (fault × sweep
+/// interactions belong to the differential family, not here). `epochs ==
+/// 0` disables the family — the shrinker's off switch and the default
+/// for replays written before it existed.
+fn longitudinal_sweeps(sc: &Scenario) -> Result<(), Failure> {
+    use dissenter_core::longitudinal::{artifacts, run_composed, run_one_shot, LongitudinalConfig};
+
+    if sc.epochs == 0 {
+        return Ok(()); // family disabled (shrunk away, or a pre-longitudinal replay)
+    }
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let mut study = sc.config_control();
+    study.workers = sc.workers;
+    study.crawl.workers = sc.crawl_workers;
+    let cfg = LongitudinalConfig {
+        study,
+        epochs: sc.epochs,
+        drift: sc.drift,
+        drift_seed: sc.world_seed,
+        calibration: 64,
+        durable_root: None,
+        kill_sweep: None,
+    };
+
+    let composed = run_composed(&cfg);
+    let one_shot = run_one_shot(&cfg);
+
+    // longitudinal.oracle — byte equality on every artifact, then proof
+    // the incremental path was actually exercised.
+    let (a, b) = (artifacts(&composed), artifacts(&one_shot));
+    for ((name, composed_bytes), (_, one_shot_bytes)) in a.iter().zip(&b) {
+        if composed_bytes != one_shot_bytes {
+            let detail = match (
+                std::str::from_utf8(composed_bytes),
+                std::str::from_utf8(one_shot_bytes),
+            ) {
+                (Ok(ca), Ok(ob)) => first_diff_line(ca, ob),
+                _ => format!("{} vs {} bytes", composed_bytes.len(), one_shot_bytes.len()),
+            };
+            return Err(fail(
+                "longitudinal.oracle",
+                format!(
+                    "{name}: composed sweeps diverge from the one-shot study \
+                     (epochs {}, drift {}): {detail}",
+                    sc.epochs, sc.drift
+                ),
+            ));
+        }
+    }
+    let base_304 = composed.sweep_not_modified[0];
+    if composed.sweep_not_modified[1..].iter().any(|&n| n <= base_304) {
+        return Err(fail(
+            "longitudinal.oracle",
+            format!(
+                "incremental sweeps are not 304-dominated (first sweep {base_304}, later {:?}) \
+                 — the shared revalidation cache or per-target stamps are not engaging",
+                &composed.sweep_not_modified[1..]
+            ),
+        ));
+    }
+
+    // longitudinal.drift — the mid-study revision must be detected, and
+    // its rescoring deltas must be genuine.
+    let boundaries = &composed.drift.boundaries;
+    if boundaries.len() != 1 {
+        return Err(fail(
+            "longitudinal.drift",
+            format!(
+                "expected exactly one version boundary over {} epochs, report holds {}",
+                sc.epochs,
+                boundaries.len()
+            ),
+        ));
+    }
+    let b = &boundaries[0];
+    if b.calibration_n == 0 {
+        return Err(fail("longitudinal.drift", "empty calibration sample".to_owned()));
+    }
+    if sc.drift == 0.0 {
+        if b.max_abs_comment_delta != 0.0 || b.flagged {
+            return Err(fail(
+                "longitudinal.drift",
+                format!("a drift-0 redeploy moved calibration scores: {b:?}"),
+            ));
+        }
+    } else if b.max_abs_comment_delta == 0.0 {
+        return Err(fail(
+            "longitudinal.drift",
+            format!(
+                "drift {} moved no calibration comment at the v{}->v{} boundary — the \
+                 rescoring pass is not actually rescoring",
+                sc.drift, b.from_version, b.to_version
+            ),
+        ));
+    }
+
+    // longitudinal.resume — kill the last sweep at a seeded journal op
+    // and resume it; the composition must not notice.
+    let root = std::env::temp_dir().join(format!(
+        "simcheck-longitudinal-{}-{:016x}",
+        std::process::id(),
+        sc.seed
+    ));
+    std::fs::remove_dir_all(&root).ok();
+    let kill_at = 1 + (sc.kill_fraction * 30.0) as u64;
+    let killed_cfg = LongitudinalConfig {
+        durable_root: Some(root.clone()),
+        kill_sweep: Some((sc.epochs, kill_at)),
+        ..cfg
+    };
+    let resumed = run_composed(&killed_cfg);
+    std::fs::remove_dir_all(&root).ok();
+    for ((name, want), (_, have)) in a.iter().zip(&artifacts(&resumed)) {
+        if want != have {
+            return Err(fail(
+                "longitudinal.resume",
+                format!(
+                    "{name}: composition with sweep {} killed at journal op {kill_at} and \
+                     resumed diverges from the uninterrupted composition",
+                    sc.epochs
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Oracle 7: adversarial traffic. Serves the scenario's world through a
@@ -992,6 +1154,8 @@ mod tests {
             torn_tail: false,
             abuse_profile: 0,
             abuse_conns: 0,
+            epochs: 0,
+            drift: 0.0,
         }
     }
 
@@ -1041,6 +1205,27 @@ mod tests {
         if let Err(f) = check_scenario_family(&sc, Family::Abuse) {
             panic!("abuse scenario failed: {f}");
         }
+    }
+
+    #[test]
+    fn longitudinal_family_holds_on_a_small_armed_scenario() {
+        // Family::Longitudinal alone (the CI longitudinal job's path):
+        // one epoch of evolution with a genuinely drifted mid-study
+        // revision, on the cheapest world. Exercises all three legs —
+        // sweep≡one-shot byte equality, drift detection with real
+        // rescoring deltas, and the killed-sweep resume.
+        let sc = Scenario { epochs: 1, drift: 0.2, kill_fraction: 0.5, ..minimal() };
+        if let Err(f) = check_scenario_family(&sc, Family::Longitudinal) {
+            panic!("longitudinal scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn disarmed_longitudinal_family_is_a_no_op() {
+        // epochs == 0 is the shrinker's off switch and the back-compat
+        // default for old replays; it must short-circuit.
+        let sc = minimal();
+        assert_eq!(check_scenario_family(&sc, Family::Longitudinal), Ok(()));
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct Scenario {
     /// `abuse.*` family (the shrinker's off switch, and the default for
     /// replays written before the family existed).
     pub abuse_conns: usize,
+    /// Evolution epochs past the base study window for the
+    /// `longitudinal.*` family. `0` disables the family (the shrinker's
+    /// off switch, and the default for replays written before it
+    /// existed).
+    pub epochs: u32,
+    /// Scorer-drift magnitude of the mid-study revision the
+    /// longitudinal family deploys (`0.0` = a bit-identical re-deploy).
+    pub drift: f64,
 }
 
 /// SplitMix64 step — the scenario sampler's only randomness source.
@@ -131,6 +139,20 @@ impl Scenario {
         // Drawn after torn_tail for the same replay-stability reason.
         let abuse_profile = (splitmix(&mut st) % 5) as u8;
         let abuse_conns = 2 + (splitmix(&mut st) % 3) as usize;
+        // Drawn after abuse_conns, again for replay stability. Half the
+        // seeds stay at the one-window study (epochs 0: longitudinal
+        // family disarmed); armed seeds evolve 1–3 epochs, and half of
+        // those deploy a genuinely drifted mid-study scorer revision.
+        let epochs = if splitmix(&mut st).is_multiple_of(2) {
+            1 + (splitmix(&mut st) % 3) as u32
+        } else {
+            0
+        };
+        let drift = if splitmix(&mut st).is_multiple_of(2) {
+            0.05 + unit(&mut st) * 0.25
+        } else {
+            0.0
+        };
 
         Self {
             seed,
@@ -154,6 +176,8 @@ impl Scenario {
             torn_tail,
             abuse_profile,
             abuse_conns,
+            epochs,
+            drift,
         }
     }
 
@@ -259,6 +283,12 @@ impl Scenario {
                     .with("profile", u64::from(self.abuse_profile))
                     .with("conns", self.abuse_conns),
             )
+            .with(
+                "longitudinal",
+                Value::object()
+                    .with("epochs", u64::from(self.epochs))
+                    .with("drift", self.drift),
+            )
     }
 
     /// Deserialize from JSON written by [`Scenario::to_json`].
@@ -325,6 +355,19 @@ impl Scenario {
                 .and_then(Value::as_i64)
                 .and_then(|n| usize::try_from(n).ok())
                 .unwrap_or(0),
+            // Absent in replays written before the longitudinal family
+            // existed: default to disarmed so their meaning is unchanged.
+            epochs: v
+                .get("longitudinal")
+                .and_then(|l| l.get("epochs"))
+                .and_then(Value::as_i64)
+                .and_then(|n| u32::try_from(n).ok())
+                .unwrap_or(0),
+            drift: v
+                .get("longitudinal")
+                .and_then(|l| l.get("drift"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -362,6 +405,12 @@ mod tests {
             assert!(sc.total_fault_prob() <= MAX_TOTAL_FAULT + 1e-12, "seed {seed}");
             assert!(sc.abuse_profile < 5, "seed {seed}");
             assert!((2..=4).contains(&sc.abuse_conns), "seed {seed}");
+            assert!(sc.epochs <= 3, "seed {seed}: epochs {}", sc.epochs);
+            assert!(
+                sc.drift == 0.0 || (0.05..=0.30).contains(&sc.drift),
+                "seed {seed}: drift {}",
+                sc.drift
+            );
             sc.faults().validate();
         }
     }
@@ -385,6 +434,17 @@ mod tests {
                 "abuse profile {profile} never sampled"
             );
         }
+        // The longitudinal family: disarmed, armed-driftless, and
+        // armed-with-drift scenarios must all occur.
+        assert!(scenarios.iter().any(|s| s.epochs == 0), "disarmed studies exist");
+        for epochs in 1..=3u32 {
+            assert!(
+                scenarios.iter().any(|s| s.epochs == epochs),
+                "epochs={epochs} never sampled"
+            );
+        }
+        assert!(scenarios.iter().any(|s| s.epochs > 0 && s.drift == 0.0));
+        assert!(scenarios.iter().any(|s| s.epochs > 0 && s.drift > 0.0));
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! The shrinker is a single greedy pass over a fixed candidate
 //! sequence — halve the world (twice), drop the SVM stage, zero each
 //! fault-matrix entry, serialize the workers, disarm the crash-family
-//! kill point. Each candidate re-runs the oracle and is kept only if
-//! the failure (any failure) persists, so the pass is bounded at ~15
-//! pipeline runs and the result is deterministic for a deterministic
-//! check function.
+//! kill point, thin then disarm the abuse herd, undrift then shorten
+//! then disarm the longitudinal study. Each candidate re-runs the
+//! oracle and is kept only if the failure (any failure) persists, so
+//! the pass is bounded at ~20 pipeline runs and the result is
+//! deterministic for a deterministic check function.
 
 use crate::oracle::Failure;
 use crate::scenario::{Scenario, MIN_SCALE};
@@ -43,6 +44,11 @@ where
         // abuse family entirely (`abuse_conns: 0` is its off switch).
         Box::new(|s| Scenario { abuse_conns: s.abuse_conns.min(1), ..s.clone() }),
         Box::new(|s| Scenario { abuse_conns: 0, ..s.clone() }),
+        // Undrift the mid-study scorer, shorten the study to one epoch,
+        // then disarm the longitudinal family (`epochs: 0`).
+        Box::new(|s| Scenario { drift: 0.0, ..s.clone() }),
+        Box::new(|s| Scenario { epochs: s.epochs.min(1), ..s.clone() }),
+        Box::new(|s| Scenario { epochs: 0, ..s.clone() }),
     ];
 
     let mut best = sc;
@@ -73,7 +79,15 @@ mod tests {
         let sc = Scenario::from_seed(3); // arbitrary non-minimal scenario
         let first = Failure { check: "test".into(), detail: String::new() };
         // A failure independent of every knob shrinks all the way down.
-        let sc = Scenario { workers: 8, crawl_workers: 4, svm: true, drop_prob: 0.01, ..sc };
+        let sc = Scenario {
+            workers: 8,
+            crawl_workers: 4,
+            svm: true,
+            drop_prob: 0.01,
+            epochs: 3,
+            drift: 0.2,
+            ..sc
+        };
         let expected_scale = (sc.scale / 4.0).max(MIN_SCALE); // two halvings
         let (min, f) = shrink(sc, first, fails_when(|_| true));
         assert_eq!(min.scale, expected_scale);
@@ -84,6 +98,8 @@ mod tests {
         assert_eq!(min.kill_fraction, 0.0, "the kill point shrinks away too");
         assert!(!min.torn_tail);
         assert_eq!(min.abuse_conns, 0, "the hostile herd shrinks away too");
+        assert_eq!(min.epochs, 0, "the epoch evolution shrinks away too");
+        assert_eq!(min.drift, 0.0, "the scorer drift shrinks away too");
         assert_eq!(f.check, "test");
     }
 
@@ -120,6 +136,16 @@ mod tests {
     }
 
     #[test]
+    fn keeps_the_epochs_a_longitudinal_failure_depends_on() {
+        let sc = Scenario { epochs: 3, drift: 0.2, workers: 8, ..Scenario::from_seed(11) };
+        let first = Failure { check: "longitudinal.oracle".into(), detail: String::new() };
+        let (min, _) = shrink(sc, first, fails_when(|s| s.epochs > 0));
+        assert_eq!(min.epochs, 1, "the armed study survives at its shortest length");
+        assert_eq!(min.drift, 0.0, "the irrelevant drift still shrinks");
+        assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
+    }
+
+    #[test]
     fn never_runs_noop_candidates() {
         use std::cell::Cell;
         let runs = Cell::new(0usize);
@@ -140,6 +166,8 @@ mod tests {
                 kill_fraction: 0.0,
                 torn_tail: false,
                 abuse_conns: 0,
+                epochs: 0,
+                drift: 0.0,
                 ..Scenario::from_seed(0)
             }
         };

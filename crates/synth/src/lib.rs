@@ -22,6 +22,7 @@ pub mod baselines;
 pub mod config;
 pub mod dist;
 pub mod labeled;
+pub mod longitudinal;
 pub mod names;
 pub mod social;
 pub mod textgen;
@@ -30,4 +31,5 @@ pub mod world;
 pub use config::{Scale, WorldConfig};
 pub use labeled::{labeled_corpus, labeled_corpus_sharded, LabeledSample};
 pub use textgen::{CommentSpec, TextGen};
+pub use longitudinal::{apply_epoch, world_at_epoch};
 pub use world::{generate, generate_sharded};

@@ -59,9 +59,49 @@ pub struct FrontCache {
     /// World content digest at construction; folds world identity into
     /// every ETag so tags from a different world never validate.
     stamp: u64,
+    /// Optional per-(target, class) stamp override. When present, ETags
+    /// fold this entity-level digest instead of the whole-world `stamp`,
+    /// so a page's validator survives world changes that cannot affect
+    /// that page — the property incremental longitudinal sweeps rely on
+    /// to revalidate unchanged pages across evolving worlds.
+    resolver: Option<StampResolver>,
     /// Single-flight coordination for concurrent misses (stampede
     /// control): at most one render per key is in flight at a time.
     flights: Arc<Flights>,
+}
+
+/// A per-(target, class) stamp function for [`FrontCache`] ETags.
+///
+/// # Soundness contract
+///
+/// The resolved stamp MUST change whenever the bytes the front would
+/// render for that `(target, class)` change (under-inclusion serves
+/// stale bodies to revalidating clients — a correctness bug the
+/// `longitudinal.oracle` simcheck family exists to catch). Changing the
+/// stamp when the body did *not* change is safe: the client merely
+/// re-downloads identical bytes.
+#[derive(Clone)]
+pub struct StampResolver(Arc<StampFn>);
+
+/// The resolver's inner `(target, class) -> stamp` function type.
+type StampFn = dyn Fn(&str, &str) -> u64 + Send + Sync;
+
+impl StampResolver {
+    /// Wrap a `(target, class) -> stamp` function.
+    pub fn new(f: impl Fn(&str, &str) -> u64 + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// The stamp for `target` as seen by `class`.
+    pub fn stamp(&self, target: &str, class: &str) -> u64 {
+        (self.0)(target, class)
+    }
+}
+
+impl std::fmt::Debug for StampResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StampResolver(..)")
+    }
 }
 
 /// Sharded in-flight-render registry. A miss claims its key before
@@ -128,6 +168,7 @@ impl FrontCache {
             cache: Arc::new(ResponseCache::new(config)),
             generation: Arc::new(AtomicU64::new(0)),
             stamp,
+            resolver: None,
             flights: Arc::new(Flights::new()),
         }
     }
@@ -138,8 +179,17 @@ impl FrontCache {
             cache: Arc::new(ResponseCache::with_registry(config, registry)),
             generation: Arc::new(AtomicU64::new(0)),
             stamp,
+            resolver: None,
             flights: Arc::new(Flights::new()),
         }
+    }
+
+    /// Replace the whole-world stamp with a per-(target, class) resolver
+    /// (see [`StampResolver`] for the soundness contract). Generation and
+    /// target/class folding are unchanged.
+    pub fn with_stamp_resolver(mut self, resolver: StampResolver) -> Self {
+        self.resolver = Some(resolver);
+        self
     }
 
     /// The strong ETag for `target` as seen by `class`, under the current
@@ -154,7 +204,11 @@ impl FrontCache {
             h ^= 0x1f;
             h = h.wrapping_mul(0x100_0000_01b3);
         };
-        eat(&self.stamp.to_le_bytes());
+        let stamp = match &self.resolver {
+            Some(r) => r.stamp(target, class),
+            None => self.stamp,
+        };
+        eat(&stamp.to_le_bytes());
         eat(&self.generation.load(Ordering::Acquire).to_le_bytes());
         eat(target.as_bytes());
         eat(class.as_bytes());
@@ -444,6 +498,20 @@ mod tests {
         assert_eq!(resp.status, Status::OK);
         assert_eq!(resp.text(), "recovered");
         leader.join().unwrap();
+    }
+
+    #[test]
+    fn stamp_resolver_scopes_invalidation_to_the_resolved_stamp() {
+        let per_a = Arc::new(AtomicU64::new(1));
+        let hook = per_a.clone();
+        let c = FrontCache::new(7).with_stamp_resolver(StampResolver::new(move |target, _| {
+            if target == "/a" { hook.load(Ordering::Relaxed) } else { 99 }
+        }));
+        let a = c.etag("/a", "anon");
+        let b = c.etag("/b", "anon");
+        per_a.store(2, Ordering::Relaxed);
+        assert_ne!(a, c.etag("/a", "anon"), "resolved stamp change rotates the tag");
+        assert_eq!(b, c.etag("/b", "anon"), "other targets keep their validators");
     }
 
     #[test]

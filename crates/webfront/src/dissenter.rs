@@ -6,7 +6,7 @@ use httpnet::http::percent_encode;
 use httpnet::{Handler, Params, Request, Response, Router, ServerConfig, Status};
 use ids::ObjectId;
 use parking_lot::Mutex;
-use platform::{RateLimiter, World};
+use platform::{RateLimiter, SimClock, World};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -41,7 +41,7 @@ impl DissenterFront {
     /// cache (callers wanting `cache.*` metrics construct one with
     /// [`FrontCache::with_registry`]).
     pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
-        Self::build(world, cache, RateLimiter::dissenter_per_url())
+        Self::build(world, cache, RateLimiter::dissenter_per_url(), None)
     }
 
     /// Build with an explicit per-URL rate limiter in place of the
@@ -51,17 +51,37 @@ impl DissenterFront {
     /// seconds rather than the better part of a minute.
     pub fn with_rate_limit(world: Arc<World>, limit: u32, window_secs: u64) -> Self {
         let stamp = world.content_hash();
-        Self::build(world, FrontCache::new(stamp), RateLimiter::new(limit, window_secs))
+        Self::build(world, FrontCache::new(stamp), RateLimiter::new(limit, window_secs), None)
     }
 
     /// Build with both an explicit cache and an explicit limiter — the
     /// adversarial-traffic harness wants `cache.*` metrics *and* a short,
     /// penalty-enabled rate window on one front.
     pub fn with_parts(world: Arc<World>, cache: FrontCache, limiter: RateLimiter) -> Self {
-        Self::build(world, cache, limiter)
+        Self::build(world, cache, limiter, None)
     }
 
-    fn build(world: Arc<World>, cache: FrontCache, limiter: RateLimiter) -> Self {
+    /// Build with every knob explicit plus a shared [`SimClock`]: the
+    /// rate limiter's window arithmetic (and so every `X-RateLimit-Reset`
+    /// the front advertises) reads simulated time instead of the wall.
+    /// Longitudinal sweeps use this so a crawler honoring a reset header
+    /// can *advance the clock* rather than sleep, keeping resumed sweeps
+    /// byte-replayable and fast.
+    pub fn with_clock(
+        world: Arc<World>,
+        cache: FrontCache,
+        limiter: RateLimiter,
+        clock: SimClock,
+    ) -> Self {
+        Self::build(world, cache, limiter, Some(clock))
+    }
+
+    fn build(
+        world: Arc<World>,
+        cache: FrontCache,
+        limiter: RateLimiter,
+        clock: Option<SimClock>,
+    ) -> Self {
         let mut router = Router::new();
         let limit_header = limiter.limit().to_string();
         let limiter = Arc::new(Mutex::new(limiter));
@@ -80,8 +100,10 @@ impl DissenterFront {
             let limiter = limiter.clone();
             let votes = votes.clone();
             let limit_header = limit_header.clone();
+            let clock = clock.clone();
             router.route("GET", "/url/:cuid", move |req, p| {
-                let decision = limiter.lock().check(req.path(), now_secs());
+                let now = clock.as_ref().map(SimClock::now).unwrap_or_else(now_secs);
+                let decision = limiter.lock().check(req.path(), now);
                 match decision {
                     platform::ratelimit::RateDecision::Deny { reset_at, penalized } => {
                         let mut r = Response::status(Status::TOO_MANY);

@@ -5,7 +5,7 @@ use crate::Front;
 use httpnet::{Handler, Params, Request, Response, Router, ServerConfig, Status};
 use ids::clock::format_datetime;
 use parking_lot::Mutex;
-use platform::{RateLimiter, World};
+use platform::{RateLimiter, SimClock, World};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -48,25 +48,46 @@ impl GabFront {
 
     /// Build with an explicit conditional-request cache.
     pub fn with_cache(world: Arc<World>, cache: FrontCache) -> Self {
-        Self::build(world, cache, RATE_LIMIT, RATE_WINDOW_SECS)
+        Self::build(world, cache, RATE_LIMIT, RATE_WINDOW_SECS, None)
     }
 
     /// Build with an explicit rate limit (tests use tight windows to
     /// exercise the crawler's backoff path).
     pub fn with_rate_limit(world: Arc<World>, limit: u32, window_secs: u64) -> Self {
         let stamp = world.content_hash();
-        Self::build(world, FrontCache::new(stamp), limit, window_secs)
+        Self::build(world, FrontCache::new(stamp), limit, window_secs, None)
     }
 
-    fn build(world: Arc<World>, cache: FrontCache, limit: u32, window_secs: u64) -> Self {
+    /// Build with every knob explicit plus a shared [`SimClock`]: rate
+    /// windows and `X-RateLimit-Reset` headers read simulated time, so a
+    /// longitudinal crawler honoring a reset advances the clock instead
+    /// of sleeping.
+    pub fn with_clock(
+        world: Arc<World>,
+        cache: FrontCache,
+        limit: u32,
+        window_secs: u64,
+        clock: SimClock,
+    ) -> Self {
+        Self::build(world, cache, limit, window_secs, Some(clock))
+    }
+
+    fn build(
+        world: Arc<World>,
+        cache: FrontCache,
+        limit: u32,
+        window_secs: u64,
+        clock: Option<SimClock>,
+    ) -> Self {
         let limiter = Arc::new(Mutex::new(RateLimiter::new(limit, window_secs)));
         let mut router = Router::new();
         {
             let world = world.clone();
             let limiter = limiter.clone();
             let cache = cache.clone();
+            let clock = clock.clone();
             router.route("GET", "/api/v1/accounts/:id", move |req, p| {
-                rate_limited(&limiter, req, |req| {
+                rate_limited(&limiter, &clock, req, |req| {
                     cache.conditional_only(req, API_CLASS, || account(&world, p))
                 })
             });
@@ -75,8 +96,9 @@ impl GabFront {
             let world = world.clone();
             let limiter = limiter.clone();
             let cache = cache.clone();
+            let clock = clock.clone();
             router.route("GET", "/api/v1/accounts/:id/followers", move |req, p| {
-                rate_limited(&limiter, req, |req| {
+                rate_limited(&limiter, &clock, req, |req| {
                     cache.conditional_only(req, API_CLASS, || relationships(&world, req, p, true))
                 })
             });
@@ -84,7 +106,7 @@ impl GabFront {
         {
             let world = world.clone();
             router.route("GET", "/api/v1/accounts/:id/following", move |req, p| {
-                rate_limited(&limiter, req, |req| {
+                rate_limited(&limiter, &clock, req, |req| {
                     cache.conditional_only(req, API_CLASS, || relationships(&world, req, p, false))
                 })
             });
@@ -126,12 +148,14 @@ fn now_secs() -> u64 {
 
 fn rate_limited(
     limiter: &Mutex<RateLimiter>,
+    clock: &Option<SimClock>,
     req: &Request,
     f: impl FnOnce(&Request) -> Response,
 ) -> Response {
+    let now = clock.as_ref().map(SimClock::now).unwrap_or_else(now_secs);
     let (decision, limit) = {
         let mut guard = limiter.lock();
-        (guard.check("api", now_secs()), guard.limit())
+        (guard.check("api", now), guard.limit())
     };
     match decision {
         platform::ratelimit::RateDecision::Deny { reset_at, penalized: _ } => {

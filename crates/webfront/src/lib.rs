@@ -39,6 +39,7 @@ pub mod cache;
 pub mod dissenter;
 pub mod gab;
 pub mod reddit;
+pub mod stamps;
 pub mod youtube;
 
 use httpnet::{Handler, Server, ServerConfig};
@@ -101,6 +102,50 @@ impl SimFronts {
             gab: Arc::new(gab::GabFront::with_cache(world.clone(), front_cache())),
             reddit: Arc::new(reddit::RedditFront::with_cache(world.clone(), front_cache())),
             youtube: Arc::new(youtube::YouTubeFront::with_cache(world, front_cache())),
+        }
+    }
+
+    /// Fronts for one longitudinal sweep over an evolving world:
+    ///
+    /// * ETags carry **per-target stamps** ([`stamps`]) instead of the
+    ///   whole-world digest, so a client's validators from an earlier
+    ///   sweep keep revalidating pages whose entities didn't change;
+    /// * every rate-limit decision (and `X-RateLimit-Reset` header) is
+    ///   keyed to the shared [`platform::SimClock`], so crawler waits
+    ///   advance simulated time instead of the wall;
+    /// * `cache.*` metrics land in `registry`.
+    pub fn for_sweep(
+        world: Arc<World>,
+        registry: &obs::Registry,
+        clock: platform::SimClock,
+    ) -> Self {
+        let stamp = world.content_hash();
+        let front_cache = |resolver: cache::StampResolver| {
+            cache::FrontCache::with_registry(stamp, httpnet::CacheConfig::default(), registry)
+                .with_stamp_resolver(resolver)
+        };
+        Self {
+            dissenter: Arc::new(dissenter::DissenterFront::with_clock(
+                world.clone(),
+                front_cache(stamps::dissenter_stamps(world.clone())),
+                platform::RateLimiter::dissenter_per_url(),
+                clock.clone(),
+            )),
+            gab: Arc::new(gab::GabFront::with_clock(
+                world.clone(),
+                front_cache(stamps::gab_stamps(world.clone())),
+                gab::RATE_LIMIT,
+                300,
+                clock,
+            )),
+            reddit: Arc::new(reddit::RedditFront::with_cache(
+                world.clone(),
+                front_cache(stamps::reddit_stamps(world.clone())),
+            )),
+            youtube: Arc::new(youtube::YouTubeFront::with_cache(
+                world.clone(),
+                front_cache(stamps::youtube_stamps(world)),
+            )),
         }
     }
 }

@@ -1,0 +1,222 @@
+//! Per-target ETag stamp resolvers for the longitudinal sweep engine.
+//!
+//! The default [`FrontCache`](crate::cache::FrontCache) folds one
+//! whole-world digest into every ETag, which is exactly right for a
+//! static world: nothing changes, everything revalidates. Across an
+//! *evolving* world (the longitudinal engine re-fronts a grown world
+//! each sweep) that digest rotates every epoch and no validator ever
+//! survives, so incremental sweeps would degenerate into full
+//! re-crawls. The resolvers here map each cacheable route back to the
+//! entity it renders and stamp the ETag with that entity's own digest
+//! (the `hash_*` family on [`platform::World`]), so a page revalidates
+//! to a `304` across sweeps unless *its* entity actually changed.
+//!
+//! # Soundness
+//!
+//! Per [`StampResolver`]'s contract, a resolver may over-invalidate
+//! freely but must never under-invalidate. Accordingly every route the
+//! resolver does not recognize — and every entity lookup that misses —
+//! falls back to the whole-world digest taken at construction, which is
+//! maximally conservative. Misses additionally render as untagged
+//! non-200s, so the fallback stamp never even reaches a client for
+//! them. The `longitudinal.oracle` simcheck family enforces the
+//! contract end-to-end: a stale byte served off a stale validator makes
+//! the composed sweep study diverge from the one-shot study.
+
+use crate::cache::StampResolver;
+use httpnet::http::percent_decode;
+use ids::ObjectId;
+use platform::World;
+use std::sync::Arc;
+
+/// Strip the query string off a request target.
+fn path_of(target: &str) -> &str {
+    target.split('?').next().unwrap_or(target)
+}
+
+/// First query parameter named `key`, percent-decoded (mirrors
+/// [`httpnet::Request::query`], which the route handlers use).
+fn query_of(target: &str, key: &str) -> Option<String> {
+    let (_, q) = target.split_once('?')?;
+    for pair in q.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == key {
+            return Some(percent_decode(v));
+        }
+    }
+    None
+}
+
+/// Resolver for the Dissenter front: `/user/:username`, `/url/:cuid`,
+/// and `/comment/:cid` stamp with the rendered entity's page digest.
+pub fn dissenter_stamps(world: Arc<World>) -> StampResolver {
+    let fallback = world.content_hash();
+    StampResolver::new(move |target, _class| {
+        let path = path_of(target);
+        if let Some(username) = path.strip_prefix("/user/") {
+            if let Some(idx) = world.user_by_username(username) {
+                return world.hash_user_page(idx);
+            }
+        } else if let Some(cuid) = path.strip_prefix("/url/") {
+            if let Ok(id) = cuid.parse::<ObjectId>() {
+                return world.hash_url_page(id);
+            }
+        } else if let Some(cid) = path.strip_prefix("/comment/") {
+            if let Ok(id) = cid.parse::<ObjectId>() {
+                return world.hash_comment_page(id);
+            }
+        }
+        fallback
+    })
+}
+
+/// Resolver for the Gab API front: account pages stamp with the
+/// account digest, follower/following pages with the relationship-list
+/// digest (every page of one account's list shares a stamp — a
+/// follow or deletion anywhere in the list rotates them all, which is
+/// over-inclusive and therefore safe).
+pub fn gab_stamps(world: Arc<World>) -> StampResolver {
+    let fallback = world.content_hash();
+    StampResolver::new(move |target, _class| {
+        let path = path_of(target);
+        if let Some(rest) = path.strip_prefix("/api/v1/accounts/") {
+            let (id, suffix) = match rest.split_once('/') {
+                Some((id, suffix)) => (id, Some(suffix)),
+                None => (rest, None),
+            };
+            if let Some(idx) = id.parse::<u64>().ok().and_then(|g| world.gab.user_by_gab_id(g)) {
+                return match suffix {
+                    None => world.hash_gab_account(idx),
+                    Some("followers") | Some("following") => world.hash_gab_relationships(idx),
+                    Some(_) => fallback,
+                };
+            }
+        }
+        fallback
+    })
+}
+
+/// Resolver for the Reddit/Pushshift front: both the about page and the
+/// comment-history pages stamp with the account's Reddit digest.
+pub fn reddit_stamps(world: Arc<World>) -> StampResolver {
+    let fallback = world.content_hash();
+    StampResolver::new(move |target, _class| {
+        let path = path_of(target);
+        if let Some(rest) = path.strip_prefix("/user/") {
+            if let Some(name) = rest.strip_suffix("/about") {
+                return world.hash_reddit(name);
+            }
+        } else if path == "/pushshift/comments" {
+            if let Some(author) = query_of(target, "author") {
+                return world.hash_reddit(&author);
+            }
+        }
+        fallback
+    })
+}
+
+/// Resolver for the rendered-YouTube front: `/render?url=…` stamps with
+/// the rendered page-state digest for that URL.
+pub fn youtube_stamps(world: Arc<World>) -> StampResolver {
+    let fallback = world.content_hash();
+    StampResolver::new(move |target, _class| {
+        if path_of(target) == "/render" {
+            if let Some(url) = query_of(target, "url") {
+                return world.hash_youtube(&url);
+            }
+        }
+        fallback
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> Arc<World> {
+        let cfg = synth::WorldConfig {
+            scale: synth::config::Scale::Custom(0.003),
+            ..synth::WorldConfig::small()
+        };
+        Arc::new(synth::generate(&cfg).0)
+    }
+
+    #[test]
+    fn unknown_targets_fall_back_to_the_world_digest() {
+        let w = tiny_world();
+        let fallback = w.content_hash();
+        for r in [
+            dissenter_stamps(w.clone()),
+            gab_stamps(w.clone()),
+            reddit_stamps(w.clone()),
+            youtube_stamps(w.clone()),
+        ] {
+            assert_eq!(r.stamp("/nonsense", "anon"), fallback);
+            assert_eq!(r.stamp("/discussion/begin?url=x", "anon"), fallback);
+        }
+    }
+
+    #[test]
+    fn each_route_resolves_to_its_entity_digest() {
+        let w = tiny_world();
+        let fallback = w.content_hash();
+        let (idx, user) = w
+            .users
+            .iter()
+            .enumerate()
+            .find(|(_, u)| u.author_id.is_some() && !u.gab_deleted)
+            .map(|(i, u)| (i as u32, u))
+            .expect("dissenter user");
+
+        let d = dissenter_stamps(w.clone());
+        let user_target = format!("/user/{}", user.username);
+        assert_eq!(d.stamp(&user_target, "anon"), w.hash_user_page(idx));
+        assert_ne!(d.stamp(&user_target, "anon"), fallback);
+
+        let url = &w.dissenter.urls()[0];
+        let url_target = format!("/url/{}", url.id);
+        assert_eq!(d.stamp(&url_target, "anon"), w.hash_url_page(url.id));
+
+        let comment = &w.dissenter.comments()[0];
+        let c_target = format!("/comment/{}", comment.id);
+        assert_eq!(d.stamp(&c_target, "anon"), w.hash_comment_page(comment.id));
+
+        let g = gab_stamps(w.clone());
+        let acct = format!("/api/v1/accounts/{}", user.gab_id);
+        assert_eq!(g.stamp(&acct, "api"), w.hash_gab_account(idx));
+        assert_eq!(
+            g.stamp(&format!("{acct}/followers?page=1"), "api"),
+            w.hash_gab_relationships(idx)
+        );
+        assert_eq!(
+            g.stamp(&format!("{acct}/following"), "api"),
+            w.hash_gab_relationships(idx)
+        );
+
+        let r = reddit_stamps(w.clone());
+        assert_eq!(
+            r.stamp(&format!("/user/{}/about", user.username), "api"),
+            w.hash_reddit(&user.username)
+        );
+        assert_eq!(
+            r.stamp(&format!("/pushshift/comments?author={}&page=0", user.username), "api"),
+            w.hash_reddit(&user.username)
+        );
+
+        let yt_url = w.youtube.iter().next().expect("youtube content").0.to_owned();
+        let y = youtube_stamps(w.clone());
+        assert_eq!(
+            y.stamp(&format!("/render?url={}", httpnet::http::percent_encode(&yt_url)), "render"),
+            w.hash_youtube(&yt_url)
+        );
+    }
+
+    #[test]
+    fn query_parsing_matches_request_semantics() {
+        assert_eq!(path_of("/render?url=a"), "/render");
+        assert_eq!(path_of("/plain"), "/plain");
+        assert_eq!(query_of("/render?url=a%2Fb&x=1", "url").as_deref(), Some("a/b"));
+        assert_eq!(query_of("/render?x=1", "url"), None);
+        assert_eq!(query_of("/render", "url"), None);
+    }
+}

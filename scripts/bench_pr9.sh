@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Longitudinal sweep bench: run the same evolving-world study as
+# composed incremental sweeps and as a one-shot retrospective crawl,
+# emitted as BENCH_PR9.json in the repo root. The sweepbench binary
+# self-validates: it exits nonzero unless every artifact (render,
+# windowed CSVs, figure CSVs, persisted JSONL mirror) is byte-identical
+# between the two modes at nonzero scorer drift, every incremental
+# sweep finishes within 1.5x the one-shot crawl wall-clock despite
+# covering a strictly larger world, every post-base sweep answers more
+# requests with 304s than the base sweep (and at least a quarter of its
+# requests from cache), and the drift boundary is detected, rescored on
+# a nonempty calibration sample, and flagged.
+#
+# Usage: scripts/bench_pr9.sh [extra sweepbench args, e.g. --epochs 3]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin sweepbench -- --out BENCH_PR9.json "$@"
+
+# The artifact must parse and carry the headline sections.
+python3 - <<'EOF'
+import json
+with open("BENCH_PR9.json") as f:
+    report = json.load(f)
+for key in ("config", "one_shot", "composed", "oracle", "drift"):
+    assert key in report, f"BENCH_PR9.json missing {key!r}"
+one_shot = report["one_shot"]
+assert one_shot["crawl_wall_ms"] > 0, "one-shot crawl wall missing"
+composed = report["composed"]
+sweeps = composed["sweeps"]
+assert len(sweeps) == report["config"]["epochs"] + 1, "one sweep per window"
+gate = one_shot["crawl_wall_ms"] * composed["sweep_gate_ratio"] + 250.0
+base = sweeps[0]
+for s in sweeps[1:]:
+    assert s["wall_ms"] <= gate, \
+        f"sweep {s['sweep']}: {s['wall_ms']:.0f} ms over gate {gate:.0f} ms"
+    assert s["not_modified"] > base["not_modified"], \
+        f"sweep {s['sweep']}: no revalidation reuse over the base sweep"
+    assert s["not_modified_fraction"] >= 0.25, \
+        f"sweep {s['sweep']}: 304 fraction {s['not_modified_fraction']:.2f} < 0.25"
+oracle = report["oracle"]
+assert oracle["equal"] is True, "composed and one-shot artifacts differ"
+assert oracle["artifacts"] > 0 and oracle["bytes_compared"] > 0, "empty oracle"
+drift = report["drift"]
+assert drift["boundaries"] == 1, f"expected 1 version boundary, got {drift['boundaries']}"
+assert drift["calibration_n"] > 0, "empty calibration sample"
+assert drift["max_abs_comment_delta"] > 0, "drift moved no calibration comment"
+assert drift["flagged"] is True, "drift boundary not flagged"
+worst = max(s["ratio_to_one_shot"] for s in sweeps[1:])
+print("BENCH_PR9.json OK:",
+      f"one-shot {one_shot['crawl_wall_ms']:.0f} ms,",
+      f"worst incremental sweep {worst:.2f}x,",
+      f"best 304 fraction {max(s['not_modified_fraction'] for s in sweeps[1:]):.0%},",
+      f"{oracle['artifacts']} artifacts equal ({oracle['bytes_compared']} bytes),",
+      f"drift |delta| {drift['max_abs_comment_delta']:.4f} flagged in window {drift['window']}")
+EOF

@@ -1,0 +1,98 @@
+//! Golden-file regression test for the longitudinal windowed outputs:
+//! the growth-curve and per-window toxicity CSVs of a fixed-seed
+//! composed sweep study are pinned byte-for-byte under `tests/golden/`,
+//! and the same bytes must come out of the pipeline at `workers = 1`
+//! and `workers = 8` — the worker-invariance contract extended to the
+//! sweep engine (per-epoch seed streams, windowed scoring, and the
+//! drift schedule are all keyed by stable ids, never by shard
+//! geometry).
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_longitudinal
+//! ```
+//!
+//! then review the CSV diffs under `tests/golden/` like any other code
+//! change.
+
+use dissenter_repro::dissenter_core::longitudinal::{run_composed, LongitudinalConfig};
+use dissenter_repro::dissenter_core::StudyConfig;
+use dissenter_repro::synth::config::Scale;
+
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = format!("{GOLDEN_DIR}/{name}");
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, rendered).expect("write golden file");
+        println!("regenerated {path} ({} bytes)", rendered.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path}: {e}\n\
+             regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_longitudinal"
+        )
+    });
+    if golden != *rendered {
+        let first_diff = golden
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: golden {a:?} vs rendered {b:?}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} vs {}",
+                    golden.lines().count(),
+                    rendered.lines().count()
+                )
+            });
+        panic!(
+            "windowed output drifted from {name}\n  first divergence: {first_diff}\n\
+             if intentional, regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_longitudinal\n\
+             and review the diff under tests/golden/"
+        );
+    }
+}
+
+fn config(workers: usize) -> LongitudinalConfig {
+    let mut study = StudyConfig::small();
+    study.world.seed = 0x10_6601;
+    study.world.scale = Scale::Custom(0.002);
+    study.workers = workers;
+    study.skip_svm = true;
+    LongitudinalConfig {
+        study,
+        epochs: 2,
+        drift: 0.0,
+        drift_seed: 0x10_6601,
+        calibration: 64,
+        durable_root: None,
+        kill_sweep: None,
+    }
+}
+
+#[test]
+fn windowed_csvs_match_golden_files_at_one_and_eight_workers() {
+    use dissenter_repro::analysis::windowed::{growth_csv, window_toxicity_csv};
+
+    let serial = run_composed(&config(1));
+    let growth = growth_csv(&serial.growth);
+    let windows = window_toxicity_csv(&serial.windows);
+    check_golden("longitudinal_growth_small.csv", &growth);
+    check_golden("longitudinal_windows_small.csv", &windows);
+
+    let sharded = run_composed(&config(8));
+    assert_eq!(
+        growth,
+        growth_csv(&sharded.growth),
+        "growth curve differs between workers=1 and workers=8"
+    );
+    assert_eq!(
+        windows,
+        window_toxicity_csv(&sharded.windows),
+        "per-window toxicity differs between workers=1 and workers=8"
+    );
+}

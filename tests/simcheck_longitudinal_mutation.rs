@@ -1,0 +1,62 @@
+//! Mutation smoke for the longitudinal family: a deliberately injected
+//! analysis bug must be caught by the `longitudinal.*` oracles, shrink
+//! to a minimal still-armed scenario, and reproduce deterministically
+//! from its replay file.
+//!
+//! The mutation lives behind the `SIMCHECK_MUTATE` environment variable
+//! in [`analysis::windowed::drift_report`]: `skip_drift_rescore` still
+//! reports the mid-study version boundary but skips the calibration
+//! rescoring pass, leaving every delta zero and the boundary unflagged —
+//! the silent-drift blind spot where a retrained scorer's movement
+//! masquerades as platform change. `longitudinal.drift` must trip on the
+//! impossible zero deltas whenever the scenario's drift is nonzero. The
+//! variable is read once per process, which is why this test owns its
+//! own integration-test binary (separate from the other mutation smokes,
+//! which arm different mutations) and sets it before anything scores.
+
+use dissenter_repro::simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
+
+#[test]
+fn injected_drift_rescore_skip_is_caught_shrunk_and_replayed() {
+    // Must happen before the first drift report in this process.
+    std::env::set_var("SIMCHECK_MUTATE", "skip_drift_rescore");
+
+    // Two epochs with a strongly drifted mid-study revision: the
+    // boundary is guaranteed, and honest rescoring would move the
+    // calibration sample far past zero.
+    let sc = Scenario {
+        scale: 0.001,
+        workers: 2,
+        svm: false,
+        epochs: 2,
+        drift: 0.2,
+        ..Scenario::from_seed(0x10E6)
+    };
+
+    // 1. Detection.
+    let failure = check_scenario_family(&sc, Family::Longitudinal)
+        .expect_err("the mutated drift report must trip the longitudinal oracle");
+    assert_eq!(failure.check, "longitudinal.drift", "caught by the drift leg: {failure}");
+    assert!(failure.detail.contains("rescoring"), "{failure}");
+
+    // 2. Shrinking preserves the failure and keeps the study armed: the
+    // mutation is invisible at drift 0 (zero deltas are then correct),
+    // so both the epoch evolution and the drift must survive.
+    let (min, min_failure) =
+        shrink::shrink(sc, failure, |c| check_scenario_family(c, Family::Longitudinal).err());
+    assert_eq!(min_failure.check, "longitudinal.drift", "{min_failure}");
+    assert_eq!(min.epochs, 1, "the study survives at its shortest armed length");
+    assert!(min.drift > 0.0, "the load-bearing drift survives shrinking");
+    assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
+
+    // 3. The replay file round-trips and still reproduces the failure.
+    let dir = std::env::temp_dir()
+        .join(format!("simcheck-longitudinal-mutation-{}", std::process::id()));
+    let path =
+        replay::write(&dir, &replay::Replay::new(min, &min_failure)).expect("replay writes");
+    let loaded = replay::read(&path).expect("replay reads");
+    let replayed = check_scenario_family(&loaded.scenario, Family::Longitudinal)
+        .expect_err("the replayed scenario must reproduce the failure deterministically");
+    assert_eq!(replayed.check, "longitudinal.drift", "{replayed}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -63,7 +63,7 @@ pub fn export_csv(report: &StudyReport, dir: &Path) -> io::Result<Vec<String>> {
     // Fig. 4: three models × three populations, CDF curves.
     {
         let mut s = String::from("model,population,x,cdf\n");
-        let mut rows = |model: &str, pop: &str, e: &stats::Ecdf| {
+        let mut rows = |model: &str, pop: &str, e: &stats::EcdfSketch| {
             for (x, y) in e.curve(101) {
                 let _ = writeln!(s, "{model},{pop},{x:.4},{y:.6}");
             }
@@ -123,7 +123,7 @@ pub fn export_csv(report: &StudyReport, dir: &Path) -> io::Result<Vec<String>> {
     {
         let mut s = String::from("bias,n,mean,median\n");
         for (b, d) in &report.figure8.severe_by_bias {
-            let _ = writeln!(s, "{},{},{:.6},{:.6}", b.label(), d.n, d.mean, d.median);
+            let _ = writeln!(s, "{},{},{:.6},{:.6}", b.label(), d.n(), d.mean(), d.median());
         }
         emit("fig8a_severe_by_bias.csv", s)?;
         let mut s = String::from("bias,x,cdf\n");

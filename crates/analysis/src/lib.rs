@@ -18,6 +18,8 @@
 //! * [`covert`] — §6's covert-channel candidate detector (extension);
 //! * [`windowed`] — longitudinal growth curves, per-window toxicity,
 //!   crossover timing, and the scorer-drift report;
+//! * [`spill`] — out-of-core external-merge aggregation behind the
+//!   Table-2/language tables (byte-identical to the in-memory path);
 //! * [`export`] — CSV plot series for every figure;
 //! * [`report`] — the assembled [`report::StudyReport`].
 
@@ -28,6 +30,7 @@ pub mod domains;
 pub mod export;
 pub mod report;
 pub mod social;
+pub mod spill;
 pub mod toxicity;
 pub mod url;
 pub mod users;
@@ -35,4 +38,4 @@ pub mod votes;
 pub mod windowed;
 
 pub use allsides::{bias_of_domain, Bias};
-pub use report::StudyReport;
+pub use report::{ReportOptions, StudyReport};

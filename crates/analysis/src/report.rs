@@ -141,6 +141,30 @@ pub fn build_report_with_metrics(
     build_report_pooled(store, baselines, &pool, metrics)
 }
 
+/// How the report's table aggregations run.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Route the Table-2 TLD/domain tables, per-domain medians, and the
+    /// language table through [`crate::spill`]'s external-merge path
+    /// (bounded resident memory, byte-identical rows).
+    pub out_of_core: bool,
+    /// Distinct resident keys per spill buffer before a run is written.
+    pub spill_budget: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self { out_of_core: false, spill_budget: crate::spill::DEFAULT_SPILL_BUDGET }
+    }
+}
+
+impl ReportOptions {
+    /// The out-of-core configuration with the default spill budget.
+    pub fn out_of_core() -> Self {
+        Self { out_of_core: true, ..Self::default() }
+    }
+}
+
 /// [`build_report`] with every scoring pass sharded onto a shared
 /// [`httpnet::ThreadPool`] (see [`score_texts_pooled`] for the
 /// determinism contract and the metrics exported).
@@ -149,6 +173,20 @@ pub fn build_report_pooled(
     baselines: &[BaselineCorpus],
     pool: &httpnet::ThreadPool,
     metrics: Option<&obs::Registry>,
+) -> StudyReport {
+    build_report_pooled_opts(store, baselines, pool, metrics, &ReportOptions::default())
+}
+
+/// [`build_report_pooled`] with explicit [`ReportOptions`]. With
+/// `out_of_core` set, the share tables and language table aggregate via
+/// external-merge spill files instead of resident hash maps — the
+/// `scale.merge` simcheck oracle holds the two paths byte-identical.
+pub fn build_report_pooled_opts(
+    store: &CrawlStore,
+    baselines: &[BaselineCorpus],
+    pool: &httpnet::ThreadPool,
+    metrics: Option<&obs::Registry>,
+    options: &ReportOptions,
 ) -> StudyReport {
     let scores = score_store_pooled(store, pool, metrics);
 
@@ -248,20 +286,51 @@ pub fn build_report_pooled(
         });
     }
 
+    // Table 2 + languages: the only whole-corpus aggregations with
+    // unbounded key sets, so they are the ones the out-of-core path
+    // reroutes. Spill-run I/O hits the temp dir only; failure there is
+    // unrecoverable for the run.
+    let (tlds, domains, domain_medians, languages) = if options.out_of_core {
+        let budget = options.spill_budget;
+        (
+            crate::spill::tld_table_spilled(url_strings.iter().copied(), 12, budget)
+                .expect("spill run I/O"),
+            crate::spill::domain_table_spilled(url_strings.iter().copied(), 12, budget)
+                .expect("spill run I/O"),
+            crate::spill::domain_comment_medians_spilled(
+                url_comment_counts.iter().copied(),
+                1,
+                budget,
+            )
+            .expect("spill run I/O")
+            .into_iter()
+            .take(12)
+            .collect(),
+            crate::spill::language_table_spilled(store, budget).expect("spill run I/O"),
+        )
+    } else {
+        (
+            tld_table(url_strings.iter().copied(), 12),
+            domain_table(url_strings.iter().copied(), 12),
+            domain_comment_medians(url_comment_counts.iter().copied(), 1)
+                .into_iter()
+                .take(12)
+                .collect(),
+            language_table(store),
+        )
+    };
+
     StudyReport {
         overview,
         gab_growth: gab_growth(store),
         activity: activity_concentration(store),
         table1: table1(store),
-        tlds: tld_table(url_strings.iter().copied(), 12),
-        domains: domain_table(url_strings.iter().copied(), 12),
-        domain_medians: domain_comment_medians(url_comment_counts.iter().copied(), 1)
-            .into_iter()
-            .take(12)
-            .collect(),
+        tlds,
+        domains,
+        domain_medians,
         url_census: census(url_strings.iter().copied()),
         youtube: youtube_breakdown(store),
-        languages: language_table(store),
+        languages,
         figure4: figure4(store, &scores),
         figure5: figure5(store, &scores),
         comment_ratio,

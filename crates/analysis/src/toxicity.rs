@@ -10,7 +10,7 @@ use crate::url::ParsedUrl;
 use classify::{HateDictionary, PerspectiveModel, PerspectiveScores, ScorerVersion};
 use crawler::store::{CrawlStore, ShadowLabel};
 use ids::ObjectId;
-use stats::{ks_two_sample, Ecdf, KsResult};
+use stats::{ks_two_sample_sketch, EcdfSketch, KsResult};
 use std::collections::HashMap;
 
 /// Scores for one comment.
@@ -158,26 +158,28 @@ pub fn score_store_pooled(
     items.iter().map(|(id, _)| **id).zip(scores).collect()
 }
 
-/// One Figure-4 style dataset: ECDFs of the three §4.3.1 models for a
-/// comment subset.
-#[derive(Debug, Clone)]
+/// One Figure-4 style dataset: streaming ECDF sketches of the three
+/// §4.3.1 models for a comment subset. Sketch statistics are
+/// bit-identical to the vector-backed [`stats::Ecdf`] they replaced
+/// (see `stats::stream`), so every rendered byte is unchanged.
+#[derive(Debug, Clone, Default)]
 pub struct ShadowCdfs {
-    /// LIKELY_TO_REJECT ECDF.
-    pub likely_to_reject: Ecdf,
-    /// OBSCENE ECDF.
-    pub obscene: Ecdf,
-    /// SEVERE_TOXICITY ECDF.
-    pub severe_toxicity: Ecdf,
+    /// LIKELY_TO_REJECT ECDF sketch.
+    pub likely_to_reject: EcdfSketch,
+    /// OBSCENE ECDF sketch.
+    pub obscene: EcdfSketch,
+    /// SEVERE_TOXICITY ECDF sketch.
+    pub severe_toxicity: EcdfSketch,
     /// Sample size.
     pub n: usize,
 }
 
-fn cdfs_for(scores: &[PerspectiveScores]) -> ShadowCdfs {
-    ShadowCdfs {
-        likely_to_reject: Ecdf::new(&scores.iter().map(|s| s.likely_to_reject).collect::<Vec<_>>()),
-        obscene: Ecdf::new(&scores.iter().map(|s| s.obscene).collect::<Vec<_>>()),
-        severe_toxicity: Ecdf::new(&scores.iter().map(|s| s.severe_toxicity).collect::<Vec<_>>()),
-        n: scores.len(),
+impl ShadowCdfs {
+    fn push(&mut self, s: &PerspectiveScores) {
+        self.likely_to_reject.push(s.likely_to_reject);
+        self.obscene.push(s.obscene);
+        self.severe_toxicity.push(s.severe_toxicity);
+        self.n += 1;
     }
 }
 
@@ -194,23 +196,23 @@ pub struct Figure4 {
 
 /// Compute Figure 4 from pre-computed scores.
 pub fn figure4(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) -> Figure4 {
-    let mut all = Vec::new();
-    let mut nsfw = Vec::new();
-    let mut off = Vec::new();
+    let mut all = ShadowCdfs::default();
+    let mut nsfw = ShadowCdfs::default();
+    let mut off = ShadowCdfs::default();
     for c in store.comments.values() {
         let Some(s) = scores.get(&c.id) else { continue };
-        all.push(s.perspective);
+        all.push(&s.perspective);
         match c.label {
-            ShadowLabel::Nsfw => nsfw.push(s.perspective),
-            ShadowLabel::Offensive => off.push(s.perspective),
+            ShadowLabel::Nsfw => nsfw.push(&s.perspective),
+            ShadowLabel::Offensive => off.push(&s.perspective),
             ShadowLabel::Both => {
-                nsfw.push(s.perspective);
-                off.push(s.perspective);
+                nsfw.push(&s.perspective);
+                off.push(&s.perspective);
             }
             ShadowLabel::Standard => {}
         }
     }
-    Figure4 { all: cdfs_for(&all), nsfw: cdfs_for(&nsfw), offensive: cdfs_for(&off) }
+    Figure4 { all, nsfw, offensive: off }
 }
 
 /// Figure 7: the four-dataset comparison. Datasets are scored score
@@ -219,34 +221,42 @@ pub fn figure4(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
 pub struct Figure7Dataset {
     /// Dataset name.
     pub name: String,
-    /// LIKELY_TO_REJECT ECDF.
-    pub likely_to_reject: Ecdf,
-    /// SEVERE_TOXICITY ECDF.
-    pub severe_toxicity: Ecdf,
-    /// ATTACK_ON_AUTHOR ECDF.
-    pub attack_on_author: Ecdf,
+    /// LIKELY_TO_REJECT ECDF sketch.
+    pub likely_to_reject: EcdfSketch,
+    /// SEVERE_TOXICITY ECDF sketch.
+    pub severe_toxicity: EcdfSketch,
+    /// ATTACK_ON_AUTHOR ECDF sketch.
+    pub attack_on_author: EcdfSketch,
     /// Comments scored.
     pub n: usize,
 }
 
 /// Build one Figure-7 dataset from raw scores.
 pub fn figure7_dataset(name: &str, scores: &[PerspectiveScores]) -> Figure7Dataset {
-    Figure7Dataset {
+    let mut d = Figure7Dataset {
         name: name.to_owned(),
-        likely_to_reject: Ecdf::new(&scores.iter().map(|s| s.likely_to_reject).collect::<Vec<_>>()),
-        severe_toxicity: Ecdf::new(&scores.iter().map(|s| s.severe_toxicity).collect::<Vec<_>>()),
-        attack_on_author: Ecdf::new(&scores.iter().map(|s| s.attack_on_author).collect::<Vec<_>>()),
+        likely_to_reject: EcdfSketch::new(),
+        severe_toxicity: EcdfSketch::new(),
+        attack_on_author: EcdfSketch::new(),
         n: scores.len(),
+    };
+    for s in scores {
+        d.likely_to_reject.push(s.likely_to_reject);
+        d.severe_toxicity.push(s.severe_toxicity);
+        d.attack_on_author.push(s.attack_on_author);
     }
+    d
 }
 
 /// Figure 8: Dissenter scores conditioned on the URL's Allsides bias.
 #[derive(Debug, Clone)]
 pub struct Figure8 {
-    /// Per-bias SEVERE_TOXICITY summaries (Fig. 8a's boxes).
-    pub severe_by_bias: Vec<(Bias, stats::Describe)>,
-    /// Per-bias ATTACK_ON_AUTHOR ECDFs (Fig. 8b).
-    pub attack_by_bias: Vec<(Bias, Ecdf)>,
+    /// Per-bias SEVERE_TOXICITY sketches (Fig. 8a's boxes render the
+    /// sketch's `n`/`mean`/`median`, which match the old
+    /// `stats::Describe` fields bit for bit).
+    pub severe_by_bias: Vec<(Bias, EcdfSketch)>,
+    /// Per-bias ATTACK_ON_AUTHOR ECDF sketches (Fig. 8b).
+    pub attack_by_bias: Vec<(Bias, EcdfSketch)>,
     /// Pairwise KS tests on SEVERE_TOXICITY across ranked biases.
     pub ks_severe: Vec<(Bias, Bias, KsResult)>,
     /// Comments on unranked URLs.
@@ -269,13 +279,13 @@ pub fn figure8(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
             (id, bias)
         })
         .collect();
-    let mut severe: HashMap<Bias, Vec<f64>> = HashMap::new();
-    let mut attack: HashMap<Bias, Vec<f64>> = HashMap::new();
+    let mut severe: HashMap<Bias, EcdfSketch> = HashMap::new();
+    let mut attack: HashMap<Bias, EcdfSketch> = HashMap::new();
     let mut unranked = 0usize;
     let mut ranked = 0usize;
     // Comments in id order: the store is a hash map, so without this the
-    // per-bias score vectors (and every f64 mean summed over them) would
-    // vary run to run and break the byte-identical export contract.
+    // per-bias push order (and the push-order f64 mean the sketch keeps)
+    // would vary run to run and break the byte-identical export contract.
     let mut comment_ids: Vec<ObjectId> = store.comments.keys().copied().collect();
     comment_ids.sort_unstable();
     for id in comment_ids {
@@ -290,13 +300,13 @@ pub fn figure8(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
         severe.entry(bias).or_default().push(s.perspective.severe_toxicity);
         attack.entry(bias).or_default().push(s.perspective.attack_on_author);
     }
-    let severe_by_bias: Vec<(Bias, stats::Describe)> = Bias::ALL
+    let severe_by_bias: Vec<(Bias, EcdfSketch)> = Bias::ALL
         .iter()
-        .filter_map(|&b| severe.get(&b).map(|v| (b, stats::Describe::of(v))))
+        .filter_map(|&b| severe.get(&b).map(|s| (b, s.clone())))
         .collect();
-    let attack_by_bias: Vec<(Bias, Ecdf)> = Bias::ALL
+    let attack_by_bias: Vec<(Bias, EcdfSketch)> = Bias::ALL
         .iter()
-        .filter_map(|&b| attack.get(&b).map(|v| (b, Ecdf::new(v))))
+        .filter_map(|&b| attack.get(&b).map(|s| (b, s.clone())))
         .collect();
     let ranked_biases: Vec<Bias> = Bias::ALL.into_iter().filter(|&b| b != Bias::NotRanked).collect();
     let mut ks_severe = Vec::new();
@@ -304,7 +314,7 @@ pub fn figure8(store: &CrawlStore, scores: &HashMap<ObjectId, CommentScores>) ->
         for &b in &ranked_biases[i + 1..] {
             if let (Some(va), Some(vb)) = (severe.get(&a), severe.get(&b)) {
                 if !va.is_empty() && !vb.is_empty() {
-                    ks_severe.push((a, b, ks_two_sample(va, vb)));
+                    ks_severe.push((a, b, ks_two_sample_sketch(va, vb)));
                 }
             }
         }

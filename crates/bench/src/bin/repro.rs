@@ -11,7 +11,7 @@
 
 use bench::parse_scale;
 use dissenter_core::experiments::{by_id, EXPERIMENTS};
-use dissenter_core::{render, run_study, Study, StudyConfig};
+use dissenter_core::{render, run_study, Study};
 
 fn usage() -> ! {
     eprintln!("usage: repro [--scale small|medium|paper|<f64>] [--seed N] [--skip-svm] [--export <dir>] [--save-crawl <dir>] [all|<id>...]");
@@ -21,8 +21,8 @@ fn usage() -> ! {
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = synth::config::Scale::Custom(1.0 / 32.0);
+    let mut builder =
+        dissenter_core::Study::builder().scale(synth::config::Scale::Custom(1.0 / 32.0));
     let mut wanted: Vec<String> = Vec::new();
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut save_crawl: Option<std::path::PathBuf> = None;
@@ -36,16 +36,16 @@ fn main() {
             }
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                cfg.world.scale = parse_scale(&v).unwrap_or_else(|e| {
+                builder = builder.scale(parse_scale(&v).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
-                });
+                }));
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                cfg.world.seed = v.parse().unwrap_or_else(|_| usage());
+                builder = builder.seed(v.parse().unwrap_or_else(|_| usage()));
             }
-            "--skip-svm" => cfg.skip_svm = true,
+            "--skip-svm" => builder = builder.svm(false),
             "--export" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 export_dir = Some(std::path::PathBuf::from(v));
@@ -61,6 +61,10 @@ fn main() {
     if wanted.is_empty() {
         wanted.push("all".into());
     }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     for w in &wanted {
         if w != "all" && by_id(w).is_none() {
             eprintln!("unknown experiment id {w:?}; try --list");

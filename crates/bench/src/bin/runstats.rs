@@ -11,7 +11,7 @@
 //! for the same seed; stage wall-clocks, rates, and latency quantiles are
 //! timing-derived and vary run to run.
 
-use dissenter_core::{run_study, StudyConfig};
+use dissenter_core::run_study;
 use std::fmt::Write as _;
 
 fn usage() -> ! {
@@ -21,26 +21,30 @@ fn usage() -> ! {
 
 fn main() {
     let mut out_path = std::path::PathBuf::from("BENCH_PR2.json");
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = synth::config::Scale::Custom(0.004);
-    cfg.svm_corpus = 600;
+    let mut builder = dissenter_core::Study::builder()
+        .scale(synth::config::Scale::Custom(0.004))
+        .svm_corpus(600);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                cfg.world.scale =
-                    synth::config::Scale::Custom(v.parse().unwrap_or_else(|_| usage()));
+                builder = builder
+                    .scale(synth::config::Scale::Custom(v.parse().unwrap_or_else(|_| usage())));
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                cfg.world.seed = v.parse().unwrap_or_else(|_| usage());
+                builder = builder.seed(v.parse().unwrap_or_else(|_| usage()));
             }
-            "--skip-svm" => cfg.skip_svm = true,
+            "--skip-svm" => builder = builder.svm(false),
             _ => usage(),
         }
     }
+    let cfg = builder.build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     let started = std::time::Instant::now();
     let study = run_study(&cfg);

@@ -1,0 +1,230 @@
+//! Paper-scale bench: run the out-of-core study at scale 1.0 under a
+//! hard peak-RSS ceiling and emit the result as `BENCH_SCALE.json`
+//! (produced in CI by `scripts/bench_scale.sh`).
+//!
+//! ```text
+//! scalebench [--out FILE] [--scale <f64>] [--seed N] [--workers N]
+//!            [--budget-gib <f64>] [--svm-corpus N] [--skip-svm]
+//! ```
+//!
+//! Self-validating gates (exit nonzero on any failure):
+//! * **memory** — the study runs with `out_of_core: true` and a
+//!   `MemoryBudget` at the configured ceiling (default 4 GiB). The
+//!   budget is checked inside `run_study` at every stage boundary and
+//!   every 100k streamed world items, so *completing at all* proves the
+//!   ceiling held; the artifact additionally records `peak_rss_bytes`
+//!   and re-asserts it against the ceiling.
+//! * **speedup** — on ≥ 4 CPUs the study is re-run at `workers = 1`,
+//!   the deterministic render is proven byte-identical, and the
+//!   wall-clock ratio must clear an Amdahl-adjusted floor: ≥ 0.6×
+//!   efficiency per added effective core on the *parallelizable*
+//!   portion, where the serial residue is measured from the serial
+//!   run's crawl-stage share of wall time (the crawl is a single
+//!   epoll loop and currently dominates at ~70%; the residue is
+//!   reported as `crawl_serial_residue` rather than wished away).
+//!   Below 4 CPUs a wall-clock ratio is noise, so the leg is refused:
+//!   `"speedup": null, "speedup_refused": true`.
+
+use dissenter_core::{run_study, MemoryBudget, Study, StudyConfig};
+use std::fmt::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scalebench [--out FILE] [--scale <f64>] [--seed N] [--workers N] \
+         [--budget-gib <f64>] [--svm-corpus N] [--skip-svm]"
+    );
+    std::process::exit(2);
+}
+
+/// FNV-1a over the rendered report — a compact fingerprint for the JSON.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Amdahl-adjusted speedup floor, given ≥ 4 CPUs: the parallelizable
+/// `1 - residue` fraction of the serial wall must scale at ≥ 0.6×
+/// efficiency per added effective core, while the `residue` fraction
+/// (the single-threaded crawl loop) is carried at 1×. Below 4 CPUs the
+/// leg is refused outright (`None`) — a ratio measured on 1–3 cores is
+/// noise nobody should gate on.
+fn required_speedup(cpus: usize, workers: usize, residue: f64) -> Option<f64> {
+    if cpus < 4 {
+        return None;
+    }
+    let effective = workers.min(cpus) as f64;
+    let parallel_speedup = 1.0 + 0.6 * (effective - 1.0);
+    Some(1.0 / (residue + (1.0 - residue) / parallel_speedup))
+}
+
+fn timed_study(cfg: &StudyConfig) -> (Study, std::time::Duration) {
+    let started = std::time::Instant::now();
+    let study = run_study(cfg);
+    (study, started.elapsed())
+}
+
+/// The crawl stage's share of total stage wall time — the serial
+/// residue the speedup gate must carry.
+fn crawl_residue(study: &Study) -> f64 {
+    let total: u64 = study.runstats.stages.iter().map(|s| s.wall_us).sum();
+    let crawl: u64 = study
+        .runstats
+        .stages
+        .iter()
+        .filter(|s| s.name == "crawl" || s.name == "serve")
+        .map(|s| s.wall_us)
+        .sum();
+    if total == 0 { 0.0 } else { crawl as f64 / total as f64 }
+}
+
+fn main() {
+    let mut out_path = std::path::PathBuf::from("BENCH_SCALE.json");
+    let mut workers = 8usize;
+    let mut budget_gib = 4.0f64;
+    let mut builder = dissenter_core::Study::builder()
+        .scale(synth::config::Scale::Custom(1.0))
+        .out_of_core(true);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                builder = builder
+                    .scale(synth::config::Scale::Custom(v.parse().unwrap_or_else(|_| usage())));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                builder = builder.seed(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--workers" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                workers = v.parse().unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage();
+                }
+            }
+            "--budget-gib" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                budget_gib = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--svm-corpus" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                builder = builder.svm_corpus(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--skip-svm" => builder = builder.svm(false),
+            _ => usage(),
+        }
+    }
+    let budget = MemoryBudget::gib(budget_gib);
+    let mut cfg = builder.workers(workers).memory_budget(budget).build().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let ceiling = budget.ceiling_bytes().expect("a finite budget was requested");
+
+    eprintln!(
+        "scalebench: out-of-core study at scale factor {:.4}, {workers} workers, \
+         {budget_gib} GiB budget ...",
+        cfg.world.scale.factor()
+    );
+    let (study, wall) = timed_study(&cfg);
+    let peak = study.runstats.peak_rss_bytes;
+    assert!(peak > 0, "peak RSS was not measurable on this platform");
+    assert!(
+        peak <= ceiling,
+        "peak RSS {peak} bytes over the {ceiling}-byte budget (run_study should have caught this)"
+    );
+    let residue = crawl_residue(&study);
+
+    // Speedup leg: a second, serial run — refused below 4 CPUs.
+    let required = required_speedup(cpus, workers, residue);
+    let speedup_leg = required.map(|floor| {
+        eprintln!("scalebench: serial control run (workers = 1) ...");
+        cfg.workers = 1;
+        let (serial, serial_wall) = timed_study(&cfg);
+        let serial_render = dissenter_core::render::deterministic(&serial);
+        let parallel_render = dissenter_core::render::deterministic(&study);
+        assert_eq!(
+            serial_render, parallel_render,
+            "deterministic render diverged between workers=1 and workers={workers}"
+        );
+        let speedup = serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        (floor, speedup, serial_wall, fnv1a64(serial_render.as_bytes()))
+    });
+
+    let mut s = String::from("{");
+    let _ = write!(s, "\"bench\":\"paper-scale\"");
+    let _ = write!(s, ",\"seed\":{}", cfg.world.seed);
+    let _ = write!(s, ",\"scale\":{}", study.scale_factor);
+    let _ = write!(s, ",\"cpus\":{cpus}");
+    let _ = write!(s, ",\"workers\":{workers}");
+    let _ = write!(s, ",\"out_of_core\":true");
+    let _ = write!(s, ",\"comments\":{}", study.report.overview.comments);
+    let _ = write!(s, ",\"active_users\":{}", study.report.overview.active_users);
+    let _ = write!(s, ",\"urls\":{}", study.report.overview.urls);
+    let _ = write!(s, ",\"wall_ms\":{:.1}", wall.as_secs_f64() * 1e3);
+    let _ = write!(s, ",\"budget_bytes\":{ceiling}");
+    let _ = write!(s, ",\"peak_rss_bytes\":{peak}");
+    let _ = write!(s, ",\"rss_within_budget\":true");
+    let _ = write!(s, ",\"crawl_serial_residue\":{residue:.4}");
+    match &speedup_leg {
+        Some((floor, speedup, serial_wall, digest)) => {
+            let _ = write!(s, ",\"speedup\":{speedup:.3}");
+            let _ = write!(s, ",\"speedup_refused\":false");
+            let _ = write!(s, ",\"required_speedup\":{floor:.3}");
+            let _ = write!(s, ",\"wall_ms_serial\":{:.1}", serial_wall.as_secs_f64() * 1e3);
+            let _ = write!(s, ",\"deterministic\":true");
+            let _ = write!(s, ",\"report_fnv1a64\":\"{digest:016x}\"");
+        }
+        None => {
+            // < 4 CPUs: a wall-clock ratio here is measurement noise, so
+            // refuse the leg instead of emitting a number.
+            s.push_str(",\"speedup\":null,\"speedup_refused\":true,\"required_speedup\":null");
+        }
+    }
+
+    s.push_str(",\"stages_us\":{");
+    for (i, st) in study.runstats.stages.iter().enumerate() {
+        let _ = write!(s, "{}\"{}\":{}", if i > 0 { "," } else { "" }, st.name, st.wall_us);
+    }
+    s.push('}');
+    s.push('}');
+
+    // Self-validate before writing: a malformed artifact should fail the
+    // bench run, not a downstream consumer.
+    jsonlite::parse(&s).expect("generated scale report must be valid JSON");
+
+    std::fs::write(&out_path, &s).expect("write scale report");
+    println!("wrote {} ({} bytes)", out_path.display(), s.len());
+    println!(
+        "scale {:.4}: {} comments in {:.1} s, peak RSS {:.1} MiB of {:.1} MiB budget, \
+         crawl serial residue {:.0}%",
+        study.scale_factor,
+        study.report.overview.comments,
+        wall.as_secs_f64(),
+        peak as f64 / (1u64 << 20) as f64,
+        ceiling as f64 / (1u64 << 20) as f64,
+        residue * 100.0
+    );
+    match speedup_leg {
+        Some((floor, speedup, _, digest)) => {
+            println!(
+                "speedup {speedup:.2}x on {cpus} cpu(s) against an Amdahl floor of {floor:.2}x; \
+                 deterministic render fnv1a64={digest:016x}"
+            );
+            assert!(
+                speedup >= floor,
+                "speedup {speedup:.2}x below the {floor:.2}x Amdahl floor \
+                 ({workers} workers, {cpus} cpus, residue {residue:.2})"
+            );
+        }
+        None => println!("speedup leg refused on {cpus} cpu(s) (< 4)"),
+    }
+}

@@ -36,7 +36,6 @@
 use dissenter_core::longitudinal::{
     artifacts, run_composed, run_one_shot, LongitudinalConfig,
 };
-use dissenter_core::StudyConfig;
 use std::time::Instant;
 use synth::config::Scale;
 
@@ -84,11 +83,16 @@ fn main() {
     assert!(epochs >= 1, "sweepbench needs at least one epoch of evolution");
     assert!(drift > 0.0, "sweepbench gates on drift detection; pass --drift > 0");
 
-    let mut study = StudyConfig::small();
-    study.world.seed = seed;
-    study.world.scale = Scale::Custom(scale);
-    study.workers = workers;
-    study.skip_svm = true;
+    let study = dissenter_core::Study::builder()
+        .seed(seed)
+        .scale(Scale::Custom(scale))
+        .workers(workers)
+        .svm(false)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     let cfg = LongitudinalConfig {
         study,
         epochs,

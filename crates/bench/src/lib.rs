@@ -6,7 +6,7 @@
 pub mod abusegen;
 pub mod loadgen;
 
-use dissenter_core::{run_study, Study, StudyConfig};
+use dissenter_core::{run_study, Study};
 use std::sync::OnceLock;
 use synth::config::Scale;
 
@@ -15,9 +15,11 @@ use synth::config::Scale;
 pub fn bench_study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        let mut cfg = StudyConfig::small();
-        cfg.world.scale = Scale::Custom(0.004);
-        cfg.svm_corpus = 1_000;
+        let cfg = Study::builder()
+            .scale(Scale::Custom(0.004))
+            .svm_corpus(1_000)
+            .build()
+            .expect("bench fixture config is valid");
         run_study(&cfg)
     })
 }

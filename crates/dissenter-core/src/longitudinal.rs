@@ -91,8 +91,7 @@ pub struct LongitudinalConfig {
 impl LongitudinalConfig {
     /// Test-sized configuration: 2 epochs, no drift, no journaling.
     pub fn small() -> Self {
-        let mut study = StudyConfig::small();
-        study.skip_svm = true;
+        let study = crate::Study::builder().svm(false).build().expect("default config is valid");
         Self {
             drift_seed: study.world.seed,
             study,

@@ -4,12 +4,12 @@
 
 use crate::Study;
 use analysis::toxicity::Figure7Dataset;
-use stats::Ecdf;
+use stats::EcdfSketch;
 use std::fmt::Write;
 
 const CDF_THRESHOLDS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
-fn cdf_row(name: &str, e: &Ecdf) -> String {
+fn cdf_row(name: &str, e: &EcdfSketch) -> String {
     let mut s = format!("{name:<22} n={:<8}", e.n());
     for t in CDF_THRESHOLDS {
         let _ = write!(s, " P(≥{t:.1})={:.3}", e.survival(t - 1e-12));
@@ -256,7 +256,7 @@ pub fn fig6_table3(study: &Study) -> String {
     let _ = writeln!(s, "Dissenter-only: {:.1}%  (paper: >33%)", 100.0 * r.dissenter_only);
     let _ = writeln!(s, "Reddit-only:    {:.1}%  (paper: ~20%)", 100.0 * r.reddit_only);
     if !r.ratios.is_empty() {
-        let e = Ecdf::new(&r.ratios);
+        let e = EcdfSketch::of(&r.ratios);
         let _ = writeln!(s, "{}", cdf_row("d/(d+r) ratio CDF", &e));
     }
     s
@@ -266,7 +266,7 @@ pub fn fig6_table3(study: &Study) -> String {
 pub fn fig7(study: &Study) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Figure 7: Perspective score CDFs across communities ==");
-    let section = |s: &mut String, title: &str, pick: &dyn Fn(&Figure7Dataset) -> &Ecdf| {
+    let section = |s: &mut String, title: &str, pick: &dyn Fn(&Figure7Dataset) -> &EcdfSketch| {
         let _ = writeln!(s, "-- {title} --");
         for d in &study.report.figure7 {
             let _ = writeln!(s, "{}", cdf_row(&d.name, pick(d)));
@@ -294,9 +294,9 @@ pub fn fig8(study: &Study) -> String {
             s,
             "  {:<13} n={:<9} mean={:.3} median={:.3}",
             b.label(),
-            d.n,
-            d.mean,
-            d.median
+            d.n(),
+            d.mean(),
+            d.median()
         );
     }
     let _ = writeln!(s, "-- 8b ATTACK_ON_AUTHOR by bias --");
@@ -398,6 +398,8 @@ pub fn runstats(study: &Study) -> String {
     for st in &rs.stages {
         let _ = writeln!(s, "  {:<10} {:>10.1} ms", st.name, st.wall_us as f64 / 1e3);
     }
+    let _ = writeln!(s, "-- memory --");
+    let _ = writeln!(s, "  peak RSS   {:>10.1} MiB", rs.peak_rss_bytes as f64 / (1u64 << 20) as f64);
     let _ = writeln!(s, "-- crawl coverage (attempted = succeeded + dead-lettered) --");
     for p in &rs.phases {
         let _ = writeln!(

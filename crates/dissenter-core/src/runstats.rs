@@ -75,6 +75,9 @@ pub struct RunStats {
     pub scorers: Vec<ScorerThroughput>,
     /// Per-label sharded-stage accounting, sorted by name.
     pub shards: Vec<ShardStats>,
+    /// Peak resident-set size over the whole run in bytes (`VmHWM`;
+    /// 0 where the platform cannot measure it).
+    pub peak_rss_bytes: u64,
     /// The full metric snapshot (counters, gauges, histograms).
     pub snapshot: obs::Snapshot,
     /// The structured event trace as JSON Lines.
@@ -152,7 +155,17 @@ pub fn collect(registry: &obs::Registry) -> RunStats {
         .collect();
     shards.sort_by(|a, b| a.name.cmp(&b.name));
 
-    RunStats { stages, phases, scorers, shards, snapshot, events_jsonl: registry.events_jsonl() }
+    let peak_rss_bytes = snapshot.gauge("mem.peak_rss_bytes").unwrap_or(0.0) as u64;
+
+    RunStats {
+        stages,
+        phases,
+        scorers,
+        shards,
+        peak_rss_bytes,
+        snapshot,
+        events_jsonl: registry.events_jsonl(),
+    }
 }
 
 #[cfg(test)]

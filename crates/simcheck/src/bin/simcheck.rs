@@ -1,7 +1,7 @@
 //! Seeded scenario sweeps for CI and soak runs.
 //!
 //! ```text
-//! simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal] [--replay-dir DIR] [--replay FILE]
+//! simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal|scale] [--replay-dir DIR] [--replay FILE]
 //! ```
 //!
 //! Runs `N` seeded scenarios starting at seed `S` through every oracle.
@@ -15,7 +15,9 @@
 //! `--family abuse` does the same for the adversarial-traffic family
 //! (seeded hostile profiles against hardened services); `--family
 //! longitudinal` restricts to the sweep-composition family (incremental
-//! sweeps over an evolving world vs a one-shot study).
+//! sweeps over an evolving world vs a one-shot study); `--family scale`
+//! restricts to the out-of-core family (streamed world generation and
+//! spilled/merged analysis vs the in-memory reference path).
 
 use simcheck::{check_scenario_family, replay, shrink, Family, Scenario};
 use std::path::PathBuf;
@@ -48,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal] \
+                    "usage: simcheck [--count N] [--start S] [--family all|crash|abuse|longitudinal|scale] \
                      [--replay-dir DIR] [--replay FILE]"
                 );
                 std::process::exit(0);
@@ -61,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn describe(sc: &Scenario) -> String {
     format!(
-        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}{}{}",
+        "scale {:.5}, workers {}x{}, retries {}, fault mass {:.4}{}{}{}{}{}",
         sc.scale,
         sc.workers,
         sc.crawl_workers,
@@ -84,6 +86,11 @@ fn describe(sc: &Scenario) -> String {
         },
         if sc.epochs > 0 {
             format!(", longitudinal {}e drift {:.2}", sc.epochs, sc.drift)
+        } else {
+            String::new()
+        },
+        if sc.stream_batch > 0 {
+            format!(", scale batch {} spill {}", sc.stream_batch, sc.spill_budget)
         } else {
             String::new()
         }

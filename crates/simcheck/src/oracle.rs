@@ -44,6 +44,13 @@
 //!    scorer revision and carry genuine rescoring deltas whenever the
 //!    scenario's drift is nonzero; and a sweep killed at a journaled
 //!    failpoint and resumed in place must compose to the same bytes.
+//! 9. **out-of-core scale path** (`scale.*`) — the streaming
+//!    [`synth::WorldSource`] drained at the scenario's seeded batch size
+//!    (and worker count) must rebuild a world content-identical to the
+//!    materialized generator's, and a study routed through the
+//!    external-merge spill tables — plus the spill primitives themselves
+//!    under a deliberately tiny byte budget — must reproduce the
+//!    in-memory path byte for byte.
 
 use crate::scenario::Scenario;
 use crawler::store::ShadowLabel;
@@ -88,6 +95,8 @@ pub enum Family {
     Abuse,
     /// Only the `longitudinal.*` sweep-composition family.
     Longitudinal,
+    /// Only the `scale.*` streaming/out-of-core family.
+    Scale,
 }
 
 impl Family {
@@ -98,9 +107,10 @@ impl Family {
             "crash" => Ok(Self::Crash),
             "abuse" => Ok(Self::Abuse),
             "longitudinal" => Ok(Self::Longitudinal),
-            other => {
-                Err(format!("unknown family {other:?} (expected all|crash|abuse|longitudinal)"))
-            }
+            "scale" => Ok(Self::Scale),
+            other => Err(format!(
+                "unknown family {other:?} (expected all|crash|abuse|longitudinal|scale)"
+            )),
         }
     }
 }
@@ -112,6 +122,7 @@ pub fn check_scenario_family(sc: &Scenario, family: Family) -> Result<(), Failur
         Family::Crash => crash_recovery(sc),
         Family::Abuse => abuse_traffic(sc),
         Family::Longitudinal => longitudinal_sweeps(sc),
+        Family::Scale => scale_out_of_core(sc),
     }
 }
 
@@ -141,7 +152,153 @@ pub fn check_scenario(sc: &Scenario) -> Result<(), Failure> {
     incremental_recrawl(sc)?;
     crash_recovery(sc)?;
     abuse_traffic(sc)?;
-    longitudinal_sweeps(sc)
+    longitudinal_sweeps(sc)?;
+    scale_out_of_core(sc)
+}
+
+/// Oracle 9: the out-of-core scale path. Three legs:
+///
+/// * `scale.stream` — [`synth::WorldSource`] drained at the scenario's
+///   seeded `stream_batch` (and at the scenario's worker count) must
+///   rebuild a world whose served-content digest
+///   ([`platform::World::content_hash`]) equals the materialized
+///   generator's, with the same ground truth and comment volume. Batch
+///   size and worker count are presentation knobs; a digest shift means
+///   the streaming refactor leaked either into sampling order or into
+///   per-batch text synthesis.
+/// * `scale.spill` — the external-merge primitives under the scenario's
+///   deliberately tiny byte budget (every armed run writes real spill
+///   files) must reproduce the in-memory TLD/domain/median tables
+///   exactly, on the very URL/comment population the study analyzed.
+/// * `scale.merge` — a full study routed through the spill path
+///   (`out_of_core = true`) must render byte-identically to the
+///   in-memory study and export byte-identical CSVs.
+///
+/// Runs on the control config (clean network): fault × spill
+/// interactions belong to the differential family. `stream_batch == 0`
+/// disables the family — the shrinker's off switch and the default for
+/// replays written before it existed.
+fn scale_out_of_core(sc: &Scenario) -> Result<(), Failure> {
+    if sc.stream_batch == 0 {
+        return Ok(()); // family disabled (shrunk away, or a pre-scale replay)
+    }
+    let fail = |check: &str, d: String| Failure::new(check, d);
+    let cfg = sc.config_control();
+
+    // scale.stream — streamed batches vs the materialized world.
+    let (reference, ref_truth) = synth::generate(&cfg.world);
+    let source = synth::WorldSource::new(&cfg.world, sc.workers).with_batch_size(sc.stream_batch);
+    let streamed_truth = source.truth().clone();
+    let mut batches = 0usize;
+    let mut streamed = platform::World::new();
+    for batch in source {
+        batches += 1;
+        batch.apply(&mut streamed);
+    }
+    if streamed.content_hash() != reference.content_hash() {
+        return Err(fail(
+            "scale.stream",
+            format!(
+                "world streamed at batch size {} (workers {}) serves different content than \
+                 the materialized world (digest {:016x} vs {:016x})",
+                sc.stream_batch,
+                sc.workers,
+                streamed.content_hash(),
+                reference.content_hash()
+            ),
+        ));
+    }
+    if streamed_truth.active_indices != ref_truth.active_indices
+        || streamed_truth.core_author_ids != ref_truth.core_author_ids
+    {
+        return Err(fail(
+            "scale.stream",
+            "the source's ground truth diverges from the materialized generator's".to_owned(),
+        ));
+    }
+    if batches < 2 {
+        return Err(fail(
+            "scale.stream",
+            format!(
+                "batch size {} produced only {batches} batch(es) — the streaming path \
+                 was not actually exercised",
+                sc.stream_batch
+            ),
+        ));
+    }
+
+    // scale.spill — external-merge primitives vs their in-memory twins,
+    // on the study's own URL and comment population.
+    let urls: Vec<&str> = reference.dissenter.urls().iter().map(|u| u.url.as_str()).collect();
+    let spilled = analysis::spill::tld_table_spilled(urls.iter().copied(), 12, sc.spill_budget)
+        .map_err(|e| fail("scale.spill", format!("tld spill I/O: {e}")))?;
+    let resident = analysis::domains::tld_table(urls.iter().copied(), 12);
+    if spilled != resident {
+        return Err(fail(
+            "scale.spill",
+            format!(
+                "TLD table diverges under a {}-byte spill budget: {spilled:?} vs {resident:?}",
+                sc.spill_budget
+            ),
+        ));
+    }
+    let spilled = analysis::spill::domain_table_spilled(urls.iter().copied(), 12, sc.spill_budget)
+        .map_err(|e| fail("scale.spill", format!("domain spill I/O: {e}")))?;
+    let resident = analysis::domains::domain_table(urls.iter().copied(), 12);
+    if spilled != resident {
+        return Err(fail(
+            "scale.spill",
+            format!("domain table diverges under a {}-byte spill budget", sc.spill_budget),
+        ));
+    }
+
+    // scale.merge — the full out-of-core study against the in-memory one.
+    let in_memory = run_study(&cfg);
+    let mut ooc_cfg = cfg;
+    ooc_cfg.out_of_core = true;
+    let out_of_core = run_study(&ooc_cfg);
+    let ra = render::deterministic(&in_memory);
+    let rb = render::deterministic(&out_of_core);
+    if ra != rb {
+        return Err(fail(
+            "scale.merge",
+            format!(
+                "out-of-core study renders differently from the in-memory study: {}",
+                first_diff_line(&ra, &rb)
+            ),
+        ));
+    }
+    let base = std::env::temp_dir().join(format!(
+        "simcheck-scale-{}-{:016x}",
+        std::process::id(),
+        sc.seed
+    ));
+    let io_fail = |e: std::io::Error| Failure::new("scale.io", e.to_string());
+    let result = (|| {
+        let (dir_a, dir_b) = (base.join("csv-memory"), base.join("csv-spilled"));
+        let files_a = analysis::export::export_csv(&in_memory.report, &dir_a).map_err(io_fail)?;
+        let files_b =
+            analysis::export::export_csv(&out_of_core.report, &dir_b).map_err(io_fail)?;
+        if files_a != files_b {
+            return Err(fail(
+                "scale.merge",
+                format!("export file sets differ: {files_a:?} vs {files_b:?}"),
+            ));
+        }
+        for name in &files_a {
+            let a = std::fs::read(dir_a.join(name)).map_err(io_fail)?;
+            let b = std::fs::read(dir_b.join(name)).map_err(io_fail)?;
+            if a != b {
+                return Err(fail(
+                    "scale.merge",
+                    format!("{name}: out-of-core CSV bytes differ from the in-memory export"),
+                ));
+            }
+        }
+        Ok(())
+    })();
+    std::fs::remove_dir_all(&base).ok();
+    result
 }
 
 /// Oracle 8: longitudinal sweeps. Builds the scenario's longitudinal
@@ -1156,6 +1313,8 @@ mod tests {
             abuse_conns: 0,
             epochs: 0,
             drift: 0.0,
+            stream_batch: 0,
+            spill_budget: 0,
         }
     }
 
@@ -1226,6 +1385,27 @@ mod tests {
         // default for old replays; it must short-circuit.
         let sc = minimal();
         assert_eq!(check_scenario_family(&sc, Family::Longitudinal), Ok(()));
+    }
+
+    #[test]
+    fn scale_family_holds_at_a_tiny_batch_and_budget() {
+        // Family::Scale alone (the CI scale job's path): a 64-comment
+        // stream batch and a spill budget small enough to force real
+        // run files, on the cheapest world. Exercises all three legs —
+        // streamed≡materialized digests, spilled≡resident tables, and
+        // the out-of-core≡in-memory study differential.
+        let sc = Scenario { stream_batch: 64, spill_budget: 300, ..minimal() };
+        if let Err(f) = check_scenario_family(&sc, Family::Scale) {
+            panic!("scale scenario failed: {f}");
+        }
+    }
+
+    #[test]
+    fn disarmed_scale_family_is_a_no_op() {
+        // stream_batch == 0 is the shrinker's off switch and the
+        // back-compat default for old replays; it must short-circuit.
+        let sc = minimal();
+        assert_eq!(check_scenario_family(&sc, Family::Scale), Ok(()));
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub struct Scenario {
     /// Scorer-drift magnitude of the mid-study revision the
     /// longitudinal family deploys (`0.0` = a bit-identical re-deploy).
     pub drift: f64,
+    /// [`synth::WorldSource`] batch size the `scale.*` family streams
+    /// at. `0` disables the family (the shrinker's off switch, and the
+    /// default for replays written before it existed).
+    pub stream_batch: usize,
+    /// Resident-entry budget in bytes for the `scale.merge`
+    /// external-merge leg — kept tiny so every armed run genuinely
+    /// spills sorted runs to disk.
+    pub spill_budget: usize,
 }
 
 /// SplitMix64 step — the scenario sampler's only randomness source.
@@ -153,6 +161,18 @@ impl Scenario {
         } else {
             0.0
         };
+        // Drawn after drift, once more for replay stability. Half the
+        // seeds arm the scale family; armed seeds stream the world at a
+        // batch size spanning tiny (every stage crosses many batch
+        // boundaries) to large (single-batch stages), and spill with a
+        // byte budget small enough that the merge leg always writes
+        // sorted runs to disk.
+        let stream_batch = if splitmix(&mut st).is_multiple_of(2) {
+            [64, 256, 1024, 4096][(splitmix(&mut st) % 4) as usize]
+        } else {
+            0
+        };
+        let spill_budget = 256 + (splitmix(&mut st) % 1793) as usize;
 
         Self {
             seed,
@@ -178,6 +198,8 @@ impl Scenario {
             abuse_conns,
             epochs,
             drift,
+            stream_batch,
+            spill_budget,
         }
     }
 
@@ -206,28 +228,29 @@ impl Scenario {
     }
 
     fn base_config(&self) -> StudyConfig {
-        StudyConfig {
-            world: WorldConfig {
+        dissenter_core::Study::builder()
+            .world(WorldConfig {
                 seed: self.world_seed,
                 scale: Scale::Custom(self.scale),
                 ..WorldConfig::small()
-            },
+            })
             // Generous retry budget and an effectively-disabled breaker:
             // scenarios probe correctness under faults, not the degraded
             // coverage modes (the chaos suite owns those).
-            crawl: CrawlConfig {
+            .crawl(CrawlConfig {
                 workers: self.crawl_workers,
                 retries: self.retries,
                 backoff: Duration::from_millis(1),
                 retry_budget: 100_000,
                 breaker_threshold: 1_000_000,
                 ..CrawlConfig::default()
-            },
-            workers: self.workers,
-            svm_corpus: self.svm_corpus,
-            skip_svm: !self.svm,
-            faults: self.faults(),
-        }
+            })
+            .workers(self.workers)
+            .svm_corpus(self.svm_corpus)
+            .svm(self.svm)
+            .faults(self.faults())
+            .build()
+            .expect("the sampler envelope only emits valid configs")
     }
 
     /// The scenario as run: faulted network, sharded workers.
@@ -288,6 +311,12 @@ impl Scenario {
                 Value::object()
                     .with("epochs", u64::from(self.epochs))
                     .with("drift", self.drift),
+            )
+            .with(
+                "scale_family",
+                Value::object()
+                    .with("stream_batch", self.stream_batch)
+                    .with("spill_budget", self.spill_budget),
             )
     }
 
@@ -368,6 +397,20 @@ impl Scenario {
                 .and_then(|l| l.get("drift"))
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
+            // Absent in replays written before the scale family existed:
+            // default to disarmed so their meaning is unchanged.
+            stream_batch: v
+                .get("scale_family")
+                .and_then(|s| s.get("stream_batch"))
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .unwrap_or(0),
+            spill_budget: v
+                .get("scale_family")
+                .and_then(|s| s.get("spill_budget"))
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .unwrap_or(0),
         })
     }
 }
@@ -411,6 +454,16 @@ mod tests {
                 "seed {seed}: drift {}",
                 sc.drift
             );
+            assert!(
+                [0, 64, 256, 1024, 4096].contains(&sc.stream_batch),
+                "seed {seed}: stream_batch {}",
+                sc.stream_batch
+            );
+            assert!(
+                (256..=2048).contains(&sc.spill_budget),
+                "seed {seed}: spill_budget {}",
+                sc.spill_budget
+            );
             sc.faults().validate();
         }
     }
@@ -445,6 +498,15 @@ mod tests {
         }
         assert!(scenarios.iter().any(|s| s.epochs > 0 && s.drift == 0.0));
         assert!(scenarios.iter().any(|s| s.epochs > 0 && s.drift > 0.0));
+        // The scale family: disarmed seeds exist, and every armed batch
+        // size is reached somewhere.
+        assert!(scenarios.iter().any(|s| s.stream_batch == 0), "disarmed scale scenarios exist");
+        for batch in [64, 256, 1024, 4096] {
+            assert!(
+                scenarios.iter().any(|s| s.stream_batch == batch),
+                "stream_batch={batch} never sampled"
+            );
+        }
     }
 
     #[test]

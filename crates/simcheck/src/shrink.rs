@@ -5,7 +5,8 @@
 //! sequence — halve the world (twice), drop the SVM stage, zero each
 //! fault-matrix entry, serialize the workers, disarm the crash-family
 //! kill point, thin then disarm the abuse herd, undrift then shorten
-//! then disarm the longitudinal study. Each candidate re-runs the
+//! then disarm the longitudinal study, thin then disarm the scale
+//! stream. Each candidate re-runs the
 //! oracle and is kept only if the failure (any failure) persists, so
 //! the pass is bounded at ~20 pipeline runs and the result is
 //! deterministic for a deterministic check function.
@@ -49,6 +50,10 @@ where
         Box::new(|s| Scenario { drift: 0.0, ..s.clone() }),
         Box::new(|s| Scenario { epochs: s.epochs.min(1), ..s.clone() }),
         Box::new(|s| Scenario { epochs: 0, ..s.clone() }),
+        // Shrink the stream batch to its floor (the most boundary
+        // crossings), then disarm the scale family (`stream_batch: 0`).
+        Box::new(|s| Scenario { stream_batch: s.stream_batch.min(64), ..s.clone() }),
+        Box::new(|s| Scenario { stream_batch: 0, ..s.clone() }),
     ];
 
     let mut best = sc;
@@ -86,6 +91,7 @@ mod tests {
             drop_prob: 0.01,
             epochs: 3,
             drift: 0.2,
+            stream_batch: 4096,
             ..sc
         };
         let expected_scale = (sc.scale / 4.0).max(MIN_SCALE); // two halvings
@@ -100,7 +106,17 @@ mod tests {
         assert_eq!(min.abuse_conns, 0, "the hostile herd shrinks away too");
         assert_eq!(min.epochs, 0, "the epoch evolution shrinks away too");
         assert_eq!(min.drift, 0.0, "the scorer drift shrinks away too");
+        assert_eq!(min.stream_batch, 0, "the scale stream shrinks away too");
         assert_eq!(f.check, "test");
+    }
+
+    #[test]
+    fn keeps_the_batch_a_scale_failure_depends_on() {
+        let sc = Scenario { stream_batch: 4096, workers: 8, ..Scenario::from_seed(13) };
+        let first = Failure { check: "scale.stream".into(), detail: String::new() };
+        let (min, _) = shrink(sc, first, fails_when(|s| s.stream_batch > 0));
+        assert_eq!(min.stream_batch, 64, "the armed stream survives at its floor");
+        assert_eq!(min.workers, 1, "irrelevant knobs still shrink");
     }
 
     #[test]
@@ -168,6 +184,7 @@ mod tests {
                 abuse_conns: 0,
                 epochs: 0,
                 drift: 0.0,
+                stream_batch: 0,
                 ..Scenario::from_seed(0)
             }
         };

@@ -14,6 +14,7 @@ pub mod ecdf;
 pub mod hist;
 pub mod ks;
 pub mod powerlaw;
+pub mod stream;
 
 pub use correlation::{pearson, spearman};
 pub use describe::{mean, median, quantile, Describe};
@@ -21,3 +22,4 @@ pub use ecdf::Ecdf;
 pub use hist::{log_bins, Histogram};
 pub use ks::{ks_two_sample, KsResult};
 pub use powerlaw::{fit_power_law, PowerLawFit};
+pub use stream::{ks_two_sample_sketch, EcdfSketch};

@@ -1,0 +1,417 @@
+//! Streaming (out-of-core) distribution sketches.
+//!
+//! [`EcdfSketch`] is the bounded-memory counterpart of [`crate::Ecdf`]:
+//! instead of owning the full sample vector it counts observations per
+//! distinct value in a totally-ordered map. Every statistic the report
+//! pipeline renders — `F(x)`, the CCDF, interpolated quantiles, the
+//! evenly-spaced plotting curve, the two-sample KS test — is recomputed
+//! from the counts with **bit-for-bit identical** results to the
+//! vector-backed implementations, because each one only ever consumed
+//! the sample through its order statistics and cumulative counts:
+//!
+//! * `eval`/`survival` divide a cumulative count by `n` — exact.
+//! * `quantile` interpolates between two order statistics, which the
+//!   counting map reconstructs exactly.
+//! * `curve` evaluates `F` on the same `lo + (hi-lo)·i/(p-1)` grid.
+//! * [`ks_two_sample_sketch`] replays the ECDF merge walk of
+//!   [`crate::ks_two_sample`] over distinct values, consuming ties in
+//!   one step exactly like the original's `<= x` inner loops.
+//! * `mean` keeps a running sum **in push order**, matching
+//!   `Describe::of`'s left-to-right summation over the same sequence.
+//!
+//! Memory is bounded by the number of *distinct* values, not the number
+//! of observations. Perspective-style scores live on a finite lattice
+//! (sigmoid of a linear model over token-count ratios), so at paper
+//! scale the map stays small while the sample count runs into the
+//! millions; a worst-case all-distinct stream degenerates to the same
+//! footprint as the sorted vector, never more than a constant factor
+//! worse.
+//!
+//! `-0.0` is normalized to `0.0` at push: the counting key is the
+//! total-order bit pattern, under which the two zeros differ, while the
+//! vector implementations compare them numerically equal. The pipeline
+//! never produces negative zero (scores are probabilities), so the
+//! normalization is unobservable there and keeps the two
+//! representations aligned everywhere else.
+
+use crate::ks::{kolmogorov_sf, KsResult};
+use std::collections::BTreeMap;
+
+/// Map a non-NaN `f64` to a key whose unsigned order equals numeric
+/// order (negative values reversed below positives).
+fn key_of(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b ^ (1 << 63)
+    } else {
+        !b
+    }
+}
+
+/// Inverse of [`key_of`].
+fn val_of(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k ^ (1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// A streaming empirical CDF/CCDF sketch: per-distinct-value counts in
+/// ascending order plus a push-order running sum.
+///
+/// ```
+/// let mut s = stats::EcdfSketch::new();
+/// for x in [0.1, 0.4, 0.4, 0.9] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.eval(0.4), 0.75);
+/// assert_eq!(s.survival(0.4), 0.25);
+/// assert_eq!(s.quantile(0.5), Some(0.4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EcdfSketch {
+    counts: BTreeMap<u64, u64>,
+    n: usize,
+    sum: f64,
+}
+
+impl EcdfSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a slice — the streaming equivalent of
+    /// [`crate::Ecdf::new`]. Panics on NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Record one observation. Panics on NaN, like [`crate::Ecdf::new`].
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN in ECDF sample");
+        let x = if x == 0.0 { 0.0 } else { x };
+        *self.counts.entry(key_of(x)).or_insert(0) += 1;
+        self.n += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sketch holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of distinct values — the sketch's memory footprint.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<f64> {
+        self.counts.keys().next().map(|&k| val_of(k))
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<f64> {
+        self.counts.keys().next_back().map(|&k| val_of(k))
+    }
+
+    /// Arithmetic mean from the push-order running sum (0 for an empty
+    /// sketch, matching `Describe::of`). Bit-identical to summing the
+    /// sample left-to-right in push order; see the module note on
+    /// [`merge`](Self::merge).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.sum / self.n as f64
+    }
+
+    /// `F(x)` — fraction of the sample ≤ `x`. Returns 0 for empty
+    /// sketches. Bit-identical to [`crate::Ecdf::eval`].
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.n == 0 || x.is_nan() {
+            return 0.0;
+        }
+        let x = if x == 0.0 { 0.0 } else { x };
+        let le: u64 = self.counts.range(..=key_of(x)).map(|(_, c)| *c).sum();
+        le as f64 / self.n as f64
+    }
+
+    /// Complementary CDF: fraction strictly greater than `x`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The `i`-th order statistic (0-based). Panics if `i >= n`.
+    fn order_stat(&self, i: usize) -> f64 {
+        assert!(i < self.n, "order statistic out of range");
+        let mut cum = 0usize;
+        for (&k, &c) in &self.counts {
+            cum += c as usize;
+            if cum > i {
+                return val_of(k);
+            }
+        }
+        unreachable!("counts sum to n")
+    }
+
+    /// Quantile `q ∈ [0,1]` with linear interpolation between order
+    /// statistics. Bit-identical to [`crate::Ecdf::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            Some(self.order_stat(lo))
+        } else {
+            let frac = pos - lo as f64;
+            Some(self.order_stat(lo) * (1.0 - frac) + self.order_stat(hi) * frac)
+        }
+    }
+
+    /// Median — `quantile(0.5)`, or 0 for an empty sketch (matching
+    /// `Describe::of`'s empty summary).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// `points` evenly-spaced `(x, F(x))` pairs spanning the sample
+    /// range. Bit-identical to [`crate::Ecdf::curve`]: the same grid,
+    /// the same degenerate two-point answer for constant samples, and
+    /// `F` evaluated by cumulative count. Single pass over the counts.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.n == 0 || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.min().expect("non-empty");
+        let hi = self.max().expect("non-empty");
+        if hi == lo {
+            return vec![(lo, self.eval(lo)), (hi, 1.0)];
+        }
+        let points = points.max(2);
+        let mut out = Vec::with_capacity(points);
+        let mut iter = self.counts.iter().peekable();
+        let mut cum = 0u64;
+        for i in 0..points {
+            let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            while let Some(&(&k, &c)) = iter.peek() {
+                if val_of(k) <= x {
+                    cum += c;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            out.push((x, cum as f64 / self.n as f64));
+        }
+        out
+    }
+
+    /// Materialize the sorted sample (for small-scale verification and
+    /// tests — at paper scale this is exactly what the sketch avoids).
+    pub fn to_sorted(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n);
+        for (&k, &c) in &self.counts {
+            out.extend(std::iter::repeat_n(val_of(k), c as usize));
+        }
+        out
+    }
+
+    /// Fold another sketch into this one. Counts merge exactly, so every
+    /// count-derived statistic (`eval`, `survival`, `quantile`, `curve`,
+    /// KS) is invariant under any merge tree. The running `sum` is
+    /// reassociated (`sum_a + sum_b`), so `mean()` of a merged sketch is
+    /// only guaranteed bit-identical to the serial push when the
+    /// constituent pushes were contiguous prefixes in push order — the
+    /// report pipeline builds its per-figure sketches serially in
+    /// canonical order and never relies on merged means.
+    pub fn merge(&mut self, other: &EcdfSketch) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+
+    /// Ascending `(value, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (val_of(k), c))
+    }
+}
+
+/// Two-sample KS test over sketches, bit-identical to
+/// [`crate::ks_two_sample`] on the equivalent samples: the ECDF merge
+/// walk advances over distinct values in ascending order, consuming all
+/// ties at once exactly like the original's `<= x` inner loops, so the
+/// sequence of `(F1, F2)` evaluation points — and therefore `D` and the
+/// p-value — is identical. Panics if either sketch is empty.
+pub fn ks_two_sample_sketch(a: &EcdfSketch, b: &EcdfSketch) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test requires non-empty samples");
+    let (n1, n2) = (a.n, b.n);
+    let mut ia = a.counts.iter().peekable();
+    let mut ib = b.counts.iter().peekable();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let next_a = ia.peek().map(|(&k, _)| val_of(k));
+        let next_b = ib.peek().map(|(&k, _)| val_of(k));
+        let x = match (next_a, next_b) {
+            (Some(va), Some(vb)) => va.min(vb),
+            (Some(va), None) => va,
+            (None, Some(vb)) => vb,
+            (None, None) => break,
+        };
+        while let Some(&(&k, &c)) = ia.peek() {
+            if val_of(k) <= x {
+                i += c as usize;
+                ia.next();
+            } else {
+                break;
+            }
+        }
+        while let Some(&(&k, &c)) = ib.peek() {
+            if val_of(k) <= x {
+                j += c as usize;
+                ib.next();
+            } else {
+                break;
+            }
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    KsResult { statistic: d, p_value: kolmogorov_sf(lambda), n1, n2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ks_two_sample, Describe, Ecdf};
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn sample(seed: u64, len: usize, distinct: u64) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..len)
+            .map(|_| (xorshift(&mut s) % distinct) as f64 / distinct as f64)
+            .collect()
+    }
+
+    #[test]
+    fn matches_ecdf_bit_for_bit_on_seeded_samples() {
+        for seed in 1..=20u64 {
+            let xs = sample(seed, 500 + (seed as usize * 37) % 300, 64);
+            let e = Ecdf::new(&xs);
+            let s = EcdfSketch::of(&xs);
+            assert_eq!(s.n(), e.n());
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                assert_eq!(s.quantile(q), e.quantile(q), "seed {seed} q {q}");
+                let x = q * 1.2 - 0.1;
+                assert_eq!(s.eval(x), e.eval(x), "seed {seed} x {x}");
+                assert_eq!(s.survival(x), e.survival(x), "seed {seed} x {x}");
+            }
+            assert_eq!(s.curve(101), e.curve(101), "seed {seed}");
+            assert_eq!(s.curve(1), e.curve(1), "seed {seed}");
+            assert_eq!(s.to_sorted(), e.sorted(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_describe_mean_and_median_in_push_order() {
+        for seed in 1..=10u64 {
+            let xs = sample(seed, 257, 1000);
+            let d = Describe::of(&xs);
+            let s = EcdfSketch::of(&xs);
+            assert_eq!(s.mean(), d.mean, "seed {seed}");
+            assert_eq!(s.median(), d.median, "seed {seed}");
+            assert_eq!(s.min(), Some(d.min));
+            assert_eq!(s.max(), Some(d.max));
+        }
+    }
+
+    #[test]
+    fn ks_matches_vector_implementation_bit_for_bit() {
+        for seed in 1..=10u64 {
+            let a = sample(seed, 300, 40);
+            let b = sample(seed + 100, 211, 55);
+            let want = ks_two_sample(&a, &b);
+            let have = ks_two_sample_sketch(&EcdfSketch::of(&a), &EcdfSketch::of(&b));
+            assert_eq!(have, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merge_is_count_exact() {
+        let xs = sample(3, 400, 32);
+        let whole = EcdfSketch::of(&xs);
+        let mut merged = EcdfSketch::of(&xs[..150]);
+        merged.merge(&EcdfSketch::of(&xs[150..]));
+        assert_eq!(merged.n(), whole.n());
+        assert_eq!(merged.to_sorted(), whole.to_sorted());
+        assert_eq!(merged.curve(101), whole.curve(101));
+        assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+        // Contiguous-prefix merge preserves even the push-order sum.
+        assert_eq!(merged.mean(), whole.mean());
+    }
+
+    #[test]
+    fn empty_sketch_mirrors_empty_ecdf() {
+        let s = EcdfSketch::new();
+        assert_eq!(s.eval(1.0), 0.0);
+        assert_eq!(s.quantile(0.5), None);
+        assert!(s.curve(10).is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.n(), 0);
+    }
+
+    #[test]
+    fn degenerate_constant_sample_matches() {
+        let xs = [5.0, 5.0, 5.0];
+        assert_eq!(EcdfSketch::of(&xs).curve(10), Ecdf::new(&xs).curve(10));
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let mut s = EcdfSketch::new();
+        s.push(-0.0);
+        s.push(0.0);
+        assert_eq!(s.distinct(), 1);
+        assert_eq!(s.eval(-0.0), 1.0);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert!(s.quantile(0.0).unwrap().to_bits() == 0.0f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        EcdfSketch::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: the streaming [`stats::EcdfSketch`] must agree with
+//! the vector-backed [`stats::Ecdf`] / [`stats::Describe`] /
+//! [`stats::ks_two_sample`] **bit for bit** on arbitrary inputs — not
+//! approximately, exactly. The report pipeline's byte-identity contract
+//! rests on this equivalence.
+
+use proptest::prelude::*;
+use stats::{ks_two_sample, Describe, Ecdf, EcdfSketch};
+
+/// Finite sample values on a score-like lattice plus arbitrary finite
+/// doubles: `v / 97` hits repeated values (ties exercise the counting
+/// path), the raw component exercises irregular spacing.
+fn sample_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..10_000u32, 1u32..97u32), 1..max_len)
+        .prop_map(|pairs| pairs.into_iter().map(|(a, b)| a as f64 / b as f64).collect())
+}
+
+proptest! {
+    #[test]
+    fn sketch_matches_ecdf_at_every_quantile(xs in sample_strategy(400)) {
+        let e = Ecdf::new(&xs);
+        let s = EcdfSketch::of(&xs);
+        prop_assert_eq!(s.n(), e.n());
+        // Every percentile, endpoints included: bitwise equality.
+        for i in 0..=100u32 {
+            let q = i as f64 / 100.0;
+            let (a, b) = (s.quantile(q), e.quantile(q));
+            prop_assert_eq!(
+                a.map(f64::to_bits),
+                b.map(f64::to_bits),
+                "q={} sketch={:?} ecdf={:?}",
+                q, a, b
+            );
+        }
+        prop_assert_eq!(s.to_sorted(), e.sorted().to_vec());
+    }
+
+    #[test]
+    fn sketch_matches_ecdf_eval_and_curve(xs in sample_strategy(300), probe in 0.0f64..120.0) {
+        let e = Ecdf::new(&xs);
+        let s = EcdfSketch::of(&xs);
+        prop_assert_eq!(s.eval(probe).to_bits(), e.eval(probe).to_bits());
+        prop_assert_eq!(s.survival(probe).to_bits(), e.survival(probe).to_bits());
+        // The exported plotting grid (CSV exports use curve(101)).
+        let (ca, cb) = (s.curve(101), e.curve(101));
+        prop_assert_eq!(ca.len(), cb.len());
+        for (i, (a, b)) in ca.iter().zip(&cb).enumerate() {
+            prop_assert_eq!(a.0.to_bits(), b.0.to_bits(), "curve x at {}", i);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "curve y at {}", i);
+        }
+    }
+
+    #[test]
+    fn sketch_mean_median_match_describe(xs in sample_strategy(300)) {
+        let d = Describe::of(&xs);
+        let s = EcdfSketch::of(&xs);
+        prop_assert_eq!(s.mean().to_bits(), d.mean.to_bits());
+        prop_assert_eq!(s.median().to_bits(), d.median.to_bits());
+    }
+
+    #[test]
+    fn sketch_ks_matches_vector_ks(a in sample_strategy(200), b in sample_strategy(200)) {
+        let want = ks_two_sample(&a, &b);
+        let have = stats::ks_two_sample_sketch(&EcdfSketch::of(&a), &EcdfSketch::of(&b));
+        prop_assert_eq!(have.statistic.to_bits(), want.statistic.to_bits());
+        prop_assert_eq!(have.p_value.to_bits(), want.p_value.to_bits());
+        prop_assert_eq!((have.n1, have.n2), (want.n1, want.n2));
+    }
+
+    #[test]
+    fn merge_tree_is_count_invariant(
+        xs in sample_strategy(300),
+        cut in 0usize..300,
+    ) {
+        let cut = cut.min(xs.len());
+        let whole = EcdfSketch::of(&xs);
+        let mut merged = EcdfSketch::of(&xs[..cut]);
+        merged.merge(&EcdfSketch::of(&xs[cut..]));
+        prop_assert_eq!(merged.n(), whole.n());
+        prop_assert_eq!(merged.to_sorted(), whole.to_sorted());
+        for i in 0..=20u32 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(
+                merged.quantile(q).map(f64::to_bits),
+                whole.quantile(q).map(f64::to_bits)
+            );
+        }
+    }
+}

@@ -18,6 +18,30 @@
 //! plain text. Classifiers then re-derive scores from that text; all
 //! downstream analyses consume classifier output, not latents.
 
+//! The crate's surface is **streaming-first**: [`WorldSource`] yields
+//! seed-deterministic [`WorldBatch`]es (users, URLs, comments with texts
+//! synthesized per batch, votes, the Reddit mirror, baselines) without
+//! ever materializing the full world; [`generate`] and
+//! [`generate_sharded`] are documented convenience wrappers that drain a
+//! source into one [`platform::World`].
+//!
+//! ```no_run
+//! use synth::{WorldBatch, WorldConfig, WorldSource};
+//!
+//! let mut source = WorldSource::new(&WorldConfig::small(), 2);
+//! let truth = source.truth().clone();
+//! let mut world = platform::World::new();
+//! while let Some(batch) = source.next() {
+//!     if let WorldBatch::Comments(cs) = &batch {
+//!         // inspect / spill / score the batch before (or instead of)
+//!         // applying it
+//!         assert!(!cs.is_empty());
+//!     }
+//!     batch.apply(&mut world);
+//! }
+//! assert!(!truth.active_indices.is_empty());
+//! ```
+
 pub mod baselines;
 pub mod config;
 pub mod dist;
@@ -25,11 +49,13 @@ pub mod labeled;
 pub mod longitudinal;
 pub mod names;
 pub mod social;
+pub mod source;
 pub mod textgen;
 pub mod world;
 
 pub use config::{Scale, WorldConfig};
 pub use labeled::{labeled_corpus, labeled_corpus_sharded, LabeledSample};
+pub use source::{WorldBatch, WorldSource, DEFAULT_BATCH_SIZE};
 pub use textgen::{CommentSpec, TextGen};
 pub use longitudinal::{apply_epoch, world_at_epoch};
-pub use world::{generate, generate_sharded};
+pub use world::{generate, generate_sharded, GroundTruth};

@@ -178,6 +178,39 @@ impl TextGen {
             },
         )
     }
+
+    /// The text [`generate_batch`](Self::generate_batch) would produce at
+    /// stream index `index`: byte-identical to
+    /// `generate_batch(specs, seed, _)[index]` for the same spec, without
+    /// generating the rest of the batch. This is what lets a streaming
+    /// world source synthesize texts lazily, batch by batch, in any
+    /// visit order.
+    pub fn generate_at(&self, spec: &CommentSpec, seed: u64, index: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(shard::stream_seed(seed, index));
+        self.generate(&mut rng, spec)
+    }
+
+    /// [`generate_at`](Self::generate_at) over explicit `(index, spec)`
+    /// pairs, sharded over `workers` threads. Each item draws from the
+    /// stream of its *carried* index (not its position in `items`), so a
+    /// caller may present any subset of a batch in any order and still
+    /// get the bytes the full in-order batch would have produced.
+    pub fn generate_batch_indexed(
+        &self,
+        items: &[(u64, CommentSpec)],
+        seed: u64,
+        workers: usize,
+    ) -> Vec<String> {
+        shard::map_sharded(items, shard::DEFAULT_SHARD_SIZE, workers, |_, shard_items| {
+            shard_items
+                .iter()
+                .map(|(i, spec)| {
+                    let mut rng = StdRng::seed_from_u64(shard::stream_seed(seed, *i));
+                    self.generate(&mut rng, spec)
+                })
+                .collect()
+        })
+    }
 }
 
 /// The "Pakistan"-analogue benign word containing a lexicon term.
@@ -300,6 +333,32 @@ mod tests {
         let a = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
         let b = gen.generate(&mut StdRng::seed_from_u64(1), &spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexed_generation_matches_batch_at_any_order() {
+        let gen = TextGen::standard();
+        let specs: Vec<CommentSpec> = (0..600)
+            .map(|i| CommentSpec {
+                severe: (i % 9) as f64 / 9.0,
+                ..CommentSpec::benign(6 + i % 15)
+            })
+            .collect();
+        let batch = gen.generate_batch(&specs, 7, 1);
+        // Single items, arbitrary probes.
+        for &i in &[0usize, 1, 511, 512, 599] {
+            assert_eq!(gen.generate_at(&specs[i], 7, i as u64), batch[i], "index {i}");
+        }
+        // A shuffled subset through the indexed batch API.
+        let picks: Vec<usize> = (0..specs.len()).rev().step_by(7).collect();
+        let items: Vec<(u64, CommentSpec)> =
+            picks.iter().map(|&i| (i as u64, specs[i])).collect();
+        for workers in [1, 4] {
+            let texts = gen.generate_batch_indexed(&items, 7, workers);
+            for (k, &i) in picks.iter().enumerate() {
+                assert_eq!(texts[k], batch[i], "workers={workers} index {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The end-to-end world generator.
+//! The end-to-end world generator (materializing convenience wrappers).
 //!
 //! [`generate`] builds a complete [`platform::World`] from a
 //! [`WorldConfig`]: Gab users (with the ID-counter anomalies of Fig. 2),
@@ -7,24 +7,17 @@
 //! votes conditioned on toxicity (Fig. 5), the follower graph with the
 //! planted hateful core (Fig. 9, §4.5.1), the Reddit mirror (Fig. 6), the
 //! YouTube state space (§4.2.2), and the Table-3 baseline corpora.
+//!
+//! Both entry points are thin wrappers that drain a streaming
+//! [`crate::source::WorldSource`] into one `World`; use the source
+//! directly to process batches without materializing everything at once.
+//! This module keeps the phenomenon knobs ([`bias_severity_mult`],
+//! [`bias_attack_mult`]) and the [`GroundTruth`] the source reports.
 
-use crate::baselines::{sample_spec, Community};
-use crate::config::{paper, WorldConfig};
-use crate::dist::{beta, child_seed, coin, geometric, power_law_int, Categorical};
-use crate::names;
-use crate::social::{generate_social, SocialConfig};
-use crate::textgen::{CommentSpec, TextGen};
-use ids::{
-    clock::{from_ymd, GAB_LAUNCH},
-    EntityKind, GabIdAllocator, ObjectId, ObjectIdGen, Timestamp, DISSENTER_LAUNCH, STUDY_END,
-};
-use platform::{
-    BaselineCorpus, Comment, CommentUrl, User, UserFlags, ViewFilters, World, YtContent, YtKind,
-    YtState, YtUnavailableReason,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use textkit::langid::Lang;
+use crate::config::WorldConfig;
+use crate::source::WorldSource;
+use ids::ObjectId;
+use platform::World;
 
 /// Generation-time ground truth, kept out of the [`World`] the crawler
 /// sees; used by tests and the experiment harness for validation only.
@@ -78,6 +71,15 @@ pub fn bias_attack_mult(b: Bias) -> f64 {
 
 /// Generate a complete world (serial; identical to [`generate_sharded`]
 /// at any worker count).
+///
+/// Convenience wrapper over [`WorldSource`]: materializes every batch
+/// into one `World`. Prefer the source for batch-at-a-time processing.
+///
+/// ```no_run
+/// let (world, truth) = synth::generate(&synth::WorldConfig::small());
+/// assert_eq!(truth.dissenter_indices.is_empty(), false);
+/// assert!(world.dissenter.total_comments() > 0);
+/// ```
 pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
     generate_sharded(cfg, 1)
 }
@@ -89,755 +91,19 @@ pub fn generate(cfg: &WorldConfig) -> (World, GroundTruth) {
 /// from its own stream split by stable comment index
 /// (`stream_seed(child_seed(seed, TAG), i)`), so the world is
 /// byte-identical for every worker count.
+///
+/// Equivalent to draining [`WorldSource::new`] with
+/// [`WorldSource::collect_world`] — which is exactly what it does.
 pub fn generate_sharded(cfg: &WorldConfig, workers: usize) -> (World, GroundTruth) {
-    let scale = cfg.scale.factor();
-    let mut world = World::new();
-    let mut truth = GroundTruth::default();
-    let gen = TextGen::standard();
-
-    // ---- 1. Gab universe ------------------------------------------------
-    let mut rng_u = StdRng::seed_from_u64(child_seed(cfg.seed, 1));
-    let n_gab = cfg.n(paper::GAB_USERS).max(50);
-    let n_diss = cfg.n(paper::DISSENTER_USERS).min(n_gab).max(30);
-    let mut alloc = GabIdAllocator::with_paper_anomalies(0.02);
-    let mut author_gen = ObjectIdGen::new(EntityKind::Author, child_seed(cfg.seed, 2));
-
-    // Gab creation times: uniform background + two bursts (late-2018
-    // deplatformings, Dissenter launch).
-    let gab_created = |rng: &mut StdRng| -> Timestamp {
-        let r: f64 = rng.gen();
-        if r < 0.55 {
-            rng.gen_range(GAB_LAUNCH..STUDY_END)
-        } else if r < 0.8 {
-            rng.gen_range(from_ymd(2018, 10, 1)..from_ymd(2019, 1, 1))
-        } else {
-            rng.gen_range(DISSENTER_LAUNCH..from_ymd(2019, 6, 1))
-        }
-    };
-
-    // Which Gab users get Dissenter accounts: the first n_diss of a
-    // shuffled index set — equivalently a uniform subset.
-    // Dissenter join times: 77% by March 31 2019.
-    let diss_join = |rng: &mut StdRng| -> Timestamp {
-        if coin(rng, paper::EARLY_JOIN_FRACTION) {
-            rng.gen_range(DISSENTER_LAUNCH..from_ymd(2019, 4, 1))
-        } else {
-            rng.gen_range(from_ymd(2019, 4, 1)..STUDY_END)
-        }
-    };
-
-    // Generation shares are set slightly above the paper's *detected*
-    // shares (94% en / 2% de / <0.5% fr,es,it): marker-dense toxic
-    // comments carry little language signal, so the identifier loses a
-    // fraction of non-English comments to English — as langid.py also
-    // would on slur-dense text.
-    let lang_table = Categorical::new(&[
-        (Lang::En, 0.942),
-        (Lang::De, 0.030),
-        (Lang::Fr, 0.0040),
-        (Lang::Es, 0.0040),
-        (Lang::It, 0.0040),
-        (Lang::En, 0.016), // residual languages folded into English
-    ]);
-
-    let n_deleted = ((paper::DELETED_GAB_USERS * scale).round() as usize).max(2);
-    let n_banned = ((paper::BANNED_USERS * scale).round() as usize).max(2);
-
-    // Creation order must roughly follow time for the Gab ID counter;
-    // generate (gab_time, dissenter_join) pairs and sort by gab time.
-    // A Dissenter account requires an existing Gab account, so for
-    // Dissenter users we sample the join first and condition the Gab
-    // creation to precede it — this is what keeps the §4.1.1 "77% joined
-    // by March 2019" statistic intact.
-    let mut creations: Vec<(Timestamp, Option<Timestamp>)> = Vec::with_capacity(n_gab);
-    // Special account: @e (the former Gab CTO) holds Gab ID 1 — force it
-    // to sort first.
-    creations.push((GAB_LAUNCH - 86_400, None));
-    for i in 1..n_gab {
-        if i <= n_diss {
-            let join = diss_join(&mut rng_u);
-            let mut gab_t = gab_created(&mut rng_u);
-            if gab_t > join {
-                gab_t = rng_u.gen_range(GAB_LAUNCH..join);
-            }
-            creations.push((gab_t, Some(join)));
-        } else {
-            creations.push((gab_created(&mut rng_u), None));
-        }
-    }
-    creations.sort_by_key(|&(t, _)| t);
-    debug_assert!(creations[0].1.is_none(), "@e must not be a Dissenter user");
-
-    let mut dissenter_count_so_far = 0usize;
-    let mut admin_slots: Vec<&str> = vec!["a", "shadowknight412"];
-    for (serial, &(gab_t, join_opt)) in creations.iter().enumerate() {
-        let is_diss = join_opt.is_some();
-        let gab_id = alloc.allocate(gab_t, &mut rng_u);
-        let (username, display_name) = if serial == 0 {
-            ("e".to_owned(), "Ekrem".to_owned())
-        } else if is_diss && !admin_slots.is_empty() {
-            let n = admin_slots.pop().expect("non-empty").to_owned();
-            let d = if n == "a" { "Andrew Torba".to_owned() } else { "Rob Colbert".to_owned() };
-            (n, d)
-        } else {
-            let u = names::username(&mut rng_u, serial as u64);
-            let d = names::display_name(&u);
-            (u, d)
-        };
-        let is_admin = username == "a" || username == "shadowknight412";
-
-        let (author_id, join_t, flags, filters, language, bio, gab_deleted) = if is_diss {
-            let join = join_opt.expect("dissenter entries carry a join time").min(STUDY_END);
-            let author_id = author_gen.next(join);
-            let deleted = !is_admin && dissenter_count_so_far < n_deleted;
-            let banned = !is_admin && !deleted && dissenter_count_so_far < n_deleted + n_banned;
-            let flags = UserFlags {
-                can_login: !banned && coin(&mut rng_u, 0.9997),
-                can_post: !banned && coin(&mut rng_u, 0.9997),
-                can_report: coin(&mut rng_u, 0.9999),
-                can_chat: coin(&mut rng_u, 0.9997),
-                can_vote: coin(&mut rng_u, 0.9997),
-                is_banned: banned,
-                is_admin,
-                is_moderator: false,
-                is_pro: coin(&mut rng_u, 0.0267),
-                is_donor: coin(&mut rng_u, 0.0084),
-                is_investor: coin(&mut rng_u, 0.0029),
-                is_premium: coin(&mut rng_u, 0.0013),
-                is_tippable: coin(&mut rng_u, 0.0015),
-                is_private: coin(&mut rng_u, 0.039),
-                verified: is_admin || coin(&mut rng_u, 0.0103),
-            };
-            let filters = ViewFilters {
-                pro: coin(&mut rng_u, 0.9985),
-                verified: coin(&mut rng_u, 0.9987),
-                standard: coin(&mut rng_u, 0.9989),
-                nsfw: coin(&mut rng_u, 0.1504),
-                offensive: coin(&mut rng_u, 0.0733),
-            };
-            let lang = *lang_table.sample(&mut rng_u);
-            let bio = if coin(&mut rng_u, 0.25) {
-                "tired of censorship and cancel culture".to_owned()
-            } else if coin(&mut rng_u, 0.3) {
-                "speaking freely about the news".to_owned()
-            } else {
-                String::new()
-            };
-            dissenter_count_so_far += 1;
-            (Some(author_id), join, flags, filters, lang.code().to_owned(), bio, deleted)
-        } else {
-            (
-                None,
-                gab_t,
-                UserFlags { can_login: true, can_post: true, can_report: true, can_chat: true, can_vote: true, ..Default::default() },
-                ViewFilters::default(),
-                "en".to_owned(),
-                String::new(),
-                false,
-            )
-        };
-
-        let idx = world.add_user(User {
-            author_id,
-            gab_id,
-            username,
-            display_name,
-            bio,
-            created_at: if author_id.is_some() { join_t } else { gab_t },
-            flags,
-            filters,
-            language,
-            gab_deleted,
-        });
-        if author_id.is_some() {
-            truth.dissenter_indices.push(idx);
-        }
-    }
-
-    // ---- 2. Activity: who comments, how much ----------------------------
-    let mut rng_a = StdRng::seed_from_u64(child_seed(cfg.seed, 3));
-    let n_active = ((paper::ACTIVE_FRACTION * truth.dissenter_indices.len() as f64).round()
-        as usize)
-        .max(20);
-    // Choose active users among Dissenter users. Deleted-Gab users are
-    // always active: the paper's ~1,300 ghosts are, by construction of
-    // their discovery, all commenters (§4.1.1).
-    // Ghosts are always active (their discovery requires comments); the
-    // two admins and the banned accounts are also forced active so Table 1
-    // counts them among the metadata-bearing population, as the paper's
-    // does (both admins and all 8 banned accounts appear in Table 1).
-    let mut forced: Vec<u32> = Vec::new();
-    let mut others: Vec<u32> = Vec::new();
-    for &i in &truth.dissenter_indices {
-        let u = world.user(i);
-        if u.gab_deleted || u.flags.is_admin || u.flags.is_banned {
-            forced.push(i);
-        } else {
-            others.push(i);
-        }
-    }
-    for i in (1..others.len()).rev() {
-        others.swap(i, rng_a.gen_range(0..=i));
-    }
-    let mut candidates = forced;
-    candidates.extend(others);
-    candidates.truncate(n_active);
-    truth.active_indices = candidates;
-
-    // Social graph over active users; planted core members are graph
-    // indices into `active_indices`.
-    let social_cfg =
-        SocialConfig::for_users(truth.active_indices.len(), scale, child_seed(cfg.seed, 4));
-    let social = generate_social(&social_cfg);
-    for &(a, b) in &social.edges {
-        let (ua, ub) = (truth.active_indices[a as usize], truth.active_indices[b as usize]);
-        world.gab.follow(ua, ub);
-    }
-    let core_set: std::collections::HashSet<u32> = social.core_members.iter().copied().collect();
-    truth.core_author_ids = social
-        .core_members
-        .iter()
-        .map(|&g| {
-            world
-                .user(truth.active_indices[g as usize])
-                .author_id
-                .expect("core members are Dissenter users")
-        })
-        .collect();
-
-    // Per-user heat and comment counts. Power-law counts calibrated so
-    // ~14% of active users produce 90% of comments (Fig. 3).
-    let n_comments_total = cfg.n(paper::COMMENTS);
-    // α = 1.17 with a 20k cap reproduces Fig. 3's "90% of comments from
-    // ~14% of active users" at full scale; small worlds flatten to ~20%
-    // (finite-size: a 500-user tail cannot hold 90% of the mass), which
-    // EXPERIMENTS.md documents.
-    let mut counts: Vec<u64> = (0..truth.active_indices.len())
-        .map(|_| power_law_int(&mut rng_a, 1.17, 1, ((20_000.0 * scale) as u64).max(3_000)))
-        .collect();
-    // Core users must clear the ≥100-comment activity bar at every scale.
-    for (g, c) in counts.iter_mut().enumerate() {
-        if core_set.contains(&(g as u32)) {
-            *c = (*c).max(120 + rng_a.gen_range(0..80));
-        }
-    }
-    // Rescale to the target total.
-    let sum: u64 = counts.iter().sum();
-    let ratio = n_comments_total as f64 / sum as f64;
-    for (g, c) in counts.iter_mut().enumerate() {
-        let scaled = ((*c as f64) * ratio).round() as u64;
-        *c = if core_set.contains(&(g as u32)) { scaled.max(120) } else { scaled.max(1) };
-    }
-    truth.user_heat = (0..truth.active_indices.len())
-        .map(|g| {
-            if core_set.contains(&(g as u32)) {
-                1.4
-            } else {
-                beta(&mut rng_a, 1.3, 8.0)
-            }
-        })
-        .collect();
-
-    // ---- 3. URLs ---------------------------------------------------------
-    let mut rng_url = StdRng::seed_from_u64(child_seed(cfg.seed, 5));
-    let n_urls = cfg.n(paper::URLS).max(100);
-    let mut url_gen = ObjectIdGen::new(EntityKind::CommentUrl, child_seed(cfg.seed, 6));
-
-    let top_total: f64 = names::TOP_DOMAINS.iter().map(|(_, w)| w).sum();
-    let domain_table = {
-        let mut pairs: Vec<(Option<&'static str>, f64)> = names::TOP_DOMAINS
-            .iter()
-            .map(|&(d, w)| (Some(d), w))
-            .collect();
-        pairs.push((None, 100.0 - top_total)); // long tail
-        Categorical::new(&pairs)
-    };
-    let tld_table = names::other_tld_table();
-
-    struct UrlRec {
-        id: ObjectId,
-        url: String,
-        domain: String,
-        bias: Bias,
-        created: Timestamp,
-        weight: f64,
-        youtube: bool,
-    }
-    let mut urls: Vec<UrlRec> = Vec::with_capacity(n_urls);
-    let mut seen_urls = std::collections::HashSet::new();
-
-    // Special URLs first: fringe high-volume threads, file://, chrome://,
-    // protocol and trailing-slash duplicate pairs.
-    let push_url = |urls: &mut Vec<UrlRec>,
-                        seen: &mut std::collections::HashSet<String>,
-                        rng: &mut StdRng,
-                        url_gen: &mut ObjectIdGen,
-                        url: String,
-                        domain: String,
-                        weight: f64| {
-        if !seen.insert(url.clone()) {
-            return;
-        }
-        let created = rng.gen_range(DISSENTER_LAUNCH..STUDY_END - 86_400);
-        let youtube = platform::youtube::is_youtube_url(&url);
-        urls.push(UrlRec {
-            id: url_gen.next(created),
-            url,
-            bias: domain_bias(&domain),
-            domain,
-            created,
-            weight,
-            youtube,
-        });
-    };
-
-    push_url(
-        &mut urls,
-        &mut seen_urls,
-        &mut rng_url,
-        &mut url_gen,
-        "https://thewatcherfiles.com/archive/blood-libel.html".into(),
-        "thewatcherfiles.com".into(),
-        0.0, // weight 0: comment counts assigned explicitly below
-    );
-    push_url(
-        &mut urls,
-        &mut seen_urls,
-        &mut rng_url,
-        &mut url_gen,
-        "https://deutschland.de/artikel/kommentar".into(),
-        "deutschland.de".into(),
-        0.0,
-    );
-    let n_file = ((13.0 * scale).round() as usize).max(2);
-    for i in 0..n_file {
-        push_url(
-            &mut urls,
-            &mut seen_urls,
-            &mut rng_url,
-            &mut url_gen,
-            format!("file:///C:/Users/user{i}/Documents/notes{i}.pdf"),
-            "local.file".into(),
-            0.05,
-        );
-    }
-    let n_chrome = ((20.0 * scale).round() as usize).max(2);
-    for i in 0..n_chrome {
-        let page = if i % 2 == 0 { "chrome://startpage/".to_owned() } else { format!("chrome://settings/p{i}") };
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, page, "local.chrome".into(), 0.05);
-    }
-    let n_proto_dups = ((400.0 * scale).round() as usize).max(2);
-    for i in 0..n_proto_dups {
-        let d = names::other_domain(&mut rng_url, "com");
-        let path = names::article_path(&mut rng_url);
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, format!("http://{d}{path}?i={i}"), d.clone(), 0.2);
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, format!("https://{d}{path}?i={i}"), d, 0.2);
-    }
-    let n_slash_dups = ((60.0 * scale).round() as usize).max(1);
-    for i in 0..n_slash_dups {
-        let d = names::other_domain(&mut rng_url, "com");
-        let path = format!("{}x{i}", names::article_path(&mut rng_url));
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, format!("https://{d}{path}"), d.clone(), 0.2);
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, format!("https://{d}{path}/"), d, 0.2);
-    }
-
-    while urls.len() < n_urls {
-        let domain: String = match domain_table.sample(&mut rng_url) {
-            Some(d) => (*d).to_owned(),
-            None => {
-                let tld = tld_table.sample(&mut rng_url);
-                names::other_domain(&mut rng_url, tld)
-            }
-        };
-        let serial = urls.len();
-        let (url, weight) = if domain == "youtube.com" {
-            let id = names::youtube_id(&mut rng_url);
-            // YouTube: median comment volume 1 (light weight).
-            (format!("https://youtube.com/watch?v={id}"), 0.35)
-        } else if domain == "youtu.be" {
-            (format!("https://youtu.be/{}", names::youtube_id(&mut rng_url)), 0.35)
-        } else if domain == "twitter.com" {
-            (
-                format!(
-                    "https://twitter.com/{}/status/{}",
-                    names::username(&mut rng_url, serial as u64),
-                    rng_url.gen_range(1_000_000_000u64..9_999_999_999u64)
-                ),
-                0.5,
-            )
-        } else {
-            let scheme = if coin(&mut rng_url, 0.975) { "https" } else { "http" };
-            let mut path = names::article_path(&mut rng_url);
-            if coin(&mut rng_url, 0.15) {
-                path.push_str(&format!("?utm={}&ref=r{serial}", rng_url.gen_range(0..100)));
-            }
-            // News URLs: heavy-tailed comment volume.
-            let w = power_law_int(&mut rng_url, 1.9, 1, 500) as f64;
-            (format!("{scheme}://{domain}{path}"), w)
-        };
-        push_url(&mut urls, &mut seen_urls, &mut rng_url, &mut url_gen, url, domain, weight);
-    }
-
-    // ---- 4. Comment slots -------------------------------------------------
-    // Authors: repeat each active user by count, shuffle.
-    let mut slots: Vec<u32> = Vec::with_capacity(n_comments_total + 1024);
-    for (g, &c) in counts.iter().enumerate() {
-        for _ in 0..c {
-            slots.push(g as u32);
-        }
-    }
-    let mut rng_c = StdRng::seed_from_u64(child_seed(cfg.seed, 7));
-    for i in (1..slots.len()).rev() {
-        slots.swap(i, rng_c.gen_range(0..=i));
-    }
-
-    // URL assignment: guarantee each URL ≥1 comment, distribute the rest
-    // by weight. The two fringe URLs get their famous comment volumes.
-    // The two fringe threads keep the paper's absolute comment volumes —
-    // they are single-URL properties, so they do not scale with the world
-    // (and must stay ahead of the synthetic long tail in Table 2's
-    // median-volume ranking).
-    let fringe_counts = [116usize, 95usize];
-    // Every URL must receive at least one comment ("588k URLs that have
-    // been commented upon"); extreme custom scales cannot violate that.
-    assert!(
-        slots.len() >= urls.len(),
-        "scale too small: {} comment slots cannot cover {} URLs",
-        slots.len(),
-        urls.len()
-    );
-    let mut url_of_slot: Vec<u32> = Vec::with_capacity(slots.len());
-    for u in 0..urls.len() {
-        url_of_slot.push(u as u32);
-    }
-    // Fringe volumes are capped by the slots that remain after coverage so
-    // truncation below can never drop a coverage entry.
-    let mut spare = slots.len() - urls.len();
-    for (f, &n) in fringe_counts.iter().enumerate() {
-        let take = n.saturating_sub(1).min(spare);
-        spare -= take;
-        for _ in 0..take {
-            url_of_slot.push(f as u32);
-        }
-    }
-    if url_of_slot.len() < slots.len() {
-        let weight_table = Categorical::new(
-            &urls
-                .iter()
-                .enumerate()
-                .map(|(i, u)| (i as u32, u.weight.max(0.001)))
-                .collect::<Vec<_>>(),
-        );
-        while url_of_slot.len() < slots.len() {
-            url_of_slot.push(*weight_table.sample(&mut rng_c));
-        }
-    }
-    url_of_slot.truncate(slots.len());
-    for i in (1..url_of_slot.len()).rev() {
-        url_of_slot.swap(i, rng_c.gen_range(0..=i));
-    }
-
-    // ---- 5. Generate comments ---------------------------------------------
-    let mut comment_gen = ObjectIdGen::new(EntityKind::Comment, child_seed(cfg.seed, 8));
-    struct PendingComment {
-        author_slot: u32,
-        url_slot: u32,
-        spec: CommentSpec,
-        created: Timestamp,
-        text: String,
-    }
-    let mut pending: Vec<PendingComment> = Vec::with_capacity(slots.len());
-    // Track per-URL severity for the vote model.
-    let mut url_severity: Vec<(f64, u32)> = vec![(0.0, 0); urls.len()];
-
-    for (i, (&g, &u)) in slots.iter().zip(url_of_slot.iter()).enumerate() {
-        let user_idx = truth.active_indices[g as usize];
-        let url = &urls[u as usize];
-        let heat = truth.user_heat[g as usize];
-        let lang = if url.domain == "deutschland.de" {
-            Lang::De
-        } else {
-            match world.user(user_idx).language.as_str() {
-                "de" => Lang::De,
-                "fr" => Lang::Fr,
-                "es" => Lang::Es,
-                "it" => Lang::It,
-                _ => Lang::En,
-            }
-        };
-        let mut spec = sample_spec(&mut rng_c, Community::Dissenter, heat, lang);
-        // Bias conditioning applies directly to the comment's targets so
-        // the Fig. 8 differences are strong enough for every ranked pair
-        // to separate under a two-sample KS test (as in §4.4.4).
-        spec.severe = (spec.severe * bias_severity_mult(url.bias)).min(0.98);
-        spec.attack = (spec.attack * bias_attack_mult(url.bias)).min(0.98);
-        let created = rng_c.gen_range(
-            url.created.max(world.user(user_idx).created_at).min(STUDY_END - 2)..STUDY_END,
-        );
-        url_severity[u as usize].0 += spec.severe;
-        url_severity[u as usize].1 += 1;
-        let _ = i;
-        pending.push(PendingComment { author_slot: g, url_slot: u, spec, created, text: String::new() });
-    }
-    // Texts are synthesized after (not inside) the sampling loop, each
-    // comment on its own seed stream, so the pass shards across workers
-    // without perturbing the structural rng_c stream.
-    {
-        let specs: Vec<CommentSpec> = pending.iter().map(|p| p.spec).collect();
-        let texts = gen.generate_batch(&specs, child_seed(cfg.seed, 13), workers);
-        for (p, text) in pending.iter_mut().zip(texts) {
-            p.text = text;
-        }
-    }
-    // The famous 90k-character comment: "ha" repeated, on a YouTube URL.
-    if let Some((yt_idx, _)) = urls.iter().enumerate().find(|(_, u)| u.youtube) {
-        let reps = ((45_000.0 * scale) as usize).max(200);
-        let g = 0u32;
-        pending.push(PendingComment {
-            author_slot: g,
-            url_slot: yt_idx as u32,
-            spec: CommentSpec::benign(reps),
-            created: STUDY_END - 86_400,
-            text: "ha ".repeat(reps).trim_end().to_owned(),
-        });
-    }
-
-    // NSFW / offensive labeling: offensive = top-rejection comments;
-    // NSFW = author-chosen, biased toward high rejection but noisier.
-    let n_off = cfg.n(paper::OFFENSIVE_COMMENTS).min(pending.len() / 10);
-    let n_nsfw = cfg.n(paper::NSFW_COMMENTS).min(pending.len() / 10);
-    let mut by_reject: Vec<usize> = (0..pending.len()).collect();
-    by_reject.sort_by(|&a, &b| {
-        pending[b]
-            .spec
-            .reject
-            .partial_cmp(&pending[a].spec.reject)
-            .expect("finite rejects")
-    });
-    let mut offensive_flags = vec![false; pending.len()];
-    for &i in by_reject.iter().take(n_off) {
-        offensive_flags[i] = true;
-    }
-    let mut nsfw_flags = vec![false; pending.len()];
-    // NSFW is author-chosen and only *moderately* biased toward extreme
-    // content (Fig. 4: 25% of NSFW exceeds 0.95 LTR vs <20% of all):
-    // sample uniformly from the top quarter by rejection.
-    let mut pool: Vec<usize> =
-        by_reject[..(pending.len() / 5).max(n_nsfw.min(pending.len()))].to_vec();
-    for i in (1..pool.len()).rev() {
-        pool.swap(i, rng_c.gen_range(0..=i));
-    }
-    for &i in pool.iter().take(n_nsfw) {
-        nsfw_flags[i] = true;
-    }
-
-    // ---- 6. Insert URLs and comments into the store ------------------------
-    for u in &urls {
-        let (title, description) = if u.youtube {
-            ("/watch".to_owned(), String::new())
-        } else if u.domain == "twitter.com" {
-            (String::new(), String::new())
-        } else {
-            (
-                format!("{} — article", u.domain),
-                "synthetic first paragraph of the underlying page".to_owned(),
-            )
-        };
-        world
-            .dissenter
-            .add_url(CommentUrl {
-                id: u.id,
-                url: u.url.clone(),
-                title,
-                description,
-                created_at: u.created,
-                upvotes: 0,
-                downvotes: 0,
-            })
-            .expect("urls deduplicated at generation");
-    }
-
-    // Sort by creation time so replies can reference earlier comments.
-    let mut order: Vec<usize> = (0..pending.len()).collect();
-    order.sort_by_key(|&i| pending[i].created);
-    let mut last_comment_in_thread: std::collections::HashMap<u32, Vec<ObjectId>> =
-        std::collections::HashMap::new();
-    for &i in &order {
-        let p = &pending[i];
-        let id = comment_gen.next(p.created);
-        let author_id = world
-            .user(truth.active_indices[p.author_slot as usize])
-            .author_id
-            .expect("active users are Dissenter users");
-        let thread = last_comment_in_thread.entry(p.url_slot).or_default();
-        let parent = if !thread.is_empty() && coin(&mut rng_c, 0.35) {
-            Some(thread[rng_c.gen_range(0..thread.len())])
-        } else {
-            None
-        };
-        world.dissenter.add_comment(Comment {
-            id,
-            url_id: urls[p.url_slot as usize].id,
-            author_id,
-            parent,
-            text: p.text.clone(),
-            created_at: p.created,
-            nsfw: nsfw_flags[i],
-            offensive: offensive_flags[i],
-        });
-        thread.push(id);
-        if thread.len() > 64 {
-            thread.remove(0); // bound reply-candidate memory per thread
-        }
-    }
-
-    // ---- 7. Votes (Fig. 5) --------------------------------------------------
-    let mut rng_v = StdRng::seed_from_u64(child_seed(cfg.seed, 9));
-    for (u, rec) in urls.iter().enumerate() {
-        let (sev_sum, n) = url_severity[u];
-        let mean_sev = if n > 0 { sev_sum / n as f64 } else { 0.0 };
-        let s_norm = (mean_sev / 0.6).min(1.0);
-        // Voting probability and magnitude both shrink with toxicity.
-        if !coin(&mut rng_v, 0.32 * (1.0 - 0.75 * s_norm)) {
-            continue;
-        }
-        let mut magnitude = geometric(&mut rng_v, (0.40 + 0.45 * s_norm).min(0.95), 40);
-        // A thin tail of heavily-voted URLs keeps 99% (not 100%) of net
-        // scores inside (−10, 10), as the paper reports.
-        if coin(&mut rng_v, 0.012 * (1.0 - s_norm)) {
-            magnitude = magnitude.saturating_mul(8 + geometric(&mut rng_v, 0.2, 40));
-        }
-        let negative = coin(&mut rng_v, 0.33 + 0.30 * s_norm);
-        for _ in 0..magnitude {
-            world
-                .dissenter
-                .vote(rec.id, if negative { platform::Vote::Down } else { platform::Vote::Up });
-        }
-        // Light cross-voting so up/down both appear on some URLs.
-        if coin(&mut rng_v, 0.2) {
-            let other = geometric(&mut rng_v, 0.8, 5);
-            for _ in 0..other {
-                world
-                    .dissenter
-                    .vote(rec.id, if negative { platform::Vote::Up } else { platform::Vote::Down });
-            }
-        }
-    }
-
-    // ---- 8. YouTube -----------------------------------------------------------
-    let mut rng_y = StdRng::seed_from_u64(child_seed(cfg.seed, 10));
-    let owner_pool: Vec<String> =
-        (0..200).map(|i| format!("Channel{}", i)).collect();
-    for rec in urls.iter().filter(|u| u.youtube) {
-        let kind_roll: f64 = rng_y.gen();
-        let kind = if kind_roll < 125.0 / 128.0 {
-            YtKind::Video
-        } else if kind_roll < 127.0 / 128.0 {
-            YtKind::Channel
-        } else {
-            YtKind::User
-        };
-        let state = if kind == YtKind::Video && coin(&mut rng_y, 16.0 / 125.0) {
-            let r: f64 = rng_y.gen();
-            let reason = if r < 3.0 / 16.0 {
-                YtUnavailableReason::Private
-            } else if r < 6.0 / 16.0 {
-                YtUnavailableReason::AccountTerminated
-            } else if r < 6.4 / 16.0 {
-                YtUnavailableReason::HateSpeechPolicy
-            } else {
-                YtUnavailableReason::Generic
-            };
-            YtState::Unavailable(reason)
-        } else {
-            let owner = {
-                let r: f64 = rng_y.gen();
-                if r < 0.024 {
-                    "Fox News".to_owned()
-                } else if r < 0.030 {
-                    "CNN".to_owned()
-                } else {
-                    owner_pool[rng_y.gen_range(0..owner_pool.len())].clone()
-                }
-            };
-            YtState::Active {
-                title: format!("Synthetic video about {}", names::article_path(&mut rng_y)),
-                owner,
-                comments_disabled: coin(&mut rng_y, 0.104),
-            }
-        };
-        world.youtube.put(&rec.url, YtContent { kind, state });
-    }
-
-    // ---- 9. Reddit mirror (Fig. 6, Table 3) -----------------------------------
-    let mut rng_r = StdRng::seed_from_u64(child_seed(cfg.seed, 11));
-    let active_set: std::collections::HashSet<u32> = truth.active_indices.iter().copied().collect();
-    let mut reddit_pending: Vec<(String, CommentSpec)> = Vec::new();
-    for &idx in &truth.dissenter_indices {
-        if !coin(&mut rng_r, paper::REDDIT_MATCH_FRACTION) {
-            continue;
-        }
-        let username = world.user(idx).username.clone();
-        world.reddit.create_account(&username);
-        let is_active_dissenter = active_set.contains(&idx);
-        // Fig. 6: among users active on ≥1 platform, >1/3 Dissenter-only,
-        // ~20% Reddit-only.
-        // Calibrated so the Fig. 6 population (active on ≥1 platform)
-        // splits ~36% Dissenter-only / ~20% Reddit-only as in the paper.
-        let reddit_count: u64 = if is_active_dissenter {
-            if coin(&mut rng_r, 0.45) {
-                0 // Dissenter-only
-            } else {
-                power_law_int(&mut rng_r, 1.7, 1, 20_000)
-            }
-        } else if coin(&mut rng_r, 0.22) {
-            power_law_int(&mut rng_r, 1.7, 1, 20_000) // Reddit-only
-        } else {
-            0
-        };
-        world.reddit.set_declared(&username, reddit_count);
-        let materialize = (reddit_count as usize).min(cfg.reddit_texts_per_user_cap);
-        for _ in 0..materialize {
-            let heat = beta(&mut rng_r, 1.5, 7.0);
-            let spec = sample_spec(&mut rng_r, Community::Reddit, heat, Lang::En);
-            reddit_pending.push((username.clone(), spec));
-        }
-    }
-    {
-        let specs: Vec<CommentSpec> = reddit_pending.iter().map(|(_, s)| *s).collect();
-        let texts = gen.generate_batch(&specs, child_seed(cfg.seed, 14), workers);
-        for ((username, _), text) in reddit_pending.iter().zip(texts) {
-            world.reddit.add_comment(username, text);
-        }
-    }
-
-    // ---- 10. Baseline corpora ---------------------------------------------------
-    let mut rng_b = StdRng::seed_from_u64(child_seed(cfg.seed, 12));
-    let mut make_corpus = |name: &str, community: Community, n: usize, tag: u64| -> BaselineCorpus {
-        let specs: Vec<CommentSpec> = (0..n)
-            .map(|_| {
-                let heat = beta(&mut rng_b, 1.5, 7.0);
-                sample_spec(&mut rng_b, community, heat, Lang::En)
-            })
-            .collect();
-        let comments = gen.generate_batch(&specs, child_seed(cfg.seed, tag), workers);
-        BaselineCorpus { name: name.to_owned(), comments }
-    };
-    world.baselines.push(make_corpus("NY Times", Community::NyTimes, cfg.n_baseline(paper::NYT_COMMENTS), 15));
-    world.baselines.push(make_corpus(
-        "Daily Mail",
-        Community::DailyMail,
-        cfg.n_baseline(paper::DAILYMAIL_COMMENTS),
-        16,
-    ));
-
-    (world, truth)
+    WorldSource::new(cfg, workers).collect_world()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Scale;
+    use crate::config::{paper, Scale};
+    use ids::clock::from_ymd;
+    use platform::{User, YtKind, YtState};
 
     fn small_world() -> &'static (World, GroundTruth) {
         static WORLD: std::sync::OnceLock<(World, GroundTruth)> = std::sync::OnceLock::new();

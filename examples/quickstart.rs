@@ -10,13 +10,15 @@
 //! HTTP, crawled with the §3 methodology, classified with the §3.5 stack,
 //! and analyzed into every §4 table and figure.
 
-use dissenter_core::{render, run_study, StudyConfig};
+use dissenter_core::{render, run_study, Study};
 use synth::config::Scale;
 
 fn main() {
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = Scale::Custom(0.01);
-    cfg.svm_corpus = 2_000;
+    let cfg = Study::builder()
+        .scale(Scale::Custom(0.01))
+        .svm_corpus(2_000)
+        .build()
+        .expect("quickstart config is valid");
 
     println!("Running the Dissenter measurement study (scale 1/100)…\n");
     let study = run_study(&cfg);

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Paper-scale bench: run the out-of-core study (streamed world source,
+# spilled analysis tables) under a hard peak-RSS ceiling and emit the
+# result as BENCH_SCALE.json in the repo root. The scalebench binary
+# self-validates: it exits nonzero unless the study completes with peak
+# RSS under the budget (checked inside run_study at every stage boundary
+# and every 100k streamed world items), and — on >= 4-CPU hosts — unless
+# the sharded run clears an Amdahl-adjusted speedup floor (0.6x
+# efficiency per added core on the parallelizable portion, with the
+# measured crawl-stage serial residue carried at 1x) while rendering
+# byte-identically to a serial control run. On < 4 CPUs the speedup leg
+# is refused ("speedup": null, "speedup_refused": true), never silently
+# passed.
+#
+# Usage: scripts/bench_scale.sh [extra scalebench args, e.g. --scale 0.1]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p bench --bin scalebench -- --out BENCH_SCALE.json "$@"
+
+# The artifact must parse and carry the headline fields.
+python3 - <<'EOF'
+import json
+with open("BENCH_SCALE.json") as f:
+    report = json.load(f)
+for key in ("scale", "cpus", "workers", "wall_ms", "budget_bytes",
+            "peak_rss_bytes", "rss_within_budget", "crawl_serial_residue",
+            "speedup", "speedup_refused", "stages_us"):
+    assert key in report, f"BENCH_SCALE.json missing {key!r}"
+assert report["rss_within_budget"] is True, "peak RSS over budget"
+assert 0 < report["peak_rss_bytes"] <= report["budget_bytes"], \
+    f"peak {report['peak_rss_bytes']} vs budget {report['budget_bytes']}"
+assert 0.0 <= report["crawl_serial_residue"] <= 1.0, "residue out of range"
+if report["speedup_refused"]:
+    assert report["speedup"] is None, "refused leg must not carry a number"
+    assert report["cpus"] < 4, "refusal is only legitimate below 4 cpus"
+else:
+    assert report["speedup"] >= report["required_speedup"], \
+        f"speedup {report['speedup']} below floor {report['required_speedup']}"
+assert set(report["stages_us"]) == {"synth", "serve", "crawl", "report", "svm"}, \
+    f"unexpected stage set {sorted(report['stages_us'])}"
+leg = ("refused" if report["speedup_refused"]
+       else f"{report['speedup']:.2f}x (floor {report['required_speedup']:.2f}x)")
+print("BENCH_SCALE.json OK:",
+      f"scale {report['scale']:.4g},",
+      f"{report['comments']} comments in {report['wall_ms']/1e3:.1f} s,",
+      f"peak RSS {report['peak_rss_bytes']/2**20:.0f} MiB",
+      f"of {report['budget_bytes']/2**20:.0f} MiB,",
+      f"crawl residue {report['crawl_serial_residue']:.0%},",
+      f"speedup {leg} on {report['cpus']} cpu(s)")
+EOF

@@ -52,10 +52,12 @@ fn different_seed_different_world_same_shapes() {
 
 #[test]
 fn full_study_is_deterministic_end_to_end() {
-    use dissenter_repro::dissenter_core::{run_study, StudyConfig};
-    let mut c = StudyConfig::small();
-    c.world.scale = Scale::Custom(0.0015);
-    c.skip_svm = true;
+    use dissenter_repro::dissenter_core::run_study;
+    let c = dissenter_repro::dissenter_core::Study::builder()
+        .scale(Scale::Custom(0.0015))
+        .svm(false)
+        .build()
+        .expect("determinism config is valid");
     let a = run_study(&c);
     let b = run_study(&c);
     assert_eq!(a.report.overview.comments, b.report.overview.comments);

@@ -4,7 +4,7 @@
 
 use dissenter_repro::analysis::export::export_csv;
 use dissenter_repro::analysis::report::build_report;
-use dissenter_repro::dissenter_core::{run_study, StudyConfig};
+use dissenter_repro::dissenter_core::{run_study, Study as DissenterStudy};
 use dissenter_repro::synth;
 use dissenter_repro::synth::config::Scale;
 use std::collections::BTreeMap;
@@ -73,9 +73,11 @@ fn read_all(dir: &Path, files: &[String]) -> BTreeMap<String, String> {
 
 #[test]
 fn export_writes_every_figure_series() {
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = Scale::Custom(0.0015);
-    cfg.skip_svm = true;
+    let cfg = DissenterStudy::builder()
+        .scale(Scale::Custom(0.0015))
+        .svm(false)
+        .build()
+        .expect("export config is valid");
     let study = run_study(&cfg);
 
     let base = std::env::temp_dir().join(format!("dissenter-export-{}", std::process::id()));

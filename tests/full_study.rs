@@ -2,16 +2,18 @@
 //! and assert the paper's qualitative results hold in the assembled
 //! report — who wins, by roughly what factor, where the crossovers fall.
 
-use dissenter_repro::dissenter_core::{run_study, Study, StudyConfig};
+use dissenter_repro::dissenter_core::{run_study, Study};
 use dissenter_repro::synth::config::Scale;
 use std::sync::OnceLock;
 
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        let mut cfg = StudyConfig::small();
-        cfg.world.scale = Scale::Custom(0.006);
-        cfg.svm_corpus = 1_200;
+        let cfg = Study::builder()
+            .scale(Scale::Custom(0.006))
+            .svm_corpus(1_200)
+            .build()
+            .expect("full-study config is valid");
         run_study(&cfg)
     })
 }
@@ -83,7 +85,7 @@ fn figure8_bias_conditioning() {
         f8.severe_by_bias
             .iter()
             .find(|(x, _)| *x == b)
-            .map(|(_, d)| d.mean)
+            .map(|(_, d)| d.mean())
             .expect("bias present")
     };
     use analysis::Bias::*;

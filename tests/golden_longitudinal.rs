@@ -17,7 +17,7 @@
 //! change.
 
 use dissenter_repro::dissenter_core::longitudinal::{run_composed, LongitudinalConfig};
-use dissenter_repro::dissenter_core::StudyConfig;
+use dissenter_repro::dissenter_core::Study as DissenterStudy;
 use dissenter_repro::synth::config::Scale;
 
 const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
@@ -58,11 +58,13 @@ fn check_golden(name: &str, rendered: &str) {
 }
 
 fn config(workers: usize) -> LongitudinalConfig {
-    let mut study = StudyConfig::small();
-    study.world.seed = 0x10_6601;
-    study.world.scale = Scale::Custom(0.002);
-    study.workers = workers;
-    study.skip_svm = true;
+    let study = DissenterStudy::builder()
+        .seed(0x10_6601)
+        .scale(Scale::Custom(0.002))
+        .workers(workers)
+        .svm(false)
+        .build()
+        .expect("golden config is valid");
     LongitudinalConfig {
         study,
         epochs: 2,

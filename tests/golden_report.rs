@@ -13,7 +13,7 @@
 //! then review the diff of `tests/golden/report_small.txt` like any other
 //! code change.
 
-use dissenter_repro::dissenter_core::{render, run_study, StudyConfig};
+use dissenter_repro::dissenter_core::{render, run_study, Study as DissenterStudy};
 use dissenter_repro::synth::config::Scale;
 
 const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
@@ -55,14 +55,13 @@ fn check_golden(name: &str, rendered: &str) {
 
 #[test]
 fn deterministic_render_matches_golden_file() {
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = Scale::Custom(0.002);
-    cfg.svm_corpus = 400;
+    let mut builder = DissenterStudy::builder().scale(Scale::Custom(0.002)).svm_corpus(400);
     // One committed artifact, any worker count: CI runs this test with
     // GOLDEN_WORKERS=1 and =8, so both must render the very same bytes.
     if let Ok(w) = std::env::var("GOLDEN_WORKERS") {
-        cfg.workers = w.parse().expect("GOLDEN_WORKERS is a worker count");
+        builder = builder.workers(w.parse().expect("GOLDEN_WORKERS is a worker count"));
     }
+    let cfg = builder.build().expect("golden config is valid");
     let study = run_study(&cfg);
     let report = render::deterministic(&study);
     assert!(report.contains("== Overview"), "render sanity");

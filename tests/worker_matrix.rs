@@ -9,7 +9,7 @@
 //! printed fingerprints must then agree across jobs).
 
 use dissenter_repro::analysis::export::export_csv;
-use dissenter_repro::dissenter_core::{render, run_study, Study, StudyConfig};
+use dissenter_repro::dissenter_core::{render, run_study, Study};
 use dissenter_repro::synth::config::Scale;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -30,10 +30,12 @@ fn matrix() -> Vec<usize> {
 }
 
 fn study_at(workers: usize) -> Study {
-    let mut cfg = StudyConfig::small();
-    cfg.world.scale = Scale::Custom(0.002);
-    cfg.svm_corpus = 400;
-    cfg.workers = workers;
+    let cfg = Study::builder()
+        .scale(Scale::Custom(0.002))
+        .svm_corpus(400)
+        .workers(workers)
+        .build()
+        .expect("matrix config is valid");
     run_study(&cfg)
 }
 
